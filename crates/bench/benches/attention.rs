@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the transformer pipeline: kernel-backed sparse
+//! attention (functional) and the latency-model evaluation behind
+//! Table 4 / Fig. 20.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vecsparse_formats::gen;
+use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::GpuConfig;
+use vecsparse_transformer::attention::{
+    dense_attention_latency, sparse_attention_head, sparse_attention_latency,
+};
+use vecsparse_transformer::AttentionConfig;
+
+fn functional_attention(c: &mut Criterion) {
+    let gpu = GpuConfig::small();
+    let mut group = c.benchmark_group("attention/functional");
+    group.sample_size(20);
+    let cfg = AttentionConfig {
+        seq_len: 128,
+        head_dim: 32,
+        heads: 1,
+        sparsity: 0.8,
+        v: 8,
+        band: 32,
+    };
+    let mask = cfg.mask(1);
+    let q = gen::random_dense::<f16>(128, 32, vecsparse_formats::Layout::RowMajor, 2);
+    let k = gen::random_dense::<f16>(128, 32, vecsparse_formats::Layout::RowMajor, 3);
+    let v = gen::random_dense::<f16>(128, 32, vecsparse_formats::Layout::RowMajor, 4);
+    group.bench_function("sparse_head_128x32", |b| {
+        b.iter(|| sparse_attention_head(&gpu, &q, &k, &v, &mask));
+    });
+    group.finish();
+}
+
+fn latency_models(c: &mut Criterion) {
+    let gpu = GpuConfig::default();
+    let mut group = c.benchmark_group("attention/latency_model");
+    group.sample_size(10);
+    let cfg = AttentionConfig {
+        seq_len: 2048,
+        head_dim: 64,
+        heads: 4,
+        sparsity: 0.9,
+        v: 8,
+        band: 256,
+    };
+    group.bench_function("sparse_layer_2048", |b| {
+        b.iter(|| sparse_attention_latency(&gpu, &cfg));
+    });
+    group.bench_function("dense_layer_2048", |b| {
+        b.iter(|| dense_attention_latency(&gpu, &cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, functional_attention, latency_models);
+criterion_main!(benches);

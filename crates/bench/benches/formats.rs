@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the storage formats: construction,
+//! conversions, and the scalar reference operations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vecsparse_formats::{gen, reference, Layout, VectorSparse};
+use vecsparse_fp16::f16;
+
+fn conversions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formats/convert");
+    for v in [1usize, 4, 8] {
+        let vs = gen::random_vector_sparse::<f16>(512, 1024, v, 0.9, 1);
+        group.bench_with_input(BenchmarkId::new("vs_to_dense", v), &vs, |b, vs| {
+            b.iter(|| vs.to_dense(Layout::RowMajor));
+        });
+        group.bench_with_input(BenchmarkId::new("vs_to_csr", v), &vs, |b, vs| {
+            b.iter(|| vs.to_csr());
+        });
+        let dense = vs.to_dense(Layout::RowMajor);
+        group.bench_with_input(BenchmarkId::new("dense_to_vs", v), &dense, |b, d| {
+            b.iter(|| VectorSparse::from_dense(d, v));
+        });
+    }
+    group.finish();
+}
+
+fn generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formats/generate");
+    group.bench_function("pattern_2048x1024_v4_s90", |b| {
+        b.iter(|| gen::random_pattern(2048, 1024, 4, 0.9, 42));
+    });
+    group.bench_function("blocked_ell_2048x1024_b4_s90", |b| {
+        b.iter(|| gen::random_blocked_ell::<f16>(2048, 1024, 4, 0.9, 42));
+    });
+    group.bench_function("banded_mask_4096_v8", |b| {
+        b.iter(|| gen::banded_random_pattern(4096, 8, 256, 0.9, 42));
+    });
+    group.finish();
+}
+
+fn references(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formats/reference");
+    group.sample_size(20);
+    let a = gen::random_vector_sparse::<f16>(256, 512, 4, 0.9, 1);
+    let b = gen::random_dense::<f16>(512, 128, Layout::RowMajor, 2);
+    group.bench_function("spmm_vs_256x512x128", |bench| {
+        bench.iter(|| reference::spmm_vs(&a, &b));
+    });
+    let q = gen::random_dense::<f16>(256, 64, Layout::RowMajor, 3);
+    let kt = gen::random_dense::<f16>(64, 512, Layout::ColMajor, 4);
+    let mask = gen::random_pattern(256, 512, 4, 0.9, 5);
+    group.bench_function("sddmm_256x64x512", |bench| {
+        bench.iter(|| reference::sddmm(&q, &kt, &mask));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, conversions, generators, references);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion wall-clock benchmarks of the SDDMM kernel family, including
+//! an ablation across the three inverted-pattern variants (reg / shfl /
+//! arch) of the octet kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vecsparse::sddmm::{profile_sddmm_octet, sddmm_fpu, sddmm_octet, sddmm_wmma, OctetVariant};
+use vecsparse_formats::{gen, Layout};
+use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::GpuConfig;
+
+fn functional(c: &mut Criterion) {
+    let gpu = GpuConfig::small();
+    let mut group = c.benchmark_group("sddmm/functional");
+    let a = gen::random_dense::<f16>(128, 128, Layout::RowMajor, 1);
+    let bt = gen::random_dense::<f16>(128, 256, Layout::ColMajor, 2);
+    let mask = gen::random_pattern(128, 256, 8, 0.9, 3);
+    for variant in [OctetVariant::Reg, OctetVariant::Shfl, OctetVariant::Arch] {
+        group.bench_with_input(
+            BenchmarkId::new("octet", format!("{variant:?}")),
+            &variant,
+            |bench, &variant| {
+                bench.iter(|| sddmm_octet(&gpu, &a, &bt, &mask, variant));
+            },
+        );
+    }
+    group.bench_function("wmma", |bench| {
+        bench.iter(|| sddmm_wmma(&gpu, &a, &bt, &mask));
+    });
+    group.bench_function("fpu", |bench| {
+        bench.iter(|| sddmm_fpu(&gpu, &a, &bt, &mask));
+    });
+    group.finish();
+}
+
+fn variant_ablation(c: &mut Criterion) {
+    // Profile-path ablation at the paper's Table 3 shape: how much host
+    // time each variant's model costs (the simulated-cycle results are in
+    // tab03/fig19).
+    let gpu = GpuConfig::default();
+    let mut group = c.benchmark_group("sddmm/profile_variants");
+    group.sample_size(20);
+    let a = gen::random_dense::<f16>(2048, 256, Layout::RowMajor, 1);
+    let bt = gen::random_dense::<f16>(256, 1024, Layout::ColMajor, 2);
+    let mask = gen::random_pattern(2048, 1024, 8, 0.9, 3);
+    for variant in [OctetVariant::Reg, OctetVariant::Shfl, OctetVariant::Arch] {
+        group.bench_with_input(
+            BenchmarkId::new("profile", format!("{variant:?}")),
+            &variant,
+            |bench, &variant| {
+                bench.iter(|| profile_sddmm_octet(&gpu, &a, &bt, &mask, variant));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, functional, variant_ablation);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the GPU substrate itself: cache model
+//! throughput, scheduler simulation, and the TCU functional op.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vecsparse_gpu_sim::{
+    mma_m8n8k4_reference, GpuConfig, SectorCache, WVec,
+};
+
+fn cache_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/cache");
+    group.bench_function("l1_stream_1m_sectors", |b| {
+        b.iter(|| {
+            let mut cache = SectorCache::new(128 * 1024, 8);
+            let mut miss = 0u64;
+            for req in 0..65_536u64 {
+                let base = req * 16;
+                miss += cache.access(&[base, base + 1, base + 2, base + 3]);
+            }
+            miss
+        });
+    });
+    group.finish();
+}
+
+fn tcu_functional(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/tcu");
+    let a = [[1.0f32; 4]; 8];
+    let b = [[0.5f32; 8]; 4];
+    let acc = [[0.0f32; 8]; 8];
+    group.bench_function("mma_reference", |bench| {
+        bench.iter(|| mma_m8n8k4_reference(&a, &b, &acc));
+    });
+    group.bench_function("wvec_roundtrip", |bench| {
+        bench.iter(|| {
+            let mut v = WVec::zeros(8);
+            for lane in 0..32 {
+                for e in 0..8 {
+                    v.set(lane, e, (lane * e) as f32);
+                }
+            }
+            v.lane(31)[7]
+        });
+    });
+    group.finish();
+}
+
+fn end_to_end_profile(c: &mut Criterion) {
+    // The cost of one full performance-mode launch (trace + DES + caches)
+    // for a mid-size octet SpMM — the unit of work behind every figure
+    // cell.
+    use vecsparse::spmm::profile_spmm_octet;
+    use vecsparse_formats::{gen, Layout};
+    use vecsparse_fp16::f16;
+
+    let mut group = c.benchmark_group("sim/launch");
+    group.sample_size(20);
+    let gpu = GpuConfig::default();
+    let a = gen::random_vector_sparse::<f16>(1024, 1024, 4, 0.9, 1);
+    let b = gen::random_dense::<f16>(1024, 128, Layout::RowMajor, 2);
+    group.bench_function("profile_octet_1024x1024x128", |bench| {
+        bench.iter(|| profile_spmm_octet(&gpu, &a, &b));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cache_model, tcu_functional, end_to_end_profile);
+criterion_main!(benches);

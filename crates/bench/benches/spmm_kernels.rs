@@ -1,0 +1,59 @@
+//! Criterion wall-clock benchmarks of the SpMM kernel family.
+//!
+//! Two axes per kernel: the **functional** path (host execution of the
+//! simulated kernel, checking library throughput) and the **performance**
+//! path (trace generation + scheduler simulation, the cost of producing
+//! one figure cell). Paper-shape conclusions come from the figure
+//! binaries; these benches track the library's own speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vecsparse::spmm::{
+    profile_spmm_blocked_ell, profile_spmm_fpu, profile_spmm_octet, spmm_blocked_ell, spmm_fpu,
+    spmm_octet,
+};
+use vecsparse_formats::{gen, Layout};
+use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::GpuConfig;
+
+fn functional(c: &mut Criterion) {
+    let gpu = GpuConfig::small();
+    let mut group = c.benchmark_group("spmm/functional");
+    for v in [2usize, 4, 8] {
+        let a = gen::random_vector_sparse::<f16>(256, 512, v, 0.9, 1);
+        let b = gen::random_dense::<f16>(512, 128, Layout::RowMajor, 2);
+        group.bench_with_input(BenchmarkId::new("octet", v), &v, |bench, _| {
+            bench.iter(|| spmm_octet(&gpu, &a, &b));
+        });
+        group.bench_with_input(BenchmarkId::new("fpu", v), &v, |bench, _| {
+            bench.iter(|| spmm_fpu(&gpu, &a, &b));
+        });
+    }
+    let ell = gen::random_blocked_ell::<f16>(256, 512, 4, 0.9, 3);
+    let b = gen::random_dense::<f16>(512, 128, Layout::RowMajor, 2);
+    group.bench_function("blocked_ell/4", |bench| {
+        bench.iter(|| spmm_blocked_ell(&gpu, &ell, &b));
+    });
+    group.finish();
+}
+
+fn performance_model(c: &mut Criterion) {
+    let gpu = GpuConfig::default();
+    let mut group = c.benchmark_group("spmm/profile");
+    group.sample_size(20);
+    let a = gen::random_vector_sparse::<f16>(2048, 1024, 4, 0.9, 1);
+    let b = gen::random_dense::<f16>(1024, 256, Layout::RowMajor, 2);
+    group.bench_function("octet_2048x1024x256", |bench| {
+        bench.iter(|| profile_spmm_octet(&gpu, &a, &b));
+    });
+    group.bench_function("fpu_2048x1024x256", |bench| {
+        bench.iter(|| profile_spmm_fpu(&gpu, &a, &b));
+    });
+    let ell = gen::random_blocked_ell::<f16>(2048, 1024, 4, 0.9, 3);
+    group.bench_function("blocked_ell_2048x1024x256", |bench| {
+        bench.iter(|| profile_spmm_blocked_ell(&gpu, &ell, &b));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, functional, performance_model);
+criterion_main!(benches);

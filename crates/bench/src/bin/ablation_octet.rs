@@ -1,0 +1,78 @@
+//! Ablation study of the octet SpMM's design choices (the points
+//! DESIGN.md calls out):
+//!
+//! * **ILP batching** (§5.4): issuing all of a stride's loads before a
+//!   `__threadfence_block()` and the mma batch, versus the compiler's
+//!   register-reusing interleave;
+//! * **Redundant-HMMA removal** (§7.1.3, the paper's future work): with a
+//!   SASS assembler, steps 2–3 of each `mma.m8n8k4` can be dropped when
+//!   V ≤ 4, halving the tensor-pipe work;
+//! * **Grain size V** at fixed sparsity: the column-vector encoding's
+//!   reuse grows with V while the nonzero count stays fixed.
+
+use vecsparse::spmm::OctetSpmm;
+use vecsparse_bench::{device, f2, Table};
+use vecsparse_dlmc::{Benchmark, LayerShape};
+use vecsparse_formats::{gen, Layout};
+use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::{launch, MemPool, Mode};
+
+fn main() {
+    let gpu = device();
+    let shape = LayerShape {
+        name: "ablation_2048x1024",
+        rows: 2048,
+        cols: 1024,
+    };
+    let b = gen::random_dense::<f16>(1024, 256, Layout::RowMajor, 1);
+
+    println!("Octet SpMM ablations on A(2048x1024) x B(1024x256), 90% sparsity");
+    println!();
+    let mut t = Table::new(vec!["V", "variant", "cycles", "vs base", "hmma instrs"]);
+    for v in [2usize, 4, 8] {
+        let bench = Benchmark::build(shape, v, 0.9);
+        let run = |truncated: bool, ilp: bool| {
+            let mut mem = MemPool::new();
+            let kernel = OctetSpmm::new(&mut mem, &bench.matrix, &b, Mode::Performance)
+                .with_truncated_hmma(truncated)
+                .with_ilp_batching(ilp);
+            launch(&gpu, &mut mem, &kernel, Mode::Performance)
+                .profile
+                .expect("profile")
+        };
+        let base = run(false, true);
+        let no_ilp = run(false, false);
+        let trunc = run(true, true);
+        t.row(vec![
+            v.to_string(),
+            "base (batched loads)".into(),
+            format!("{:.0}", base.cycles),
+            "1.00".into(),
+            base.instrs.hmma.to_string(),
+        ]);
+        t.row(vec![
+            v.to_string(),
+            "no ILP batching".into(),
+            format!("{:.0}", no_ilp.cycles),
+            f2(no_ilp.cycles / base.cycles),
+            no_ilp.instrs.hmma.to_string(),
+        ]);
+        t.row(vec![
+            v.to_string(),
+            "HMMA steps 2-3 removed".into(),
+            format!("{:.0}", trunc.cycles),
+            f2(trunc.cycles / base.cycles),
+            trunc.instrs.hmma.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "Reading: at 90% sparsity the kernel is bound by memory traffic and issue\n\
+         slots, not the tensor pipe — halving the HMMA count (the paper's future-work\n\
+         SASS optimisation, impossible for V=8 where all four steps carry real\n\
+         columns) buys little here, and the high occupancy (32 single-warp CTAs/SM)\n\
+         hides the latency the ILP batching saves per warp. Both knobs matter when\n\
+         occupancy or the tensor pipe becomes the constraint (lower sparsity, wider N)."
+    );
+}

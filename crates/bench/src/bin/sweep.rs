@@ -1,0 +1,73 @@
+//! Custom sweep CLI: profile every SpMM implementation on a
+//! user-specified problem.
+//!
+//! ```text
+//! cargo run --release -p vecsparse-bench --bin sweep -- \
+//!     --m 2048 --k 1024 --n 256 --v 4 --sparsity 0.9 [--seed 42]
+//! ```
+
+use vecsparse::api::{profile_spmm, SpmmAlgo};
+use vecsparse_bench::{device, Table};
+use vecsparse_formats::{gen, Layout};
+use vecsparse_fp16::f16;
+
+fn arg(name: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let m = arg("--m", 2048.0) as usize;
+    let k = arg("--k", 1024.0) as usize;
+    let n = arg("--n", 256.0) as usize;
+    let v = arg("--v", 4.0) as usize;
+    let sparsity = arg("--sparsity", 0.9);
+    let seed = arg("--seed", 42.0) as u64;
+    assert!(matches!(v, 1 | 2 | 4 | 8), "--v must be 1, 2, 4, or 8");
+    assert!(m.is_multiple_of(v), "--m must be a multiple of --v");
+    assert!((0.0..1.0).contains(&sparsity), "--sparsity in [0,1)");
+
+    let gpu = device();
+    let a = gen::random_vector_sparse::<f16>(m, k, v, sparsity, seed);
+    let b = gen::random_dense::<f16>(k, n, Layout::RowMajor, seed + 1);
+
+    println!(
+        "SpMM sweep: A {m}x{k} ({:.1}% sparse, {v}x1 vectors), B {k}x{n}",
+        100.0 * a.pattern().sparsity()
+    );
+    println!();
+    let dense = profile_spmm(&gpu, &a, &b, SpmmAlgo::Dense);
+    let mut t = Table::new(vec![
+        "kernel",
+        "cycles",
+        "speedup",
+        "grid",
+        "static instrs",
+        "L2->L1 MB",
+        "no-instr",
+        "sectors/req",
+    ]);
+    for algo in [
+        SpmmAlgo::Dense,
+        SpmmAlgo::FpuSubwarp,
+        SpmmAlgo::BlockedEll,
+        SpmmAlgo::Octet,
+    ] {
+        let p = profile_spmm(&gpu, &a, &b, algo);
+        t.row(vec![
+            p.name.clone(),
+            format!("{:.0}", p.cycles),
+            format!("{:.2}x", dense.cycles / p.cycles),
+            p.grid.to_string(),
+            p.static_instrs.to_string(),
+            format!("{:.1}", p.bytes_l2_to_l1() as f64 / 1e6),
+            format!("{:.1}%", p.stalls.pct_no_instruction()),
+            format!("{:.2}", p.l1.sectors_per_request()),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,128 @@
+//! Batched sparse operations.
+//!
+//! Deep-learning workloads apply one pruned weight matrix to a *batch* of
+//! activations (SpMM) or one fixed attention mask to every batch element
+//! and head (SDDMM). These wrappers run the single-problem kernels per
+//! batch element — matching how the paper's kernels are launched in the
+//! sparse transformer (§7.4) — and aggregate cycles as a back-to-back
+//! stream of launches.
+
+use crate::api::{profile_sddmm, profile_spmm, sddmm, spmm, SddmmAlgo, SpmmAlgo};
+use vecsparse_formats::{DenseMatrix, SparsityPattern, VectorSparse};
+use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::GpuConfig;
+
+/// Batched SpMM: `C_i = A · B_i` for every batch element.
+///
+/// # Panics
+/// Panics on shape mismatches or an empty batch.
+pub fn spmm_batch(
+    a: &VectorSparse<f16>,
+    batch: &[DenseMatrix<f16>],
+    algo: SpmmAlgo,
+) -> Vec<DenseMatrix<f16>> {
+    assert!(!batch.is_empty(), "empty batch");
+    batch.iter().map(|b| spmm(a, b, algo)).collect()
+}
+
+/// Cycle estimate for a batched SpMM as a stream of launches.
+pub fn profile_spmm_batch(
+    gpu: &GpuConfig,
+    a: &VectorSparse<f16>,
+    batch: &[DenseMatrix<f16>],
+    algo: SpmmAlgo,
+) -> f64 {
+    assert!(!batch.is_empty(), "empty batch");
+    // All elements share the problem shape, so one profile suffices.
+    let per = profile_spmm(gpu, a, &batch[0], algo).cycles;
+    per * batch.len() as f64
+}
+
+/// Batched SDDMM: `C_i = (A_i · B_i) ∘ D` with a shared mask.
+///
+/// # Panics
+/// Panics on shape mismatches or mismatched batch lengths.
+pub fn sddmm_batch(
+    a_batch: &[DenseMatrix<f16>],
+    b_batch: &[DenseMatrix<f16>],
+    mask: &SparsityPattern,
+    algo: SddmmAlgo,
+) -> Vec<VectorSparse<f16>> {
+    assert_eq!(a_batch.len(), b_batch.len(), "batch length mismatch");
+    assert!(!a_batch.is_empty(), "empty batch");
+    a_batch
+        .iter()
+        .zip(b_batch)
+        .map(|(a, b)| sddmm(a, b, mask, algo))
+        .collect()
+}
+
+/// Cycle estimate for a batched SDDMM as a stream of launches.
+pub fn profile_sddmm_batch(
+    gpu: &GpuConfig,
+    a_batch: &[DenseMatrix<f16>],
+    b_batch: &[DenseMatrix<f16>],
+    mask: &SparsityPattern,
+    algo: SddmmAlgo,
+) -> f64 {
+    assert_eq!(a_batch.len(), b_batch.len(), "batch length mismatch");
+    assert!(!a_batch.is_empty(), "empty batch");
+    let per = profile_sddmm(gpu, &a_batch[0], &b_batch[0], mask, algo).cycles;
+    per * a_batch.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecsparse_formats::{gen, reference, Layout};
+
+    #[test]
+    fn batched_spmm_matches_elementwise() {
+        let a = gen::random_vector_sparse::<f16>(16, 32, 4, 0.6, 1);
+        let batch: Vec<_> = (0..3)
+            .map(|i| gen::random_dense::<f16>(32, 64, Layout::RowMajor, 10 + i))
+            .collect();
+        let out = spmm_batch(&a, &batch, SpmmAlgo::Octet);
+        assert_eq!(out.len(), 3);
+        for (o, b) in out.iter().zip(&batch) {
+            assert_eq!(o.max_abs_diff(&reference::spmm_vs(&a, b)), 0.0);
+        }
+    }
+
+    #[test]
+    fn batched_sddmm_matches_elementwise() {
+        let mask = gen::random_pattern(16, 32, 4, 0.7, 2);
+        let a_batch: Vec<_> = (0..2)
+            .map(|i| gen::random_dense::<f16>(16, 24, Layout::RowMajor, 20 + i))
+            .collect();
+        let b_batch: Vec<_> = (0..2)
+            .map(|i| gen::random_dense::<f16>(24, 32, Layout::ColMajor, 30 + i))
+            .collect();
+        let out = sddmm_batch(&a_batch, &b_batch, &mask, SddmmAlgo::OctetArch);
+        for ((o, a), b) in out.iter().zip(&a_batch).zip(&b_batch) {
+            let want = reference::sddmm(a, b, &mask);
+            for (g, w) in o.values().iter().zip(want.values()) {
+                assert_eq!(g, w);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_cycles_scale_linearly() {
+        let gpu = GpuConfig::small();
+        let a = gen::random_vector_sparse::<f16>(64, 64, 4, 0.8, 3);
+        let batch: Vec<_> = (0..4)
+            .map(|i| gen::random_dense::<f16>(64, 64, Layout::RowMajor, 40 + i))
+            .collect();
+        let four = profile_spmm_batch(&gpu, &a, &batch, SpmmAlgo::Octet);
+        let one = profile_spmm_batch(&gpu, &a, &batch[..1], SpmmAlgo::Octet);
+        assert!((four / one - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn rejects_empty_batch() {
+        let a = gen::random_vector_sparse::<f16>(8, 16, 4, 0.5, 4);
+        let _ = spmm_batch(&a, &[], SpmmAlgo::Octet);
+    }
+}

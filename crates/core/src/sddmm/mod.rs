@@ -1,0 +1,57 @@
+//! SDDMM kernels: `C = (A · B) ∘ D` where the binary mask `D` (and hence
+//! the output) lives in the column-vector sparse encoding. `A` is
+//! row-major `M × K`; `B` is column-major `K × N` (a transposed row-major
+//! matrix, as in self-attention's `QKᵀ`).
+
+mod csr;
+mod fpu_subwarp;
+mod octet;
+mod wmma;
+
+pub use csr::{profile_sddmm_csr, sddmm_csr, CsrSddmm};
+pub use fpu_subwarp::{profile_sddmm_fpu, sddmm_fpu, FpuSubwarpSddmm};
+pub use octet::{profile_sddmm_octet, sddmm_octet, OctetSddmm, OctetVariant};
+pub use wmma::{profile_sddmm_wmma, sddmm_wmma, WmmaSddmm};
+
+/// Tile lists: each CTA owns one (block row, vector range) chunk of at
+/// most `tile` nonzero vectors. Returns `(block_row, start, len)` triples.
+pub(crate) fn vector_tiles(
+    pattern: &vecsparse_formats::SparsityPattern,
+    tile: usize,
+) -> Vec<(usize, usize, usize)> {
+    let mut tiles = Vec::new();
+    for br in 0..pattern.block_rows() {
+        let range = pattern.block_row_range(br);
+        let mut start = range.start;
+        while start < range.end {
+            let len = (range.end - start).min(tile);
+            tiles.push((br, start, len));
+            start += len;
+        }
+        if range.is_empty() {
+            // Keep an empty tile so every block row has a CTA (grid shape
+            // stays data-independent for the scheduler).
+            tiles.push((br, range.start, 0));
+        }
+    }
+    tiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecsparse_formats::gen;
+
+    #[test]
+    fn tiles_cover_all_vectors() {
+        let p = gen::random_pattern(64, 256, 4, 0.8, 1);
+        let tiles = vector_tiles(&p, 32);
+        let total: usize = tiles.iter().map(|t| t.2).sum();
+        assert_eq!(total, p.nnz_vectors());
+        for &(br, start, len) in &tiles {
+            let r = p.block_row_range(br);
+            assert!(start >= r.start && start + len <= r.end);
+            assert!(len <= 32);
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! TCU-based 1-D Octet Tiling SDDMM — the paper's §6.3 contribution.
+//!
+//! Each CTA (one warp) computes up to `TILE_N = 32` nonzero output vectors
+//! of one block row, walking K in strides of 64. The LHS/RHS roles are
+//! switched (as in the SpMM kernel) so each sub-step computes an
+//! `(8×64)·(64×V)` tile: eight gathered `B` columns against the block
+//! row's `V` `A`-rows. Both fragments load straight to registers with
+//! LDG.128 — each 64-element row/column splits into eight 8-half
+//! sub-vectors across lanes, 128-byte coalesced (guidelines IV & V).
+//!
+//! The k dimension is spread across the four octets (16 each), so every
+//! output has four octet-partial sums that are combined with warp
+//! shuffles and FADDs when K is exhausted — the reduction the paper
+//! measures at 29.5% of instructions for V = 8, K = 64.
+//!
+//! The "inverted pattern" of source operands between thread groups is
+//! resolved three ways, matching the paper's variants:
+//!
+//! * [`OctetVariant::Reg`] — accumulate steps 2&3 into a second register
+//!   set (more registers, lower occupancy);
+//! * [`OctetVariant::Shfl`] — shuffle source operands before each mma
+//!   (extra SHFL instructions);
+//! * [`OctetVariant::Arch`] — the proposed `HMMA...SWITCH` instruction
+//!   (Fig. 15): the TCU's operand multiplexers switch the thread-group
+//!   sources, no extra registers or shuffles.
+
+use super::vector_tiles;
+use crate::util::{lanes, upload_dense, upload_pattern, width_of, VsBuffers};
+use vecsparse_formats::{DenseMatrix, Layout, SparsityPattern, VectorSparse};
+use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::{
+    launch, BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, LaunchConfig,
+    MemPool, MmaFlavor, Mode, Program, Site, Tok, WVec,
+};
+
+/// Nonzero output vectors per CTA tile.
+const TILE_N: usize = 32;
+/// K-stride per step.
+const TILE_K: usize = 64;
+/// Output vectors per sub-step.
+const SUB_N: usize = 8;
+
+/// How the inverted source-operand pattern is handled (§6.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OctetVariant {
+    /// Extra accumulator registers ("mma (reg)").
+    Reg,
+    /// Warp shuffles before each mma ("mma (shfl)").
+    Shfl,
+    /// The proposed SWITCH HMMA extension ("mma (arch)").
+    Arch,
+}
+
+impl OctetVariant {
+    fn label(self) -> &'static str {
+        match self {
+            OctetVariant::Reg => "reg",
+            OctetVariant::Shfl => "shfl",
+            OctetVariant::Arch => "arch",
+        }
+    }
+}
+
+/// Lane of thread `t` in group `g` of octet `o`.
+#[inline]
+fn octet_lane(o: usize, g: usize, t: usize) -> usize {
+    g * 16 + 4 * o + t
+}
+
+/// The octet-tiling SDDMM kernel.
+pub struct OctetSddmm<'m> {
+    a: &'m DenseMatrix<f16>,
+    b: &'m DenseMatrix<f16>,
+    mask: &'m SparsityPattern,
+    variant: OctetVariant,
+    a_buf: BufferId,
+    b_buf: BufferId,
+    idx: VsBuffers,
+    out_buf: BufferId,
+    tiles: Vec<(usize, usize, usize)>,
+    sites: Sites,
+    static_len: u32,
+}
+
+struct Sites {
+    ld_rowptr: Site,
+    ld_colidx: Site,
+    ldg_a: [Site; 2],
+    ldg_b: [Site; 2],
+    mma: [[Site; 4]; 4],
+    shfl_sw: Site,
+    red_shfl: Site,
+    red_fadd: Site,
+    addr: Site,
+    stg: Site,
+}
+
+impl<'m> OctetSddmm<'m> {
+    /// Stage inputs.
+    ///
+    /// # Panics
+    /// Panics on shape/layout mismatch or unsupported V.
+    pub fn new(
+        mem: &mut MemPool,
+        a: &'m DenseMatrix<f16>,
+        b: &'m DenseMatrix<f16>,
+        mask: &'m SparsityPattern,
+        variant: OctetVariant,
+        mode: Mode,
+    ) -> Self {
+        assert_eq!(a.cols(), b.rows(), "SDDMM inner dimension mismatch");
+        assert_eq!(a.rows(), mask.rows(), "mask rows");
+        assert_eq!(b.cols(), mask.cols(), "mask cols");
+        assert_eq!(a.layout(), Layout::RowMajor, "A must be row-major");
+        assert_eq!(b.layout(), Layout::ColMajor, "B must be column-major");
+        assert!(matches!(mask.v(), 1 | 2 | 4 | 8));
+        let a_buf = upload_dense(mem, a, mode);
+        let b_buf = upload_dense(mem, b, mode);
+        let idx = upload_pattern(mem, mask, mode);
+        let out_buf = match mode {
+            Mode::Functional => mem.alloc_zeroed(width_of::<f16>(), mask.nnz()),
+            Mode::Performance => mem.alloc_ghost(width_of::<f16>(), mask.nnz()),
+        };
+        let tiles = vector_tiles(mask, TILE_N);
+
+        let mut p = Program::new();
+        let ld_rowptr = p.site("ld_rowptr", 0);
+        let ld_colidx = p.site("ld_colidx", 0);
+        let ldg_a = [p.site("ldg_a", 0), p.site("ldg_a", 1)];
+        let ldg_b = [p.site("ldg_b", 0), p.site("ldg_b", 1)];
+        let mut mma = [[Site(0); 4]; 4];
+        for (sub, row) in mma.iter_mut().enumerate() {
+            for (m, site) in row.iter_mut().enumerate() {
+                *site = p.site("mma", (sub * 16 + m * 4) as u32);
+            }
+        }
+        let shfl_sw = p.site("shfl_sw", 0);
+        let red_shfl = p.site("red_shfl", 0);
+        let red_fadd = p.site("red_fadd", 0);
+        let addr = p.site("addr", 0);
+        let stg = p.site("stg", 0);
+        // 16 mma × 4 static HMMA slots; modest prologue.
+        let static_len = p.static_len() + 16 * 3 + 48;
+
+        OctetSddmm {
+            a,
+            b,
+            mask,
+            variant,
+            a_buf,
+            b_buf,
+            idx,
+            out_buf,
+            tiles,
+            sites: Sites {
+                ld_rowptr,
+                ld_colidx,
+                ldg_a,
+                ldg_b,
+                mma,
+                shfl_sw,
+                red_shfl,
+                red_fadd,
+                addr,
+                stg,
+            },
+            static_len,
+        }
+    }
+
+    /// Download the functional result.
+    pub fn result(&self, mem: &MemPool) -> VectorSparse<f16> {
+        crate::util::download_vs(mem, self.out_buf, self.mask)
+    }
+
+    fn flavor(&self) -> MmaFlavor {
+        match self.variant {
+            OctetVariant::Arch => MmaFlavor::Switch,
+            _ => MmaFlavor::Standard,
+        }
+    }
+
+    /// Build the mma Mat_a fragment (gathered B columns) for octet k-slice
+    /// `m` of sub-step vectors `cols`: lane `(o, g, t)` holds output
+    /// column `4g + t`'s four k-values of octet `o`'s slice.
+    fn marshal_b_cols(
+        &self,
+        loaded: &[WVec; 2],
+        cols: &[usize],
+        k0: usize,
+        m: usize,
+        switch: bool,
+        tok: Tok,
+    ) -> WVec {
+        if loaded[0].is_ghost() {
+            return WVec::ghost(4, tok);
+        }
+        let mut a = WVec::zeros(4);
+        for o in 0..4 {
+            for g in 0..2 {
+                for t in 0..4 {
+                    let c = 4 * g + t;
+                    if c >= cols.len() {
+                        continue;
+                    }
+                    for kk in 0..4 {
+                        let k = 16 * o + 4 * m + kk;
+                        if k0 + k >= self.b.rows() {
+                            continue;
+                        }
+                        // Flat position within the loaded (8 col × 64 k)
+                        // fragment: col-major columns of 64.
+                        let flat = c * TILE_K + k;
+                        let (li, rest) = (flat / 256, flat % 256);
+                        let v = loaded[li].get(rest / 8, rest % 8);
+                        // For the SWITCH variant the groups' register
+                        // contents are pre-swapped so the in-TCU mux
+                        // restores them.
+                        let lane = if switch {
+                            octet_lane(o, 1 - g, t)
+                        } else {
+                            octet_lane(o, g, t)
+                        };
+                        a.set(lane, kk, v);
+                    }
+                }
+            }
+        }
+        a.set_tok(tok);
+        a
+    }
+
+    /// Build the mma Mat_b fragment (A rows): lane `(o, g, c)` holds
+    /// output row `4g + c`'s four k-values of octet `o`'s slice `m`.
+    #[allow(clippy::too_many_arguments)] // Fragment geometry is clearer flat.
+    fn marshal_a_rows(
+        &self,
+        loaded: &[WVec; 2],
+        row_base: usize,
+        v_len: usize,
+        k0: usize,
+        m: usize,
+        switch: bool,
+        tok: Tok,
+    ) -> WVec {
+        if loaded[0].is_ghost() {
+            return WVec::ghost(4, tok);
+        }
+        let _ = row_base;
+        let mut b = WVec::zeros(4);
+        for o in 0..4 {
+            for g in 0..2 {
+                for c in 0..4 {
+                    let r = 4 * g + c;
+                    if r >= v_len {
+                        continue;
+                    }
+                    for kk in 0..4 {
+                        let k = 16 * o + 4 * m + kk;
+                        if k0 + k >= self.a.cols() {
+                            continue;
+                        }
+                        let flat = r * TILE_K + k;
+                        let (li, rest) = (flat / 256, flat % 256);
+                        let v = loaded[li].get(rest / 8, rest % 8);
+                        let lane = if switch {
+                            octet_lane(o, 1 - g, c)
+                        } else {
+                            octet_lane(o, g, c)
+                        };
+                        b.set(lane, kk, v);
+                    }
+                }
+            }
+        }
+        b.set_tok(tok);
+        b
+    }
+}
+
+impl KernelSpec for OctetSddmm<'_> {
+    fn name(&self) -> String {
+        format!("sddmm-octet-{}(V={})", self.variant.label(), self.mask.v())
+    }
+
+    fn launch_config(&self) -> LaunchConfig {
+        LaunchConfig {
+            grid: self.tiles.len().max(1),
+            warps_per_cta: 1,
+            regs_per_thread: match self.variant {
+                OctetVariant::Reg => 96,
+                OctetVariant::Shfl => 72,
+                OctetVariant::Arch => 64,
+            },
+            smem_elems: 0,
+            smem_elem_bytes: 2,
+            static_instrs: self.static_len,
+        }
+    }
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        let (br, start, len) = self.tiles[cta.cta_id];
+        let v_len = self.mask.v();
+        let k_total = self.a.cols();
+        debug_assert_eq!(k_total, self.b.rows());
+        let n = self.b.cols();
+        let functional = cta.mode == Mode::Functional;
+        let switch = self.variant == OctetVariant::Arch;
+        let flavor = self.flavor();
+        let s = &self.sites;
+        let row_base = br * v_len;
+
+        let mut w = cta.warp(0);
+        let rp = lanes(|l| if l < 2 { Some(br + l) } else { None });
+        let rp_tok = w.ldg(s.ld_rowptr, self.idx.row_ptr, &rp, 1, &[]).tok();
+        if len == 0 {
+            return;
+        }
+        let ci = lanes(|l| if l < len { Some(start + l) } else { None });
+        let ci_tok = w.ldg(s.ld_colidx, self.idx.col_idx, &ci, 1, &[rp_tok]).tok();
+        w.int_ops(s.addr, 4, &[ci_tok]);
+
+        // Per sub-step octet-partial accumulators (functional): indexed
+        // [sub][octet][col 0..8][row 0..v].
+        let subs = len.div_ceil(SUB_N);
+        let mut partials = vec![0.0f32; subs * 4 * SUB_N * v_len];
+        // Trace accumulators per sub-step.
+        let mut acc_frags: Vec<WVec> = (0..subs)
+            .map(|_| {
+                if functional {
+                    WVec::zeros(8)
+                } else {
+                    WVec::ghost(8, Tok::NONE)
+                }
+            })
+            .collect();
+
+        for k0 in (0..k_total).step_by(TILE_K) {
+            let ks = TILE_K.min(k_total - k0);
+            // ① A rows: V × 64 halves straight to registers.
+            let mut a_loaded = [WVec::zeros(8), WVec::zeros(8)];
+            let a_parts = (v_len * TILE_K).div_ceil(256);
+            let mut a_tok = Tok::NONE;
+            for (part, slot) in (0..a_parts).zip(0..2usize) {
+                let offs = lanes(|l| {
+                    let flat = part * 256 + l * 8;
+                    let r = flat / TILE_K;
+                    let k = flat % TILE_K;
+                    if r < v_len && k < ks {
+                        Some((row_base + r) * k_total + k0 + k)
+                    } else {
+                        None
+                    }
+                });
+                a_loaded[slot] = w.ldg(s.ldg_a[slot], self.a_buf, &offs, 8, &[rp_tok]);
+                a_tok = a_loaded[slot].tok();
+            }
+
+            for sub in 0..subs {
+                let cols: Vec<usize> = (0..SUB_N.min(len - sub * SUB_N))
+                    .map(|j| self.mask.col_idx()[start + sub * SUB_N + j] as usize)
+                    .collect();
+                // ③ gathered B columns: 8 × 64 halves to registers.
+                let mut b_loaded = [WVec::zeros(8), WVec::zeros(8)];
+                let mut b_tok = Tok::NONE;
+                for slot in 0..2usize {
+                    let offs = lanes(|l| {
+                        let flat = slot * 256 + l * 8;
+                        let c = flat / TILE_K;
+                        let k = flat % TILE_K;
+                        if c < cols.len() && k < ks && cols[c] < n {
+                            Some(cols[c] * k_total + k0 + k)
+                        } else {
+                            None
+                        }
+                    });
+                    b_loaded[slot] = w.ldg(s.ldg_b[slot], self.b_buf, &offs, 8, &[ci_tok]);
+                    b_tok = b_loaded[slot].tok();
+                }
+                if self.variant == OctetVariant::Shfl {
+                    // High-group switch done in software: shuffle the
+                    // operand registers between groups before the mmas.
+                    let g = WVec::ghost(1, b_tok);
+                    b_tok = w.shfl(s.shfl_sw, &g, |l| l ^ 16, &[a_tok, b_tok]).tok();
+                    let g2 = WVec::ghost(1, b_tok);
+                    b_tok = w.shfl(s.shfl_sw, &g2, |l| l ^ 16, &[b_tok]).tok();
+                }
+
+                for m in 0..4 {
+                    let a_frag = self.marshal_b_cols(&b_loaded, &cols, k0, m, switch, b_tok);
+                    let b_frag =
+                        self.marshal_a_rows(&a_loaded, row_base, v_len, k0, m, switch, a_tok);
+                    if functional {
+                        // Compute octet partials directly with the TCU
+                        // model, then fold into the host-side partial
+                        // array (each octet owns a k-slice).
+                        let mut acc = WVec::zeros(8);
+                        w.mma_m8n8k4(s.mma[sub % 4][m], &a_frag, &b_frag, &mut acc, flavor);
+                        for o in 0..4 {
+                            for g in 0..2 {
+                                for t in 0..4 {
+                                    let c = 4 * g + t;
+                                    if c >= cols.len() {
+                                        continue;
+                                    }
+                                    for r in 0..v_len {
+                                        let base =
+                                            ((sub * 4 + o) * SUB_N + c) * v_len + r;
+                                        // With SWITCH, writeback targets
+                                        // the same acc positions.
+                                        let lane = octet_lane(o, g, t);
+                                        partials[base] += acc.get(lane, r);
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        w.mma_m8n8k4(s.mma[sub % 4][m], &a_frag, &b_frag, &mut acc_frags[sub], flavor);
+                    }
+                }
+                if self.variant == OctetVariant::Reg && !functional {
+                    // The second accumulator set is merged with FADDs.
+                    w.math(s.red_fadd, InstrKind::Ffma, v_len as u32, &[acc_frags[sub].tok()]);
+                }
+            }
+        }
+
+        // Cross-octet reduction: two shuffle+add rounds per sub-step.
+        let mut red_tok = Tok::NONE;
+        for sub in 0..subs {
+            let g = WVec::ghost(1, acc_frags[sub].tok());
+            let t1 = w.shfl(s.red_shfl, &g, |l| (l + 8) % 32, &[acc_frags[sub].tok()]);
+            let f1 = w.math(s.red_fadd, InstrKind::Ffma, v_len as u32, &[t1.tok()]);
+            let g2 = WVec::ghost(1, f1);
+            let t2 = w.shfl(s.red_shfl, &g2, |l| (l + 4) % 32, &[f1]);
+            red_tok = w.math(s.red_fadd, InstrKind::Ffma, v_len as u32, &[t2.tok()]);
+        }
+
+        // Store: len vectors × V halves, contiguous in the CVSE layout.
+        let total = len * v_len;
+        let epl = v_len.min(8);
+        let per_store = 32 * epl;
+        for st in 0..total.div_ceil(per_store) {
+            let offs = lanes(|l| {
+                let flat = st * per_store + l * epl;
+                if flat < total {
+                    Some(start * v_len + flat)
+                } else {
+                    None
+                }
+            });
+            let mut vals = WVec::zeros(epl);
+            if functional {
+                for l in 0..32 {
+                    for e in 0..epl {
+                        let flat = st * per_store + l * epl + e;
+                        if flat >= total {
+                            continue;
+                        }
+                        let vec_j = flat / v_len;
+                        let r = flat % v_len;
+                        let sub = vec_j / SUB_N;
+                        let c = vec_j % SUB_N;
+                        let sum: f32 = (0..4)
+                            .map(|o| partials[((sub * 4 + o) * SUB_N + c) * v_len + r])
+                            .sum();
+                        vals.set(l, e, f16::from_f32(sum).to_f32());
+                    }
+                }
+            } else {
+                vals = WVec::ghost(epl, red_tok);
+            }
+            w.stg(s.stg, self.out_buf, &offs, &vals, &[red_tok]);
+        }
+    }
+}
+
+/// Functional octet SDDMM.
+pub fn sddmm_octet(
+    gpu: &GpuConfig,
+    a: &DenseMatrix<f16>,
+    b: &DenseMatrix<f16>,
+    mask: &SparsityPattern,
+    variant: OctetVariant,
+) -> VectorSparse<f16> {
+    let mut mem = MemPool::new();
+    let kernel = OctetSddmm::new(&mut mem, a, b, mask, variant, Mode::Functional);
+    launch(gpu, &mut mem, &kernel, Mode::Functional);
+    kernel.result(&mem)
+}
+
+/// Profile the octet SDDMM kernel.
+pub fn profile_sddmm_octet(
+    gpu: &GpuConfig,
+    a: &DenseMatrix<f16>,
+    b: &DenseMatrix<f16>,
+    mask: &SparsityPattern,
+    variant: OctetVariant,
+) -> KernelProfile {
+    let mut mem = MemPool::new();
+    let kernel = OctetSddmm::new(&mut mem, a, b, mask, variant, Mode::Performance);
+    launch(gpu, &mut mem, &kernel, Mode::Performance)
+        .profile
+        .expect("profile")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecsparse_formats::{gen, reference};
+
+    fn check(variant: OctetVariant, m: usize, k: usize, n: usize, v: usize, s: f64, seed: u64) {
+        let gpu = GpuConfig::small();
+        let a = gen::random_dense::<f16>(m, k, Layout::RowMajor, seed);
+        let b = gen::random_dense::<f16>(k, n, Layout::ColMajor, seed + 1);
+        let mask = gen::random_pattern(m, n, v, s, seed + 2);
+        let got = sddmm_octet(&gpu, &a, &b, &mask, variant);
+        let want = reference::sddmm(&a, &b, &mask);
+        for (g, wv) in got.values().iter().zip(want.values()) {
+            assert_eq!(g, wv, "variant {variant:?} V={v}");
+        }
+    }
+
+    #[test]
+    fn reg_variant_matches_reference() {
+        check(OctetVariant::Reg, 32, 64, 64, 4, 0.7, 1);
+    }
+
+    #[test]
+    fn shfl_variant_matches_reference() {
+        check(OctetVariant::Shfl, 32, 128, 64, 8, 0.8, 2);
+    }
+
+    #[test]
+    fn arch_variant_matches_reference() {
+        check(OctetVariant::Arch, 32, 64, 64, 4, 0.7, 3);
+        check(OctetVariant::Arch, 16, 128, 96, 8, 0.75, 4);
+    }
+
+    #[test]
+    fn small_v_matches_reference() {
+        check(OctetVariant::Reg, 16, 64, 64, 1, 0.5, 5);
+        check(OctetVariant::Arch, 16, 64, 64, 2, 0.6, 6);
+    }
+
+    #[test]
+    fn k_residue_matches_reference() {
+        // K = 96 exercises a partial final 64-stride.
+        check(OctetVariant::Reg, 16, 96, 64, 4, 0.7, 7);
+    }
+
+    #[test]
+    fn arch_uses_fewer_registers_than_reg() {
+        let gpu = GpuConfig::small();
+        let a = gen::random_dense::<f16>(256, 256, Layout::RowMajor, 8);
+        let b = gen::random_dense::<f16>(256, 512, Layout::ColMajor, 9);
+        let mask = gen::random_pattern(256, 512, 8, 0.9, 10);
+        let pr = profile_sddmm_octet(&gpu, &a, &b, &mask, OctetVariant::Reg);
+        let pa = profile_sddmm_octet(&gpu, &a, &b, &mask, OctetVariant::Arch);
+        let ps = profile_sddmm_octet(&gpu, &a, &b, &mask, OctetVariant::Shfl);
+        // 33% fewer registers (§7.3.2) and fewer instructions than shfl.
+        assert!(f64::from(pa.regs_per_thread) <= 0.67 * f64::from(pr.regs_per_thread));
+        assert!(pa.instrs.shfl < ps.instrs.shfl);
+        // arch is the fastest of the three.
+        assert!(pa.cycles <= pr.cycles * 1.01);
+        assert!(pa.cycles <= ps.cycles * 1.01);
+    }
+}

@@ -1,0 +1,15 @@
+//! SpMM kernels: `C = A_sparse · B` with `B`, `C` row-major.
+
+mod blocked_ell;
+mod csr_scalar;
+mod dense;
+mod fpu_subwarp;
+mod octet;
+mod wmma;
+
+pub use blocked_ell::{profile_spmm_blocked_ell, spmm_blocked_ell, BlockedEllSpmm};
+pub use csr_scalar::{profile_spmm_csr, spmm_csr, CsrScalarSpmm};
+pub use dense::{dense_gemm, profile_dense_gemm, DenseGemm};
+pub use fpu_subwarp::{profile_spmm_fpu, spmm_fpu, FpuSubwarpSpmm};
+pub use octet::{profile_spmm_octet, spmm_octet, OctetSpmm};
+pub use wmma::{profile_spmm_wmma, spmm_wmma, WmmaSpmm};

@@ -1,0 +1,616 @@
+//! TCU-based 1-D Octet Tiling SpMM — the paper's §5.3 contribution.
+//!
+//! Tiling: each CTA is a single warp producing a `V × 64` output tile
+//! (`TileN = 64`, the smallest width that fills a 128-byte transaction);
+//! the grid is `⌈M/V⌉ × ⌈N/64⌉` thread blocks, maximising TLP
+//! (guideline II). The warp walks the block row's nonzero vectors in
+//! strides of `TILE_K` vectors; each 4-vector step computes a
+//! `(64×4)·(4×V)` sub-tile — the LHS/RHS roles are **switched** so the
+//! B-matrix fragment feeds the TCU's Mat_a buffers and the tiny `4 × V`
+//! A-vector fragment feeds Mat_b, putting V on the output's horizontal
+//! axis. One step costs two `mma.m8n8k4` (rows 0–31 and 32–63 of the
+//! transposed output), i.e. eight HMMA instructions.
+//!
+//! Memory pattern (guidelines IV & V): the B fragment (few-reuse data)
+//! goes straight to registers with one LDG.128 per thread — each of the
+//! four nonzero columns' 64 consecutive halves split across eight lanes,
+//! four 128-byte coalesced transactions per step. The A vectors (reused
+//! across the 64 output columns) are staged through shared memory once
+//! per stride. Within a stride, all loads issue before a
+//! `__threadfence_block()` and the mma batch (the §5.4 ILP trick).
+//!
+//! The functional path routes real values through the same loads and
+//! [`vecsparse_gpu_sim::tcu`] octet semantics; a register-wiring helper
+//! (`marshal_*`) maps the loaded lane layout onto the simulator's
+//! canonical mma fragment convention, standing in for the operand-bus
+//! wiring the paper's mapping is designed around.
+
+use crate::util::{lanes, upload_dense, upload_vs, width_of, VsBuffers};
+use vecsparse_formats::{DenseMatrix, Layout, VectorSparse};
+use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::{
+    launch, BufferId, CtaCtx, GpuConfig, KernelProfile, KernelSpec, LaunchConfig, MemPool,
+    MmaFlavor, Mode, Program, Site, Tok, WVec,
+};
+
+/// Nonzero vectors processed per shared-memory stride.
+const TILE_K: usize = 32;
+/// Output tile width.
+const TILE_N: usize = 64;
+/// Steps per stride (4 vectors per step).
+const STEPS: usize = TILE_K / 4;
+
+/// Lane of thread `t` in group `g` (0 = low, 1 = high) of octet `o`.
+#[inline]
+fn octet_lane(o: usize, g: usize, t: usize) -> usize {
+    g * 16 + 4 * o + t
+}
+
+/// The octet-tiling SpMM kernel.
+pub struct OctetSpmm<'m> {
+    a: &'m VectorSparse<f16>,
+    b: &'m DenseMatrix<f16>,
+    bufs: VsBuffers,
+    b_buf: BufferId,
+    out_buf: BufferId,
+    /// Execute only HMMA steps 0–1 when V ≤ 4 (the paper's future-work
+    /// SASS optimisation, §7.1.3; off by default to match the evaluated
+    /// kernels).
+    truncate_hmma: bool,
+    /// Disable the §5.4 ILP trick (batch all loads, fence, batch all
+    /// mmas): with batching off, every step's load and mma interleave and
+    /// the compiler-style register reuse serialises them. Ablation knob.
+    batch_ilp: bool,
+    sites: Sites,
+    static_len: u32,
+}
+
+struct Sites {
+    ld_rowptr: Site,
+    ld_colidx: Site,
+    ld_avals: Site,
+    sts_avals: Site,
+    /// One B-fragment load per step (unrolled).
+    ldg_b: [Site; STEPS],
+    /// One shared A-fragment load per step (unrolled).
+    lds_a: [Site; STEPS],
+    fence: Site,
+    /// Two mma per step (each spans 4 static HMMA slots).
+    mma: [[Site; 2]; STEPS],
+    addr: Site,
+    shfl_out: Site,
+    stg: Site,
+}
+
+impl<'m> OctetSpmm<'m> {
+    /// Stage inputs; `mode` decides whether values are materialised.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree, `B` is not row-major, or V > 8.
+    pub fn new(
+        mem: &mut MemPool,
+        a: &'m VectorSparse<f16>,
+        b: &'m DenseMatrix<f16>,
+        mode: Mode,
+    ) -> Self {
+        assert_eq!(a.cols(), b.rows(), "SpMM inner dimension mismatch");
+        assert_eq!(b.layout(), Layout::RowMajor, "B must be row-major");
+        assert!(
+            matches!(a.v(), 1 | 2 | 4 | 8),
+            "column vector length must be 1, 2, 4, or 8"
+        );
+        let bufs = upload_vs(mem, a, mode);
+        let b_buf = upload_dense(mem, b, mode);
+        let out_buf = match mode {
+            Mode::Functional => mem.alloc_zeroed(width_of::<f16>(), a.rows() * b.cols()),
+            Mode::Performance => mem.alloc_ghost(width_of::<f16>(), a.rows() * b.cols()),
+        };
+
+        let mut p = Program::new();
+        let mut ldg_b = [Site(0); STEPS];
+        let mut lds_a = [Site(0); STEPS];
+        let mut mma = [[Site(0); 2]; STEPS];
+        let ld_rowptr = p.site("ld_rowptr", 0);
+        let ld_colidx = p.site("ld_colidx", 0);
+        let ld_avals = p.site("ld_avals", 0);
+        let sts_avals = p.site("sts_avals", 0);
+        for s in 0..STEPS {
+            ldg_b[s] = p.site("ldg_b", s as u32);
+            lds_a[s] = p.site("lds_a", s as u32);
+        }
+        let fence = p.site("fence", 0);
+        for s in 0..STEPS {
+            // Each mma spans 4 HMMA static slots; reserve stride 8.
+            mma[s][0] = p.site("mma", (s * 8) as u32);
+            mma[s][1] = p.site("mma", (s * 8 + 4) as u32);
+        }
+        let addr = p.site("addr", 0);
+        let shfl_out = p.site("shfl_out", 0);
+        let stg = p.site("stg", 0);
+        // HMMA sites consume 4 pcs each (the 4 steps); plus a residue-loop
+        // copy of one step's body and scalar prologue glue, giving a
+        // program in the paper's 384–416 line regime.
+        let static_len = p.static_len() + (STEPS as u32 * 2) * 3 + 48;
+
+        OctetSpmm {
+            a,
+            b,
+            bufs,
+            b_buf,
+            out_buf,
+            truncate_hmma: false,
+            batch_ilp: true,
+            sites: Sites {
+                ld_rowptr,
+                ld_colidx,
+                ld_avals,
+                sts_avals,
+                ldg_b,
+                lds_a,
+                fence,
+                mma,
+                addr,
+                shfl_out,
+                stg,
+            },
+            static_len,
+        }
+    }
+
+    /// Enable the redundant-HMMA removal ablation (V ≤ 4 only).
+    pub fn with_truncated_hmma(mut self, on: bool) -> Self {
+        self.truncate_hmma = on && self.a.v() <= 4;
+        self
+    }
+
+    /// Toggle the §5.4 ILP batching (on by default; off interleaves each
+    /// step's load with its mma, modelling the compiler's register reuse).
+    pub fn with_ilp_batching(mut self, on: bool) -> Self {
+        self.batch_ilp = on;
+        self
+    }
+
+    /// Output buffer id.
+    pub fn output(&self) -> BufferId {
+        self.out_buf
+    }
+
+    /// Download the functional result.
+    pub fn result(&self, mem: &MemPool) -> DenseMatrix<f16> {
+        crate::util::download_dense(mem, self.out_buf, self.a.rows(), self.b.cols())
+    }
+
+    fn n_chunks(&self) -> usize {
+        self.b.cols().div_ceil(TILE_N)
+    }
+
+    fn flavor(&self) -> MmaFlavor {
+        if self.truncate_hmma {
+            MmaFlavor::Truncated
+        } else {
+            MmaFlavor::Standard
+        }
+    }
+
+    /// Marshal the B fragment loaded by `ldg_b` (lane `8j+c` holds the 8
+    /// halves `B[col_j][n0 + 8c .. 8c+8]`) into the two mma Mat_a
+    /// fragments: `a_sel = 0` covers transposed-output rows 0–31, 1 covers
+    /// 32–63.
+    fn marshal_a(loaded: &WVec, a_sel: usize) -> WVec {
+        if loaded.is_ghost() {
+            return WVec::ghost(4, loaded.tok());
+        }
+        let mut a = WVec::zeros(4);
+        for o in 0..4 {
+            for g in 0..2 {
+                for t in 0..4 {
+                    let n_local = 32 * a_sel + 8 * o + 4 * g + t;
+                    for j in 0..4 {
+                        let v = loaded.get(8 * j + n_local / 8, n_local % 8);
+                        a.set(octet_lane(o, g, t), j, v);
+                    }
+                }
+            }
+        }
+        a.set_tok(loaded.tok());
+        a
+    }
+
+    /// Marshal the A-vector fragment (vectors `i..i+4` of the stride's
+    /// shared-memory stage, where the staged load holds vector `s` in lane
+    /// `s`, elements `0..V`) into the mma Mat_b fragment: lane `c` of each
+    /// group holds output column `4g + c`'s four k-values.
+    fn marshal_b(staged: &WVec, step: usize, v_len: usize, tok: Tok) -> WVec {
+        if staged.is_ghost() {
+            return WVec::ghost(4, tok);
+        }
+        let mut b = WVec::zeros(4);
+        for o in 0..4 {
+            for g in 0..2 {
+                for c in 0..4 {
+                    let col = 4 * g + c;
+                    if col >= v_len {
+                        continue;
+                    }
+                    for k in 0..4 {
+                        let vec_idx = step * 4 + k;
+                        if vec_idx < TILE_K {
+                            b.set(octet_lane(o, g, c), k, staged.get(vec_idx, col));
+                        }
+                    }
+                }
+            }
+        }
+        b.set_tok(tok);
+        b
+    }
+}
+
+impl KernelSpec for OctetSpmm<'_> {
+    fn name(&self) -> String {
+        format!("spmm-octet(V={})", self.a.v())
+    }
+
+    fn launch_config(&self) -> LaunchConfig {
+        LaunchConfig {
+            grid: self.a.pattern().block_rows() * self.n_chunks(),
+            warps_per_cta: 1,
+            // Two 8-wide f32 accumulators, the B fragment, A fragment and
+            // index registers.
+            regs_per_thread: 40,
+            // Staged A vectors: TILE_K × V halves.
+            smem_elems: TILE_K * self.a.v(),
+            smem_elem_bytes: 2,
+            static_instrs: self.static_len,
+        }
+    }
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        let v_len = self.a.v();
+        let p = self.a.pattern();
+        let n = self.b.cols();
+        let chunks = self.n_chunks();
+        let br = cta.cta_id / chunks;
+        let n0 = (cta.cta_id % chunks) * TILE_N;
+        let range = p.block_row_range(br);
+        let row_ptr_base = br;
+        let flavor = self.flavor();
+        let functional = cta.mode == Mode::Functional;
+        let s = &self.sites;
+
+        let mut w = cta.warp(0);
+
+        // Row pointers (two 32-bit loads in one request).
+        let rp = lanes(|l| if l < 2 { Some(row_ptr_base + l) } else { None });
+        let rp_tok = w.ldg(s.ld_rowptr, self.bufs.row_ptr, &rp, 1, &[]).tok();
+        w.int_ops(s.addr, 2, &[rp_tok]);
+
+        // Two mma accumulator fragments: transposed-output rows 0-31, 32-63.
+        let mut acc = if functional {
+            [WVec::zeros(8), WVec::zeros(8)]
+        } else {
+            [WVec::ghost(8, Tok::NONE), WVec::ghost(8, Tok::NONE)]
+        };
+
+        let mut i = range.start;
+        while i < range.end {
+            let stride = (range.end - i).min(TILE_K);
+            let full = stride == TILE_K && self.batch_ilp;
+
+            // Stage this stride's column indices and A vectors.
+            let ci = lanes(|l| if l < stride { Some(i + l) } else { None });
+            let ci_tok = w.ldg(s.ld_colidx, self.bufs.col_idx, &ci, 1, &[]).tok();
+            let av = lanes(|l| if l < stride { Some((i + l) * v_len) } else { None });
+            let avals = w.ldg(s.ld_avals, self.bufs.values, &av, v_len, &[ci_tok]);
+            let sts_off = lanes(|l| if l < stride { Some(l * v_len) } else { None });
+            w.sts(s.sts_avals, &sts_off, &avals, &[]);
+
+            let steps = stride.div_ceil(4);
+            // Batched loads, fence, batched mma (ILP; only for full
+            // strides — the residue interleaves, §5.4).
+            let mut b_frags: Vec<WVec> = Vec::with_capacity(steps);
+            let mut a_frag_toks: Vec<Tok> = Vec::with_capacity(steps);
+            for step in 0..steps {
+                let base = i + step * 4;
+                // B fragment: lane 8j+c loads B[col_j][n0+8c..8c+8].
+                let offs = lanes(|l| {
+                    let j = l / 8;
+                    let c = l % 8;
+                    let vec_idx = base + j;
+                    if vec_idx < range.end && n0 + 8 * c < n {
+                        let col = p.col_idx()[vec_idx] as usize;
+                        Some(col * n + n0 + 8 * c)
+                    } else {
+                        None
+                    }
+                });
+                w.int_ops(s.addr, 1, &[ci_tok]);
+                let loaded = w.ldg(s.ldg_b[step], self.b_buf, &offs, 8, &[ci_tok]);
+                // Shared A fragment for this step (4 vectors × V halves).
+                let lds_off = lanes(|l| {
+                    let rel = step * 4 * v_len + l * v_len;
+                    if l < 4 && (step * 4 + l) < stride {
+                        Some(rel)
+                    } else {
+                        None
+                    }
+                });
+                let a_tok = w.lds(s.lds_a[step], &lds_off, v_len, &[]).tok();
+                b_frags.push(loaded);
+                a_frag_toks.push(a_tok);
+                if !full {
+                    // Residue path: interleave load and compute.
+                    self.step_mma(&mut w, step, &b_frags[step], &avals, a_frag_toks[step], v_len, &mut acc, flavor);
+                }
+            }
+            if full {
+                w.fence(s.fence);
+                for step in 0..steps {
+                    self.step_mma(&mut w, step, &b_frags[step], &avals, a_frag_toks[step], v_len, &mut acc, flavor);
+                }
+            }
+            i += stride;
+        }
+
+        // Epilogue: shuffle-reorganise and vector stores (row-safe: a
+        // residue chunk never lets a vector store cross the row end).
+        let row_base = br * v_len;
+        let tn = TILE_N.min(n - n0);
+        if functional {
+            // Extract from the accumulator fragments and round once.
+            let mut tile = vec![0.0f32; v_len * TILE_N];
+            for (half, frag) in acc.iter().enumerate() {
+                for o in 0..4 {
+                    for g in 0..2 {
+                        for t in 0..4 {
+                            let nrow = 32 * half + 8 * o + 4 * g + t;
+                            for col in 0..v_len {
+                                tile[col * TILE_N + nrow] = frag.get(octet_lane(o, g, t), col);
+                            }
+                        }
+                    }
+                }
+            }
+            let shuffled = w.shfl(s.shfl_out, &acc[0], |l| l, &[]);
+            drop(shuffled);
+            for r in 0..v_len {
+                if row_base + r >= self.a.rows() {
+                    break;
+                }
+                let vals: Vec<f32> = (0..tn)
+                    .map(|c| f16::from_f32(tile[r * TILE_N + c]).to_f32())
+                    .collect();
+                crate::util::store_row_segment(
+                    &mut w,
+                    s.stg,
+                    self.out_buf,
+                    row_base + r,
+                    n,
+                    n0,
+                    tn,
+                    &vals,
+                    8,
+                    Tok::NONE,
+                );
+            }
+        } else {
+            // Four shuffles reorganise the fragments for vector stores.
+            let shfl_tok = {
+                let g = WVec::ghost(1, acc[1].tok());
+                let mut t = Tok::NONE;
+                for _ in 0..4 {
+                    t = w
+                        .shfl(s.shfl_out, &g, |l| l ^ 16, &[acc[0].tok(), acc[1].tok()])
+                        .tok();
+                }
+                t
+            };
+            for r in 0..v_len {
+                if row_base + r >= self.a.rows() {
+                    break;
+                }
+                crate::util::store_row_segment(
+                    &mut w,
+                    s.stg,
+                    self.out_buf,
+                    row_base + r,
+                    n,
+                    n0,
+                    tn,
+                    &[],
+                    8,
+                    shfl_tok,
+                );
+            }
+        }
+    }
+}
+
+impl OctetSpmm<'_> {
+    #[allow(clippy::too_many_arguments)]
+    fn step_mma(
+        &self,
+        w: &mut vecsparse_gpu_sim::WarpCtx<'_, '_>,
+        step: usize,
+        loaded_b: &WVec,
+        staged_a: &WVec,
+        a_tok: Tok,
+        v_len: usize,
+        acc: &mut [WVec; 2],
+        flavor: MmaFlavor,
+    ) {
+        let b_frag = Self::marshal_b(staged_a, step % STEPS, v_len, a_tok);
+        for (sel, acc_frag) in acc.iter_mut().enumerate() {
+            let a_frag = Self::marshal_a(loaded_b, sel);
+            w.mma_m8n8k4(self.sites.mma[step % STEPS][sel], &a_frag, &b_frag, acc_frag, flavor);
+        }
+    }
+}
+
+/// Functional octet SpMM.
+pub fn spmm_octet(
+    gpu: &GpuConfig,
+    a: &VectorSparse<f16>,
+    b: &DenseMatrix<f16>,
+) -> DenseMatrix<f16> {
+    let mut mem = MemPool::new();
+    let kernel = OctetSpmm::new(&mut mem, a, b, Mode::Functional);
+    launch(gpu, &mut mem, &kernel, Mode::Functional);
+    kernel.result(&mem)
+}
+
+/// Profile the octet SpMM kernel.
+pub fn profile_spmm_octet(
+    gpu: &GpuConfig,
+    a: &VectorSparse<f16>,
+    b: &DenseMatrix<f16>,
+) -> KernelProfile {
+    let mut mem = MemPool::new();
+    let kernel = OctetSpmm::new(&mut mem, a, b, Mode::Performance);
+    launch(gpu, &mut mem, &kernel, Mode::Performance)
+        .profile
+        .expect("profile")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vecsparse_formats::{gen, reference};
+
+    fn check(m: usize, k: usize, n: usize, v: usize, sparsity: f64, seed: u64) {
+        let gpu = GpuConfig::small();
+        let a = gen::random_vector_sparse::<f16>(m, k, v, sparsity, seed);
+        let b = gen::random_dense::<f16>(k, n, Layout::RowMajor, seed + 1);
+        let got = spmm_octet(&gpu, &a, &b);
+        let want = reference::spmm_vs(&a, &b);
+        assert_eq!(
+            got.max_abs_diff(&want),
+            0.0,
+            "mismatch at V={v} {m}x{k}x{n} S={sparsity}"
+        );
+    }
+
+    #[test]
+    fn matches_reference_v4() {
+        check(32, 64, 64, 4, 0.5, 1);
+    }
+
+    #[test]
+    fn matches_reference_v8() {
+        check(32, 64, 128, 8, 0.7, 2);
+    }
+
+    #[test]
+    fn matches_reference_v2() {
+        check(16, 48, 64, 2, 0.6, 3);
+    }
+
+    #[test]
+    fn matches_reference_v1() {
+        check(8, 32, 64, 1, 0.5, 4);
+    }
+
+    #[test]
+    fn matches_reference_with_residue() {
+        // 33 nonzero vectors per row exercise the interleaved residue path
+        // (stride of 32 + residue of 1).
+        check(16, 256, 64, 4, 1.0 - 33.0 / 256.0, 5);
+    }
+
+    #[test]
+    fn handles_multiple_n_chunks() {
+        check(16, 64, 192, 4, 0.5, 6);
+    }
+
+    #[test]
+    fn truncated_flavor_still_correct_for_small_v() {
+        let gpu = GpuConfig::small();
+        let a = gen::random_vector_sparse::<f16>(16, 64, 4, 0.5, 7);
+        let b = gen::random_dense::<f16>(64, 64, Layout::RowMajor, 8);
+        let mut mem = MemPool::new();
+        let kernel = OctetSpmm::new(&mut mem, &a, &b, Mode::Functional).with_truncated_hmma(true);
+        launch(&gpu, &mut mem, &kernel, Mode::Functional);
+        let got = kernel.result(&mem);
+        let want = reference::spmm_vs(&a, &b);
+        assert_eq!(got.max_abs_diff(&want), 0.0);
+    }
+
+    #[test]
+    fn profile_hmma_count_matches_formula() {
+        // Per CTA: ceil(nnz_row / 4) steps × 2 mma × 4 HMMA.
+        let gpu = GpuConfig::small();
+        let a = gen::random_vector_sparse::<f16>(64, 256, 4, 0.9, 9);
+        let b = gen::random_dense::<f16>(256, 64, Layout::RowMajor, 10);
+        let p = profile_spmm_octet(&gpu, &a, &b);
+        let nnz_row = 26; // round(256 * 0.1)
+        let expected = (64 / 4) * (nnz_row as u64).div_ceil(4) * 8;
+        assert_eq!(p.instrs.hmma, expected);
+        // Static program stays far below the 768-entry L0 capacity.
+        assert!(p.static_instrs < 600, "static {}", p.static_instrs);
+    }
+
+    #[test]
+    fn grid_matches_paper_formula() {
+        let gpu = GpuConfig::small();
+        let a = gen::random_vector_sparse::<f16>(2048, 256, 4, 0.9, 11);
+        let b = gen::random_dense::<f16>(256, 256, Layout::RowMajor, 12);
+        let p = profile_spmm_octet(&gpu, &a, &b);
+        // ⌈M/V⌉ × ⌈N/64⌉ = 512 × 4 = 2048 thread blocks (Table 2).
+        assert_eq!(p.grid, 2048);
+    }
+}
+
+#[cfg(test)]
+mod trace_shape_tests {
+    use super::*;
+    use vecsparse_formats::gen;
+
+    /// Closed-form check of the octet kernel's memory-instruction counts:
+    /// per CTA, one LDG.128 B-fragment load per 4-vector step plus the
+    /// per-stride index/value staging.
+    #[test]
+    fn ldg_count_matches_formula() {
+        let gpu = GpuConfig::small();
+        // 64 nonzero vectors per block row: exactly 2 strides of 32.
+        let a = gen::random_vector_sparse::<f16>(64, 256, 4, 0.75, 21);
+        let b = gen::random_dense::<f16>(256, 64, Layout::RowMajor, 22);
+        let p = profile_spmm_octet(&gpu, &a, &b);
+        let ctas = 64 / 4; // block rows × one N chunk
+        let nnz_row = 64u64;
+        let strides = nnz_row / 32;
+        // Per CTA: 1 row-ptr load + per stride (col-idx + A-values) +
+        // per step (nnz_row / 4) one B load.
+        let expected = ctas as u64 * (1 + strides * 2 + nnz_row / 4);
+        assert_eq!(p.instrs.ldg, expected);
+    }
+
+    /// The §5.4 ILP structure: in a full stride, every B load issues
+    /// before the first mma (verified through the trace ordering).
+    #[test]
+    fn loads_precede_mmas_within_stride() {
+        use vecsparse_gpu_sim::{CtaCtx, InstrKind, MemPool};
+        let a = gen::random_vector_sparse::<f16>(8, 512, 4, 0.75, 23);
+        let b = gen::random_dense::<f16>(512, 64, Layout::RowMajor, 24);
+        let mut mem = MemPool::new();
+        let kernel = OctetSpmm::new(&mut mem, &a, &b, Mode::Performance);
+        let mut cta = CtaCtx::new(0, Mode::Performance, &mem, 1, 32 * 4, 2);
+        kernel.run_cta(&mut cta);
+        // Inspect the first full stride: between the A-value staging and
+        // the first HMMA there must be 8 B loads (32 vectors / 4).
+        let (traces, _) = cta.finish();
+        let instrs = &traces[0].instrs;
+        let first_hmma = instrs
+            .iter()
+            .position(|i| matches!(i.kind, InstrKind::Hmma))
+            .expect("kernel issues HMMA");
+        let ldg128_before = instrs[..first_hmma]
+            .iter()
+            .filter(|i| matches!(i.kind, InstrKind::Ldg { bits: 128 }))
+            .count();
+        assert!(ldg128_before >= 8, "only {ldg128_before} wide loads before mma");
+        // And a fence separates the batches.
+        assert!(instrs[..first_hmma]
+            .iter()
+            .any(|i| matches!(i.kind, InstrKind::Fence)));
+    }
+}

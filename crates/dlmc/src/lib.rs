@@ -1,0 +1,249 @@
+//! # vecsparse-dlmc
+//!
+//! A synthetic stand-in for the Deep Learning Matrix Collection (DLMC)
+//! subset the paper benchmarks on: the weight matrices of **ResNet-50
+//! under magnitude pruning**. The real dataset ships `csrRowPtr` /
+//! `csrColInd` files; the kernels under test are data-independent, so
+//! what matters is the *shapes* (ResNet-50's 2D-reshaped convolution and
+//! FC weights) and the *per-row nonzero structure* at each sparsity
+//! level, which the generators in `vecsparse-formats` reproduce
+//! (§7.1.1 / Fig. 16 of the paper).
+//!
+//! The module provides:
+//!
+//! * [`resnet50_shapes`] / [`transformer_shapes`] — DLMC layer shapes;
+//! * [`Benchmark`] / [`suite`] — fully-constructed SpMM/SDDMM benchmark
+//!   instances (sparse operand, Blocked-ELL twin, dense operands) at the
+//!   paper's sparsity grid;
+//! * [`SPARSITIES`] — the evaluation grid {0.5, 0.7, 0.8, 0.9, 0.95, 0.98}.
+
+use vecsparse_formats::{gen, BlockedEll, SparsityPattern, VectorSparse};
+use vecsparse_fp16::f16;
+
+/// The sparsity grid of the paper's evaluation (§7).
+pub const SPARSITIES: [f64; 6] = [0.5, 0.7, 0.8, 0.9, 0.95, 0.98];
+
+/// A sparse-matrix shape drawn from a pruned model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayerShape {
+    /// Human-readable layer name.
+    pub name: &'static str,
+    /// Rows of the weight matrix (output channels).
+    pub rows: usize,
+    /// Columns (input channels × kernel area, reshaped 2-D).
+    pub cols: usize,
+}
+
+/// The ResNet-50 layer shapes present in the DLMC magnitude-pruning
+/// subset (each bottleneck stage contributes its 1×1 reduce, 3×3, and
+/// 1×1 expand weights; the list covers every distinct shape).
+pub fn resnet50_shapes() -> Vec<LayerShape> {
+    vec![
+        LayerShape { name: "conv2_1x1_reduce", rows: 64, cols: 256 },
+        LayerShape { name: "conv2_3x3", rows: 64, cols: 576 },
+        LayerShape { name: "conv2_1x1_expand", rows: 256, cols: 64 },
+        LayerShape { name: "conv3_1x1_reduce", rows: 128, cols: 512 },
+        LayerShape { name: "conv3_3x3", rows: 128, cols: 1152 },
+        LayerShape { name: "conv3_1x1_expand", rows: 512, cols: 128 },
+        LayerShape { name: "conv4_1x1_reduce", rows: 256, cols: 1024 },
+        LayerShape { name: "conv4_3x3", rows: 256, cols: 2304 },
+        LayerShape { name: "conv4_1x1_expand", rows: 1024, cols: 256 },
+        LayerShape { name: "conv5_1x1_reduce", rows: 512, cols: 2048 },
+        LayerShape { name: "conv5_3x3", rows: 512, cols: 4608 },
+        LayerShape { name: "conv5_1x1_expand", rows: 2048, cols: 512 },
+        LayerShape { name: "fc1000", rows: 1000, cols: 2048 },
+    ]
+}
+
+/// The transformer-pruning shapes of the DLMC collection: the projection
+/// and FFN weight matrices of a base transformer (d_model 512, FFN 2048),
+/// which the dataset prunes with the same magnitude criterion. Useful for
+/// running the sweeps on attention-style shapes instead of convolutions.
+pub fn transformer_shapes() -> Vec<LayerShape> {
+    vec![
+        LayerShape { name: "attn_q_proj", rows: 512, cols: 512 },
+        LayerShape { name: "attn_k_proj", rows: 512, cols: 512 },
+        LayerShape { name: "attn_v_proj", rows: 512, cols: 512 },
+        LayerShape { name: "attn_out_proj", rows: 512, cols: 512 },
+        LayerShape { name: "ffn_expand", rows: 2048, cols: 512 },
+        LayerShape { name: "ffn_contract", rows: 512, cols: 2048 },
+    ]
+}
+
+/// A compact representative subset for sweeps (keeps benchmark wall-clock
+/// reasonable while spanning small and large layers).
+pub fn representative_shapes() -> Vec<LayerShape> {
+    resnet50_shapes()
+        .into_iter()
+        .filter(|s| {
+            matches!(
+                s.name,
+                "conv2_3x3"
+                    | "conv3_1x1_expand"
+                    | "conv4_1x1_reduce"
+                    | "conv4_3x3"
+                    | "conv5_1x1_expand"
+                    | "fc1000"
+            )
+        })
+        .collect()
+}
+
+/// Round a dimension up to a multiple of `q` (kernels want V- and
+/// 8-aligned shapes; DLMC matrices are mostly power-of-two already,
+/// `fc1000` being the exception).
+fn round_up(x: usize, q: usize) -> usize {
+    x.div_ceil(q) * q
+}
+
+/// One benchmark instance: a pruned layer at a given grain and sparsity.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Source layer.
+    pub shape: LayerShape,
+    /// Column-vector grain V.
+    pub v: usize,
+    /// Target sparsity.
+    pub sparsity: f64,
+    /// The sparse matrix under column-vector sparse encoding (values are
+    /// random per Fig. 16 — the structure comes from the per-row budget).
+    pub matrix: VectorSparse<f16>,
+}
+
+impl Benchmark {
+    /// Construct one benchmark (deterministic in its parameters).
+    pub fn build(shape: LayerShape, v: usize, sparsity: f64) -> Benchmark {
+        let rows = round_up(shape.rows, v.max(8));
+        let cols = round_up(shape.cols, 8);
+        let seed = seed_for(shape, v, sparsity);
+        Benchmark {
+            shape,
+            v,
+            sparsity,
+            matrix: gen::random_vector_sparse::<f16>(rows, cols, v, sparsity, seed),
+        }
+    }
+
+    /// The Blocked-ELL twin: same problem size and sparsity, block size V
+    /// (the Fig. 16 construction for the cuSPARSE baseline).
+    pub fn blocked_ell_twin(&self) -> BlockedEll<f16> {
+        let block = self.v.max(2);
+        let p = self.matrix.pattern();
+        let rows = round_up(p.rows(), block);
+        let cols = round_up(p.cols(), block);
+        gen::random_blocked_ell::<f16>(
+            rows,
+            cols,
+            block,
+            self.sparsity,
+            seed_for(self.shape, self.v, self.sparsity) ^ 0xE11,
+        )
+    }
+
+    /// An SDDMM mask with this benchmark's structure.
+    pub fn mask(&self) -> SparsityPattern {
+        self.matrix.pattern().clone()
+    }
+
+    /// Rows after alignment.
+    pub fn rows(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Cols after alignment.
+    pub fn cols(&self) -> usize {
+        self.matrix.cols()
+    }
+}
+
+fn seed_for(shape: LayerShape, v: usize, sparsity: f64) -> u64 {
+    // Stable, collision-free-enough seeding so every (layer, V, S) cell
+    // of the sweep is reproducible.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in shape.name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^= ((shape.rows as u64) << 32) | shape.cols as u64;
+    h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= ((v as u64) << 8) | (sparsity * 100.0) as u64;
+    h
+}
+
+/// The full benchmark suite: every representative layer × grain ×
+/// sparsity combination.
+pub fn suite(vs: &[usize], sparsities: &[f64]) -> Vec<Benchmark> {
+    let mut out = Vec::new();
+    for shape in representative_shapes() {
+        for &v in vs {
+            for &s in sparsities {
+                out.push(Benchmark::build(shape, v, s));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_resnet50_like() {
+        let shapes = resnet50_shapes();
+        assert_eq!(shapes.len(), 13);
+        assert!(shapes.iter().any(|s| s.name == "fc1000"));
+        // 3x3 layers have 9x the reduce width.
+        let c43 = shapes.iter().find(|s| s.name == "conv4_3x3").unwrap();
+        assert_eq!(c43.cols, 256 * 9);
+    }
+
+    #[test]
+    fn benchmark_hits_sparsity_and_alignment() {
+        let shape = LayerShape { name: "fc1000", rows: 1000, cols: 2048 };
+        let b = Benchmark::build(shape, 4, 0.9);
+        assert_eq!(b.rows() % 8, 0);
+        assert_eq!(b.cols() % 8, 0);
+        let got = b.matrix.pattern().sparsity();
+        assert!((got - 0.9).abs() < 0.01, "sparsity {got}");
+    }
+
+    #[test]
+    fn benchmark_is_deterministic() {
+        let shape = LayerShape { name: "conv2_3x3", rows: 64, cols: 576 };
+        let a = Benchmark::build(shape, 8, 0.7);
+        let b = Benchmark::build(shape, 8, 0.7);
+        assert_eq!(a.matrix, b.matrix);
+        let c = Benchmark::build(shape, 8, 0.8);
+        assert_ne!(a.matrix.pattern(), c.matrix.pattern());
+    }
+
+    #[test]
+    fn blocked_ell_twin_matches_problem() {
+        let shape = LayerShape { name: "conv3_3x3", rows: 128, cols: 1152 };
+        let b = Benchmark::build(shape, 4, 0.9);
+        let ell = b.blocked_ell_twin();
+        assert_eq!(ell.rows(), b.rows());
+        assert_eq!(ell.cols(), b.cols());
+        assert_eq!(ell.block(), 4);
+        // Same sparsity regime: blocks per row = ceil(cols/4 * 0.1).
+        let expected = (((b.cols() / 4) as f64) * 0.1).ceil() as usize;
+        assert_eq!(ell.blocks_per_row(), expected);
+    }
+
+    #[test]
+    fn transformer_shapes_are_square_or_ffn() {
+        let shapes = transformer_shapes();
+        assert_eq!(shapes.len(), 6);
+        assert!(shapes.iter().filter(|s| s.rows == s.cols).count() >= 4);
+        let b = Benchmark::build(shapes[4], 8, 0.9);
+        assert_eq!(b.rows() % 8, 0);
+        assert!((b.matrix.pattern().sparsity() - 0.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn suite_covers_grid() {
+        let s = suite(&[2, 4], &[0.5, 0.9]);
+        assert_eq!(s.len(), representative_shapes().len() * 4);
+        assert!(s.iter().all(|b| matches!(b.v, 2 | 4)));
+    }
+}

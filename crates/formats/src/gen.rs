@@ -1,0 +1,239 @@
+//! Random structure and value generators.
+//!
+//! These implement the benchmark-construction recipe of §7.1.1 / Fig. 16:
+//! given a target shape and sparsity, draw a per-row nonzero budget, pick
+//! distinct columns uniformly, and fill values from a small uniform range.
+//! The Blocked-ELL builder mirrors the paper: block size = V, number of
+//! blocks per row = round(N/V · (1 − S)), uniform distinct column indices.
+
+use crate::{BlockedEll, Csr, DenseMatrix, Layout, Scalar, SparsityPattern, VectorSparse};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Uniform value in the range the DLMC-style benchmarks use. Values are
+/// kept small and exactly representable pressure-free so that half-precision
+/// kernels accumulate with bounded error in tests.
+fn random_value<T: Scalar, R: Rng>(rng: &mut R) -> T {
+    // Multiples of 1/8 in [-2, 2] are exact in binary16.
+    let q: i32 = rng.gen_range(-16..=16);
+    T::from_f32(q as f32 / 8.0)
+}
+
+/// A dense matrix with uniform random values.
+pub fn random_dense<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    layout: Layout,
+    seed: u64,
+) -> DenseMatrix<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DenseMatrix::from_fn(rows, cols, layout, |_, _| random_value(&mut rng))
+}
+
+/// Draw `count` distinct sorted column indices out of `cols`.
+fn distinct_columns<R: Rng>(rng: &mut R, cols: usize, count: usize) -> Vec<u32> {
+    debug_assert!(count <= cols);
+    // Partial Fisher-Yates over an index pool: O(cols) per row but rows are
+    // generated once per benchmark, so clarity wins over a reservoir.
+    let mut pool: Vec<u32> = (0..cols as u32).collect();
+    for i in 0..count {
+        let j = rng.gen_range(i..cols);
+        pool.swap(i, j);
+    }
+    let mut picked = pool[..count].to_vec();
+    picked.sort_unstable();
+    picked
+}
+
+/// A random [`SparsityPattern`]: each block row receives
+/// `round(cols * (1 - sparsity))` nonzero vectors at distinct uniform
+/// columns, reproducing the construction in Fig. 16.
+pub fn random_pattern(
+    rows: usize,
+    cols: usize,
+    v: usize,
+    sparsity: f64,
+    seed: u64,
+) -> SparsityPattern {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let block_rows = rows / v;
+    let per_row = ((cols as f64) * (1.0 - sparsity)).round() as usize;
+    let per_row = per_row.min(cols);
+    let mut row_ptr = Vec::with_capacity(block_rows + 1);
+    let mut col_idx = Vec::with_capacity(block_rows * per_row);
+    row_ptr.push(0);
+    for _ in 0..block_rows {
+        col_idx.extend(distinct_columns(&mut rng, cols, per_row));
+        row_ptr.push(col_idx.len());
+    }
+    SparsityPattern::new(rows, cols, v, row_ptr, col_idx)
+}
+
+/// Fill a pattern with random values.
+pub fn fill_pattern<T: Scalar>(pattern: SparsityPattern, seed: u64) -> VectorSparse<T> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let values = (0..pattern.nnz()).map(|_| random_value(&mut rng)).collect();
+    VectorSparse::new(pattern, values)
+}
+
+/// A random vector-sparse matrix (pattern + values in one call).
+pub fn random_vector_sparse<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    v: usize,
+    sparsity: f64,
+    seed: u64,
+) -> VectorSparse<T> {
+    fill_pattern(random_pattern(rows, cols, v, sparsity, seed), seed)
+}
+
+/// A random fine-grained CSR matrix with `round(cols * (1-sparsity))`
+/// nonzeros per row.
+pub fn random_csr<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    sparsity: f64,
+    seed: u64,
+) -> Csr<T> {
+    random_vector_sparse::<T>(rows, cols, 1, sparsity, seed).to_csr()
+}
+
+/// A random Blocked-ELL matrix with the same sparsity and problem size as a
+/// vector-sparse benchmark: block size `block`, `ceil(cols/block * (1-S))`
+/// nonzero blocks per block row at distinct uniform block columns
+/// (§7.1.1: "compute the number of blocks in each row with ⌈N/V × S⌉").
+pub fn random_blocked_ell<T: Scalar>(
+    rows: usize,
+    cols: usize,
+    block: usize,
+    sparsity: f64,
+    seed: u64,
+) -> BlockedEll<T> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let block_rows = rows / block;
+    let block_cols = cols / block;
+    let bpr = (((cols / block) as f64) * (1.0 - sparsity)).ceil() as usize;
+    let bpr = bpr.clamp(1, block_cols);
+    let mut block_col_idx = Vec::with_capacity(block_rows * bpr);
+    for _ in 0..block_rows {
+        block_col_idx.extend(distinct_columns(&mut rng, block_cols, bpr));
+    }
+    let values = (0..block_rows * bpr * block * block)
+        .map(|_| random_value(&mut rng))
+        .collect();
+    BlockedEll::new(rows, cols, block, bpr * block, block_col_idx, values)
+}
+
+/// A banded-plus-random attention mask pattern (§7.4): a dense diagonal
+/// band of width `band` plus uniform random off-diagonal vectors until the
+/// target sparsity is met. Rows and columns are the sequence length; `v` is
+/// the vector constraint (8 in the paper).
+pub fn banded_random_pattern(
+    seq_len: usize,
+    v: usize,
+    band: usize,
+    sparsity: f64,
+    seed: u64,
+) -> SparsityPattern {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let block_rows = seq_len / v;
+    let target_per_row = ((seq_len as f64) * (1.0 - sparsity)).round() as usize;
+    let mut row_ptr = Vec::with_capacity(block_rows + 1);
+    let mut col_idx: Vec<u32> = Vec::new();
+    row_ptr.push(0);
+    for br in 0..block_rows {
+        let centre = br * v + v / 2;
+        let lo = centre.saturating_sub(band / 2);
+        let hi = (lo + band).min(seq_len);
+        let lo = hi.saturating_sub(band);
+        let mut cols: Vec<u32> = (lo as u32..hi as u32).collect();
+        // Random off-band columns to reach the target density.
+        while cols.len() < target_per_row {
+            let c = rng.gen_range(0..seq_len as u32);
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        }
+        cols.sort_unstable();
+        col_idx.extend(cols);
+        row_ptr.push(col_idx.len());
+    }
+    SparsityPattern::new(seq_len, seq_len, v, row_ptr, col_idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_hits_target_sparsity() {
+        let p = random_pattern(256, 256, 4, 0.9, 1);
+        assert!((p.sparsity() - 0.9).abs() < 0.01, "got {}", p.sparsity());
+        // Each block row has round(256 * 0.1) = 26 vectors.
+        for br in 0..p.block_rows() {
+            assert_eq!(p.block_row_range(br).len(), 26);
+        }
+    }
+
+    #[test]
+    fn pattern_columns_distinct_and_sorted() {
+        let p = random_pattern(64, 128, 2, 0.8, 7);
+        for br in 0..p.block_rows() {
+            let cols = &p.col_idx()[p.block_row_range(br)];
+            assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {br}: {cols:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_vector_sparse::<f32>(64, 64, 4, 0.7, 42);
+        let b = random_vector_sparse::<f32>(64, 64, 4, 0.7, 42);
+        assert_eq!(a, b);
+        let c = random_vector_sparse::<f32>(64, 64, 4, 0.7, 43);
+        assert_ne!(a.pattern(), c.pattern());
+    }
+
+    #[test]
+    fn blocked_ell_matches_sparsity() {
+        let e = random_blocked_ell::<f32>(128, 128, 4, 0.9, 3);
+        // ceil(32 * 0.1) = 4 blocks per row.
+        assert_eq!(e.blocks_per_row(), 4);
+        assert_eq!(e.ell_cols(), 16);
+        // All indices valid and distinct per row.
+        for br in 0..e.block_rows() {
+            let row: Vec<u32> = (0..e.blocks_per_row()).map(|j| e.block_col(br, j)).collect();
+            let mut sorted = row.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), row.len());
+        }
+    }
+
+    #[test]
+    fn banded_mask_covers_diagonal() {
+        let p = banded_random_pattern(512, 8, 64, 0.8, 9);
+        // The band guarantees the diagonal entry of each block row's centre.
+        for br in 0..p.block_rows() {
+            let centre = br * 8 + 4;
+            assert!(p.contains(br * 8, centre), "block row {br}");
+        }
+        assert!(p.sparsity() <= 0.81);
+    }
+
+    #[test]
+    fn csr_generator_sparsity() {
+        let c = random_csr::<f32>(128, 256, 0.95, 5);
+        assert!((c.sparsity() - 0.95).abs() < 0.01);
+    }
+
+    #[test]
+    fn half_values_exact_in_half() {
+        use vecsparse_fp16::f16;
+        let m = random_vector_sparse::<f16>(32, 32, 2, 0.5, 11);
+        for &v in m.values() {
+            let f = v.to_f32();
+            assert_eq!(f16::from_f32(f), v);
+            assert!((-2.0..=2.0).contains(&f));
+        }
+    }
+}

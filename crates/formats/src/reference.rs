@@ -1,0 +1,284 @@
+//! Scalar reference implementations (ground truth for every kernel).
+//!
+//! All reference routines accumulate in `f32`, matching both the FPU
+//! baseline (HMUL + FADD) and the TCU datapath (fp16 multiply, fp32
+//! accumulate), and round once on the final store. Kernel outputs are
+//! required to match these bit-for-bit when the summation order is
+//! equivalent, or within a tight tolerance otherwise (the test-suites pick
+//! operands for which all orders agree).
+
+use crate::{Csr, DenseMatrix, Layout, Scalar, SparsityPattern, VectorSparse};
+
+/// Dense GEMM: `C = A · B` with f32 accumulation, `C` row-major.
+///
+/// # Panics
+/// Panics if `A.cols() != B.rows()`.
+pub fn gemm<T: Scalar>(a: &DenseMatrix<T>, b: &DenseMatrix<T>) -> DenseMatrix<T> {
+    assert_eq!(a.cols(), b.rows(), "GEMM inner dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = DenseMatrix::zeros(m, n, Layout::RowMajor);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a.get(i, l).to_f32() * b.get(l, j).to_f32();
+            }
+            *c.get_mut(i, j) = T::from_f32(acc);
+        }
+    }
+    c
+}
+
+/// SpMM on CSR: `C = A_sparse · B`, `C` row-major.
+pub fn spmm_csr<T: Scalar>(a: &Csr<T>, b: &DenseMatrix<T>) -> DenseMatrix<T> {
+    assert_eq!(a.cols(), b.rows(), "SpMM inner dimension mismatch");
+    let mut c = DenseMatrix::zeros(a.rows(), b.cols(), Layout::RowMajor);
+    for r in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f32;
+            for i in a.row_range(r) {
+                let col = a.col_idx()[i] as usize;
+                acc += a.values()[i].to_f32() * b.get(col, j).to_f32();
+            }
+            *c.get_mut(r, j) = T::from_f32(acc);
+        }
+    }
+    c
+}
+
+/// SpMM on column-vector sparse encoding: `C = A_vs · B`, `C` row-major.
+///
+/// Each nonzero vector of `A` at block row `br`, column `k` contributes
+/// `vector[e] * B[k, :]` to output row `br * v + e`.
+pub fn spmm_vs<T: Scalar>(a: &VectorSparse<T>, b: &DenseMatrix<T>) -> DenseMatrix<T> {
+    assert_eq!(a.cols(), b.rows(), "SpMM inner dimension mismatch");
+    let v = a.v();
+    let n = b.cols();
+    let mut c = DenseMatrix::zeros(a.rows(), n, Layout::RowMajor);
+    let p = a.pattern();
+    for br in 0..p.block_rows() {
+        let mut acc = vec![0.0f32; v * n];
+        for i in p.block_row_range(br) {
+            let col = p.col_idx()[i] as usize;
+            let vec = a.vector(i);
+            for j in 0..n {
+                let bval = b.get(col, j).to_f32();
+                for e in 0..v {
+                    acc[e * n + j] += vec[e].to_f32() * bval;
+                }
+            }
+        }
+        for e in 0..v {
+            for j in 0..n {
+                *c.get_mut(br * v + e, j) = T::from_f32(acc[e * n + j]);
+            }
+        }
+    }
+    c
+}
+
+/// SDDMM: `C = (A · B) ∘ D` where `D` is a binary mask given as a
+/// [`SparsityPattern`]; only masked positions are computed. `A` is
+/// `M × K` row-major, `B` is `K × N` (any layout), and the result carries
+/// the mask's structure.
+pub fn sddmm<T: Scalar>(
+    a: &DenseMatrix<T>,
+    b: &DenseMatrix<T>,
+    mask: &SparsityPattern,
+) -> VectorSparse<T> {
+    assert_eq!(a.cols(), b.rows(), "SDDMM inner dimension mismatch");
+    assert_eq!(a.rows(), mask.rows(), "mask rows");
+    assert_eq!(b.cols(), mask.cols(), "mask cols");
+    let v = mask.v();
+    let k = a.cols();
+    let mut values = vec![T::ZERO; mask.nnz()];
+    for br in 0..mask.block_rows() {
+        for i in mask.block_row_range(br) {
+            let col = mask.col_idx()[i] as usize;
+            for e in 0..v {
+                let row = br * v + e;
+                let mut acc = 0.0f32;
+                for l in 0..k {
+                    acc += a.get(row, l).to_f32() * b.get(l, col).to_f32();
+                }
+                values[i * v + e] = T::from_f32(acc);
+            }
+        }
+    }
+    VectorSparse::new(mask.clone(), values)
+}
+
+/// Row-wise softmax over a dense matrix (numerically stabilised), in f32.
+pub fn softmax_dense<T: Scalar>(x: &DenseMatrix<T>) -> DenseMatrix<T> {
+    let mut out = DenseMatrix::zeros(x.rows(), x.cols(), x.layout());
+    for r in 0..x.rows() {
+        let mut maxv = f32::NEG_INFINITY;
+        for c in 0..x.cols() {
+            maxv = maxv.max(x.get(r, c).to_f32());
+        }
+        let mut denom = 0.0f32;
+        for c in 0..x.cols() {
+            denom += (x.get(r, c).to_f32() - maxv).exp();
+        }
+        for c in 0..x.cols() {
+            let e = (x.get(r, c).to_f32() - maxv).exp();
+            *out.get_mut(r, c) = T::from_f32(e / denom);
+        }
+    }
+    out
+}
+
+/// Row-wise softmax over the stored entries of a vector-sparse matrix:
+/// absent entries are treated as `-inf` (masked attention semantics), so
+/// each *scalar row's* stored values sum to one.
+pub fn softmax_vs<T: Scalar>(x: &VectorSparse<T>) -> VectorSparse<T> {
+    let p = x.pattern();
+    let v = p.v();
+    let mut values = vec![T::ZERO; p.nnz()];
+    for br in 0..p.block_rows() {
+        let range = p.block_row_range(br);
+        for e in 0..v {
+            let mut maxv = f32::NEG_INFINITY;
+            for i in range.clone() {
+                maxv = maxv.max(x.values()[i * v + e].to_f32());
+            }
+            if maxv == f32::NEG_INFINITY {
+                continue; // Empty row: all outputs stay zero.
+            }
+            let mut denom = 0.0f32;
+            for i in range.clone() {
+                denom += (x.values()[i * v + e].to_f32() - maxv).exp();
+            }
+            for i in range.clone() {
+                let ev = (x.values()[i * v + e].to_f32() - maxv).exp();
+                values[i * v + e] = T::from_f32(ev / denom);
+            }
+        }
+    }
+    VectorSparse::new(p.clone(), values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn gemm_identity() {
+        let i3 = DenseMatrix::<f32>::from_fn(3, 3, Layout::RowMajor, |r, c| {
+            if r == c {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let b = gen::random_dense::<f32>(3, 5, Layout::RowMajor, 1);
+        assert_eq!(gemm(&i3, &b), b.to_layout(Layout::RowMajor));
+    }
+
+    #[test]
+    fn spmm_vs_matches_dense_gemm() {
+        let a = gen::random_vector_sparse::<f32>(16, 24, 4, 0.5, 2);
+        let b = gen::random_dense::<f32>(24, 8, Layout::RowMajor, 3);
+        let via_dense = gemm(&a.to_dense(Layout::RowMajor), &b);
+        assert_eq!(spmm_vs(&a, &b), via_dense);
+    }
+
+    #[test]
+    fn spmm_csr_matches_vs_lowering() {
+        let a = gen::random_vector_sparse::<f32>(16, 24, 2, 0.7, 4);
+        let b = gen::random_dense::<f32>(24, 8, Layout::RowMajor, 5);
+        assert_eq!(spmm_csr(&a.to_csr(), &b), spmm_vs(&a, &b));
+    }
+
+    #[test]
+    fn sddmm_matches_masked_gemm() {
+        let a = gen::random_dense::<f32>(16, 12, Layout::RowMajor, 6);
+        let b = gen::random_dense::<f32>(12, 20, Layout::ColMajor, 7);
+        let mask = gen::random_pattern(16, 20, 4, 0.6, 8);
+        let full = gemm(&a, &b);
+        let got = sddmm(&a, &b, &mask);
+        let got_dense = got.to_dense(Layout::RowMajor);
+        for r in 0..16 {
+            for c in 0..20 {
+                if mask.contains(r, c) {
+                    assert_eq!(got_dense.get(r, c), full.get(r, c), "({r},{c})");
+                } else {
+                    assert_eq!(got_dense.get(r, c), 0.0, "({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = gen::random_dense::<f32>(5, 9, Layout::RowMajor, 9);
+        let s = softmax_dense(&x);
+        for r in 0..5 {
+            let sum: f32 = (0..9).map(|c| s.get(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sparse_softmax_rows_sum_to_one() {
+        let x = gen::random_vector_sparse::<f32>(16, 32, 4, 0.75, 10);
+        let s = softmax_vs(&x);
+        let p = s.pattern();
+        for br in 0..p.block_rows() {
+            for e in 0..p.v() {
+                let sum: f32 = p
+                    .block_row_range(br)
+                    .map(|i| s.values()[i * p.v() + e].to_f32())
+                    .sum();
+                assert!((sum - 1.0).abs() < 1e-5, "row {}", br * p.v() + e);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_softmax_matches_masked_dense() {
+        // With -inf masking, sparse softmax equals dense softmax computed on
+        // a matrix whose masked-out entries are -inf.
+        let x = gen::random_vector_sparse::<f32>(8, 16, 2, 0.5, 11);
+        let p = x.pattern().clone();
+        let mut dense = DenseMatrix::<f32>::from_fn(8, 16, Layout::RowMajor, |_, _| {
+            f32::NEG_INFINITY
+        });
+        let xd = x.to_dense(Layout::RowMajor);
+        for r in 0..8 {
+            for c in 0..16 {
+                if p.contains(r, c) {
+                    *dense.get_mut(r, c) = xd.get(r, c);
+                }
+            }
+        }
+        let sd = softmax_dense(&dense);
+        let sv = softmax_vs(&x).to_dense(Layout::RowMajor);
+        for r in 0..8 {
+            for c in 0..16 {
+                if p.contains(r, c) {
+                    assert!((sd.get(r, c) - sv.get(r, c)).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn half_precision_reference_consistency() {
+        use vecsparse_fp16::f16;
+        let a = gen::random_vector_sparse::<f16>(8, 16, 4, 0.5, 12);
+        let b = gen::random_dense::<f16>(16, 8, Layout::RowMajor, 13);
+        let c_half = spmm_vs(&a, &b);
+        // Computing in f32 then rounding must agree (f32 accumulation).
+        let c_single = spmm_vs(&a.cast::<f32>(), &b.cast::<f32>());
+        for r in 0..8 {
+            for j in 0..8 {
+                assert_eq!(
+                    c_half.get(r, j).to_f32(),
+                    f16::from_f32(c_single.get(r, j)).to_f32()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Row-vector sparse encoding — the transposed view of §8.
+//!
+//! The paper's SpMM/SDDMM are defined on row-major matrices; for
+//! column-major frameworks one mathematically transposes both sides
+//! (`Dᵀ = Bᵀ Cᵀ`), and the transposed sparse operand `Cᵀ` becomes short
+//! **row** vectors aligned horizontally, indexed in compressed sparse
+//! column (CSC). This module provides that encoding with lossless
+//! conversion to and from [`VectorSparse`], so a column-major caller can
+//! keep its natural layout and still drive the same kernels.
+
+use crate::{DenseMatrix, Layout, Scalar, SparsityPattern, VectorSparse};
+
+/// A sparse matrix of `1 × V` row vectors aligned along the horizontal
+/// dimension, indexed by compressed sparse column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RowVectorSparse<T> {
+    rows: usize,
+    cols: usize,
+    v: usize,
+    /// `cols / v + 1` pointers over block columns.
+    col_ptr: Vec<usize>,
+    /// Row index of each nonzero row vector.
+    row_idx: Vec<u32>,
+    /// Packed values: vector `i` occupies `values[i*v..(i+1)*v]`, element
+    /// `e` being the scalar at column `bc * v + e`.
+    values: Vec<T>,
+}
+
+impl<T: Scalar> RowVectorSparse<T> {
+    /// Build from raw CSC-of-vectors arrays.
+    ///
+    /// # Panics
+    /// Panics on inconsistent arrays.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        v: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<u32>,
+        values: Vec<T>,
+    ) -> Self {
+        assert!(v >= 1);
+        assert_eq!(cols % v, 0, "cols must be a multiple of v");
+        assert_eq!(col_ptr.len(), cols / v + 1, "col_ptr length");
+        assert_eq!(*col_ptr.last().unwrap(), row_idx.len(), "nnz mismatch");
+        assert!(col_ptr.windows(2).all(|w| w[0] <= w[1]), "col_ptr monotone");
+        assert!(row_idx.iter().all(|&r| (r as usize) < rows), "row index");
+        assert_eq!(values.len(), row_idx.len() * v, "values length");
+        RowVectorSparse {
+            rows,
+            cols,
+            v,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// The mathematical transpose of a column-vector sparse matrix, with
+    /// no re-encoding loss: each V×1 column vector becomes a 1×V row
+    /// vector of the transpose.
+    pub fn transpose_of(m: &VectorSparse<T>) -> RowVectorSparse<T> {
+        let p = m.pattern();
+        let v = p.v();
+        // Transposed shape: (cols × rows). Block columns of the result
+        // are the block rows of the source.
+        let mut entries: Vec<(u32, usize, usize)> = Vec::with_capacity(p.nnz_vectors());
+        for br in 0..p.block_rows() {
+            for i in p.block_row_range(br) {
+                // Source vector at (block row br, column c) → transposed
+                // row vector at (row c, block column br).
+                entries.push((p.col_idx()[i], br, i));
+            }
+        }
+        // CSC order: by block column (= source block row) — already
+        // grouped; within a block column sort by row (= source column).
+        entries.sort_by_key(|&(row, bc, _)| (bc, row));
+        let block_cols = p.rows() / v;
+        let mut col_ptr = vec![0usize; block_cols + 1];
+        let mut row_idx = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len() * v);
+        for &(row, bc, src) in &entries {
+            col_ptr[bc + 1] += 1;
+            row_idx.push(row);
+            values.extend_from_slice(m.vector(src));
+        }
+        for i in 0..block_cols {
+            col_ptr[i + 1] += col_ptr[i];
+        }
+        RowVectorSparse::new(p.cols(), p.rows(), v, col_ptr, row_idx, values)
+    }
+
+    /// Re-encode as a column-vector sparse matrix of the *same* matrix
+    /// (possible because both encodings are coordinate-complete; vectors
+    /// split into scalars, i.e. V becomes 1).
+    pub fn to_vector_sparse(&self) -> VectorSparse<T> {
+        let dense = self.to_dense(Layout::RowMajor);
+        VectorSparse::from_dense(&dense, 1)
+    }
+
+    /// Materialise as a dense matrix.
+    pub fn to_dense(&self, layout: Layout) -> DenseMatrix<T> {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols, layout);
+        for bc in 0..self.cols / self.v {
+            for i in self.col_ptr[bc]..self.col_ptr[bc + 1] {
+                let r = self.row_idx[i] as usize;
+                for e in 0..self.v {
+                    *out.get_mut(r, bc * self.v + e) = self.values[i * self.v + e];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Matrix columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-vector length V.
+    pub fn v(&self) -> usize {
+        self.v
+    }
+
+    /// Number of stored row vectors.
+    pub fn nnz_vectors(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// The structure re-read as the [`SparsityPattern`] of **this
+    /// matrix's transpose** (the CSC pointers become CSR pointers), for
+    /// mask-style uses on the row-major side.
+    pub fn transposed_pattern(&self) -> SparsityPattern {
+        SparsityPattern::new(
+            self.cols,
+            self.rows,
+            self.v,
+            self.col_ptr.clone(),
+            self.row_idx.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use vecsparse_fp16::f16;
+
+    #[test]
+    fn transpose_matches_dense() {
+        let m = gen::random_vector_sparse::<f16>(24, 40, 4, 0.7, 1);
+        let t = RowVectorSparse::transpose_of(&m);
+        assert_eq!((t.rows(), t.cols()), (40, 24));
+        assert_eq!(t.nnz_vectors(), m.pattern().nnz_vectors());
+        let want = m.to_dense(Layout::RowMajor).transpose();
+        assert_eq!(t.to_dense(Layout::RowMajor), want);
+    }
+
+    #[test]
+    fn works_for_all_grains() {
+        for v in [1usize, 2, 8] {
+            let m = gen::random_vector_sparse::<f32>(16, 32, v, 0.5, v as u64);
+            let t = RowVectorSparse::transpose_of(&m);
+            assert_eq!(
+                t.to_dense(Layout::RowMajor),
+                m.to_dense(Layout::RowMajor).transpose(),
+                "V={v}"
+            );
+        }
+    }
+
+    #[test]
+    fn back_to_cvse_preserves_values() {
+        let m = gen::random_vector_sparse::<f16>(16, 24, 2, 0.6, 3);
+        let t = RowVectorSparse::transpose_of(&m);
+        let back = t.to_vector_sparse();
+        assert_eq!(
+            back.to_dense(Layout::RowMajor),
+            m.to_dense(Layout::RowMajor).transpose()
+        );
+    }
+
+    #[test]
+    fn transposed_pattern_is_consistent() {
+        let m = gen::random_vector_sparse::<f16>(16, 24, 4, 0.5, 4);
+        let t = RowVectorSparse::transpose_of(&m);
+        let p = t.transposed_pattern();
+        assert_eq!(p.nnz_vectors(), m.pattern().nnz_vectors());
+        // tᵀ has the original matrix's shape.
+        assert_eq!(p.rows(), m.rows());
+        assert_eq!(p.cols(), m.cols());
+    }
+
+    #[test]
+    #[should_panic(expected = "cols must be a multiple of v")]
+    fn rejects_misaligned_cols() {
+        let _ = RowVectorSparse::<f32>::new(4, 6, 4, vec![0, 0], vec![], vec![]);
+    }
+}

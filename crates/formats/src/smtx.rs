@@ -1,0 +1,294 @@
+//! The DLMC `.smtx` text format.
+//!
+//! The real Deep Learning Matrix Collection distributes each sparse
+//! matrix as a text file:
+//!
+//! ```text
+//! <nrows>, <ncols>, <nnz>
+//! <nrows + 1 row pointers, space separated>
+//! <nnz column indices, space separated>
+//! ```
+//!
+//! This module parses and writes that format, so the synthetic suite in
+//! `vecsparse-dlmc` can be swapped for the real dataset byte-for-byte:
+//! load an `.smtx`, apply the paper's Fig. 16 construction
+//! ([`to_vector_sparse`]) and feed the kernels.
+
+use crate::{Csr, Scalar, SparsityPattern, VectorSparse};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::fmt::Write as _;
+
+/// A parsed `.smtx` structure (indices only — DLMC ships no values).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Smtx {
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Row pointers (`rows + 1` entries).
+    pub row_ptr: Vec<usize>,
+    /// Column indices (`nnz` entries).
+    pub col_idx: Vec<u32>,
+}
+
+/// Parsing errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SmtxError {
+    /// The header line is missing or malformed.
+    BadHeader,
+    /// A numeric field failed to parse.
+    BadNumber(String),
+    /// Array lengths disagree with the header.
+    LengthMismatch {
+        /// What was being read.
+        what: &'static str,
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+    /// Row pointers are not monotone or indices are out of range.
+    Inconsistent(&'static str),
+}
+
+impl std::fmt::Display for SmtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SmtxError::BadHeader => write!(f, "malformed .smtx header"),
+            SmtxError::BadNumber(s) => write!(f, "unparseable number {s:?}"),
+            SmtxError::LengthMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what}: expected {expected} entries, found {actual}"),
+            SmtxError::Inconsistent(what) => write!(f, "inconsistent structure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SmtxError {}
+
+impl Smtx {
+    /// Parse from the text format.
+    ///
+    /// # Errors
+    /// Returns an [`SmtxError`] for malformed input.
+    pub fn parse(text: &str) -> Result<Smtx, SmtxError> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or(SmtxError::BadHeader)?;
+        let fields: Vec<&str> = header
+            .split([',', ' '])
+            .filter(|s| !s.trim().is_empty())
+            .collect();
+        if fields.len() != 3 {
+            return Err(SmtxError::BadHeader);
+        }
+        let parse = |s: &str| -> Result<usize, SmtxError> {
+            s.trim()
+                .parse()
+                .map_err(|_| SmtxError::BadNumber(s.trim().to_string()))
+        };
+        let rows = parse(fields[0])?;
+        let cols = parse(fields[1])?;
+        let nnz = parse(fields[2])?;
+
+        // Remaining numbers may be split across any number of lines.
+        let mut numbers = lines.flat_map(|l| l.split_whitespace());
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        for _ in 0..=rows {
+            let tok = numbers.next().ok_or(SmtxError::LengthMismatch {
+                what: "row pointers",
+                expected: rows + 1,
+                actual: row_ptr.len(),
+            })?;
+            row_ptr.push(parse(tok)?);
+        }
+        let mut col_idx = Vec::with_capacity(nnz);
+        for _ in 0..nnz {
+            let tok = numbers.next().ok_or(SmtxError::LengthMismatch {
+                what: "column indices",
+                expected: nnz,
+                actual: col_idx.len(),
+            })?;
+            col_idx.push(parse(tok)? as u32);
+        }
+
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(SmtxError::Inconsistent("row pointers not monotone"));
+        }
+        if *row_ptr.last().unwrap() != nnz {
+            return Err(SmtxError::Inconsistent("last row pointer != nnz"));
+        }
+        if col_idx.iter().any(|&c| c as usize >= cols) {
+            return Err(SmtxError::Inconsistent("column index out of range"));
+        }
+        Ok(Smtx {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+        })
+    }
+
+    /// Serialise to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}, {}, {}", self.rows, self.cols, self.col_idx.len());
+        let mut first = true;
+        for p in &self.row_ptr {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "{p}");
+            first = false;
+        }
+        out.push('\n');
+        first = true;
+        for c in &self.col_idx {
+            if !first {
+                out.push(' ');
+            }
+            let _ = write!(out, "{c}");
+            first = false;
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Fraction of zero entries.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Build a CSR matrix with random values (DLMC ships structure only).
+    pub fn to_csr<T: Scalar>(&self, seed: u64) -> Csr<T> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values = (0..self.nnz())
+            .map(|_| T::from_f32(rng.gen_range(-16i32..=16) as f32 / 8.0))
+            .collect();
+        Csr::new(
+            self.rows,
+            self.cols,
+            self.row_ptr.clone(),
+            self.col_idx.clone(),
+            values,
+        )
+    }
+
+    /// The paper's Fig. 16 benchmark construction: reuse `csrRowPtr` and
+    /// `csrColInd` as *vector* pointers/indices and attach a random
+    /// nonzero V-vector to each indexed position. Rows are interpreted as
+    /// block rows, so the resulting matrix has `rows × v` scalar rows.
+    pub fn to_vector_sparse<T: Scalar>(&self, v: usize, seed: u64) -> VectorSparse<T> {
+        let pattern = SparsityPattern::new(
+            self.rows * v,
+            self.cols,
+            v,
+            self.row_ptr.clone(),
+            self.col_idx.clone(),
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values = (0..pattern.nnz())
+            .map(|_| T::from_f32(rng.gen_range(-16i32..=16) as f32 / 8.0))
+            .collect();
+        VectorSparse::new(pattern, values)
+    }
+}
+
+/// Export a pattern's structure as `.smtx` (block rows become rows).
+pub fn pattern_to_smtx(p: &SparsityPattern) -> Smtx {
+    Smtx {
+        rows: p.block_rows(),
+        cols: p.cols(),
+        row_ptr: p.row_ptr().to_vec(),
+        col_idx: p.col_idx().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::Layout;
+    use vecsparse_fp16::f16;
+
+    const SAMPLE: &str = "3, 8, 6\n0 3 4 6\n0 2 6 3 1 6\n";
+
+    #[test]
+    fn parses_the_fig8_structure() {
+        let s = Smtx::parse(SAMPLE).unwrap();
+        assert_eq!((s.rows, s.cols, s.nnz()), (3, 8, 6));
+        assert_eq!(s.row_ptr, vec![0, 3, 4, 6]);
+        assert_eq!(s.col_idx, vec![0, 2, 6, 3, 1, 6]);
+    }
+
+    #[test]
+    fn roundtrips_through_text() {
+        let s = Smtx::parse(SAMPLE).unwrap();
+        let again = Smtx::parse(&s.to_text()).unwrap();
+        assert_eq!(s, again);
+    }
+
+    #[test]
+    fn accepts_multiline_arrays() {
+        let wrapped = "3, 8, 6\n0 3\n4 6\n0 2 6\n3 1 6\n";
+        assert_eq!(Smtx::parse(wrapped).unwrap(), Smtx::parse(SAMPLE).unwrap());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(Smtx::parse(""), Err(SmtxError::BadHeader));
+        assert_eq!(Smtx::parse("3, 8\n"), Err(SmtxError::BadHeader));
+        assert!(matches!(
+            Smtx::parse("3, 8, 6\n0 3 4\n"),
+            Err(SmtxError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Smtx::parse("1, 2, 1\n0 2\n0 5\n"),
+            Err(SmtxError::Inconsistent(_)) | Err(SmtxError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Smtx::parse("1, 8, 1\n0 1\n9\n"),
+            Err(SmtxError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn fig16_construction_matches_paper() {
+        let s = Smtx::parse(SAMPLE).unwrap();
+        let m = s.to_vector_sparse::<f16>(4, 7);
+        // Same structure as the Fig. 8 worked example.
+        assert_eq!(m.rows(), 12);
+        assert_eq!(m.pattern().nnz_vectors(), 6);
+        assert_eq!(m.pattern().col_idx(), &[0, 2, 6, 3, 1, 6]);
+        // All vector values nonzero-capable and exactly representable.
+        for &v in m.values() {
+            assert_eq!(f16::from_f32(v.to_f32()), v);
+        }
+    }
+
+    #[test]
+    fn pattern_export_roundtrip() {
+        let p = gen::random_pattern(64, 128, 4, 0.8, 9);
+        let s = pattern_to_smtx(&p);
+        let again = Smtx::parse(&s.to_text()).unwrap();
+        let back = again.to_vector_sparse::<f16>(4, 10);
+        assert_eq!(back.pattern().row_ptr(), p.row_ptr());
+        assert_eq!(back.pattern().col_idx(), p.col_idx());
+    }
+
+    #[test]
+    fn csr_from_smtx_is_consistent() {
+        let s = Smtx::parse(SAMPLE).unwrap();
+        let c = s.to_csr::<f32>(11);
+        assert_eq!(c.nnz(), 6);
+        assert_eq!(c.to_dense(Layout::RowMajor).rows(), 3);
+        assert!((s.sparsity() - c.sparsity()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,232 @@
+//! Square-block constrained encodings — the §8 discussion cases.
+//!
+//! **Case 1 (training):** when a pruned weight matrix `W` is used both
+//! forward (`W·X`) and backward (`Wᵀ·∂L/∂V`), the sparsity must survive
+//! transposition. Constraining nonzeros to square `V × V` blocks aligned
+//! in both dimensions lets *both* `W` and `Wᵀ` be stored in the
+//! column-vector sparse encoding (each block contributes V column vectors
+//! with one shared column index), so the same SpMM/SDDMM kernels serve
+//! the whole training step.
+//!
+//! **Case 2 (global attention):** when entire rows are nonzero (a short,
+//! wide matrix — the global tokens of a sparse transformer), the pattern
+//! degenerates to a row list; the encoding stays valid and the kernels
+//! simply see fully-dense block rows.
+
+use crate::{Scalar, SparsityPattern, VectorSparse};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Generate a square-block pattern: nonzero `v × v` blocks at distinct
+/// uniform block columns, `round(cols/v · (1-sparsity))` per block row.
+/// The result is expressed as an ordinary [`SparsityPattern`] whose
+/// column indices come in runs of `v` consecutive columns.
+pub fn random_square_block_pattern(
+    rows: usize,
+    cols: usize,
+    v: usize,
+    sparsity: f64,
+    seed: u64,
+) -> SparsityPattern {
+    assert_eq!(rows % v, 0, "rows must be a multiple of v");
+    assert_eq!(cols % v, 0, "cols must be a multiple of v");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let block_rows = rows / v;
+    let block_cols = cols / v;
+    let per_row = (((block_cols) as f64) * (1.0 - sparsity)).round() as usize;
+    let per_row = per_row.clamp(1, block_cols);
+
+    let mut row_ptr = Vec::with_capacity(block_rows + 1);
+    let mut col_idx = Vec::new();
+    row_ptr.push(0);
+    for _ in 0..block_rows {
+        // Distinct block columns, then expand each into v columns.
+        let mut pool: Vec<u32> = (0..block_cols as u32).collect();
+        for i in 0..per_row {
+            let j = rng.gen_range(i..block_cols);
+            pool.swap(i, j);
+        }
+        let mut picked = pool[..per_row].to_vec();
+        picked.sort_unstable();
+        for bc in picked {
+            for e in 0..v as u32 {
+                col_idx.push(bc * v as u32 + e);
+            }
+        }
+        row_ptr.push(col_idx.len());
+    }
+    SparsityPattern::new(rows, cols, v, row_ptr, col_idx)
+}
+
+/// True if every block row's columns come in aligned runs of `v` — i.e.
+/// the pattern satisfies the square-block constraint of §8 Case 1.
+pub fn is_square_block(pattern: &SparsityPattern) -> bool {
+    let v = pattern.v();
+    for br in 0..pattern.block_rows() {
+        let range = pattern.block_row_range(br);
+        let cols = &pattern.col_idx()[range];
+        if !cols.len().is_multiple_of(v) {
+            return false;
+        }
+        for run in cols.chunks(v) {
+            if !(run[0] as usize).is_multiple_of(v) {
+                return false;
+            }
+            for (e, &c) in run.iter().enumerate() {
+                if c != run[0] + e as u32 {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Transpose a square-block vector-sparse matrix: the result is again in
+/// column-vector sparse encoding with the same grain, containing exactly
+/// the transposed values. This is the §8 Case 1 operation that lets the
+/// backward pass (`Wᵀ ·`) reuse the forward kernels.
+///
+/// # Panics
+/// Panics if the pattern does not satisfy [`is_square_block`].
+pub fn transpose_square_block<T: Scalar>(m: &VectorSparse<T>) -> VectorSparse<T> {
+    let p = m.pattern();
+    assert!(
+        is_square_block(p),
+        "transpose_square_block needs a square-block pattern"
+    );
+    let v = p.v();
+    let (rows, cols) = (p.rows(), p.cols());
+    let t_block_rows = cols / v;
+
+    // Pass 1: count blocks per transposed block row.
+    let mut counts = vec![0usize; t_block_rows];
+    for br in 0..p.block_rows() {
+        for run in p.col_idx()[p.block_row_range(br)].chunks(v) {
+            counts[run[0] as usize / v] += 1;
+        }
+    }
+    let mut row_ptr = Vec::with_capacity(t_block_rows + 1);
+    row_ptr.push(0usize);
+    for c in &counts {
+        row_ptr.push(row_ptr.last().unwrap() + c * v);
+    }
+    // Vector-level pointers (each block becomes v vectors).
+    let total_vectors = row_ptr[t_block_rows];
+    let mut col_idx = vec![0u32; total_vectors];
+    let mut values = vec![T::ZERO; total_vectors * v];
+    let mut cursor: Vec<usize> = row_ptr[..t_block_rows].to_vec();
+
+    for br in 0..p.block_rows() {
+        let range = p.block_row_range(br);
+        for (chunk_i, run) in p.col_idx()[range.clone()].chunks(v).enumerate() {
+            let tbr = run[0] as usize / v;
+            let dst = cursor[tbr];
+            cursor[tbr] += v;
+            // The transposed block's v vectors sit at columns
+            // br*v .. br*v+v; element (r, c) of the source block becomes
+            // (c, r) of the destination block.
+            for c in 0..v {
+                col_idx[dst + c] = (br * v + c) as u32;
+                for r in 0..v {
+                    let src_vec = range.start + chunk_i * v + c_swap(c, r).0;
+                    let src_elem = c_swap(c, r).1;
+                    values[(dst + c) * v + r] = m.values()[src_vec * v + src_elem];
+                }
+            }
+        }
+    }
+
+    // Rebuild block-row pointers in vector units.
+    let pattern = SparsityPattern::new(cols, rows, v, row_ptr, col_idx);
+    VectorSparse::new(pattern, values)
+}
+
+/// Source coordinates for destination `(vector c, element r)` of a
+/// transposed block: source vector `r` (column r of the original block),
+/// element `c`.
+#[inline]
+fn c_swap(c: usize, r: usize) -> (usize, usize) {
+    (r, c)
+}
+
+/// A row-sparse pattern (§8 Case 2): `keep` whole block rows are fully
+/// dense, the rest empty — the "global attention" structure.
+pub fn row_sparse_pattern(rows: usize, cols: usize, v: usize, keep: &[usize]) -> SparsityPattern {
+    assert_eq!(rows % v, 0);
+    let block_rows = rows / v;
+    let mut row_ptr = Vec::with_capacity(block_rows + 1);
+    let mut col_idx = Vec::new();
+    row_ptr.push(0);
+    for br in 0..block_rows {
+        if keep.contains(&br) {
+            col_idx.extend(0..cols as u32);
+        }
+        row_ptr.push(col_idx.len());
+    }
+    SparsityPattern::new(rows, cols, v, row_ptr, col_idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::Layout;
+    use vecsparse_fp16::f16;
+
+    #[test]
+    fn square_block_pattern_is_square() {
+        let p = random_square_block_pattern(64, 128, 4, 0.8, 1);
+        assert!(is_square_block(&p));
+        assert!((p.sparsity() - 0.8).abs() < 0.05);
+        // A generic pattern is generally not square-block.
+        let q = gen::random_pattern(64, 128, 4, 0.8, 1);
+        assert!(!is_square_block(&q));
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let p = random_square_block_pattern(32, 48, 4, 0.7, 2);
+        let m = gen::fill_pattern::<f16>(p, 3);
+        let t = transpose_square_block(&m);
+        assert!(is_square_block(t.pattern()));
+        let want = m.to_dense(Layout::RowMajor).transpose();
+        let got = t.to_dense(Layout::RowMajor);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let p = random_square_block_pattern(24, 24, 8, 0.6, 4);
+        let m = gen::fill_pattern::<f16>(p, 5);
+        let tt = transpose_square_block(&transpose_square_block(&m));
+        assert_eq!(
+            tt.to_dense(Layout::RowMajor),
+            m.to_dense(Layout::RowMajor)
+        );
+    }
+
+    #[test]
+    fn transpose_works_for_v1() {
+        // V = 1 degenerates to plain CSR transposition.
+        let p = random_square_block_pattern(8, 16, 1, 0.5, 6);
+        let m = gen::fill_pattern::<f32>(p, 7);
+        let t = transpose_square_block(&m);
+        assert_eq!(
+            t.to_dense(Layout::RowMajor),
+            m.to_dense(Layout::RowMajor).transpose()
+        );
+    }
+
+    #[test]
+    fn row_sparse_rows_are_dense() {
+        let p = row_sparse_pattern(32, 64, 8, &[0, 3]);
+        assert_eq!(p.block_row_range(0).len(), 64);
+        assert_eq!(p.block_row_range(1).len(), 0);
+        assert_eq!(p.block_row_range(3).len(), 64);
+        for c in 0..64 {
+            assert!(p.contains(0, c));
+            assert!(!p.contains(8, c));
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! Bit-exact IEEE 754 binary16 storage type.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
+
+/// IEEE 754 binary16 floating point number.
+///
+/// Layout: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+/// Conversions use round-to-nearest-even, matching hardware `F2F` behaviour.
+#[allow(non_camel_case_types)]
+#[derive(Clone, Copy, Default)]
+#[repr(transparent)]
+pub struct f16(u16);
+
+impl PartialEq for f16 {
+    /// IEEE semantics: NaN compares unequal to everything (including
+    /// itself) and +0.0 == -0.0, matching `f32`.
+    #[inline]
+    fn eq(&self, other: &f16) -> bool {
+        self.to_f32() == other.to_f32()
+    }
+}
+
+const SIGN_MASK: u16 = 0x8000;
+const EXP_MASK: u16 = 0x7C00;
+const MAN_MASK: u16 = 0x03FF;
+
+impl f16 {
+    /// Positive zero.
+    pub const ZERO: f16 = f16(0);
+    /// Negative zero.
+    pub const NEG_ZERO: f16 = f16(SIGN_MASK);
+    /// One.
+    pub const ONE: f16 = f16(0x3C00);
+    /// Negative one.
+    pub const NEG_ONE: f16 = f16(0xBC00);
+    /// Positive infinity.
+    pub const INFINITY: f16 = f16(EXP_MASK);
+    /// Negative infinity.
+    pub const NEG_INFINITY: f16 = f16(SIGN_MASK | EXP_MASK);
+    /// A canonical quiet NaN.
+    pub const NAN: f16 = f16(0x7E00);
+    /// Largest finite value, 65504.
+    pub const MAX: f16 = f16(0x7BFF);
+    /// Smallest finite value, -65504.
+    pub const MIN: f16 = f16(0xFBFF);
+    /// Smallest positive normal value, 2^-14.
+    pub const MIN_POSITIVE: f16 = f16(0x0400);
+    /// Smallest positive subnormal value, 2^-24.
+    pub const MIN_POSITIVE_SUBNORMAL: f16 = f16(0x0001);
+    /// Machine epsilon, 2^-10.
+    pub const EPSILON: f16 = f16(0x1400);
+
+    /// Reinterpret raw bits as an `f16`.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> f16 {
+        f16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Convert from `f32` with round-to-nearest-even.
+    ///
+    /// Overflow saturates to infinity (IEEE default), underflow produces
+    /// subnormals or signed zero. NaNs are preserved as quiet NaNs.
+    pub fn from_f32(value: f32) -> f16 {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Infinity or NaN.
+            return if man == 0 {
+                f16(sign | EXP_MASK)
+            } else {
+                // Quiet NaN; keep the top mantissa bits for debuggability.
+                f16(sign | EXP_MASK | 0x0200 | ((man >> 13) as u16 & MAN_MASK))
+            };
+        }
+
+        // Unbiased exponent.
+        let unbiased = exp - 127;
+        // Target half exponent.
+        let half_exp = unbiased + 15;
+
+        if half_exp >= 0x1F {
+            // Overflow to infinity.
+            return f16(sign | EXP_MASK);
+        }
+
+        if half_exp <= 0 {
+            // Subnormal or zero. The implicit leading 1 must be made
+            // explicit before shifting it below the representable range.
+            if half_exp < -10 {
+                // Rounds to zero even after the sticky bit is considered.
+                return f16(sign);
+            }
+            let full_man = man | 0x0080_0000;
+            // Shift so that 10 mantissa bits remain for half_exp == 0,
+            // one fewer for each step below.
+            let shift = (14 - half_exp) as u32;
+            let halfway = 1u32 << (shift - 1);
+            let mut half_man = (full_man >> shift) as u16;
+            let rem = full_man & ((1u32 << shift) - 1);
+            if rem > halfway || (rem == halfway && (half_man & 1) == 1) {
+                half_man += 1; // May carry into the exponent; that is correct.
+            }
+            return f16(sign | half_man);
+        }
+
+        // Normal number: round 23-bit mantissa to 10 bits.
+        let mut out = sign | ((half_exp as u16) << 10) | ((man >> 13) as u16);
+        let rem = man & 0x1FFF;
+        if rem > 0x1000 || (rem == 0x1000 && (out & 1) == 1) {
+            // Round up; carry may overflow into the exponent and even to
+            // infinity, both of which are correct IEEE behaviour.
+            out = out.wrapping_add(1);
+        }
+        f16(out)
+    }
+
+    /// Convert to `f32` exactly (every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 & SIGN_MASK) << 16;
+        let exp = (self.0 & EXP_MASK) >> 10;
+        let man = u32::from(self.0 & MAN_MASK);
+
+        let bits = match exp {
+            0 => {
+                if man == 0 {
+                    sign // Signed zero.
+                } else {
+                    // Subnormal: value = man * 2^-24. Normalise around the
+                    // highest set bit p: 1.f * 2^(p-24).
+                    let p = 31 - man.leading_zeros();
+                    let exp = 103 + p; // 127 + p - 24
+                    let man = (man << (23 - p)) & 0x007F_FFFF;
+                    sign | (exp << 23) | man
+                }
+            }
+            0x1F => {
+                if man == 0 {
+                    sign | 0x7F80_0000 // Infinity.
+                } else {
+                    sign | 0x7FC0_0000 | (man << 13) // NaN.
+                }
+            }
+            _ => {
+                let exp = u32::from(exp) + 127 - 15;
+                sign | (exp << 23) | (man << 13)
+            }
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Lossy conversion from `f64` (via `f32`).
+    #[inline]
+    pub fn from_f64(value: f64) -> f16 {
+        f16::from_f32(value as f32)
+    }
+
+    /// Widen to `f64`.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.to_f32())
+    }
+
+    /// True if the value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// True if the value is positive or negative infinity.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) == 0
+    }
+
+    /// True if the value is neither infinite nor NaN.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// True if the value is subnormal.
+    #[inline]
+    pub fn is_subnormal(self) -> bool {
+        (self.0 & EXP_MASK) == 0 && (self.0 & MAN_MASK) != 0
+    }
+
+    /// True for +0.0 and -0.0.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        (self.0 & !SIGN_MASK) == 0
+    }
+
+    /// Sign bit set (note: true for -0.0 and NaNs with the sign bit).
+    #[inline]
+    pub fn is_sign_negative(self) -> bool {
+        (self.0 & SIGN_MASK) != 0
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> f16 {
+        f16(self.0 & !SIGN_MASK)
+    }
+
+    /// IEEE minimum (NaN-propagating like `f32::min` semantics).
+    #[inline]
+    pub fn min(self, other: f16) -> f16 {
+        f16::from_f32(self.to_f32().min(other.to_f32()))
+    }
+
+    /// IEEE maximum.
+    #[inline]
+    pub fn max(self, other: f16) -> f16 {
+        f16::from_f32(self.to_f32().max(other.to_f32()))
+    }
+}
+
+impl From<f32> for f16 {
+    #[inline]
+    fn from(v: f32) -> f16 {
+        f16::from_f32(v)
+    }
+}
+
+impl From<f16> for f32 {
+    #[inline]
+    fn from(v: f16) -> f32 {
+        v.to_f32()
+    }
+}
+
+impl fmt::Debug for f16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}f16", self.to_f32())
+    }
+}
+
+impl fmt::Display for f16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl PartialOrd for f16 {
+    #[inline]
+    fn partial_cmp(&self, other: &f16) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for f16 {
+            type Output = f16;
+            #[inline]
+            fn $method(self, rhs: f16) -> f16 {
+                f16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, +);
+impl_binop!(Sub, sub, -);
+impl_binop!(Mul, mul, *);
+impl_binop!(Div, div, /);
+
+impl AddAssign for f16 {
+    #[inline]
+    fn add_assign(&mut self, rhs: f16) {
+        *self = *self + rhs;
+    }
+}
+
+impl MulAssign for f16 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f16) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for f16 {
+    type Output = f16;
+    #[inline]
+    fn neg(self) -> f16 {
+        f16(self.0 ^ SIGN_MASK)
+    }
+}
+
+impl Sum for f16 {
+    fn sum<I: Iterator<Item = f16>>(iter: I) -> f16 {
+        // Accumulate in f32 like the kernels do; round once at the end.
+        f16::from_f32(iter.map(f16::to_f32).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 1024.0, 65504.0, -65504.0] {
+            assert_eq!(f16::from_f32(v).to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn constants_match_bits() {
+        assert_eq!(f16::ONE.to_f32(), 1.0);
+        assert_eq!(f16::NEG_ONE.to_f32(), -1.0);
+        assert_eq!(f16::MAX.to_f32(), 65504.0);
+        assert_eq!(f16::MIN_POSITIVE.to_f32(), 2.0f32.powi(-14));
+        assert_eq!(f16::MIN_POSITIVE_SUBNORMAL.to_f32(), 2.0f32.powi(-24));
+        assert_eq!(f16::EPSILON.to_f32(), 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(f16::from_f32(65520.0).is_infinite());
+        assert!(f16::from_f32(1e9).is_infinite());
+        assert!(f16::from_f32(-1e9).is_infinite());
+        assert!(f16::from_f32(-1e9).is_sign_negative());
+        // 65504 + half an ulp rounds to max, not infinity.
+        assert_eq!(f16::from_f32(65503.0), f16::MAX);
+    }
+
+    #[test]
+    fn underflow_to_subnormal_and_zero() {
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(f16::from_f32(tiny), f16::MIN_POSITIVE_SUBNORMAL);
+        // Below half of the smallest subnormal rounds to zero.
+        assert!(f16::from_f32(tiny / 4.0).is_zero());
+        // Exactly half rounds to even (zero).
+        assert!(f16::from_f32(tiny / 2.0).is_zero());
+        // Just above half rounds up to the subnormal.
+        assert_eq!(
+            f16::from_f32(tiny / 2.0 + tiny / 8.0),
+            f16::MIN_POSITIVE_SUBNORMAL
+        );
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1 and 1+2^-10; ties to even
+        // picks 1.0 (even mantissa).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f16::from_f32(halfway), f16::ONE);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; ties to even
+        // picks 1+2^-9 (mantissa 0b10).
+        let halfway_up = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(f16::from_f32(halfway_up).to_f32(), 1.0 + 2.0f32.powi(-9));
+    }
+
+    #[test]
+    fn nan_handling() {
+        assert!(f16::from_f32(f32::NAN).is_nan());
+        assert!(f16::NAN.to_f32().is_nan());
+        assert!(f16::NAN != f16::NAN);
+    }
+
+    #[test]
+    fn signed_zero() {
+        assert!(f16::from_f32(-0.0).is_zero());
+        assert!(f16::from_f32(-0.0).is_sign_negative());
+        assert_eq!(f16::from_f32(-0.0).to_f32().to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn subnormal_to_f32_roundtrip() {
+        for bits in 1u16..0x0400 {
+            let h = f16::from_bits(bits);
+            assert!(h.is_subnormal());
+            assert_eq!(f16::from_f32(h.to_f32()), h, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_finite_roundtrip() {
+        // Every finite f16 must roundtrip exactly through f32.
+        for bits in 0u16..=0xFFFF {
+            let h = f16::from_bits(bits);
+            if h.is_nan() {
+                assert!(f16::from_f32(h.to_f32()).is_nan());
+            } else {
+                assert_eq!(f16::from_f32(h.to_f32()).to_bits(), bits, "bits {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = f16::from_f32(1.5);
+        let b = f16::from_f32(2.25);
+        assert_eq!((a + b).to_f32(), 3.75);
+        assert_eq!((a * b).to_f32(), 3.375);
+        assert_eq!((b - a).to_f32(), 0.75);
+        assert_eq!((b / a).to_f32(), 1.5);
+        assert_eq!((-a).to_f32(), -1.5);
+    }
+
+    #[test]
+    fn sum_accumulates_in_f32() {
+        // 1024 + 1 overflows half-precision addition granularity: in pure
+        // f16 the ones would be absorbed, in f32 accumulation they are not.
+        let vals = std::iter::once(f16::from_f32(1024.0))
+            .chain(std::iter::repeat_n(f16::ONE, 512));
+        let total: f16 = vals.sum();
+        assert_eq!(total.to_f32(), 1536.0);
+    }
+}

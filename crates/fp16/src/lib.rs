@@ -1,0 +1,74 @@
+//! Software IEEE 754 binary16 ("half precision") arithmetic.
+//!
+//! The vecsparse workspace simulates Volta-generation GPU kernels, whose
+//! native operand type is fp16 with fp32 accumulation (the Tensor Core
+//! contract). The Rust ecosystem crates allowed in this workspace do not
+//! include a half-precision type, so this crate provides one from scratch:
+//!
+//! * <code>f16</code> — a bit-exact binary16 storage type with round-to-nearest-even
+//!   conversions to and from `f32`.
+//! * [`Half2`], [`Half4`], [`Float4`] — the packed register types the paper
+//!   uses for its column-vector sparse encoding (`half2` for V=2, `half4`
+//!   for V=4, `float4` i.e. eight halves for V=8).
+//!
+//! Arithmetic on `f16` is performed by converting to `f32`, operating, and
+//! rounding back, which matches how scalar half arithmetic behaves on real
+//! hardware when intermediate precision is single (HFMA with `.f32`
+//! accumulate). The Tensor Core model in `vecsparse-gpu-sim` keeps
+//! accumulators in `f32` and only rounds on the final store, exactly like
+//! `mma.m8n8k4.f32.f16.f16.f32`.
+
+mod half_type;
+mod packed;
+
+pub use half_type::f16;
+pub use packed::{vector_load_bits, Float4, Half2, Half4};
+
+/// Fused multiply-add in single precision: `a * b + c`.
+///
+/// The FPU baselines in the paper compute partial sums with `HMUL` (half
+/// multiply) followed by `FADD` (single-precision add) to bound the
+/// accumulation error; this helper mirrors that numeric path: operands are
+/// half precision, the product and the running sum are single precision.
+#[inline]
+pub fn hmul_fadd(a: f16, b: f16, acc: f32) -> f32 {
+    // HMUL rounds the product to half precision before FADD widens it.
+    let prod = f16::from_f32(a.to_f32() * b.to_f32());
+    acc + prod.to_f32()
+}
+
+/// The Tensor Core inner product step: four fp16 products accumulated in
+/// fp32 without intermediate rounding (each TCU lane owns a 4-wide dot
+/// product unit; see Fig. 1 of the paper).
+#[inline]
+pub fn tcu_dot4(a: [f16; 4], b: [f16; 4], acc: f32) -> f32 {
+    let mut sum = acc;
+    for i in 0..4 {
+        sum += a[i].to_f32() * b[i].to_f32();
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hmul_fadd_rounds_product_to_half() {
+        // Pick operands whose product is not representable in f16.
+        let a = f16::from_f32(0.1);
+        let b = f16::from_f32(3.0);
+        let exact = a.to_f32() * b.to_f32();
+        let rounded = f16::from_f32(exact).to_f32();
+        assert_ne!(exact, rounded, "test needs a product that rounds");
+        assert_eq!(hmul_fadd(a, b, 0.0), rounded);
+    }
+
+    #[test]
+    fn tcu_dot4_keeps_full_precision_products() {
+        let a = [f16::from_f32(0.1); 4];
+        let b = [f16::from_f32(3.0); 4];
+        let exact = a[0].to_f32() * b[0].to_f32() * 4.0;
+        assert_eq!(tcu_dot4(a, b, 0.0), exact);
+    }
+}

@@ -1,0 +1,157 @@
+//! Packed half-precision vector types.
+//!
+//! The column-vector sparse encoding stores each nonzero as a short column
+//! vector: `half2` (V=2), `half4` (V=4), or `float4` reinterpreted as eight
+//! halves (V=8). These types model the 32/64/128-bit registers a CUDA kernel
+//! uses to move those vectors, and let us reason about vector memory
+//! operation widths (LDG.32/64/128) in the simulator.
+
+use crate::f16;
+use core::ops::{Index, IndexMut};
+
+/// Two packed `f16` values (a 32-bit register; CUDA `half2`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Half2(pub [f16; 2]);
+
+/// Four packed `f16` values (a 64-bit register pair; CUDA `half4`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Half4(pub [f16; 4]);
+
+/// Eight packed `f16` values (a 128-bit register quad; CUDA `float4`
+/// reinterpreted as halves — the widest vector load, LDG.128).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Float4(pub [f16; 8]);
+
+macro_rules! impl_packed {
+    ($name:ident, $n:expr, $bits:expr) => {
+        impl $name {
+            /// Number of packed halves.
+            pub const LANES: usize = $n;
+            /// Register width in bits (the LDG width needed to load one).
+            pub const BITS: u32 = $bits;
+
+            /// All lanes zero.
+            #[inline]
+            pub fn zero() -> Self {
+                Self([f16::ZERO; $n])
+            }
+
+            /// Broadcast a single value to all lanes.
+            #[inline]
+            pub fn splat(v: f16) -> Self {
+                Self([v; $n])
+            }
+
+            /// Construct from a slice of exactly `LANES` halves.
+            ///
+            /// # Panics
+            /// Panics if `slice.len() != LANES`.
+            #[inline]
+            pub fn from_slice(slice: &[f16]) -> Self {
+                let mut out = Self::zero();
+                out.0.copy_from_slice(slice);
+                out
+            }
+
+            /// View the lanes as a slice.
+            #[inline]
+            pub fn as_slice(&self) -> &[f16] {
+                &self.0
+            }
+
+            /// Lane-wise sum in f32 (used by reduction-style tests).
+            #[inline]
+            pub fn sum_f32(&self) -> f32 {
+                self.0.iter().map(|h| h.to_f32()).sum()
+            }
+
+            /// Lane-wise fused multiply-add against a broadcast scalar,
+            /// accumulating into an f32 array: `acc[i] += self[i] * s`.
+            #[inline]
+            pub fn fma_scalar_into(&self, s: f16, acc: &mut [f32; $n]) {
+                let sv = s.to_f32();
+                for i in 0..$n {
+                    acc[i] += self.0[i].to_f32() * sv;
+                }
+            }
+        }
+
+        impl Index<usize> for $name {
+            type Output = f16;
+            #[inline]
+            fn index(&self, i: usize) -> &f16 {
+                &self.0[i]
+            }
+        }
+
+        impl IndexMut<usize> for $name {
+            #[inline]
+            fn index_mut(&mut self, i: usize) -> &mut f16 {
+                &mut self.0[i]
+            }
+        }
+
+        impl From<[f16; $n]> for $name {
+            #[inline]
+            fn from(v: [f16; $n]) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+impl_packed!(Half2, 2, 32);
+impl_packed!(Half4, 4, 64);
+impl_packed!(Float4, 8, 128);
+
+/// The register width (in bits) required to load one nonzero column vector
+/// of length `v` in a single vector memory operation, as used by the paper
+/// (`half2`/`half4`/`float4` for V = 2/4/8; a scalar half for V = 1).
+///
+/// # Panics
+/// Panics for unsupported vector lengths.
+pub const fn vector_load_bits(v: usize) -> u32 {
+    match v {
+        1 => 16,
+        2 => 32,
+        4 => 64,
+        8 => 128,
+        _ => panic!("column vector length must be 1, 2, 4, or 8"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splat_and_index() {
+        let v = Half4::splat(f16::from_f32(2.5));
+        assert_eq!(v[3].to_f32(), 2.5);
+        assert_eq!(v.sum_f32(), 10.0);
+    }
+
+    #[test]
+    fn from_slice_roundtrip() {
+        let vals: Vec<f16> = (0..8).map(|i| f16::from_f32(i as f32)).collect();
+        let v = Float4::from_slice(&vals);
+        assert_eq!(v.as_slice(), &vals[..]);
+        assert_eq!(v.sum_f32(), 28.0);
+    }
+
+    #[test]
+    fn fma_scalar_into_accumulates() {
+        let v = Half2::from([f16::from_f32(1.0), f16::from_f32(2.0)]);
+        let mut acc = [10.0f32, 20.0];
+        v.fma_scalar_into(f16::from_f32(3.0), &mut acc);
+        assert_eq!(acc, [13.0, 26.0]);
+    }
+
+    #[test]
+    fn load_bits_match_paper_types() {
+        assert_eq!(vector_load_bits(1), 16);
+        assert_eq!(vector_load_bits(2), Half2::BITS);
+        assert_eq!(vector_load_bits(4), Half4::BITS);
+        assert_eq!(vector_load_bits(8), Float4::BITS);
+    }
+}

@@ -1,0 +1,410 @@
+//! Kernel launch machinery: functional execution and performance
+//! simulation with occupancy-aware wave sampling and extrapolation.
+
+use crate::cache::{CacheStats, SectorCache};
+use crate::config::GpuConfig;
+use crate::mem::MemPool;
+use crate::profile::{InstrCounts, KernelProfile, PipeUtil, StallBreakdown};
+use crate::sched::simulate_wave;
+use crate::trace::WarpTrace;
+use crate::warp::CtaCtx;
+use crate::WARP_SIZE;
+use rayon::prelude::*;
+
+/// Execution mode of a launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Compute real values; no timing. Used by correctness tests and the
+    /// end-to-end transformer.
+    Functional,
+    /// Skip values; generate traces for a sampled set of CTAs and build a
+    /// [`KernelProfile`].
+    Performance,
+}
+
+/// Static launch description a kernel provides.
+#[derive(Clone, Debug)]
+pub struct LaunchConfig {
+    /// Number of CTAs (thread blocks).
+    pub grid: usize,
+    /// Warps per CTA.
+    pub warps_per_cta: usize,
+    /// Registers per thread (occupancy input; ≤ 255 on real hardware).
+    pub regs_per_thread: u32,
+    /// Shared memory elements per CTA.
+    pub smem_elems: usize,
+    /// Width of a shared-memory element in bytes.
+    pub smem_elem_bytes: u64,
+    /// Static program size in instructions ("SASS lines").
+    pub static_instrs: u32,
+}
+
+impl LaunchConfig {
+    /// Resident CTAs per SM under the machine's occupancy rules.
+    pub fn ctas_per_sm(&self, cfg: &GpuConfig) -> usize {
+        let by_cta_limit = cfg.max_ctas_per_sm;
+        let warp_capacity = cfg.max_warps_per_scheduler * cfg.schedulers_per_sm;
+        let by_warps = warp_capacity / self.warps_per_cta.max(1);
+        let regs_per_cta = self.regs_per_thread as usize * WARP_SIZE * self.warps_per_cta;
+        let by_regs = (cfg.regs_per_sm as usize)
+            .checked_div(regs_per_cta)
+            .unwrap_or(usize::MAX);
+        let smem_bytes = self.smem_elems as u64 * self.smem_elem_bytes;
+        let by_smem = (cfg.max_smem_per_sm as u64)
+            .checked_div(smem_bytes)
+            .map_or(usize::MAX, |x| x as usize);
+        by_cta_limit.min(by_warps).min(by_regs).min(by_smem).max(1)
+    }
+}
+
+/// A kernel: a launch shape plus the per-CTA body.
+pub trait KernelSpec: Sync {
+    /// Human-readable kernel name for reports.
+    fn name(&self) -> String;
+    /// Launch configuration.
+    fn launch_config(&self) -> LaunchConfig;
+    /// Execute one CTA (both modes go through this body).
+    fn run_cta(&self, cta: &mut CtaCtx<'_>);
+}
+
+/// What a launch returns.
+pub struct LaunchOutput {
+    /// Performance profile (None in functional mode).
+    pub profile: Option<KernelProfile>,
+}
+
+/// Launch a kernel.
+///
+/// In [`Mode::Functional`], every CTA executes (in parallel over host
+/// threads) and buffered global writes are applied to `mem`.
+///
+/// In [`Mode::Performance`], traces are generated for
+/// `sim_sms × ctas_per_sm × sim_waves` CTAs sampled evenly across the
+/// grid, scheduled on simulated SMs sharing an L2, and counters are
+/// extrapolated to the full grid. The final cycle estimate is the maximum
+/// of the issue-model cycles and the DRAM/L2 bandwidth lower bounds.
+pub fn launch<K: KernelSpec>(
+    cfg: &GpuConfig,
+    mem: &mut MemPool,
+    kernel: &K,
+    mode: Mode,
+) -> LaunchOutput {
+    let lc = kernel.launch_config();
+    assert!(lc.grid > 0, "empty grid");
+
+    match mode {
+        Mode::Functional => {
+            let results: Vec<_> = (0..lc.grid)
+                .into_par_iter()
+                .map(|cta_id| {
+                    let mut cta = CtaCtx::new(
+                        cta_id,
+                        Mode::Functional,
+                        mem,
+                        lc.warps_per_cta,
+                        lc.smem_elems,
+                        lc.smem_elem_bytes,
+                    );
+                    kernel.run_cta(&mut cta);
+                    let (_, writes) = cta.finish();
+                    writes
+                })
+                .collect();
+            for writes in results {
+                for (buf, idx, v) in writes {
+                    mem.write(buf, idx as usize, v);
+                }
+            }
+            LaunchOutput { profile: None }
+        }
+        Mode::Performance => {
+            let profile = simulate(cfg, mem, kernel, &lc);
+            LaunchOutput {
+                profile: Some(profile),
+            }
+        }
+    }
+}
+
+fn simulate<K: KernelSpec>(
+    cfg: &GpuConfig,
+    mem: &MemPool,
+    kernel: &K,
+    lc: &LaunchConfig,
+) -> KernelProfile {
+    let ctas_per_sm = lc.ctas_per_sm(cfg);
+
+    // How many CTAs would be resident machine-wide in one wave, and how
+    // many waves the grid takes.
+    let wave_ctas_machine = (ctas_per_sm * cfg.num_sms).min(lc.grid);
+    let total_waves = lc.grid.div_ceil(wave_ctas_machine);
+    // Residency actually achieved in a (possibly partial) wave.
+    let resident_per_sm = ctas_per_sm.min(lc.grid.div_ceil(cfg.num_sms)).max(1);
+
+    // Sample CTAs evenly: sim_sms SMs × resident CTAs × sim_waves waves.
+    let sim_waves = cfg.sim_waves.min(total_waves).max(1);
+    let want = (cfg.sim_sms * resident_per_sm * sim_waves).min(lc.grid);
+    let stride = (lc.grid as f64 / want as f64).max(1.0);
+    let sample_ids: Vec<usize> = (0..want)
+        .map(|i| ((i as f64 * stride) as usize).min(lc.grid - 1))
+        .collect();
+
+    // Trace generation (parallel; each CTA is independent).
+    let traces: Vec<Vec<WarpTrace>> = sample_ids
+        .par_iter()
+        .map(|&cta_id| {
+            let mut cta = CtaCtx::new(
+                cta_id,
+                Mode::Performance,
+                mem,
+                lc.warps_per_cta,
+                lc.smem_elems,
+                lc.smem_elem_bytes,
+            );
+            kernel.run_cta(&mut cta);
+            let (t, _) = cta.finish();
+            t
+        })
+        .collect();
+
+    // Distribute the sampled CTAs into SM-waves and simulate. The L2 is
+    // shared across all simulated SMs and waves.
+    let mut l2 = SectorCache::new(cfg.l2_bytes, cfg.l2_ways);
+    let mut l1_stats = CacheStats::default();
+    let mut stalls = StallBreakdown::default();
+    let mut instrs = InstrCounts::default();
+    let mut pipe_busy: Vec<(crate::trace::Pipe, u64)> = Vec::new();
+    let mut wave_cycles: Vec<u64> = Vec::new();
+
+    let smem_bytes = lc.smem_elems as u64 * lc.smem_elem_bytes;
+    let l1_cache_bytes = (cfg.l1_bytes as u64)
+        .saturating_sub(smem_bytes.min(cfg.max_smem_per_sm as u64))
+        .max(16 * 1024) as usize;
+    // Round down to a valid geometry.
+    let l1_cache_bytes = (l1_cache_bytes / (128 * cfg.l1_ways)) * (128 * cfg.l1_ways);
+
+    let mut cursor = 0usize;
+    while cursor < traces.len() {
+        let end = (cursor + resident_per_sm).min(traces.len());
+        let wave: Vec<&[WarpTrace]> = traces[cursor..end].iter().map(|t| t.as_slice()).collect();
+        cursor = end;
+        // Fresh L1 per SM-wave (each wave runs on "its own" SM slot).
+        let mut l1 = SectorCache::new(l1_cache_bytes.max(128 * cfg.l1_ways), cfg.l1_ways);
+        let r = simulate_wave(cfg, &wave, &mut l1, &mut l2);
+        wave_cycles.push(r.cycles);
+        stalls.merge(&r.stalls);
+        instrs.merge(&r.instrs);
+        l1_stats.merge(&l1.stats);
+        if pipe_busy.is_empty() {
+            pipe_busy = r.pipe_busy;
+        } else {
+            for (p, b) in r.pipe_busy {
+                if let Some(e) = pipe_busy.iter_mut().find(|(q, _)| *q == p) {
+                    e.1 += b;
+                }
+            }
+        }
+    }
+
+    let sim_ctas = traces.len().max(1);
+    let scale = lc.grid as f64 / sim_ctas as f64;
+
+    // Issue-model cycles: average SM-wave time × waves the grid needs.
+    let avg_wave = wave_cycles.iter().sum::<u64>() as f64 / wave_cycles.len().max(1) as f64;
+    let sm_waves_total = lc.grid as f64 / (cfg.num_sms as f64 * resident_per_sm as f64);
+    let issue_cycles = avg_wave * sm_waves_total.max(1.0);
+
+    // Bandwidth lower bounds from extrapolated traffic.
+    let l1s = l1_stats.scaled(scale);
+    let l2s = l2.stats.scaled(scale);
+    let bytes_l2_l1 = (l1s.sectors_missed + l1s.sectors_stored) * 32;
+    let dram_bytes = (l2s.sectors_missed + l2s.sectors_stored) * 32;
+    let l2_cycles = bytes_l2_l1 as f64 / cfg.l2_bytes_per_cycle;
+    let dram_cycles = dram_bytes as f64 / cfg.dram_bytes_per_cycle;
+
+    let cycles = issue_cycles.max(l2_cycles).max(dram_cycles);
+
+    // Pipe utilisation: busy cycles per scheduler over simulated time.
+    let sim_time: f64 = wave_cycles.iter().sum::<u64>() as f64;
+    let mut pipes: Vec<PipeUtil> = pipe_busy
+        .iter()
+        .map(|&(p, b)| PipeUtil {
+            pipe: p,
+            utilisation: if sim_time > 0.0 {
+                (b as f64 / (sim_time * cfg.schedulers_per_sm as f64)).min(1.0)
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    pipes.sort_by(|a, b| b.utilisation.partial_cmp(&a.utilisation).unwrap());
+
+    let warps_per_scheduler =
+        resident_per_sm as f64 * lc.warps_per_cta as f64 / cfg.schedulers_per_sm as f64;
+
+    KernelProfile {
+        name: kernel.name(),
+        grid: lc.grid,
+        ctas_per_sm,
+        warps_per_scheduler,
+        regs_per_thread: lc.regs_per_thread,
+        static_instrs: lc.static_instrs,
+        cycles,
+        issue_cycles,
+        dram_cycles,
+        l2_cycles,
+        instrs: instrs.scaled(scale),
+        stalls,
+        l1: l1s,
+        l2: l2s,
+        pipes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::ElemWidth;
+    use crate::program::Program;
+    use crate::warp::NO_LANES;
+    use crate::BufferId;
+
+    /// A toy kernel: each CTA's single warp loads 32 elements and stores
+    /// them doubled.
+    struct DoubleKernel {
+        input: BufferId,
+        output: BufferId,
+        grid: usize,
+        sites: (crate::program::Site, crate::program::Site, crate::program::Site),
+        static_len: u32,
+    }
+
+    impl DoubleKernel {
+        fn new(input: BufferId, output: BufferId, grid: usize) -> Self {
+            let mut p = Program::new();
+            let s = (p.site("ldg", 0), p.site("fma", 0), p.site("stg", 0));
+            DoubleKernel {
+                input,
+                output,
+                grid,
+                sites: s,
+                static_len: p.static_len(),
+            }
+        }
+    }
+
+    impl KernelSpec for DoubleKernel {
+        fn name(&self) -> String {
+            "double".into()
+        }
+
+        fn launch_config(&self) -> LaunchConfig {
+            LaunchConfig {
+                grid: self.grid,
+                warps_per_cta: 1,
+                regs_per_thread: 32,
+                smem_elems: 0,
+                smem_elem_bytes: 2,
+                static_instrs: self.static_len,
+            }
+        }
+
+        fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+            let cta_id = cta.cta_id;
+            let mut w = cta.warp(0);
+            let mut offs = NO_LANES;
+            for (l, o) in offs.iter_mut().enumerate() {
+                *o = (cta_id * 32 + l) as u32;
+            }
+            let v = w.ldg(self.sites.0, self.input, &offs, 1, &[]);
+            let t = w.math(self.sites.1, crate::trace::InstrKind::Ffma, 1, &[v.tok()]);
+            let mut out = crate::wvec::WVec::zeros(1);
+            for l in 0..32 {
+                out.set(l, 0, v.get(l, 0) * 2.0);
+            }
+            out.set_tok(t);
+            w.stg(self.sites.2, self.output, &offs, &out, &[t]);
+        }
+    }
+
+    #[test]
+    fn functional_launch_computes_values() {
+        let cfg = GpuConfig::small();
+        let mut mem = MemPool::new();
+        let input = mem.alloc_init(ElemWidth::B32, (0..128).map(|i| i as f32).collect());
+        let output = mem.alloc_zeroed(ElemWidth::B32, 128);
+        let k = DoubleKernel::new(input, output, 4);
+        let out = launch(&cfg, &mut mem, &k, Mode::Functional);
+        assert!(out.profile.is_none());
+        for i in 0..128 {
+            assert_eq!(mem.read(output, i), 2.0 * i as f32, "index {i}");
+        }
+    }
+
+    #[test]
+    fn performance_launch_profiles() {
+        let cfg = GpuConfig::small();
+        let mut mem = MemPool::new();
+        let input = mem.alloc_ghost(ElemWidth::B32, 32 * 1024);
+        let output = mem.alloc_ghost(ElemWidth::B32, 32 * 1024);
+        let k = DoubleKernel::new(input, output, 1024);
+        let out = launch(&cfg, &mut mem, &k, Mode::Performance);
+        let p = out.profile.unwrap();
+        assert_eq!(p.grid, 1024);
+        assert!(p.cycles > 0.0);
+        // One LDG + one FFMA + one STG per CTA, grid-wide.
+        assert_eq!(p.instrs.ldg, 1024);
+        assert_eq!(p.instrs.ffma, 1024);
+        assert_eq!(p.instrs.stg, 1024);
+        // 32 lanes × 4B consecutive = 4 sectors per request.
+        assert!((p.l1.sectors_per_request() - 4.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn occupancy_limits_apply() {
+        let cfg = GpuConfig::default();
+        let lc = LaunchConfig {
+            grid: 10_000,
+            warps_per_cta: 1,
+            regs_per_thread: 255,
+            smem_elems: 0,
+            smem_elem_bytes: 2,
+            static_instrs: 100,
+        };
+        // 255 regs × 32 threads = 8160 regs per CTA → 65536/8160 = 8.
+        assert_eq!(lc.ctas_per_sm(&cfg), 8);
+
+        let lc2 = LaunchConfig {
+            regs_per_thread: 32,
+            ..lc.clone()
+        };
+        // Warp capacity: 64 warps / 1 = 64, CTA cap 32 wins.
+        assert_eq!(lc2.ctas_per_sm(&cfg), 32);
+
+        let lc3 = LaunchConfig {
+            smem_elems: 24 * 1024,
+            smem_elem_bytes: 2,
+            regs_per_thread: 32,
+            ..lc
+        };
+        // 48 KiB shared per CTA → 96/48 = 2 CTAs.
+        assert_eq!(lc3.ctas_per_sm(&cfg), 2);
+    }
+
+    #[test]
+    fn bigger_grid_costs_more_cycles() {
+        let cfg = GpuConfig::small();
+        let mut mem = MemPool::new();
+        let input = mem.alloc_ghost(ElemWidth::B32, 1 << 20);
+        let output = mem.alloc_ghost(ElemWidth::B32, 1 << 20);
+        let small = DoubleKernel::new(input, output, 256);
+        let big = DoubleKernel::new(input, output, 4096);
+        let ps = launch(&cfg, &mut mem, &small, Mode::Performance)
+            .profile
+            .unwrap();
+        let pb = launch(&cfg, &mut mem, &big, Mode::Performance)
+            .profile
+            .unwrap();
+        assert!(pb.cycles > 2.0 * ps.cycles, "{} vs {}", pb.cycles, ps.cycles);
+    }
+}

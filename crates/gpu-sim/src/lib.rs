@@ -1,0 +1,62 @@
+//! A Volta-like GPU substrate for the vecsparse kernels.
+//!
+//! This crate stands in for the V100 the paper ran on. It provides:
+//!
+//! * a **functional model** — warp-wide execution of the instruction subset
+//!   the kernels need (vector global/shared memory ops, FPU math, warp
+//!   shuffle, and the Tensor Core `mma.m8n8k4` with its four HMMA steps and
+//!   octet operand buffers, including the paper's proposed `SWITCH`
+//!   extension from Fig. 15), and
+//! * a **performance model** — every warp operation also emits a trace
+//!   instruction carrying a static PC, dependency tokens, and real memory
+//!   sector addresses. Traces drive an L0 instruction cache, sectored
+//!   L1/L2 caches, and a per-SM warp-scheduler discrete-event simulation
+//!   that reports cycles and Nsight-style counters: pipeline-stall
+//!   breakdown ("No Instruction" / "Wait" / "Short Scoreboard" / ...),
+//!   Sectors/Req, bytes moved L2→L1, pipe utilisation, and more.
+//!
+//! Kernels are written once against [`WarpCtx`] and run in either
+//! [`Mode::Functional`] (values are computed; used for correctness tests)
+//! or [`Mode::Performance`] (values are skipped; traces are generated for a
+//! sampled set of CTAs and extrapolated; used for the paper's figures).
+//!
+//! The model is deliberately *mechanistic*, not cycle-exact: every effect
+//! the paper uses to explain kernel performance (§3's profiling and the
+//! five guidelines) is represented by first-class machinery, so relative
+//! performance emerges from the same causes as on real hardware.
+
+// Kernel and backprop code index several parallel arrays in lock-step;
+// iterator-zip rewrites of those loops hurt readability, so the indexed
+// form is kept deliberately.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::manual_is_multiple_of)]
+
+mod cache;
+mod config;
+mod icache;
+mod launch;
+mod mem;
+mod profile;
+mod program;
+mod sched;
+mod tcu;
+mod trace;
+mod warp;
+mod wvec;
+
+pub use cache::{CacheStats, SectorCache};
+pub use config::{GpuConfig, Timing};
+pub use launch::{launch, KernelSpec, LaunchConfig, LaunchOutput, Mode};
+pub use mem::{BufferId, ElemWidth, MemPool};
+pub use profile::{KernelProfile, PipeUtil, StallBreakdown};
+pub use program::{Program, Site};
+pub use tcu::{execute_mma, mma_m8n8k4_reference, pack_a_fragment, pack_b_fragment,
+    unpack_acc, MmaFlavor, OCTETS, OCTET_SIZE};
+pub use trace::{InstrKind, MemAccess, Pipe, Tok, TraceInstr, WarpTrace};
+pub use warp::{CtaCtx, LaneOffsets, SharedMem, WarpCtx, NO_LANES};
+pub use wvec::WVec;
+
+/// Number of lanes in a warp.
+pub const WARP_SIZE: usize = 32;
+/// Lanes per thread group (quarter of an octet).
+pub const THREAD_GROUP: usize = 4;

@@ -1,0 +1,204 @@
+//! Global-memory buffer pool.
+//!
+//! Buffers live at realistic (256-byte aligned) virtual addresses so the
+//! coalescer and cache models see the same sector layout a real kernel
+//! would. Values are stored in the f32 accumulation domain regardless of
+//! the declared element width; the width decides the *addresses* elements
+//! occupy, which is what the memory system cares about.
+
+/// Element width of a buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ElemWidth {
+    /// 16-bit (half precision).
+    B16,
+    /// 32-bit (single precision or 32-bit indices).
+    B32,
+}
+
+impl ElemWidth {
+    /// Bytes per element.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            ElemWidth::B16 => 2,
+            ElemWidth::B32 => 4,
+        }
+    }
+
+    /// Bits per element.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        match self {
+            ElemWidth::B16 => 16,
+            ElemWidth::B32 => 32,
+        }
+    }
+}
+
+/// Handle to a buffer in the [`MemPool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BufferId(usize);
+
+struct Buffer {
+    base: u64,
+    width: ElemWidth,
+    /// Functional values (f32 domain). Empty for ghost (perf-only) buffers.
+    data: Vec<f32>,
+    len: usize,
+}
+
+/// The device global memory: a set of allocated buffers.
+#[derive(Default)]
+pub struct MemPool {
+    buffers: Vec<Buffer>,
+    next_base: u64,
+}
+
+impl MemPool {
+    /// Empty pool. Allocations start at a nonzero base so that address 0
+    /// never aliases a real element.
+    pub fn new() -> Self {
+        MemPool {
+            buffers: Vec::new(),
+            next_base: 256,
+        }
+    }
+
+    fn alloc_raw(&mut self, width: ElemWidth, len: usize, data: Vec<f32>) -> BufferId {
+        let id = BufferId(self.buffers.len());
+        let base = self.next_base;
+        let bytes = len as u64 * width.bytes();
+        // 256-byte alignment, like cudaMalloc.
+        self.next_base = (base + bytes + 255) & !255;
+        self.buffers.push(Buffer {
+            base,
+            width,
+            data,
+            len,
+        });
+        id
+    }
+
+    /// Allocate and initialise a buffer with functional values.
+    pub fn alloc_init(&mut self, width: ElemWidth, data: Vec<f32>) -> BufferId {
+        let len = data.len();
+        self.alloc_raw(width, len, data)
+    }
+
+    /// Allocate a zero-filled output buffer with functional values.
+    pub fn alloc_zeroed(&mut self, width: ElemWidth, len: usize) -> BufferId {
+        self.alloc_raw(width, len, vec![0.0; len])
+    }
+
+    /// Allocate an address-only buffer (performance mode: no values).
+    pub fn alloc_ghost(&mut self, width: ElemWidth, len: usize) -> BufferId {
+        self.alloc_raw(width, len, Vec::new())
+    }
+
+    /// Byte address of element `idx` in `buf`.
+    #[inline]
+    pub fn addr(&self, buf: BufferId, idx: usize) -> u64 {
+        let b = &self.buffers[buf.0];
+        debug_assert!(idx <= b.len, "address past end of buffer");
+        b.base + idx as u64 * b.width.bytes()
+    }
+
+    /// Element width of a buffer.
+    #[inline]
+    pub fn width(&self, buf: BufferId) -> ElemWidth {
+        self.buffers[buf.0].width
+    }
+
+    /// Logical length of a buffer in elements.
+    #[inline]
+    pub fn len(&self, buf: BufferId) -> usize {
+        self.buffers[buf.0].len
+    }
+
+    /// True when the pool has no buffers.
+    pub fn is_empty(&self) -> bool {
+        self.buffers.is_empty()
+    }
+
+    /// Read element `idx` (0.0 for ghost buffers).
+    #[inline]
+    pub fn read(&self, buf: BufferId, idx: usize) -> f32 {
+        let b = &self.buffers[buf.0];
+        if b.data.is_empty() {
+            0.0
+        } else {
+            b.data[idx]
+        }
+    }
+
+    /// Write element `idx` (no-op for ghost buffers).
+    #[inline]
+    pub fn write(&mut self, buf: BufferId, idx: usize, v: f32) {
+        let b = &mut self.buffers[buf.0];
+        if !b.data.is_empty() {
+            b.data[idx] = v;
+        }
+    }
+
+    /// Apply a batch of `(index, value)` writes to a buffer.
+    pub fn apply_writes(&mut self, buf: BufferId, writes: &[(u32, f32)]) {
+        let b = &mut self.buffers[buf.0];
+        if b.data.is_empty() {
+            return;
+        }
+        for &(idx, v) in writes {
+            b.data[idx as usize] = v;
+        }
+    }
+
+    /// The functional contents of a buffer (empty for ghosts).
+    pub fn contents(&self, buf: BufferId) -> &[f32] {
+        &self.buffers[buf.0].data
+    }
+
+    /// Total allocated bytes (for peak-memory accounting).
+    pub fn allocated_bytes(&self) -> u64 {
+        self.buffers
+            .iter()
+            .map(|b| b.len as u64 * b.width.bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_are_aligned_and_disjoint() {
+        let mut pool = MemPool::new();
+        let a = pool.alloc_zeroed(ElemWidth::B16, 100); // 200 bytes
+        let b = pool.alloc_zeroed(ElemWidth::B32, 10);
+        assert_eq!(pool.addr(a, 0) % 256, 0);
+        assert_eq!(pool.addr(b, 0) % 256, 0);
+        assert!(pool.addr(b, 0) >= pool.addr(a, 99) + 2);
+        assert_eq!(pool.addr(a, 3) - pool.addr(a, 0), 6);
+        assert_eq!(pool.addr(b, 3) - pool.addr(b, 0), 12);
+    }
+
+    #[test]
+    fn functional_read_write() {
+        let mut pool = MemPool::new();
+        let a = pool.alloc_init(ElemWidth::B32, vec![1.0, 2.0, 3.0]);
+        assert_eq!(pool.read(a, 1), 2.0);
+        pool.write(a, 1, 9.0);
+        assert_eq!(pool.read(a, 1), 9.0);
+        pool.apply_writes(a, &[(0, 7.0), (2, 8.0)]);
+        assert_eq!(pool.contents(a), &[7.0, 9.0, 8.0]);
+    }
+
+    #[test]
+    fn ghost_buffers_have_addresses_but_no_values() {
+        let mut pool = MemPool::new();
+        let g = pool.alloc_ghost(ElemWidth::B16, 64);
+        assert_eq!(pool.read(g, 5), 0.0);
+        pool.write(g, 5, 1.0);
+        assert_eq!(pool.read(g, 5), 0.0);
+        assert_eq!(pool.allocated_bytes(), 128);
+    }
+}

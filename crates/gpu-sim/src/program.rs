@@ -1,0 +1,69 @@
+//! Static program (SASS-line) registry.
+//!
+//! The L0 instruction-cache model needs to know the *static* footprint of a
+//! kernel — the paper attributes the Blocked-ELL kernel's dominant stall to
+//! its 4600-line SASS overflowing the 768-entry L0 cache (§3.2), and its
+//! own kernel's health to a 384–416-line program (§7.2.2).
+//!
+//! Kernels therefore allocate one [`Site`] per *static* instruction: an
+//! instruction inside a fully-unrolled loop gets one site per unroll
+//! instance (that is precisely why unrolling bloats programs), while an
+//! instruction inside a rolled loop gets a single site reused every
+//! iteration.
+
+use std::collections::HashMap;
+
+/// A static instruction id (one SASS line).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Site(pub u32);
+
+/// Registry of a kernel's static instructions.
+///
+/// Sites are keyed by `(name, unroll_index)` so that kernel code can write
+/// `prog.site("fma", i)` inside an unrolled loop and receive a distinct
+/// static id per instance, or `prog.site("fma", 0)` inside a rolled loop
+/// to reuse one id.
+#[derive(Debug, Default)]
+pub struct Program {
+    by_key: HashMap<(&'static str, u32), Site>,
+    next: u32,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Get or allocate the site for `(name, instance)`.
+    pub fn site(&mut self, name: &'static str, instance: u32) -> Site {
+        let next = &mut self.next;
+        *self.by_key.entry((name, instance)).or_insert_with(|| {
+            let s = Site(*next);
+            *next += 1;
+            s
+        })
+    }
+
+    /// Number of static instructions registered so far ("SASS lines").
+    pub fn static_len(&self) -> u32 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sites_are_stable_and_distinct() {
+        let mut p = Program::new();
+        let a0 = p.site("fma", 0);
+        let a1 = p.site("fma", 1);
+        let b0 = p.site("ldg", 0);
+        assert_ne!(a0, a1);
+        assert_ne!(a0, b0);
+        assert_eq!(p.site("fma", 0), a0);
+        assert_eq!(p.static_len(), 3);
+    }
+}

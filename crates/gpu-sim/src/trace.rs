@@ -1,0 +1,203 @@
+//! Trace instruction records emitted by kernels in performance mode.
+
+/// Execution pipe an instruction issues to. Issue intervals are per pipe,
+/// so pipe pressure (e.g. the shared-memory pipe in the WMMA baseline)
+/// emerges from the counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Pipe {
+    /// FP32 FMA units.
+    Fp32,
+    /// FP16x2 units.
+    Fp16,
+    /// Tensor cores.
+    Tensor,
+    /// Integer units (address arithmetic — IMAD/IADD3).
+    Int,
+    /// Load/store unit for global/local memory.
+    Lsu,
+    /// Load/store unit for shared memory.
+    Shared,
+    /// MIO pipe (warp shuffles).
+    Mio,
+    /// Control flow, barriers, and other cheap instructions.
+    Misc,
+}
+
+/// All pipes, for iteration in the profiler.
+pub const ALL_PIPES: [Pipe; 8] = [
+    Pipe::Fp32,
+    Pipe::Fp16,
+    Pipe::Tensor,
+    Pipe::Int,
+    Pipe::Lsu,
+    Pipe::Shared,
+    Pipe::Mio,
+    Pipe::Misc,
+];
+
+/// Instruction kinds, corresponding to the SASS the paper discusses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstrKind {
+    /// FP32 fused multiply-add (FFMA) or add (FADD).
+    Ffma,
+    /// Packed half multiply/FMA (HMUL2/HFMA2).
+    Hfma2,
+    /// One tensor-core step (HMMA.884.F32.F32.STEP*).
+    Hmma,
+    /// Integer multiply-add / 3-input add (IMAD/IADD3) — address math.
+    Imad,
+    /// Global memory load (LDG.32/.64/.128 by `bits`).
+    Ldg { bits: u32 },
+    /// Global memory store (STG).
+    Stg { bits: u32 },
+    /// Shared memory load (LDS).
+    Lds { bits: u32 },
+    /// Shared memory store (STS).
+    Sts { bits: u32 },
+    /// Warp-wide register shuffle (SHFL).
+    Shfl,
+    /// CTA-wide barrier (BAR.SYNC).
+    Bar,
+    /// Memory fence / compiler barrier (__threadfence_block).
+    Fence,
+    /// Branches, predicate setup, and other glue.
+    Misc,
+}
+
+impl InstrKind {
+    /// The pipe this instruction issues to.
+    pub fn pipe(self) -> Pipe {
+        match self {
+            InstrKind::Ffma => Pipe::Fp32,
+            InstrKind::Hfma2 => Pipe::Fp16,
+            InstrKind::Hmma => Pipe::Tensor,
+            InstrKind::Imad => Pipe::Int,
+            InstrKind::Ldg { .. } | InstrKind::Stg { .. } => Pipe::Lsu,
+            InstrKind::Lds { .. } | InstrKind::Sts { .. } => Pipe::Shared,
+            InstrKind::Shfl => Pipe::Mio,
+            InstrKind::Bar | InstrKind::Fence | InstrKind::Misc => Pipe::Misc,
+        }
+    }
+
+    /// True for "math" instructions (Fig. 5's executed-math-instruction
+    /// counter: FFMA/HFMA2/HMMA).
+    pub fn is_math(self) -> bool {
+        matches!(self, InstrKind::Ffma | InstrKind::Hfma2 | InstrKind::Hmma)
+    }
+}
+
+/// Dependency token: identifies a previously-emitted instruction within the
+/// same warp whose result the new instruction consumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tok(pub(crate) u32);
+
+impl Tok {
+    /// A token that never blocks (dependency on warp entry).
+    pub const NONE: Tok = Tok(u32::MAX);
+}
+
+/// Memory sectors touched by one warp-level memory instruction.
+///
+/// `global`/`store` mirror the instruction kind for consumers that only
+/// see the access (e.g. external trace analyses).
+#[derive(Clone, Debug)]
+#[allow(dead_code)] // `global`/`store` are part of the public trace record.
+pub struct MemAccess {
+    /// 32-byte-aligned sector addresses (deduplicated).
+    pub sectors: Vec<u64>,
+    /// True for global/local space (through L1/L2); false for shared.
+    pub global: bool,
+    /// True for a store.
+    pub store: bool,
+    /// Shared-memory bank-conflict degree (1 = conflict-free): the access
+    /// occupies the shared pipe `conflict` times as long.
+    pub conflict: u8,
+}
+
+impl Default for MemAccess {
+    fn default() -> Self {
+        MemAccess {
+            sectors: Vec::new(),
+            global: false,
+            store: false,
+            conflict: 1,
+        }
+    }
+}
+
+/// One warp-level instruction in a trace.
+#[derive(Clone, Debug)]
+pub struct TraceInstr {
+    /// Static program counter (site id); drives the L0 icache model.
+    pub pc: u32,
+    /// Kind (decides pipe, issue interval, latency class).
+    pub kind: InstrKind,
+    /// Tokens of instructions whose results this one reads.
+    pub deps: [Tok; 3],
+    /// For HMMA: token of the accumulator producer (forwarded cheaply).
+    pub acc_dep: Tok,
+    /// Sectors touched, for memory instructions.
+    pub mem: Option<MemAccess>,
+}
+
+/// The full trace of one warp.
+#[derive(Clone, Debug, Default)]
+pub struct WarpTrace {
+    pub instrs: Vec<TraceInstr>,
+}
+
+impl WarpTrace {
+    /// Append an instruction, returning its token.
+    pub fn push(&mut self, instr: TraceInstr) -> Tok {
+        let tok = Tok(self.instrs.len() as u32);
+        self.instrs.push(instr);
+        tok
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when no instructions have been emitted.
+    #[allow(dead_code)] // Symmetry with `len`; used by downstream tooling.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipes_match_kinds() {
+        assert_eq!(InstrKind::Hmma.pipe(), Pipe::Tensor);
+        assert_eq!(InstrKind::Ldg { bits: 128 }.pipe(), Pipe::Lsu);
+        assert_eq!(InstrKind::Sts { bits: 32 }.pipe(), Pipe::Shared);
+        assert!(InstrKind::Hmma.is_math());
+        assert!(!InstrKind::Shfl.is_math());
+    }
+
+    #[test]
+    fn trace_tokens_are_sequential() {
+        let mut t = WarpTrace::default();
+        let a = t.push(TraceInstr {
+            pc: 0,
+            kind: InstrKind::Misc,
+            deps: [Tok::NONE; 3],
+            acc_dep: Tok::NONE,
+            mem: None,
+        });
+        let b = t.push(TraceInstr {
+            pc: 1,
+            kind: InstrKind::Misc,
+            deps: [a, Tok::NONE, Tok::NONE],
+            acc_dep: Tok::NONE,
+            mem: None,
+        });
+        assert_eq!(a.0, 0);
+        assert_eq!(b.0, 1);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! Kernel profiler: an Nsight-style report for every SpMM and SDDMM
+//! implementation at one problem shape — the raw material behind the
+//! paper's Tables 1–3.
+//!
+//! ```text
+//! cargo run --release --example kernel_profiler
+//! ```
+
+use vecsparse::sddmm::{
+    profile_sddmm_fpu, profile_sddmm_octet, profile_sddmm_wmma, OctetVariant,
+};
+use vecsparse::spmm::{
+    profile_spmm_blocked_ell, profile_spmm_fpu, profile_spmm_octet, profile_spmm_wmma,
+};
+use vecsparse_formats::{gen, Layout};
+use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::{GpuConfig, KernelProfile};
+
+fn report(p: &KernelProfile) {
+    print!("{}", p.render());
+    println!();
+}
+fn main() {
+    let gpu = GpuConfig::default();
+
+    println!("--- SpMM, A(2048x1024) 90% sparse V=4, B(1024x256) ---\n");
+    let a = gen::random_vector_sparse::<f16>(2048, 1024, 4, 0.9, 1);
+    let b = gen::random_dense::<f16>(1024, 256, Layout::RowMajor, 2);
+    report(&profile_spmm_octet(&gpu, &a, &b));
+    report(&profile_spmm_wmma(&gpu, &a, &b));
+    report(&profile_spmm_fpu(&gpu, &a, &b));
+    let ell = gen::random_blocked_ell::<f16>(2048, 1024, 4, 0.9, 3);
+    report(&profile_spmm_blocked_ell(&gpu, &ell, &b));
+
+    println!("--- SDDMM, A(2048x256) x B(256x1024), mask 90% sparse V=8 ---\n");
+    let q = gen::random_dense::<f16>(2048, 256, Layout::RowMajor, 4);
+    let kt = gen::random_dense::<f16>(256, 1024, Layout::ColMajor, 5);
+    let mask = gen::random_pattern(2048, 1024, 8, 0.9, 6);
+    for variant in [OctetVariant::Reg, OctetVariant::Shfl, OctetVariant::Arch] {
+        report(&profile_sddmm_octet(&gpu, &q, &kt, &mask, variant));
+    }
+    report(&profile_sddmm_wmma(&gpu, &q, &kt, &mask));
+    report(&profile_sddmm_fpu(&gpu, &q, &kt, &mask));
+}

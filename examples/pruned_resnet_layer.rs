@@ -1,0 +1,50 @@
+//! A pruned ResNet-50 layer across the sparsity grid: where does the
+//! octet kernel overtake dense cublasHgemm for this layer? (One slice of
+//! the Fig. 17 story.)
+//!
+//! ```text
+//! cargo run --release --example pruned_resnet_layer
+//! ```
+
+use vecsparse::api::{profile_spmm, SpmmAlgo};
+use vecsparse_bench::rhs_for;
+use vecsparse_dlmc::{resnet50_shapes, Benchmark, SPARSITIES};
+use vecsparse_gpu_sim::GpuConfig;
+
+fn main() {
+    let gpu = GpuConfig::default();
+    let shape = resnet50_shapes()
+        .into_iter()
+        .find(|s| s.name == "conv4_3x3")
+        .expect("conv4_3x3 is in the suite");
+    let n = 256;
+    println!(
+        "layer {} ({}x{}), RHS width {n}, grain 4x1",
+        shape.name, shape.rows, shape.cols
+    );
+    println!();
+    println!("sparsity   dense(cyc)   octet(cyc)   speedup");
+
+    for s in SPARSITIES {
+        let bench = Benchmark::build(shape, 4, s);
+        let b = rhs_for(&bench, n);
+        let dense = profile_spmm(&gpu, &bench.matrix, &b, SpmmAlgo::Dense);
+        let octet = profile_spmm(&gpu, &bench.matrix, &b, SpmmAlgo::Octet);
+        println!(
+            "    {s:.2}  {:>11.0}  {:>11.0}   {:>6.2}x{}",
+            dense.cycles,
+            octet.cycles,
+            dense.cycles / octet.cycles,
+            if octet.cycles < dense.cycles {
+                "  <- sparse wins"
+            } else {
+                ""
+            }
+        );
+    }
+    println!();
+    println!(
+        "The paper's headline: practical speedup under >70% sparsity with the\n\
+         tiny 4x1 grain — small enough to preserve model accuracy."
+    );
+}
