@@ -2,9 +2,7 @@
 //! throughput, scheduler simulation, and the TCU functional op.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use vecsparse_gpu_sim::{
-    mma_m8n8k4_reference, GpuConfig, SectorCache, WVec,
-};
+use vecsparse_gpu_sim::{mma_m8n8k4_reference, GpuConfig, SectorCache, WVec};
 
 fn cache_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim/cache");

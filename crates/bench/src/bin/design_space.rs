@@ -35,8 +35,14 @@ fn main() {
         ]);
         let octet = profile_spmm_octet(&gpu, &bench.matrix, &b);
         for (name, p) in [
-            ("fpu 1-D subwarp (§5.1)", profile_spmm_fpu(&gpu, &bench.matrix, &b)),
-            ("tcu 1-D warp (§5.2)", profile_spmm_wmma(&gpu, &bench.matrix, &b)),
+            (
+                "fpu 1-D subwarp (§5.1)",
+                profile_spmm_fpu(&gpu, &bench.matrix, &b),
+            ),
+            (
+                "tcu 1-D warp (§5.2)",
+                profile_spmm_wmma(&gpu, &bench.matrix, &b),
+            ),
             ("tcu 1-D octet (§5.3)", octet.clone()),
         ] {
             t.row(vec![

@@ -53,9 +53,7 @@ fn main() {
         let max_pipe = p
             .pipes
             .iter()
-            .find(|u| {
-                matches!(u.pipe, Pipe::Fp32 | Pipe::Fp16 | Pipe::Tensor)
-            })
+            .find(|u| matches!(u.pipe, Pipe::Fp32 | Pipe::Fp16 | Pipe::Tensor))
             .copied();
         t.row(vec![
             name.to_string(),

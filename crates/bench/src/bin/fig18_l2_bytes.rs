@@ -31,7 +31,12 @@ fn main() {
     for &v in vs {
         println!();
         println!("V = block = {v}");
-        let mut t = Table::new(vec!["sparsity", "Blocked-ELL (MB)", "Vector-Sparse (MB)", "ratio"]);
+        let mut t = Table::new(vec![
+            "sparsity",
+            "Blocked-ELL (MB)",
+            "Vector-Sparse (MB)",
+            "ratio",
+        ]);
         for &s in sparsities {
             let bench = Benchmark::build(shape, v, s);
             let ell = bench.blocked_ell_twin();

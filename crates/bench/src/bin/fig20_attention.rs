@@ -28,13 +28,7 @@ fn main() {
             println!();
             println!("l={l}, k={k}");
             let mut t = Table::new(vec![
-                "config",
-                "QK^T∘C",
-                "Softmax",
-                "A·V",
-                "Others",
-                "total",
-                "speedup",
+                "config", "QK^T∘C", "Softmax", "A·V", "Others", "total", "speedup",
             ]);
             let dense_cfg = AttentionConfig {
                 seq_len: l,

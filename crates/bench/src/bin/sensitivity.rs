@@ -67,10 +67,13 @@ fn main() {
             g.timing.hmma_issue *= 2;
             g
         }),
-        ("half the SMs (40)", GpuConfig {
-            num_sms: 40,
-            ..GpuConfig::default()
-        }),
+        (
+            "half the SMs (40)",
+            GpuConfig {
+                num_sms: 40,
+                ..GpuConfig::default()
+            },
+        ),
     ];
 
     println!("Sensitivity of SpMM speedups (V=4, N=256, geomean over suite)");
@@ -103,6 +106,10 @@ fn main() {
     println!();
     println!(
         "headline conclusions hold under every perturbation: {}",
-        if all_hold { "YES" } else { "NO — inspect the table" }
+        if all_hold {
+            "YES"
+        } else {
+            "NO — inspect the table"
+        }
     );
 }

@@ -3,8 +3,13 @@
 //!
 //! ```text
 //! cargo run --release -p vecsparse-bench --bin sweep -- \
-//!     --m 2048 --k 1024 --n 256 --v 4 --sparsity 0.9 [--seed 42]
+//!     --m 2048 --k 1024 --n 256 --v 4 --sparsity 0.9 [--seed 42] [--sanitize]
 //! ```
+//!
+//! `--sanitize` additionally runs every registry kernel through
+//! `vecsparse-sanitizer` at the sweep shape before profiling, and aborts
+//! (exit 1) on any deny-level finding — profiling a kernel the checker
+//! rejects would benchmark undefined behaviour.
 
 use vecsparse::api::{profile_spmm, SpmmAlgo};
 use vecsparse_bench::{device, Table};
@@ -32,6 +37,34 @@ fn main() {
     assert!((0.0..1.0).contains(&sparsity), "--sparsity in [0,1)");
 
     let gpu = device();
+
+    if std::env::args().any(|a| a == "--sanitize") {
+        use vecsparse::registry::{self, Shape, ALL_KERNELS};
+        use vecsparse_gpu_sim::Mode;
+        use vecsparse_sanitizer::{sanitize, SanitizeOptions};
+        let shape = Shape {
+            m,
+            n,
+            k,
+            v,
+            sparsity,
+            seed,
+        };
+        let mut dirty = false;
+        for id in ALL_KERNELS {
+            let report = registry::with_kernel(id, &shape, Mode::Functional, |mem, kernel| {
+                sanitize(&gpu, mem, kernel, &SanitizeOptions::default())
+            });
+            print!("{}", report.render());
+            dirty |= !report.is_clean();
+        }
+        println!();
+        if dirty {
+            eprintln!("sanitizer found deny-level issues; not profiling");
+            std::process::exit(1);
+        }
+    }
+
     let a = gen::random_vector_sparse::<f16>(m, k, v, sparsity, seed);
     let b = gen::random_dense::<f16>(k, n, Layout::RowMajor, seed + 1);
 

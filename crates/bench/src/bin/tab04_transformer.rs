@@ -9,11 +9,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vecsparse_bench::{device, quick_mode, Table};
+use vecsparse_formats::gen;
 use vecsparse_transformer::attention::{dense_attention_latency, sparse_attention_latency};
 use vecsparse_transformer::memory::{attention_peak_memory, Precision};
 use vecsparse_transformer::model::{EvalMode, SyntheticTask, TinyTransformer, TrainConfig};
 use vecsparse_transformer::AttentionConfig;
-use vecsparse_formats::gen;
 
 /// V100-class core clock, for cycles → seconds.
 const CLOCK_HZ: f64 = 1.53e9;
@@ -81,7 +81,10 @@ fn main() {
     let mem_f16 = attention_peak_memory(&cfg, BATCH, Precision::Half, false);
     let mem_sparse = attention_peak_memory(&cfg, BATCH, Precision::Half, true);
 
-    println!("Table 4 — sparse transformer results (seq {}, batch {BATCH})", cfg.seq_len);
+    println!(
+        "Table 4 — sparse transformer results (seq {}, batch {BATCH})",
+        cfg.seq_len
+    );
     println!();
     let mut t = Table::new(vec![
         "Model",

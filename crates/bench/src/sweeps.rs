@@ -2,9 +2,7 @@
 
 use std::collections::HashMap;
 
-use vecsparse::sddmm::{
-    profile_sddmm_fpu, profile_sddmm_octet, profile_sddmm_wmma, OctetVariant,
-};
+use vecsparse::sddmm::{profile_sddmm_fpu, profile_sddmm_octet, profile_sddmm_wmma, OctetVariant};
 use vecsparse::spmm::{
     profile_dense_gemm, profile_spmm_blocked_ell, profile_spmm_fpu, profile_spmm_octet,
 };
@@ -55,24 +53,16 @@ impl DenseCache {
 
     /// Cycles of cublasSgemm(sim).
     pub fn sgemm_cycles(&mut self, m: usize, k: usize, n: usize) -> f64 {
-        *self
-            .cache
-            .entry((m | 1 << 60, k, n))
-            .or_insert_with(|| {
-                let a = gen::random_dense::<f32>(m, k, Layout::RowMajor, 0xD1);
-                let b = gen::random_dense::<f32>(k, n, Layout::RowMajor, 0xD2);
-                profile_dense_gemm(&self.gpu, &a, &b).cycles
-            })
+        *self.cache.entry((m | 1 << 60, k, n)).or_insert_with(|| {
+            let a = gen::random_dense::<f32>(m, k, Layout::RowMajor, 0xD1);
+            let b = gen::random_dense::<f32>(k, n, Layout::RowMajor, 0xD2);
+            profile_dense_gemm(&self.gpu, &a, &b).cycles
+        })
     }
 }
 
 /// Run the Fig. 17 SpMM sweep for one benchmark and RHS width.
-pub fn spmm_cell(
-    gpu: &GpuConfig,
-    dense: &mut DenseCache,
-    bench: &Benchmark,
-    n: usize,
-) -> SpmmCell {
+pub fn spmm_cell(gpu: &GpuConfig, dense: &mut DenseCache, bench: &Benchmark, n: usize) -> SpmmCell {
     let b = rhs_for(bench, n);
     let base = dense.hgemm_cycles(bench.rows(), bench.cols(), n);
     let fpu = profile_spmm_fpu(gpu, &bench.matrix, &b).cycles;
@@ -155,10 +145,7 @@ pub fn spmm_guideline_profiles(gpu: &GpuConfig, v: usize) -> Vec<(String, Kernel
     let b = rhs_for(&bench, 256);
     let ell = bench.blocked_ell_twin();
     vec![
-        (
-            "MMA".into(),
-            profile_spmm_octet(gpu, &bench.matrix, &b),
-        ),
+        ("MMA".into(), profile_spmm_octet(gpu, &bench.matrix, &b)),
         ("CUDA".into(), profile_spmm_fpu(gpu, &bench.matrix, &b)),
         (
             "Blocked-ELL".into(),

@@ -2,8 +2,8 @@
 //! performance profile.
 
 use crate::sddmm::{
-    profile_sddmm_fpu, profile_sddmm_octet, profile_sddmm_wmma, sddmm_fpu, sddmm_octet,
-    sddmm_wmma, OctetVariant,
+    profile_sddmm_fpu, profile_sddmm_octet, profile_sddmm_wmma, sddmm_fpu, sddmm_octet, sddmm_wmma,
+    OctetVariant,
 };
 use crate::spmm::{
     profile_dense_gemm, profile_spmm_blocked_ell, profile_spmm_fpu, profile_spmm_octet,

@@ -47,6 +47,7 @@
 
 pub mod api;
 pub mod batch;
+pub mod registry;
 pub mod sddmm;
 pub mod softmax;
 pub mod spmm;

@@ -25,6 +25,7 @@ pub struct CsrSddmm<'m> {
     out_buf: BufferId,
     tiles: Vec<(usize, usize, usize)>,
     sites: [Site; 6],
+    prog: Program,
     static_len: u32,
 }
 
@@ -59,10 +60,11 @@ impl<'m> CsrSddmm<'m> {
             p.site("ldg_a", 0),
             p.site("ldg_b", 0),
             p.site("math", 0),
-            p.site("red", 0),
+            // Shuffle + add of each butterfly round sit at adjacent pcs.
+            p.site_span("red", 0, 2),
             p.site("stg", 0),
         ];
-        let static_len = p.static_len() + 70;
+        let static_len = p.static_len() + 69;
         CsrSddmm {
             a,
             b,
@@ -73,6 +75,7 @@ impl<'m> CsrSddmm<'m> {
             out_buf,
             tiles,
             sites,
+            prog: p,
             static_len,
         }
     }
@@ -101,6 +104,10 @@ impl KernelSpec for CsrSddmm<'_> {
             smem_elem_bytes: 4,
             static_instrs: self.static_len,
         }
+    }
+
+    fn program(&self) -> Option<&Program> {
+        Some(&self.prog)
     }
 
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
@@ -149,7 +156,7 @@ impl KernelSpec for CsrSddmm<'_> {
             for round in 0..5 {
                 let g = WVec::ghost(1, t);
                 let sh = w.shfl(red, &g, |l| l ^ (1 << round), &[t]);
-                t = w.math(red, InstrKind::Ffma, 1, &[sh.tok()]);
+                t = w.math(Site(red.0 + 1), InstrKind::Ffma, 1, &[sh.tok()]);
             }
             red_tok = t;
             if functional {

@@ -40,6 +40,7 @@ pub struct FpuSubwarpSddmm<'m, T: Scalar> {
     out_buf: BufferId,
     tiles: Vec<(usize, usize, usize)>,
     sites: Sites,
+    prog: Program,
     static_len: u32,
 }
 
@@ -97,9 +98,10 @@ impl<'m, T: Scalar> FpuSubwarpSddmm<'m, T> {
                 addr.push(p.site("addr", j * 32 + ai));
             }
         }
-        let red = p.site("red", 0);
+        // Shuffle + add of each butterfly round sit at adjacent pcs.
+        let red = p.site_span("red", 0, 2);
         let stg = p.site("stg", 0);
-        let static_len = p.static_len() * 2 + 60;
+        let static_len = p.static_len() * 2 + 58;
 
         FpuSubwarpSddmm {
             a,
@@ -119,6 +121,7 @@ impl<'m, T: Scalar> FpuSubwarpSddmm<'m, T> {
                 red,
                 stg,
             },
+            prog: p,
             static_len,
         }
     }
@@ -152,6 +155,10 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSddmm<'_, T> {
             smem_elem_bytes: T::bytes() as u64,
             static_instrs: self.static_len,
         }
+    }
+
+    fn program(&self) -> Option<&Program> {
+        Some(&self.prog)
     }
 
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
@@ -221,7 +228,11 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSddmm<'_, T> {
                     b_tok = w.ldg(col_site, self.b_buf, &offs, epl, &[addr_tok]).tok();
                 }
                 // Per-thread math: V × 8 MACs, accumulator-chained.
-                let kind = if half { InstrKind::Hfma2 } else { InstrKind::Ffma };
+                let kind = if half {
+                    InstrKind::Hfma2
+                } else {
+                    InstrKind::Ffma
+                };
                 let count = ((v_len * SUBWARP) / if half { 2 } else { 1 }).max(1) as u32;
                 let m1 = w.math(
                     s.math[(j * v_len * 4) % s.math.len()],
@@ -245,11 +256,7 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSddmm<'_, T> {
                             let av = w.mem().read(self.a_buf, (row_base + r) * k_total + k0 + k);
                             let bv = w.mem().read(self.b_buf, col * k_total + k0 + k);
                             acc[j * v_len + r] = if half {
-                                hmul_fadd(
-                                    f16::from_f32(av),
-                                    f16::from_f32(bv),
-                                    acc[j * v_len + r],
-                                )
+                                hmul_fadd(f16::from_f32(av), f16::from_f32(bv), acc[j * v_len + r])
                             } else {
                                 acc[j * v_len + r] + av * bv
                             };
@@ -264,7 +271,12 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSddmm<'_, T> {
         for round in 0..3 {
             let g = WVec::ghost(1, red_tok);
             let sh = w.shfl(s.red, &g, |l| l ^ (1 << round), &[red_tok]);
-            red_tok = w.math(s.red, InstrKind::Ffma, v_len as u32, &[sh.tok()]);
+            red_tok = w.math(
+                Site(s.red.0 + 1),
+                InstrKind::Ffma,
+                v_len as u32,
+                &[sh.tok()],
+            );
         }
 
         // Store the tile's values.

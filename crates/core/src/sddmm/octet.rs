@@ -79,6 +79,7 @@ pub struct OctetSddmm<'m> {
     out_buf: BufferId,
     tiles: Vec<(usize, usize, usize)>,
     sites: Sites,
+    prog: Program,
     static_len: u32,
 }
 
@@ -131,7 +132,8 @@ impl<'m> OctetSddmm<'m> {
         let mut mma = [[Site(0); 4]; 4];
         for (sub, row) in mma.iter_mut().enumerate() {
             for (m, site) in row.iter_mut().enumerate() {
-                *site = p.site("mma", (sub * 16 + m * 4) as u32);
+                // Each mma spans its 4 static HMMA slots.
+                *site = p.site_span("mma", (sub * 16 + m * 4) as u32, 4);
             }
         }
         let shfl_sw = p.site("shfl_sw", 0);
@@ -139,8 +141,8 @@ impl<'m> OctetSddmm<'m> {
         let red_fadd = p.site("red_fadd", 0);
         let addr = p.site("addr", 0);
         let stg = p.site("stg", 0);
-        // 16 mma × 4 static HMMA slots; modest prologue.
-        let static_len = p.static_len() + 16 * 3 + 48;
+        // Modest scalar prologue on top of the registered sites.
+        let static_len = p.static_len() + 48;
 
         OctetSddmm {
             a,
@@ -164,6 +166,7 @@ impl<'m> OctetSddmm<'m> {
                 addr,
                 stg,
             },
+            prog: p,
             static_len,
         }
     }
@@ -298,6 +301,10 @@ impl KernelSpec for OctetSddmm<'_> {
         }
     }
 
+    fn program(&self) -> Option<&Program> {
+        Some(&self.prog)
+    }
+
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
         let (br, start, len) = self.tiles[cta.cta_id];
         let v_len = self.mask.v();
@@ -317,7 +324,9 @@ impl KernelSpec for OctetSddmm<'_> {
             return;
         }
         let ci = lanes(|l| if l < len { Some(start + l) } else { None });
-        let ci_tok = w.ldg(s.ld_colidx, self.idx.col_idx, &ci, 1, &[rp_tok]).tok();
+        let ci_tok = w
+            .ldg(s.ld_colidx, self.idx.col_idx, &ci, 1, &[rp_tok])
+            .tok();
         w.int_ops(s.addr, 4, &[ci_tok]);
 
         // Per sub-step octet-partial accumulators (functional): indexed
@@ -404,8 +413,7 @@ impl KernelSpec for OctetSddmm<'_> {
                                         continue;
                                     }
                                     for r in 0..v_len {
-                                        let base =
-                                            ((sub * 4 + o) * SUB_N + c) * v_len + r;
+                                        let base = ((sub * 4 + o) * SUB_N + c) * v_len + r;
                                         // With SWITCH, writeback targets
                                         // the same acc positions.
                                         let lane = octet_lane(o, g, t);
@@ -415,12 +423,23 @@ impl KernelSpec for OctetSddmm<'_> {
                             }
                         }
                     } else {
-                        w.mma_m8n8k4(s.mma[sub % 4][m], &a_frag, &b_frag, &mut acc_frags[sub], flavor);
+                        w.mma_m8n8k4(
+                            s.mma[sub % 4][m],
+                            &a_frag,
+                            &b_frag,
+                            &mut acc_frags[sub],
+                            flavor,
+                        );
                     }
                 }
                 if self.variant == OctetVariant::Reg && !functional {
                     // The second accumulator set is merged with FADDs.
-                    w.math(s.red_fadd, InstrKind::Ffma, v_len as u32, &[acc_frags[sub].tok()]);
+                    w.math(
+                        s.red_fadd,
+                        InstrKind::Ffma,
+                        v_len as u32,
+                        &[acc_frags[sub].tok()],
+                    );
                 }
             }
         }

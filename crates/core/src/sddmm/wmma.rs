@@ -35,6 +35,7 @@ pub struct WmmaSddmm<'m> {
     out_buf: BufferId,
     tiles: Vec<(usize, usize, usize)>,
     sites: Sites,
+    prog: Program,
     static_len: u32,
 }
 
@@ -107,16 +108,17 @@ impl<'m> WmmaSddmm<'m> {
                 p.site("lds_b", 3),
             ],
             wmma: [
-                p.site("wmma", 0),
-                p.site("wmma", 16),
-                p.site("wmma", 32),
-                p.site("wmma", 48),
+                p.site_span("wmma", 0, 16),
+                p.site_span("wmma", 16, 16),
+                p.site_span("wmma", 32, 16),
+                p.site_span("wmma", 48, 16),
             ],
             addr: p.site("addr", 0),
             stg: p.site("stg", 0),
         };
-        // 4 wmma × 16 HMMA static slots.
-        let static_len = p.static_len() + 4 * 15 + 60;
+        // The wmma spans reserve their 16 HMMA slots each; the tail pad
+        // models the predication/residue copies.
+        let static_len = p.static_len() + 60;
 
         WmmaSddmm {
             a,
@@ -128,6 +130,7 @@ impl<'m> WmmaSddmm<'m> {
             out_buf,
             tiles,
             sites,
+            prog: p,
             static_len,
         }
     }
@@ -154,6 +157,10 @@ impl KernelSpec for WmmaSddmm<'_> {
             smem_elem_bytes: 2,
             static_instrs: self.static_len,
         }
+    }
+
+    fn program(&self) -> Option<&Program> {
+        Some(&self.prog)
     }
 
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
@@ -200,7 +207,12 @@ impl KernelSpec for WmmaSddmm<'_> {
             let mut a_frag_tok = Tok::NONE;
             for &site in &s.lds_a {
                 a_frag_tok = w
-                    .lds(site, &lanes(|l| Some(l * 4 % (v_len * TILE_K).max(1))), 4, &[])
+                    .lds(
+                        site,
+                        &lanes(|l| Some(l * 4 % (v_len * TILE_K).max(1))),
+                        4,
+                        &[],
+                    )
                     .tok();
             }
             // B slab: 32 gathered columns × 64 k through shared memory.
@@ -226,7 +238,12 @@ impl KernelSpec for WmmaSddmm<'_> {
                 });
                 w.sts(s.sts_b[part], &b_smem, &v, &[]);
                 b_frag_tok = w
-                    .lds(s.lds_b[part], &lanes(|l| Some(l * 8 % (TILE_K * TILE_N))), 8, &[])
+                    .lds(
+                        s.lds_b[part],
+                        &lanes(|l| Some(l * 8 % (TILE_K * TILE_N))),
+                        8,
+                        &[],
+                    )
                     .tok();
             }
 

@@ -18,6 +18,7 @@ pub struct SparseSoftmax<'m> {
     bufs: VsBuffers,
     out_buf: BufferId,
     sites: Sites,
+    prog: Program,
     static_len: u32,
 }
 
@@ -55,6 +56,7 @@ impl<'m> SparseSoftmax<'m> {
             bufs,
             out_buf,
             sites,
+            prog: p,
             static_len,
         }
     }
@@ -79,6 +81,10 @@ impl KernelSpec for SparseSoftmax<'_> {
             smem_elem_bytes: 2,
             static_instrs: self.static_len,
         }
+    }
+
+    fn program(&self) -> Option<&Program> {
+        Some(&self.prog)
     }
 
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
@@ -189,6 +195,7 @@ pub struct DenseSoftmax {
     in_buf: BufferId,
     out_buf: BufferId,
     sites: [Site; 4],
+    prog: Program,
     static_len: u32,
 }
 
@@ -220,6 +227,7 @@ impl DenseSoftmax {
             out_buf,
             sites,
             static_len: p.static_len() + 40,
+            prog: p,
         }
     }
 
@@ -248,6 +256,10 @@ impl KernelSpec for DenseSoftmax {
             smem_elem_bytes: 2,
             static_instrs: self.static_len,
         }
+    }
+
+    fn program(&self) -> Option<&Program> {
+        Some(&self.prog)
     }
 
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {

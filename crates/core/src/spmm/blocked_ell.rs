@@ -33,6 +33,7 @@ pub struct BlockedEllSpmm<'m> {
     b_buf: BufferId,
     out_buf: BufferId,
     sites: Sites,
+    prog: Program,
     static_len: u32,
 }
 
@@ -46,6 +47,7 @@ struct Sites {
     lds_b: [Site; 8],
     mma: Vec<Site>,
     addr: Vec<Site>,
+    bar: Site,
     stg: Site,
     /// Static instructions in one unrolled copy of the slot-group body.
     /// The compiler unrolls the ELL loop `PHASES`-fold, so consecutive
@@ -113,6 +115,7 @@ impl<'m> BlockedEllSpmm<'m> {
         let addr: Vec<Site> = (0..(group as u32 * 48))
             .map(|i| p.site("addr", i))
             .collect();
+        let bar = p.site("bar", 0);
         let stg = p.site("stg", 0);
 
         // One unrolled copy of the group body; the executed PC stream
@@ -138,9 +141,11 @@ impl<'m> BlockedEllSpmm<'m> {
                 lds_b,
                 mma,
                 addr,
+                bar,
                 stg,
                 phase_pcs,
             },
+            prog: p,
             static_len,
         }
     }
@@ -177,6 +182,10 @@ impl KernelSpec for BlockedEllSpmm<'_> {
         }
     }
 
+    fn program(&self) -> Option<&Program> {
+        Some(&self.prog)
+    }
+
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
         let block = self.a.block();
         // One wmma k-slab (k = 16) per nonzero block: a block narrower
@@ -200,6 +209,8 @@ impl KernelSpec for BlockedEllSpmm<'_> {
         // staged while group i-1 computed, so loads overlap compute.
         let mut prev_blk_tok = Tok::NONE;
         let mut prev_b_tok = Tok::NONE;
+        // Last accumulator token; the epilogue store depends on it.
+        let mut mma_tok = Tok::NONE;
         let mut slot = 0;
         let mut group_idx = 0u32;
         while slot < bpr {
@@ -245,7 +256,13 @@ impl KernelSpec for BlockedEllSpmm<'_> {
                 }
             });
             let per_lane_blk = (g * bb).div_ceil(32).clamp(1, 8);
-            let blk = w.ldg(ph(s.ldg_blk), self.bufs.values, &blk_off, per_lane_blk, &[addr_tok]);
+            let blk = w.ldg(
+                ph(s.ldg_blk),
+                self.bufs.values,
+                &blk_off,
+                per_lane_blk,
+                &[addr_tok],
+            );
             // Shared staging region for block values sits after the B slab.
             let blk_smem = lanes(|l| {
                 if l * per_lane_blk < g * bb {
@@ -283,7 +300,7 @@ impl KernelSpec for BlockedEllSpmm<'_> {
                 }
                 let _ = pair;
             }
-            w.bar_sync(ph(s.stg));
+            w.bar_sync(ph(s.bar));
 
             // Four wmma.m8n32k16 per group (TILE_N = 4 × 32), 16 HMMA
             // each; fragments come from shared.
@@ -305,8 +322,8 @@ impl KernelSpec for BlockedEllSpmm<'_> {
                 let a_frag = WVec::ghost(4, blk_frag_tok);
                 let b_frag = WVec::ghost(4, b_frag_tok);
                 for sub in 0..4u32 {
-                    let mut acc_frag = WVec::ghost(8, Tok::NONE);
-                    w.mma_m8n8k4(
+                    let mut acc_frag = WVec::ghost(8, mma_tok);
+                    mma_tok = w.mma_m8n8k4(
                         Site(ph(site).0 + sub * 4),
                         &a_frag,
                         &b_frag,
@@ -354,11 +371,29 @@ impl KernelSpec for BlockedEllSpmm<'_> {
                     .map(|c| f16::from_f32(acc[r * tn + c]).to_f32())
                     .collect();
                 crate::util::store_row_segment(
-                    &mut w, s.stg, self.out_buf, row_base + r, n, n0, tn, &vals, 8, Tok::NONE,
+                    &mut w,
+                    s.stg,
+                    self.out_buf,
+                    row_base + r,
+                    n,
+                    n0,
+                    tn,
+                    &vals,
+                    8,
+                    Tok::NONE,
                 );
             } else {
                 crate::util::store_row_segment(
-                    &mut w, s.stg, self.out_buf, row_base + r, n, n0, tn, &[], 8, Tok::NONE,
+                    &mut w,
+                    s.stg,
+                    self.out_buf,
+                    row_base + r,
+                    n,
+                    n0,
+                    tn,
+                    &[],
+                    8,
+                    mma_tok,
                 );
             }
         }
@@ -454,4 +489,3 @@ mod tests {
         );
     }
 }
-

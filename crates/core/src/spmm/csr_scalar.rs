@@ -24,6 +24,7 @@ pub struct CsrScalarSpmm<'m, T: Scalar> {
     b_buf: BufferId,
     out_buf: BufferId,
     sites: Sites,
+    prog: Program,
     static_len: u32,
 }
 
@@ -71,6 +72,7 @@ impl<'m, T: Scalar> CsrScalarSpmm<'m, T> {
             b_buf,
             out_buf,
             sites,
+            prog: p,
             static_len,
         }
     }
@@ -95,6 +97,10 @@ impl<T: Scalar> KernelSpec for CsrScalarSpmm<'_, T> {
             smem_elem_bytes: T::bytes() as u64,
             static_instrs: self.static_len,
         }
+    }
+
+    fn program(&self) -> Option<&Program> {
+        Some(&self.prog)
     }
 
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
@@ -133,7 +139,11 @@ impl<T: Scalar> KernelSpec for CsrScalarSpmm<'_, T> {
                 });
                 b_tok = w.ldg(s.ldg_b, self.b_buf, &offs, epl, &[addr_tok]).tok();
             }
-            let kind = if half { InstrKind::Hfma2 } else { InstrKind::Ffma };
+            let kind = if half {
+                InstrKind::Hfma2
+            } else {
+                InstrKind::Ffma
+            };
             let per_lane_macs = cols_per_lane as u32;
             math_tok = w.math(
                 s.math,
@@ -236,6 +246,11 @@ mod tests {
         let sparse = gen::random_csr::<f16>(512, 512, 0.98, 7);
         let pd = profile_spmm_csr(&gpu, &dense_ish, &b);
         let ps = profile_spmm_csr(&gpu, &sparse, &b);
-        assert!(ps.cycles * 4.0 < pd.cycles, "{} vs {}", ps.cycles, pd.cycles);
+        assert!(
+            ps.cycles * 4.0 < pd.cycles,
+            "{} vs {}",
+            ps.cycles,
+            pd.cycles
+        );
     }
 }

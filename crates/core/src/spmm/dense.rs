@@ -11,8 +11,8 @@
 use crate::util::{download_dense, lanes, upload_dense, width_of};
 use vecsparse_formats::{DenseMatrix, Layout, Scalar};
 use vecsparse_gpu_sim::{
-    launch, BufferId, GpuConfig, InstrKind, KernelProfile, KernelSpec, LaunchConfig, MemPool,
-    Mode, Program, Site, WVec,
+    launch, BufferId, GpuConfig, InstrKind, KernelProfile, KernelSpec, LaunchConfig, MemPool, Mode,
+    Program, Site, WVec,
 };
 
 /// Warps per CTA.
@@ -36,6 +36,7 @@ pub struct DenseGemm<'m, T: Scalar> {
     /// one CTA per output tile.
     split_k: usize,
     sites: Sites,
+    prog: Program,
     static_len: u32,
 }
 
@@ -75,8 +76,16 @@ impl<'m, T: Scalar> DenseGemm<'m, T> {
             Mode::Performance => mem.alloc_ghost(width_of::<T>(), a.rows() * b.cols()),
         };
         // Adapt the tile to small problems the way a tuned BLAS would.
-        let tile_m = if a.rows() >= 128 { 128 } else { 64.min(a.rows().max(16)) };
-        let tile_n = if b.cols() >= 128 { 128 } else { 64.min(b.cols().max(16)) };
+        let tile_m = if a.rows() >= 128 {
+            128
+        } else {
+            64.min(a.rows().max(16))
+        };
+        let tile_n = if b.cols() >= 128 {
+            128
+        } else {
+            64.min(b.cols().max(16))
+        };
         let base_grid = a.rows().div_ceil(tile_m) * b.cols().div_ceil(tile_n);
         let k_slices = a.cols().div_ceil(KSTEP).max(1);
         let split_k = match mode {
@@ -119,15 +128,15 @@ impl<'m, T: Scalar> DenseGemm<'m, T> {
             lds_b: [p.site("lds_b", 0), p.site("lds_b", 1)],
             mma: (0..mma_count as u32 * 4)
                 .step_by(4)
-                .map(|i| p.site("hmma", i))
+                .map(|i| p.site_span("hmma", i, 4))
                 .collect(),
             fma: (0..fma_count as u32).map(|i| p.site("ffma", i)).collect(),
             addr: p.site("addr", 0),
             stg: p.site("stg", 0),
             loopb: p.site("loop", 0),
         };
-        // HMMA sites span 4 static steps each.
-        let static_len = p.static_len() + mma_count as u32 * 3;
+        // HMMA sites reserve their 4 static steps via `site_span`.
+        let static_len = p.static_len();
 
         DenseGemm {
             a,
@@ -139,6 +148,7 @@ impl<'m, T: Scalar> DenseGemm<'m, T> {
             tile_n,
             split_k,
             sites,
+            prog: p,
             static_len,
         }
     }
@@ -182,6 +192,10 @@ impl<T: Scalar> KernelSpec for DenseGemm<'_, T> {
             smem_elem_bytes: T::bytes() as u64,
             static_instrs: self.static_len,
         }
+    }
+
+    fn program(&self) -> Option<&Program> {
+        Some(&self.prog)
     }
 
     fn run_cta(&self, cta: &mut vecsparse_gpu_sim::CtaCtx<'_>) {
@@ -261,7 +275,8 @@ impl<T: Scalar> DenseGemm<'_, T> {
                         None
                     }
                 });
-                cta.warp(r % CTA_WARPS).stg(stg, self.out_buf, &offs, &v, &[]);
+                cta.warp(r % CTA_WARPS)
+                    .stg(stg, self.out_buf, &offs, &v, &[]);
                 c += chunk;
             }
         }
@@ -286,6 +301,8 @@ impl<T: Scalar> DenseGemm<'_, T> {
         let tile_n = self.tile_n;
         let rows_per_warp = tile_m / CTA_WARPS;
         let k = k_stride;
+        // Last accumulator token per warp; the epilogue store depends on it.
+        let mut acc_toks = [vecsparse_gpu_sim::Tok::NONE; CTA_WARPS];
 
         for k0 in (k_lo..k_hi).step_by(KSTEP) {
             let ks = KSTEP.min(k_hi - k0);
@@ -304,14 +321,19 @@ impl<T: Scalar> DenseGemm<'_, T> {
                         let flat = (i * 32 + l) * epl_a;
                         let r = flat / ks.max(1);
                         let c = flat % ks.max(1);
-                        if r < rows_per_warp && c < ks {
+                        // Rows past the matrix edge are predicated off.
+                        if r < rows_per_warp && c < ks && m0 + w * rows_per_warp + r < self.a.rows()
+                        {
                             Some((m0 + w * rows_per_warp + r) * k + k0 + c)
                         } else {
                             None
                         }
                     });
                     let v = warp.ldg(site, self.a_buf, &offs, epl_a, &[]);
-                    let smem = lanes(|l| Some(((i * 32 + l) * epl_a) % (tile_m * KSTEP)));
+                    // Each warp stages its own rows_per_warp × KSTEP slab;
+                    // overlapping another warp's slab would be a race.
+                    let slab = rows_per_warp * KSTEP;
+                    let smem = lanes(|l| Some(w * slab + ((i * 32 + l) * epl_a) % slab.max(1)));
                     warp.sts(s.sts[i % 2], &smem, &v, &[]);
                 }
                 // B: ks × tile_n, each warp takes ks/CTA_WARPS rows
@@ -331,8 +353,10 @@ impl<T: Scalar> DenseGemm<'_, T> {
                         }
                     });
                     let v = warp.ldg(site, self.b_buf, &offs, epl_a, &[]);
+                    // B slab rows w*brows..(w+1)*brows of the staged slice.
+                    let slab = brows * tile_n;
                     let smem = lanes(|l| {
-                        Some((tile_m * KSTEP + (i * 32 + l) * epl_a) % (tile_m * KSTEP + KSTEP * tile_n))
+                        Some(tile_m * KSTEP + w * slab + ((i * 32 + l) * epl_a) % slab.max(1))
                     });
                     warp.sts(s.sts[2 + i % 2], &smem, &v, &[]);
                 }
@@ -348,7 +372,8 @@ impl<T: Scalar> DenseGemm<'_, T> {
                     frag_toks[i] = v.tok();
                 }
                 for (i, &site) in s.lds_b.iter().enumerate() {
-                    let offs = lanes(|l| Some((i * 32 + l) * 8 % (KSTEP * tile_n)));
+                    let offs =
+                        lanes(|l| Some(tile_m * KSTEP + (i * 32 + l) * 8 % (KSTEP * tile_n)));
                     let v = warp.lds(site, &offs, 8, &[]);
                     frag_toks[4 + i] = v.tok();
                 }
@@ -358,23 +383,21 @@ impl<T: Scalar> DenseGemm<'_, T> {
                         let mut a = WVec::ghost(4, frag_toks[0]);
                         let b = WVec::ghost(4, frag_toks[4]);
                         for &site in &s.mma {
-                            let mut acc = WVec::ghost(8, vecsparse_gpu_sim::Tok::NONE);
-                            warp.mma_m8n8k4(
+                            let mut acc = WVec::ghost(8, acc_toks[w]);
+                            acc_toks[w] = warp.mma_m8n8k4(
                                 site,
                                 &a,
                                 &b,
                                 &mut acc,
                                 vecsparse_gpu_sim::MmaFlavor::Standard,
                             );
-                            a = WVec::ghost(4, acc.tok());
-                            let _ = &a;
                             a = WVec::ghost(4, frag_toks[0]);
                         }
                     }
                 } else {
                     // FFMA: 64 outputs per thread per k.
                     for _kk in 0..ks {
-                        warp.math(
+                        acc_toks[w] = warp.math(
                             s.fma[0],
                             InstrKind::Ffma,
                             s.fma.len() as u32,
@@ -392,6 +415,9 @@ impl<T: Scalar> DenseGemm<'_, T> {
             let mut warp = cta.warp(w);
             let epl = (128 / T::BITS as usize).min(4);
             for r in 0..rows_per_warp {
+                if m0 + w * rows_per_warp + r >= self.a.rows() {
+                    break;
+                }
                 let offs = lanes(|l| {
                     let c = l * epl;
                     if c < tile_n && n0 + c < n {
@@ -400,7 +426,7 @@ impl<T: Scalar> DenseGemm<'_, T> {
                         None
                     }
                 });
-                let v = WVec::ghost(epl, vecsparse_gpu_sim::Tok::NONE);
+                let v = WVec::ghost(epl, acc_toks[w]);
                 warp.stg(s.stg, self.out_buf, &offs, &v, &[]);
             }
         }
@@ -445,7 +471,11 @@ mod tests {
         let b = gen::random_dense::<f32>(48, 80, Layout::RowMajor, 2);
         let got = dense_gemm(&gpu, &a, &b);
         let want = reference::gemm(&a, &b);
-        assert!(got.max_abs_diff(&want) < 1e-4, "diff {}", got.max_abs_diff(&want));
+        assert!(
+            got.max_abs_diff(&want) < 1e-4,
+            "diff {}",
+            got.max_abs_diff(&want)
+        );
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub struct FpuSubwarpSpmm<'m, T: Scalar> {
     b_buf: BufferId,
     out_buf: BufferId,
     sites: Sites,
+    prog: Program,
     static_len: u32,
 }
 
@@ -125,6 +126,7 @@ impl<'m, T: Scalar> FpuSubwarpSpmm<'m, T> {
                 addr,
                 stg,
             },
+            prog: p,
             static_len,
         }
     }
@@ -161,6 +163,10 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSpmm<'_, T> {
         }
     }
 
+    fn program(&self) -> Option<&Program> {
+        Some(&self.prog)
+    }
+
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
         let v = self.a.v();
         let p = self.a.pattern();
@@ -185,6 +191,8 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSpmm<'_, T> {
         let rp = lanes(|l| if l < 2 { Some(br + l) } else { None });
         let rp_tok = w.ldg(s.ld_rowptr, self.bufs.row_ptr, &rp, 1, &[]).tok();
         let mut addr_tok = w.int_ops(s.addr[0], 2, &[rp_tok]);
+        // Last accumulator token; the epilogue store depends on it.
+        let mut math_tok = Tok::NONE;
 
         let mut i = range.start;
         while i < range.end {
@@ -204,7 +212,13 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSpmm<'_, T> {
                 }
             });
             let ci_tok = w
-                .ldg(s.ld_colidx, self.bufs.col_idx, &ci, stride.div_ceil(SUBWARP).min(4), &[])
+                .ldg(
+                    s.ld_colidx,
+                    self.bufs.col_idx,
+                    &ci,
+                    stride.div_ceil(SUBWARP).min(4),
+                    &[],
+                )
                 .tok();
             let per_lane_vals = (stride * v).div_ceil(SUBWARP);
             let epl_a = per_lane_vals
@@ -224,7 +238,6 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSpmm<'_, T> {
             let sts_off = lanes(|l| if l < SUBWARP { Some(l * epl_a) } else { None });
             w.sts(s.sts_avals, &sts_off, &avals, &[]);
 
-            let mut math_tok = Tok::NONE;
             for j in 0..stride {
                 let vec_idx = i + j;
                 let col = p.col_idx()[vec_idx] as usize;
@@ -263,9 +276,16 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSpmm<'_, T> {
                 // HMUL2/FADD (half) or FFMA (single); the accumulator
                 // chains across vectors.
                 let math_per_vec = (v * COLS_PER_THREAD / 2).max(1) as u32;
-                let kind = if half { InstrKind::Hfma2 } else { InstrKind::Ffma };
-                let base_site = s.math[(j % TILE_K) * (v * COLS_PER_THREAD / 2).max(1) % s.math.len()];
-                let n1 = math_per_vec / 2 + 1;
+                let kind = if half {
+                    InstrKind::Hfma2
+                } else {
+                    InstrKind::Ffma
+                };
+                let base_site =
+                    s.math[(j % TILE_K) * (v * COLS_PER_THREAD / 2).max(1) % s.math.len()];
+                // Two unrolled halves filling exactly the math_per_vec
+                // slots this vector group reserved.
+                let n1 = math_per_vec.div_ceil(2);
                 let t1 = w.math_unrolled(base_site, kind, n1, &[b_tok, math_tok]);
                 let t2 = w.math_unrolled(
                     Site(base_site.0 + n1),
@@ -331,7 +351,7 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSpmm<'_, T> {
                     tn,
                     &[],
                     epl_b,
-                    Tok::NONE,
+                    math_tok,
                 );
             }
         }

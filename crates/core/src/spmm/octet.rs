@@ -62,6 +62,7 @@ pub struct OctetSpmm<'m> {
     /// the compiler-style register reuse serialises them. Ablation knob.
     batch_ilp: bool,
     sites: Sites,
+    prog: Program,
     static_len: u32,
 }
 
@@ -120,17 +121,16 @@ impl<'m> OctetSpmm<'m> {
         }
         let fence = p.site("fence", 0);
         for s in 0..STEPS {
-            // Each mma spans 4 HMMA static slots; reserve stride 8.
-            mma[s][0] = p.site("mma", (s * 8) as u32);
-            mma[s][1] = p.site("mma", (s * 8 + 4) as u32);
+            // Each mma spans the 4 HMMA steps.
+            mma[s][0] = p.site_span("mma", (s * 8) as u32, 4);
+            mma[s][1] = p.site_span("mma", (s * 8 + 4) as u32, 4);
         }
         let addr = p.site("addr", 0);
         let shfl_out = p.site("shfl_out", 0);
         let stg = p.site("stg", 0);
-        // HMMA sites consume 4 pcs each (the 4 steps); plus a residue-loop
-        // copy of one step's body and scalar prologue glue, giving a
-        // program in the paper's 384–416 line regime.
-        let static_len = p.static_len() + (STEPS as u32 * 2) * 3 + 48;
+        // Plus a residue-loop copy of one step's body and scalar prologue
+        // glue, giving a program in the paper's 384–416 line regime.
+        let static_len = p.static_len() + 48;
 
         OctetSpmm {
             a,
@@ -153,6 +153,7 @@ impl<'m> OctetSpmm<'m> {
                 shfl_out,
                 stg,
             },
+            prog: p,
             static_len,
         }
     }
@@ -265,6 +266,10 @@ impl KernelSpec for OctetSpmm<'_> {
         }
     }
 
+    fn program(&self) -> Option<&Program> {
+        Some(&self.prog)
+    }
+
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
         let v_len = self.a.v();
         let p = self.a.pattern();
@@ -300,7 +305,13 @@ impl KernelSpec for OctetSpmm<'_> {
             // Stage this stride's column indices and A vectors.
             let ci = lanes(|l| if l < stride { Some(i + l) } else { None });
             let ci_tok = w.ldg(s.ld_colidx, self.bufs.col_idx, &ci, 1, &[]).tok();
-            let av = lanes(|l| if l < stride { Some((i + l) * v_len) } else { None });
+            let av = lanes(|l| {
+                if l < stride {
+                    Some((i + l) * v_len)
+                } else {
+                    None
+                }
+            });
             let avals = w.ldg(s.ld_avals, self.bufs.values, &av, v_len, &[ci_tok]);
             let sts_off = lanes(|l| if l < stride { Some(l * v_len) } else { None });
             w.sts(s.sts_avals, &sts_off, &avals, &[]);
@@ -340,13 +351,31 @@ impl KernelSpec for OctetSpmm<'_> {
                 a_frag_toks.push(a_tok);
                 if !full {
                     // Residue path: interleave load and compute.
-                    self.step_mma(&mut w, step, &b_frags[step], &avals, a_frag_toks[step], v_len, &mut acc, flavor);
+                    self.step_mma(
+                        &mut w,
+                        step,
+                        &b_frags[step],
+                        &avals,
+                        a_frag_toks[step],
+                        v_len,
+                        &mut acc,
+                        flavor,
+                    );
                 }
             }
             if full {
                 w.fence(s.fence);
                 for step in 0..steps {
-                    self.step_mma(&mut w, step, &b_frags[step], &avals, a_frag_toks[step], v_len, &mut acc, flavor);
+                    self.step_mma(
+                        &mut w,
+                        step,
+                        &b_frags[step],
+                        &avals,
+                        a_frag_toks[step],
+                        v_len,
+                        &mut acc,
+                        flavor,
+                    );
                 }
             }
             i += stride;
@@ -442,7 +471,13 @@ impl OctetSpmm<'_> {
         let b_frag = Self::marshal_b(staged_a, step % STEPS, v_len, a_tok);
         for (sel, acc_frag) in acc.iter_mut().enumerate() {
             let a_frag = Self::marshal_a(loaded_b, sel);
-            w.mma_m8n8k4(self.sites.mma[step % STEPS][sel], &a_frag, &b_frag, acc_frag, flavor);
+            w.mma_m8n8k4(
+                self.sites.mma[step % STEPS][sel],
+                &a_frag,
+                &b_frag,
+                acc_frag,
+                flavor,
+            );
         }
     }
 }
@@ -607,7 +642,10 @@ mod trace_shape_tests {
             .iter()
             .filter(|i| matches!(i.kind, InstrKind::Ldg { bits: 128 }))
             .count();
-        assert!(ldg128_before >= 8, "only {ldg128_before} wide loads before mma");
+        assert!(
+            ldg128_before >= 8,
+            "only {ldg128_before} wide loads before mma"
+        );
         // And a fence separates the batches.
         assert!(instrs[..first_hmma]
             .iter()

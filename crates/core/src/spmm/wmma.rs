@@ -39,6 +39,7 @@ pub struct WmmaSpmm<'m> {
     b_buf: BufferId,
     out_buf: BufferId,
     sites: Sites,
+    prog: Program,
     static_len: u32,
 }
 
@@ -81,10 +82,7 @@ impl<'m> WmmaSpmm<'m> {
             *s = p.site("ldg_b", i as u32);
         }
         // Two wmma.m8n32k16 per step (64 output columns), 16 HMMA each.
-        let wmma = [p.site("wmma", 0), p.site("wmma", 16)];
-        for k in 1..32u32 {
-            p.site("wmma", k); // Reserve the HMMA slots.
-        }
+        let wmma = [p.site_span("wmma", 0, 16), p.site_span("wmma", 16, 16)];
         let addr = p.site("addr", 0);
         let stg = p.site("stg", 0);
         let static_len = p.static_len() + 60;
@@ -103,6 +101,7 @@ impl<'m> WmmaSpmm<'m> {
                 addr,
                 stg,
             },
+            prog: p,
             static_len,
         }
     }
@@ -133,6 +132,10 @@ impl KernelSpec for WmmaSpmm<'_> {
         }
     }
 
+    fn program(&self) -> Option<&Program> {
+        Some(&self.prog)
+    }
+
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
         let v_len = self.a.v();
         let p = self.a.pattern();
@@ -158,8 +161,16 @@ impl KernelSpec for WmmaSpmm<'_> {
         while i < range.end {
             let real = (range.end - i).min(WMMA_K);
             let ci = lanes(|l| if l < real { Some(i + l) } else { None });
-            let ci_tok = w.ldg(s.ld_colidx, self.bufs.col_idx, &ci, 1, &[rp_tok]).tok();
-            let av = lanes(|l| if l < real { Some((i + l) * v_len) } else { None });
+            let ci_tok = w
+                .ldg(s.ld_colidx, self.bufs.col_idx, &ci, 1, &[rp_tok])
+                .tok();
+            let av = lanes(|l| {
+                if l < real {
+                    Some((i + l) * v_len)
+                } else {
+                    None
+                }
+            });
             let avals = w.ldg(s.ld_avals, self.bufs.values, &av, v_len, &[ci_tok]);
             w.int_ops(s.addr, 4, &[ci_tok]);
 
@@ -236,11 +247,29 @@ impl KernelSpec for WmmaSpmm<'_> {
                     .map(|c| f16::from_f32(acc[r * TILE_N + c]).to_f32())
                     .collect();
                 crate::util::store_row_segment(
-                    &mut w, s.stg, self.out_buf, row_base + r, n, n0, tn, &vals, 8, Tok::NONE,
+                    &mut w,
+                    s.stg,
+                    self.out_buf,
+                    row_base + r,
+                    n,
+                    n0,
+                    tn,
+                    &vals,
+                    8,
+                    Tok::NONE,
                 );
             } else {
                 crate::util::store_row_segment(
-                    &mut w, s.stg, self.out_buf, row_base + r, n, n0, tn, &[], 8, acc_tok,
+                    &mut w,
+                    s.stg,
+                    self.out_buf,
+                    row_base + r,
+                    n,
+                    n0,
+                    tn,
+                    &[],
+                    8,
+                    acc_tok,
                 );
             }
         }
@@ -248,11 +277,7 @@ impl KernelSpec for WmmaSpmm<'_> {
 }
 
 /// Functional §5.2 warp-tiling SpMM.
-pub fn spmm_wmma(
-    gpu: &GpuConfig,
-    a: &VectorSparse<f16>,
-    b: &DenseMatrix<f16>,
-) -> DenseMatrix<f16> {
+pub fn spmm_wmma(gpu: &GpuConfig, a: &VectorSparse<f16>, b: &DenseMatrix<f16>) -> DenseMatrix<f16> {
     let mut mem = MemPool::new();
     let kernel = WmmaSpmm::new(&mut mem, a, b, Mode::Functional);
     launch(gpu, &mut mem, &kernel, Mode::Functional);
@@ -309,8 +334,18 @@ mod tests {
         let octet = profile_spmm_octet(&gpu, &a, &b);
         let wmma = profile_spmm_wmma(&gpu, &a, &b);
         let fpu = profile_spmm_fpu(&gpu, &a, &b);
-        assert!(octet.cycles < wmma.cycles, "octet {} wmma {}", octet.cycles, wmma.cycles);
-        assert!(wmma.cycles < fpu.cycles, "wmma {} fpu {}", wmma.cycles, fpu.cycles);
+        assert!(
+            octet.cycles < wmma.cycles,
+            "octet {} wmma {}",
+            octet.cycles,
+            wmma.cycles
+        );
+        assert!(
+            wmma.cycles < fpu.cycles,
+            "wmma {} fpu {}",
+            wmma.cycles,
+            fpu.cycles
+        );
         // The wmma design's loads are at best 64B coalesced: fewer sectors
         // per request than the octet kernel's LDG.128 pattern.
         assert!(

@@ -21,9 +21,10 @@ pub fn width_of<T: Scalar>() -> ElemWidth {
 /// In [`Mode::Performance`] only addresses are allocated.
 pub fn upload_dense<T: Scalar>(mem: &mut MemPool, m: &DenseMatrix<T>, mode: Mode) -> BufferId {
     match mode {
-        Mode::Functional => {
-            mem.alloc_init(width_of::<T>(), m.data().iter().map(|v| v.to_f32()).collect())
-        }
+        Mode::Functional => mem.alloc_init(
+            width_of::<T>(),
+            m.data().iter().map(|v| v.to_f32()).collect(),
+        ),
         Mode::Performance => mem.alloc_ghost(width_of::<T>(), m.data().len()),
     }
 }
@@ -121,13 +122,14 @@ pub fn upload_ell<T: Scalar>(mem: &mut MemPool, a: &BlockedEll<T>, mode: Mode) -
 }
 
 /// Read back a row-major dense output buffer into a matrix.
-pub fn download_dense<T: Scalar>(mem: &MemPool, buf: BufferId, rows: usize, cols: usize) -> DenseMatrix<T> {
+pub fn download_dense<T: Scalar>(
+    mem: &MemPool,
+    buf: BufferId,
+    rows: usize,
+    cols: usize,
+) -> DenseMatrix<T> {
     let data = mem.contents(buf);
-    DenseMatrix::from_row_major(
-        rows,
-        cols,
-        data.iter().map(|&v| T::from_f32(v)).collect(),
-    )
+    DenseMatrix::from_row_major(rows, cols, data.iter().map(|&v| T::from_f32(v)).collect())
 }
 
 /// Read back a vector-sparse value buffer into a matrix with `pattern`.
@@ -176,7 +178,11 @@ pub fn store_row_segment(
         // Widest epl whose full 32-lane span stays inside the segment,
         // falling back to scalar stores for the tail.
         let remaining = tn - c;
-        let epl = if remaining >= 32 * max_epl { max_epl } else { 1 };
+        let epl = if remaining >= 32 * max_epl {
+            max_epl
+        } else {
+            1
+        };
         let span = (32 * epl).min(remaining);
         let active = span.div_ceil(epl);
         let base = c;

@@ -39,19 +39,71 @@ pub struct LayerShape {
 /// 1×1 expand weights; the list covers every distinct shape).
 pub fn resnet50_shapes() -> Vec<LayerShape> {
     vec![
-        LayerShape { name: "conv2_1x1_reduce", rows: 64, cols: 256 },
-        LayerShape { name: "conv2_3x3", rows: 64, cols: 576 },
-        LayerShape { name: "conv2_1x1_expand", rows: 256, cols: 64 },
-        LayerShape { name: "conv3_1x1_reduce", rows: 128, cols: 512 },
-        LayerShape { name: "conv3_3x3", rows: 128, cols: 1152 },
-        LayerShape { name: "conv3_1x1_expand", rows: 512, cols: 128 },
-        LayerShape { name: "conv4_1x1_reduce", rows: 256, cols: 1024 },
-        LayerShape { name: "conv4_3x3", rows: 256, cols: 2304 },
-        LayerShape { name: "conv4_1x1_expand", rows: 1024, cols: 256 },
-        LayerShape { name: "conv5_1x1_reduce", rows: 512, cols: 2048 },
-        LayerShape { name: "conv5_3x3", rows: 512, cols: 4608 },
-        LayerShape { name: "conv5_1x1_expand", rows: 2048, cols: 512 },
-        LayerShape { name: "fc1000", rows: 1000, cols: 2048 },
+        LayerShape {
+            name: "conv2_1x1_reduce",
+            rows: 64,
+            cols: 256,
+        },
+        LayerShape {
+            name: "conv2_3x3",
+            rows: 64,
+            cols: 576,
+        },
+        LayerShape {
+            name: "conv2_1x1_expand",
+            rows: 256,
+            cols: 64,
+        },
+        LayerShape {
+            name: "conv3_1x1_reduce",
+            rows: 128,
+            cols: 512,
+        },
+        LayerShape {
+            name: "conv3_3x3",
+            rows: 128,
+            cols: 1152,
+        },
+        LayerShape {
+            name: "conv3_1x1_expand",
+            rows: 512,
+            cols: 128,
+        },
+        LayerShape {
+            name: "conv4_1x1_reduce",
+            rows: 256,
+            cols: 1024,
+        },
+        LayerShape {
+            name: "conv4_3x3",
+            rows: 256,
+            cols: 2304,
+        },
+        LayerShape {
+            name: "conv4_1x1_expand",
+            rows: 1024,
+            cols: 256,
+        },
+        LayerShape {
+            name: "conv5_1x1_reduce",
+            rows: 512,
+            cols: 2048,
+        },
+        LayerShape {
+            name: "conv5_3x3",
+            rows: 512,
+            cols: 4608,
+        },
+        LayerShape {
+            name: "conv5_1x1_expand",
+            rows: 2048,
+            cols: 512,
+        },
+        LayerShape {
+            name: "fc1000",
+            rows: 1000,
+            cols: 2048,
+        },
     ]
 }
 
@@ -61,12 +113,36 @@ pub fn resnet50_shapes() -> Vec<LayerShape> {
 /// running the sweeps on attention-style shapes instead of convolutions.
 pub fn transformer_shapes() -> Vec<LayerShape> {
     vec![
-        LayerShape { name: "attn_q_proj", rows: 512, cols: 512 },
-        LayerShape { name: "attn_k_proj", rows: 512, cols: 512 },
-        LayerShape { name: "attn_v_proj", rows: 512, cols: 512 },
-        LayerShape { name: "attn_out_proj", rows: 512, cols: 512 },
-        LayerShape { name: "ffn_expand", rows: 2048, cols: 512 },
-        LayerShape { name: "ffn_contract", rows: 512, cols: 2048 },
+        LayerShape {
+            name: "attn_q_proj",
+            rows: 512,
+            cols: 512,
+        },
+        LayerShape {
+            name: "attn_k_proj",
+            rows: 512,
+            cols: 512,
+        },
+        LayerShape {
+            name: "attn_v_proj",
+            rows: 512,
+            cols: 512,
+        },
+        LayerShape {
+            name: "attn_out_proj",
+            rows: 512,
+            cols: 512,
+        },
+        LayerShape {
+            name: "ffn_expand",
+            rows: 2048,
+            cols: 512,
+        },
+        LayerShape {
+            name: "ffn_contract",
+            rows: 512,
+            cols: 2048,
+        },
     ]
 }
 
@@ -199,7 +275,11 @@ mod tests {
 
     #[test]
     fn benchmark_hits_sparsity_and_alignment() {
-        let shape = LayerShape { name: "fc1000", rows: 1000, cols: 2048 };
+        let shape = LayerShape {
+            name: "fc1000",
+            rows: 1000,
+            cols: 2048,
+        };
         let b = Benchmark::build(shape, 4, 0.9);
         assert_eq!(b.rows() % 8, 0);
         assert_eq!(b.cols() % 8, 0);
@@ -209,7 +289,11 @@ mod tests {
 
     #[test]
     fn benchmark_is_deterministic() {
-        let shape = LayerShape { name: "conv2_3x3", rows: 64, cols: 576 };
+        let shape = LayerShape {
+            name: "conv2_3x3",
+            rows: 64,
+            cols: 576,
+        };
         let a = Benchmark::build(shape, 8, 0.7);
         let b = Benchmark::build(shape, 8, 0.7);
         assert_eq!(a.matrix, b.matrix);
@@ -219,7 +303,11 @@ mod tests {
 
     #[test]
     fn blocked_ell_twin_matches_problem() {
-        let shape = LayerShape { name: "conv3_3x3", rows: 128, cols: 1152 };
+        let shape = LayerShape {
+            name: "conv3_3x3",
+            rows: 128,
+            cols: 1152,
+        };
         let b = Benchmark::build(shape, 4, 0.9);
         let ell = b.blocked_ell_twin();
         assert_eq!(ell.rows(), b.rows());

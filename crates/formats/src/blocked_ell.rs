@@ -47,7 +47,11 @@ impl<T: Scalar> BlockedEll<T> {
         let block_rows = rows / block;
         let bpr = ell_cols / block;
         assert_eq!(block_col_idx.len(), block_rows * bpr, "index array size");
-        assert_eq!(values.len(), block_rows * bpr * block * block, "values size");
+        assert_eq!(
+            values.len(),
+            block_rows * bpr * block * block,
+            "values size"
+        );
         assert!(
             block_col_idx
                 .iter()

@@ -145,7 +145,11 @@ impl<T: Scalar> Csr<T> {
             cols: self.cols,
             row_ptr: self.row_ptr.clone(),
             col_idx: self.col_idx.clone(),
-            values: self.values.iter().map(|v| U::from_f32(v.to_f32())).collect(),
+            values: self
+                .values
+                .iter()
+                .map(|v| U::from_f32(v.to_f32()))
+                .collect(),
         }
     }
 

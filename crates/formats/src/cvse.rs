@@ -33,13 +33,7 @@ impl SparsityPattern {
     ///
     /// # Panics
     /// Panics if the arrays are inconsistent.
-    pub fn new(
-        rows: usize,
-        cols: usize,
-        v: usize,
-        row_ptr: Vec<usize>,
-        col_idx: Vec<u32>,
-    ) -> Self {
+    pub fn new(rows: usize, cols: usize, v: usize, row_ptr: Vec<usize>, col_idx: Vec<u32>) -> Self {
         assert!(v >= 1, "vector length must be positive");
         assert_eq!(rows % v, 0, "rows must be a multiple of the vector length");
         assert_eq!(row_ptr.len(), rows / v + 1, "row_ptr length");
@@ -244,7 +238,11 @@ impl<T: Scalar> VectorSparse<T> {
     pub fn cast<U: Scalar>(&self) -> VectorSparse<U> {
         VectorSparse {
             pattern: self.pattern.clone(),
-            values: self.values.iter().map(|v| U::from_f32(v.to_f32())).collect(),
+            values: self
+                .values
+                .iter()
+                .map(|v| U::from_f32(v.to_f32()))
+                .collect(),
         }
     }
 
@@ -282,13 +280,7 @@ mod tests {
     /// The worked example of Fig. 8: a 12-row matrix with V = 4, values
     /// 0..=11 over three block rows with column indices [0,2,6], [3], [1,6].
     fn fig8() -> VectorSparse<f32> {
-        let pattern = SparsityPattern::new(
-            12,
-            8,
-            4,
-            vec![0, 3, 4, 6],
-            vec![0, 2, 6, 3, 1, 6],
-        );
+        let pattern = SparsityPattern::new(12, 8, 4, vec![0, 3, 4, 6], vec![0, 2, 6, 3, 1, 6]);
         // The paper stores csrVal = [0..11] with one value per vector in its
         // illustration; here each vector is 4 elements, so expand: vector i
         // holds [4i, 4i+1, 4i+2, 4i+3] scaled down to the figure's ids.

@@ -90,12 +90,7 @@ pub fn random_vector_sparse<T: Scalar>(
 
 /// A random fine-grained CSR matrix with `round(cols * (1-sparsity))`
 /// nonzeros per row.
-pub fn random_csr<T: Scalar>(
-    rows: usize,
-    cols: usize,
-    sparsity: f64,
-    seed: u64,
-) -> Csr<T> {
+pub fn random_csr<T: Scalar>(rows: usize, cols: usize, sparsity: f64, seed: u64) -> Csr<T> {
     random_vector_sparse::<T>(rows, cols, 1, sparsity, seed).to_csr()
 }
 
@@ -202,7 +197,9 @@ mod tests {
         assert_eq!(e.ell_cols(), 16);
         // All indices valid and distinct per row.
         for br in 0..e.block_rows() {
-            let row: Vec<u32> = (0..e.blocks_per_row()).map(|j| e.block_col(br, j)).collect();
+            let row: Vec<u32> = (0..e.blocks_per_row())
+                .map(|j| e.block_col(br, j))
+                .collect();
             let mut sorted = row.clone();
             sorted.dedup();
             assert_eq!(sorted.len(), row.len());

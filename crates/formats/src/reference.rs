@@ -165,13 +165,19 @@ mod tests {
 
     #[test]
     fn gemm_identity() {
-        let i3 = DenseMatrix::<f32>::from_fn(3, 3, Layout::RowMajor, |r, c| {
-            if r == c {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let i3 =
+            DenseMatrix::<f32>::from_fn(
+                3,
+                3,
+                Layout::RowMajor,
+                |r, c| {
+                    if r == c {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                },
+            );
         let b = gen::random_dense::<f32>(3, 5, Layout::RowMajor, 1);
         assert_eq!(gemm(&i3, &b), b.to_layout(Layout::RowMajor));
     }
@@ -242,9 +248,8 @@ mod tests {
         // a matrix whose masked-out entries are -inf.
         let x = gen::random_vector_sparse::<f32>(8, 16, 2, 0.5, 11);
         let p = x.pattern().clone();
-        let mut dense = DenseMatrix::<f32>::from_fn(8, 16, Layout::RowMajor, |_, _| {
-            f32::NEG_INFINITY
-        });
+        let mut dense =
+            DenseMatrix::<f32>::from_fn(8, 16, Layout::RowMajor, |_, _| f32::NEG_INFINITY);
         let xd = x.to_dense(Layout::RowMajor);
         for r in 0..8 {
             for c in 0..16 {

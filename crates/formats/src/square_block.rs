@@ -200,10 +200,7 @@ mod tests {
         let p = random_square_block_pattern(24, 24, 8, 0.6, 4);
         let m = gen::fill_pattern::<f16>(p, 5);
         let tt = transpose_square_block(&transpose_square_block(&m));
-        assert_eq!(
-            tt.to_dense(Layout::RowMajor),
-            m.to_dense(Layout::RowMajor)
-        );
+        assert_eq!(tt.to_dense(Layout::RowMajor), m.to_dense(Layout::RowMajor));
     }
 
     #[test]

@@ -395,7 +395,11 @@ mod tests {
             if h.is_nan() {
                 assert!(f16::from_f32(h.to_f32()).is_nan());
             } else {
-                assert_eq!(f16::from_f32(h.to_f32()).to_bits(), bits, "bits {bits:#06x}");
+                assert_eq!(
+                    f16::from_f32(h.to_f32()).to_bits(),
+                    bits,
+                    "bits {bits:#06x}"
+                );
             }
         }
     }
@@ -415,8 +419,7 @@ mod tests {
     fn sum_accumulates_in_f32() {
         // 1024 + 1 overflows half-precision addition granularity: in pure
         // f16 the ones would be absorbed, in f32 accumulation they are not.
-        let vals = std::iter::once(f16::from_f32(1024.0))
-            .chain(std::iter::repeat_n(f16::ONE, 512));
+        let vals = std::iter::once(f16::from_f32(1024.0)).chain(std::iter::repeat_n(f16::ONE, 512));
         let total: f16 = vals.sum();
         assert_eq!(total.to_f32(), 1536.0);
     }

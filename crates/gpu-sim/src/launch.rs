@@ -4,7 +4,7 @@
 use crate::cache::{CacheStats, SectorCache};
 use crate::config::GpuConfig;
 use crate::mem::MemPool;
-use crate::profile::{InstrCounts, KernelProfile, PipeUtil, StallBreakdown};
+use crate::profile::{HotPc, InstrCounts, KernelProfile, PipeUtil, StallBreakdown};
 use crate::sched::simulate_wave;
 use crate::trace::WarpTrace;
 use crate::warp::CtaCtx;
@@ -65,6 +65,12 @@ pub trait KernelSpec: Sync {
     fn launch_config(&self) -> LaunchConfig;
     /// Execute one CTA (both modes go through this body).
     fn run_cta(&self, cta: &mut CtaCtx<'_>);
+    /// The static-instruction registry, when the kernel keeps it around.
+    /// Lets diagnostics (profiler hot spots, sanitizer findings) render pcs
+    /// as `name[instance]` instead of bare numbers.
+    fn program(&self) -> Option<&crate::program::Program> {
+        None
+    }
 }
 
 /// What a launch returns.
@@ -175,6 +181,7 @@ fn simulate<K: KernelSpec>(
     let mut instrs = InstrCounts::default();
     let mut pipe_busy: Vec<(crate::trace::Pipe, u64)> = Vec::new();
     let mut wave_cycles: Vec<u64> = Vec::new();
+    let mut pc_issues: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
 
     let smem_bytes = lc.smem_elems as u64 * lc.smem_elem_bytes;
     let l1_cache_bytes = (cfg.l1_bytes as u64)
@@ -194,6 +201,9 @@ fn simulate<K: KernelSpec>(
         wave_cycles.push(r.cycles);
         stalls.merge(&r.stalls);
         instrs.merge(&r.instrs);
+        for (pc, n) in &r.pc_issues {
+            *pc_issues.entry(*pc).or_insert(0) += n;
+        }
         l1_stats.merge(&l1.stats);
         if pipe_busy.is_empty() {
             pipe_busy = r.pipe_busy;
@@ -242,6 +252,22 @@ fn simulate<K: KernelSpec>(
     let warps_per_scheduler =
         resident_per_sm as f64 * lc.warps_per_cta as f64 / cfg.schedulers_per_sm as f64;
 
+    // Hottest static instructions, labelled through the kernel's program
+    // listing when it kept one.
+    let mut hot: Vec<(u32, u64)> = pc_issues.into_iter().collect();
+    hot.sort_by_key(|&(pc, n)| (std::cmp::Reverse(n), pc));
+    let hot_pcs: Vec<HotPc> = hot
+        .into_iter()
+        .take(8)
+        .map(|(pc, n)| HotPc {
+            pc,
+            issued: (n as f64 * scale).round() as u64,
+            label: kernel
+                .program()
+                .map_or_else(|| format!("pc{pc}"), |p| p.describe(pc)),
+        })
+        .collect();
+
     KernelProfile {
         name: kernel.name(),
         grid: lc.grid,
@@ -258,6 +284,7 @@ fn simulate<K: KernelSpec>(
         l1: l1s,
         l2: l2s,
         pipes,
+        hot_pcs,
     }
 }
 
@@ -275,7 +302,11 @@ mod tests {
         input: BufferId,
         output: BufferId,
         grid: usize,
-        sites: (crate::program::Site, crate::program::Site, crate::program::Site),
+        sites: (
+            crate::program::Site,
+            crate::program::Site,
+            crate::program::Site,
+        ),
         static_len: u32,
     }
 
@@ -405,6 +436,11 @@ mod tests {
         let pb = launch(&cfg, &mut mem, &big, Mode::Performance)
             .profile
             .unwrap();
-        assert!(pb.cycles > 2.0 * ps.cycles, "{} vs {}", pb.cycles, ps.cycles);
+        assert!(
+            pb.cycles > 2.0 * ps.cycles,
+            "{} vs {}",
+            pb.cycles,
+            ps.cycles
+        );
     }
 }

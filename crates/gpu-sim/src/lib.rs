@@ -50,13 +50,20 @@ pub use launch::{launch, KernelSpec, LaunchConfig, LaunchOutput, Mode};
 pub use mem::{BufferId, ElemWidth, MemPool};
 pub use profile::{KernelProfile, PipeUtil, StallBreakdown};
 pub use program::{Program, Site};
-pub use tcu::{execute_mma, mma_m8n8k4_reference, pack_a_fragment, pack_b_fragment,
-    unpack_acc, MmaFlavor, OCTETS, OCTET_SIZE};
-pub use trace::{InstrKind, MemAccess, Pipe, Tok, TraceInstr, WarpTrace};
-pub use warp::{CtaCtx, LaneOffsets, SharedMem, WarpCtx, NO_LANES};
+pub use tcu::{
+    execute_mma, mma_m8n8k4_reference, pack_a_fragment, pack_b_fragment, unpack_acc, MmaFlavor,
+    OCTETS, OCTET_SIZE,
+};
+pub use trace::{AccessDetail, InstrKind, MemAccess, Pipe, Tok, TraceInstr, WarpTrace};
+pub use warp::{
+    bank_conflict_degree, CtaCtx, LaneOffsets, SanEvent, SanEventKind, SharedMem, WarpCtx, NO_LANES,
+};
 pub use wvec::WVec;
 
 /// Number of lanes in a warp.
 pub const WARP_SIZE: usize = 32;
 /// Lanes per thread group (quarter of an octet).
 pub const THREAD_GROUP: usize = 4;
+/// Largest finite binary16 value; finite f32 values beyond this overflow
+/// to ±Inf when stored through a 16-bit element.
+pub const F16_MAX: f32 = 65504.0;

@@ -172,6 +172,20 @@ pub struct PipeUtil {
     pub utilisation: f64,
 }
 
+/// One static instruction ranked by dynamic issue count. `label` is the
+/// program-listing name (`name[instance]`) when the kernel kept its
+/// [`crate::Program`] around, else `pc<N>` — the same stable index the
+/// sanitizer's diagnostics use, so hot spots and findings line up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HotPc {
+    /// Static pc (site id).
+    pub pc: u32,
+    /// Grid-extrapolated issue count.
+    pub issued: u64,
+    /// Program-listing label for the pc.
+    pub label: String,
+}
+
 /// Everything the evaluation section reads about one kernel execution.
 #[derive(Clone, Debug)]
 pub struct KernelProfile {
@@ -206,6 +220,8 @@ pub struct KernelProfile {
     pub l2: CacheStats,
     /// Per-pipe utilisation, sorted descending.
     pub pipes: Vec<PipeUtil>,
+    /// Hottest static instructions by issue count, sorted descending.
+    pub hot_pcs: Vec<HotPc>,
 }
 
 impl KernelProfile {
@@ -339,6 +355,15 @@ impl KernelProfile {
                 100.0 * top.utilisation
             );
         }
+        if !self.hot_pcs.is_empty() {
+            let hot: Vec<String> = self
+                .hot_pcs
+                .iter()
+                .take(5)
+                .map(|h| format!("{} ×{}", h.label, h.issued))
+                .collect();
+            let _ = writeln!(out, "   hottest: {}", hot.join("  "));
+        }
         out
     }
 
@@ -396,6 +421,7 @@ mod render_tests {
             l1: crate::cache::CacheStats::default(),
             l2: crate::cache::CacheStats::default(),
             pipes: Vec::new(),
+            hot_pcs: Vec::new(),
         }
     }
 

@@ -45,9 +45,57 @@ impl Program {
         })
     }
 
+    /// Get or allocate a contiguous span of `span` static slots for
+    /// `(name, instance)`, returning the first.
+    ///
+    /// Multi-step instructions emit at consecutive PCs from one site —
+    /// `mma.m8n8k4` issues one HMMA per step at `site+0..site+steps` —
+    /// so they must reserve their whole span up front; a plain
+    /// [`Program::site`] call would let the *next* site alias the later
+    /// steps' PCs (which the sanitizer reports as `pc-aliasing`).
+    pub fn site_span(&mut self, name: &'static str, instance: u32, span: u32) -> Site {
+        let next = &mut self.next;
+        *self.by_key.entry((name, instance)).or_insert_with(|| {
+            let s = Site(*next);
+            *next += span.max(1);
+            s
+        })
+    }
+
     /// Number of static instructions registered so far ("SASS lines").
     pub fn static_len(&self) -> u32 {
         self.next
+    }
+
+    /// The registered sites as `(site_id, name, instance)`, sorted by site
+    /// id — a program listing for diagnostics.
+    pub fn listing(&self) -> Vec<(u32, &'static str, u32)> {
+        let mut out: Vec<_> = self
+            .by_key
+            .iter()
+            .map(|(&(name, instance), &site)| (site.0, name, instance))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Human-readable label for a static pc.
+    ///
+    /// PCs between registered sites (e.g. the extra HMMA steps of an
+    /// `mma.m8n8k4`, or manually-padded unrolled tails) render relative to
+    /// the closest preceding site: `mma[3]+2`.
+    pub fn describe(&self, pc: u32) -> String {
+        let mut best: Option<(u32, &'static str, u32)> = None;
+        for (&(name, instance), &site) in &self.by_key {
+            if site.0 <= pc && best.is_none_or(|(s, _, _)| site.0 > s) {
+                best = Some((site.0, name, instance));
+            }
+        }
+        match best {
+            Some((s, name, instance)) if s == pc => format!("{name}[{instance}]"),
+            Some((s, name, instance)) => format!("{name}[{instance}]+{}", pc - s),
+            None => format!("pc{pc}"),
+        }
     }
 }
 
@@ -65,5 +113,17 @@ mod tests {
         assert_ne!(a0, b0);
         assert_eq!(p.site("fma", 0), a0);
         assert_eq!(p.static_len(), 3);
+    }
+
+    #[test]
+    fn spans_reserve_consecutive_pcs() {
+        let mut p = Program::new();
+        let m = p.site_span("mma", 0, 4);
+        let after = p.site("addr", 0);
+        assert_eq!(after.0, m.0 + 4);
+        assert_eq!(p.describe(m.0 + 2), "mma[0]+2");
+        assert_eq!(p.describe(after.0), "addr[0]");
+        assert_eq!(p.site_span("mma", 0, 4), m);
+        assert_eq!(p.static_len(), 5);
     }
 }

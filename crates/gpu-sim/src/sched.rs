@@ -12,6 +12,7 @@ use crate::config::GpuConfig;
 use crate::icache::ICache;
 use crate::profile::{InstrCounts, StallBreakdown};
 use crate::trace::{InstrKind, Pipe, Tok, WarpTrace, ALL_PIPES};
+use std::collections::HashMap;
 
 /// Result of simulating one SM wave.
 #[derive(Debug, Default, Clone)]
@@ -24,6 +25,9 @@ pub struct WaveResult {
     pub instrs: InstrCounts,
     /// Busy cycles per pipe, summed over schedulers.
     pub pipe_busy: Vec<(Pipe, u64)>,
+    /// Dynamic issue count per static pc, for hot-spot reporting keyed to
+    /// the program listing.
+    pub pc_issues: HashMap<u32, u64>,
 }
 
 struct WarpState<'t> {
@@ -122,6 +126,7 @@ pub fn simulate_wave(
 
     let mut stalls = StallBreakdown::default();
     let mut instrs = InstrCounts::default();
+    let mut pc_issues: HashMap<u32, u64> = HashMap::new();
     let mut last_retire: u64 = 0;
 
     // A warp's next instruction is feasible at `ready_time` =
@@ -303,13 +308,15 @@ pub fn simulate_wave(
             };
 
             instrs.bump(instr.kind);
+            *pc_issues.entry(instr.pc).or_insert(0) += 1;
             sched.cursor = issue_at + 1;
             // Shared-memory bank conflicts serialise the access: the pipe
             // stays occupied `conflict` times as long.
-            let conflict = instr
-                .mem
-                .as_ref()
-                .map_or(1, |m| if m.global { 1 } else { u64::from(m.conflict) });
+            let conflict =
+                instr
+                    .mem
+                    .as_ref()
+                    .map_or(1, |m| if m.global { 1 } else { u64::from(m.conflict) });
             let interval = timing.issue_interval(instr.kind.pipe()) * conflict.max(1);
             sched.pipe_free[pi] = issue_at + interval;
             sched.pipe_busy[pi] += interval;
@@ -383,6 +390,7 @@ pub fn simulate_wave(
         stalls,
         instrs,
         pipe_busy,
+        pc_issues,
     }
 }
 
@@ -411,7 +419,7 @@ mod tests {
                 sectors,
                 global: true,
                 store: matches!(kind, InstrKind::Stg { .. }),
-                conflict: 1,
+                ..MemAccess::default()
             }),
         }
     }
@@ -459,7 +467,11 @@ mod tests {
             let mut t = WarpTrace::default();
             let mut prev = Tok::NONE;
             for i in 0..100 {
-                prev = t.push(instr((seed + i) % 4, InstrKind::Ffma, [prev, Tok::NONE, Tok::NONE]));
+                prev = t.push(instr(
+                    (seed + i) % 4,
+                    InstrKind::Ffma,
+                    [prev, Tok::NONE, Tok::NONE],
+                ));
             }
             t
         };
@@ -503,7 +515,7 @@ mod tests {
                 sectors: Vec::new(),
                 global: false,
                 store: false,
-                conflict: 1,
+                ..MemAccess::default()
             }),
         });
         t.push(instr(1, InstrKind::Ffma, [ld, Tok::NONE, Tok::NONE]));

@@ -126,7 +126,11 @@ pub fn execute_mma(a: &WVec, b: &WVec, acc: &mut WVec, flavor: MmaFlavor) {
 /// Host-side reference: per octet, `D = A·B + C` with dense `8×4`, `4×8`,
 /// and `8×8` operands. Used by tests to validate [`execute_mma`]'s
 /// register distribution.
-pub fn mma_m8n8k4_reference(a: &[[f32; 4]; 8], b: &[[f32; 8]; 4], c: &[[f32; 8]; 8]) -> [[f32; 8]; 8] {
+pub fn mma_m8n8k4_reference(
+    a: &[[f32; 4]; 8],
+    b: &[[f32; 8]; 4],
+    c: &[[f32; 8]; 8],
+) -> [[f32; 8]; 8] {
     let mut d = *c;
     for r in 0..8 {
         for col in 0..8 {

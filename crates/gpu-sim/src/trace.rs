@@ -1,5 +1,8 @@
 //! Trace instruction records emitted by kernels in performance mode.
 
+use crate::mem::BufferId;
+use crate::WARP_SIZE;
+
 /// Execution pipe an instruction issues to. Issue intervals are per pipe,
 /// so pipe pressure (e.g. the shared-memory pipe in the WMMA baseline)
 /// emerges from the counts.
@@ -94,6 +97,17 @@ pub struct Tok(pub(crate) u32);
 impl Tok {
     /// A token that never blocks (dependency on warp entry).
     pub const NONE: Tok = Tok(u32::MAX);
+
+    /// The dynamic instruction index this token refers to within its warp's
+    /// trace, or `None` for [`Tok::NONE`]. Gives diagnostics (sanitizer,
+    /// profiler) a stable way to point back into the instruction stream.
+    pub fn index(self) -> Option<usize> {
+        if self == Tok::NONE {
+            None
+        } else {
+            Some(self.0 as usize)
+        }
+    }
 }
 
 /// Memory sectors touched by one warp-level memory instruction.
@@ -112,6 +126,12 @@ pub struct MemAccess {
     /// Shared-memory bank-conflict degree (1 = conflict-free): the access
     /// occupies the shared pipe `conflict` times as long.
     pub conflict: u8,
+    /// Number of active (non-predicated) lanes in the access.
+    pub active_lanes: u8,
+    /// Per-lane access detail, recorded only when the CTA opts in with
+    /// [`crate::CtaCtx::record_detail`] (the sanitizer's trace mode); the
+    /// scheduler never reads it.
+    pub detail: Option<Box<AccessDetail>>,
 }
 
 impl Default for MemAccess {
@@ -121,8 +141,28 @@ impl Default for MemAccess {
             global: false,
             store: false,
             conflict: 1,
+            active_lanes: 0,
+            detail: None,
         }
     }
+}
+
+/// Per-lane detail of one memory access, for offline analyses that need
+/// more than sector addresses (races, bounds, bank layout).
+#[derive(Clone, Debug)]
+pub struct AccessDetail {
+    /// The buffer accessed, for global accesses (`None` for shared).
+    pub buf: Option<BufferId>,
+    /// Starting element offset per lane; `u32::MAX` = predicated off.
+    pub offsets: [u32; WARP_SIZE],
+    /// Elements accessed per lane.
+    pub epl: u32,
+    /// Bytes per element at the accessed location.
+    pub elem_bytes: u64,
+    /// True shared-memory bank-conflict degree, computed from the offsets
+    /// regardless of whether the timing model was told to charge for it
+    /// (`conflict` stays 1 unless the kernel opts in).
+    pub bank_degree: u8,
 }
 
 /// One warp-level instruction in a trace.

@@ -9,7 +9,7 @@ use crate::launch::Mode;
 use crate::mem::{BufferId, MemPool};
 use crate::program::Site;
 use crate::tcu::{execute_mma, MmaFlavor};
-use crate::trace::{InstrKind, MemAccess, Tok, TraceInstr, WarpTrace};
+use crate::trace::{AccessDetail, InstrKind, MemAccess, Tok, TraceInstr, WarpTrace};
 use crate::wvec::WVec;
 use crate::WARP_SIZE;
 
@@ -17,6 +17,7 @@ use crate::WARP_SIZE;
 /// width used for byte addressing and transaction modelling.
 pub struct SharedMem {
     data: Vec<f32>,
+    elems: usize,
     elem_bytes: u64,
 }
 
@@ -24,16 +25,25 @@ impl SharedMem {
     /// Allocate shared memory of `elems` elements, each `elem_bytes` wide.
     pub fn new(elems: usize, elem_bytes: u64, functional: bool) -> Self {
         SharedMem {
-            data: if functional { vec![0.0; elems] } else { Vec::new() },
+            data: if functional {
+                vec![0.0; elems]
+            } else {
+                Vec::new()
+            },
+            elems,
             elem_bytes,
         }
     }
 
+    /// Logical capacity in elements (tracked even when the backing values
+    /// are ghosts in performance mode).
+    pub fn elems(&self) -> usize {
+        self.elems
+    }
+
     /// Capacity in bytes (for occupancy accounting).
     pub fn bytes(&self) -> u64 {
-        // Ghost shared memory still has a logical size; track via len even
-        // when data is empty — callers pass the logical size at launch.
-        self.data.len() as u64 * self.elem_bytes
+        self.elems as u64 * self.elem_bytes
     }
 
     #[inline]
@@ -53,6 +63,36 @@ impl SharedMem {
     }
 }
 
+/// A value-level observation made while a CTA runs with
+/// [`CtaCtx::check_values`] on — the sanitizer's NaN/Inf propagation
+/// tracer for the fp16 path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SanEvent {
+    /// Warp index within the CTA.
+    pub warp: usize,
+    /// Static instruction (site) id of the access.
+    pub pc: u32,
+    /// Lane that carried the offending value.
+    pub lane: usize,
+    /// What was observed.
+    pub kind: SanEventKind,
+    /// The offending value.
+    pub value: f32,
+}
+
+/// Kinds of value-level observations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SanEventKind {
+    /// A NaN or infinity was loaded from global memory (a propagation
+    /// source upstream of this kernel).
+    NonFiniteLoaded,
+    /// A NaN or infinity was stored to global or shared memory.
+    NonFiniteStored,
+    /// A finite value outside binary16 range (|v| > 65504) was stored
+    /// through a 16-bit element — it becomes ±Inf on real hardware.
+    F16Overflow,
+}
+
 /// Per-CTA execution state. Kernels run as `run_cta(&mut CtaCtx)` and
 /// obtain [`WarpCtx`] handles for each of the CTA's warps; cooperative
 /// (multi-warp) kernels interleave their phases explicitly, mirroring the
@@ -67,10 +107,19 @@ pub struct CtaCtx<'a> {
     /// conflict degrees computed from them are only meaningful when a
     /// kernel opts in with exact offsets).
     pub model_bank_conflicts: bool,
+    /// Record per-lane [`AccessDetail`] on every traced memory access
+    /// (performance mode only). Off by default — the sanitizer turns it on
+    /// for its analysis runs; the scheduler never reads the detail.
+    pub record_detail: bool,
+    /// Check values flowing through memory operations (functional mode
+    /// only) and record [`SanEvent`]s for NaN/Inf propagation and f16
+    /// overflow. Off by default.
+    pub check_values: bool,
     mem: &'a MemPool,
     shared: SharedMem,
     traces: Vec<WarpTrace>,
     pending_writes: Vec<(BufferId, u32, f32)>,
+    san_events: Vec<SanEvent>,
 }
 
 impl<'a> CtaCtx<'a> {
@@ -88,11 +137,29 @@ impl<'a> CtaCtx<'a> {
             cta_id,
             mode,
             model_bank_conflicts: false,
+            record_detail: false,
+            check_values: false,
             mem,
             shared: SharedMem::new(smem_elems, smem_elem_bytes, mode == Mode::Functional),
             traces: vec![WarpTrace::default(); warps],
             pending_writes: Vec::new(),
+            san_events: Vec::new(),
         }
+    }
+
+    /// Logical shared-memory capacity in elements.
+    pub fn smem_elems(&self) -> usize {
+        self.shared.elems()
+    }
+
+    /// Value-level observations recorded so far (see [`CtaCtx::check_values`]).
+    pub fn san_events(&self) -> &[SanEvent] {
+        &self.san_events
+    }
+
+    /// Drain the recorded value-level observations.
+    pub fn take_san_events(&mut self) -> Vec<SanEvent> {
+        std::mem::take(&mut self.san_events)
     }
 
     /// Number of warps in this CTA.
@@ -211,6 +278,64 @@ impl WarpCtx<'_, '_> {
         out
     }
 
+    fn active_count(offsets: &LaneOffsets) -> u8 {
+        offsets.iter().filter(|&&o| o != u32::MAX).count() as u8
+    }
+
+    /// Per-lane detail for the trace, when the CTA opted in.
+    fn detail_for(
+        &self,
+        buf: Option<BufferId>,
+        offsets: &LaneOffsets,
+        epl: usize,
+        elem_bytes: u64,
+        shared: bool,
+    ) -> Option<Box<AccessDetail>> {
+        if !self.cta.record_detail {
+            return None;
+        }
+        let bank_degree = if shared {
+            bank_conflict_degree(offsets, elem_bytes)
+        } else {
+            1
+        };
+        Some(Box::new(AccessDetail {
+            buf,
+            offsets: *offsets,
+            epl: epl as u32,
+            elem_bytes,
+            bank_degree,
+        }))
+    }
+
+    /// Cap on recorded value events per CTA; a kernel drowning in NaNs
+    /// does not need every instance reported.
+    const SAN_EVENT_CAP: usize = 4096;
+
+    fn check_value(&mut self, site: Site, lane: usize, v: f32, store: bool, elem_bytes: u64) {
+        if self.cta.san_events.len() >= Self::SAN_EVENT_CAP {
+            return;
+        }
+        let kind = if v.is_nan() || v.is_infinite() {
+            if store {
+                SanEventKind::NonFiniteStored
+            } else {
+                SanEventKind::NonFiniteLoaded
+            }
+        } else if store && elem_bytes == 2 && v.abs() > crate::F16_MAX {
+            SanEventKind::F16Overflow
+        } else {
+            return;
+        };
+        self.cta.san_events.push(SanEvent {
+            warp: self.w,
+            pc: site.0,
+            lane,
+            kind,
+            value: v,
+        });
+    }
+
     /// Global vector load: each active lane loads `epl` consecutive
     /// elements of `buf` starting at its offset. The load width per lane is
     /// `epl × element width` (LDG.32/.64/.128 in SASS terms).
@@ -219,7 +344,14 @@ impl WarpCtx<'_, '_> {
     /// pool; in performance mode the result is a ghost carrying the trace
     /// token, and the access's 32-byte sectors are recorded for the cache
     /// model.
-    pub fn ldg(&mut self, site: Site, buf: BufferId, offsets: &LaneOffsets, epl: usize, deps: &[Tok]) -> WVec {
+    pub fn ldg(
+        &mut self,
+        site: Site,
+        buf: BufferId,
+        offsets: &LaneOffsets,
+        epl: usize,
+        deps: &[Tok],
+    ) -> WVec {
         let width = self.cta.mem.width(buf);
         let bits = (epl as u32) * width.bits();
         debug_assert!(bits <= 128, "vector loads are at most 128 bits per lane");
@@ -237,7 +369,11 @@ impl WarpCtx<'_, '_> {
                     // vector loads at tile edges.
                     let idx = off as usize + e;
                     if idx < len {
-                        out.set(lane, e, self.cta.mem.read(buf, idx));
+                        let v = self.cta.mem.read(buf, idx);
+                        out.set(lane, e, v);
+                        if self.cta.check_values {
+                            self.check_value(site, lane, v, false, 0);
+                        }
                     }
                 }
             }
@@ -245,15 +381,12 @@ impl WarpCtx<'_, '_> {
         } else {
             let len = self.cta.mem.len(buf) as u64;
             let elem_bytes = width.bytes();
-            let sectors = crate::cache::coalesce(offsets.iter().filter(|&&o| o != u32::MAX).map(
-                |&o| {
+            let sectors =
+                crate::cache::coalesce(offsets.iter().filter(|&&o| o != u32::MAX).map(|&o| {
                     let span = (epl as u64).min(len.saturating_sub(u64::from(o)));
-                    (
-                        self.cta.mem.addr(buf, o as usize),
-                        span.max(1) * elem_bytes,
-                    )
-                },
-            ));
+                    (self.cta.mem.addr(buf, o as usize), span.max(1) * elem_bytes)
+                }));
+            let detail = self.detail_for(Some(buf), offsets, epl, elem_bytes, false);
             let tok = self.emit(
                 site,
                 InstrKind::Ldg { bits },
@@ -264,6 +397,8 @@ impl WarpCtx<'_, '_> {
                     global: true,
                     store: false,
                     conflict: 1,
+                    active_lanes: Self::active_count(offsets),
+                    detail,
                 }),
             );
             WVec::ghost(epl, tok)
@@ -287,6 +422,7 @@ impl WarpCtx<'_, '_> {
         debug_assert!(bits <= 128);
         if self.functional() {
             let len = self.cta.mem.len(buf);
+            let elem_bytes = width.bytes();
             for lane in 0..WARP_SIZE {
                 let off = offsets[lane];
                 if off == u32::MAX {
@@ -295,26 +431,27 @@ impl WarpCtx<'_, '_> {
                 for e in 0..epl {
                     // Tail predication, as in `ldg`.
                     if off as usize + e < len {
-                        self.cta
-                            .pending_writes
-                            .push((buf, off + e as u32, value.get(lane, e)));
+                        let v = value.get(lane, e);
+                        self.cta.pending_writes.push((buf, off + e as u32, v));
+                        if self.cta.check_values {
+                            self.check_value(site, lane, v, true, elem_bytes);
+                        }
                     }
                 }
             }
         } else {
             let elem_bytes = width.bytes();
-            let sectors = crate::cache::coalesce(offsets.iter().filter(|&&o| o != u32::MAX).map(
-                |&o| {
-                    (
-                        self.cta.mem.addr(buf, o as usize),
-                        epl as u64 * elem_bytes,
-                    )
-                },
-            ));
+            let sectors = crate::cache::coalesce(
+                offsets
+                    .iter()
+                    .filter(|&&o| o != u32::MAX)
+                    .map(|&o| (self.cta.mem.addr(buf, o as usize), epl as u64 * elem_bytes)),
+            );
             let mut deps_full = Self::deps3(deps);
             if deps_full[0] == Tok::NONE {
                 deps_full[0] = value.tok();
             }
+            let detail = self.detail_for(Some(buf), offsets, epl, elem_bytes, false);
             self.emit(
                 site,
                 InstrKind::Stg { bits },
@@ -325,6 +462,8 @@ impl WarpCtx<'_, '_> {
                     global: true,
                     store: true,
                     conflict: 1,
+                    active_lanes: Self::active_count(offsets),
+                    detail,
                 }),
             );
         }
@@ -336,13 +475,18 @@ impl WarpCtx<'_, '_> {
         let epl = value.elems_per_lane();
         let bits = (epl as u64 * self.cta.shared.elem_bytes * 8) as u32;
         if self.functional() {
+            let elem_bytes = self.cta.shared.elem_bytes;
             for lane in 0..WARP_SIZE {
                 let off = offsets[lane];
                 if off == u32::MAX {
                     continue;
                 }
                 for e in 0..epl {
-                    self.cta.shared.write(off as usize + e, value.get(lane, e));
+                    let v = value.get(lane, e);
+                    self.cta.shared.write(off as usize + e, v);
+                    if self.cta.check_values {
+                        self.check_value(site, lane, v, true, elem_bytes);
+                    }
                 }
             }
         } else {
@@ -355,6 +499,7 @@ impl WarpCtx<'_, '_> {
             } else {
                 1
             };
+            let detail = self.detail_for(None, offsets, epl, self.cta.shared.elem_bytes, true);
             self.emit(
                 site,
                 InstrKind::Sts { bits },
@@ -365,6 +510,8 @@ impl WarpCtx<'_, '_> {
                     global: false,
                     store: true,
                     conflict,
+                    active_lanes: Self::active_count(offsets),
+                    detail,
                 }),
             );
         }
@@ -391,6 +538,7 @@ impl WarpCtx<'_, '_> {
             } else {
                 1
             };
+            let detail = self.detail_for(None, offsets, epl, self.cta.shared.elem_bytes, true);
             let tok = self.emit(
                 site,
                 InstrKind::Lds { bits },
@@ -401,6 +549,8 @@ impl WarpCtx<'_, '_> {
                     global: false,
                     store: false,
                     conflict,
+                    active_lanes: Self::active_count(offsets),
+                    detail,
                 }),
             );
             WVec::ghost(epl, tok)
@@ -668,15 +818,13 @@ mod tests {
         let a = WVec::ghost(4, Tok::NONE);
         let b = WVec::ghost(4, Tok::NONE);
         let mut acc = WVec::ghost(8, Tok::NONE);
-        cta.warp(0).mma_m8n8k4(site, &a, &b, &mut acc, MmaFlavor::Standard);
+        cta.warp(0)
+            .mma_m8n8k4(site, &a, &b, &mut acc, MmaFlavor::Standard);
         cta.warp(0)
             .mma_m8n8k4(site, &a, &b, &mut acc, MmaFlavor::Truncated);
         let (traces, _) = cta.finish();
         assert_eq!(traces[0].len(), 6); // 4 + 2 HMMA.
-        assert!(traces[0]
-            .instrs
-            .iter()
-            .all(|i| i.kind == InstrKind::Hmma));
+        assert!(traces[0].instrs.iter().all(|i| i.kind == InstrKind::Hmma));
         // Second mma's first HMMA carries the acc dependency on the first
         // mma's last HMMA (accumulator chain).
         assert_eq!(traces[0].instrs[4].acc_dep, Tok(3));

@@ -1,0 +1,112 @@
+//! `vsan` — run the sanitizer over the kernel registry.
+//!
+//! ```text
+//! vsan [--kernel NAME[,NAME...]] [--m M] [--n N] [--k K] [--v V]
+//!      [--sparsity S] [--seed SEED] [--max-ctas C] [--no-values]
+//!      [--deny-warnings] [--list]
+//! ```
+//!
+//! With no `--kernel`, every registered kernel is checked. The exit code
+//! is 1 if any deny-level finding exists (or any warning, under
+//! `--deny-warnings`), 0 otherwise — CI-friendly.
+
+use std::process::ExitCode;
+
+use vecsparse::registry::{self, KernelId, Shape, ALL_KERNELS};
+use vecsparse_gpu_sim::{GpuConfig, Mode};
+use vecsparse_sanitizer::{sanitize, SanitizeOptions};
+
+struct Args {
+    kernels: Vec<KernelId>,
+    shape: Shape,
+    opts: SanitizeOptions,
+    deny_warnings: bool,
+}
+
+const USAGE: &str = "usage: vsan [--kernel NAME[,NAME...]] [--m M] [--n N] [--k K] \
+     [--v V] [--sparsity S] [--seed SEED] [--max-ctas C] [--no-values] \
+     [--deny-warnings] [--list]";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        kernels: ALL_KERNELS.to_vec(),
+        shape: Shape::default(),
+        opts: SanitizeOptions::default(),
+        deny_warnings: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--list" => {
+                for k in ALL_KERNELS {
+                    println!("{}", k.label());
+                }
+                std::process::exit(0);
+            }
+            "--kernel" => {
+                args.kernels = value("--kernel")
+                    .split(',')
+                    .map(|s| {
+                        KernelId::parse(s.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown kernel {s:?}; try --list");
+                            usage()
+                        })
+                    })
+                    .collect();
+            }
+            "--m" => args.shape.m = value("--m").parse().unwrap_or_else(|_| usage()),
+            "--n" => args.shape.n = value("--n").parse().unwrap_or_else(|_| usage()),
+            "--k" => args.shape.k = value("--k").parse().unwrap_or_else(|_| usage()),
+            "--v" => args.shape.v = value("--v").parse().unwrap_or_else(|_| usage()),
+            "--sparsity" => {
+                args.shape.sparsity = value("--sparsity").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => args.shape.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--max-ctas" => {
+                args.opts.max_ctas = value("--max-ctas").parse().unwrap_or_else(|_| usage())
+            }
+            "--no-values" => args.opts.check_values = false,
+            "--deny-warnings" => args.deny_warnings = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let cfg = GpuConfig::default();
+    let mut failed = false;
+    for id in &args.kernels {
+        let report = registry::with_kernel(*id, &args.shape, Mode::Functional, |mem, kernel| {
+            sanitize(&cfg, mem, kernel, &args.opts)
+        });
+        print!("{}", report.render());
+        if !report.is_clean() || (args.deny_warnings && report.warn_count() > 0) {
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,300 @@
+//! Structured diagnostics: what the sanitizer reports and how findings are
+//! aggregated, ranked, and rendered.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// `Deny` findings are correctness bugs (a real `compute-sanitizer` run
+/// would flag them, or the kernel would be wrong/racy on hardware); a
+/// clean kernel must have none. `Warn` findings are performance hazards or
+/// modeling smells that shipped kernels may legitimately carry (the paper's
+/// baselines *deliberately* exhibit some — e.g. Blocked-ELL's L0-icache
+/// overflow is the §3.2 finding). `Info` findings are observations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Info,
+    Warn,
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        })
+    }
+}
+
+/// What kind of defect a diagnostic describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// A dependency token refers to an instruction at or after the
+    /// consumer — a register read with no producer in program order.
+    DanglingToken,
+    /// An HMMA consumes operand registers no prior instruction produced
+    /// (unstaged A/B fragments).
+    UninitOperand,
+    /// A store whose data has no producer (uninitialised register file).
+    UninitStore,
+    /// Shared-memory accesses from different warps in the same barrier
+    /// epoch, at least one a write, where a write precedes a read —
+    /// a missing `BAR.SYNC` between producer and consumer phases.
+    MissingBarrier,
+    /// Write/write overlap between warps in the same barrier epoch.
+    SharedRace,
+    /// Warps of one CTA execute different numbers of `BAR.SYNC`s — the
+    /// scheduler (and hardware) would hang.
+    BarrierDivergence,
+    /// A global access whose starting offset lies outside its buffer.
+    OobGlobal,
+    /// A shared access outside the CTA's declared shared allocation.
+    OobShared,
+    /// A global store whose per-lane vector runs past the end of the
+    /// buffer (partially out-of-bounds STG).
+    StoreTail,
+    /// A global load needing more 128-byte transactions than a coalesced
+    /// layout of the same footprint would.
+    Uncoalesced,
+    /// A shared access serialising on banks.
+    BankConflict,
+    /// The static program exceeds the L0 instruction-cache capacity.
+    IcacheOverflow,
+    /// Two different instruction kinds share one static PC — the program
+    /// listing under-reserves slots (multi-step instructions walking over
+    /// a neighbour's site).
+    PcAliasing,
+    /// A trace PC at or above the kernel's declared `static_instrs`.
+    StaticLenMismatch,
+    /// A NaN or ±Inf flowed through a memory operation.
+    NonFinite,
+    /// A finite f32 value stored through a 16-bit element overflows
+    /// binary16 to ±Inf.
+    F16Overflow,
+}
+
+impl Category {
+    /// Stable lowercase name (used by `vsan` output and tests).
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::DanglingToken => "dangling-token",
+            Category::UninitOperand => "uninit-operand",
+            Category::UninitStore => "uninit-store",
+            Category::MissingBarrier => "missing-barrier",
+            Category::SharedRace => "shared-race",
+            Category::BarrierDivergence => "barrier-divergence",
+            Category::OobGlobal => "oob-global",
+            Category::OobShared => "oob-shared",
+            Category::StoreTail => "store-tail",
+            Category::Uncoalesced => "uncoalesced",
+            Category::BankConflict => "bank-conflict",
+            Category::IcacheOverflow => "icache-overflow",
+            Category::PcAliasing => "pc-aliasing",
+            Category::StaticLenMismatch => "static-len-mismatch",
+            Category::NonFinite => "non-finite",
+            Category::F16Overflow => "f16-overflow",
+        }
+    }
+}
+
+/// One finding, pinned to a kernel location.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    pub category: Category,
+    pub severity: Severity,
+    /// Linear CTA id of the first occurrence.
+    pub cta: usize,
+    /// Warp index within the CTA of the first occurrence.
+    pub warp: usize,
+    /// Dynamic instruction index within the warp trace, when applicable.
+    pub instr: Option<usize>,
+    /// Static PC, when applicable.
+    pub pc: Option<u32>,
+    /// Program-listing label for `pc` (e.g. `mma[8]+2`), or empty.
+    pub label: String,
+    /// First offending lane, when applicable.
+    pub lane: Option<usize>,
+    pub message: String,
+    /// How many occurrences were folded into this diagnostic.
+    pub count: u64,
+}
+
+impl Diagnostic {
+    /// `kernel instr#12 pc 34 (mma[8]+2)`-style location prefix.
+    fn location(&self) -> String {
+        let mut s = format!("cta {} warp {}", self.cta, self.warp);
+        if let Some(i) = self.instr {
+            s.push_str(&format!(" instr#{i}"));
+        }
+        if let Some(pc) = self.pc {
+            s.push_str(&format!(" pc {pc}"));
+            if !self.label.is_empty() {
+                s.push_str(&format!(" ({})", self.label));
+            }
+        }
+        if let Some(l) = self.lane {
+            s.push_str(&format!(" lane {l}"));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {}: {}",
+            self.severity,
+            self.category.name(),
+            self.location(),
+            self.message
+        )?;
+        if self.count > 1 {
+            write!(f, " (×{})", self.count)?;
+        }
+        Ok(())
+    }
+}
+
+/// All findings for one kernel, plus how much was checked.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// `KernelSpec::name()` of the checked kernel.
+    pub kernel: String,
+    pub diags: Vec<Diagnostic>,
+    /// CTAs sampled (of the full grid).
+    pub ctas_checked: usize,
+    /// Grid size the launch declared.
+    pub grid: usize,
+    /// Dynamic instructions inspected across all sampled warps.
+    pub instrs_checked: u64,
+}
+
+impl Report {
+    /// Fold a raw finding into the report: findings sharing
+    /// `(category, pc, lane-less location kind)` aggregate into one
+    /// diagnostic with a count, keeping the first occurrence's location.
+    pub(crate) fn push(&mut self, d: Diagnostic) {
+        let key = (d.category, d.pc, d.severity);
+        if let Some(prev) = self
+            .diags
+            .iter_mut()
+            .find(|p| (p.category, p.pc, p.severity) == key)
+        {
+            prev.count += d.count;
+        } else {
+            self.diags.push(d);
+        }
+    }
+
+    /// Number of deny-level findings.
+    pub fn deny_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of warn-level findings.
+    pub fn warn_count(&self) -> usize {
+        self.diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warn)
+            .count()
+    }
+
+    /// True when the kernel carries no deny-level findings.
+    pub fn is_clean(&self) -> bool {
+        self.deny_count() == 0
+    }
+
+    /// Findings of a given category.
+    pub fn of(&self, category: Category) -> Vec<&Diagnostic> {
+        self.diags
+            .iter()
+            .filter(|d| d.category == category)
+            .collect()
+    }
+
+    /// Sort findings most severe first (stable within a severity).
+    pub(crate) fn rank(&mut self) {
+        self.diags.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    }
+
+    /// Render the report the way `vsan` prints it.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== {} ==  ({} of {} CTAs, {} instrs checked)\n",
+            self.kernel, self.ctas_checked, self.grid, self.instrs_checked
+        ));
+        if self.diags.is_empty() {
+            out.push_str("  clean: no findings\n");
+            return out;
+        }
+        let mut by_sev: HashMap<Severity, usize> = HashMap::new();
+        for d in &self.diags {
+            *by_sev.entry(d.severity).or_insert(0) += 1;
+        }
+        for d in &self.diags {
+            out.push_str(&format!("  {d}\n"));
+        }
+        out.push_str(&format!(
+            "  {} deny, {} warn, {} info\n",
+            by_sev.get(&Severity::Deny).copied().unwrap_or(0),
+            by_sev.get(&Severity::Warn).copied().unwrap_or(0),
+            by_sev.get(&Severity::Info).copied().unwrap_or(0),
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(category: Category, severity: Severity, pc: u32) -> Diagnostic {
+        Diagnostic {
+            category,
+            severity,
+            cta: 0,
+            warp: 0,
+            instr: Some(3),
+            pc: Some(pc),
+            label: String::new(),
+            lane: None,
+            message: "m".into(),
+            count: 1,
+        }
+    }
+
+    #[test]
+    fn aggregation_folds_same_site() {
+        let mut r = Report::default();
+        r.push(diag(Category::OobGlobal, Severity::Deny, 7));
+        r.push(diag(Category::OobGlobal, Severity::Deny, 7));
+        r.push(diag(Category::OobGlobal, Severity::Deny, 9));
+        assert_eq!(r.diags.len(), 2);
+        assert_eq!(r.diags[0].count, 2);
+        assert_eq!(r.deny_count(), 2);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn ranking_puts_denies_first() {
+        let mut r = Report::default();
+        r.push(diag(Category::BankConflict, Severity::Info, 1));
+        r.push(diag(Category::Uncoalesced, Severity::Warn, 2));
+        r.push(diag(Category::OobShared, Severity::Deny, 3));
+        r.rank();
+        assert_eq!(r.diags[0].severity, Severity::Deny);
+        assert!(!r.is_clean());
+        assert_eq!(r.warn_count(), 1);
+        let rendered = r.render();
+        assert!(rendered.contains("oob-shared"));
+        assert!(rendered.contains("1 deny, 1 warn, 1 info"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Deliberately-broken kernels, one per detector.
+//!
+//! These are the sanitizer's negative tests: each fixture commits exactly
+//! one class of violation, and the test suite proves the corresponding
+//! pass fires. They are also living documentation of what each defect
+//! looks like at the `WarpCtx` level. None of them is ever *scheduled* —
+//! several would hang or fault the simulator if they were (that is the
+//! point); the sanitizer analyses them without running the scheduler.
+
+use vecsparse_gpu_sim::{
+    CtaCtx, ElemWidth, KernelSpec, LaneOffsets, LaunchConfig, MemPool, MmaFlavor, Mode, Program,
+    Site, WVec, NO_LANES, WARP_SIZE,
+};
+
+/// Build per-lane offsets from a closure (`None` = predicated off).
+fn offsets(f: impl Fn(usize) -> Option<usize>) -> LaneOffsets {
+    let mut o = NO_LANES;
+    for (l, slot) in o.iter_mut().enumerate().take(WARP_SIZE) {
+        if let Some(v) = f(l) {
+            *slot = v as u32;
+        }
+    }
+    o
+}
+
+macro_rules! fixture_boilerplate {
+    ($name:literal, $warps:expr, $smem:expr) => {
+        fn name(&self) -> String {
+            $name.into()
+        }
+
+        fn launch_config(&self) -> LaunchConfig {
+            LaunchConfig {
+                grid: 1,
+                warps_per_cta: $warps,
+                regs_per_thread: 32,
+                smem_elems: $smem,
+                smem_elem_bytes: 4,
+                static_instrs: self.prog.static_len().max(1),
+            }
+        }
+
+        fn program(&self) -> Option<&Program> {
+            Some(&self.prog)
+        }
+    };
+}
+
+/// Warp 0 fills shared memory, warp 1 reads it back — with no `BAR.SYNC`
+/// in between. The racecheck pass must report a missing barrier.
+pub struct MissingBarrierFixture {
+    prog: Program,
+    sts: Site,
+    lds: Site,
+}
+
+impl MissingBarrierFixture {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let mut prog = Program::new();
+        let sts = prog.site("sts_tile", 0);
+        let lds = prog.site("lds_tile", 0);
+        MissingBarrierFixture { prog, sts, lds }
+    }
+}
+
+impl KernelSpec for MissingBarrierFixture {
+    fixture_boilerplate!("fixture-missing-barrier", 2, 64);
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        if cta.mode == Mode::Functional {
+            return;
+        }
+        let tile = offsets(Some);
+        let mut w0 = cta.warp(0);
+        w0.sts(self.sts, &tile, &WVec::zeros(1), &[]);
+        let mut w1 = cta.warp(1);
+        w1.lds(self.lds, &tile, 1, &[]);
+    }
+}
+
+/// Both warps store to the same shared elements in the same epoch.
+pub struct SharedRaceFixture {
+    prog: Program,
+    sts: Site,
+}
+
+impl SharedRaceFixture {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let mut prog = Program::new();
+        let sts = prog.site("sts_tile", 0);
+        SharedRaceFixture { prog, sts }
+    }
+}
+
+impl KernelSpec for SharedRaceFixture {
+    fixture_boilerplate!("fixture-shared-race", 2, 64);
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        if cta.mode == Mode::Functional {
+            return;
+        }
+        let tile = offsets(Some);
+        for w in 0..2 {
+            let mut warp = cta.warp(w);
+            warp.sts(self.sts, &tile, &WVec::zeros(1), &[]);
+        }
+    }
+}
+
+/// Warp 0 issues a `BAR.SYNC` warp 1 never reaches — the scheduler would
+/// deadlock on this CTA.
+pub struct BarrierDivergenceFixture {
+    prog: Program,
+    bar: Site,
+    sts: Site,
+}
+
+impl BarrierDivergenceFixture {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let mut prog = Program::new();
+        let sts = prog.site("sts_tile", 0);
+        let bar = prog.site("bar", 0);
+        BarrierDivergenceFixture { prog, bar, sts }
+    }
+}
+
+impl KernelSpec for BarrierDivergenceFixture {
+    fixture_boilerplate!("fixture-barrier-divergence", 2, 64);
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        if cta.mode == Mode::Functional {
+            return;
+        }
+        let tile = offsets(Some);
+        let mut w0 = cta.warp(0);
+        w0.sts(self.sts, &tile, &WVec::zeros(1), &[]);
+        w0.bar_sync(self.bar);
+        let mut w1 = cta.warp(1);
+        w1.sts(self.sts, &offsets(|l| Some(32 + l)), &WVec::zeros(1), &[]);
+    }
+}
+
+/// Stores one element per lane starting *past the end* of its buffer.
+pub struct OobStoreFixture {
+    prog: Program,
+    ldg: Site,
+    stg: Site,
+    buf: vecsparse_gpu_sim::BufferId,
+    len: usize,
+}
+
+impl OobStoreFixture {
+    pub fn new(mem: &mut MemPool) -> Self {
+        let len = 32;
+        let buf = mem.alloc_zeroed(ElemWidth::B32, len);
+        let mut prog = Program::new();
+        let ldg = prog.site("ldg_src", 0);
+        let stg = prog.site("stg_out", 0);
+        OobStoreFixture {
+            prog,
+            ldg,
+            stg,
+            buf,
+            len,
+        }
+    }
+}
+
+impl KernelSpec for OobStoreFixture {
+    fixture_boilerplate!("fixture-oob-store", 1, 0);
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        if cta.mode == Mode::Functional {
+            return;
+        }
+        let mut w = cta.warp(0);
+        let src = w.ldg(self.ldg, self.buf, &offsets(Some), 1, &[]);
+        // One-past-the-end and beyond: every lane's store is out of bounds.
+        let oob = offsets(|l| Some(self.len + l));
+        w.stg(self.stg, self.buf, &oob, &src, &[]);
+    }
+}
+
+/// Issues an HMMA whose A and B fragments no instruction produced.
+pub struct UninitMmaFixture {
+    prog: Program,
+    mma: Site,
+}
+
+impl UninitMmaFixture {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let mut prog = Program::new();
+        let mma = prog.site_span("mma", 0, MmaFlavor::Standard.hmma_count() as u32);
+        UninitMmaFixture { prog, mma }
+    }
+}
+
+impl KernelSpec for UninitMmaFixture {
+    fixture_boilerplate!("fixture-uninit-mma", 1, 0);
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        if cta.mode == Mode::Functional {
+            return;
+        }
+        let mut w = cta.warp(0);
+        let a = WVec::zeros(4);
+        let b = WVec::zeros(4);
+        let mut acc = WVec::zeros(4);
+        w.mma_m8n8k4(self.mma, &a, &b, &mut acc, MmaFlavor::Standard);
+    }
+}
+
+/// Warp 1's first instruction consumes a token produced in *warp 0* —
+/// a register read with no producer in its own program order.
+pub struct DanglingTokenFixture {
+    prog: Program,
+    addr: Site,
+    math: Site,
+}
+
+impl DanglingTokenFixture {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let mut prog = Program::new();
+        let addr = prog.site("addr", 0);
+        let math = prog.site("fma", 0);
+        DanglingTokenFixture { prog, addr, math }
+    }
+}
+
+impl KernelSpec for DanglingTokenFixture {
+    fixture_boilerplate!("fixture-dangling-token", 2, 0);
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        if cta.mode == Mode::Functional {
+            return;
+        }
+        let t = {
+            let mut w0 = cta.warp(0);
+            w0.int_ops(self.addr, 3, &[])
+        };
+        let mut w1 = cta.warp(1);
+        w1.math(self.math, vecsparse_gpu_sim::InstrKind::Ffma, 1, &[t]);
+    }
+}
+
+/// Loads shared elements past the CTA's declared allocation.
+pub struct OobSharedFixture {
+    prog: Program,
+    lds: Site,
+}
+
+impl OobSharedFixture {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let mut prog = Program::new();
+        let lds = prog.site("lds_tile", 0);
+        OobSharedFixture { prog, lds }
+    }
+}
+
+impl KernelSpec for OobSharedFixture {
+    fixture_boilerplate!("fixture-oob-shared", 1, 16);
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        if cta.mode == Mode::Functional {
+            return;
+        }
+        let mut w = cta.warp(0);
+        w.lds(self.lds, &offsets(|l| Some(16 + l)), 1, &[]);
+    }
+}
+
+/// Functionally stores a NaN — the value pass must trace it.
+pub struct NanStoreFixture {
+    prog: Program,
+    ldg: Site,
+    stg: Site,
+    buf: vecsparse_gpu_sim::BufferId,
+}
+
+impl NanStoreFixture {
+    pub fn new(mem: &mut MemPool) -> Self {
+        let buf = mem.alloc_zeroed(ElemWidth::B32, 32);
+        let mut prog = Program::new();
+        let ldg = prog.site("ldg_src", 0);
+        let stg = prog.site("stg_out", 0);
+        NanStoreFixture {
+            prog,
+            ldg,
+            stg,
+            buf,
+        }
+    }
+}
+
+impl KernelSpec for NanStoreFixture {
+    fixture_boilerplate!("fixture-nan-store", 1, 0);
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        let all = offsets(Some);
+        let mut w = cta.warp(0);
+        let src = w.ldg(self.ldg, self.buf, &all, 1, &[]);
+        let mut vals = src;
+        if cta.mode == Mode::Functional {
+            // A 0/0 that a reduction failed to guard.
+            vals.set(0, 0, f32::NAN);
+        }
+        let mut w = cta.warp(0);
+        w.stg(self.stg, self.buf, &all, &vals, &[]);
+    }
+}
+
+/// Gathers with a 64-element stride per lane: 32 lanes touch 32 distinct
+/// 128-byte lines where a coalesced layout needs one.
+pub struct StridedLoadFixture {
+    prog: Program,
+    ldg: Site,
+    buf: vecsparse_gpu_sim::BufferId,
+}
+
+impl StridedLoadFixture {
+    pub fn new(mem: &mut MemPool) -> Self {
+        let buf = mem.alloc_zeroed(ElemWidth::B32, 64 * WARP_SIZE);
+        let mut prog = Program::new();
+        let ldg = prog.site("ldg_strided", 0);
+        StridedLoadFixture { prog, ldg, buf }
+    }
+}
+
+impl KernelSpec for StridedLoadFixture {
+    fixture_boilerplate!("fixture-strided-load", 1, 0);
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        if cta.mode == Mode::Functional {
+            return;
+        }
+        let mut w = cta.warp(0);
+        w.ldg(self.ldg, self.buf, &offsets(|l| Some(l * 64)), 1, &[]);
+    }
+}
+
+/// Every lane hits a different word of shared bank 0: a 32-way conflict.
+pub struct BankConflictFixture {
+    prog: Program,
+    lds: Site,
+}
+
+impl BankConflictFixture {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let mut prog = Program::new();
+        let lds = prog.site("lds_column", 0);
+        BankConflictFixture { prog, lds }
+    }
+}
+
+impl KernelSpec for BankConflictFixture {
+    fixture_boilerplate!("fixture-bank-conflict", 1, 32 * WARP_SIZE);
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        if cta.mode == Mode::Functional {
+            return;
+        }
+        let mut w = cta.warp(0);
+        w.lds(self.lds, &offsets(|l| Some(l * 32)), 1, &[]);
+    }
+}
+
+/// Emits trace PCs past its declared `static_instrs` (a kernel whose
+/// hand-counted padding went stale).
+pub struct StaticLenFixture {
+    prog: Program,
+    fma: Site,
+}
+
+impl StaticLenFixture {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        let mut prog = Program::new();
+        let fma = prog.site("fma", 0);
+        StaticLenFixture { prog, fma }
+    }
+}
+
+impl KernelSpec for StaticLenFixture {
+    fn name(&self) -> String {
+        "fixture-static-len".into()
+    }
+
+    fn launch_config(&self) -> LaunchConfig {
+        LaunchConfig {
+            grid: 1,
+            warps_per_cta: 1,
+            regs_per_thread: 32,
+            smem_elems: 0,
+            smem_elem_bytes: 4,
+            static_instrs: 1,
+        }
+    }
+
+    fn program(&self) -> Option<&Program> {
+        Some(&self.prog)
+    }
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        if cta.mode == Mode::Functional {
+            return;
+        }
+        let mut w = cta.warp(0);
+        // Unrolled run of 8 PCs against a declared length of 1.
+        w.math_unrolled(self.fma, vecsparse_gpu_sim::InstrKind::Ffma, 8, &[]);
+    }
+}

@@ -1,0 +1,185 @@
+//! `vecsparse-sanitizer`: a `compute-sanitizer`-style static and dynamic
+//! checker for the simulated warp kernels in `vecsparse`.
+//!
+//! Real CUDA kernels get `compute-sanitizer` (memcheck, racecheck,
+//! initcheck) and profiler lints; kernels written against the simulated
+//! Volta substrate in `vecsparse-gpu-sim` deserve the same. This crate
+//! analyses a kernel **without scheduling it**:
+//!
+//! 1. **Trace phase** (static + address checks). Each sampled CTA is run
+//!    in performance mode with [`CtaCtx::record_detail`] on, so every
+//!    memory instruction carries per-lane offsets. The passes then check
+//!    def-use integrity (dangling tokens, unstaged HMMA operands,
+//!    uninitialised stores), barrier discipline (divergent `BAR.SYNC`
+//!    counts, same-epoch shared conflicts = missing barriers and races),
+//!    address bounds (global and shared), layout health (uncoalesced
+//!    loads, bank conflicts), and program hygiene (L0-icache overflow,
+//!    PC range, PC aliasing between sites).
+//! 2. **Value phase** (dynamic checks). The same CTA is re-run in
+//!    functional mode with [`CtaCtx::check_values`] on; NaN/Inf flowing
+//!    through loads/stores and f16 overflow on 16-bit stores become
+//!    diagnostics.
+//!
+//! Findings are [`Diagnostic`]s with a severity policy: `Deny` findings
+//! are correctness bugs and fail [`sanitize_clean`]; `Warn` findings are
+//! hazards shipped kernels may deliberately carry (the Blocked-ELL
+//! baseline *is* the paper's icache-overflow case study); `Info` findings
+//! are observations. The `vsan` binary runs the checker over the kernel
+//! registry from the command line.
+//!
+//! ```
+//! use vecsparse::registry::{self, KernelId};
+//! use vecsparse_gpu_sim::{GpuConfig, Mode};
+//! use vecsparse_sanitizer::{sanitize, SanitizeOptions};
+//!
+//! let cfg = GpuConfig::small();
+//! let report = registry::with_kernel(
+//!     KernelId::SpmmOctet,
+//!     &registry::Shape::default(),
+//!     Mode::Functional,
+//!     |mem, kernel| sanitize(&cfg, mem, kernel, &SanitizeOptions::default()),
+//! );
+//! assert!(report.is_clean(), "{}", report.render());
+//! ```
+
+mod diag;
+pub mod fixtures;
+mod traces;
+mod values;
+
+pub use diag::{Category, Diagnostic, Report, Severity};
+
+use vecsparse_gpu_sim::{CtaCtx, GpuConfig, KernelSpec, MemPool, Mode};
+
+/// Knobs for one sanitizer run.
+#[derive(Clone, Copy, Debug)]
+pub struct SanitizeOptions {
+    /// How many CTAs of the grid to analyse (evenly spaced, always
+    /// including the first and last — edge CTAs carry the tail
+    /// predication).
+    pub max_ctas: usize,
+    /// Run the functional value phase (NaN/Inf/f16-overflow tracing) in
+    /// addition to the trace phase.
+    pub check_values: bool,
+}
+
+impl Default for SanitizeOptions {
+    fn default() -> Self {
+        SanitizeOptions {
+            max_ctas: 4,
+            check_values: true,
+        }
+    }
+}
+
+/// Evenly-spaced CTA sample including both edges.
+fn sample_ctas(grid: usize, max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    if grid <= max {
+        return (0..grid).collect();
+    }
+    let mut out: Vec<usize> = (0..max)
+        .map(|i| i * (grid - 1) / (max - 1).max(1))
+        .collect();
+    out.dedup();
+    out
+}
+
+/// Run every sanitizer pass over `kernel` and collect a [`Report`].
+///
+/// The kernel is *not* scheduled: its `run_cta` is driven directly, once
+/// per sampled CTA in performance mode (trace passes) and once in
+/// functional mode (value pass). `mem` is the pool the kernel was staged
+/// into; it is only read.
+pub fn sanitize<K: KernelSpec + ?Sized>(
+    cfg: &GpuConfig,
+    mem: &MemPool,
+    kernel: &K,
+    opts: &SanitizeOptions,
+) -> Report {
+    let lc = kernel.launch_config();
+    let mut report = Report {
+        kernel: kernel.name(),
+        grid: lc.grid,
+        ..Report::default()
+    };
+    let env = traces::Env {
+        cfg,
+        mem,
+        lc: &lc,
+        program: kernel.program(),
+    };
+    traces::check_static(&env, &mut report);
+    for cta_id in sample_ctas(lc.grid, opts.max_ctas) {
+        let mut cta = CtaCtx::new(
+            cta_id,
+            Mode::Performance,
+            mem,
+            lc.warps_per_cta,
+            lc.smem_elems,
+            lc.smem_elem_bytes,
+        );
+        cta.record_detail = true;
+        kernel.run_cta(&mut cta);
+        let (warp_traces, _writes) = cta.finish();
+        report.instrs_checked += warp_traces.iter().map(|t| t.len() as u64).sum::<u64>();
+        traces::check_cta(&env, cta_id, &warp_traces, &mut report);
+
+        if opts.check_values {
+            let mut fcta = CtaCtx::new(
+                cta_id,
+                Mode::Functional,
+                mem,
+                lc.warps_per_cta,
+                lc.smem_elems,
+                lc.smem_elem_bytes,
+            );
+            fcta.check_values = true;
+            kernel.run_cta(&mut fcta);
+            values::check_events(
+                kernel.program(),
+                cta_id,
+                &fcta.take_san_events(),
+                &mut report,
+            );
+        }
+        report.ctas_checked += 1;
+    }
+    report.rank();
+    report
+}
+
+/// [`sanitize`] with default options, asserting the result carries no
+/// deny-level findings — the `#[test]`-friendly entry point.
+///
+/// # Panics
+/// Panics with the rendered report if any deny-level finding exists.
+pub fn sanitize_clean<K: KernelSpec + ?Sized>(
+    cfg: &GpuConfig,
+    mem: &MemPool,
+    kernel: &K,
+) -> Report {
+    let report = sanitize(cfg, mem, kernel, &SanitizeOptions::default());
+    assert!(
+        report.is_clean(),
+        "sanitizer found deny-level issues in {}:\n{}",
+        report.kernel,
+        report.render()
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cta_sampling_covers_edges() {
+        assert_eq!(sample_ctas(3, 4), vec![0, 1, 2]);
+        assert_eq!(sample_ctas(100, 4), vec![0, 33, 66, 99]);
+        assert_eq!(sample_ctas(2, 1), vec![0]);
+        let s = sample_ctas(1000, 5);
+        assert_eq!(s.first(), Some(&0));
+        assert_eq!(s.last(), Some(&999));
+    }
+}

@@ -1,0 +1,56 @@
+//! Functional-mode value pass: turn the substrate's [`SanEvent`] stream
+//! (NaN/Inf through memory operations, f16 overflow on 16-bit stores) into
+//! diagnostics.
+//!
+//! A non-finite value *stored* is a kernel defect: the paper's kernels
+//! compute bounded dot products and softmax normalisations, so an Inf/NaN
+//! reaching memory means a reduction or scaling step went wrong. A
+//! non-finite value *loaded* usually indicts the input data rather than
+//! the kernel, so it only warns — but it pins down where poisoned data
+//! enters, which is what a NaN-propagation trace is for.
+
+use vecsparse_gpu_sim::{Program, SanEvent, SanEventKind};
+
+use crate::diag::{Category, Diagnostic, Report, Severity};
+
+pub(crate) fn check_events(
+    program: Option<&Program>,
+    cta: usize,
+    events: &[SanEvent],
+    report: &mut Report,
+) {
+    for ev in events {
+        let (category, severity, message) = match ev.kind {
+            SanEventKind::NonFiniteStored => (
+                Category::NonFinite,
+                Severity::Deny,
+                format!("non-finite value {} stored to memory", ev.value),
+            ),
+            SanEventKind::NonFiniteLoaded => (
+                Category::NonFinite,
+                Severity::Warn,
+                format!("non-finite value {} loaded (poisoned input?)", ev.value),
+            ),
+            SanEventKind::F16Overflow => (
+                Category::F16Overflow,
+                Severity::Warn,
+                format!(
+                    "value {} overflows binary16 (max 65504) on a 16-bit store",
+                    ev.value
+                ),
+            ),
+        };
+        report.push(Diagnostic {
+            category,
+            severity,
+            cta,
+            warp: ev.warp,
+            instr: None,
+            pc: Some(ev.pc),
+            label: program.map(|p| p.describe(ev.pc)).unwrap_or_default(),
+            lane: Some(ev.lane),
+            message,
+            count: 1,
+        });
+    }
+}

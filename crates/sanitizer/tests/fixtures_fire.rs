@@ -1,0 +1,144 @@
+//! Negative tests: every deliberately-broken fixture kernel must trigger
+//! exactly the detector it was built to demonstrate.
+
+use vecsparse_gpu_sim::{GpuConfig, KernelSpec, MemPool};
+use vecsparse_sanitizer::fixtures::*;
+use vecsparse_sanitizer::{sanitize, Category, Report, SanitizeOptions, Severity};
+
+fn run(kernel: &dyn KernelSpec, mem: &MemPool) -> Report {
+    sanitize(
+        &GpuConfig::default(),
+        mem,
+        kernel,
+        &SanitizeOptions::default(),
+    )
+}
+
+/// The fixture must report `category` at `severity`, and carry no *other*
+/// deny-level findings (each fixture demonstrates one defect).
+fn assert_fires(report: &Report, category: Category, severity: Severity) {
+    let hits = report.of(category);
+    assert!(
+        !hits.is_empty(),
+        "{:?} did not fire:\n{}",
+        category,
+        report.render()
+    );
+    assert!(
+        hits.iter().any(|d| d.severity == severity),
+        "{:?} fired below {severity}:\n{}",
+        category,
+        report.render()
+    );
+    for d in &report.diags {
+        assert!(
+            d.severity < Severity::Deny || d.category == category,
+            "unexpected extra deny finding:\n{}",
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn missing_barrier_fires() {
+    let mem = MemPool::new();
+    let report = run(&MissingBarrierFixture::new(), &mem);
+    assert_fires(&report, Category::MissingBarrier, Severity::Deny);
+}
+
+#[test]
+fn shared_race_fires() {
+    let mem = MemPool::new();
+    let report = run(&SharedRaceFixture::new(), &mem);
+    assert_fires(&report, Category::SharedRace, Severity::Deny);
+}
+
+#[test]
+fn barrier_divergence_fires() {
+    let mem = MemPool::new();
+    let report = run(&BarrierDivergenceFixture::new(), &mem);
+    assert_fires(&report, Category::BarrierDivergence, Severity::Deny);
+}
+
+#[test]
+fn oob_global_store_fires() {
+    let mut mem = MemPool::new();
+    let fixture = OobStoreFixture::new(&mut mem);
+    let report = run(&fixture, &mem);
+    assert_fires(&report, Category::OobGlobal, Severity::Deny);
+}
+
+#[test]
+fn uninit_mma_operands_fire() {
+    let mem = MemPool::new();
+    let report = run(&UninitMmaFixture::new(), &mem);
+    assert_fires(&report, Category::UninitOperand, Severity::Deny);
+}
+
+#[test]
+fn dangling_token_fires() {
+    let mem = MemPool::new();
+    let report = run(&DanglingTokenFixture::new(), &mem);
+    assert_fires(&report, Category::DanglingToken, Severity::Deny);
+}
+
+#[test]
+fn oob_shared_fires() {
+    let mem = MemPool::new();
+    let report = run(&OobSharedFixture::new(), &mem);
+    assert_fires(&report, Category::OobShared, Severity::Deny);
+}
+
+#[test]
+fn nan_store_fires() {
+    let mut mem = MemPool::new();
+    let fixture = NanStoreFixture::new(&mut mem);
+    let report = run(&fixture, &mem);
+    assert_fires(&report, Category::NonFinite, Severity::Deny);
+}
+
+#[test]
+fn nan_store_silent_without_value_phase() {
+    let mut mem = MemPool::new();
+    let fixture = NanStoreFixture::new(&mut mem);
+    let report = sanitize(
+        &GpuConfig::default(),
+        &mem,
+        &fixture,
+        &SanitizeOptions {
+            check_values: false,
+            ..SanitizeOptions::default()
+        },
+    );
+    assert!(report.of(Category::NonFinite).is_empty());
+}
+
+#[test]
+fn strided_load_fires_uncoalesced() {
+    let mut mem = MemPool::new();
+    let fixture = StridedLoadFixture::new(&mut mem);
+    let report = run(&fixture, &mem);
+    let hits = report.of(Category::Uncoalesced);
+    assert!(!hits.is_empty(), "{}", report.render());
+    assert!(hits.iter().all(|d| d.severity == Severity::Warn));
+    // A layout hazard, not a correctness bug.
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn bank_conflict_fires() {
+    let mem = MemPool::new();
+    let report = run(&BankConflictFixture::new(), &mem);
+    let hits = report.of(Category::BankConflict);
+    assert!(!hits.is_empty(), "{}", report.render());
+    // A 32-way conflict is a warn (serialisation), not a deny.
+    assert!(hits.iter().any(|d| d.severity == Severity::Warn));
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn static_len_mismatch_fires() {
+    let mem = MemPool::new();
+    let report = run(&StaticLenFixture::new(), &mem);
+    assert_fires(&report, Category::StaticLenMismatch, Severity::Deny);
+}

@@ -1,0 +1,114 @@
+//! Tier-1 sanitizer coverage: every shipped kernel must come back with
+//! zero deny-level findings, across several shapes; known warn-level
+//! hazards (the Blocked-ELL icache overflow) must still be reported.
+
+use vecsparse::registry::{self, KernelId, Shape, ALL_KERNELS};
+use vecsparse_gpu_sim::{GpuConfig, Mode};
+use vecsparse_sanitizer::{sanitize, sanitize_clean, Category, SanitizeOptions, Severity};
+
+fn shapes() -> Vec<Shape> {
+    vec![
+        Shape::default(),
+        // Tall-skinny with wide vectors.
+        Shape {
+            m: 64,
+            n: 128,
+            k: 32,
+            v: 8,
+            sparsity: 0.5,
+            seed: 11,
+        },
+        // Small, very sparse, narrow vectors (exercises tail predication).
+        Shape {
+            m: 16,
+            n: 64,
+            k: 64,
+            v: 2,
+            sparsity: 0.9,
+            seed: 12,
+        },
+    ]
+}
+
+#[test]
+fn all_kernels_sanitize_clean() {
+    let cfg = GpuConfig::default();
+    for shape in shapes() {
+        for id in ALL_KERNELS {
+            registry::with_kernel(id, &shape, Mode::Functional, |mem, kernel| {
+                sanitize_clean(&cfg, mem, kernel);
+            });
+        }
+    }
+}
+
+#[test]
+fn blocked_ell_reports_icache_overflow() {
+    // The paper's §3.2 case study: the Blocked-ELL baseline's static
+    // program overflows the 768-entry L0 cache. That is a warn (a real,
+    // deliberate hazard), never a deny.
+    let cfg = GpuConfig::default();
+    let report = registry::with_kernel(
+        KernelId::SpmmBlockedEll,
+        &Shape::default(),
+        Mode::Functional,
+        |mem, kernel| sanitize(&cfg, mem, kernel, &SanitizeOptions::default()),
+    );
+    let hits = report.of(Category::IcacheOverflow);
+    assert!(!hits.is_empty(), "{}", report.render());
+    assert!(hits.iter().all(|d| d.severity == Severity::Warn));
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+#[test]
+fn octet_kernels_fit_the_icache() {
+    // The paper's own kernels stay within the L0 cache (§7.2.2) — the
+    // sanitizer must not claim otherwise.
+    let cfg = GpuConfig::default();
+    for id in [KernelId::SpmmOctet, KernelId::SddmmOctetArch] {
+        let report = registry::with_kernel(id, &Shape::default(), Mode::Functional, |mem, k| {
+            sanitize(&cfg, mem, k, &SanitizeOptions::default())
+        });
+        assert!(
+            report.of(Category::IcacheOverflow).is_empty(),
+            "{}",
+            report.render()
+        );
+    }
+}
+
+#[test]
+fn reports_carry_stable_instruction_labels() {
+    // Diagnostics on real kernels must resolve pcs through the kernel's
+    // Program listing rather than raw numbers.
+    let cfg = GpuConfig::default();
+    let report = registry::with_kernel(
+        KernelId::SddmmWmma,
+        &Shape::default(),
+        Mode::Functional,
+        |mem, kernel| sanitize(&cfg, mem, kernel, &SanitizeOptions::default()),
+    );
+    for d in &report.diags {
+        if d.pc.is_some() {
+            assert!(!d.label.is_empty(), "unlabelled diagnostic: {d}");
+            assert!(!d.label.starts_with("pc"), "unresolved label: {d}");
+        }
+    }
+}
+
+#[test]
+fn value_phase_can_be_disabled() {
+    let cfg = GpuConfig::default();
+    let opts = SanitizeOptions {
+        check_values: false,
+        ..SanitizeOptions::default()
+    };
+    let report = registry::with_kernel(
+        KernelId::SoftmaxSparse,
+        &Shape::default(),
+        Mode::Functional,
+        |mem, kernel| sanitize(&cfg, mem, kernel, &opts),
+    );
+    assert!(report.is_clean(), "{}", report.render());
+    assert!(report.of(Category::NonFinite).is_empty());
+}

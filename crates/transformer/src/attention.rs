@@ -219,7 +219,11 @@ mod tests {
         let got = sparse_attention_head(&gpu, &q, &k, &v, &mask);
         let want = dense_attention_reference(&q, &k, &v, &mask);
         // Softmax goes through exp(); allow a few half-precision ulps.
-        assert!(got.max_abs_diff(&want) < 5e-3, "diff {}", got.max_abs_diff(&want));
+        assert!(
+            got.max_abs_diff(&want) < 5e-3,
+            "diff {}",
+            got.max_abs_diff(&want)
+        );
     }
 
     #[test]

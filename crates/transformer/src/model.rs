@@ -43,7 +43,11 @@ pub struct Mat {
 impl Mat {
     /// Zero matrix.
     pub fn zeros(r: usize, c: usize) -> Mat {
-        Mat { r, c, d: vec![0.0; r * c] }
+        Mat {
+            r,
+            c,
+            d: vec![0.0; r * c],
+        }
     }
 
     /// Xavier-ish random init.
@@ -236,13 +240,13 @@ pub struct TinyTransformer {
 }
 
 struct Forward {
-    x: Mat,       // L×D input embeddings
-    q: Mat,       // L×D
-    k: Mat,       // L×D
-    v: Mat,       // L×D
-    attn: Mat,    // L×L post-softmax (masked entries zero)
-    ctx: Mat,     // L×D attention output (+residual applied later)
-    h1: Mat,      // L×F post-relu
+    x: Mat,         // L×D input embeddings
+    q: Mat,         // L×D
+    k: Mat,         // L×D
+    v: Mat,         // L×D
+    attn: Mat,      // L×L post-softmax (masked entries zero)
+    ctx: Mat,       // L×D attention output (+residual applied later)
+    h1: Mat,        // L×F post-relu
     pool: Vec<f32>, // D mean-pooled
     logits: [f32; 2],
     probs: [f32; 2],
@@ -505,7 +509,7 @@ impl TinyTransformer {
             // Attention backward: ctx = attn·v + x.
             let dv = fwd.attn.t_matmul(&dctx); // L×D
             let dattn = dctx.matmul_t(&fwd.v); // L×L
-            // Softmax backward per row.
+                                               // Softmax backward per row.
             let mut dscores = Mat::zeros(l, l);
             for i in 0..l {
                 let mut dot = 0.0;

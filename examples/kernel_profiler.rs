@@ -6,9 +6,7 @@
 //! cargo run --release --example kernel_profiler
 //! ```
 
-use vecsparse::sddmm::{
-    profile_sddmm_fpu, profile_sddmm_octet, profile_sddmm_wmma, OctetVariant,
-};
+use vecsparse::sddmm::{profile_sddmm_fpu, profile_sddmm_octet, profile_sddmm_wmma, OctetVariant};
 use vecsparse::spmm::{
     profile_spmm_blocked_ell, profile_spmm_fpu, profile_spmm_octet, profile_spmm_wmma,
 };

@@ -17,8 +17,9 @@ use vecsparse_gpu_sim::GpuConfig;
 
 fn main() {
     let text = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+        }
         None => {
             // Synthesize a 256-block-row structure and round-trip it
             // through the text format to demonstrate the parser.

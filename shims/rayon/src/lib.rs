@@ -1,0 +1,61 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! `into_par_iter()` / `par_iter()` return ordinary sequential iterators, so
+//! results are bit-identical to the parallel versions (gpu-sim only uses
+//! rayon for embarrassingly-parallel CTA loops whose outputs are merged
+//! deterministically). Swap back to real rayon by restoring the version in
+//! the root `Cargo.toml` — no call sites change.
+
+/// Sequential drop-in for `rayon::prelude`.
+pub mod prelude {
+    /// Mirror of rayon's `IntoParallelIterator`, yielding a plain iterator.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Mirror of rayon's `IntoParallelRefIterator` (`.par_iter()`).
+    pub trait IntoParallelRefIterator<'data> {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoIterator,
+    {
+        type Item = <&'data I as IntoIterator>::Item;
+        type Iter = <&'data I as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_collects_in_order() {
+        let v: Vec<usize> = (0..8usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn vec_par_iter_borrows() {
+        let data = vec![1u32, 2, 3];
+        let sum: u32 = data.par_iter().sum();
+        assert_eq!(sum, 6);
+    }
+}

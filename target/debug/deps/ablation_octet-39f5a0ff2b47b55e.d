@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_octet-39f5a0ff2b47b55e.d: crates/bench/src/bin/ablation_octet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_octet-39f5a0ff2b47b55e.rmeta: crates/bench/src/bin/ablation_octet.rs Cargo.toml
+
+crates/bench/src/bin/ablation_octet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_octet-8c6e8d2b4d67a48b.d: crates/bench/src/bin/ablation_octet.rs
+
+/root/repo/target/debug/deps/ablation_octet-8c6e8d2b4d67a48b: crates/bench/src/bin/ablation_octet.rs
+
+crates/bench/src/bin/ablation_octet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_octet-cc62bb427de70fec.d: crates/bench/src/bin/ablation_octet.rs
+
+/root/repo/target/debug/deps/ablation_octet-cc62bb427de70fec: crates/bench/src/bin/ablation_octet.rs
+
+crates/bench/src/bin/ablation_octet.rs:

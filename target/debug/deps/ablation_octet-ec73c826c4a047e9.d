@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_octet-ec73c826c4a047e9.d: crates/bench/src/bin/ablation_octet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_octet-ec73c826c4a047e9.rmeta: crates/bench/src/bin/ablation_octet.rs Cargo.toml
+
+crates/bench/src/bin/ablation_octet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

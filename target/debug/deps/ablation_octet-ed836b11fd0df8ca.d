@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_octet-ed836b11fd0df8ca.d: crates/bench/src/bin/ablation_octet.rs
+
+/root/repo/target/debug/deps/ablation_octet-ed836b11fd0df8ca: crates/bench/src/bin/ablation_octet.rs
+
+crates/bench/src/bin/ablation_octet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_octet-fa9bc8fd3e842bd9.d: crates/bench/src/bin/ablation_octet.rs
+
+/root/repo/target/debug/deps/ablation_octet-fa9bc8fd3e842bd9: crates/bench/src/bin/ablation_octet.rs
+
+crates/bench/src/bin/ablation_octet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/attention-85834d1f2c0014ae.d: crates/bench/benches/attention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libattention-85834d1f2c0014ae.rmeta: crates/bench/benches/attention.rs Cargo.toml
+
+crates/bench/benches/attention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-07fc81303478e705.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-07fc81303478e705.rlib: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-07fc81303478e705.rmeta: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-b8602c96240da484.d: shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-b8602c96240da484: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/design_space-157b6c0c904fa547.d: crates/bench/src/bin/design_space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdesign_space-157b6c0c904fa547.rmeta: crates/bench/src/bin/design_space.rs Cargo.toml
+
+crates/bench/src/bin/design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

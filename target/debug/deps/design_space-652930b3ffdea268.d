@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_space-652930b3ffdea268.d: crates/bench/src/bin/design_space.rs
+
+/root/repo/target/debug/deps/design_space-652930b3ffdea268: crates/bench/src/bin/design_space.rs
+
+crates/bench/src/bin/design_space.rs:

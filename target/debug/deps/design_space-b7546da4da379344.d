@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_space-b7546da4da379344.d: crates/bench/src/bin/design_space.rs
+
+/root/repo/target/debug/deps/design_space-b7546da4da379344: crates/bench/src/bin/design_space.rs
+
+crates/bench/src/bin/design_space.rs:

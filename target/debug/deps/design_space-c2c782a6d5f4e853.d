@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_space-c2c782a6d5f4e853.d: crates/bench/src/bin/design_space.rs
+
+/root/repo/target/debug/deps/design_space-c2c782a6d5f4e853: crates/bench/src/bin/design_space.rs
+
+crates/bench/src/bin/design_space.rs:

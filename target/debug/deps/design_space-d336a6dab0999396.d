@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/design_space-d336a6dab0999396.d: crates/bench/src/bin/design_space.rs
+
+/root/repo/target/debug/deps/design_space-d336a6dab0999396: crates/bench/src/bin/design_space.rs
+
+crates/bench/src/bin/design_space.rs:

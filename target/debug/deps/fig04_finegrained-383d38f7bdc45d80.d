@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_finegrained-383d38f7bdc45d80.d: crates/bench/src/bin/fig04_finegrained.rs
+
+/root/repo/target/debug/deps/fig04_finegrained-383d38f7bdc45d80: crates/bench/src/bin/fig04_finegrained.rs
+
+crates/bench/src/bin/fig04_finegrained.rs:

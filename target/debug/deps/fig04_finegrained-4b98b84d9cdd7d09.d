@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_finegrained-4b98b84d9cdd7d09.d: crates/bench/src/bin/fig04_finegrained.rs
+
+/root/repo/target/debug/deps/fig04_finegrained-4b98b84d9cdd7d09: crates/bench/src/bin/fig04_finegrained.rs
+
+crates/bench/src/bin/fig04_finegrained.rs:

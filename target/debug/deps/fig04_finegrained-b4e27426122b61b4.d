@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_finegrained-b4e27426122b61b4.d: crates/bench/src/bin/fig04_finegrained.rs
+
+/root/repo/target/debug/deps/fig04_finegrained-b4e27426122b61b4: crates/bench/src/bin/fig04_finegrained.rs
+
+crates/bench/src/bin/fig04_finegrained.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig04_finegrained-b676a1097c50ec36.d: crates/bench/src/bin/fig04_finegrained.rs
+
+/root/repo/target/debug/deps/fig04_finegrained-b676a1097c50ec36: crates/bench/src/bin/fig04_finegrained.rs
+
+crates/bench/src/bin/fig04_finegrained.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig04_finegrained-e68a8570d5db8a44.d: crates/bench/src/bin/fig04_finegrained.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig04_finegrained-e68a8570d5db8a44.rmeta: crates/bench/src/bin/fig04_finegrained.rs Cargo.toml
+
+crates/bench/src/bin/fig04_finegrained.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_gemm_vs_spmm-0712223acd607cbb.d: crates/bench/src/bin/fig05_gemm_vs_spmm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_gemm_vs_spmm-0712223acd607cbb.rmeta: crates/bench/src/bin/fig05_gemm_vs_spmm.rs Cargo.toml
+
+crates/bench/src/bin/fig05_gemm_vs_spmm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

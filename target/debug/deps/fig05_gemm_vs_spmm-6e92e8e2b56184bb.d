@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_gemm_vs_spmm-6e92e8e2b56184bb.d: crates/bench/src/bin/fig05_gemm_vs_spmm.rs
+
+/root/repo/target/debug/deps/fig05_gemm_vs_spmm-6e92e8e2b56184bb: crates/bench/src/bin/fig05_gemm_vs_spmm.rs
+
+crates/bench/src/bin/fig05_gemm_vs_spmm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_gemm_vs_spmm-83651c71653553ce.d: crates/bench/src/bin/fig05_gemm_vs_spmm.rs
+
+/root/repo/target/debug/deps/fig05_gemm_vs_spmm-83651c71653553ce: crates/bench/src/bin/fig05_gemm_vs_spmm.rs
+
+crates/bench/src/bin/fig05_gemm_vs_spmm.rs:

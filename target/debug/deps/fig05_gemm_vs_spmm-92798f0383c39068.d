@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_gemm_vs_spmm-92798f0383c39068.d: crates/bench/src/bin/fig05_gemm_vs_spmm.rs
+
+/root/repo/target/debug/deps/fig05_gemm_vs_spmm-92798f0383c39068: crates/bench/src/bin/fig05_gemm_vs_spmm.rs
+
+crates/bench/src/bin/fig05_gemm_vs_spmm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_gemm_vs_spmm-abe5f182c07e6493.d: crates/bench/src/bin/fig05_gemm_vs_spmm.rs
+
+/root/repo/target/debug/deps/fig05_gemm_vs_spmm-abe5f182c07e6493: crates/bench/src/bin/fig05_gemm_vs_spmm.rs
+
+crates/bench/src/bin/fig05_gemm_vs_spmm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_blocked_ell-14a2e7dec6b3fef5.d: crates/bench/src/bin/fig06_blocked_ell.rs
+
+/root/repo/target/debug/deps/fig06_blocked_ell-14a2e7dec6b3fef5: crates/bench/src/bin/fig06_blocked_ell.rs
+
+crates/bench/src/bin/fig06_blocked_ell.rs:

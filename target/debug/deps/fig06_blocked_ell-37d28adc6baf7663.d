@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig06_blocked_ell-37d28adc6baf7663.d: crates/bench/src/bin/fig06_blocked_ell.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig06_blocked_ell-37d28adc6baf7663.rmeta: crates/bench/src/bin/fig06_blocked_ell.rs Cargo.toml
+
+crates/bench/src/bin/fig06_blocked_ell.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

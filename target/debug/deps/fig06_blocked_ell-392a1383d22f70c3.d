@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_blocked_ell-392a1383d22f70c3.d: crates/bench/src/bin/fig06_blocked_ell.rs
+
+/root/repo/target/debug/deps/fig06_blocked_ell-392a1383d22f70c3: crates/bench/src/bin/fig06_blocked_ell.rs
+
+crates/bench/src/bin/fig06_blocked_ell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_blocked_ell-4236e06fec422bbd.d: crates/bench/src/bin/fig06_blocked_ell.rs
+
+/root/repo/target/debug/deps/fig06_blocked_ell-4236e06fec422bbd: crates/bench/src/bin/fig06_blocked_ell.rs
+
+crates/bench/src/bin/fig06_blocked_ell.rs:

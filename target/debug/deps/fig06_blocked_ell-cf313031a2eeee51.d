@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig06_blocked_ell-cf313031a2eeee51.d: crates/bench/src/bin/fig06_blocked_ell.rs
+
+/root/repo/target/debug/deps/fig06_blocked_ell-cf313031a2eeee51: crates/bench/src/bin/fig06_blocked_ell.rs
+
+crates/bench/src/bin/fig06_blocked_ell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_spmm_sweep-506a6c6367fa0ea1.d: crates/bench/src/bin/fig17_spmm_sweep.rs
+
+/root/repo/target/debug/deps/fig17_spmm_sweep-506a6c6367fa0ea1: crates/bench/src/bin/fig17_spmm_sweep.rs
+
+crates/bench/src/bin/fig17_spmm_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_spmm_sweep-6bb18c131dff6e67.d: crates/bench/src/bin/fig17_spmm_sweep.rs
+
+/root/repo/target/debug/deps/fig17_spmm_sweep-6bb18c131dff6e67: crates/bench/src/bin/fig17_spmm_sweep.rs
+
+crates/bench/src/bin/fig17_spmm_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_spmm_sweep-9688935663e16566.d: crates/bench/src/bin/fig17_spmm_sweep.rs
+
+/root/repo/target/debug/deps/fig17_spmm_sweep-9688935663e16566: crates/bench/src/bin/fig17_spmm_sweep.rs
+
+crates/bench/src/bin/fig17_spmm_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_spmm_sweep-c8fcb10c10540565.d: crates/bench/src/bin/fig17_spmm_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_spmm_sweep-c8fcb10c10540565.rmeta: crates/bench/src/bin/fig17_spmm_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig17_spmm_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

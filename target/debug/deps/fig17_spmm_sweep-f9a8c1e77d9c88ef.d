@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_spmm_sweep-f9a8c1e77d9c88ef.d: crates/bench/src/bin/fig17_spmm_sweep.rs
+
+/root/repo/target/debug/deps/fig17_spmm_sweep-f9a8c1e77d9c88ef: crates/bench/src/bin/fig17_spmm_sweep.rs
+
+crates/bench/src/bin/fig17_spmm_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_l2_bytes-6d596963f8c66508.d: crates/bench/src/bin/fig18_l2_bytes.rs
+
+/root/repo/target/debug/deps/fig18_l2_bytes-6d596963f8c66508: crates/bench/src/bin/fig18_l2_bytes.rs
+
+crates/bench/src/bin/fig18_l2_bytes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_l2_bytes-b65a817e04f934cc.d: crates/bench/src/bin/fig18_l2_bytes.rs
+
+/root/repo/target/debug/deps/fig18_l2_bytes-b65a817e04f934cc: crates/bench/src/bin/fig18_l2_bytes.rs
+
+crates/bench/src/bin/fig18_l2_bytes.rs:

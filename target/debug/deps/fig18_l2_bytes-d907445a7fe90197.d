@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_l2_bytes-d907445a7fe90197.d: crates/bench/src/bin/fig18_l2_bytes.rs
+
+/root/repo/target/debug/deps/fig18_l2_bytes-d907445a7fe90197: crates/bench/src/bin/fig18_l2_bytes.rs
+
+crates/bench/src/bin/fig18_l2_bytes.rs:

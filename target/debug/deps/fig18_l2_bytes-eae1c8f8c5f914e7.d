@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_l2_bytes-eae1c8f8c5f914e7.d: crates/bench/src/bin/fig18_l2_bytes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_l2_bytes-eae1c8f8c5f914e7.rmeta: crates/bench/src/bin/fig18_l2_bytes.rs Cargo.toml
+
+crates/bench/src/bin/fig18_l2_bytes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_l2_bytes-f64d75c116cc4f9f.d: crates/bench/src/bin/fig18_l2_bytes.rs
+
+/root/repo/target/debug/deps/fig18_l2_bytes-f64d75c116cc4f9f: crates/bench/src/bin/fig18_l2_bytes.rs
+
+crates/bench/src/bin/fig18_l2_bytes.rs:

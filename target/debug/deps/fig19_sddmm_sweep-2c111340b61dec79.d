@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_sddmm_sweep-2c111340b61dec79.d: crates/bench/src/bin/fig19_sddmm_sweep.rs
+
+/root/repo/target/debug/deps/fig19_sddmm_sweep-2c111340b61dec79: crates/bench/src/bin/fig19_sddmm_sweep.rs
+
+crates/bench/src/bin/fig19_sddmm_sweep.rs:

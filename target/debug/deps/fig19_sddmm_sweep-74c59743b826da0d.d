@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19_sddmm_sweep-74c59743b826da0d.d: crates/bench/src/bin/fig19_sddmm_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19_sddmm_sweep-74c59743b826da0d.rmeta: crates/bench/src/bin/fig19_sddmm_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig19_sddmm_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

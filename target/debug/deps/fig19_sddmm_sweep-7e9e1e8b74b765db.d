@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_sddmm_sweep-7e9e1e8b74b765db.d: crates/bench/src/bin/fig19_sddmm_sweep.rs
+
+/root/repo/target/debug/deps/fig19_sddmm_sweep-7e9e1e8b74b765db: crates/bench/src/bin/fig19_sddmm_sweep.rs
+
+crates/bench/src/bin/fig19_sddmm_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19_sddmm_sweep-7f6219ffac7ab4cc.d: crates/bench/src/bin/fig19_sddmm_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19_sddmm_sweep-7f6219ffac7ab4cc.rmeta: crates/bench/src/bin/fig19_sddmm_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig19_sddmm_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

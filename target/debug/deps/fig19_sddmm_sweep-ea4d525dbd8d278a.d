@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_sddmm_sweep-ea4d525dbd8d278a.d: crates/bench/src/bin/fig19_sddmm_sweep.rs
+
+/root/repo/target/debug/deps/fig19_sddmm_sweep-ea4d525dbd8d278a: crates/bench/src/bin/fig19_sddmm_sweep.rs
+
+crates/bench/src/bin/fig19_sddmm_sweep.rs:

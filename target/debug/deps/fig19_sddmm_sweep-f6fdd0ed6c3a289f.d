@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_sddmm_sweep-f6fdd0ed6c3a289f.d: crates/bench/src/bin/fig19_sddmm_sweep.rs
+
+/root/repo/target/debug/deps/fig19_sddmm_sweep-f6fdd0ed6c3a289f: crates/bench/src/bin/fig19_sddmm_sweep.rs
+
+crates/bench/src/bin/fig19_sddmm_sweep.rs:

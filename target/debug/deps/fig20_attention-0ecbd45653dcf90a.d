@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_attention-0ecbd45653dcf90a.d: crates/bench/src/bin/fig20_attention.rs
+
+/root/repo/target/debug/deps/fig20_attention-0ecbd45653dcf90a: crates/bench/src/bin/fig20_attention.rs
+
+crates/bench/src/bin/fig20_attention.rs:

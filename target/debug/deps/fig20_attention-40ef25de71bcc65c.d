@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_attention-40ef25de71bcc65c.d: crates/bench/src/bin/fig20_attention.rs
+
+/root/repo/target/debug/deps/fig20_attention-40ef25de71bcc65c: crates/bench/src/bin/fig20_attention.rs
+
+crates/bench/src/bin/fig20_attention.rs:

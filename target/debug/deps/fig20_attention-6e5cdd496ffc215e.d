@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_attention-6e5cdd496ffc215e.d: crates/bench/src/bin/fig20_attention.rs
+
+/root/repo/target/debug/deps/fig20_attention-6e5cdd496ffc215e: crates/bench/src/bin/fig20_attention.rs
+
+crates/bench/src/bin/fig20_attention.rs:

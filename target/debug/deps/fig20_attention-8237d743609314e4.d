@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_attention-8237d743609314e4.d: crates/bench/src/bin/fig20_attention.rs
+
+/root/repo/target/debug/deps/fig20_attention-8237d743609314e4: crates/bench/src/bin/fig20_attention.rs
+
+crates/bench/src/bin/fig20_attention.rs:

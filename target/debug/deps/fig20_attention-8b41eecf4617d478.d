@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig20_attention-8b41eecf4617d478.d: crates/bench/src/bin/fig20_attention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig20_attention-8b41eecf4617d478.rmeta: crates/bench/src/bin/fig20_attention.rs Cargo.toml
+
+crates/bench/src/bin/fig20_attention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

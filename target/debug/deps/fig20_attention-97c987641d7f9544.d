@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig20_attention-97c987641d7f9544.d: crates/bench/src/bin/fig20_attention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig20_attention-97c987641d7f9544.rmeta: crates/bench/src/bin/fig20_attention.rs Cargo.toml
+
+crates/bench/src/bin/fig20_attention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fixtures_fire-2222ab14102f3c42.d: crates/sanitizer/tests/fixtures_fire.rs
+
+/root/repo/target/debug/deps/fixtures_fire-2222ab14102f3c42: crates/sanitizer/tests/fixtures_fire.rs
+
+crates/sanitizer/tests/fixtures_fire.rs:

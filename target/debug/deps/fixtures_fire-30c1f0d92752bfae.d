@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fixtures_fire-30c1f0d92752bfae.d: crates/sanitizer/tests/fixtures_fire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfixtures_fire-30c1f0d92752bfae.rmeta: crates/sanitizer/tests/fixtures_fire.rs Cargo.toml
+
+crates/sanitizer/tests/fixtures_fire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

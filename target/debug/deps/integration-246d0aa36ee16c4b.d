@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration-246d0aa36ee16c4b.d: crates/bench/../../tests/integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration-246d0aa36ee16c4b.rmeta: crates/bench/../../tests/integration.rs Cargo.toml
+
+crates/bench/../../tests/integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

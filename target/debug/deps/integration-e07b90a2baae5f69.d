@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-e07b90a2baae5f69.d: crates/bench/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-e07b90a2baae5f69: crates/bench/../../tests/integration.rs
+
+crates/bench/../../tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-fd5abaf7318add53.d: crates/bench/../../tests/integration.rs
+
+/root/repo/target/debug/deps/integration-fd5abaf7318add53: crates/bench/../../tests/integration.rs
+
+crates/bench/../../tests/integration.rs:

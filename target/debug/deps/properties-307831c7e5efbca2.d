@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-307831c7e5efbca2.d: crates/fp16/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-307831c7e5efbca2: crates/fp16/tests/properties.rs
+
+crates/fp16/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-52a0a2749130819b.d: crates/fp16/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-52a0a2749130819b.rmeta: crates/fp16/tests/properties.rs Cargo.toml
+
+crates/fp16/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5ab20b5c766e2895.d: crates/bench/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5ab20b5c766e2895: crates/bench/../../tests/properties.rs
+
+crates/bench/../../tests/properties.rs:

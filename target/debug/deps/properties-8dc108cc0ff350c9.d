@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8dc108cc0ff350c9.d: crates/bench/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8dc108cc0ff350c9: crates/bench/../../tests/properties.rs
+
+crates/bench/../../tests/properties.rs:

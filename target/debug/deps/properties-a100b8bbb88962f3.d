@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-a100b8bbb88962f3.d: crates/bench/../../tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-a100b8bbb88962f3.rmeta: crates/bench/../../tests/properties.rs Cargo.toml
+
+crates/bench/../../tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

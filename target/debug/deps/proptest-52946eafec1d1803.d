@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-52946eafec1d1803.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-52946eafec1d1803.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-52946eafec1d1803.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

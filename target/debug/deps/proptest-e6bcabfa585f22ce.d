@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-e6bcabfa585f22ce.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-e6bcabfa585f22ce: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

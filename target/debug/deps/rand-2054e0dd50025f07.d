@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-2054e0dd50025f07.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2054e0dd50025f07.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-2054e0dd50025f07.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

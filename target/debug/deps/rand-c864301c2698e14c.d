@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-c864301c2698e14c.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-c864301c2698e14c: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

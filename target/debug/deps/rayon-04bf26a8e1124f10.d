@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-04bf26a8e1124f10.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-04bf26a8e1124f10: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-1769b89979fe231c.d: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-1769b89979fe231c.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-1769b89979fe231c.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sanitize_kernels-b2a82903b9f31fca.d: crates/sanitizer/tests/sanitize_kernels.rs
+
+/root/repo/target/debug/deps/sanitize_kernels-b2a82903b9f31fca: crates/sanitizer/tests/sanitize_kernels.rs
+
+crates/sanitizer/tests/sanitize_kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sanitize_kernels-f664006feb84742d.d: crates/sanitizer/tests/sanitize_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsanitize_kernels-f664006feb84742d.rmeta: crates/sanitizer/tests/sanitize_kernels.rs Cargo.toml
+
+crates/sanitizer/tests/sanitize_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sddmm_kernels-7c146eef5086184a.d: crates/bench/benches/sddmm_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsddmm_kernels-7c146eef5086184a.rmeta: crates/bench/benches/sddmm_kernels.rs Cargo.toml
+
+crates/bench/benches/sddmm_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-4b48cc416c4065c2.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-4b48cc416c4065c2: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-70aba8093b76068c.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-70aba8093b76068c: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

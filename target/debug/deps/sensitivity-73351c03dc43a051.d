@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-73351c03dc43a051.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-73351c03dc43a051: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

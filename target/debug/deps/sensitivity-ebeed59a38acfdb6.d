@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-ebeed59a38acfdb6.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-ebeed59a38acfdb6: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

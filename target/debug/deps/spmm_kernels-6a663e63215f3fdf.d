@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spmm_kernels-6a663e63215f3fdf.d: crates/bench/benches/spmm_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspmm_kernels-6a663e63215f3fdf.rmeta: crates/bench/benches/spmm_kernels.rs Cargo.toml
+
+crates/bench/benches/spmm_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

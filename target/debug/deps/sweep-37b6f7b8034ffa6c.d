@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-37b6f7b8034ffa6c.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-37b6f7b8034ffa6c: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

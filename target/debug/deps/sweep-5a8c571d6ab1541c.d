@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-5a8c571d6ab1541c.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-5a8c571d6ab1541c: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

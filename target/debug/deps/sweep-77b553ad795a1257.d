@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-77b553ad795a1257.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-77b553ad795a1257: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-8f3035e702875721.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-8f3035e702875721: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

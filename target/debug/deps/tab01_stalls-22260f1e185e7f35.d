@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01_stalls-22260f1e185e7f35.d: crates/bench/src/bin/tab01_stalls.rs
+
+/root/repo/target/debug/deps/tab01_stalls-22260f1e185e7f35: crates/bench/src/bin/tab01_stalls.rs
+
+crates/bench/src/bin/tab01_stalls.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab01_stalls-3189229da668cee5.d: crates/bench/src/bin/tab01_stalls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab01_stalls-3189229da668cee5.rmeta: crates/bench/src/bin/tab01_stalls.rs Cargo.toml
+
+crates/bench/src/bin/tab01_stalls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

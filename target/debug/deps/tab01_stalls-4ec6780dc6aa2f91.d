@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01_stalls-4ec6780dc6aa2f91.d: crates/bench/src/bin/tab01_stalls.rs
+
+/root/repo/target/debug/deps/tab01_stalls-4ec6780dc6aa2f91: crates/bench/src/bin/tab01_stalls.rs
+
+crates/bench/src/bin/tab01_stalls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01_stalls-99d4642be6232950.d: crates/bench/src/bin/tab01_stalls.rs
+
+/root/repo/target/debug/deps/tab01_stalls-99d4642be6232950: crates/bench/src/bin/tab01_stalls.rs
+
+crates/bench/src/bin/tab01_stalls.rs:

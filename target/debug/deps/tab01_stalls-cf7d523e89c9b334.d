@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab01_stalls-cf7d523e89c9b334.d: crates/bench/src/bin/tab01_stalls.rs
+
+/root/repo/target/debug/deps/tab01_stalls-cf7d523e89c9b334: crates/bench/src/bin/tab01_stalls.rs
+
+crates/bench/src/bin/tab01_stalls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab02_spmm_guidelines-5ad556933a4003d9.d: crates/bench/src/bin/tab02_spmm_guidelines.rs
+
+/root/repo/target/debug/deps/tab02_spmm_guidelines-5ad556933a4003d9: crates/bench/src/bin/tab02_spmm_guidelines.rs
+
+crates/bench/src/bin/tab02_spmm_guidelines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab02_spmm_guidelines-77c6bc6301d71abf.d: crates/bench/src/bin/tab02_spmm_guidelines.rs
+
+/root/repo/target/debug/deps/tab02_spmm_guidelines-77c6bc6301d71abf: crates/bench/src/bin/tab02_spmm_guidelines.rs
+
+crates/bench/src/bin/tab02_spmm_guidelines.rs:

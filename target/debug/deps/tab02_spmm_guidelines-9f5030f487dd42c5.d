@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab02_spmm_guidelines-9f5030f487dd42c5.d: crates/bench/src/bin/tab02_spmm_guidelines.rs
+
+/root/repo/target/debug/deps/tab02_spmm_guidelines-9f5030f487dd42c5: crates/bench/src/bin/tab02_spmm_guidelines.rs
+
+crates/bench/src/bin/tab02_spmm_guidelines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab02_spmm_guidelines-a59e6d33b9a6d3b2.d: crates/bench/src/bin/tab02_spmm_guidelines.rs
+
+/root/repo/target/debug/deps/tab02_spmm_guidelines-a59e6d33b9a6d3b2: crates/bench/src/bin/tab02_spmm_guidelines.rs
+
+crates/bench/src/bin/tab02_spmm_guidelines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab02_spmm_guidelines-f815a0455c407ae3.d: crates/bench/src/bin/tab02_spmm_guidelines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab02_spmm_guidelines-f815a0455c407ae3.rmeta: crates/bench/src/bin/tab02_spmm_guidelines.rs Cargo.toml
+
+crates/bench/src/bin/tab02_spmm_guidelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab02_spmm_guidelines-fcfd3e3e5e9c3a4c.d: crates/bench/src/bin/tab02_spmm_guidelines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab02_spmm_guidelines-fcfd3e3e5e9c3a4c.rmeta: crates/bench/src/bin/tab02_spmm_guidelines.rs Cargo.toml
+
+crates/bench/src/bin/tab02_spmm_guidelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

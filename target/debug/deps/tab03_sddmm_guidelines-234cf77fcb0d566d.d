@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab03_sddmm_guidelines-234cf77fcb0d566d.d: crates/bench/src/bin/tab03_sddmm_guidelines.rs
+
+/root/repo/target/debug/deps/tab03_sddmm_guidelines-234cf77fcb0d566d: crates/bench/src/bin/tab03_sddmm_guidelines.rs
+
+crates/bench/src/bin/tab03_sddmm_guidelines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab03_sddmm_guidelines-5e06b5010a665465.d: crates/bench/src/bin/tab03_sddmm_guidelines.rs
+
+/root/repo/target/debug/deps/tab03_sddmm_guidelines-5e06b5010a665465: crates/bench/src/bin/tab03_sddmm_guidelines.rs
+
+crates/bench/src/bin/tab03_sddmm_guidelines.rs:

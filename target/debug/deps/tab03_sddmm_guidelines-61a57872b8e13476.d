@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab03_sddmm_guidelines-61a57872b8e13476.d: crates/bench/src/bin/tab03_sddmm_guidelines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab03_sddmm_guidelines-61a57872b8e13476.rmeta: crates/bench/src/bin/tab03_sddmm_guidelines.rs Cargo.toml
+
+crates/bench/src/bin/tab03_sddmm_guidelines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

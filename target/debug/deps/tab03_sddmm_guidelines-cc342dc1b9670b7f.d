@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab03_sddmm_guidelines-cc342dc1b9670b7f.d: crates/bench/src/bin/tab03_sddmm_guidelines.rs
+
+/root/repo/target/debug/deps/tab03_sddmm_guidelines-cc342dc1b9670b7f: crates/bench/src/bin/tab03_sddmm_guidelines.rs
+
+crates/bench/src/bin/tab03_sddmm_guidelines.rs:

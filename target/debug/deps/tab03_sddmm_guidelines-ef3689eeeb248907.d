@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab03_sddmm_guidelines-ef3689eeeb248907.d: crates/bench/src/bin/tab03_sddmm_guidelines.rs
+
+/root/repo/target/debug/deps/tab03_sddmm_guidelines-ef3689eeeb248907: crates/bench/src/bin/tab03_sddmm_guidelines.rs
+
+crates/bench/src/bin/tab03_sddmm_guidelines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab04_transformer-0ab6f57bdbffeddd.d: crates/bench/src/bin/tab04_transformer.rs
+
+/root/repo/target/debug/deps/tab04_transformer-0ab6f57bdbffeddd: crates/bench/src/bin/tab04_transformer.rs
+
+crates/bench/src/bin/tab04_transformer.rs:

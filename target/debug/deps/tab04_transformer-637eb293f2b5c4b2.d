@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab04_transformer-637eb293f2b5c4b2.d: crates/bench/src/bin/tab04_transformer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab04_transformer-637eb293f2b5c4b2.rmeta: crates/bench/src/bin/tab04_transformer.rs Cargo.toml
+
+crates/bench/src/bin/tab04_transformer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

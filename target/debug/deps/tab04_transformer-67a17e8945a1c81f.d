@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab04_transformer-67a17e8945a1c81f.d: crates/bench/src/bin/tab04_transformer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab04_transformer-67a17e8945a1c81f.rmeta: crates/bench/src/bin/tab04_transformer.rs Cargo.toml
+
+crates/bench/src/bin/tab04_transformer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

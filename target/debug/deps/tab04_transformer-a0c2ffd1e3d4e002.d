@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab04_transformer-a0c2ffd1e3d4e002.d: crates/bench/src/bin/tab04_transformer.rs
+
+/root/repo/target/debug/deps/tab04_transformer-a0c2ffd1e3d4e002: crates/bench/src/bin/tab04_transformer.rs
+
+crates/bench/src/bin/tab04_transformer.rs:

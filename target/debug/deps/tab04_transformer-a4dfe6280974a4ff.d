@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab04_transformer-a4dfe6280974a4ff.d: crates/bench/src/bin/tab04_transformer.rs
+
+/root/repo/target/debug/deps/tab04_transformer-a4dfe6280974a4ff: crates/bench/src/bin/tab04_transformer.rs
+
+crates/bench/src/bin/tab04_transformer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab04_transformer-dcb9b3a6963c95ad.d: crates/bench/src/bin/tab04_transformer.rs
+
+/root/repo/target/debug/deps/tab04_transformer-dcb9b3a6963c95ad: crates/bench/src/bin/tab04_transformer.rs
+
+crates/bench/src/bin/tab04_transformer.rs:

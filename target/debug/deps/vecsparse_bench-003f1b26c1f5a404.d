@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vecsparse_bench-003f1b26c1f5a404.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/debug/deps/libvecsparse_bench-003f1b26c1f5a404.rlib: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/debug/deps/libvecsparse_bench-003f1b26c1f5a404.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:

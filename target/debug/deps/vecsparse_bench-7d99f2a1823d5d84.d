@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/vecsparse_bench-7d99f2a1823d5d84.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/debug/deps/vecsparse_bench-7d99f2a1823d5d84: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vecsparse_bench-7db4d8ab021190ce.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvecsparse_bench-7db4d8ab021190ce.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/vecsparse_bench-84ca2c79e0eee699.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvecsparse_bench-84ca2c79e0eee699.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

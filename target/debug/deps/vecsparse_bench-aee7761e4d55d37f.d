@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/vecsparse_bench-aee7761e4d55d37f.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/debug/deps/vecsparse_bench-aee7761e4d55d37f: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:

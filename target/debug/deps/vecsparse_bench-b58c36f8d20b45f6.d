@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/vecsparse_bench-b58c36f8d20b45f6.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/debug/deps/libvecsparse_bench-b58c36f8d20b45f6.rlib: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/debug/deps/libvecsparse_bench-b58c36f8d20b45f6.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:

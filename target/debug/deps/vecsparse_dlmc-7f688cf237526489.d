@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vecsparse_dlmc-7f688cf237526489.d: crates/dlmc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvecsparse_dlmc-7f688cf237526489.rmeta: crates/dlmc/src/lib.rs Cargo.toml
+
+crates/dlmc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

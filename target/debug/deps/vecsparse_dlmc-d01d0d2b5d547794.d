@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vecsparse_dlmc-d01d0d2b5d547794.d: crates/dlmc/src/lib.rs
+
+/root/repo/target/debug/deps/vecsparse_dlmc-d01d0d2b5d547794: crates/dlmc/src/lib.rs
+
+crates/dlmc/src/lib.rs:

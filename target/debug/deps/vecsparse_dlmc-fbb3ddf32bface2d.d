@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vecsparse_dlmc-fbb3ddf32bface2d.d: crates/dlmc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvecsparse_dlmc-fbb3ddf32bface2d.rmeta: crates/dlmc/src/lib.rs Cargo.toml
+
+crates/dlmc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vecsparse_dlmc-fc127fc94129d2b8.d: crates/dlmc/src/lib.rs
+
+/root/repo/target/debug/deps/libvecsparse_dlmc-fc127fc94129d2b8.rlib: crates/dlmc/src/lib.rs
+
+/root/repo/target/debug/deps/libvecsparse_dlmc-fc127fc94129d2b8.rmeta: crates/dlmc/src/lib.rs
+
+crates/dlmc/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/vecsparse_formats-489d2210c00ce857.d: crates/formats/src/lib.rs crates/formats/src/blocked_ell.rs crates/formats/src/csr.rs crates/formats/src/cvse.rs crates/formats/src/dense.rs crates/formats/src/gen.rs crates/formats/src/reference.rs crates/formats/src/rvse.rs crates/formats/src/scalar.rs crates/formats/src/smtx.rs crates/formats/src/square_block.rs
+
+/root/repo/target/debug/deps/libvecsparse_formats-489d2210c00ce857.rlib: crates/formats/src/lib.rs crates/formats/src/blocked_ell.rs crates/formats/src/csr.rs crates/formats/src/cvse.rs crates/formats/src/dense.rs crates/formats/src/gen.rs crates/formats/src/reference.rs crates/formats/src/rvse.rs crates/formats/src/scalar.rs crates/formats/src/smtx.rs crates/formats/src/square_block.rs
+
+/root/repo/target/debug/deps/libvecsparse_formats-489d2210c00ce857.rmeta: crates/formats/src/lib.rs crates/formats/src/blocked_ell.rs crates/formats/src/csr.rs crates/formats/src/cvse.rs crates/formats/src/dense.rs crates/formats/src/gen.rs crates/formats/src/reference.rs crates/formats/src/rvse.rs crates/formats/src/scalar.rs crates/formats/src/smtx.rs crates/formats/src/square_block.rs
+
+crates/formats/src/lib.rs:
+crates/formats/src/blocked_ell.rs:
+crates/formats/src/csr.rs:
+crates/formats/src/cvse.rs:
+crates/formats/src/dense.rs:
+crates/formats/src/gen.rs:
+crates/formats/src/reference.rs:
+crates/formats/src/rvse.rs:
+crates/formats/src/scalar.rs:
+crates/formats/src/smtx.rs:
+crates/formats/src/square_block.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/vecsparse_formats-9ef930b24d359082.d: crates/formats/src/lib.rs crates/formats/src/blocked_ell.rs crates/formats/src/csr.rs crates/formats/src/cvse.rs crates/formats/src/dense.rs crates/formats/src/gen.rs crates/formats/src/reference.rs crates/formats/src/rvse.rs crates/formats/src/scalar.rs crates/formats/src/smtx.rs crates/formats/src/square_block.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvecsparse_formats-9ef930b24d359082.rmeta: crates/formats/src/lib.rs crates/formats/src/blocked_ell.rs crates/formats/src/csr.rs crates/formats/src/cvse.rs crates/formats/src/dense.rs crates/formats/src/gen.rs crates/formats/src/reference.rs crates/formats/src/rvse.rs crates/formats/src/scalar.rs crates/formats/src/smtx.rs crates/formats/src/square_block.rs Cargo.toml
+
+crates/formats/src/lib.rs:
+crates/formats/src/blocked_ell.rs:
+crates/formats/src/csr.rs:
+crates/formats/src/cvse.rs:
+crates/formats/src/dense.rs:
+crates/formats/src/gen.rs:
+crates/formats/src/reference.rs:
+crates/formats/src/rvse.rs:
+crates/formats/src/scalar.rs:
+crates/formats/src/smtx.rs:
+crates/formats/src/square_block.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

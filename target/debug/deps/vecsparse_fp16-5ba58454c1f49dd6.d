@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vecsparse_fp16-5ba58454c1f49dd6.d: crates/fp16/src/lib.rs crates/fp16/src/half_type.rs crates/fp16/src/packed.rs
+
+/root/repo/target/debug/deps/libvecsparse_fp16-5ba58454c1f49dd6.rlib: crates/fp16/src/lib.rs crates/fp16/src/half_type.rs crates/fp16/src/packed.rs
+
+/root/repo/target/debug/deps/libvecsparse_fp16-5ba58454c1f49dd6.rmeta: crates/fp16/src/lib.rs crates/fp16/src/half_type.rs crates/fp16/src/packed.rs
+
+crates/fp16/src/lib.rs:
+crates/fp16/src/half_type.rs:
+crates/fp16/src/packed.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/vecsparse_fp16-6c3a2cd61d6d924d.d: crates/fp16/src/lib.rs crates/fp16/src/half_type.rs crates/fp16/src/packed.rs
+
+/root/repo/target/debug/deps/vecsparse_fp16-6c3a2cd61d6d924d: crates/fp16/src/lib.rs crates/fp16/src/half_type.rs crates/fp16/src/packed.rs
+
+crates/fp16/src/lib.rs:
+crates/fp16/src/half_type.rs:
+crates/fp16/src/packed.rs:

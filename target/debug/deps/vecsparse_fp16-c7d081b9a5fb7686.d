@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vecsparse_fp16-c7d081b9a5fb7686.d: crates/fp16/src/lib.rs crates/fp16/src/half_type.rs crates/fp16/src/packed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvecsparse_fp16-c7d081b9a5fb7686.rmeta: crates/fp16/src/lib.rs crates/fp16/src/half_type.rs crates/fp16/src/packed.rs Cargo.toml
+
+crates/fp16/src/lib.rs:
+crates/fp16/src/half_type.rs:
+crates/fp16/src/packed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

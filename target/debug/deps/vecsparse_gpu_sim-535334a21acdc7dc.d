@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/vecsparse_gpu_sim-535334a21acdc7dc.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/icache.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/mem.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/program.rs crates/gpu-sim/src/sched.rs crates/gpu-sim/src/tcu.rs crates/gpu-sim/src/trace.rs crates/gpu-sim/src/warp.rs crates/gpu-sim/src/wvec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvecsparse_gpu_sim-535334a21acdc7dc.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/icache.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/mem.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/program.rs crates/gpu-sim/src/sched.rs crates/gpu-sim/src/tcu.rs crates/gpu-sim/src/trace.rs crates/gpu-sim/src/warp.rs crates/gpu-sim/src/wvec.rs Cargo.toml
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cache.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/icache.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/mem.rs:
+crates/gpu-sim/src/profile.rs:
+crates/gpu-sim/src/program.rs:
+crates/gpu-sim/src/sched.rs:
+crates/gpu-sim/src/tcu.rs:
+crates/gpu-sim/src/trace.rs:
+crates/gpu-sim/src/warp.rs:
+crates/gpu-sim/src/wvec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

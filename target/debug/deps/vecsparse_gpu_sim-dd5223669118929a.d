@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/vecsparse_gpu_sim-dd5223669118929a.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/icache.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/mem.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/program.rs crates/gpu-sim/src/sched.rs crates/gpu-sim/src/tcu.rs crates/gpu-sim/src/trace.rs crates/gpu-sim/src/warp.rs crates/gpu-sim/src/wvec.rs
+
+/root/repo/target/debug/deps/libvecsparse_gpu_sim-dd5223669118929a.rlib: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/icache.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/mem.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/program.rs crates/gpu-sim/src/sched.rs crates/gpu-sim/src/tcu.rs crates/gpu-sim/src/trace.rs crates/gpu-sim/src/warp.rs crates/gpu-sim/src/wvec.rs
+
+/root/repo/target/debug/deps/libvecsparse_gpu_sim-dd5223669118929a.rmeta: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/icache.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/mem.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/program.rs crates/gpu-sim/src/sched.rs crates/gpu-sim/src/tcu.rs crates/gpu-sim/src/trace.rs crates/gpu-sim/src/warp.rs crates/gpu-sim/src/wvec.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cache.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/icache.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/mem.rs:
+crates/gpu-sim/src/profile.rs:
+crates/gpu-sim/src/program.rs:
+crates/gpu-sim/src/sched.rs:
+crates/gpu-sim/src/tcu.rs:
+crates/gpu-sim/src/trace.rs:
+crates/gpu-sim/src/warp.rs:
+crates/gpu-sim/src/wvec.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vecsparse_sanitizer-5e4002c5ed718ad3.d: crates/sanitizer/src/lib.rs crates/sanitizer/src/diag.rs crates/sanitizer/src/fixtures.rs crates/sanitizer/src/traces.rs crates/sanitizer/src/values.rs
+
+/root/repo/target/debug/deps/libvecsparse_sanitizer-5e4002c5ed718ad3.rlib: crates/sanitizer/src/lib.rs crates/sanitizer/src/diag.rs crates/sanitizer/src/fixtures.rs crates/sanitizer/src/traces.rs crates/sanitizer/src/values.rs
+
+/root/repo/target/debug/deps/libvecsparse_sanitizer-5e4002c5ed718ad3.rmeta: crates/sanitizer/src/lib.rs crates/sanitizer/src/diag.rs crates/sanitizer/src/fixtures.rs crates/sanitizer/src/traces.rs crates/sanitizer/src/values.rs
+
+crates/sanitizer/src/lib.rs:
+crates/sanitizer/src/diag.rs:
+crates/sanitizer/src/fixtures.rs:
+crates/sanitizer/src/traces.rs:
+crates/sanitizer/src/values.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vecsparse_sanitizer-955de5d4432b4680.d: crates/sanitizer/src/lib.rs crates/sanitizer/src/diag.rs crates/sanitizer/src/fixtures.rs crates/sanitizer/src/traces.rs crates/sanitizer/src/values.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvecsparse_sanitizer-955de5d4432b4680.rmeta: crates/sanitizer/src/lib.rs crates/sanitizer/src/diag.rs crates/sanitizer/src/fixtures.rs crates/sanitizer/src/traces.rs crates/sanitizer/src/values.rs Cargo.toml
+
+crates/sanitizer/src/lib.rs:
+crates/sanitizer/src/diag.rs:
+crates/sanitizer/src/fixtures.rs:
+crates/sanitizer/src/traces.rs:
+crates/sanitizer/src/values.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vecsparse_sanitizer-c5bbdba14f6fe63e.d: crates/sanitizer/src/lib.rs crates/sanitizer/src/diag.rs crates/sanitizer/src/fixtures.rs crates/sanitizer/src/traces.rs crates/sanitizer/src/values.rs
+
+/root/repo/target/debug/deps/vecsparse_sanitizer-c5bbdba14f6fe63e: crates/sanitizer/src/lib.rs crates/sanitizer/src/diag.rs crates/sanitizer/src/fixtures.rs crates/sanitizer/src/traces.rs crates/sanitizer/src/values.rs
+
+crates/sanitizer/src/lib.rs:
+crates/sanitizer/src/diag.rs:
+crates/sanitizer/src/fixtures.rs:
+crates/sanitizer/src/traces.rs:
+crates/sanitizer/src/values.rs:

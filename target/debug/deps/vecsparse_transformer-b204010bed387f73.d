@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vecsparse_transformer-b204010bed387f73.d: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/memory.rs crates/transformer/src/model.rs crates/transformer/src/pipeline.rs
+
+/root/repo/target/debug/deps/vecsparse_transformer-b204010bed387f73: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/memory.rs crates/transformer/src/model.rs crates/transformer/src/pipeline.rs
+
+crates/transformer/src/lib.rs:
+crates/transformer/src/attention.rs:
+crates/transformer/src/memory.rs:
+crates/transformer/src/model.rs:
+crates/transformer/src/pipeline.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/vecsparse_transformer-ce3c1d7471c1bb90.d: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/memory.rs crates/transformer/src/model.rs crates/transformer/src/pipeline.rs
+
+/root/repo/target/debug/deps/libvecsparse_transformer-ce3c1d7471c1bb90.rlib: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/memory.rs crates/transformer/src/model.rs crates/transformer/src/pipeline.rs
+
+/root/repo/target/debug/deps/libvecsparse_transformer-ce3c1d7471c1bb90.rmeta: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/memory.rs crates/transformer/src/model.rs crates/transformer/src/pipeline.rs
+
+crates/transformer/src/lib.rs:
+crates/transformer/src/attention.rs:
+crates/transformer/src/memory.rs:
+crates/transformer/src/model.rs:
+crates/transformer/src/pipeline.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/vecsparse_transformer-ecdb7c58fd8508e3.d: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/memory.rs crates/transformer/src/model.rs crates/transformer/src/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvecsparse_transformer-ecdb7c58fd8508e3.rmeta: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/memory.rs crates/transformer/src/model.rs crates/transformer/src/pipeline.rs Cargo.toml
+
+crates/transformer/src/lib.rs:
+crates/transformer/src/attention.rs:
+crates/transformer/src/memory.rs:
+crates/transformer/src/model.rs:
+crates/transformer/src/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

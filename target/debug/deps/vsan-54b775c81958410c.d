@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vsan-54b775c81958410c.d: crates/sanitizer/src/bin/vsan.rs
+
+/root/repo/target/debug/deps/vsan-54b775c81958410c: crates/sanitizer/src/bin/vsan.rs
+
+crates/sanitizer/src/bin/vsan.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vsan-762fda7049c9a6b9.d: crates/sanitizer/src/bin/vsan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvsan-762fda7049c9a6b9.rmeta: crates/sanitizer/src/bin/vsan.rs Cargo.toml
+
+crates/sanitizer/src/bin/vsan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vsan-9e4b03602b7e5cdb.d: crates/sanitizer/src/bin/vsan.rs
+
+/root/repo/target/debug/deps/vsan-9e4b03602b7e5cdb: crates/sanitizer/src/bin/vsan.rs
+
+crates/sanitizer/src/bin/vsan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kernel_profiler-2d906fd6ba332b51.d: crates/bench/../../examples/kernel_profiler.rs
+
+/root/repo/target/debug/examples/kernel_profiler-2d906fd6ba332b51: crates/bench/../../examples/kernel_profiler.rs
+
+crates/bench/../../examples/kernel_profiler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kernel_profiler-d74ad2dc599b7d49.d: crates/bench/../../examples/kernel_profiler.rs
+
+/root/repo/target/debug/examples/kernel_profiler-d74ad2dc599b7d49: crates/bench/../../examples/kernel_profiler.rs
+
+crates/bench/../../examples/kernel_profiler.rs:

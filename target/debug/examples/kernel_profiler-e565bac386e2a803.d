@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/kernel_profiler-e565bac386e2a803.d: crates/bench/../../examples/kernel_profiler.rs Cargo.toml
+
+/root/repo/target/debug/examples/libkernel_profiler-e565bac386e2a803.rmeta: crates/bench/../../examples/kernel_profiler.rs Cargo.toml
+
+crates/bench/../../examples/kernel_profiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/load_smtx-4a464cdd38aa2bda.d: crates/bench/../../examples/load_smtx.rs
+
+/root/repo/target/debug/examples/load_smtx-4a464cdd38aa2bda: crates/bench/../../examples/load_smtx.rs
+
+crates/bench/../../examples/load_smtx.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/load_smtx-7cb0adbfeab5acbb.d: crates/bench/../../examples/load_smtx.rs Cargo.toml
+
+/root/repo/target/debug/examples/libload_smtx-7cb0adbfeab5acbb.rmeta: crates/bench/../../examples/load_smtx.rs Cargo.toml
+
+crates/bench/../../examples/load_smtx.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/load_smtx-e095de9fec2c1be8.d: crates/bench/../../examples/load_smtx.rs
+
+/root/repo/target/debug/examples/load_smtx-e095de9fec2c1be8: crates/bench/../../examples/load_smtx.rs
+
+crates/bench/../../examples/load_smtx.rs:

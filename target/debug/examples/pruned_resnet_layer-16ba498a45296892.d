@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pruned_resnet_layer-16ba498a45296892.d: crates/bench/../../examples/pruned_resnet_layer.rs
+
+/root/repo/target/debug/examples/pruned_resnet_layer-16ba498a45296892: crates/bench/../../examples/pruned_resnet_layer.rs
+
+crates/bench/../../examples/pruned_resnet_layer.rs:

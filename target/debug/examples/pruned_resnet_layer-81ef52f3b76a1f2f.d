@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pruned_resnet_layer-81ef52f3b76a1f2f.d: crates/bench/../../examples/pruned_resnet_layer.rs
+
+/root/repo/target/debug/examples/pruned_resnet_layer-81ef52f3b76a1f2f: crates/bench/../../examples/pruned_resnet_layer.rs
+
+crates/bench/../../examples/pruned_resnet_layer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pruned_resnet_layer-af6f5669fa5884a2.d: crates/bench/../../examples/pruned_resnet_layer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpruned_resnet_layer-af6f5669fa5884a2.rmeta: crates/bench/../../examples/pruned_resnet_layer.rs Cargo.toml
+
+crates/bench/../../examples/pruned_resnet_layer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0fc17119f2490bf3.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0fc17119f2490bf3: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

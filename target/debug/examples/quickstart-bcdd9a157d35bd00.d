@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-bcdd9a157d35bd00.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-bcdd9a157d35bd00: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sparse_attention-19f8319b7021954f.d: crates/bench/../../examples/sparse_attention.rs
+
+/root/repo/target/debug/examples/sparse_attention-19f8319b7021954f: crates/bench/../../examples/sparse_attention.rs
+
+crates/bench/../../examples/sparse_attention.rs:

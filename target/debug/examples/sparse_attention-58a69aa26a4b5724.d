@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sparse_attention-58a69aa26a4b5724.d: crates/bench/../../examples/sparse_attention.rs
+
+/root/repo/target/debug/examples/sparse_attention-58a69aa26a4b5724: crates/bench/../../examples/sparse_attention.rs
+
+crates/bench/../../examples/sparse_attention.rs:

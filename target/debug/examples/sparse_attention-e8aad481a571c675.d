@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sparse_attention-e8aad481a571c675.d: crates/bench/../../examples/sparse_attention.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsparse_attention-e8aad481a571c675.rmeta: crates/bench/../../examples/sparse_attention.rs Cargo.toml
+
+crates/bench/../../examples/sparse_attention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

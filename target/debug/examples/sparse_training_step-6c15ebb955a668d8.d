@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sparse_training_step-6c15ebb955a668d8.d: crates/bench/../../examples/sparse_training_step.rs
+
+/root/repo/target/debug/examples/sparse_training_step-6c15ebb955a668d8: crates/bench/../../examples/sparse_training_step.rs
+
+crates/bench/../../examples/sparse_training_step.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sparse_training_step-93b18244a8b34791.d: crates/bench/../../examples/sparse_training_step.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsparse_training_step-93b18244a8b34791.rmeta: crates/bench/../../examples/sparse_training_step.rs Cargo.toml
+
+crates/bench/../../examples/sparse_training_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sparse_training_step-bb248b2a18e34e62.d: crates/bench/../../examples/sparse_training_step.rs
+
+/root/repo/target/debug/examples/sparse_training_step-bb248b2a18e34e62: crates/bench/../../examples/sparse_training_step.rs
+
+crates/bench/../../examples/sparse_training_step.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_octet-65a2b24765167ecd.d: crates/bench/src/bin/ablation_octet.rs
+
+/root/repo/target/release/deps/ablation_octet-65a2b24765167ecd: crates/bench/src/bin/ablation_octet.rs
+
+crates/bench/src/bin/ablation_octet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_octet-9d5a628d0b48e5aa.d: crates/bench/src/bin/ablation_octet.rs
+
+/root/repo/target/release/deps/ablation_octet-9d5a628d0b48e5aa: crates/bench/src/bin/ablation_octet.rs
+
+crates/bench/src/bin/ablation_octet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/design_space-5077bb12c1beb6a0.d: crates/bench/src/bin/design_space.rs
+
+/root/repo/target/release/deps/design_space-5077bb12c1beb6a0: crates/bench/src/bin/design_space.rs
+
+crates/bench/src/bin/design_space.rs:

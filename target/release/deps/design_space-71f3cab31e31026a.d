@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/design_space-71f3cab31e31026a.d: crates/bench/src/bin/design_space.rs
+
+/root/repo/target/release/deps/design_space-71f3cab31e31026a: crates/bench/src/bin/design_space.rs
+
+crates/bench/src/bin/design_space.rs:

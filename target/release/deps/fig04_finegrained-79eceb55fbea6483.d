@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_finegrained-79eceb55fbea6483.d: crates/bench/src/bin/fig04_finegrained.rs
+
+/root/repo/target/release/deps/fig04_finegrained-79eceb55fbea6483: crates/bench/src/bin/fig04_finegrained.rs
+
+crates/bench/src/bin/fig04_finegrained.rs:

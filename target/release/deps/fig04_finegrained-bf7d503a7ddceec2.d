@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_finegrained-bf7d503a7ddceec2.d: crates/bench/src/bin/fig04_finegrained.rs
+
+/root/repo/target/release/deps/fig04_finegrained-bf7d503a7ddceec2: crates/bench/src/bin/fig04_finegrained.rs
+
+crates/bench/src/bin/fig04_finegrained.rs:

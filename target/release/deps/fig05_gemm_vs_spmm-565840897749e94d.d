@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_gemm_vs_spmm-565840897749e94d.d: crates/bench/src/bin/fig05_gemm_vs_spmm.rs
+
+/root/repo/target/release/deps/fig05_gemm_vs_spmm-565840897749e94d: crates/bench/src/bin/fig05_gemm_vs_spmm.rs
+
+crates/bench/src/bin/fig05_gemm_vs_spmm.rs:

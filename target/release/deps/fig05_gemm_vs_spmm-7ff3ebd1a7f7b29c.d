@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_gemm_vs_spmm-7ff3ebd1a7f7b29c.d: crates/bench/src/bin/fig05_gemm_vs_spmm.rs
+
+/root/repo/target/release/deps/fig05_gemm_vs_spmm-7ff3ebd1a7f7b29c: crates/bench/src/bin/fig05_gemm_vs_spmm.rs
+
+crates/bench/src/bin/fig05_gemm_vs_spmm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_blocked_ell-344f80dd286edc99.d: crates/bench/src/bin/fig06_blocked_ell.rs
+
+/root/repo/target/release/deps/fig06_blocked_ell-344f80dd286edc99: crates/bench/src/bin/fig06_blocked_ell.rs
+
+crates/bench/src/bin/fig06_blocked_ell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_blocked_ell-c226b713ff67c8fd.d: crates/bench/src/bin/fig06_blocked_ell.rs
+
+/root/repo/target/release/deps/fig06_blocked_ell-c226b713ff67c8fd: crates/bench/src/bin/fig06_blocked_ell.rs
+
+crates/bench/src/bin/fig06_blocked_ell.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_spmm_sweep-2625a709d845965b.d: crates/bench/src/bin/fig17_spmm_sweep.rs
+
+/root/repo/target/release/deps/fig17_spmm_sweep-2625a709d845965b: crates/bench/src/bin/fig17_spmm_sweep.rs
+
+crates/bench/src/bin/fig17_spmm_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_spmm_sweep-de1ce3c15518c78c.d: crates/bench/src/bin/fig17_spmm_sweep.rs
+
+/root/repo/target/release/deps/fig17_spmm_sweep-de1ce3c15518c78c: crates/bench/src/bin/fig17_spmm_sweep.rs
+
+crates/bench/src/bin/fig17_spmm_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_l2_bytes-d1aefc2976c568b6.d: crates/bench/src/bin/fig18_l2_bytes.rs
+
+/root/repo/target/release/deps/fig18_l2_bytes-d1aefc2976c568b6: crates/bench/src/bin/fig18_l2_bytes.rs
+
+crates/bench/src/bin/fig18_l2_bytes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_l2_bytes-daa87dcc58c13f5e.d: crates/bench/src/bin/fig18_l2_bytes.rs
+
+/root/repo/target/release/deps/fig18_l2_bytes-daa87dcc58c13f5e: crates/bench/src/bin/fig18_l2_bytes.rs
+
+crates/bench/src/bin/fig18_l2_bytes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_sddmm_sweep-0e36df10177c5863.d: crates/bench/src/bin/fig19_sddmm_sweep.rs
+
+/root/repo/target/release/deps/fig19_sddmm_sweep-0e36df10177c5863: crates/bench/src/bin/fig19_sddmm_sweep.rs
+
+crates/bench/src/bin/fig19_sddmm_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_sddmm_sweep-1925c1ded4038764.d: crates/bench/src/bin/fig19_sddmm_sweep.rs
+
+/root/repo/target/release/deps/fig19_sddmm_sweep-1925c1ded4038764: crates/bench/src/bin/fig19_sddmm_sweep.rs
+
+crates/bench/src/bin/fig19_sddmm_sweep.rs:

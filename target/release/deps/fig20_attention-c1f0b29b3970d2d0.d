@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_attention-c1f0b29b3970d2d0.d: crates/bench/src/bin/fig20_attention.rs
+
+/root/repo/target/release/deps/fig20_attention-c1f0b29b3970d2d0: crates/bench/src/bin/fig20_attention.rs
+
+crates/bench/src/bin/fig20_attention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_attention-e1e439c1f33302f0.d: crates/bench/src/bin/fig20_attention.rs
+
+/root/repo/target/release/deps/fig20_attention-e1e439c1f33302f0: crates/bench/src/bin/fig20_attention.rs
+
+crates/bench/src/bin/fig20_attention.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-58eb2fd5eea714e9.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-58eb2fd5eea714e9.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-58eb2fd5eea714e9.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-ebe89870e27243b5.d: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-ebe89870e27243b5.rlib: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-ebe89870e27243b5.rmeta: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

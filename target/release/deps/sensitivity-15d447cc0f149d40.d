@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensitivity-15d447cc0f149d40.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/release/deps/sensitivity-15d447cc0f149d40: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

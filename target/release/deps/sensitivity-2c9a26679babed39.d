@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensitivity-2c9a26679babed39.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/release/deps/sensitivity-2c9a26679babed39: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

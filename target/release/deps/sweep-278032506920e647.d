@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-278032506920e647.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-278032506920e647: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

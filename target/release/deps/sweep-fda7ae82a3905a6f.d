@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-fda7ae82a3905a6f.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-fda7ae82a3905a6f: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab01_stalls-23eceddb71b42d72.d: crates/bench/src/bin/tab01_stalls.rs
+
+/root/repo/target/release/deps/tab01_stalls-23eceddb71b42d72: crates/bench/src/bin/tab01_stalls.rs
+
+crates/bench/src/bin/tab01_stalls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab01_stalls-257277e184eb3b8c.d: crates/bench/src/bin/tab01_stalls.rs
+
+/root/repo/target/release/deps/tab01_stalls-257277e184eb3b8c: crates/bench/src/bin/tab01_stalls.rs
+
+crates/bench/src/bin/tab01_stalls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab02_spmm_guidelines-69864f50c79bd17b.d: crates/bench/src/bin/tab02_spmm_guidelines.rs
+
+/root/repo/target/release/deps/tab02_spmm_guidelines-69864f50c79bd17b: crates/bench/src/bin/tab02_spmm_guidelines.rs
+
+crates/bench/src/bin/tab02_spmm_guidelines.rs:

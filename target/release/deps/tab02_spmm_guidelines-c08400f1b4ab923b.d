@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab02_spmm_guidelines-c08400f1b4ab923b.d: crates/bench/src/bin/tab02_spmm_guidelines.rs
+
+/root/repo/target/release/deps/tab02_spmm_guidelines-c08400f1b4ab923b: crates/bench/src/bin/tab02_spmm_guidelines.rs
+
+crates/bench/src/bin/tab02_spmm_guidelines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab03_sddmm_guidelines-2b20325abdf3af34.d: crates/bench/src/bin/tab03_sddmm_guidelines.rs
+
+/root/repo/target/release/deps/tab03_sddmm_guidelines-2b20325abdf3af34: crates/bench/src/bin/tab03_sddmm_guidelines.rs
+
+crates/bench/src/bin/tab03_sddmm_guidelines.rs:

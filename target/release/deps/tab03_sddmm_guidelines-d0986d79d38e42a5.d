@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab03_sddmm_guidelines-d0986d79d38e42a5.d: crates/bench/src/bin/tab03_sddmm_guidelines.rs
+
+/root/repo/target/release/deps/tab03_sddmm_guidelines-d0986d79d38e42a5: crates/bench/src/bin/tab03_sddmm_guidelines.rs
+
+crates/bench/src/bin/tab03_sddmm_guidelines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab04_transformer-54b16400bc61f2d9.d: crates/bench/src/bin/tab04_transformer.rs
+
+/root/repo/target/release/deps/tab04_transformer-54b16400bc61f2d9: crates/bench/src/bin/tab04_transformer.rs
+
+crates/bench/src/bin/tab04_transformer.rs:

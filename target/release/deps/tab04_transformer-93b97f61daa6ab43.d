@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab04_transformer-93b97f61daa6ab43.d: crates/bench/src/bin/tab04_transformer.rs
+
+/root/repo/target/release/deps/tab04_transformer-93b97f61daa6ab43: crates/bench/src/bin/tab04_transformer.rs
+
+crates/bench/src/bin/tab04_transformer.rs:

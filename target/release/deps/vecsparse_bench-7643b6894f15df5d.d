@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/vecsparse_bench-7643b6894f15df5d.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/libvecsparse_bench-7643b6894f15df5d.rlib: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/libvecsparse_bench-7643b6894f15df5d.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:

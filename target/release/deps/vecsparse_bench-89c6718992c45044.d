@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/vecsparse_bench-89c6718992c45044.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/libvecsparse_bench-89c6718992c45044.rlib: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/libvecsparse_bench-89c6718992c45044.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:

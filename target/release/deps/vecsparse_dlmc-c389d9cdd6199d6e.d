@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vecsparse_dlmc-c389d9cdd6199d6e.d: crates/dlmc/src/lib.rs
+
+/root/repo/target/release/deps/libvecsparse_dlmc-c389d9cdd6199d6e.rlib: crates/dlmc/src/lib.rs
+
+/root/repo/target/release/deps/libvecsparse_dlmc-c389d9cdd6199d6e.rmeta: crates/dlmc/src/lib.rs
+
+crates/dlmc/src/lib.rs:

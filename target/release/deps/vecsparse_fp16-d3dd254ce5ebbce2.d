@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vecsparse_fp16-d3dd254ce5ebbce2.d: crates/fp16/src/lib.rs crates/fp16/src/half_type.rs crates/fp16/src/packed.rs
+
+/root/repo/target/release/deps/libvecsparse_fp16-d3dd254ce5ebbce2.rlib: crates/fp16/src/lib.rs crates/fp16/src/half_type.rs crates/fp16/src/packed.rs
+
+/root/repo/target/release/deps/libvecsparse_fp16-d3dd254ce5ebbce2.rmeta: crates/fp16/src/lib.rs crates/fp16/src/half_type.rs crates/fp16/src/packed.rs
+
+crates/fp16/src/lib.rs:
+crates/fp16/src/half_type.rs:
+crates/fp16/src/packed.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vecsparse_sanitizer-779c364e6979dcf7.d: crates/sanitizer/src/lib.rs crates/sanitizer/src/diag.rs crates/sanitizer/src/fixtures.rs crates/sanitizer/src/traces.rs crates/sanitizer/src/values.rs
+
+/root/repo/target/release/deps/libvecsparse_sanitizer-779c364e6979dcf7.rlib: crates/sanitizer/src/lib.rs crates/sanitizer/src/diag.rs crates/sanitizer/src/fixtures.rs crates/sanitizer/src/traces.rs crates/sanitizer/src/values.rs
+
+/root/repo/target/release/deps/libvecsparse_sanitizer-779c364e6979dcf7.rmeta: crates/sanitizer/src/lib.rs crates/sanitizer/src/diag.rs crates/sanitizer/src/fixtures.rs crates/sanitizer/src/traces.rs crates/sanitizer/src/values.rs
+
+crates/sanitizer/src/lib.rs:
+crates/sanitizer/src/diag.rs:
+crates/sanitizer/src/fixtures.rs:
+crates/sanitizer/src/traces.rs:
+crates/sanitizer/src/values.rs:

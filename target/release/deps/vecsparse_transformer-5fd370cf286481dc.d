@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/vecsparse_transformer-5fd370cf286481dc.d: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/memory.rs crates/transformer/src/model.rs crates/transformer/src/pipeline.rs
+
+/root/repo/target/release/deps/libvecsparse_transformer-5fd370cf286481dc.rlib: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/memory.rs crates/transformer/src/model.rs crates/transformer/src/pipeline.rs
+
+/root/repo/target/release/deps/libvecsparse_transformer-5fd370cf286481dc.rmeta: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/memory.rs crates/transformer/src/model.rs crates/transformer/src/pipeline.rs
+
+crates/transformer/src/lib.rs:
+crates/transformer/src/attention.rs:
+crates/transformer/src/memory.rs:
+crates/transformer/src/model.rs:
+crates/transformer/src/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vsan-54708758595ea1f3.d: crates/sanitizer/src/bin/vsan.rs
+
+/root/repo/target/release/deps/vsan-54708758595ea1f3: crates/sanitizer/src/bin/vsan.rs
+
+crates/sanitizer/src/bin/vsan.rs:

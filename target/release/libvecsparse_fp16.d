@@ -1,0 +1,1 @@
+/root/repo/target/release/libvecsparse_fp16.rlib: /root/repo/crates/fp16/src/half_type.rs /root/repo/crates/fp16/src/lib.rs /root/repo/crates/fp16/src/packed.rs

@@ -73,7 +73,11 @@ fn attention_pipeline_end_to_end() {
     let v = gen::random_dense::<f16>(96, 32, Layout::RowMajor, 8);
     let got = sparse_attention_head(&gpu, &q, &k, &v, &mask);
     let want = dense_attention_reference(&q, &k, &v, &mask);
-    assert!(got.max_abs_diff(&want) < 5e-3, "diff {}", got.max_abs_diff(&want));
+    assert!(
+        got.max_abs_diff(&want) < 5e-3,
+        "diff {}",
+        got.max_abs_diff(&want)
+    );
 }
 
 /// Sparse softmax composed after SDDMM keeps rows normalised.
@@ -116,9 +120,24 @@ fn performance_orderings_hold() {
     let fpu = profile_spmm(&gpu, &bench.matrix, &b, SpmmAlgo::FpuSubwarp);
     let ell = profile_spmm(&gpu, &bench.matrix, &b, SpmmAlgo::BlockedEll);
     let dense = profile_spmm(&gpu, &bench.matrix, &b, SpmmAlgo::Dense);
-    assert!(octet.cycles < ell.cycles, "octet {} ell {}", octet.cycles, ell.cycles);
-    assert!(octet.cycles < fpu.cycles, "octet {} fpu {}", octet.cycles, fpu.cycles);
-    assert!(octet.cycles < dense.cycles, "octet {} dense {}", octet.cycles, dense.cycles);
+    assert!(
+        octet.cycles < ell.cycles,
+        "octet {} ell {}",
+        octet.cycles,
+        ell.cycles
+    );
+    assert!(
+        octet.cycles < fpu.cycles,
+        "octet {} fpu {}",
+        octet.cycles,
+        fpu.cycles
+    );
+    assert!(
+        octet.cycles < dense.cycles,
+        "octet {} dense {}",
+        octet.cycles,
+        dense.cycles
+    );
 }
 
 /// SDDMM variant ordering: the SWITCH architecture never loses to the

@@ -12,8 +12,8 @@ use vecsparse_gpu_sim::GpuConfig;
 /// divisible by v and everything small enough to run quickly.
 fn vs_params() -> impl Strategy<Value = (usize, usize, usize, f64, u64)> {
     (
-        1usize..5,          // block-row count multiplier
-        1usize..5,          // column multiplier (×8)
+        1usize..5, // block-row count multiplier
+        1usize..5, // column multiplier (×8)
         prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
         0.2f64..0.95,
         any::<u64>(),
@@ -231,5 +231,37 @@ proptest! {
         let got = vecsparse::spmm::spmm_octet(&gpu, &wt, &x);
         let want = reference::spmm_vs(&wt, &x);
         prop_assert_eq!(got.max_abs_diff(&want), 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every shipped kernel stays sanitizer-clean (no deny-level findings)
+    /// at arbitrary shapes — bounds, barriers, and def-use integrity must
+    /// hold for any tail predication the shape produces, not just the
+    /// hand-picked test sizes.
+    #[test]
+    fn all_kernels_sanitize_clean_at_random_shapes(
+        (rows, cols, v, s, seed) in vs_params(),
+        n_mult in 1usize..4,
+    ) {
+        use vecsparse::registry::{self, Shape, ALL_KERNELS};
+        use vecsparse_gpu_sim::Mode;
+        use vecsparse_sanitizer::sanitize_clean;
+        let gpu = GpuConfig::small();
+        let shape = Shape {
+            m: rows,
+            n: n_mult * 32,
+            k: cols,
+            v,
+            sparsity: s,
+            seed,
+        };
+        for id in ALL_KERNELS {
+            registry::with_kernel(id, &shape, Mode::Functional, |mem, kernel| {
+                sanitize_clean(&gpu, mem, kernel);
+            });
+        }
     }
 }
