@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_octet-86c40c48e9fcbbcf.d: crates/bench/src/bin/ablation_octet.rs
+
+/root/repo/target/release/deps/ablation_octet-86c40c48e9fcbbcf: crates/bench/src/bin/ablation_octet.rs
+
+crates/bench/src/bin/ablation_octet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/design_space-ba7bc31a63610db9.d: crates/bench/src/bin/design_space.rs
+
+/root/repo/target/release/deps/design_space-ba7bc31a63610db9: crates/bench/src/bin/design_space.rs
+
+crates/bench/src/bin/design_space.rs:

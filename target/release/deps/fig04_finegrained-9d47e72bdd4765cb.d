@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04_finegrained-9d47e72bdd4765cb.d: crates/bench/src/bin/fig04_finegrained.rs
+
+/root/repo/target/release/deps/fig04_finegrained-9d47e72bdd4765cb: crates/bench/src/bin/fig04_finegrained.rs
+
+crates/bench/src/bin/fig04_finegrained.rs:

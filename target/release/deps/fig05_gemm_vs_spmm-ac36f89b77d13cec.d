@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_gemm_vs_spmm-ac36f89b77d13cec.d: crates/bench/src/bin/fig05_gemm_vs_spmm.rs
+
+/root/repo/target/release/deps/fig05_gemm_vs_spmm-ac36f89b77d13cec: crates/bench/src/bin/fig05_gemm_vs_spmm.rs
+
+crates/bench/src/bin/fig05_gemm_vs_spmm.rs:

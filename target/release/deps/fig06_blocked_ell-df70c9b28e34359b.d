@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06_blocked_ell-df70c9b28e34359b.d: crates/bench/src/bin/fig06_blocked_ell.rs
+
+/root/repo/target/release/deps/fig06_blocked_ell-df70c9b28e34359b: crates/bench/src/bin/fig06_blocked_ell.rs
+
+crates/bench/src/bin/fig06_blocked_ell.rs:

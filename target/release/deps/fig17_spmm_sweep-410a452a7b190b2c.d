@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_spmm_sweep-410a452a7b190b2c.d: crates/bench/src/bin/fig17_spmm_sweep.rs
+
+/root/repo/target/release/deps/fig17_spmm_sweep-410a452a7b190b2c: crates/bench/src/bin/fig17_spmm_sweep.rs
+
+crates/bench/src/bin/fig17_spmm_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_l2_bytes-693d2eb9c4790e18.d: crates/bench/src/bin/fig18_l2_bytes.rs
+
+/root/repo/target/release/deps/fig18_l2_bytes-693d2eb9c4790e18: crates/bench/src/bin/fig18_l2_bytes.rs
+
+crates/bench/src/bin/fig18_l2_bytes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_sddmm_sweep-9069d22d88089ebd.d: crates/bench/src/bin/fig19_sddmm_sweep.rs
+
+/root/repo/target/release/deps/fig19_sddmm_sweep-9069d22d88089ebd: crates/bench/src/bin/fig19_sddmm_sweep.rs
+
+crates/bench/src/bin/fig19_sddmm_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_attention-c69861279aa5b8d2.d: crates/bench/src/bin/fig20_attention.rs
+
+/root/repo/target/release/deps/fig20_attention-c69861279aa5b8d2: crates/bench/src/bin/fig20_attention.rs
+
+crates/bench/src/bin/fig20_attention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fixtures_fire-8a71382a0636f471.d: crates/sanitizer/tests/fixtures_fire.rs
+
+/root/repo/target/release/deps/fixtures_fire-8a71382a0636f471: crates/sanitizer/tests/fixtures_fire.rs
+
+crates/sanitizer/tests/fixtures_fire.rs:

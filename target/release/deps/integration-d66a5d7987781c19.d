@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-d66a5d7987781c19.d: crates/bench/../../tests/integration.rs
+
+/root/repo/target/release/deps/integration-d66a5d7987781c19: crates/bench/../../tests/integration.rs
+
+crates/bench/../../tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-0ba1b0a44d430fba.d: crates/bench/../../tests/properties.rs
+
+/root/repo/target/release/deps/properties-0ba1b0a44d430fba: crates/bench/../../tests/properties.rs
+
+crates/bench/../../tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-58200debbebc3825.d: crates/fp16/tests/properties.rs
+
+/root/repo/target/release/deps/properties-58200debbebc3825: crates/fp16/tests/properties.rs
+
+crates/fp16/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-0134184473ae0d6b.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-0134184473ae0d6b: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-28795f3f1d4d171e.d: shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/rayon-28795f3f1d4d171e: shims/rayon/src/lib.rs
+
+shims/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sanitize_kernels-bd13fd1e0975fd18.d: crates/sanitizer/tests/sanitize_kernels.rs
+
+/root/repo/target/release/deps/sanitize_kernels-bd13fd1e0975fd18: crates/sanitizer/tests/sanitize_kernels.rs
+
+crates/sanitizer/tests/sanitize_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sensitivity-4e99756ecab0e0bd.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/release/deps/sensitivity-4e99756ecab0e0bd: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

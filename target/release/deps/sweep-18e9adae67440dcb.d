@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-18e9adae67440dcb.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-18e9adae67440dcb: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab01_stalls-a9c834d9a32ed7ae.d: crates/bench/src/bin/tab01_stalls.rs
+
+/root/repo/target/release/deps/tab01_stalls-a9c834d9a32ed7ae: crates/bench/src/bin/tab01_stalls.rs
+
+crates/bench/src/bin/tab01_stalls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab02_spmm_guidelines-cf936603de30da40.d: crates/bench/src/bin/tab02_spmm_guidelines.rs
+
+/root/repo/target/release/deps/tab02_spmm_guidelines-cf936603de30da40: crates/bench/src/bin/tab02_spmm_guidelines.rs
+
+crates/bench/src/bin/tab02_spmm_guidelines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab03_sddmm_guidelines-af54fc2ae170cf52.d: crates/bench/src/bin/tab03_sddmm_guidelines.rs
+
+/root/repo/target/release/deps/tab03_sddmm_guidelines-af54fc2ae170cf52: crates/bench/src/bin/tab03_sddmm_guidelines.rs
+
+crates/bench/src/bin/tab03_sddmm_guidelines.rs:

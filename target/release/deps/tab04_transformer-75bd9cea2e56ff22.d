@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab04_transformer-75bd9cea2e56ff22.d: crates/bench/src/bin/tab04_transformer.rs
+
+/root/repo/target/release/deps/tab04_transformer-75bd9cea2e56ff22: crates/bench/src/bin/tab04_transformer.rs
+
+crates/bench/src/bin/tab04_transformer.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/vecsparse-df408c91a049fe51.d: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/batch.rs crates/core/src/registry.rs crates/core/src/sddmm/mod.rs crates/core/src/sddmm/csr.rs crates/core/src/sddmm/fpu_subwarp.rs crates/core/src/sddmm/octet.rs crates/core/src/sddmm/wmma.rs crates/core/src/softmax.rs crates/core/src/spmm/mod.rs crates/core/src/spmm/blocked_ell.rs crates/core/src/spmm/csr_scalar.rs crates/core/src/spmm/dense.rs crates/core/src/spmm/fpu_subwarp.rs crates/core/src/spmm/octet.rs crates/core/src/spmm/wmma.rs crates/core/src/util.rs
+
+/root/repo/target/release/deps/vecsparse-df408c91a049fe51: crates/core/src/lib.rs crates/core/src/api.rs crates/core/src/batch.rs crates/core/src/registry.rs crates/core/src/sddmm/mod.rs crates/core/src/sddmm/csr.rs crates/core/src/sddmm/fpu_subwarp.rs crates/core/src/sddmm/octet.rs crates/core/src/sddmm/wmma.rs crates/core/src/softmax.rs crates/core/src/spmm/mod.rs crates/core/src/spmm/blocked_ell.rs crates/core/src/spmm/csr_scalar.rs crates/core/src/spmm/dense.rs crates/core/src/spmm/fpu_subwarp.rs crates/core/src/spmm/octet.rs crates/core/src/spmm/wmma.rs crates/core/src/util.rs
+
+crates/core/src/lib.rs:
+crates/core/src/api.rs:
+crates/core/src/batch.rs:
+crates/core/src/registry.rs:
+crates/core/src/sddmm/mod.rs:
+crates/core/src/sddmm/csr.rs:
+crates/core/src/sddmm/fpu_subwarp.rs:
+crates/core/src/sddmm/octet.rs:
+crates/core/src/sddmm/wmma.rs:
+crates/core/src/softmax.rs:
+crates/core/src/spmm/mod.rs:
+crates/core/src/spmm/blocked_ell.rs:
+crates/core/src/spmm/csr_scalar.rs:
+crates/core/src/spmm/dense.rs:
+crates/core/src/spmm/fpu_subwarp.rs:
+crates/core/src/spmm/octet.rs:
+crates/core/src/spmm/wmma.rs:
+crates/core/src/util.rs:

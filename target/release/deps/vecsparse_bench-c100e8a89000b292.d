@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/vecsparse_bench-c100e8a89000b292.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/vecsparse_bench-c100e8a89000b292: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vecsparse_dlmc-5ce379b6a238b5d7.d: crates/dlmc/src/lib.rs
+
+/root/repo/target/release/deps/vecsparse_dlmc-5ce379b6a238b5d7: crates/dlmc/src/lib.rs
+
+crates/dlmc/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/vecsparse_formats-c54eff5b49bc3068.d: crates/formats/src/lib.rs crates/formats/src/blocked_ell.rs crates/formats/src/csr.rs crates/formats/src/cvse.rs crates/formats/src/dense.rs crates/formats/src/gen.rs crates/formats/src/reference.rs crates/formats/src/rvse.rs crates/formats/src/scalar.rs crates/formats/src/smtx.rs crates/formats/src/square_block.rs
+
+/root/repo/target/release/deps/vecsparse_formats-c54eff5b49bc3068: crates/formats/src/lib.rs crates/formats/src/blocked_ell.rs crates/formats/src/csr.rs crates/formats/src/cvse.rs crates/formats/src/dense.rs crates/formats/src/gen.rs crates/formats/src/reference.rs crates/formats/src/rvse.rs crates/formats/src/scalar.rs crates/formats/src/smtx.rs crates/formats/src/square_block.rs
+
+crates/formats/src/lib.rs:
+crates/formats/src/blocked_ell.rs:
+crates/formats/src/csr.rs:
+crates/formats/src/cvse.rs:
+crates/formats/src/dense.rs:
+crates/formats/src/gen.rs:
+crates/formats/src/reference.rs:
+crates/formats/src/rvse.rs:
+crates/formats/src/scalar.rs:
+crates/formats/src/smtx.rs:
+crates/formats/src/square_block.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/vecsparse_fp16-fbb263fccac865c6.d: crates/fp16/src/lib.rs crates/fp16/src/half_type.rs crates/fp16/src/packed.rs
+
+/root/repo/target/release/deps/vecsparse_fp16-fbb263fccac865c6: crates/fp16/src/lib.rs crates/fp16/src/half_type.rs crates/fp16/src/packed.rs
+
+crates/fp16/src/lib.rs:
+crates/fp16/src/half_type.rs:
+crates/fp16/src/packed.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/vecsparse_gpu_sim-80297a3049cc1884.d: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/icache.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/mem.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/program.rs crates/gpu-sim/src/sched.rs crates/gpu-sim/src/tcu.rs crates/gpu-sim/src/trace.rs crates/gpu-sim/src/warp.rs crates/gpu-sim/src/wvec.rs
+
+/root/repo/target/release/deps/vecsparse_gpu_sim-80297a3049cc1884: crates/gpu-sim/src/lib.rs crates/gpu-sim/src/cache.rs crates/gpu-sim/src/config.rs crates/gpu-sim/src/icache.rs crates/gpu-sim/src/launch.rs crates/gpu-sim/src/mem.rs crates/gpu-sim/src/profile.rs crates/gpu-sim/src/program.rs crates/gpu-sim/src/sched.rs crates/gpu-sim/src/tcu.rs crates/gpu-sim/src/trace.rs crates/gpu-sim/src/warp.rs crates/gpu-sim/src/wvec.rs
+
+crates/gpu-sim/src/lib.rs:
+crates/gpu-sim/src/cache.rs:
+crates/gpu-sim/src/config.rs:
+crates/gpu-sim/src/icache.rs:
+crates/gpu-sim/src/launch.rs:
+crates/gpu-sim/src/mem.rs:
+crates/gpu-sim/src/profile.rs:
+crates/gpu-sim/src/program.rs:
+crates/gpu-sim/src/sched.rs:
+crates/gpu-sim/src/tcu.rs:
+crates/gpu-sim/src/trace.rs:
+crates/gpu-sim/src/warp.rs:
+crates/gpu-sim/src/wvec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vecsparse_sanitizer-0ab8c6f282a707f7.d: crates/sanitizer/src/lib.rs crates/sanitizer/src/diag.rs crates/sanitizer/src/fixtures.rs crates/sanitizer/src/traces.rs crates/sanitizer/src/values.rs
+
+/root/repo/target/release/deps/vecsparse_sanitizer-0ab8c6f282a707f7: crates/sanitizer/src/lib.rs crates/sanitizer/src/diag.rs crates/sanitizer/src/fixtures.rs crates/sanitizer/src/traces.rs crates/sanitizer/src/values.rs
+
+crates/sanitizer/src/lib.rs:
+crates/sanitizer/src/diag.rs:
+crates/sanitizer/src/fixtures.rs:
+crates/sanitizer/src/traces.rs:
+crates/sanitizer/src/values.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/vecsparse_transformer-f6a76b36478f12e1.d: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/memory.rs crates/transformer/src/model.rs crates/transformer/src/pipeline.rs
+
+/root/repo/target/release/deps/vecsparse_transformer-f6a76b36478f12e1: crates/transformer/src/lib.rs crates/transformer/src/attention.rs crates/transformer/src/memory.rs crates/transformer/src/model.rs crates/transformer/src/pipeline.rs
+
+crates/transformer/src/lib.rs:
+crates/transformer/src/attention.rs:
+crates/transformer/src/memory.rs:
+crates/transformer/src/model.rs:
+crates/transformer/src/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vsan-2c63e5705175b351.d: crates/sanitizer/src/bin/vsan.rs
+
+/root/repo/target/release/deps/vsan-2c63e5705175b351: crates/sanitizer/src/bin/vsan.rs
+
+crates/sanitizer/src/bin/vsan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/kernel_profiler-a172ea3dfc43dded.d: crates/bench/../../examples/kernel_profiler.rs
+
+/root/repo/target/release/examples/kernel_profiler-a172ea3dfc43dded: crates/bench/../../examples/kernel_profiler.rs
+
+crates/bench/../../examples/kernel_profiler.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/load_smtx-f6bc780020964069.d: crates/bench/../../examples/load_smtx.rs
+
+/root/repo/target/release/examples/load_smtx-f6bc780020964069: crates/bench/../../examples/load_smtx.rs
+
+crates/bench/../../examples/load_smtx.rs:

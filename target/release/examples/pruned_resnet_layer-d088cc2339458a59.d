@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pruned_resnet_layer-d088cc2339458a59.d: crates/bench/../../examples/pruned_resnet_layer.rs
+
+/root/repo/target/release/examples/pruned_resnet_layer-d088cc2339458a59: crates/bench/../../examples/pruned_resnet_layer.rs
+
+crates/bench/../../examples/pruned_resnet_layer.rs:

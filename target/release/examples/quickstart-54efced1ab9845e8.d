@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-54efced1ab9845e8.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-54efced1ab9845e8: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

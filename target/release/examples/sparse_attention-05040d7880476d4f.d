@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sparse_attention-05040d7880476d4f.d: crates/bench/../../examples/sparse_attention.rs
+
+/root/repo/target/release/examples/sparse_attention-05040d7880476d4f: crates/bench/../../examples/sparse_attention.rs
+
+crates/bench/../../examples/sparse_attention.rs:

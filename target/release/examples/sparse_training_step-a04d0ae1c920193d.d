@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sparse_training_step-a04d0ae1c920193d.d: crates/bench/../../examples/sparse_training_step.rs
+
+/root/repo/target/release/examples/sparse_training_step-a04d0ae1c920193d: crates/bench/../../examples/sparse_training_step.rs
+
+crates/bench/../../examples/sparse_training_step.rs:
