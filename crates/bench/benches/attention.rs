@@ -12,7 +12,7 @@ use vecsparse_transformer::attention::{
 use vecsparse_transformer::AttentionConfig;
 
 fn functional_attention(c: &mut Criterion) {
-    let gpu = GpuConfig::small();
+    let ctx = vecsparse::engine::Context::with_gpu(GpuConfig::small());
     let mut group = c.benchmark_group("attention/functional");
     group.sample_size(20);
     let cfg = AttentionConfig {
@@ -28,7 +28,7 @@ fn functional_attention(c: &mut Criterion) {
     let k = gen::random_dense::<f16>(128, 32, vecsparse_formats::Layout::RowMajor, 3);
     let v = gen::random_dense::<f16>(128, 32, vecsparse_formats::Layout::RowMajor, 4);
     group.bench_function("sparse_head_128x32", |b| {
-        b.iter(|| sparse_attention_head(&gpu, &q, &k, &v, &mask));
+        b.iter(|| sparse_attention_head(&ctx, &q, &k, &v, &mask));
     });
     group.finish();
 }

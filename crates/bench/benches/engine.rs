@@ -1,0 +1,34 @@
+//! Criterion comparison behind the engine's headline claim: cached-plan
+//! re-execution of a 16-element SpMM batch vs the deprecated
+//! `batch::spmm_batch`, which re-plans, re-encodes, and (with `Auto`)
+//! re-tunes on every element.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vecsparse::engine::Context;
+use vecsparse::SpmmAlgo;
+use vecsparse_formats::{gen, Layout};
+use vecsparse_fp16::f16;
+
+fn batch16(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/spmm_batch16");
+    group.sample_size(10);
+    let a = gen::random_vector_sparse::<f16>(64, 128, 4, 0.9, 1);
+    let batch: Vec<_> = (0..16u64)
+        .map(|i| gen::random_dense::<f16>(128, 64, Layout::RowMajor, 100 + i))
+        .collect();
+
+    let ctx = Context::new();
+    let plan = ctx.plan_spmm(&a, 64, SpmmAlgo::Auto);
+    plan.run_batch(&batch); // warm: tune + stage once, outside the timer
+    group.bench_function("cached_plan", |b| b.iter(|| plan.run_batch(&batch)));
+    group.bench_function("deprecated_spmm_batch", |b| {
+        b.iter(|| {
+            #[allow(deprecated)]
+            vecsparse::batch::spmm_batch(&a, &batch, SpmmAlgo::Auto)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, batch16);
+criterion_main!(benches);

@@ -1,20 +1,30 @@
 //! Custom sweep CLI: profile every SpMM implementation on a
-//! user-specified problem.
+//! user-specified problem through the engine.
 //!
 //! ```text
 //! cargo run --release -p vecsparse-bench --bin sweep -- \
-//!     --m 2048 --k 1024 --n 256 --v 4 --sparsity 0.9 [--seed 42] [--sanitize]
+//!     --m 2048 --k 1024 --n 256 --v 4 --sparsity 0.9 [--seed 42] \
+//!     [--algo auto] [--json results.json] [--expect-auto spmm-octet] \
+//!     [--sanitize]
 //! ```
 //!
-//! `--sanitize` additionally runs every registry kernel through
-//! `vecsparse-sanitizer` at the sweep shape before profiling, and aborts
-//! (exit 1) on any deny-level finding — profiling a kernel the checker
-//! rejects would benchmark undefined behaviour.
+//! * `--algo auto` adds an `auto` row: the engine's tuner picks among the
+//!   numerically exact kernels and the row reports what it chose.
+//! * `--json PATH` writes the sweep rows (plus the tuner decision, if
+//!   any) as a JSON document for CI artifacts.
+//! * `--expect-auto LABEL` asserts the tuner picked `LABEL`
+//!   (e.g. `spmm-octet`) and exits 1 otherwise; implies `--algo auto`.
+//! * `--sanitize` additionally runs every registry kernel through
+//!   `vecsparse-sanitizer` at the sweep shape before profiling, and
+//!   aborts (exit 1) on any deny-level finding — profiling a kernel the
+//!   checker rejects would benchmark undefined behaviour.
 
-use vecsparse::api::{profile_spmm, SpmmAlgo};
+use vecsparse::engine::Context;
+use vecsparse::SpmmAlgo;
 use vecsparse_bench::{device, Table};
 use vecsparse_formats::{gen, Layout};
 use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::KernelProfile;
 
 fn arg(name: &str, default: f64) -> f64 {
     let args: Vec<String> = std::env::args().collect();
@@ -25,6 +35,24 @@ fn arg(name: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+struct Row {
+    label: String,
+    tuned: Option<String>,
+    profile: KernelProfile,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 fn main() {
     let m = arg("--m", 2048.0) as usize;
     let k = arg("--k", 1024.0) as usize;
@@ -32,6 +60,11 @@ fn main() {
     let v = arg("--v", 4.0) as usize;
     let sparsity = arg("--sparsity", 0.9);
     let seed = arg("--seed", 42.0) as u64;
+    let expect_auto = arg_str("--expect-auto");
+    let json_path = arg_str("--json");
+    let want_auto = expect_auto.is_some()
+        || arg_str("--algo").as_deref() == Some("auto")
+        || std::env::args().any(|a| a == "--algo-auto");
     assert!(matches!(v, 1 | 2 | 4 | 8), "--v must be 1, 2, 4, or 8");
     assert!(m.is_multiple_of(v), "--m must be a multiple of --v");
     assert!((0.0..1.0).contains(&sparsity), "--sparsity in [0,1)");
@@ -65,6 +98,7 @@ fn main() {
         }
     }
 
+    let ctx = Context::with_gpu(gpu);
     let a = gen::random_vector_sparse::<f16>(m, k, v, sparsity, seed);
     let b = gen::random_dense::<f16>(k, n, Layout::RowMajor, seed + 1);
 
@@ -73,7 +107,34 @@ fn main() {
         100.0 * a.pattern().sparsity()
     );
     println!();
-    let dense = profile_spmm(&gpu, &a, &b, SpmmAlgo::Dense);
+    let mut algos = vec![
+        SpmmAlgo::Dense,
+        SpmmAlgo::FpuSubwarp,
+        SpmmAlgo::BlockedEll,
+        SpmmAlgo::Octet,
+    ];
+    if want_auto {
+        algos.push(SpmmAlgo::Auto);
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    let mut auto_choice: Option<String> = None;
+    for algo in algos {
+        let plan = ctx.plan_spmm(&a, n, algo);
+        let profile = plan.profile(&b);
+        let label = if algo == SpmmAlgo::Auto {
+            auto_choice = Some(plan.algo().label().to_string());
+            format!("auto -> {}", plan.algo().label())
+        } else {
+            algo.label().to_string()
+        };
+        rows.push(Row {
+            label,
+            tuned: (algo == SpmmAlgo::Auto).then(|| plan.algo().label().to_string()),
+            profile,
+        });
+    }
+
+    let dense_cycles = rows[0].profile.cycles;
     let mut t = Table::new(vec![
         "kernel",
         "cycles",
@@ -84,17 +145,12 @@ fn main() {
         "no-instr",
         "sectors/req",
     ]);
-    for algo in [
-        SpmmAlgo::Dense,
-        SpmmAlgo::FpuSubwarp,
-        SpmmAlgo::BlockedEll,
-        SpmmAlgo::Octet,
-    ] {
-        let p = profile_spmm(&gpu, &a, &b, algo);
+    for row in &rows {
+        let p = &row.profile;
         t.row(vec![
-            p.name.clone(),
+            row.label.clone(),
             format!("{:.0}", p.cycles),
-            format!("{:.2}x", dense.cycles / p.cycles),
+            format!("{:.2}x", dense_cycles / p.cycles),
             p.grid.to_string(),
             p.static_instrs.to_string(),
             format!("{:.1}", p.bytes_l2_to_l1() as f64 / 1e6),
@@ -103,4 +159,42 @@ fn main() {
         ]);
     }
     t.print();
+
+    if let Some(path) = json_path {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"shape\": {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"v\": {v}, \"sparsity\": {sparsity}}},\n"
+        ));
+        if let Some(choice) = &auto_choice {
+            out.push_str(&format!("  \"auto\": \"{}\",\n", json_escape(choice)));
+        }
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in rows.iter().enumerate() {
+            let p = &row.profile;
+            out.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"cycles\": {:.1}, \"grid\": {}, \"l2_to_l1_bytes\": {}{}}}{}\n",
+                json_escape(&row.label),
+                p.cycles,
+                p.grid,
+                p.bytes_l2_to_l1(),
+                row.tuned
+                    .as_ref()
+                    .map(|t| format!(", \"tuned\": \"{}\"", json_escape(t)))
+                    .unwrap_or_default(),
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(&path, out).expect("write --json output");
+        println!("wrote {path}");
+    }
+
+    if let Some(want) = expect_auto {
+        let got = auto_choice.expect("--expect-auto implies --algo auto");
+        if got != want {
+            eprintln!("expected the tuner to pick {want}, but it picked {got}");
+            std::process::exit(1);
+        }
+        println!("tuner picked {got} (as expected)");
+    }
 }

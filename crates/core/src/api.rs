@@ -1,20 +1,25 @@
-//! High-level entry points: pick an algorithm, run functionally or get a
-//! performance profile.
+//! Algorithm selectors plus the legacy free-function entry points.
+//!
+//! The free functions here predate the [`crate::engine`] and are kept as
+//! **deprecated one-line shims**: each call builds a throwaway
+//! [`crate::engine::Context`], so the sparse operand is re-encoded and
+//! (under [`SpmmAlgo::Auto`] / [`SddmmAlgo::Auto`]) re-tuned on every
+//! invocation. Migrate to a long-lived context:
+//!
+//! ```text
+//! api::spmm(&a, &b, algo)          -> ctx.plan_spmm(&a, b.cols(), algo).run(&b)
+//! api::profile_spmm(&g, a, b, al)  -> Context::with_gpu(g).plan_spmm(...).profile(&b)
+//! api::sddmm(&a, &b, &m, algo)     -> ctx.plan_sddmm(&m, a.cols(), algo).run(&a, &b)
+//! api::profile_sddmm(...)          -> Context::with_gpu(g).plan_sddmm(...).profile(...)
+//! ```
 
-use crate::sddmm::{
-    profile_sddmm_fpu, profile_sddmm_octet, profile_sddmm_wmma, sddmm_fpu, sddmm_octet, sddmm_wmma,
-    OctetVariant,
-};
-use crate::spmm::{
-    profile_dense_gemm, profile_spmm_blocked_ell, profile_spmm_fpu, profile_spmm_octet,
-    profile_spmm_wmma, spmm_blocked_ell, spmm_fpu, spmm_octet, spmm_wmma,
-};
-use vecsparse_formats::{gen, DenseMatrix, Layout, SparsityPattern, VectorSparse};
+use crate::engine::Context;
+use vecsparse_formats::{DenseMatrix, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{GpuConfig, KernelProfile};
 
 /// SpMM algorithm selector.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SpmmAlgo {
     /// TCU-based 1-D Octet Tiling (the paper's kernel).
     Octet,
@@ -29,10 +34,29 @@ pub enum SpmmAlgo {
     BlockedEll,
     /// Dense `cublasHgemm` surrogate (densifies the input).
     Dense,
+    /// Let the engine's auto-tuner pick among the numerically exact
+    /// kernels by profiling them on the simulated GPU (see
+    /// [`crate::engine::tuner`]). Decisions are memoized per
+    /// [`crate::engine::Context`].
+    Auto,
+}
+
+impl SpmmAlgo {
+    /// Registry-style label ("spmm-octet", ..., or "auto").
+    pub fn label(self) -> &'static str {
+        match self {
+            SpmmAlgo::Octet => "spmm-octet",
+            SpmmAlgo::Wmma => "spmm-wmma",
+            SpmmAlgo::FpuSubwarp => "spmm-fpu",
+            SpmmAlgo::BlockedEll => "spmm-blocked-ell",
+            SpmmAlgo::Dense => "spmm-dense",
+            SpmmAlgo::Auto => "auto",
+        }
+    }
 }
 
 /// SDDMM algorithm selector.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SddmmAlgo {
     /// TCU-based 1-D Octet Tiling with extra accumulator registers.
     OctetReg,
@@ -44,72 +68,77 @@ pub enum SddmmAlgo {
     FpuSubwarp,
     /// Classic TCU warp tiling (wmma).
     Wmma,
+    /// Auto-tuned among the stock-hardware kernels (see
+    /// [`crate::engine::tuner`]; `OctetArch` is never auto-selected).
+    Auto,
+}
+
+impl SddmmAlgo {
+    /// Registry-style label ("sddmm-octet-reg", ..., or "auto").
+    pub fn label(self) -> &'static str {
+        match self {
+            SddmmAlgo::OctetReg => "sddmm-octet-reg",
+            SddmmAlgo::OctetShfl => "sddmm-octet-shfl",
+            SddmmAlgo::OctetArch => "sddmm-octet-arch",
+            SddmmAlgo::FpuSubwarp => "sddmm-fpu",
+            SddmmAlgo::Wmma => "sddmm-wmma",
+            SddmmAlgo::Auto => "auto",
+        }
+    }
 }
 
 /// Run SpMM functionally with the default simulated GPU.
 ///
 /// # Panics
 /// Panics on dimension mismatches.
+#[deprecated(
+    since = "0.2.0",
+    note = "builds a throwaway engine context per call; use \
+            `Context::plan_spmm(&a, b.cols(), algo).run(&b)` and keep the \
+            context (and plan) alive across calls"
+)]
 pub fn spmm(a: &VectorSparse<f16>, b: &DenseMatrix<f16>, algo: SpmmAlgo) -> DenseMatrix<f16> {
-    let gpu = GpuConfig::default();
-    match algo {
-        SpmmAlgo::Octet => spmm_octet(&gpu, a, b),
-        SpmmAlgo::Wmma => spmm_wmma(&gpu, a, b),
-        SpmmAlgo::FpuSubwarp => spmm_fpu(&gpu, a, b),
-        SpmmAlgo::BlockedEll => {
-            let ell = ell_equivalent(a);
-            spmm_blocked_ell(&gpu, &ell, b)
-        }
-        SpmmAlgo::Dense => {
-            let dense = a.to_dense(Layout::RowMajor);
-            crate::spmm::dense_gemm(&gpu, &dense, b)
-        }
-    }
+    Context::new().spmm(a, b, algo)
 }
 
 /// Profile SpMM on `gpu`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Context::with_gpu(gpu).plan_spmm(&a, b.cols(), algo).profile(&b)`"
+)]
 pub fn profile_spmm(
     gpu: &GpuConfig,
     a: &VectorSparse<f16>,
     b: &DenseMatrix<f16>,
     algo: SpmmAlgo,
 ) -> KernelProfile {
-    match algo {
-        SpmmAlgo::Octet => profile_spmm_octet(gpu, a, b),
-        SpmmAlgo::Wmma => profile_spmm_wmma(gpu, a, b),
-        SpmmAlgo::FpuSubwarp => profile_spmm_fpu(gpu, a, b),
-        SpmmAlgo::BlockedEll => {
-            let ell = ell_equivalent(a);
-            profile_spmm_blocked_ell(gpu, &ell, b)
-        }
-        SpmmAlgo::Dense => {
-            let dense = a.to_dense(Layout::RowMajor);
-            profile_dense_gemm(gpu, &dense, b)
-        }
-    }
+    Context::with_gpu(gpu.clone()).profile_spmm(a, b, algo)
 }
 
 /// Run SDDMM functionally with the default simulated GPU.
 ///
 /// # Panics
 /// Panics on dimension mismatches.
+#[deprecated(
+    since = "0.2.0",
+    note = "builds a throwaway engine context per call; use \
+            `Context::plan_sddmm(&mask, a.cols(), algo).run(&a, &b)` and \
+            keep the context (and plan) alive across calls"
+)]
 pub fn sddmm(
     a: &DenseMatrix<f16>,
     b: &DenseMatrix<f16>,
     mask: &SparsityPattern,
     algo: SddmmAlgo,
 ) -> VectorSparse<f16> {
-    let gpu = GpuConfig::default();
-    match algo {
-        SddmmAlgo::OctetReg => sddmm_octet(&gpu, a, b, mask, OctetVariant::Reg),
-        SddmmAlgo::OctetShfl => sddmm_octet(&gpu, a, b, mask, OctetVariant::Shfl),
-        SddmmAlgo::OctetArch => sddmm_octet(&gpu, a, b, mask, OctetVariant::Arch),
-        SddmmAlgo::FpuSubwarp => sddmm_fpu(&gpu, a, b, mask),
-        SddmmAlgo::Wmma => sddmm_wmma(&gpu, a, b, mask),
-    }
+    Context::new().sddmm(a, b, mask, algo)
 }
 
 /// Profile SDDMM on `gpu`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Context::with_gpu(gpu).plan_sddmm(&mask, a.cols(), algo).profile(&a, &b)`"
+)]
 pub fn profile_sddmm(
     gpu: &GpuConfig,
     a: &DenseMatrix<f16>,
@@ -117,34 +146,14 @@ pub fn profile_sddmm(
     mask: &SparsityPattern,
     algo: SddmmAlgo,
 ) -> KernelProfile {
-    match algo {
-        SddmmAlgo::OctetReg => profile_sddmm_octet(gpu, a, b, mask, OctetVariant::Reg),
-        SddmmAlgo::OctetShfl => profile_sddmm_octet(gpu, a, b, mask, OctetVariant::Shfl),
-        SddmmAlgo::OctetArch => profile_sddmm_octet(gpu, a, b, mask, OctetVariant::Arch),
-        SddmmAlgo::FpuSubwarp => profile_sddmm_fpu(gpu, a, b, mask),
-        SddmmAlgo::Wmma => profile_sddmm_wmma(gpu, a, b, mask),
-    }
-}
-
-/// Re-encode a vector-sparse matrix as a Blocked-ELL matrix with block
-/// size V and the same sparsity/problem size (the Fig. 16 construction:
-/// the Blocked-ELL benchmark shares sparsity, not exact structure).
-fn ell_equivalent(a: &VectorSparse<f16>) -> vecsparse_formats::BlockedEll<f16> {
-    let p = a.pattern();
-    let block = p.v().max(2); // Blocked-ELL needs square blocks ≥ 2.
-    gen::random_blocked_ell::<f16>(
-        p.rows(),
-        p.cols(),
-        block,
-        p.sparsity(),
-        0x5EED ^ p.nnz() as u64,
-    )
+    Context::with_gpu(gpu.clone()).profile_sddmm(a, b, mask, algo)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use vecsparse_formats::reference;
+    use vecsparse_formats::{gen, reference, Layout};
 
     #[test]
     fn spmm_algos_agree() {
@@ -156,6 +165,7 @@ mod tests {
             SpmmAlgo::Wmma,
             SpmmAlgo::FpuSubwarp,
             SpmmAlgo::Dense,
+            SpmmAlgo::Auto,
         ] {
             let got = spmm(&a, &b, algo);
             assert_eq!(got.max_abs_diff(&want), 0.0, "{algo:?}");
@@ -174,11 +184,20 @@ mod tests {
             SddmmAlgo::OctetArch,
             SddmmAlgo::FpuSubwarp,
             SddmmAlgo::Wmma,
+            SddmmAlgo::Auto,
         ] {
             let got = sddmm(&a, &b, &mask, algo);
             for (g, w) in got.values().iter().zip(want.values()) {
                 assert_eq!(g, w, "{algo:?}");
             }
         }
+    }
+
+    #[test]
+    fn labels_match_registry_naming() {
+        assert_eq!(SpmmAlgo::Octet.label(), "spmm-octet");
+        assert_eq!(SpmmAlgo::Auto.label(), "auto");
+        assert_eq!(SddmmAlgo::OctetShfl.label(), "sddmm-octet-shfl");
+        assert_eq!(SddmmAlgo::Auto.label(), "auto");
     }
 }

@@ -1,13 +1,22 @@
-//! Batched sparse operations.
+//! Batched sparse operations — **deprecated shims** over the engine.
 //!
 //! Deep-learning workloads apply one pruned weight matrix to a *batch* of
 //! activations (SpMM) or one fixed attention mask to every batch element
-//! and head (SDDMM). These wrappers run the single-problem kernels per
-//! batch element — matching how the paper's kernels are launched in the
-//! sparse transformer (§7.4) — and aggregate cycles as a back-to-back
-//! stream of launches.
+//! and head (SDDMM). These wrappers predate the plan API and re-plan the
+//! problem on **every call** (and, under `Auto`, re-tune per call too).
+//! Use a long-lived [`crate::engine::Context`] and
+//! [`crate::engine::SpmmPlan::run_batch`] /
+//! [`crate::engine::SddmmPlan::run_batch`] instead:
+//!
+//! ```text
+//! batch::spmm_batch(&a, &bs, algo)   -> ctx.plan_spmm(&a, n, algo).run_batch(&bs)
+//! batch::profile_spmm_batch(...)     -> plan.profile_batch(&bs).cycles()
+//! batch::sddmm_batch(...)            -> ctx.plan_sddmm(&mask, k, algo).run_batch(&as_, &bs)
+//! batch::profile_sddmm_batch(...)    -> plan.profile_batch(&as_, &bs).cycles()
+//! ```
 
-use crate::api::{profile_sddmm, profile_spmm, sddmm, spmm, SddmmAlgo, SpmmAlgo};
+use crate::api::{SddmmAlgo, SpmmAlgo};
+use crate::engine::Context;
 use vecsparse_formats::{DenseMatrix, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::GpuConfig;
@@ -16,16 +25,27 @@ use vecsparse_gpu_sim::GpuConfig;
 ///
 /// # Panics
 /// Panics on shape mismatches or an empty batch.
+#[deprecated(
+    since = "0.2.0",
+    note = "re-plans every call; use `Context::plan_spmm(...).run_batch(&batch)`"
+)]
 pub fn spmm_batch(
     a: &VectorSparse<f16>,
     batch: &[DenseMatrix<f16>],
     algo: SpmmAlgo,
 ) -> Vec<DenseMatrix<f16>> {
     assert!(!batch.is_empty(), "empty batch");
-    batch.iter().map(|b| spmm(a, b, algo)).collect()
+    batch
+        .iter()
+        .map(|b| Context::new().plan_spmm(a, b.cols(), algo).run(b))
+        .collect()
 }
 
 /// Cycle estimate for a batched SpMM as a stream of launches.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Context::with_gpu(gpu).plan_spmm(...).profile_batch(&batch).cycles()`"
+)]
 pub fn profile_spmm_batch(
     gpu: &GpuConfig,
     a: &VectorSparse<f16>,
@@ -33,15 +53,20 @@ pub fn profile_spmm_batch(
     algo: SpmmAlgo,
 ) -> f64 {
     assert!(!batch.is_empty(), "empty batch");
-    // All elements share the problem shape, so one profile suffices.
-    let per = profile_spmm(gpu, a, &batch[0], algo).cycles;
-    per * batch.len() as f64
+    Context::with_gpu(gpu.clone())
+        .plan_spmm(a, batch[0].cols(), algo)
+        .profile_batch(batch)
+        .cycles()
 }
 
 /// Batched SDDMM: `C_i = (A_i · B_i) ∘ D` with a shared mask.
 ///
 /// # Panics
 /// Panics on shape mismatches or mismatched batch lengths.
+#[deprecated(
+    since = "0.2.0",
+    note = "re-plans every call; use `Context::plan_sddmm(...).run_batch(&a_batch, &b_batch)`"
+)]
 pub fn sddmm_batch(
     a_batch: &[DenseMatrix<f16>],
     b_batch: &[DenseMatrix<f16>],
@@ -53,11 +78,15 @@ pub fn sddmm_batch(
     a_batch
         .iter()
         .zip(b_batch)
-        .map(|(a, b)| sddmm(a, b, mask, algo))
+        .map(|(a, b)| Context::new().plan_sddmm(mask, a.cols(), algo).run(a, b))
         .collect()
 }
 
 /// Cycle estimate for a batched SDDMM as a stream of launches.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Context::with_gpu(gpu).plan_sddmm(...).profile_batch(&a_batch, &b_batch).cycles()`"
+)]
 pub fn profile_sddmm_batch(
     gpu: &GpuConfig,
     a_batch: &[DenseMatrix<f16>],
@@ -67,11 +96,14 @@ pub fn profile_sddmm_batch(
 ) -> f64 {
     assert_eq!(a_batch.len(), b_batch.len(), "batch length mismatch");
     assert!(!a_batch.is_empty(), "empty batch");
-    let per = profile_sddmm(gpu, &a_batch[0], &b_batch[0], mask, algo).cycles;
-    per * a_batch.len() as f64
+    Context::with_gpu(gpu.clone())
+        .plan_sddmm(mask, a_batch[0].cols(), algo)
+        .profile_batch(a_batch, b_batch)
+        .cycles()
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use vecsparse_formats::{gen, reference, Layout};

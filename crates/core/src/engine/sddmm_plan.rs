@@ -1,0 +1,192 @@
+//! A captured SDDMM problem: the mask is the plan's structural operand;
+//! the pool's address space is recycled across runs.
+
+use super::BatchProfile;
+use crate::api::SddmmAlgo;
+use crate::sddmm::{FpuSubwarpSddmm, OctetSddmm, OctetVariant, WmmaSddmm};
+use rayon::prelude::*;
+use std::sync::Mutex;
+use vecsparse_formats::{DenseMatrix, Layout, SparsityPattern, VectorSparse};
+use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::{launch, GpuConfig, KernelProfile, MemPool, Mode, PoolMark};
+
+/// Problem descriptor captured by [`SddmmPlan`]:
+/// `C = (A[m×k] · B[k×n]) ∘ mask[m×n]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SddmmDesc {
+    /// Mask (and output) rows.
+    pub m: usize,
+    /// Mask (and output) columns.
+    pub n: usize,
+    /// Inner dimension — fixed at plan time.
+    pub k: usize,
+    /// Column-vector length of the mask.
+    pub v: usize,
+    /// Zero fraction of the mask.
+    pub sparsity: f64,
+}
+
+struct SddmmState {
+    mem: MemPool,
+    base: PoolMark,
+}
+
+/// A planned SDDMM. Unlike SpMM, both value operands change per run (the
+/// mask contributes structure, not values, and its device residency is
+/// address-only), so the plan's reuse is the pool itself: every run
+/// rewinds the arena to the plan's base mark instead of growing a fresh
+/// allocation.
+///
+/// Built by [`super::Context::plan_sddmm`].
+pub struct SddmmPlan {
+    gpu: GpuConfig,
+    desc: SddmmDesc,
+    algo: SddmmAlgo,
+    requested: SddmmAlgo,
+    mask: SparsityPattern,
+    state: Mutex<SddmmState>,
+}
+
+impl SddmmPlan {
+    pub(super) fn build(
+        gpu: GpuConfig,
+        desc: SddmmDesc,
+        requested: SddmmAlgo,
+        algo: SddmmAlgo,
+        mask: &SparsityPattern,
+    ) -> Self {
+        assert_ne!(algo, SddmmAlgo::Auto, "algo must be resolved");
+        let mem = MemPool::new();
+        let base = mem.mark();
+        SddmmPlan {
+            gpu,
+            desc,
+            algo,
+            requested,
+            mask: mask.clone(),
+            state: Mutex::new(SddmmState { mem, base }),
+        }
+    }
+
+    /// The problem descriptor this plan was built for.
+    pub fn desc(&self) -> SddmmDesc {
+        self.desc
+    }
+
+    /// The concrete algorithm the plan executes (never `Auto`).
+    pub fn algo(&self) -> SddmmAlgo {
+        self.algo
+    }
+
+    /// The algorithm the caller asked for (possibly `Auto`).
+    pub fn requested_algo(&self) -> SddmmAlgo {
+        self.requested
+    }
+
+    /// The mask the plan captured.
+    pub fn mask(&self) -> &SparsityPattern {
+        &self.mask
+    }
+
+    fn check_operands(&self, a: &DenseMatrix<f16>, b: &DenseMatrix<f16>) {
+        assert_eq!(a.rows(), self.desc.m, "A rows must match mask rows");
+        assert_eq!(a.cols(), self.desc.k, "A cols must match plan k");
+        assert_eq!(b.rows(), self.desc.k, "B rows must match plan k");
+        assert_eq!(b.cols(), self.desc.n, "B cols must match mask cols");
+        assert_eq!(a.layout(), Layout::RowMajor, "A must be row-major");
+        assert_eq!(b.layout(), Layout::ColMajor, "B must be column-major");
+    }
+
+    fn dispatch<R>(
+        &self,
+        a: &DenseMatrix<f16>,
+        b: &DenseMatrix<f16>,
+        mode: Mode,
+        finish: impl FnOnce(
+            &MemPool,
+            &dyn Fn(&MemPool) -> VectorSparse<f16>,
+            Option<KernelProfile>,
+        ) -> R,
+    ) -> R {
+        self.check_operands(a, b);
+        let mut guard = self.state.lock().unwrap();
+        let base = guard.base;
+        let SddmmState { mem, .. } = &mut *guard;
+        mem.release_to(base);
+        match self.algo {
+            SddmmAlgo::OctetReg | SddmmAlgo::OctetShfl | SddmmAlgo::OctetArch => {
+                let variant = match self.algo {
+                    SddmmAlgo::OctetReg => OctetVariant::Reg,
+                    SddmmAlgo::OctetShfl => OctetVariant::Shfl,
+                    _ => OctetVariant::Arch,
+                };
+                let kernel = OctetSddmm::new(mem, a, b, &self.mask, variant, mode);
+                let out = launch(&self.gpu, mem, &kernel, mode);
+                finish(mem, &|m| kernel.result(m), out.profile)
+            }
+            SddmmAlgo::FpuSubwarp => {
+                let kernel = FpuSubwarpSddmm::new(mem, a, b, &self.mask, mode);
+                let out = launch(&self.gpu, mem, &kernel, mode);
+                finish(mem, &|m| kernel.result(m), out.profile)
+            }
+            SddmmAlgo::Wmma => {
+                let kernel = WmmaSddmm::new(mem, a, b, &self.mask, mode);
+                let out = launch(&self.gpu, mem, &kernel, mode);
+                finish(mem, &|m| kernel.result(m), out.profile)
+            }
+            SddmmAlgo::Auto => unreachable!("resolved at plan build"),
+        }
+    }
+
+    /// Run the planned SDDMM on one `(A, B)` pair.
+    ///
+    /// # Panics
+    /// Panics if the operands do not match the plan's `m × k` / `k × n`
+    /// row-major / column-major shapes.
+    pub fn run(&self, a: &DenseMatrix<f16>, b: &DenseMatrix<f16>) -> VectorSparse<f16> {
+        self.dispatch(a, b, Mode::Functional, |mem, result, _| result(mem))
+    }
+
+    /// Profile the planned SDDMM (sampled performance model).
+    pub fn profile(&self, a: &DenseMatrix<f16>, b: &DenseMatrix<f16>) -> KernelProfile {
+        self.dispatch(a, b, Mode::Performance, |_, _, profile| {
+            profile.expect("performance launch returns a profile")
+        })
+    }
+
+    /// Run every `(A, B)` pair, returning outputs in order; identical to
+    /// calling [`run`](SddmmPlan::run) sequentially.
+    ///
+    /// # Panics
+    /// Panics on an empty batch or mismatched batch lengths.
+    pub fn run_batch(
+        &self,
+        a_batch: &[DenseMatrix<f16>],
+        b_batch: &[DenseMatrix<f16>],
+    ) -> Vec<VectorSparse<f16>> {
+        assert_eq!(a_batch.len(), b_batch.len(), "batch length mismatch");
+        assert!(!a_batch.is_empty(), "empty batch");
+        a_batch
+            .into_par_iter()
+            .zip(b_batch.into_par_iter())
+            .map(|(a, b)| self.run(a, b))
+            .collect()
+    }
+
+    /// Profile a batch as a back-to-back stream of one shape.
+    ///
+    /// # Panics
+    /// Panics on an empty batch or mismatched batch lengths.
+    pub fn profile_batch(
+        &self,
+        a_batch: &[DenseMatrix<f16>],
+        b_batch: &[DenseMatrix<f16>],
+    ) -> BatchProfile {
+        assert_eq!(a_batch.len(), b_batch.len(), "batch length mismatch");
+        assert!(!a_batch.is_empty(), "empty batch");
+        BatchProfile {
+            element: self.profile(&a_batch[0], &b_batch[0]),
+            elements: a_batch.len(),
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! A captured SpMM problem: encode once, stage once, run many times.
+
+use super::{ell_twin, BatchProfile};
+use crate::api::SpmmAlgo;
+use crate::spmm::{BlockedEllSpmm, DenseGemm, FpuSubwarpSpmm, OctetSpmm, WmmaSpmm};
+use crate::util::{download_dense, upload_dense, upload_ell, upload_vs, EllBuffers, VsBuffers};
+use rayon::prelude::*;
+use std::sync::Mutex;
+use vecsparse_formats::{BlockedEll, DenseMatrix, Layout, VectorSparse};
+use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::{
+    launch, BufferId, ElemWidth, GpuConfig, KernelProfile, KernelSpec, MemPool, Mode,
+};
+
+/// Problem descriptor captured by [`SpmmPlan`]: `C[m×n] = A[m×k] · B[k×n]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpmmDesc {
+    /// Output rows (sparse operand rows).
+    pub m: usize,
+    /// Inner dimension (sparse operand cols, RHS rows).
+    pub k: usize,
+    /// Output columns (RHS cols) — fixed at plan time.
+    pub n: usize,
+    /// Column-vector length of the sparse operand.
+    pub v: usize,
+    /// Zero fraction of the sparse operand.
+    pub sparsity: f64,
+}
+
+/// Device-side handles of the staged sparse operand.
+enum Staged {
+    Vs(VsBuffers),
+    Ell(EllBuffers),
+    Dense(BufferId),
+}
+
+/// Mutable per-plan device state: the pool plus the reusable RHS and
+/// output buffers. Guarded by a mutex so batched runs can share the plan
+/// across rayon workers.
+struct PlanState {
+    mem: MemPool,
+    staged: Staged,
+    b_buf: BufferId,
+    out_buf: BufferId,
+}
+
+/// A planned SpMM: the sparse operand is encoded and resident in the
+/// plan's private [`MemPool`]; each [`run`](SpmmPlan::run) only writes
+/// the RHS values into the staged buffer and launches.
+///
+/// Built by [`super::Context::plan_spmm`].
+pub struct SpmmPlan {
+    gpu: GpuConfig,
+    desc: SpmmDesc,
+    algo: SpmmAlgo,
+    requested: SpmmAlgo,
+    a: VectorSparse<f16>,
+    /// Blocked-ELL surrogate, derived once (fixes the old per-call
+    /// re-encoding in `api::ell_equivalent`). Only for `BlockedEll`.
+    ell: Option<BlockedEll<f16>>,
+    /// Densified twin, derived once. Only for `Dense`.
+    dense: Option<DenseMatrix<f16>>,
+    state: Mutex<PlanState>,
+}
+
+impl SpmmPlan {
+    pub(super) fn build(
+        gpu: GpuConfig,
+        desc: SpmmDesc,
+        requested: SpmmAlgo,
+        algo: SpmmAlgo,
+        a: &VectorSparse<f16>,
+    ) -> Self {
+        assert_ne!(algo, SpmmAlgo::Auto, "algo must be resolved");
+        let a = a.clone();
+        let mut mem = MemPool::new();
+        let (staged, ell, dense) = match algo {
+            SpmmAlgo::BlockedEll => {
+                let ell = ell_twin(&a);
+                let bufs = upload_ell(&mut mem, &ell, Mode::Functional);
+                (Staged::Ell(bufs), Some(ell), None)
+            }
+            SpmmAlgo::Dense => {
+                let dense = a.to_dense(Layout::RowMajor);
+                let buf = upload_dense(&mut mem, &dense, Mode::Functional);
+                (Staged::Dense(buf), None, Some(dense))
+            }
+            _ => (
+                Staged::Vs(upload_vs(&mut mem, &a, Mode::Functional)),
+                None,
+                None,
+            ),
+        };
+        let b_buf = mem.alloc_zeroed(ElemWidth::B16, desc.k * desc.n);
+        let out_buf = mem.alloc_zeroed(ElemWidth::B16, desc.m * desc.n);
+        SpmmPlan {
+            gpu,
+            desc,
+            algo,
+            requested,
+            a,
+            ell,
+            dense,
+            state: Mutex::new(PlanState {
+                mem,
+                staged,
+                b_buf,
+                out_buf,
+            }),
+        }
+    }
+
+    /// The problem descriptor this plan was built for.
+    pub fn desc(&self) -> SpmmDesc {
+        self.desc
+    }
+
+    /// The concrete algorithm the plan executes (never `Auto`).
+    pub fn algo(&self) -> SpmmAlgo {
+        self.algo
+    }
+
+    /// The algorithm the caller asked for (possibly `Auto`).
+    pub fn requested_algo(&self) -> SpmmAlgo {
+        self.requested
+    }
+
+    fn check_rhs(&self, b: &DenseMatrix<f16>) {
+        assert_eq!(b.rows(), self.desc.k, "RHS rows must match plan k");
+        assert_eq!(b.cols(), self.desc.n, "RHS cols must match plan n");
+        assert_eq!(b.layout(), Layout::RowMajor, "RHS must be row-major");
+    }
+
+    /// Execute against staged state; `finish` reads results back while
+    /// the state lock is still held.
+    fn dispatch<R>(
+        &self,
+        b: &DenseMatrix<f16>,
+        mode: Mode,
+        finish: impl FnOnce(&MemPool, BufferId, Option<KernelProfile>) -> R,
+    ) -> R {
+        self.check_rhs(b);
+        let mut guard = self.state.lock().unwrap();
+        let PlanState {
+            mem,
+            staged,
+            b_buf,
+            out_buf,
+        } = &mut *guard;
+        if mode == Mode::Functional {
+            mem.replace(*b_buf, b.data().iter().map(|v| v.to_f32()));
+            mem.fill(*out_buf, 0.0);
+        }
+        let kernel: Box<dyn KernelSpec> = match (self.algo, staged) {
+            (SpmmAlgo::Octet, Staged::Vs(bufs)) => {
+                Box::new(OctetSpmm::from_staged(&self.a, b, *bufs, *b_buf, *out_buf))
+            }
+            (SpmmAlgo::Wmma, Staged::Vs(bufs)) => {
+                Box::new(WmmaSpmm::from_staged(&self.a, b, *bufs, *b_buf, *out_buf))
+            }
+            (SpmmAlgo::FpuSubwarp, Staged::Vs(bufs)) => Box::new(FpuSubwarpSpmm::from_staged(
+                &self.a, b, *bufs, *b_buf, *out_buf,
+            )),
+            (SpmmAlgo::BlockedEll, Staged::Ell(bufs)) => Box::new(BlockedEllSpmm::from_staged(
+                self.ell.as_ref().expect("staged at build"),
+                b,
+                EllBuffers {
+                    values: bufs.values,
+                    block_col_idx: bufs.block_col_idx,
+                },
+                *b_buf,
+                *out_buf,
+            )),
+            (SpmmAlgo::Dense, Staged::Dense(a_buf)) => Box::new(DenseGemm::from_staged(
+                self.dense.as_ref().expect("staged at build"),
+                b,
+                *a_buf,
+                *b_buf,
+                *out_buf,
+                mode,
+            )),
+            _ => unreachable!("staged encoding always matches the algo"),
+        };
+        let out = launch(&self.gpu, mem, kernel.as_ref(), mode);
+        finish(mem, *out_buf, out.profile)
+    }
+
+    /// Run the planned SpMM on one RHS.
+    ///
+    /// # Panics
+    /// Panics if `b` does not match the plan's `k × n` row-major shape.
+    pub fn run(&self, b: &DenseMatrix<f16>) -> DenseMatrix<f16> {
+        let (m, n) = (self.desc.m, self.desc.n);
+        self.dispatch(b, Mode::Functional, |mem, out_buf, _| {
+            download_dense(mem, out_buf, m, n)
+        })
+    }
+
+    /// Profile the planned SpMM (sampled performance model).
+    pub fn profile(&self, b: &DenseMatrix<f16>) -> KernelProfile {
+        self.dispatch(b, Mode::Performance, |_, _, profile| {
+            profile.expect("performance launch returns a profile")
+        })
+    }
+
+    /// Run every RHS in the batch, returning outputs in order. Elements
+    /// are dispatched through rayon; results are identical to calling
+    /// [`run`](SpmmPlan::run) sequentially.
+    ///
+    /// # Panics
+    /// Panics on an empty batch.
+    pub fn run_batch(&self, batch: &[DenseMatrix<f16>]) -> Vec<DenseMatrix<f16>> {
+        assert!(!batch.is_empty(), "empty batch");
+        batch.into_par_iter().map(|b| self.run(b)).collect()
+    }
+
+    /// Profile a batch as a back-to-back stream: one element profile (the
+    /// batch is shape-uniform by construction) scaled by the length.
+    ///
+    /// # Panics
+    /// Panics on an empty batch.
+    pub fn profile_batch(&self, batch: &[DenseMatrix<f16>]) -> BatchProfile {
+        assert!(!batch.is_empty(), "empty batch");
+        BatchProfile {
+            element: self.profile(&batch[0]),
+            elements: batch.len(),
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Auto-tuner: resolve `Auto` to a concrete kernel by measuring.
+//!
+//! The tuner runs in two stages:
+//!
+//! 1. **Analytic pre-filter** ([`spmm_candidates`] / [`sddmm_candidates`]):
+//!    drop kernels that cannot win for the descriptor, so the expensive
+//!    profiling stage only touches plausible choices.
+//!    * `BlockedEll` is never a candidate: the benchmark construction
+//!      re-encodes the input to a sparsity-matched *surrogate*, so its
+//!      output is not numerically equivalent to the other kernels.
+//!    * `Dense` is only a candidate when density `1 - sparsity` is at
+//!      least [`DENSE_DENSITY_FLOOR`]: below that the densified GEMM
+//!      moves too many zeros to ever beat a sparse kernel, and it is the
+//!      most expensive candidate to profile.
+//!    * `Wmma` (SpMM and SDDMM) is only a candidate at `V == 8`, where
+//!      the classic wmma fragment mapping is not padding-bound; at
+//!      smaller V octet tiling strictly dominates it (paper Fig. 13).
+//!    * `SddmmAlgo::OctetArch` is never a candidate: it models the
+//!      proposed SWITCH-HMMA architecture, not the stock device the
+//!      engine plans for.
+//! 2. **Measurement**: profile each surviving candidate on the simulated
+//!    GPU in `Mode::Performance` (sampled CTA traces — cheap relative to
+//!    functional execution) and pick the fewest cycles. Candidates are
+//!    ordered octet-first, and ties keep the earlier candidate.
+//!
+//! The winner is memoized in the owning [`super::Context`]'s plan cache
+//! under the descriptor's [`super::PlanKey`], so a descriptor is tuned at
+//! most once per context.
+
+use super::Counters;
+use crate::api::{SddmmAlgo, SpmmAlgo};
+use crate::sddmm::{profile_sddmm_fpu, profile_sddmm_octet, profile_sddmm_wmma, OctetVariant};
+use crate::spmm::{profile_dense_gemm, profile_spmm_fpu, profile_spmm_octet, profile_spmm_wmma};
+use vecsparse_formats::{DenseMatrix, Layout, SparsityPattern, VectorSparse};
+use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::GpuConfig;
+
+/// Minimum density (`1 - sparsity`) at which the dense-GEMM surrogate is
+/// worth profiling at all.
+pub const DENSE_DENSITY_FLOOR: f64 = 0.4;
+
+/// Candidate SpMM kernels for a problem with the given V and sparsity.
+pub fn spmm_candidates(v: usize, sparsity: f64) -> Vec<SpmmAlgo> {
+    let mut c = vec![SpmmAlgo::Octet];
+    if v == 8 {
+        c.push(SpmmAlgo::Wmma);
+    }
+    c.push(SpmmAlgo::FpuSubwarp);
+    if 1.0 - sparsity >= DENSE_DENSITY_FLOOR {
+        c.push(SpmmAlgo::Dense);
+    }
+    c
+}
+
+/// Candidate SDDMM kernels for a problem with the given V.
+pub fn sddmm_candidates(v: usize) -> Vec<SddmmAlgo> {
+    let mut c = vec![SddmmAlgo::OctetReg, SddmmAlgo::OctetShfl];
+    if v == 8 {
+        c.push(SddmmAlgo::Wmma);
+    }
+    c.push(SddmmAlgo::FpuSubwarp);
+    c
+}
+
+pub(crate) fn tune_spmm(
+    gpu: &GpuConfig,
+    a: &VectorSparse<f16>,
+    n: usize,
+    counters: &Counters,
+) -> SpmmAlgo {
+    let b = DenseMatrix::<f16>::zeros(a.cols(), n, Layout::RowMajor);
+    let mut best: Option<(SpmmAlgo, f64)> = None;
+    for algo in spmm_candidates(a.v(), a.pattern().sparsity()) {
+        counters.count_tuner_launch();
+        let profile = match algo {
+            SpmmAlgo::Octet => profile_spmm_octet(gpu, a, &b),
+            SpmmAlgo::Wmma => profile_spmm_wmma(gpu, a, &b),
+            SpmmAlgo::FpuSubwarp => profile_spmm_fpu(gpu, a, &b),
+            SpmmAlgo::Dense => {
+                let dense = a.to_dense(Layout::RowMajor);
+                profile_dense_gemm(gpu, &dense, &b)
+            }
+            SpmmAlgo::BlockedEll | SpmmAlgo::Auto => {
+                unreachable!("never a tuner candidate")
+            }
+        };
+        if best.is_none() || profile.cycles < best.unwrap().1 {
+            best = Some((algo, profile.cycles));
+        }
+    }
+    best.expect("candidate set is never empty").0
+}
+
+pub(crate) fn tune_sddmm(
+    gpu: &GpuConfig,
+    mask: &SparsityPattern,
+    k: usize,
+    counters: &Counters,
+) -> SddmmAlgo {
+    let a = DenseMatrix::<f16>::zeros(mask.rows(), k, Layout::RowMajor);
+    let b = DenseMatrix::<f16>::zeros(k, mask.cols(), Layout::ColMajor);
+    let mut best: Option<(SddmmAlgo, f64)> = None;
+    for algo in sddmm_candidates(mask.v()) {
+        counters.count_tuner_launch();
+        let profile = match algo {
+            SddmmAlgo::OctetReg => profile_sddmm_octet(gpu, &a, &b, mask, OctetVariant::Reg),
+            SddmmAlgo::OctetShfl => profile_sddmm_octet(gpu, &a, &b, mask, OctetVariant::Shfl),
+            SddmmAlgo::FpuSubwarp => profile_sddmm_fpu(gpu, &a, &b, mask),
+            SddmmAlgo::Wmma => profile_sddmm_wmma(gpu, &a, &b, mask),
+            SddmmAlgo::OctetArch | SddmmAlgo::Auto => {
+                unreachable!("never a tuner candidate")
+            }
+        };
+        if best.is_none() || profile.cycles < best.unwrap().1 {
+            best = Some((algo, profile.cycles));
+        }
+    }
+    best.expect("candidate set is never empty").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_excludes_inexact_and_unbuildable() {
+        for v in [1, 2, 4, 8] {
+            for s in [0.0, 0.5, 0.95] {
+                let c = spmm_candidates(v, s);
+                assert!(!c.contains(&SpmmAlgo::BlockedEll));
+                assert!(!c.contains(&SpmmAlgo::Auto));
+                assert!(c.contains(&SpmmAlgo::Octet));
+                assert_eq!(c.contains(&SpmmAlgo::Wmma), v == 8);
+                assert_eq!(c.contains(&SpmmAlgo::Dense), 1.0 - s >= DENSE_DENSITY_FLOOR);
+            }
+            let d = sddmm_candidates(v);
+            assert!(!d.contains(&SddmmAlgo::OctetArch));
+            assert!(!d.contains(&SddmmAlgo::Auto));
+            assert_eq!(d.contains(&SddmmAlgo::Wmma), v == 8);
+        }
+    }
+}

@@ -25,19 +25,26 @@
 //! Every kernel runs **functionally** (bit-checked against the scalar
 //! references in `vecsparse-formats`) and in **performance mode** (a
 //! [`vecsparse_gpu_sim::KernelProfile`] with cycles, stall breakdown and
-//! memory counters). The easiest entry points are the [`api`] functions.
+//! memory counters). The entry point is the [`engine`]: create a
+//! [`engine::Context`], plan the problem once, run it many times.
 //!
 //! ```
-//! use vecsparse::api::{self, SpmmAlgo};
+//! use vecsparse::engine::Context;
+//! use vecsparse::SpmmAlgo;
 //! use vecsparse_formats::{gen, Layout};
 //! use vecsparse_fp16::f16;
 //!
 //! // A 64x128 sparse matrix with 4x1 column vectors at 80% sparsity.
+//! let ctx = Context::new();
 //! let a = gen::random_vector_sparse::<f16>(64, 128, 4, 0.8, 7);
+//! let plan = ctx.plan_spmm(&a, 64, SpmmAlgo::Auto); // tuned + cached
 //! let b = gen::random_dense::<f16>(128, 64, Layout::RowMajor, 8);
-//! let c = api::spmm(&a, &b, SpmmAlgo::Octet);
+//! let c = plan.run(&b);
 //! assert_eq!(c.rows(), 64);
 //! ```
+//!
+//! The free functions in [`api`] and [`batch`] survive as deprecated
+//! shims over one-shot contexts.
 
 // Kernel and backprop code index several parallel arrays in lock-step;
 // iterator-zip rewrites of those loops hurt readability, so the indexed
@@ -47,6 +54,7 @@
 
 pub mod api;
 pub mod batch;
+pub mod engine;
 pub mod registry;
 pub mod sddmm;
 pub mod softmax;
@@ -54,3 +62,4 @@ pub mod spmm;
 pub mod util;
 
 pub use api::{SddmmAlgo, SpmmAlgo};
+pub use engine::{Context, SddmmPlan, SpmmPlan};

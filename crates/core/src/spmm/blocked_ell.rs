@@ -75,14 +75,29 @@ impl<'m> BlockedEllSpmm<'m> {
         b: &'m DenseMatrix<f16>,
         mode: Mode,
     ) -> Self {
-        assert_eq!(a.cols(), b.rows(), "SpMM inner dimension mismatch");
-        assert_eq!(b.layout(), Layout::RowMajor);
         let bufs = upload_ell(mem, a, mode);
         let b_buf = upload_dense(mem, b, mode);
         let out_buf = match mode {
             Mode::Functional => mem.alloc_zeroed(width_of::<f16>(), a.rows() * b.cols()),
             Mode::Performance => mem.alloc_ghost(width_of::<f16>(), a.rows() * b.cols()),
         };
+        Self::from_staged(a, b, bufs, b_buf, out_buf)
+    }
+
+    /// Build the kernel over operands already staged in a pool (the
+    /// engine's plan path).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn from_staged(
+        a: &'m BlockedEll<f16>,
+        b: &'m DenseMatrix<f16>,
+        bufs: EllBuffers,
+        b_buf: BufferId,
+        out_buf: BufferId,
+    ) -> Self {
+        assert_eq!(a.cols(), b.rows(), "SpMM inner dimension mismatch");
+        assert_eq!(b.layout(), Layout::RowMajor);
 
         let block = a.block();
         let group = 1usize;

@@ -66,15 +66,32 @@ impl<'m, T: Scalar> DenseGemm<'m, T> {
         b: &'m DenseMatrix<T>,
         mode: Mode,
     ) -> Self {
-        assert_eq!(a.cols(), b.rows(), "GEMM inner dimension mismatch");
-        assert_eq!(a.layout(), Layout::RowMajor);
-        assert_eq!(b.layout(), Layout::RowMajor);
         let a_buf = upload_dense(mem, a, mode);
         let b_buf = upload_dense(mem, b, mode);
         let out_buf = match mode {
             Mode::Functional => mem.alloc_zeroed(width_of::<T>(), a.rows() * b.cols()),
             Mode::Performance => mem.alloc_ghost(width_of::<T>(), a.rows() * b.cols()),
         };
+        Self::from_staged(a, b, a_buf, b_buf, out_buf, mode)
+    }
+
+    /// Build the kernel over operands already staged in a pool (the
+    /// engine's plan path). `mode` still picks the split-K policy.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree or layouts are not
+    /// row-major.
+    pub fn from_staged(
+        a: &'m DenseMatrix<T>,
+        b: &'m DenseMatrix<T>,
+        a_buf: BufferId,
+        b_buf: BufferId,
+        out_buf: BufferId,
+        mode: Mode,
+    ) -> Self {
+        assert_eq!(a.cols(), b.rows(), "GEMM inner dimension mismatch");
+        assert_eq!(a.layout(), Layout::RowMajor);
+        assert_eq!(b.layout(), Layout::RowMajor);
         // Adapt the tile to small problems the way a tuned BLAS would.
         let tile_m = if a.rows() >= 128 {
             128

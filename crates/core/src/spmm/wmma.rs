@@ -64,15 +64,30 @@ impl<'m> WmmaSpmm<'m> {
         b: &'m DenseMatrix<f16>,
         mode: Mode,
     ) -> Self {
-        assert_eq!(a.cols(), b.rows(), "SpMM inner dimension mismatch");
-        assert_eq!(b.layout(), Layout::RowMajor);
-        assert!(matches!(a.v(), 1 | 2 | 4 | 8));
         let bufs = upload_vs(mem, a, mode);
         let b_buf = upload_dense(mem, b, mode);
         let out_buf = match mode {
             Mode::Functional => mem.alloc_zeroed(width_of::<f16>(), a.rows() * b.cols()),
             Mode::Performance => mem.alloc_ghost(width_of::<f16>(), a.rows() * b.cols()),
         };
+        Self::from_staged(a, b, bufs, b_buf, out_buf)
+    }
+
+    /// Build the kernel over operands already staged in a pool (the
+    /// engine's plan path).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or unsupported V.
+    pub fn from_staged(
+        a: &'m VectorSparse<f16>,
+        b: &'m DenseMatrix<f16>,
+        bufs: VsBuffers,
+        b_buf: BufferId,
+        out_buf: BufferId,
+    ) -> Self {
+        assert_eq!(a.cols(), b.rows(), "SpMM inner dimension mismatch");
+        assert_eq!(b.layout(), Layout::RowMajor);
+        assert!(matches!(a.v(), 1 | 2 | 4 | 8));
         let mut p = Program::new();
         let ld_rowptr = p.site("ld_rowptr", 0);
         let ld_colidx = p.site("ld_colidx", 0);

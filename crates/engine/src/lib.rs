@@ -1,0 +1,25 @@
+//! # vecsparse-engine
+//!
+//! Facade crate for the [`vecsparse`] execution engine: the
+//! cuSPARSE-style handle/plan workflow (`Context` → `SpmmPlan` /
+//! `SddmmPlan`) with plan caching and kernel auto-tuning.
+//!
+//! The implementation lives in [`vecsparse::engine`] (it needs the
+//! kernels); this crate re-exports it so engine users can depend on a
+//! crate named for the API they consume:
+//!
+//! ```
+//! use vecsparse_engine::Context;
+//! use vecsparse_engine::SpmmAlgo;
+//! use vecsparse_formats::{gen, Layout};
+//! use vecsparse_fp16::f16;
+//!
+//! let ctx = Context::new();
+//! let a = gen::random_vector_sparse::<f16>(16, 32, 4, 0.5, 1);
+//! let plan = ctx.plan_spmm(&a, 32, SpmmAlgo::Octet);
+//! let b = gen::random_dense::<f16>(32, 32, Layout::RowMajor, 2);
+//! assert_eq!(plan.run(&b).rows(), 16);
+//! ```
+
+pub use vecsparse::engine::*;
+pub use vecsparse::{SddmmAlgo, SpmmAlgo};

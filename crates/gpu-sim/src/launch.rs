@@ -89,7 +89,7 @@ pub struct LaunchOutput {
 /// grid, scheduled on simulated SMs sharing an L2, and counters are
 /// extrapolated to the full grid. The final cycle estimate is the maximum
 /// of the issue-model cycles and the DRAM/L2 bandwidth lower bounds.
-pub fn launch<K: KernelSpec>(
+pub fn launch<K: KernelSpec + ?Sized>(
     cfg: &GpuConfig,
     mem: &mut MemPool,
     kernel: &K,
@@ -132,7 +132,7 @@ pub fn launch<K: KernelSpec>(
     }
 }
 
-fn simulate<K: KernelSpec>(
+fn simulate<K: KernelSpec + ?Sized>(
     cfg: &GpuConfig,
     mem: &MemPool,
     kernel: &K,

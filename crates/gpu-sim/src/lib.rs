@@ -47,7 +47,7 @@ mod wvec;
 pub use cache::{CacheStats, SectorCache};
 pub use config::{GpuConfig, Timing};
 pub use launch::{launch, KernelSpec, LaunchConfig, LaunchOutput, Mode};
-pub use mem::{BufferId, ElemWidth, MemPool};
+pub use mem::{BufferId, ElemWidth, MemPool, PoolMark};
 pub use profile::{KernelProfile, PipeUtil, StallBreakdown};
 pub use program::{Program, Site};
 pub use tcu::{

@@ -1,8 +1,9 @@
 //! Sparse self-attention on the vecsparse kernels.
 
-use vecsparse::sddmm::OctetVariant;
+use vecsparse::engine::{Context, SddmmPlan};
 use vecsparse::softmax::{profile_softmax_vs, softmax_vs, DenseSoftmax};
-use vecsparse::spmm::{profile_dense_gemm, profile_spmm_octet, spmm_octet};
+use vecsparse::spmm::profile_dense_gemm;
+use vecsparse::{SddmmAlgo, SpmmAlgo};
 use vecsparse_formats::{gen, reference, DenseMatrix, Layout, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{launch, GpuConfig, KernelSpec, MemPool, Mode};
@@ -45,42 +46,61 @@ impl AttentionConfig {
 }
 
 /// Functional sparse attention for one head, computed **through the
-/// kernels**: octet SDDMM → sparse softmax → octet SpMM.
+/// kernels** on the engine: octet SDDMM → sparse softmax → octet SpMM.
 ///
 /// `q`, `k`, `v` are `l × head_dim` row-major. Scores are scaled by
 /// `1/√head_dim` before the softmax (applied on the sparse values, as the
 /// paper's custom softmax kernel does).
 ///
+/// Plans a fresh SDDMM for the mask on every call; when the mask is
+/// reused across heads or layers, plan once and use
+/// [`sparse_attention_head_planned`] instead.
+///
 /// # Panics
 /// Panics on shape mismatches.
 pub fn sparse_attention_head(
-    gpu: &GpuConfig,
+    ctx: &Context,
     q: &DenseMatrix<f16>,
     k: &DenseMatrix<f16>,
     v: &DenseMatrix<f16>,
     mask: &SparsityPattern,
 ) -> DenseMatrix<f16> {
+    let plan = ctx.plan_sddmm(mask, q.cols(), SddmmAlgo::OctetArch);
+    sparse_attention_head_planned(ctx, &plan, q, k, v)
+}
+
+/// [`sparse_attention_head`] against a pre-built SDDMM plan for the
+/// shared mask — the form the encoder pipeline uses, so the mask is
+/// captured once per forward pass rather than once per head.
+///
+/// # Panics
+/// Panics on shape mismatches against the plan's descriptor.
+pub fn sparse_attention_head_planned(
+    ctx: &Context,
+    plan: &SddmmPlan,
+    q: &DenseMatrix<f16>,
+    k: &DenseMatrix<f16>,
+    v: &DenseMatrix<f16>,
+) -> DenseMatrix<f16> {
     let head_dim = q.cols();
     assert_eq!(k.cols(), head_dim);
     assert_eq!(v.cols(), head_dim);
-    assert_eq!(q.rows(), mask.rows());
-    assert_eq!(k.rows(), mask.cols());
 
     // SDDMM wants B = Kᵀ in column-major, which shares K's row-major
     // bytes: re-tag via transpose + layout conversion.
     let kt = k.transpose().to_layout(Layout::ColMajor);
-    let scores = vecsparse::sddmm::sddmm_octet(gpu, q, &kt, mask, OctetVariant::Arch);
+    let scores = plan.run(q, &kt);
     let scale = 1.0 / (head_dim as f32).sqrt();
     let scaled = VectorSparse::new(
-        mask.clone(),
+        plan.mask().clone(),
         scores
             .values()
             .iter()
             .map(|x| f16::from_f32(x.to_f32() * scale))
             .collect(),
     );
-    let attn = softmax_vs(gpu, &scaled);
-    spmm_octet(gpu, &attn, v)
+    let attn = softmax_vs(ctx.gpu(), &scaled);
+    ctx.spmm(&attn, v, SpmmAlgo::Octet)
 }
 
 /// Dense reference attention (masked, f32 accumulation) for validation.
@@ -128,8 +148,10 @@ impl AttentionLatency {
     }
 }
 
-/// Latency of the **sparse** attention layer using the vecsparse kernels.
+/// Latency of the **sparse** attention layer using the vecsparse kernels,
+/// profiled through an engine context on `gpu`.
 pub fn sparse_attention_latency(gpu: &GpuConfig, cfg: &AttentionConfig) -> AttentionLatency {
+    let ctx = Context::with_gpu(gpu.clone());
     let l = cfg.seq_len;
     let d = cfg.head_dim;
     let mask = cfg.mask(0x7A);
@@ -141,9 +163,11 @@ pub fn sparse_attention_latency(gpu: &GpuConfig, cfg: &AttentionConfig) -> Atten
     let attn = gen::fill_pattern::<f16>(mask.clone(), 4);
 
     let heads = cfg.heads as f64;
-    let qk = vecsparse::sddmm::profile_sddmm_octet(gpu, &q, &kt, &mask, OctetVariant::Arch);
+    let qk = ctx
+        .plan_sddmm(&mask, d, SddmmAlgo::OctetArch)
+        .profile(&q, &kt);
     let sm = profile_softmax_vs(gpu, &attn);
-    let av = profile_spmm_octet(gpu, &attn, &v);
+    let av = ctx.plan_spmm(&attn, d, SpmmAlgo::Octet).profile(&v);
     AttentionLatency {
         qk: qk.cycles * heads,
         softmax: sm.cycles * heads,
@@ -216,7 +240,8 @@ mod tests {
         let q = gen::random_dense::<f16>(64, 32, Layout::RowMajor, 1);
         let k = gen::random_dense::<f16>(64, 32, Layout::RowMajor, 2);
         let v = gen::random_dense::<f16>(64, 32, Layout::RowMajor, 3);
-        let got = sparse_attention_head(&gpu, &q, &k, &v, &mask);
+        let ctx = Context::with_gpu(gpu.clone());
+        let got = sparse_attention_head(&ctx, &q, &k, &v, &mask);
         let want = dense_attention_reference(&q, &k, &v, &mask);
         // Softmax goes through exp(); allow a few half-precision ulps.
         assert!(

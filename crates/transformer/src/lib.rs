@@ -33,7 +33,8 @@ pub mod model;
 pub mod pipeline;
 
 pub use attention::{
-    dense_attention_reference, sparse_attention_head, AttentionConfig, AttentionLatency,
+    dense_attention_reference, sparse_attention_head, sparse_attention_head_planned,
+    AttentionConfig, AttentionLatency,
 };
 pub use memory::{attention_peak_memory, MemoryReport, Precision};
 pub use model::{SyntheticTask, TinyTransformer, TrainConfig};

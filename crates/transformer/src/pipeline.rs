@@ -8,11 +8,12 @@
 //! run through the dense GEMM kernel so that *every* matrix operation of
 //! the forward pass goes through the simulated GPU.
 
-use crate::attention::{sparse_attention_head, AttentionConfig};
+use crate::attention::{sparse_attention_head_planned, AttentionConfig};
+use vecsparse::engine::{Context, SddmmPlan};
 use vecsparse::spmm::dense_gemm;
+use vecsparse::SddmmAlgo;
 use vecsparse_formats::{gen, DenseMatrix, Layout, SparsityPattern};
 use vecsparse_fp16::f16;
-use vecsparse_gpu_sim::GpuConfig;
 
 /// Weights of one encoder layer (all `f16`, row-major).
 pub struct LayerWeights {
@@ -66,24 +67,28 @@ impl SparseEncoder {
         SparseEncoder { cfg, mask, layers }
     }
 
-    /// Run the stack on an `l × d_model` input, entirely on the kernels.
+    /// Run the stack on an `l × d_model` input, entirely on the kernels
+    /// via the engine `ctx`. The shared attention mask is planned **once**
+    /// and the plan reused across every head of every layer.
     ///
     /// # Panics
     /// Panics on shape mismatch.
-    pub fn forward(&self, gpu: &GpuConfig, x: &DenseMatrix<f16>) -> DenseMatrix<f16> {
+    pub fn forward(&self, ctx: &Context, x: &DenseMatrix<f16>) -> DenseMatrix<f16> {
         let d_model = self.cfg.head_dim * self.cfg.heads;
         assert_eq!(x.cols(), d_model, "input width mismatch");
         assert_eq!(x.rows(), self.cfg.seq_len, "sequence length mismatch");
+        let sddmm = ctx.plan_sddmm(&self.mask, self.cfg.head_dim, SddmmAlgo::OctetArch);
         let mut h = x.clone();
         for layer in &self.layers {
-            h = self.layer_forward(gpu, &h, layer);
+            h = self.layer_forward(ctx, &sddmm, &h, layer);
         }
         h
     }
 
     fn layer_forward(
         &self,
-        gpu: &GpuConfig,
+        ctx: &Context,
+        sddmm: &SddmmPlan,
         x: &DenseMatrix<f16>,
         w: &LayerWeights,
     ) -> DenseMatrix<f16> {
@@ -91,19 +96,20 @@ impl SparseEncoder {
         let d = self.cfg.head_dim;
         let heads = self.cfg.heads;
         let d_model = d * heads;
+        let gpu = ctx.gpu();
 
         // Projections through the dense GEMM kernel.
         let q = dense_gemm(gpu, x, &w.wq);
         let k = dense_gemm(gpu, x, &w.wk);
         let v = dense_gemm(gpu, x, &w.wv);
 
-        // Per-head sparse attention.
+        // Per-head sparse attention against the shared mask plan.
         let mut concat = DenseMatrix::zeros(l, d_model, Layout::RowMajor);
         for head in 0..heads {
             let slice = |m: &DenseMatrix<f16>| {
                 DenseMatrix::from_fn(l, d, Layout::RowMajor, |r, c| m.get(r, head * d + c))
             };
-            let out = sparse_attention_head(gpu, &slice(&q), &slice(&k), &slice(&v), &self.mask);
+            let out = sparse_attention_head_planned(ctx, sddmm, &slice(&q), &slice(&k), &slice(&v));
             for r in 0..l {
                 for c in 0..d {
                     *concat.get_mut(r, head * d + c) = out.get(r, c);
@@ -203,10 +209,10 @@ mod tests {
 
     #[test]
     fn one_layer_matches_reference() {
-        let gpu = GpuConfig::small();
+        let ctx = Context::with_gpu(vecsparse_gpu_sim::GpuConfig::small());
         let enc = SparseEncoder::random(small_cfg(), 1, 7);
         let x = gen::random_dense::<f16>(32, 32, Layout::RowMajor, 8);
-        let got = enc.forward(&gpu, &x);
+        let got = enc.forward(&ctx, &x);
         let want = layer_reference(&enc, &x, &enc.layers[0]);
         // Attention's softmax introduces a few half-ulps; GEMMs are exact.
         // Values grow with d_model so bound the relative error.
@@ -223,13 +229,17 @@ mod tests {
 
     #[test]
     fn stack_composes() {
-        let gpu = GpuConfig::small();
+        let ctx = Context::with_gpu(vecsparse_gpu_sim::GpuConfig::small());
         let enc = SparseEncoder::random(small_cfg(), 2, 9);
         let x = gen::random_dense::<f16>(32, 32, Layout::RowMajor, 10);
-        let y = enc.forward(&gpu, &x);
+        let y = enc.forward(&ctx, &x);
         assert_eq!((y.rows(), y.cols()), (32, 32));
-        // A second run is deterministic.
-        let y2 = enc.forward(&gpu, &x);
+        // A second run is deterministic, and the mask plan was built once
+        // per forward pass (never re-tuned: the algorithm is fixed).
+        let y2 = enc.forward(&ctx, &x);
         assert_eq!(y.max_abs_diff(&y2), 0.0);
+        assert_eq!(ctx.stats().tuner_launches, 0);
+        // 2 forwards × (1 mask plan + 2 layers × 2 heads × 1 SpMM plan).
+        assert_eq!(ctx.stats().plans_built as usize, 2 * (1 + 2 * 2));
     }
 }

@@ -9,7 +9,8 @@
 //!
 //! Without an argument, a small example structure is generated inline.
 
-use vecsparse::api::{profile_spmm, SpmmAlgo};
+use vecsparse::engine::Context;
+use vecsparse::SpmmAlgo;
 use vecsparse_formats::smtx::Smtx;
 use vecsparse_formats::{gen, Layout};
 use vecsparse_fp16::f16;
@@ -38,13 +39,13 @@ fn main() {
 
     // Fig. 16: the row pointers and column indices become *vector*
     // pointers/indices; each indexed position gets a random V-vector.
-    let gpu = GpuConfig::default();
+    let ctx = Context::with_gpu(GpuConfig::default());
     let n = 256;
     for v in [2usize, 4, 8] {
         let a = smtx.to_vector_sparse::<f16>(v, 11);
         let b = gen::random_dense::<f16>(a.cols(), n, Layout::RowMajor, 12);
-        let octet = profile_spmm(&gpu, &a, &b, SpmmAlgo::Octet);
-        let dense = profile_spmm(&gpu, &a, &b, SpmmAlgo::Dense);
+        let octet = ctx.profile_spmm(&a, &b, SpmmAlgo::Octet);
+        let dense = ctx.profile_spmm(&a, &b, SpmmAlgo::Dense);
         println!(
             "  V={v}: A is {}x{}, octet {:.0} cycles, dense {:.0} cycles -> {:.2}x",
             a.rows(),

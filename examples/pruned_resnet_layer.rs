@@ -6,13 +6,14 @@
 //! cargo run --release --example pruned_resnet_layer
 //! ```
 
-use vecsparse::api::{profile_spmm, SpmmAlgo};
+use vecsparse::engine::Context;
+use vecsparse::SpmmAlgo;
 use vecsparse_bench::rhs_for;
 use vecsparse_dlmc::{resnet50_shapes, Benchmark, SPARSITIES};
 use vecsparse_gpu_sim::GpuConfig;
 
 fn main() {
-    let gpu = GpuConfig::default();
+    let ctx = Context::with_gpu(GpuConfig::default());
     let shape = resnet50_shapes()
         .into_iter()
         .find(|s| s.name == "conv4_3x3")
@@ -28,8 +29,8 @@ fn main() {
     for s in SPARSITIES {
         let bench = Benchmark::build(shape, 4, s);
         let b = rhs_for(&bench, n);
-        let dense = profile_spmm(&gpu, &bench.matrix, &b, SpmmAlgo::Dense);
-        let octet = profile_spmm(&gpu, &bench.matrix, &b, SpmmAlgo::Octet);
+        let dense = ctx.profile_spmm(&bench.matrix, &b, SpmmAlgo::Dense);
+        let octet = ctx.profile_spmm(&bench.matrix, &b, SpmmAlgo::Octet);
         println!(
             "    {s:.2}  {:>11.0}  {:>11.0}   {:>6.2}x{}",
             dense.cycles,

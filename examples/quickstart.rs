@@ -5,7 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use vecsparse::api::{profile_spmm, spmm, SpmmAlgo};
+use vecsparse::engine::Context;
+use vecsparse::SpmmAlgo;
 use vecsparse_formats::{gen, reference, Layout};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::GpuConfig;
@@ -27,7 +28,10 @@ fn main() {
     );
 
     // Functional execution through the TCU-based 1-D Octet Tiling kernel.
-    let c = spmm(&a, &b, SpmmAlgo::Octet);
+    // A plan encodes and stages A once; repeated runs reuse the staging.
+    let ctx = Context::new();
+    let plan = ctx.plan_spmm(&a, b.cols(), SpmmAlgo::Octet);
+    let c = plan.run(&b);
     let want = reference::spmm_vs(&a, &b);
     println!(
         "octet SpMM result: {}x{}, max |err| vs reference = {}",
@@ -37,9 +41,9 @@ fn main() {
     );
 
     // Performance model: compare against every baseline on a V100-like
-    // device.
-    let gpu = GpuConfig::default();
-    let dense = profile_spmm(&gpu, &a, &b, SpmmAlgo::Dense);
+    // device, then let the tuner pick for us.
+    let ctx = Context::with_gpu(GpuConfig::default());
+    let dense = ctx.profile_spmm(&a, &b, SpmmAlgo::Dense);
     println!();
     println!("cycles on the simulated V100 (lower is better):");
     for algo in [
@@ -48,7 +52,7 @@ fn main() {
         SpmmAlgo::BlockedEll,
         SpmmAlgo::Octet,
     ] {
-        let p = profile_spmm(&gpu, &a, &b, algo);
+        let p = ctx.profile_spmm(&a, &b, algo);
         println!(
             "  {:<24} {:>12.0} cycles   {:>5.2}x vs dense   (grid {}, {} static instrs)",
             p.name,
@@ -58,4 +62,7 @@ fn main() {
             p.static_instrs,
         );
     }
+    let auto = ctx.plan_spmm(&a, b.cols(), SpmmAlgo::Auto);
+    println!();
+    println!("tuner (SpmmAlgo::Auto) picked: {}", auto.algo().label());
 }

@@ -6,6 +6,7 @@
 //! cargo run --release --example sparse_attention
 //! ```
 
+use vecsparse::engine::Context;
 use vecsparse_formats::{gen, Layout};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::GpuConfig;
@@ -17,6 +18,7 @@ use vecsparse_transformer::AttentionConfig;
 
 fn main() {
     let gpu = GpuConfig::default();
+    let ctx = Context::with_gpu(gpu.clone());
 
     // Functional check on a small head.
     let cfg_small = AttentionConfig {
@@ -31,7 +33,7 @@ fn main() {
     let q = gen::random_dense::<f16>(128, 32, Layout::RowMajor, 1);
     let k = gen::random_dense::<f16>(128, 32, Layout::RowMajor, 2);
     let v = gen::random_dense::<f16>(128, 32, Layout::RowMajor, 3);
-    let got = sparse_attention_head(&gpu, &q, &k, &v, &mask);
+    let got = sparse_attention_head(&ctx, &q, &k, &v, &mask);
     let want = dense_attention_reference(&q, &k, &v, &mask);
     println!(
         "kernel-pipeline attention vs reference: max |err| = {}",

@@ -1,9 +1,10 @@
 //! Cross-crate integration tests: the whole stack — formats → simulator →
 //! kernels → application — exercised together.
 
-use vecsparse::api::{profile_sddmm, profile_spmm, sddmm, spmm, SddmmAlgo, SpmmAlgo};
+use vecsparse::engine::Context;
 use vecsparse::sddmm::OctetVariant;
 use vecsparse::softmax::softmax_vs;
+use vecsparse::{SddmmAlgo, SpmmAlgo};
 use vecsparse_dlmc::{Benchmark, LayerShape};
 use vecsparse_formats::{gen, reference, Layout};
 use vecsparse_fp16::f16;
@@ -27,8 +28,14 @@ fn spmm_stack_on_dlmc_benchmark() {
     );
     let b = gen::random_dense::<f16>(bench.cols(), 64, Layout::RowMajor, 1);
     let want = reference::spmm_vs(&bench.matrix, &b);
-    for algo in [SpmmAlgo::Octet, SpmmAlgo::FpuSubwarp, SpmmAlgo::Dense] {
-        let got = spmm(&bench.matrix, &b, algo);
+    let ctx = Context::new();
+    for algo in [
+        SpmmAlgo::Octet,
+        SpmmAlgo::FpuSubwarp,
+        SpmmAlgo::Dense,
+        SpmmAlgo::Auto,
+    ] {
+        let got = ctx.spmm(&bench.matrix, &b, algo);
         assert_eq!(got.max_abs_diff(&want), 0.0, "{algo:?}");
     }
 }
@@ -40,14 +47,16 @@ fn sddmm_stack_agrees() {
     let bt = gen::random_dense::<f16>(64, 96, Layout::ColMajor, 3);
     let mask = gen::random_pattern(32, 96, 8, 0.75, 4);
     let want = reference::sddmm(&a, &bt, &mask);
+    let ctx = Context::new();
     for algo in [
         SddmmAlgo::OctetReg,
         SddmmAlgo::OctetShfl,
         SddmmAlgo::OctetArch,
         SddmmAlgo::FpuSubwarp,
         SddmmAlgo::Wmma,
+        SddmmAlgo::Auto,
     ] {
-        let got = sddmm(&a, &bt, &mask, algo);
+        let got = ctx.sddmm(&a, &bt, &mask, algo);
         for (g, w) in got.values().iter().zip(want.values()) {
             assert_eq!(g, w, "{algo:?}");
         }
@@ -71,7 +80,7 @@ fn attention_pipeline_end_to_end() {
     let q = gen::random_dense::<f16>(96, 32, Layout::RowMajor, 6);
     let k = gen::random_dense::<f16>(96, 32, Layout::RowMajor, 7);
     let v = gen::random_dense::<f16>(96, 32, Layout::RowMajor, 8);
-    let got = sparse_attention_head(&gpu, &q, &k, &v, &mask);
+    let got = sparse_attention_head(&Context::with_gpu(gpu), &q, &k, &v, &mask);
     let want = dense_attention_reference(&q, &k, &v, &mask);
     assert!(
         got.max_abs_diff(&want) < 5e-3,
@@ -87,7 +96,7 @@ fn sddmm_then_softmax_rows_sum_to_one() {
     let a = gen::random_dense::<f16>(32, 64, Layout::RowMajor, 9);
     let bt = gen::random_dense::<f16>(64, 64, Layout::ColMajor, 10);
     let mask = gen::random_pattern(32, 64, 4, 0.8, 11);
-    let scores = sddmm(&a, &bt, &mask, SddmmAlgo::OctetArch);
+    let scores = Context::new().sddmm(&a, &bt, &mask, SddmmAlgo::OctetArch);
     let probs = softmax_vs(&gpu, &scores);
     let p = probs.pattern();
     for br in 0..p.block_rows() {
@@ -116,10 +125,15 @@ fn performance_orderings_hold() {
         0.9,
     );
     let b = gen::random_dense::<f16>(bench.cols(), 256, Layout::RowMajor, 12);
-    let octet = profile_spmm(&gpu, &bench.matrix, &b, SpmmAlgo::Octet);
-    let fpu = profile_spmm(&gpu, &bench.matrix, &b, SpmmAlgo::FpuSubwarp);
-    let ell = profile_spmm(&gpu, &bench.matrix, &b, SpmmAlgo::BlockedEll);
-    let dense = profile_spmm(&gpu, &bench.matrix, &b, SpmmAlgo::Dense);
+    let ctx = Context::with_gpu(gpu);
+    let octet = ctx.profile_spmm(&bench.matrix, &b, SpmmAlgo::Octet);
+    let fpu = ctx.profile_spmm(&bench.matrix, &b, SpmmAlgo::FpuSubwarp);
+    let ell = ctx.profile_spmm(&bench.matrix, &b, SpmmAlgo::BlockedEll);
+    let dense = ctx.profile_spmm(&bench.matrix, &b, SpmmAlgo::Dense);
+    // The tuner must agree with the headline ordering: Auto resolves to
+    // the octet kernel here and never profiles worse than any fixed algo.
+    let auto = ctx.plan_spmm(&bench.matrix, 256, SpmmAlgo::Auto);
+    assert_eq!(auto.algo(), SpmmAlgo::Octet);
     assert!(
         octet.cycles < ell.cycles,
         "octet {} ell {}",
@@ -148,9 +162,10 @@ fn sddmm_arch_variant_is_best() {
     let a = gen::random_dense::<f16>(512, 256, Layout::RowMajor, 13);
     let bt = gen::random_dense::<f16>(256, 512, Layout::ColMajor, 14);
     let mask = gen::random_pattern(512, 512, 8, 0.9, 15);
-    let arch = profile_sddmm(&gpu, &a, &bt, &mask, SddmmAlgo::OctetArch);
-    let reg = profile_sddmm(&gpu, &a, &bt, &mask, SddmmAlgo::OctetReg);
-    let shfl = profile_sddmm(&gpu, &a, &bt, &mask, SddmmAlgo::OctetShfl);
+    let ctx = Context::with_gpu(gpu);
+    let arch = ctx.profile_sddmm(&a, &bt, &mask, SddmmAlgo::OctetArch);
+    let reg = ctx.profile_sddmm(&a, &bt, &mask, SddmmAlgo::OctetReg);
+    let shfl = ctx.profile_sddmm(&a, &bt, &mask, SddmmAlgo::OctetShfl);
     assert!(arch.cycles <= reg.cycles * 1.02);
     assert!(arch.cycles <= shfl.cycles * 1.02);
     let _ = OctetVariant::Arch;
@@ -193,9 +208,10 @@ fn empty_block_rows_are_fine() {
     let a = VectorSparse::new(pattern, values);
     let b = gen::random_dense::<f16>(16, 64, Layout::RowMajor, 20);
     let want = reference::spmm_vs(&a, &b);
-    let got = spmm(&a, &b, SpmmAlgo::Octet);
+    let ctx = Context::new();
+    let got = ctx.spmm(&a, &b, SpmmAlgo::Octet);
     assert_eq!(got.max_abs_diff(&want), 0.0);
-    let got_fpu = spmm(&a, &b, SpmmAlgo::FpuSubwarp);
+    let got_fpu = ctx.spmm(&a, &b, SpmmAlgo::FpuSubwarp);
     assert_eq!(got_fpu.max_abs_diff(&want), 0.0);
 }
 
@@ -204,10 +220,11 @@ fn empty_block_rows_are_fine() {
 #[test]
 fn unaligned_rhs_width() {
     let a = gen::random_vector_sparse::<f16>(16, 64, 4, 0.6, 21);
+    let ctx = Context::new();
     for n in [40usize, 72, 100] {
         let b = gen::random_dense::<f16>(64, n, Layout::RowMajor, 22);
         let want = reference::spmm_vs(&a, &b);
-        let got = spmm(&a, &b, SpmmAlgo::Octet);
+        let got = ctx.spmm(&a, &b, SpmmAlgo::Octet);
         assert_eq!(got.max_abs_diff(&want), 0.0, "N={n}");
     }
 }
@@ -247,12 +264,13 @@ fn row_sparse_case2() {
     let a = gen::fill_pattern::<f16>(pattern.clone(), 24);
     let b = gen::random_dense::<f16>(48, 64, Layout::RowMajor, 25);
     let want = reference::spmm_vs(&a, &b);
-    let got = spmm(&a, &b, SpmmAlgo::Octet);
+    let ctx = Context::new();
+    let got = ctx.spmm(&a, &b, SpmmAlgo::Octet);
     assert_eq!(got.max_abs_diff(&want), 0.0);
     // And as an SDDMM mask.
     let q = gen::random_dense::<f16>(32, 32, Layout::RowMajor, 26);
     let kt = gen::random_dense::<f16>(32, 48, Layout::ColMajor, 27);
-    let got2 = sddmm(&q, &kt, &pattern, SddmmAlgo::OctetArch);
+    let got2 = ctx.sddmm(&q, &kt, &pattern, SddmmAlgo::OctetArch);
     let want2 = reference::sddmm(&q, &kt, &pattern);
     for (g, w) in got2.values().iter().zip(want2.values()) {
         assert_eq!(g, w);
@@ -294,8 +312,9 @@ fn unaligned_rhs_all_kernels() {
     let a = gen::random_vector_sparse::<f16>(16, 64, 4, 0.7, 32);
     let b = gen::random_dense::<f16>(64, 88, Layout::RowMajor, 33);
     let want = reference::spmm_vs(&a, &b);
+    let ctx = Context::new();
     for algo in [SpmmAlgo::Octet, SpmmAlgo::FpuSubwarp] {
-        let got = spmm(&a, &b, algo);
+        let got = ctx.spmm(&a, &b, algo);
         assert_eq!(got.max_abs_diff(&want), 0.0, "{algo:?}");
     }
     // Blocked-ELL at an unaligned width against its own dense image.
@@ -315,8 +334,9 @@ fn extrapolation_scales_with_grid() {
     let b = gen::random_dense::<f16>(256, 256, Layout::RowMajor, 40);
     let small = gen::random_vector_sparse::<f16>(1024, 256, 4, 0.9, 41);
     let big = gen::random_vector_sparse::<f16>(4096, 256, 4, 0.9, 41);
-    let ps = profile_spmm(&gpu, &small, &b, SpmmAlgo::Octet);
-    let pb = profile_spmm(&gpu, &big, &b, SpmmAlgo::Octet);
+    let ctx = Context::with_gpu(gpu);
+    let ps = ctx.profile_spmm(&small, &b, SpmmAlgo::Octet);
+    let pb = ctx.profile_spmm(&big, &b, SpmmAlgo::Octet);
     assert_eq!(pb.grid, 4 * ps.grid);
     let ratio = pb.instrs.total() as f64 / ps.instrs.total() as f64;
     assert!((3.0..5.0).contains(&ratio), "instr ratio {ratio}");
@@ -329,10 +349,11 @@ fn extrapolation_scales_with_grid() {
 fn cycles_monotone_in_sparsity() {
     let gpu = GpuConfig::default();
     let b = gen::random_dense::<f16>(512, 256, Layout::RowMajor, 42);
+    let ctx = Context::with_gpu(gpu);
     let mut last = f64::INFINITY;
     for s in [0.5, 0.7, 0.9, 0.98] {
         let a = gen::random_vector_sparse::<f16>(1024, 512, 4, s, 43);
-        let p = profile_spmm(&gpu, &a, &b, SpmmAlgo::Octet);
+        let p = ctx.profile_spmm(&a, &b, SpmmAlgo::Octet);
         assert!(p.cycles < last, "S={s}: {} !< {last}", p.cycles);
         last = p.cycles;
     }

@@ -2,8 +2,9 @@
 //! kernel invariants.
 
 use proptest::prelude::*;
-use vecsparse::api::{spmm, SpmmAlgo};
+use vecsparse::engine::Context;
 use vecsparse::sddmm::{sddmm_octet, OctetVariant};
+use vecsparse::SpmmAlgo;
 use vecsparse_formats::{gen, reference, Csr, DenseMatrix, Layout, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::GpuConfig;
@@ -130,15 +131,16 @@ proptest! {
     /// SpMM is linear in A: scaling all values scales the output.
     #[test]
     fn spmm_scales_linearly((rows, cols, v, s, seed) in vs_params()) {
+        let ctx = Context::new();
         let a = gen::random_vector_sparse::<f16>(rows, cols, v, s, seed);
         let b = gen::random_dense::<f16>(cols, 32, Layout::RowMajor, seed ^ 5);
-        let c1 = spmm(&a, &b, SpmmAlgo::Octet);
+        let c1 = ctx.spmm(&a, &b, SpmmAlgo::Octet);
         // Double every value of A (exact in f16 for our range).
         let doubled = VectorSparse::new(
             a.pattern().clone(),
             a.values().iter().map(|x| f16::from_f32(x.to_f32() * 2.0)).collect(),
         );
-        let c2 = spmm(&doubled, &b, SpmmAlgo::Octet);
+        let c2 = ctx.spmm(&doubled, &b, SpmmAlgo::Octet);
         for r in 0..c1.rows() {
             for cidx in 0..c1.cols() {
                 let x = c1.get(r, cidx).to_f32() * 2.0;
