@@ -2,12 +2,21 @@
 //! re-execution of a 16-element SpMM batch vs the deprecated
 //! `batch::spmm_batch`, which re-plans, re-encodes, and (with `Auto`)
 //! re-tunes on every element.
+//!
+//! Set `VECSPARSE_TRACE=trace.json` to record the warm-up pass (plan,
+//! tune, stage, first batch run) through the engine's telemetry sink and
+//! write a Perfetto trace to that path. Only the warm-up is traced — the
+//! timed iterations run with the sink the context was built with, so the
+//! numbers include whatever overhead the chosen mode has.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
 use vecsparse::engine::Context;
 use vecsparse::SpmmAlgo;
 use vecsparse_formats::{gen, Layout};
 use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::{GpuConfig, TraceSink};
+use vecsparse_telemetry::{perfetto, DEFAULT_CAPACITY};
 
 fn batch16(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/spmm_batch16");
@@ -17,9 +26,20 @@ fn batch16(c: &mut Criterion) {
         .map(|i| gen::random_dense::<f16>(128, 64, Layout::RowMajor, 100 + i))
         .collect();
 
-    let ctx = Context::new();
+    let trace_path = std::env::var("VECSPARSE_TRACE").ok();
+    let sink = if trace_path.is_some() {
+        Arc::new(TraceSink::enabled(DEFAULT_CAPACITY))
+    } else {
+        Arc::new(TraceSink::disabled())
+    };
+    let ctx = Context::with_telemetry(GpuConfig::default(), Arc::clone(&sink));
     let plan = ctx.plan_spmm(&a, 64, SpmmAlgo::Auto);
     plan.run_batch(&batch); // warm: tune + stage once, outside the timer
+    if let Some(path) = &trace_path {
+        let doc = perfetto::export_json(&sink);
+        std::fs::write(path, doc).expect("write VECSPARSE_TRACE output");
+        eprintln!("wrote {path} ({} events)", sink.events().len());
+    }
     group.bench_function("cached_plan", |b| b.iter(|| plan.run_batch(&batch)));
     group.bench_function("deprecated_spmm_batch", |b| {
         b.iter(|| {

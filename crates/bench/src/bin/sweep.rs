@@ -5,26 +5,46 @@
 //! cargo run --release -p vecsparse-bench --bin sweep -- \
 //!     --m 2048 --k 1024 --n 256 --v 4 --sparsity 0.9 [--seed 42] \
 //!     [--algo auto] [--json results.json] [--expect-auto spmm-octet] \
-//!     [--sanitize]
+//!     [--sanitize] [--trace trace.json] [--csv counters.csv] [--report]
 //! ```
 //!
 //! * `--algo auto` adds an `auto` row: the engine's tuner picks among the
 //!   numerically exact kernels and the row reports what it chose.
 //! * `--json PATH` writes the sweep rows (plus the tuner decision, if
-//!   any) as a JSON document for CI artifacts.
+//!   any) as a JSON document for CI artifacts. The document carries a
+//!   `schema_version` and the hash of the simulated GPU config so
+//!   downstream tooling can reject rows from a different machine model.
 //! * `--expect-auto LABEL` asserts the tuner picked `LABEL`
 //!   (e.g. `spmm-octet`) and exits 1 otherwise; implies `--algo auto`.
 //! * `--sanitize` additionally runs every registry kernel through
 //!   `vecsparse-sanitizer` at the sweep shape before profiling, and
 //!   aborts (exit 1) on any deny-level finding — profiling a kernel the
 //!   checker rejects would benchmark undefined behaviour.
+//! * `--trace PATH` records the whole sweep through the engine's
+//!   telemetry sink and writes a Chrome/Perfetto `trace.json`: engine
+//!   spans (plan/tune/stage/run) on the engine track, one process per
+//!   kernel launch with per-SM-scheduler issue/stall timelines. The
+//!   document is round-tripped through a JSON parser before it is
+//!   written, so a corrupt export fails the sweep rather than CI's
+//!   downstream consumer.
+//! * `--csv PATH` dumps one `KernelProfile` row per sweep entry
+//!   (including the roofline columns) plus, when tracing, the sink's
+//!   counter samples.
+//! * `--report` prints the engine's aggregated [`Report`] table (cache
+//!   hit ratio, tuner launches, per-algo run/profile/cycle totals).
 
+use std::sync::Arc;
 use vecsparse::engine::Context;
 use vecsparse::SpmmAlgo;
 use vecsparse_bench::{device, Table};
 use vecsparse_formats::{gen, Layout};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::KernelProfile;
+use vecsparse_telemetry::{csv as telemetry_csv, perfetto, TraceSink, DEFAULT_CAPACITY};
+
+/// Version of the `--json` document layout. Bump when fields change
+/// meaning or move; additions are allowed within a version.
+const JSON_SCHEMA_VERSION: u32 = 2;
 
 fn arg(name: &str, default: f64) -> f64 {
     let args: Vec<String> = std::env::args().collect();
@@ -62,6 +82,9 @@ fn main() {
     let seed = arg("--seed", 42.0) as u64;
     let expect_auto = arg_str("--expect-auto");
     let json_path = arg_str("--json");
+    let trace_path = arg_str("--trace");
+    let csv_path = arg_str("--csv");
+    let want_report = std::env::args().any(|a| a == "--report");
     let want_auto = expect_auto.is_some()
         || arg_str("--algo").as_deref() == Some("auto")
         || std::env::args().any(|a| a == "--algo-auto");
@@ -70,6 +93,7 @@ fn main() {
     assert!((0.0..1.0).contains(&sparsity), "--sparsity in [0,1)");
 
     let gpu = device();
+    let gpu_config_hash = gpu.config_hash();
 
     if std::env::args().any(|a| a == "--sanitize") {
         use vecsparse::registry::{self, Shape, ALL_KERNELS};
@@ -98,7 +122,12 @@ fn main() {
         }
     }
 
-    let ctx = Context::with_gpu(gpu);
+    let sink = if trace_path.is_some() {
+        Arc::new(TraceSink::enabled(DEFAULT_CAPACITY))
+    } else {
+        Arc::new(TraceSink::disabled())
+    };
+    let ctx = Context::with_telemetry(gpu, Arc::clone(&sink));
     let a = gen::random_vector_sparse::<f16>(m, k, v, sparsity, seed);
     let b = gen::random_dense::<f16>(k, n, Layout::RowMajor, seed + 1);
 
@@ -144,9 +173,11 @@ fn main() {
         "L2->L1 MB",
         "no-instr",
         "sectors/req",
+        "flop/byte",
     ]);
     for row in &rows {
         let p = &row.profile;
+        let roof = p.roofline();
         t.row(vec![
             row.label.clone(),
             format!("{:.0}", p.cycles),
@@ -156,12 +187,16 @@ fn main() {
             format!("{:.1}", p.bytes_l2_to_l1() as f64 / 1e6),
             format!("{:.1}%", p.stalls.pct_no_instruction()),
             format!("{:.2}", p.l1.sectors_per_request()),
+            format!("{:.2}", roof.intensity()),
         ]);
     }
     t.print();
 
     if let Some(path) = json_path {
         let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"gpu_config_hash\": \"{gpu_config_hash:016x}\",\n"
+        ));
         out.push_str(&format!(
             "  \"shape\": {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"v\": {v}, \"sparsity\": {sparsity}}},\n"
         ));
@@ -171,12 +206,17 @@ fn main() {
         out.push_str("  \"rows\": [\n");
         for (i, row) in rows.iter().enumerate() {
             let p = &row.profile;
+            let roof = p.roofline();
             out.push_str(&format!(
-                "    {{\"kernel\": \"{}\", \"cycles\": {:.1}, \"grid\": {}, \"l2_to_l1_bytes\": {}{}}}{}\n",
+                "    {{\"kernel\": \"{}\", \"cycles\": {:.1}, \"grid\": {}, \"l2_to_l1_bytes\": {}, \
+                 \"flops\": {}, \"dram_bytes\": {}, \"intensity\": {:.4}{}}}{}\n",
                 json_escape(&row.label),
                 p.cycles,
                 p.grid,
                 p.bytes_l2_to_l1(),
+                roof.flops,
+                roof.bytes,
+                roof.intensity(),
                 row.tuned
                     .as_ref()
                     .map(|t| format!(", \"tuned\": \"{}\"", json_escape(t)))
@@ -185,8 +225,51 @@ fn main() {
             ));
         }
         out.push_str("  ]\n}\n");
+        // The document must parse: CI consumes it with a JSON parser.
+        serde_json::from_str(&out).expect("--json output must be valid JSON");
         std::fs::write(&path, out).expect("write --json output");
         println!("wrote {path}");
+    }
+
+    if let Some(path) = csv_path {
+        let mut out = String::new();
+        out.push_str(KernelProfile::csv_header());
+        out.push('\n');
+        for row in &rows {
+            out.push_str(&row.profile.csv_row());
+            out.push('\n');
+        }
+        if sink.is_enabled() {
+            out.push('\n');
+            out.push_str(&telemetry_csv::export_counters(&sink));
+        }
+        std::fs::write(&path, out).expect("write --csv output");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = trace_path {
+        let doc = perfetto::export_json(&sink);
+        // Round-trip before writing: a malformed trace should fail here,
+        // not in the Perfetto UI or the CI assertion step.
+        let parsed = serde_json::from_str(&doc).expect("trace export must be valid JSON");
+        let events = parsed["traceEvents"]
+            .as_array()
+            .expect("traceEvents must be an array");
+        assert!(
+            !events.is_empty(),
+            "traced sweep produced no events; is the sink enabled?"
+        );
+        std::fs::write(&path, &doc).expect("write --trace output");
+        println!(
+            "wrote {path} ({} events, {} dropped)",
+            sink.events().len(),
+            sink.dropped()
+        );
+    }
+
+    if want_report {
+        println!();
+        print!("{}", ctx.report().render());
     }
 
     if let Some(want) = expect_auto {

@@ -8,9 +8,11 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use vecsparse_bench::{device, quick_mode, Table};
 use vecsparse_formats::gen;
-use vecsparse_transformer::attention::{dense_attention_latency, sparse_attention_latency};
+use vecsparse_telemetry::{perfetto, TraceSink, DEFAULT_CAPACITY};
+use vecsparse_transformer::attention::{dense_attention_latency, sparse_attention_latency_traced};
 use vecsparse_transformer::memory::{attention_peak_memory, Precision};
 use vecsparse_transformer::model::{EvalMode, SyntheticTask, TinyTransformer, TrainConfig};
 use vecsparse_transformer::AttentionConfig;
@@ -23,6 +25,19 @@ const BATCH: usize = 8;
 fn main() {
     let gpu = device();
     let quick = quick_mode();
+    // `--trace PATH` records the sparse attention profiling pass (engine
+    // spans + per-scheduler kernel timelines) as a Perfetto trace.
+    let args: Vec<String> = std::env::args().collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let sink = if trace_path.is_some() {
+        Arc::new(TraceSink::enabled(DEFAULT_CAPACITY))
+    } else {
+        Arc::new(TraceSink::disabled())
+    };
     let cfg = if quick {
         AttentionConfig {
             seq_len: 1024,
@@ -67,7 +82,7 @@ fn main() {
     // --- Throughput ----------------------------------------------------
     // Per-sequence attention-stack cycles; FFN and projections scale
     // 2:1 with the "others" term, absorbed into the layer totals.
-    let sparse_lat = sparse_attention_latency(&gpu, &cfg);
+    let sparse_lat = sparse_attention_latency_traced(&gpu, &cfg, Arc::clone(&sink));
     let dense_lat = dense_attention_latency(&gpu, &cfg);
     // Dense float: the single-precision pipeline is ~2.4x the half one
     // (no TCU, double traffic) — measured from the dense GEMM kernels.
@@ -128,4 +143,15 @@ fn main() {
         "accuracy delta sparse vs dense: {:+.2}% (paper: -0.11%)",
         100.0 * (acc_sparse_f16 - acc_dense_f32)
     );
+
+    if let Some(path) = trace_path {
+        let doc = perfetto::export_json(&sink);
+        std::fs::write(&path, doc).expect("write --trace output");
+        println!();
+        println!(
+            "wrote {path} ({} events, {} dropped)",
+            sink.events().len(),
+            sink.dropped()
+        );
+    }
 }

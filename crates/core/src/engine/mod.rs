@@ -37,20 +37,24 @@
 //! assert_eq!(c.max_abs_diff(&c2), 0.0);
 //! ```
 
+mod error;
+mod report;
 mod sddmm_plan;
 mod spmm_plan;
 pub mod tuner;
 
+pub use error::EngineError;
+pub use report::{AlgoReport, Report};
 pub use sddmm_plan::{SddmmDesc, SddmmPlan};
 pub use spmm_plan::{SpmmDesc, SpmmPlan};
 
 use crate::api::{SddmmAlgo, SpmmAlgo};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, PoisonError};
 use vecsparse_formats::{gen, BlockedEll, DenseMatrix, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
-use vecsparse_gpu_sim::{GpuConfig, KernelProfile};
+use vecsparse_gpu_sim::{GpuConfig, KernelProfile, TraceSink, Track};
 
 /// Granularity of the sparsity axis of the plan-cache key: sparsities are
 /// bucketed to 1/64 before lookup, so two problems whose zero fractions
@@ -59,6 +63,11 @@ pub const SPARSITY_BUCKETS: f64 = 64.0;
 
 /// Plan-cache key: everything the tuner's decision depends on. Two
 /// problems with the same key get the same algorithm without re-tuning.
+///
+/// The fields are private (read them through the accessors): the key's
+/// composition is an implementation detail of the cache, and callers
+/// observing it — e.g. via [`Context::cached_keys`] — must not be able
+/// to depend on, or forge, its internals.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PlanKey {
     op: OpKind,
@@ -69,9 +78,39 @@ pub struct PlanKey {
     sparsity_bucket: u32,
 }
 
+impl PlanKey {
+    /// Which operation this key caches a decision for.
+    pub fn op(&self) -> OpKind {
+        self.op
+    }
+    /// Output rows.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+    /// Inner dimension.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+    /// Output columns (SpMM RHS width / SDDMM mask columns).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+    /// Column-vector length of the structural operand.
+    pub fn v(&self) -> usize {
+        self.v
+    }
+    /// Bucketed sparsity (units of `1 /` [`SPARSITY_BUCKETS`]).
+    pub fn sparsity_bucket(&self) -> u32 {
+        self.sparsity_bucket
+    }
+}
+
+/// The operation class of a cached tuning decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-enum OpKind {
+pub enum OpKind {
+    /// Sparse × dense matrix multiply.
     Spmm,
+    /// Sampled dense × dense matrix multiply.
     Sddmm,
 }
 
@@ -99,17 +138,48 @@ pub struct EngineStats {
     pub plans_built: u64,
 }
 
+/// Per-algorithm aggregate, keyed by the kernel label.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct AlgoAgg {
+    pub(crate) runs: u64,
+    pub(crate) profiles: u64,
+    pub(crate) cycles: f64,
+}
+
 #[derive(Default)]
 pub(crate) struct Counters {
     tuner_launches: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     plans_built: AtomicU64,
+    /// Per-algorithm run/profile/cycle aggregation for [`Report`].
+    algos: Mutex<HashMap<&'static str, AlgoAgg>>,
 }
 
 impl Counters {
     pub(crate) fn count_tuner_launch(&self) {
         self.tuner_launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn algos_lock(&self) -> std::sync::MutexGuard<'_, HashMap<&'static str, AlgoAgg>> {
+        self.algos.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn record_run(&self, label: &'static str) {
+        self.algos_lock().entry(label).or_default().runs += 1;
+    }
+
+    pub(crate) fn record_profile(&self, label: &'static str, cycles: f64) {
+        let mut algos = self.algos_lock();
+        let agg = algos.entry(label).or_default();
+        agg.profiles += 1;
+        agg.cycles += cycles;
+    }
+
+    pub(crate) fn algo_snapshot(&self) -> Vec<(&'static str, AlgoAgg)> {
+        let mut v: Vec<_> = self.algos_lock().iter().map(|(k, a)| (*k, *a)).collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
     }
 }
 
@@ -122,7 +192,8 @@ impl Counters {
 pub struct Context {
     gpu: GpuConfig,
     cache: Mutex<HashMap<PlanKey, Choice>>,
-    counters: Counters,
+    counters: Arc<Counters>,
+    sink: Arc<TraceSink>,
 }
 
 impl Default for Context {
@@ -139,16 +210,46 @@ impl Context {
 
     /// Handle on a specific simulated device.
     pub fn with_gpu(gpu: GpuConfig) -> Self {
+        Self::with_telemetry(gpu, Arc::new(TraceSink::disabled()))
+    }
+
+    /// Handle with a telemetry sink. Every plan build, tune, stage and
+    /// run through this context records engine-level spans to `sink`,
+    /// and performance launches record their per-scheduler kernel
+    /// timelines beneath them. With a disabled sink this is exactly
+    /// [`Context::with_gpu`].
+    pub fn with_telemetry(gpu: GpuConfig, sink: Arc<TraceSink>) -> Self {
+        if sink.is_enabled() {
+            sink.name_process(Track::ENGINE.pid, "engine");
+            sink.name_thread(Track::ENGINE, "engine");
+        }
         Context {
             gpu,
             cache: Mutex::new(HashMap::new()),
-            counters: Counters::default(),
+            counters: Arc::new(Counters::default()),
+            sink,
         }
     }
 
     /// The simulated device this context plans for.
     pub fn gpu(&self) -> &GpuConfig {
         &self.gpu
+    }
+
+    /// The telemetry sink this context records to (disabled by default).
+    pub fn sink(&self) -> &Arc<TraceSink> {
+        &self.sink
+    }
+
+    /// The plan-cache keys currently holding a tuning decision.
+    pub fn cached_keys(&self) -> Vec<PlanKey> {
+        let mut keys: Vec<PlanKey> = self.cache_lock().keys().copied().collect();
+        keys.sort_by_key(|k| (k.m, k.k, k.n, k.v, k.sparsity_bucket));
+        keys
+    }
+
+    fn cache_lock(&self) -> std::sync::MutexGuard<'_, HashMap<PlanKey, Choice>> {
+        self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Snapshot of the cache/tuner counters.
@@ -161,17 +262,49 @@ impl Context {
         }
     }
 
+    /// Aggregate everything this context observed — cache behaviour,
+    /// tuner activity, per-algorithm run counts and cycles, trace-sink
+    /// occupancy — into a [`Report`].
+    pub fn report(&self) -> Report {
+        Report {
+            stats: self.stats(),
+            algos: self
+                .counters
+                .algo_snapshot()
+                .into_iter()
+                .map(|(label, agg)| AlgoReport {
+                    algo: label,
+                    runs: agg.runs,
+                    profiles: agg.profiles,
+                    total_cycles: agg.cycles,
+                })
+                .collect(),
+            cached_plans: self.cache_lock().len(),
+            trace_events: self.sink.events().len(),
+            trace_dropped: self.sink.dropped(),
+        }
+    }
+
     /// Capture an SpMM problem `C[m×n] = A[m×k] · B[k×n]` as a plan.
     ///
     /// The sparse operand is encoded and staged **now**; `n` is the RHS
     /// width every later [`SpmmPlan::run`] must match. With
     /// [`SpmmAlgo::Auto`] the algorithm is resolved through the plan
     /// cache, tuning at most once per descriptor.
-    ///
-    /// # Panics
-    /// Panics if `n == 0` or the operand's V is unsupported.
-    pub fn plan_spmm(&self, a: &VectorSparse<f16>, n: usize, algo: SpmmAlgo) -> SpmmPlan {
-        assert!(n > 0, "empty RHS");
+    pub fn try_plan_spmm(
+        &self,
+        a: &VectorSparse<f16>,
+        n: usize,
+        algo: SpmmAlgo,
+    ) -> Result<SpmmPlan, EngineError> {
+        if n == 0 {
+            return Err(EngineError::EmptyDimension {
+                what: "n (RHS columns)",
+            });
+        }
+        if !matches!(a.v(), 1 | 2 | 4 | 8) {
+            return Err(EngineError::UnsupportedV { v: a.v() });
+        }
         let desc = SpmmDesc {
             m: a.rows(),
             k: a.cols(),
@@ -179,20 +312,57 @@ impl Context {
             v: a.v(),
             sparsity: a.pattern().sparsity(),
         };
+        let mut plan_span = self.sink.span(Track::ENGINE, "plan spmm", "engine");
+        plan_span.arg("m", desc.m);
+        plan_span.arg("k", desc.k);
+        plan_span.arg("n", desc.n);
+        plan_span.arg("v", desc.v);
         let resolved = self.resolve_spmm(&desc, algo, a);
+        plan_span.arg("algo", resolved.label());
+        let plan = {
+            let _stage = self.sink.span(Track::ENGINE, "stage spmm", "engine");
+            SpmmPlan::build(
+                self.gpu.clone(),
+                desc,
+                algo,
+                resolved,
+                a,
+                Arc::clone(&self.sink),
+                Arc::clone(&self.counters),
+            )
+        };
         self.counters.plans_built.fetch_add(1, Ordering::Relaxed);
-        SpmmPlan::build(self.gpu.clone(), desc, algo, resolved, a)
+        Ok(plan)
+    }
+
+    /// Infallible [`Context::try_plan_spmm`].
+    ///
+    /// # Panics
+    /// Panics with the [`EngineError`] message if `n == 0` or the
+    /// operand's V is unsupported.
+    pub fn plan_spmm(&self, a: &VectorSparse<f16>, n: usize, algo: SpmmAlgo) -> SpmmPlan {
+        self.try_plan_spmm(a, n, algo)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Capture an SDDMM problem `C = (A[m×k] · B[k×n]) ∘ mask` as a plan.
     ///
     /// The mask is the structural operand shared by every run; `k` is the
     /// inner dimension every later [`SddmmPlan::run`] must match.
-    ///
-    /// # Panics
-    /// Panics if `k == 0` or the mask's V is unsupported.
-    pub fn plan_sddmm(&self, mask: &SparsityPattern, k: usize, algo: SddmmAlgo) -> SddmmPlan {
-        assert!(k > 0, "empty inner dimension");
+    pub fn try_plan_sddmm(
+        &self,
+        mask: &SparsityPattern,
+        k: usize,
+        algo: SddmmAlgo,
+    ) -> Result<SddmmPlan, EngineError> {
+        if k == 0 {
+            return Err(EngineError::EmptyDimension {
+                what: "k (inner dimension)",
+            });
+        }
+        if !matches!(mask.v(), 1 | 2 | 4 | 8) {
+            return Err(EngineError::UnsupportedV { v: mask.v() });
+        }
         let desc = SddmmDesc {
             m: mask.rows(),
             n: mask.cols(),
@@ -200,9 +370,37 @@ impl Context {
             v: mask.v(),
             sparsity: mask.sparsity(),
         };
+        let mut plan_span = self.sink.span(Track::ENGINE, "plan sddmm", "engine");
+        plan_span.arg("m", desc.m);
+        plan_span.arg("k", desc.k);
+        plan_span.arg("n", desc.n);
+        plan_span.arg("v", desc.v);
         let resolved = self.resolve_sddmm(&desc, algo, mask);
+        plan_span.arg("algo", resolved.label());
+        let plan = {
+            let _stage = self.sink.span(Track::ENGINE, "stage sddmm", "engine");
+            SddmmPlan::build(
+                self.gpu.clone(),
+                desc,
+                algo,
+                resolved,
+                mask,
+                Arc::clone(&self.sink),
+                Arc::clone(&self.counters),
+            )
+        };
         self.counters.plans_built.fetch_add(1, Ordering::Relaxed);
-        SddmmPlan::build(self.gpu.clone(), desc, algo, resolved, mask)
+        Ok(plan)
+    }
+
+    /// Infallible [`Context::try_plan_sddmm`].
+    ///
+    /// # Panics
+    /// Panics with the [`EngineError`] message if `k == 0` or the mask's
+    /// V is unsupported.
+    pub fn plan_sddmm(&self, mask: &SparsityPattern, k: usize, algo: SddmmAlgo) -> SddmmPlan {
+        self.try_plan_sddmm(mask, k, algo)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// One-shot SpMM through the engine: plan, run, discard. Algorithm
@@ -261,13 +459,18 @@ impl Context {
             v: desc.v,
             sparsity_bucket: bucket(desc.sparsity),
         };
-        if let Some(Choice::Spmm(cached)) = self.cache.lock().unwrap().get(&key).copied() {
+        if let Some(Choice::Spmm(cached)) = self.cache_lock().get(&key).copied() {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             return cached;
         }
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let tuned = tuner::tune_spmm(&self.gpu, a, desc.n, &self.counters);
-        self.cache.lock().unwrap().insert(key, Choice::Spmm(tuned));
+        let tuned = {
+            let mut tune_span = self.sink.span(Track::ENGINE, "tune spmm", "engine");
+            let tuned = tuner::tune_spmm(&self.gpu, a, desc.n, &self.counters);
+            tune_span.arg("winner", tuned.label());
+            tuned
+        };
+        self.cache_lock().insert(key, Choice::Spmm(tuned));
         tuned
     }
 
@@ -288,13 +491,18 @@ impl Context {
             v: desc.v,
             sparsity_bucket: bucket(desc.sparsity),
         };
-        if let Some(Choice::Sddmm(cached)) = self.cache.lock().unwrap().get(&key).copied() {
+        if let Some(Choice::Sddmm(cached)) = self.cache_lock().get(&key).copied() {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             return cached;
         }
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let tuned = tuner::tune_sddmm(&self.gpu, mask, desc.k, &self.counters);
-        self.cache.lock().unwrap().insert(key, Choice::Sddmm(tuned));
+        let tuned = {
+            let mut tune_span = self.sink.span(Track::ENGINE, "tune sddmm", "engine");
+            let tuned = tuner::tune_sddmm(&self.gpu, mask, desc.k, &self.counters);
+            tune_span.arg("winner", tuned.label());
+            tuned
+        };
+        self.cache_lock().insert(key, Choice::Sddmm(tuned));
         tuned
     }
 }

@@ -1,14 +1,16 @@
 //! A captured SDDMM problem: the mask is the plan's structural operand;
 //! the pool's address space is recycled across runs.
 
-use super::BatchProfile;
+use super::{BatchProfile, Counters, EngineError};
 use crate::api::SddmmAlgo;
 use crate::sddmm::{FpuSubwarpSddmm, OctetSddmm, OctetVariant, WmmaSddmm};
 use rayon::prelude::*;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, PoisonError};
 use vecsparse_formats::{DenseMatrix, Layout, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
-use vecsparse_gpu_sim::{launch, GpuConfig, KernelProfile, MemPool, Mode, PoolMark};
+use vecsparse_gpu_sim::{
+    launch_traced, GpuConfig, KernelProfile, MemPool, Mode, PoolMark, TraceSink, Track,
+};
 
 /// Problem descriptor captured by [`SddmmPlan`]:
 /// `C = (A[m×k] · B[k×n]) ∘ mask[m×n]`.
@@ -45,15 +47,20 @@ pub struct SddmmPlan {
     requested: SddmmAlgo,
     mask: SparsityPattern,
     state: Mutex<SddmmState>,
+    sink: Arc<TraceSink>,
+    counters: Arc<Counters>,
 }
 
 impl SddmmPlan {
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn build(
         gpu: GpuConfig,
         desc: SddmmDesc,
         requested: SddmmAlgo,
         algo: SddmmAlgo,
         mask: &SparsityPattern,
+        sink: Arc<TraceSink>,
+        counters: Arc<Counters>,
     ) -> Self {
         assert_ne!(algo, SddmmAlgo::Auto, "algo must be resolved");
         let mem = MemPool::new();
@@ -65,6 +72,8 @@ impl SddmmPlan {
             requested,
             mask: mask.clone(),
             state: Mutex::new(SddmmState { mem, base }),
+            sink,
+            counters,
         }
     }
 
@@ -88,13 +97,54 @@ impl SddmmPlan {
         &self.mask
     }
 
-    fn check_operands(&self, a: &DenseMatrix<f16>, b: &DenseMatrix<f16>) {
-        assert_eq!(a.rows(), self.desc.m, "A rows must match mask rows");
-        assert_eq!(a.cols(), self.desc.k, "A cols must match plan k");
-        assert_eq!(b.rows(), self.desc.k, "B rows must match plan k");
-        assert_eq!(b.cols(), self.desc.n, "B cols must match mask cols");
-        assert_eq!(a.layout(), Layout::RowMajor, "A must be row-major");
-        assert_eq!(b.layout(), Layout::ColMajor, "B must be column-major");
+    fn check_operands(
+        &self,
+        a: &DenseMatrix<f16>,
+        b: &DenseMatrix<f16>,
+    ) -> Result<(), EngineError> {
+        if a.rows() != self.desc.m {
+            return Err(EngineError::DimensionMismatch {
+                what: "A rows",
+                expected: self.desc.m,
+                got: a.rows(),
+            });
+        }
+        if a.cols() != self.desc.k {
+            return Err(EngineError::DimensionMismatch {
+                what: "A cols",
+                expected: self.desc.k,
+                got: a.cols(),
+            });
+        }
+        if b.rows() != self.desc.k {
+            return Err(EngineError::DimensionMismatch {
+                what: "B rows",
+                expected: self.desc.k,
+                got: b.rows(),
+            });
+        }
+        if b.cols() != self.desc.n {
+            return Err(EngineError::DimensionMismatch {
+                what: "B cols",
+                expected: self.desc.n,
+                got: b.cols(),
+            });
+        }
+        if a.layout() != Layout::RowMajor {
+            return Err(EngineError::LayoutMismatch {
+                what: "A",
+                expected: "row-major",
+                got: "column-major",
+            });
+        }
+        if b.layout() != Layout::ColMajor {
+            return Err(EngineError::LayoutMismatch {
+                what: "B",
+                expected: "column-major",
+                got: "row-major",
+            });
+        }
+        Ok(())
     }
 
     fn dispatch<R>(
@@ -107,13 +157,13 @@ impl SddmmPlan {
             &dyn Fn(&MemPool) -> VectorSparse<f16>,
             Option<KernelProfile>,
         ) -> R,
-    ) -> R {
-        self.check_operands(a, b);
-        let mut guard = self.state.lock().unwrap();
+    ) -> Result<R, EngineError> {
+        self.check_operands(a, b)?;
+        let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let base = guard.base;
         let SddmmState { mem, .. } = &mut *guard;
         mem.release_to(base);
-        match self.algo {
+        let out = match self.algo {
             SddmmAlgo::OctetReg | SddmmAlgo::OctetShfl | SddmmAlgo::OctetArch => {
                 let variant = match self.algo {
                     SddmmAlgo::OctetReg => OctetVariant::Reg,
@@ -121,72 +171,153 @@ impl SddmmPlan {
                     _ => OctetVariant::Arch,
                 };
                 let kernel = OctetSddmm::new(mem, a, b, &self.mask, variant, mode);
-                let out = launch(&self.gpu, mem, &kernel, mode);
+                let out = launch_traced(&self.gpu, mem, &kernel, mode, &self.sink);
                 finish(mem, &|m| kernel.result(m), out.profile)
             }
             SddmmAlgo::FpuSubwarp => {
                 let kernel = FpuSubwarpSddmm::new(mem, a, b, &self.mask, mode);
-                let out = launch(&self.gpu, mem, &kernel, mode);
+                let out = launch_traced(&self.gpu, mem, &kernel, mode, &self.sink);
                 finish(mem, &|m| kernel.result(m), out.profile)
             }
             SddmmAlgo::Wmma => {
                 let kernel = WmmaSddmm::new(mem, a, b, &self.mask, mode);
-                let out = launch(&self.gpu, mem, &kernel, mode);
+                let out = launch_traced(&self.gpu, mem, &kernel, mode, &self.sink);
                 finish(mem, &|m| kernel.result(m), out.profile)
             }
-            SddmmAlgo::Auto => unreachable!("resolved at plan build"),
-        }
+            SddmmAlgo::Auto => {
+                return Err(EngineError::Internal {
+                    what: "Auto algorithm survived plan build",
+                })
+            }
+        };
+        Ok(out)
     }
 
     /// Run the planned SDDMM on one `(A, B)` pair.
+    pub fn try_run(
+        &self,
+        a: &DenseMatrix<f16>,
+        b: &DenseMatrix<f16>,
+    ) -> Result<VectorSparse<f16>, EngineError> {
+        let mut span = self.sink.span(Track::ENGINE, "run sddmm", "engine");
+        span.arg("algo", self.algo.label());
+        let out = self.dispatch(a, b, Mode::Functional, |mem, result, _| result(mem))?;
+        self.counters.record_run(self.algo.label());
+        Ok(out)
+    }
+
+    /// Infallible [`SddmmPlan::try_run`].
     ///
     /// # Panics
-    /// Panics if the operands do not match the plan's `m × k` / `k × n`
-    /// row-major / column-major shapes.
+    /// Panics with the [`EngineError`] message if the operands do not
+    /// match the plan's `m × k` / `k × n` row-major / column-major
+    /// shapes.
     pub fn run(&self, a: &DenseMatrix<f16>, b: &DenseMatrix<f16>) -> VectorSparse<f16> {
-        self.dispatch(a, b, Mode::Functional, |mem, result, _| result(mem))
+        self.try_run(a, b).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Profile the planned SDDMM (sampled performance model).
+    pub fn try_profile(
+        &self,
+        a: &DenseMatrix<f16>,
+        b: &DenseMatrix<f16>,
+    ) -> Result<KernelProfile, EngineError> {
+        let mut span = self
+            .sink
+            .span(Track::ENGINE, "run sddmm (profile)", "engine");
+        span.arg("algo", self.algo.label());
+        let profile = self
+            .dispatch(a, b, Mode::Performance, |_, _, profile| profile)?
+            .ok_or(EngineError::Internal {
+                what: "performance launch returned no profile",
+            })?;
+        self.counters
+            .record_profile(self.algo.label(), profile.cycles);
+        Ok(profile)
+    }
+
+    /// Infallible [`SddmmPlan::try_profile`].
+    ///
+    /// # Panics
+    /// Panics with the [`EngineError`] message on operand mismatch.
     pub fn profile(&self, a: &DenseMatrix<f16>, b: &DenseMatrix<f16>) -> KernelProfile {
-        self.dispatch(a, b, Mode::Performance, |_, _, profile| {
-            profile.expect("performance launch returns a profile")
-        })
+        self.try_profile(a, b).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Run every `(A, B)` pair, returning outputs in order; identical to
-    /// calling [`run`](SddmmPlan::run) sequentially.
+    /// calling [`try_run`](SddmmPlan::try_run) sequentially.
+    pub fn try_run_batch(
+        &self,
+        a_batch: &[DenseMatrix<f16>],
+        b_batch: &[DenseMatrix<f16>],
+    ) -> Result<Vec<VectorSparse<f16>>, EngineError> {
+        if a_batch.len() != b_batch.len() {
+            return Err(EngineError::BatchLengthMismatch {
+                a: a_batch.len(),
+                b: b_batch.len(),
+            });
+        }
+        if a_batch.is_empty() {
+            return Err(EngineError::EmptyBatch);
+        }
+        for (a, b) in a_batch.iter().zip(b_batch) {
+            self.check_operands(a, b)?;
+        }
+        a_batch
+            .into_par_iter()
+            .zip(b_batch.into_par_iter())
+            .map(|(a, b)| self.try_run(a, b))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// Infallible [`SddmmPlan::try_run_batch`].
     ///
     /// # Panics
-    /// Panics on an empty batch or mismatched batch lengths.
+    /// Panics with the [`EngineError`] message on an empty batch,
+    /// mismatched batch lengths, or any operand mismatch.
     pub fn run_batch(
         &self,
         a_batch: &[DenseMatrix<f16>],
         b_batch: &[DenseMatrix<f16>],
     ) -> Vec<VectorSparse<f16>> {
-        assert_eq!(a_batch.len(), b_batch.len(), "batch length mismatch");
-        assert!(!a_batch.is_empty(), "empty batch");
-        a_batch
-            .into_par_iter()
-            .zip(b_batch.into_par_iter())
-            .map(|(a, b)| self.run(a, b))
-            .collect()
+        self.try_run_batch(a_batch, b_batch)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Profile a batch as a back-to-back stream of one shape.
+    pub fn try_profile_batch(
+        &self,
+        a_batch: &[DenseMatrix<f16>],
+        b_batch: &[DenseMatrix<f16>],
+    ) -> Result<BatchProfile, EngineError> {
+        if a_batch.len() != b_batch.len() {
+            return Err(EngineError::BatchLengthMismatch {
+                a: a_batch.len(),
+                b: b_batch.len(),
+            });
+        }
+        if a_batch.is_empty() {
+            return Err(EngineError::EmptyBatch);
+        }
+        Ok(BatchProfile {
+            element: self.try_profile(&a_batch[0], &b_batch[0])?,
+            elements: a_batch.len(),
+        })
+    }
+
+    /// Infallible [`SddmmPlan::try_profile_batch`].
     ///
     /// # Panics
-    /// Panics on an empty batch or mismatched batch lengths.
+    /// Panics with the [`EngineError`] message on an empty batch or
+    /// mismatched batch lengths.
     pub fn profile_batch(
         &self,
         a_batch: &[DenseMatrix<f16>],
         b_batch: &[DenseMatrix<f16>],
     ) -> BatchProfile {
-        assert_eq!(a_batch.len(), b_batch.len(), "batch length mismatch");
-        assert!(!a_batch.is_empty(), "empty batch");
-        BatchProfile {
-            element: self.profile(&a_batch[0], &b_batch[0]),
-            elements: a_batch.len(),
-        }
+        self.try_profile_batch(a_batch, b_batch)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }

@@ -1,15 +1,16 @@
 //! A captured SpMM problem: encode once, stage once, run many times.
 
-use super::{ell_twin, BatchProfile};
+use super::{ell_twin, BatchProfile, Counters, EngineError};
 use crate::api::SpmmAlgo;
 use crate::spmm::{BlockedEllSpmm, DenseGemm, FpuSubwarpSpmm, OctetSpmm, WmmaSpmm};
 use crate::util::{download_dense, upload_dense, upload_ell, upload_vs, EllBuffers, VsBuffers};
 use rayon::prelude::*;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, PoisonError};
 use vecsparse_formats::{BlockedEll, DenseMatrix, Layout, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{
-    launch, BufferId, ElemWidth, GpuConfig, KernelProfile, KernelSpec, MemPool, Mode,
+    launch_traced, BufferId, ElemWidth, GpuConfig, KernelProfile, KernelSpec, MemPool, Mode,
+    TraceSink, Track,
 };
 
 /// Problem descriptor captured by [`SpmmPlan`]: `C[m×n] = A[m×k] · B[k×n]`.
@@ -61,15 +62,20 @@ pub struct SpmmPlan {
     /// Densified twin, derived once. Only for `Dense`.
     dense: Option<DenseMatrix<f16>>,
     state: Mutex<PlanState>,
+    sink: Arc<TraceSink>,
+    counters: Arc<Counters>,
 }
 
 impl SpmmPlan {
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn build(
         gpu: GpuConfig,
         desc: SpmmDesc,
         requested: SpmmAlgo,
         algo: SpmmAlgo,
         a: &VectorSparse<f16>,
+        sink: Arc<TraceSink>,
+        counters: Arc<Counters>,
     ) -> Self {
         assert_ne!(algo, SpmmAlgo::Auto, "algo must be resolved");
         let a = a.clone();
@@ -107,6 +113,8 @@ impl SpmmPlan {
                 b_buf,
                 out_buf,
             }),
+            sink,
+            counters,
         }
     }
 
@@ -125,10 +133,29 @@ impl SpmmPlan {
         self.requested
     }
 
-    fn check_rhs(&self, b: &DenseMatrix<f16>) {
-        assert_eq!(b.rows(), self.desc.k, "RHS rows must match plan k");
-        assert_eq!(b.cols(), self.desc.n, "RHS cols must match plan n");
-        assert_eq!(b.layout(), Layout::RowMajor, "RHS must be row-major");
+    fn check_rhs(&self, b: &DenseMatrix<f16>) -> Result<(), EngineError> {
+        if b.rows() != self.desc.k {
+            return Err(EngineError::DimensionMismatch {
+                what: "RHS rows",
+                expected: self.desc.k,
+                got: b.rows(),
+            });
+        }
+        if b.cols() != self.desc.n {
+            return Err(EngineError::DimensionMismatch {
+                what: "RHS cols",
+                expected: self.desc.n,
+                got: b.cols(),
+            });
+        }
+        if b.layout() != Layout::RowMajor {
+            return Err(EngineError::LayoutMismatch {
+                what: "RHS",
+                expected: "row-major",
+                got: "column-major",
+            });
+        }
+        Ok(())
     }
 
     /// Execute against staged state; `finish` reads results back while
@@ -138,9 +165,9 @@ impl SpmmPlan {
         b: &DenseMatrix<f16>,
         mode: Mode,
         finish: impl FnOnce(&MemPool, BufferId, Option<KernelProfile>) -> R,
-    ) -> R {
-        self.check_rhs(b);
-        let mut guard = self.state.lock().unwrap();
+    ) -> Result<R, EngineError> {
+        self.check_rhs(b)?;
+        let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let PlanState {
             mem,
             staged,
@@ -161,69 +188,135 @@ impl SpmmPlan {
             (SpmmAlgo::FpuSubwarp, Staged::Vs(bufs)) => Box::new(FpuSubwarpSpmm::from_staged(
                 &self.a, b, *bufs, *b_buf, *out_buf,
             )),
-            (SpmmAlgo::BlockedEll, Staged::Ell(bufs)) => Box::new(BlockedEllSpmm::from_staged(
-                self.ell.as_ref().expect("staged at build"),
-                b,
-                EllBuffers {
-                    values: bufs.values,
-                    block_col_idx: bufs.block_col_idx,
-                },
-                *b_buf,
-                *out_buf,
-            )),
-            (SpmmAlgo::Dense, Staged::Dense(a_buf)) => Box::new(DenseGemm::from_staged(
-                self.dense.as_ref().expect("staged at build"),
-                b,
-                *a_buf,
-                *b_buf,
-                *out_buf,
-                mode,
-            )),
-            _ => unreachable!("staged encoding always matches the algo"),
+            (SpmmAlgo::BlockedEll, Staged::Ell(bufs)) => {
+                let ell = self.ell.as_ref().ok_or(EngineError::UnstagedBuffer {
+                    what: "blocked-ell twin",
+                })?;
+                Box::new(BlockedEllSpmm::from_staged(
+                    ell,
+                    b,
+                    EllBuffers {
+                        values: bufs.values,
+                        block_col_idx: bufs.block_col_idx,
+                    },
+                    *b_buf,
+                    *out_buf,
+                ))
+            }
+            (SpmmAlgo::Dense, Staged::Dense(a_buf)) => {
+                let dense = self.dense.as_ref().ok_or(EngineError::UnstagedBuffer {
+                    what: "densified twin",
+                })?;
+                Box::new(DenseGemm::from_staged(
+                    dense, b, *a_buf, *b_buf, *out_buf, mode,
+                ))
+            }
+            _ => {
+                return Err(EngineError::UnstagedBuffer {
+                    what: "sparse operand encoding for the planned algorithm",
+                })
+            }
         };
-        let out = launch(&self.gpu, mem, kernel.as_ref(), mode);
-        finish(mem, *out_buf, out.profile)
+        let out = launch_traced(&self.gpu, mem, kernel.as_ref(), mode, &self.sink);
+        Ok(finish(mem, *out_buf, out.profile))
     }
 
     /// Run the planned SpMM on one RHS.
+    pub fn try_run(&self, b: &DenseMatrix<f16>) -> Result<DenseMatrix<f16>, EngineError> {
+        let mut span = self.sink.span(Track::ENGINE, "run spmm", "engine");
+        span.arg("algo", self.algo.label());
+        let (m, n) = (self.desc.m, self.desc.n);
+        let out = self.dispatch(b, Mode::Functional, |mem, out_buf, _| {
+            download_dense(mem, out_buf, m, n)
+        })?;
+        self.counters.record_run(self.algo.label());
+        Ok(out)
+    }
+
+    /// Infallible [`SpmmPlan::try_run`].
     ///
     /// # Panics
-    /// Panics if `b` does not match the plan's `k × n` row-major shape.
+    /// Panics with the [`EngineError`] message if `b` does not match the
+    /// plan's `k × n` row-major shape.
     pub fn run(&self, b: &DenseMatrix<f16>) -> DenseMatrix<f16> {
-        let (m, n) = (self.desc.m, self.desc.n);
-        self.dispatch(b, Mode::Functional, |mem, out_buf, _| {
-            download_dense(mem, out_buf, m, n)
-        })
+        self.try_run(b).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Profile the planned SpMM (sampled performance model).
+    pub fn try_profile(&self, b: &DenseMatrix<f16>) -> Result<KernelProfile, EngineError> {
+        let mut span = self
+            .sink
+            .span(Track::ENGINE, "run spmm (profile)", "engine");
+        span.arg("algo", self.algo.label());
+        let profile = self
+            .dispatch(b, Mode::Performance, |_, _, profile| profile)?
+            .ok_or(EngineError::Internal {
+                what: "performance launch returned no profile",
+            })?;
+        self.counters
+            .record_profile(self.algo.label(), profile.cycles);
+        Ok(profile)
+    }
+
+    /// Infallible [`SpmmPlan::try_profile`].
+    ///
+    /// # Panics
+    /// Panics with the [`EngineError`] message on RHS shape mismatch.
     pub fn profile(&self, b: &DenseMatrix<f16>) -> KernelProfile {
-        self.dispatch(b, Mode::Performance, |_, _, profile| {
-            profile.expect("performance launch returns a profile")
-        })
+        self.try_profile(b).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Run every RHS in the batch, returning outputs in order. Elements
     /// are dispatched through rayon; results are identical to calling
-    /// [`run`](SpmmPlan::run) sequentially.
+    /// [`try_run`](SpmmPlan::try_run) sequentially.
+    pub fn try_run_batch(
+        &self,
+        batch: &[DenseMatrix<f16>],
+    ) -> Result<Vec<DenseMatrix<f16>>, EngineError> {
+        if batch.is_empty() {
+            return Err(EngineError::EmptyBatch);
+        }
+        for b in batch {
+            self.check_rhs(b)?;
+        }
+        batch
+            .into_par_iter()
+            .map(|b| self.try_run(b))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect()
+    }
+
+    /// Infallible [`SpmmPlan::try_run_batch`].
     ///
     /// # Panics
-    /// Panics on an empty batch.
+    /// Panics with the [`EngineError`] message on an empty batch or any
+    /// shape mismatch.
     pub fn run_batch(&self, batch: &[DenseMatrix<f16>]) -> Vec<DenseMatrix<f16>> {
-        assert!(!batch.is_empty(), "empty batch");
-        batch.into_par_iter().map(|b| self.run(b)).collect()
+        self.try_run_batch(batch).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Profile a batch as a back-to-back stream: one element profile (the
     /// batch is shape-uniform by construction) scaled by the length.
+    pub fn try_profile_batch(
+        &self,
+        batch: &[DenseMatrix<f16>],
+    ) -> Result<BatchProfile, EngineError> {
+        if batch.is_empty() {
+            return Err(EngineError::EmptyBatch);
+        }
+        Ok(BatchProfile {
+            element: self.try_profile(&batch[0])?,
+            elements: batch.len(),
+        })
+    }
+
+    /// Infallible [`SpmmPlan::try_profile_batch`].
     ///
     /// # Panics
-    /// Panics on an empty batch.
+    /// Panics with the [`EngineError`] message on an empty batch.
     pub fn profile_batch(&self, batch: &[DenseMatrix<f16>]) -> BatchProfile {
-        assert!(!batch.is_empty(), "empty batch");
-        BatchProfile {
-            element: self.profile(&batch[0]),
-            elements: batch.len(),
-        }
+        self.try_profile_batch(batch)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }

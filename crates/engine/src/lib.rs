@@ -2,11 +2,14 @@
 //!
 //! Facade crate for the [`vecsparse`] execution engine: the
 //! cuSPARSE-style handle/plan workflow (`Context` → `SpmmPlan` /
-//! `SddmmPlan`) with plan caching and kernel auto-tuning.
+//! `SddmmPlan`) with plan caching, kernel auto-tuning, and opt-in
+//! telemetry ([`TraceSink`] spans exported via [`perfetto`] /
+//! [`telemetry_csv`]).
 //!
 //! The implementation lives in [`vecsparse::engine`] (it needs the
-//! kernels); this crate re-exports it so engine users can depend on a
-//! crate named for the API they consume:
+//! kernels); this crate re-exports the supported surface explicitly so
+//! engine users can depend on a crate named for the API they consume —
+//! and so additions to internal modules do not leak here by accident:
 //!
 //! ```
 //! use vecsparse_engine::Context;
@@ -20,6 +23,22 @@
 //! let b = gen::random_dense::<f16>(32, 32, Layout::RowMajor, 2);
 //! assert_eq!(plan.run(&b).rows(), 16);
 //! ```
+//!
+//! Fallible variants of every entry point exist as `try_*` methods
+//! returning [`EngineError`]; the infallible methods are thin wrappers
+//! that panic with the same message.
 
-pub use vecsparse::engine::*;
+// The handle/plan API.
+pub use vecsparse::engine::{Context, SddmmDesc, SddmmPlan, SpmmDesc, SpmmPlan};
+// Errors, metrics, and cache introspection.
+pub use vecsparse::engine::{
+    AlgoReport, BatchProfile, EngineError, EngineStats, OpKind, PlanKey, Report,
+};
+// The auto-tuner (usable standalone).
+pub use vecsparse::engine::tuner;
+// Algorithm selectors shared with the free-function API.
 pub use vecsparse::{SddmmAlgo, SpmmAlgo};
+// Telemetry: sinks and exporters, so engine users need no extra dep.
+pub use vecsparse_telemetry::{
+    csv as telemetry_csv, perfetto, ArgValue, EventKind, TraceEvent, TraceSink, Track,
+};

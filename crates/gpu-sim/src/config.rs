@@ -83,6 +83,59 @@ impl GpuConfig {
             ..GpuConfig::default()
         }
     }
+
+    /// FNV-1a hash over every field of the configuration (floats by bit
+    /// pattern). Embedded in benchmark artifacts so results from
+    /// different machine models are never compared as if comparable.
+    pub fn config_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.num_sms as u64);
+        mix(self.schedulers_per_sm as u64);
+        mix(self.max_warps_per_scheduler as u64);
+        mix(self.max_ctas_per_sm as u64);
+        mix(self.regs_per_sm as u64);
+        mix(self.l1_bytes as u64);
+        mix(self.max_smem_per_sm as u64);
+        mix(self.l1_ways as u64);
+        mix(self.l2_bytes as u64);
+        mix(self.l2_ways as u64);
+        mix(self.icache_entries as u64);
+        mix(self.dram_bytes_per_cycle.to_bits());
+        mix(self.l2_bytes_per_cycle.to_bits());
+        mix(self.sim_sms as u64);
+        mix(self.sim_waves as u64);
+        let t = &self.timing;
+        for v in [
+            t.fp32_issue,
+            t.fp16_issue,
+            t.hmma_issue,
+            t.int_issue,
+            t.ldg_issue,
+            t.lds_issue,
+            t.shfl_issue,
+            t.misc_issue,
+            t.alu_latency,
+            t.hmma_latency,
+            t.hmma_acc_forward,
+            t.lds_latency,
+            t.l1_hit_latency,
+            t.l2_hit_latency,
+            t.dram_latency,
+            t.shfl_latency,
+            t.icache_miss_penalty,
+        ] {
+            mix(v);
+        }
+        h
+    }
 }
 
 /// Issue intervals (reciprocal throughput per scheduler, in cycles) and
@@ -182,6 +235,16 @@ mod tests {
         assert_eq!(hmma_mac_per_cycle / fp32_mac_per_cycle, 8.0);
         let fp16_mac_per_cycle = 64.0 / t.fp16_issue as f64; // 32
         assert_eq!(hmma_mac_per_cycle / fp16_mac_per_cycle, 4.0);
+    }
+
+    #[test]
+    fn config_hash_distinguishes_configs() {
+        let base = GpuConfig::default();
+        assert_eq!(base.config_hash(), GpuConfig::default().config_hash());
+        assert_ne!(base.config_hash(), GpuConfig::small().config_hash());
+        let mut tweaked = GpuConfig::default();
+        tweaked.timing.dram_latency += 1;
+        assert_ne!(base.config_hash(), tweaked.config_hash());
     }
 
     #[test]

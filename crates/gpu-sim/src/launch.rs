@@ -5,11 +5,12 @@ use crate::cache::{CacheStats, SectorCache};
 use crate::config::GpuConfig;
 use crate::mem::MemPool;
 use crate::profile::{HotPc, InstrCounts, KernelProfile, PipeUtil, StallBreakdown};
-use crate::sched::simulate_wave;
+use crate::sched::{simulate_wave, WaveObs};
 use crate::trace::WarpTrace;
 use crate::warp::CtaCtx;
 use crate::WARP_SIZE;
 use rayon::prelude::*;
+use vecsparse_telemetry::{ArgValue, TraceSink, Track};
 
 /// Execution mode of a launch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,6 +96,24 @@ pub fn launch<K: KernelSpec + ?Sized>(
     kernel: &K,
     mode: Mode,
 ) -> LaunchOutput {
+    launch_traced(cfg, mem, kernel, mode, TraceSink::noop())
+}
+
+/// [`launch`] with a telemetry sink.
+///
+/// In [`Mode::Performance`] with an enabled sink, the launch claims a
+/// fresh process id on the timeline and records a kernel-wide span (tid
+/// 0, with grid/cycle/roofline args) over per-scheduler tracks (tid
+/// `s + 1`) carrying every simulated issue and attributed stall; the
+/// sink's virtual clock advances by the simulated wave cycles. With a
+/// disabled sink this is exactly [`launch`] — same math, zero recording.
+pub fn launch_traced<K: KernelSpec + ?Sized>(
+    cfg: &GpuConfig,
+    mem: &mut MemPool,
+    kernel: &K,
+    mode: Mode,
+    sink: &TraceSink,
+) -> LaunchOutput {
     let lc = kernel.launch_config();
     assert!(lc.grid > 0, "empty grid");
 
@@ -124,7 +143,7 @@ pub fn launch<K: KernelSpec + ?Sized>(
             LaunchOutput { profile: None }
         }
         Mode::Performance => {
-            let profile = simulate(cfg, mem, kernel, &lc);
+            let profile = simulate(cfg, mem, kernel, &lc, sink);
             LaunchOutput {
                 profile: Some(profile),
             }
@@ -137,6 +156,7 @@ fn simulate<K: KernelSpec + ?Sized>(
     mem: &MemPool,
     kernel: &K,
     lc: &LaunchConfig,
+    sink: &TraceSink,
 ) -> KernelProfile {
     let ctas_per_sm = lc.ctas_per_sm(cfg);
 
@@ -190,14 +210,52 @@ fn simulate<K: KernelSpec + ?Sized>(
     // Round down to a valid geometry.
     let l1_cache_bytes = (l1_cache_bytes / (128 * cfg.l1_ways)) * (128 * cfg.l1_ways);
 
+    // Telemetry: claim a process-track group for this launch and name
+    // one thread track per scheduler. Waves run back to back on the
+    // timeline starting at the current virtual time.
+    let tracing = sink.is_enabled();
+    let launch_base = sink.now();
+    let pid = if tracing { sink.next_pid() } else { 0 };
+    if tracing {
+        sink.name_process(pid, kernel.name());
+        sink.name_thread(Track { pid, tid: 0 }, "kernel");
+        for s in 0..cfg.schedulers_per_sm {
+            sink.name_thread(
+                Track {
+                    pid,
+                    tid: s as u32 + 1,
+                },
+                format!("SM scheduler {s}"),
+            );
+        }
+    }
+
     let mut cursor = 0usize;
+    let mut wave_idx = 0usize;
     while cursor < traces.len() {
         let end = (cursor + resident_per_sm).min(traces.len());
         let wave: Vec<&[WarpTrace]> = traces[cursor..end].iter().map(|t| t.as_slice()).collect();
         cursor = end;
         // Fresh L1 per SM-wave (each wave runs on "its own" SM slot).
         let mut l1 = SectorCache::new(l1_cache_bytes.max(128 * cfg.l1_ways), cfg.l1_ways);
-        let r = simulate_wave(cfg, &wave, &mut l1, &mut l2);
+        let wave_base = launch_base + wave_cycles.iter().sum::<u64>();
+        let obs = WaveObs {
+            sink,
+            pid,
+            base: wave_base,
+        };
+        let r = simulate_wave(cfg, &wave, &mut l1, &mut l2, tracing.then_some(&obs));
+        if tracing {
+            sink.span_at(
+                Track { pid, tid: 0 },
+                format!("wave {wave_idx}"),
+                "wave",
+                wave_base,
+                r.cycles.max(1),
+                vec![("ctas", ArgValue::U64(wave.len() as u64))],
+            );
+        }
+        wave_idx += 1;
         wave_cycles.push(r.cycles);
         stalls.merge(&r.stalls);
         instrs.merge(&r.instrs);
@@ -268,7 +326,7 @@ fn simulate<K: KernelSpec + ?Sized>(
         })
         .collect();
 
-    KernelProfile {
+    let profile = KernelProfile {
         name: kernel.name(),
         grid: lc.grid,
         ctas_per_sm,
@@ -285,7 +343,44 @@ fn simulate<K: KernelSpec + ?Sized>(
         l2: l2s,
         pipes,
         hot_pcs,
+    };
+
+    if tracing {
+        // Kernel-wide span over the simulated waves, carrying the
+        // extrapolated estimate and the roofline point as args, plus a
+        // roofline counter sample for the counter-track view.
+        let sim_time_ticks = wave_cycles.iter().sum::<u64>().max(1);
+        let roof = profile.roofline();
+        sink.span_at(
+            Track { pid, tid: 0 },
+            kernel.name(),
+            "kernel",
+            launch_base,
+            sim_time_ticks,
+            vec![
+                ("grid", ArgValue::U64(lc.grid as u64)),
+                ("cycles", ArgValue::F64(cycles)),
+                ("issue_cycles", ArgValue::F64(issue_cycles)),
+                ("dram_cycles", ArgValue::F64(dram_cycles)),
+                ("scale", ArgValue::F64(scale)),
+                ("flops", ArgValue::U64(roof.flops)),
+                ("dram_bytes", ArgValue::U64(roof.bytes)),
+                ("intensity", ArgValue::F64(roof.intensity())),
+            ],
+        );
+        sink.advance_to(launch_base + sim_time_ticks);
+        sink.counter(
+            Track { pid, tid: 0 },
+            "roofline",
+            "kernel",
+            vec![
+                ("flops", ArgValue::U64(roof.flops)),
+                ("dram_bytes", ArgValue::U64(roof.bytes)),
+            ],
+        );
     }
+
+    profile
 }
 
 #[cfg(test)]
@@ -420,6 +515,84 @@ mod tests {
         };
         // 48 KiB shared per CTA → 96/48 = 2 CTAs.
         assert_eq!(lc3.ctas_per_sm(&cfg), 2);
+    }
+
+    #[test]
+    fn traced_launch_matches_instr_counts_and_names_scheduler_tracks() {
+        // num_sms=1 with grid=4 single-warp CTAs: every CTA is sampled,
+        // so `scale == 1` and the grid-wide counters equal the recorded
+        // per-instruction events exactly.
+        let cfg = GpuConfig {
+            num_sms: 1,
+            sim_sms: 1,
+            sim_waves: 2,
+            ..GpuConfig::default()
+        };
+        let mut mem = MemPool::new();
+        let input = mem.alloc_ghost(ElemWidth::B32, 1024);
+        let output = mem.alloc_ghost(ElemWidth::B32, 1024);
+        let k = DoubleKernel::new(input, output, 4);
+        let sink = TraceSink::enabled(1 << 16);
+        let out = launch_traced(&cfg, &mut mem, &k, Mode::Performance, &sink);
+        let p = out.profile.unwrap();
+
+        let events = sink.events();
+        let issues = events.iter().filter(|e| e.cat == "issue").count() as u64;
+        assert_eq!(issues, p.instrs.total(), "one issue span per instruction");
+
+        // One named thread track per scheduler, plus the kernel track.
+        let threads = sink.thread_names();
+        let sched_tracks = threads
+            .iter()
+            .filter(|(_, n)| n.starts_with("SM scheduler"))
+            .count();
+        assert_eq!(sched_tracks, cfg.schedulers_per_sm);
+        assert!(threads.iter().any(|(t, n)| t.tid == 0 && n == "kernel"));
+
+        // The kernel-wide span exists, spans the waves, and carries the
+        // roofline args.
+        let kspan = events
+            .iter()
+            .find(|e| e.cat == "kernel" && e.name == "double")
+            .expect("kernel span");
+        assert!(kspan.args.iter().any(|(k, _)| *k == "flops"));
+        assert!(kspan.args.iter().any(|(k, _)| *k == "intensity"));
+        for e in &events {
+            assert!(
+                e.ts >= kspan.ts && e.ts + e.dur <= kspan.ts + kspan.dur,
+                "event {} outside kernel span",
+                e.name
+            );
+        }
+        // The launch advanced the virtual clock over the simulated waves.
+        assert_eq!(sink.now(), kspan.ts + kspan.dur);
+    }
+
+    #[test]
+    fn disabled_sink_cycles_are_bit_identical() {
+        let cfg = GpuConfig::small();
+        let mut mem = MemPool::new();
+        let input = mem.alloc_ghost(ElemWidth::B32, 1 << 20);
+        let output = mem.alloc_ghost(ElemWidth::B32, 1 << 20);
+        let k = DoubleKernel::new(input, output, 1024);
+        let plain = launch(&cfg, &mut mem, &k, Mode::Performance)
+            .profile
+            .unwrap();
+        let disabled = TraceSink::disabled();
+        let traced_off = launch_traced(&cfg, &mut mem, &k, Mode::Performance, &disabled)
+            .profile
+            .unwrap();
+        let enabled = TraceSink::enabled(1 << 16);
+        let traced_on = launch_traced(&cfg, &mut mem, &k, Mode::Performance, &enabled)
+            .profile
+            .unwrap();
+        // Recording never feeds back into the timing model: identical
+        // cycle estimates whether the sink is absent, disabled or live.
+        assert_eq!(plain.cycles.to_bits(), traced_off.cycles.to_bits());
+        assert_eq!(plain.cycles.to_bits(), traced_on.cycles.to_bits());
+        assert_eq!(plain.instrs, traced_on.instrs);
+        assert!(disabled.events().is_empty());
+        assert!(!enabled.events().is_empty());
     }
 
     #[test]

@@ -186,6 +186,29 @@ pub struct HotPc {
     pub label: String,
 }
 
+/// One point on the roofline: useful work against DRAM traffic, derived
+/// from a kernel's instruction mix and L2 statistics (Zhang et al.'s
+/// framing of memory-bound TCU kernels).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Roofline {
+    /// Useful floating-point operations: FFMA counts 2 flops/lane,
+    /// HFMA2 4 flops/lane, one HMMA.884 step 128 flops.
+    pub flops: u64,
+    /// DRAM bytes moved (L2 sector misses + stores, 32 B each).
+    pub bytes: u64,
+}
+
+impl Roofline {
+    /// Achieved arithmetic intensity in flops per DRAM byte.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+}
+
 /// Everything the evaluation section reads about one kernel execution.
 #[derive(Clone, Debug)]
 pub struct KernelProfile {
@@ -252,6 +275,19 @@ impl KernelProfile {
     /// Speedup of `self` relative to `other` (other.cycles / self.cycles).
     pub fn speedup_over(&self, other: &KernelProfile) -> f64 {
         other.cycles / self.cycles
+    }
+
+    /// This execution's roofline point. Lane-width flop weights: a
+    /// warp-level FFMA performs 32 × 2 flops, an HFMA2 32 × 4, and one
+    /// HMMA.884 step 512 / 4 = 128 (the full m8n8k4 MAC spread over its
+    /// four steps; truncated flavours emit fewer steps for less work at
+    /// the same per-step rate).
+    pub fn roofline(&self) -> Roofline {
+        let i = &self.instrs;
+        Roofline {
+            flops: i.ffma * 64 + i.hfma2 * 128 + i.hmma * 128,
+            bytes: (self.l2.sectors_missed + self.l2.sectors_stored) * 32,
+        }
     }
 }
 
@@ -369,8 +405,9 @@ impl KernelProfile {
 
     /// One CSV row of the headline counters (with [`Self::csv_header`]).
     pub fn csv_row(&self) -> String {
+        let roof = self.roofline();
         format!(
-            "{},{:.0},{},{},{},{:.2},{:.2},{:.2},{:.2},{},{}",
+            "{},{:.0},{},{},{},{:.2},{:.2},{:.2},{:.2},{},{},{},{},{:.4}",
             self.name,
             self.cycles,
             self.grid,
@@ -382,13 +419,17 @@ impl KernelProfile {
             self.stalls.pct_short_scoreboard(),
             self.bytes_l2_to_l1(),
             self.instrs.total(),
+            roof.flops,
+            roof.bytes,
+            roof.intensity(),
         )
     }
 
     /// Header matching [`Self::csv_row`].
     pub fn csv_header() -> &'static str {
         "name,cycles,grid,regs_per_thread,static_instrs,sectors_per_req,\
-         pct_no_instruction,pct_wait,pct_short_scoreboard,bytes_l2_to_l1,instrs_total"
+         pct_no_instruction,pct_wait,pct_short_scoreboard,bytes_l2_to_l1,instrs_total,\
+         flops,dram_bytes,intensity"
     }
 }
 
@@ -438,5 +479,21 @@ mod render_tests {
         let header_cols = KernelProfile::csv_header().split(',').count();
         let row_cols = sample().csv_row().split(',').count();
         assert_eq!(header_cols, row_cols);
+    }
+
+    #[test]
+    fn roofline_weights_flops_and_counts_dram_traffic() {
+        let mut p = sample();
+        // 10 HMMA steps = 1280 flops; no FFMA/HFMA2 in the sample.
+        p.l2.sectors_missed = 3;
+        p.l2.sectors_stored = 1;
+        let roof = p.roofline();
+        assert_eq!(roof.flops, 10 * 128);
+        assert_eq!(roof.bytes, 4 * 32);
+        assert!((roof.intensity() - 1280.0 / 128.0).abs() < 1e-12);
+        // Degenerate case: no traffic reports zero intensity, not NaN.
+        p.l2.sectors_missed = 0;
+        p.l2.sectors_stored = 0;
+        assert_eq!(p.roofline().intensity(), 0.0);
     }
 }

@@ -13,6 +13,70 @@ use crate::icache::ICache;
 use crate::profile::{InstrCounts, StallBreakdown};
 use crate::trace::{InstrKind, Pipe, Tok, WarpTrace, ALL_PIPES};
 use std::collections::HashMap;
+use vecsparse_telemetry::{ArgValue, TraceSink, Track};
+
+/// Telemetry observer for one simulated wave: where (and at what virtual
+/// time offset) to record per-scheduler issue and stall events.
+pub struct WaveObs<'a> {
+    /// Destination sink (already checked enabled by the caller).
+    pub sink: &'a TraceSink,
+    /// The launch's process id; scheduler `s` records on tid `s + 1`.
+    pub pid: u32,
+    /// Virtual-tick timestamp of this wave's cycle 0.
+    pub base: u64,
+}
+
+impl WaveObs<'_> {
+    fn stall_span(&self, s: usize, reason: &'static str, from: u64, dur: u64) {
+        if dur == 0 {
+            return;
+        }
+        self.sink.span_at(
+            Track {
+                pid: self.pid,
+                tid: s as u32 + 1,
+            },
+            reason,
+            "stall",
+            self.base + from,
+            dur,
+            Vec::new(),
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_span(
+        &self,
+        s: usize,
+        instr: &crate::trace::TraceInstr,
+        issue_at: u64,
+        interval: u64,
+        latency: u64,
+        l1_missed: u64,
+    ) {
+        let mut args: Vec<(&'static str, ArgValue)> = vec![
+            ("pc", ArgValue::U64(instr.pc as u64)),
+            ("lat", ArgValue::U64(latency)),
+        ];
+        if let Some(mem) = &instr.mem {
+            if mem.global {
+                args.push(("sectors", ArgValue::U64(mem.sectors.len() as u64)));
+                args.push(("l1_missed", ArgValue::U64(l1_missed)));
+            }
+        }
+        self.sink.span_at(
+            Track {
+                pid: self.pid,
+                tid: s as u32 + 1,
+            },
+            instr.kind.mnemonic(),
+            "issue",
+            self.base + issue_at,
+            interval.max(1),
+            args,
+        );
+    }
+}
 
 /// Result of simulating one SM wave.
 #[derive(Debug, Default, Clone)]
@@ -59,11 +123,14 @@ struct BarrierState {
 ///
 /// `ctas` are the resident thread blocks (each a slice of warp traces).
 /// `l1` is this SM's L1; `l2` is the device-wide L2 shared across waves.
+/// When `obs` is set, every issue and attributed stall is recorded as a
+/// span on that observer's per-scheduler tracks; timing is unaffected.
 pub fn simulate_wave(
     cfg: &GpuConfig,
     ctas: &[&[WarpTrace]],
     l1: &mut SectorCache,
     l2: &mut SectorCache,
+    obs: Option<&WaveObs<'_>>,
 ) -> WaveResult {
     let timing = &cfg.timing;
     let nsched = cfg.schedulers_per_sm;
@@ -225,15 +292,21 @@ pub fn simulate_wave(
             // to issue (just after its previous issue) and when it did.
             let base = w.last_issue + 1;
             let mut remaining = issue_at.saturating_sub(base);
+            let mut stall_icache = 0u64;
+            let mut stall_barrier = 0u64;
+            let mut stall_dep = 0u64;
+            let mut stall_dep_reason: &'static str = "wait";
             if icache_miss {
                 let ic = remaining.min(issue_at - pre_issue.min(issue_at));
                 stalls.no_instruction += ic as f64;
+                stall_icache = ic;
                 remaining -= ic;
             }
             // Barrier wait portion.
             if w.resume_at > base {
                 let b = remaining.min(w.resume_at - base);
                 stalls.barrier += b as f64;
+                stall_barrier = b;
                 remaining -= b;
             }
             // Dependency portion: attribute to the latest-completing dep.
@@ -258,9 +331,20 @@ pub fn simulate_wave(
             if dep_t > base {
                 let d = remaining.min(dep_t - base);
                 match dep_reason {
-                    Some(InstrKind::Ldg { .. }) => stalls.long_scoreboard += d as f64,
-                    Some(InstrKind::Lds { .. }) => stalls.short_scoreboard += d as f64,
-                    Some(_) => stalls.wait += d as f64,
+                    Some(InstrKind::Ldg { .. }) => {
+                        stalls.long_scoreboard += d as f64;
+                        stall_dep_reason = "long_scoreboard";
+                        stall_dep = d;
+                    }
+                    Some(InstrKind::Lds { .. }) => {
+                        stalls.short_scoreboard += d as f64;
+                        stall_dep_reason = "short_scoreboard";
+                        stall_dep = d;
+                    }
+                    Some(_) => {
+                        stalls.wait += d as f64;
+                        stall_dep = d;
+                    }
                     None => {}
                 }
                 remaining -= d;
@@ -268,8 +352,25 @@ pub fn simulate_wave(
             // Whatever is left: the scheduler or pipe was busy.
             stalls.not_selected += remaining as f64;
             stalls.issued += 1.0;
+            if let Some(obs) = obs {
+                // Lay the attributed portions out back to back over the
+                // gap [base, issue_at): barrier release first, then the
+                // dependency, arbitration, and finally the fetch (the L0
+                // miss is serviced last, right before issue).
+                let mut at = base;
+                for (reason, dur) in [
+                    ("barrier", stall_barrier),
+                    (stall_dep_reason, stall_dep),
+                    ("not_selected", remaining),
+                    ("no_instruction", stall_icache),
+                ] {
+                    obs.stall_span(s, reason, at, dur);
+                    at += dur;
+                }
+            }
 
             // Memory system effects and completion latency.
+            let mut obs_l1_missed = 0u64;
             let latency = match instr.kind {
                 InstrKind::Ffma | InstrKind::Hfma2 | InstrKind::Imad | InstrKind::Misc => {
                     timing.alu_latency
@@ -290,6 +391,7 @@ pub fn simulate_wave(
                     let mut lat = timing.l1_hit_latency;
                     if let Some(mem) = &instr.mem {
                         let missed_l1 = l1.access(&mem.sectors);
+                        obs_l1_missed = missed_l1;
                         if missed_l1 > 0 {
                             // The missed sectors go to L2.
                             let missed_sectors: Vec<u64> = mem.sectors.clone();
@@ -320,6 +422,9 @@ pub fn simulate_wave(
             let interval = timing.issue_interval(instr.kind.pipe()) * conflict.max(1);
             sched.pipe_free[pi] = issue_at + interval;
             sched.pipe_busy[pi] += interval;
+            if let Some(obs) = obs {
+                obs.issue_span(s, instr, issue_at, interval, latency, obs_l1_missed);
+            }
 
             let completion = issue_at + latency;
             last_retire = last_retire.max(completion);
@@ -427,7 +532,7 @@ mod tests {
     fn run(cfg: &GpuConfig, ctas: &[&[WarpTrace]]) -> WaveResult {
         let mut l1 = SectorCache::new(cfg.l1_bytes, cfg.l1_ways);
         let mut l2 = SectorCache::new(cfg.l2_bytes, cfg.l2_ways);
-        simulate_wave(cfg, ctas, &mut l1, &mut l2)
+        simulate_wave(cfg, ctas, &mut l1, &mut l2, None)
     }
 
     #[test]

@@ -87,6 +87,32 @@ impl InstrKind {
     pub fn is_math(self) -> bool {
         matches!(self, InstrKind::Ffma | InstrKind::Hfma2 | InstrKind::Hmma)
     }
+
+    /// SASS-style mnemonic, used as the event name on trace timelines.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            InstrKind::Ffma => "FFMA",
+            InstrKind::Hfma2 => "HFMA2",
+            InstrKind::Hmma => "HMMA.884",
+            InstrKind::Imad => "IMAD",
+            InstrKind::Ldg { bits: 32 } => "LDG.32",
+            InstrKind::Ldg { bits: 64 } => "LDG.64",
+            InstrKind::Ldg { .. } => "LDG.128",
+            InstrKind::Stg { bits: 32 } => "STG.32",
+            InstrKind::Stg { bits: 64 } => "STG.64",
+            InstrKind::Stg { .. } => "STG.128",
+            InstrKind::Lds { bits: 32 } => "LDS.32",
+            InstrKind::Lds { bits: 64 } => "LDS.64",
+            InstrKind::Lds { .. } => "LDS.128",
+            InstrKind::Sts { bits: 32 } => "STS.32",
+            InstrKind::Sts { bits: 64 } => "STS.64",
+            InstrKind::Sts { .. } => "STS.128",
+            InstrKind::Shfl => "SHFL",
+            InstrKind::Bar => "BAR.SYNC",
+            InstrKind::Fence => "MEMBAR",
+            InstrKind::Misc => "MISC",
+        }
+    }
 }
 
 /// Dependency token: identifies a previously-emitted instruction within the

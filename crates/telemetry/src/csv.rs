@@ -1,0 +1,74 @@
+//! Flat CSV export of counter events, one row per (counter, key).
+//!
+//! Columns: `ts,track_pid,track_tid,counter,key,value`. String-valued
+//! args are quoted only when they need it; numeric values print bare.
+
+use crate::{ArgValue, EventKind, TraceSink};
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serialise every counter event in the sink as CSV (with header).
+pub fn export_counters(sink: &TraceSink) -> String {
+    let mut out = String::from("ts,pid,tid,counter,key,value\n");
+    for ev in sink.events() {
+        if ev.kind != EventKind::Counter {
+            continue;
+        }
+        for (key, value) in &ev.args {
+            let rendered = match value {
+                ArgValue::U64(n) => n.to_string(),
+                ArgValue::F64(f) => format!("{f}"),
+                ArgValue::Str(s) => csv_field(s),
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                ev.ts,
+                ev.track.pid,
+                ev.track.tid,
+                csv_field(&ev.name),
+                key,
+                rendered
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceSink, Track};
+
+    #[test]
+    fn counters_export_one_row_per_key() {
+        let sink = TraceSink::enabled(8);
+        sink.counter(
+            Track::ENGINE,
+            "roofline",
+            "mem",
+            vec![("flops", 64u64.into()), ("bytes", 32u64.into())],
+        );
+        sink.span_at(Track::ENGINE, "ignored", "engine", 0, 1, Vec::new());
+        let csv = export_counters(&sink);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rows: {csv}");
+        assert_eq!(lines[0], "ts,pid,tid,counter,key,value");
+        assert!(lines[1].contains("roofline,flops,64"));
+        assert!(lines[2].contains("roofline,bytes,32"));
+    }
+
+    #[test]
+    fn fields_with_commas_are_quoted() {
+        let sink = TraceSink::enabled(8);
+        sink.counter(Track::ENGINE, "a,b", "mem", vec![("k", "x\"y".into())]);
+        let csv = export_counters(&sink);
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"x\"\"y\""));
+    }
+}

@@ -1,0 +1,188 @@
+//! Chrome/Perfetto `trace.json` exporter.
+//!
+//! Emits the legacy JSON trace-event format (`{"traceEvents": [...]}`),
+//! which both `chrome://tracing` and <https://ui.perfetto.dev> load
+//! directly. Virtual ticks are rendered as microseconds.
+//!
+//! Per track group: one `process_name` metadata event per pid, one
+//! `thread_name` metadata event per (pid, tid), then the recorded
+//! spans (`ph:"X"`), instants (`ph:"i"`) and counters (`ph:"C"`).
+
+use crate::{ArgValue, EventKind, TraceSink};
+use std::collections::BTreeSet;
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_arg_value(out: &mut String, v: &ArgValue) {
+    match v {
+        ArgValue::U64(n) => out.push_str(&n.to_string()),
+        ArgValue::F64(f) if f.is_finite() => out.push_str(&format!("{f}")),
+        ArgValue::F64(_) => out.push_str("null"),
+        ArgValue::Str(s) => push_json_str(out, s),
+    }
+}
+
+/// Serialise the sink's current events as a Chrome/Perfetto JSON trace.
+///
+/// Always returns a loadable document, even for an empty or disabled
+/// sink (the `traceEvents` array is simply empty).
+pub fn export_json(sink: &TraceSink) -> String {
+    let events = sink.events();
+    let process_names = sink.process_names();
+    let thread_names = sink.thread_names();
+
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+    };
+
+    // Metadata: name every pid and every (pid, tid) exactly once,
+    // first occurrence wins.
+    let mut seen_pids = BTreeSet::new();
+    for (pid, name) in &process_names {
+        if !seen_pids.insert(*pid) {
+            continue;
+        }
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":"
+        ));
+        push_json_str(&mut out, name);
+        out.push_str("}}");
+    }
+    let mut seen_tracks = BTreeSet::new();
+    for (track, name) in &thread_names {
+        if !seen_tracks.insert(*track) {
+            continue;
+        }
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":",
+            track.pid, track.tid
+        ));
+        push_json_str(&mut out, name);
+        out.push_str("}}");
+    }
+
+    for ev in &events {
+        sep(&mut out);
+        out.push('{');
+        out.push_str("\"name\":");
+        push_json_str(&mut out, &ev.name);
+        out.push_str(",\"cat\":");
+        push_json_str(&mut out, ev.cat);
+        match ev.kind {
+            EventKind::Span => {
+                out.push_str(&format!(
+                    ",\"ph\":\"X\",\"ts\":{},\"dur\":{}",
+                    ev.ts, ev.dur
+                ));
+            }
+            EventKind::Instant => {
+                out.push_str(&format!(",\"ph\":\"i\",\"s\":\"t\",\"ts\":{}", ev.ts));
+            }
+            EventKind::Counter => {
+                out.push_str(&format!(",\"ph\":\"C\",\"ts\":{}", ev.ts));
+            }
+        }
+        out.push_str(&format!(
+            ",\"pid\":{},\"tid\":{}",
+            ev.track.pid, ev.track.tid
+        ));
+        out.push_str(&format!(",\"args\":{{\"seq\":{}", ev.seq));
+        for (k, v) in &ev.args {
+            out.push(',');
+            push_json_str(&mut out, k);
+            out.push(':');
+            push_arg_value(&mut out, v);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Track;
+
+    #[test]
+    fn empty_sink_exports_valid_document() {
+        let sink = TraceSink::disabled();
+        let json = export_json(&sink);
+        let doc = serde_json::from_str(&json).expect("parses");
+        assert!(doc["traceEvents"].as_array().expect("array").is_empty());
+    }
+
+    #[test]
+    fn exports_metadata_spans_and_counters() {
+        let sink = TraceSink::enabled(64);
+        sink.name_process(0, "engine");
+        sink.name_thread(Track::ENGINE, "engine");
+        sink.span_at(
+            Track::ENGINE,
+            "plan \"weird\"\nname",
+            "engine",
+            3,
+            7,
+            vec![("m", 32u64.into()), ("label", "spmm-octet".into())],
+        );
+        sink.counter(
+            Track::ENGINE,
+            "roofline",
+            "mem",
+            vec![("flops", 100u64.into()), ("intensity", 1.5f64.into())],
+        );
+        let json = export_json(&sink);
+        let doc = serde_json::from_str(&json).expect("parses");
+        let events = doc["traceEvents"].as_array().expect("array");
+        assert_eq!(events.len(), 4);
+        let span = events
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("X"))
+            .expect("one span");
+        assert_eq!(span["ts"].as_u64(), Some(3));
+        assert_eq!(span["dur"].as_u64(), Some(7));
+        assert_eq!(span["args"]["label"].as_str(), Some("spmm-octet"));
+        let counter = events
+            .iter()
+            .find(|e| e["ph"].as_str() == Some("C"))
+            .expect("one counter");
+        assert_eq!(counter["args"]["intensity"].as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let sink = TraceSink::enabled(4);
+        sink.counter(
+            Track::ENGINE,
+            "bad",
+            "mem",
+            vec![("x", f64::NAN.into()), ("y", f64::INFINITY.into())],
+        );
+        let json = export_json(&sink);
+        let doc = serde_json::from_str(&json).expect("parses despite NaN");
+        let ev = &doc["traceEvents"][0];
+        assert!(ev["args"]["x"].is_null());
+        assert!(ev["args"]["y"].is_null());
+    }
+}

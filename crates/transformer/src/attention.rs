@@ -1,12 +1,13 @@
 //! Sparse self-attention on the vecsparse kernels.
 
+use std::sync::Arc;
 use vecsparse::engine::{Context, SddmmPlan};
 use vecsparse::softmax::{profile_softmax_vs, softmax_vs, DenseSoftmax};
 use vecsparse::spmm::profile_dense_gemm;
 use vecsparse::{SddmmAlgo, SpmmAlgo};
 use vecsparse_formats::{gen, reference, DenseMatrix, Layout, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
-use vecsparse_gpu_sim::{launch, GpuConfig, KernelSpec, MemPool, Mode};
+use vecsparse_gpu_sim::{launch, GpuConfig, KernelSpec, MemPool, Mode, TraceSink};
 
 /// Shape of one attention layer instance.
 #[derive(Clone, Copy, Debug)]
@@ -151,7 +152,18 @@ impl AttentionLatency {
 /// Latency of the **sparse** attention layer using the vecsparse kernels,
 /// profiled through an engine context on `gpu`.
 pub fn sparse_attention_latency(gpu: &GpuConfig, cfg: &AttentionConfig) -> AttentionLatency {
-    let ctx = Context::with_gpu(gpu.clone());
+    sparse_attention_latency_traced(gpu, cfg, Arc::new(TraceSink::disabled()))
+}
+
+/// [`sparse_attention_latency`] with the profiling context recording into
+/// `sink`: every plan/tune/stage span and the per-scheduler kernel
+/// timelines of the QK SDDMM and AV SpMM land in the trace.
+pub fn sparse_attention_latency_traced(
+    gpu: &GpuConfig,
+    cfg: &AttentionConfig,
+    sink: Arc<TraceSink>,
+) -> AttentionLatency {
+    let ctx = Context::with_telemetry(gpu.clone(), sink);
     let l = cfg.seq_len;
     let d = cfg.head_dim;
     let mask = cfg.mask(0x7A);

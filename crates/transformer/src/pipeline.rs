@@ -242,4 +242,34 @@ mod tests {
         // 2 forwards × (1 mask plan + 2 layers × 2 heads × 1 SpMM plan).
         assert_eq!(ctx.stats().plans_built as usize, 2 * (1 + 2 * 2));
     }
+
+    #[test]
+    fn traced_forward_records_engine_spans() {
+        use std::sync::Arc;
+        use vecsparse_gpu_sim::TraceSink;
+
+        let sink = Arc::new(TraceSink::enabled(1 << 16));
+        let ctx = Context::with_telemetry(vecsparse_gpu_sim::GpuConfig::small(), Arc::clone(&sink));
+        let enc = SparseEncoder::random(small_cfg(), 1, 7);
+        let x = gen::random_dense::<f16>(32, 32, Layout::RowMajor, 8);
+        enc.forward(&ctx, &x);
+
+        let events = sink.events();
+        let count = |name: &str| events.iter().filter(|e| e.name == name).count();
+        // One mask plan, with its staging span.
+        assert_eq!(count("plan sddmm"), 1);
+        assert_eq!(count("stage sddmm"), 1);
+        // Per-head attention: one SDDMM and one SpMM run each, 2 heads.
+        assert_eq!(count("run sddmm"), 2);
+        assert_eq!(count("run spmm"), 2);
+        // The engine track is named so the Perfetto export labels it.
+        assert!(sink
+            .process_names()
+            .iter()
+            .any(|(pid, name)| *pid == 0 && name == "engine"));
+        // An untraced context records nothing (zero-overhead default).
+        let quiet = Context::with_gpu(vecsparse_gpu_sim::GpuConfig::small());
+        enc.forward(&quiet, &x);
+        assert!(quiet.sink().events().is_empty());
+    }
 }
