@@ -5,7 +5,8 @@
 //! cargo run --release -p vecsparse-bench --bin sweep -- \
 //!     --m 2048 --k 1024 --n 256 --v 4 --sparsity 0.9 [--seed 42] \
 //!     [--algo auto] [--json results.json] [--expect-auto spmm-octet] \
-//!     [--sanitize] [--trace trace.json] [--csv counters.csv] [--report]
+//!     [--sanitize] [--precision] [--trace trace.json] [--csv counters.csv]
+//!     [--report]
 //! ```
 //!
 //! * `--algo auto` adds an `auto` row: the engine's tuner picks among the
@@ -20,6 +21,12 @@
 //!   `vecsparse-sanitizer` at the sweep shape before profiling, and
 //!   aborts (exit 1) on any deny-level finding — profiling a kernel the
 //!   checker rejects would benchmark undefined behaviour.
+//! * `--precision` runs the two-sided numerical checker over the swept
+//!   SpMM kernels at the sweep shape before profiling: the static
+//!   abstract interpreter must raise no lints and the fp64 shadow
+//!   execution's observed error must stay under each kernel's static
+//!   certificate (a violation is an analyzer soundness bug). Exits 1 on
+//!   any failure.
 //! * `--trace PATH` records the whole sweep through the engine's
 //!   telemetry sink and writes a Chrome/Perfetto `trace.json`: engine
 //!   spans (plan/tune/stage/run) on the engine track, one process per
@@ -44,7 +51,9 @@ use vecsparse_telemetry::{csv as telemetry_csv, perfetto, TraceSink, DEFAULT_CAP
 
 /// Version of the `--json` document layout. Bump when fields change
 /// meaning or move; additions are allowed within a version.
-const JSON_SCHEMA_VERSION: u32 = 2;
+/// v3: added the `certificates` array (static precision bounds for every
+/// kernel the engine planned during the sweep).
+const JSON_SCHEMA_VERSION: u32 = 3;
 
 fn arg(name: &str, default: f64) -> f64 {
     let args: Vec<String> = std::env::args().collect();
@@ -118,6 +127,42 @@ fn main() {
         println!();
         if dirty {
             eprintln!("sanitizer found deny-level issues; not profiling");
+            std::process::exit(1);
+        }
+    }
+
+    if std::env::args().any(|a| a == "--precision") {
+        use vecsparse::registry::{self, KernelId, Shape};
+        use vecsparse_gpu_sim::Mode;
+        use vecsparse_precision::{analyze, check_soundness, shadow_run};
+        let shape = Shape {
+            m,
+            n,
+            k,
+            v,
+            sparsity,
+            seed,
+        };
+        let swept = ["spmm-dense", "spmm-fpu", "spmm-blocked-ell", "spmm-octet"];
+        let mut dirty = false;
+        for label in swept {
+            let id = KernelId::parse(label).expect("swept labels are registry labels");
+            let model = registry::model_for(id, &shape);
+            let (analysis, report) =
+                registry::with_kernel_mut(id, &shape, Mode::Functional, |mem, kern| {
+                    let prog = kern.program().expect("registry kernels expose a Program");
+                    (analyze(label, prog, &model), shadow_run(mem, kern))
+                });
+            print!("{}", analysis.render());
+            dirty |= !analysis.is_clean();
+            if let Err(e) = check_soundness(&analysis.certificate, &report) {
+                eprintln!("{e}");
+                dirty = true;
+            }
+        }
+        println!();
+        if dirty {
+            eprintln!("precision checker found issues; not profiling");
             std::process::exit(1);
         }
     }
@@ -222,6 +267,24 @@ fn main() {
                     .map(|t| format!(", \"tuned\": \"{}\"", json_escape(t)))
                     .unwrap_or_default(),
                 if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        // Static precision certificates for every kernel the engine
+        // planned during the sweep (schema v3).
+        out.push_str("  \"certificates\": [\n");
+        let certs = ctx.report().certificates;
+        for (i, c) in certs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"max_abs_output\": {:e}, \"abs_error_bound\": {:e}, \
+                 \"rel_error_bound\": {:e}, \"reduction_len\": {}, \"stores_f16\": {}}}{}\n",
+                json_escape(&c.kernel),
+                c.max_abs_output,
+                c.abs_error_bound,
+                c.rel_error_bound,
+                c.reduction_len,
+                c.stores_f16,
+                if i + 1 == certs.len() { "" } else { "," }
             ));
         }
         out.push_str("  ]\n}\n");

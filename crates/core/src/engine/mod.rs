@@ -49,12 +49,14 @@ pub use sddmm_plan::{SddmmDesc, SddmmPlan};
 pub use spmm_plan::{SpmmDesc, SpmmPlan};
 
 use crate::api::{SddmmAlgo, SpmmAlgo};
+use crate::registry::{self, KernelId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use vecsparse_formats::{gen, BlockedEll, DenseMatrix, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{GpuConfig, KernelProfile, TraceSink, Track};
+use vecsparse_precision::Certificate;
 
 /// Granularity of the sparsity axis of the plan-cache key: sparsities are
 /// bucketed to 1/64 before lookup, so two problems whose zero fractions
@@ -154,6 +156,9 @@ pub(crate) struct Counters {
     plans_built: AtomicU64,
     /// Per-algorithm run/profile/cycle aggregation for [`Report`].
     algos: Mutex<HashMap<&'static str, AlgoAgg>>,
+    /// Worst-case precision certificate per planned algorithm (the widest
+    /// bound over every descriptor planned through this context).
+    certs: Mutex<HashMap<&'static str, Certificate>>,
 }
 
 impl Counters {
@@ -179,6 +184,28 @@ impl Counters {
     pub(crate) fn algo_snapshot(&self) -> Vec<(&'static str, AlgoAgg)> {
         let mut v: Vec<_> = self.algos_lock().iter().map(|(k, a)| (*k, *a)).collect();
         v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    fn certs_lock(&self) -> std::sync::MutexGuard<'_, HashMap<&'static str, Certificate>> {
+        self.certs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Keep the loosest (largest-bound) certificate seen per algorithm,
+    /// so the report stays sound over every descriptor planned.
+    pub(crate) fn record_certificate(&self, label: &'static str, cert: Certificate) {
+        let mut certs = self.certs_lock();
+        match certs.get(label) {
+            Some(old) if old.abs_error_bound >= cert.abs_error_bound => {}
+            _ => {
+                certs.insert(label, cert);
+            }
+        }
+    }
+
+    pub(crate) fn cert_snapshot(&self) -> Vec<Certificate> {
+        let mut v: Vec<_> = self.certs_lock().values().cloned().collect();
+        v.sort_by(|a, b| a.kernel.cmp(&b.kernel));
         v
     }
 }
@@ -279,6 +306,7 @@ impl Context {
                     total_cycles: agg.cycles,
                 })
                 .collect(),
+            certificates: self.counters.cert_snapshot(),
             cached_plans: self.cache_lock().len(),
             trace_events: self.sink.events().len(),
             trace_dropped: self.sink.dropped(),
@@ -319,6 +347,7 @@ impl Context {
         plan_span.arg("v", desc.v);
         let resolved = self.resolve_spmm(&desc, algo, a);
         plan_span.arg("algo", resolved.label());
+        self.record_plan_certificate(resolved.label(), desc.m, desc.n, desc.k, desc.v);
         let plan = {
             let _stage = self.sink.span(Track::ENGINE, "stage spmm", "engine");
             SpmmPlan::build(
@@ -377,6 +406,7 @@ impl Context {
         plan_span.arg("v", desc.v);
         let resolved = self.resolve_sddmm(&desc, algo, mask);
         plan_span.arg("algo", resolved.label());
+        self.record_plan_certificate(resolved.label(), desc.m, desc.n, desc.k, desc.v);
         let plan = {
             let _stage = self.sink.span(Track::ENGINE, "stage sddmm", "engine");
             SddmmPlan::build(
@@ -445,6 +475,25 @@ impl Context {
         algo: SddmmAlgo,
     ) -> KernelProfile {
         self.plan_sddmm(mask, a.cols(), algo).profile(a, b)
+    }
+
+    /// Attach the precision certificate of the resolved kernel at this
+    /// descriptor to the context's counters (surfaced in [`Report`]).
+    /// Algorithm labels coincide with registry labels, so the lookup is a
+    /// parse; sparsity does not enter the error model.
+    fn record_plan_certificate(&self, label: &'static str, m: usize, n: usize, k: usize, v: usize) {
+        if let Some(id) = KernelId::parse(label) {
+            let shape = registry::Shape {
+                m,
+                n,
+                k,
+                v,
+                sparsity: 0.0,
+                seed: 0,
+            };
+            let cert = registry::model_for(id, &shape).certificate(label);
+            self.counters.record_certificate(label, cert);
+        }
     }
 
     fn resolve_spmm(&self, desc: &SpmmDesc, algo: SpmmAlgo, a: &VectorSparse<f16>) -> SpmmAlgo {

@@ -1,6 +1,7 @@
 //! Aggregated per-context metrics: what the engine did and what it cost.
 
 use super::EngineStats;
+use vecsparse_precision::Certificate;
 
 /// Run/profile aggregate for one concrete kernel algorithm.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -35,6 +36,10 @@ pub struct Report {
     pub stats: EngineStats,
     /// Per-algorithm aggregates, sorted by label.
     pub algos: Vec<AlgoReport>,
+    /// Static precision certificates for every kernel planned through this
+    /// context, sorted by label. The loosest (largest) bound seen across all
+    /// planned problem shapes is retained per kernel.
+    pub certificates: Vec<Certificate>,
     /// Distinct tuning decisions held in the plan cache.
     pub cached_plans: usize,
     /// Events currently retained by the context's trace sink.
@@ -93,6 +98,20 @@ impl Report {
                 );
             }
         }
+        if !self.certificates.is_empty() {
+            let _ = writeln!(
+                out,
+                "   {:<18} {:>12} {:>12} {:>10}",
+                "certificate", "abs bound", "rel bound", "max |out|"
+            );
+            for c in &self.certificates {
+                let _ = writeln!(
+                    out,
+                    "   {:<18} {:>12.3e} {:>12.3e} {:>10.3e}",
+                    c.kernel, c.abs_error_bound, c.rel_error_bound, c.max_abs_output
+                );
+            }
+        }
         out
     }
 }
@@ -106,6 +125,7 @@ mod tests {
         let empty = Report {
             stats: EngineStats::default(),
             algos: Vec::new(),
+            certificates: Vec::new(),
             cached_plans: 0,
             trace_events: 0,
             trace_dropped: 0,
@@ -125,6 +145,14 @@ mod tests {
                 runs: 7,
                 profiles: 2,
                 total_cycles: 2000.0,
+            }],
+            certificates: vec![Certificate {
+                kernel: "spmm-octet".to_string(),
+                max_abs_output: 256.0,
+                abs_error_bound: 0.126,
+                rel_error_bound: 0.126 / 256.0,
+                reduction_len: 64,
+                stores_f16: true,
             }],
             cached_plans: 1,
             trace_events: 42,

@@ -15,6 +15,7 @@ use crate::spmm::{BlockedEllSpmm, CsrScalarSpmm, DenseGemm, FpuSubwarpSpmm, Octe
 use vecsparse_formats::{gen, Layout};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{KernelSpec, MemPool, Mode};
+use vecsparse_precision::KernelModel;
 
 /// Every kernel the crate ships, as a flat id (one per `SpmmAlgo` /
 /// `SddmmAlgo` variant plus the kernels the selectors do not cover).
@@ -122,6 +123,40 @@ impl Default for Shape {
     }
 }
 
+/// The numerical model of `id` at `shape`, for the precision analyzer.
+///
+/// The mapping encodes what each kernel does arithmetically:
+///
+/// * TCU SpMM/SDDMM kernels (and the f32-accumulating host references)
+///   keep fp16×fp16 products exact and accumulate in fp32 over `k` —
+///   [`KernelModel::tcu_reduction`]. The workspace generators emit
+///   multiples of 1/8, so even the f32 SDDMM's products are exact.
+/// * The FPU subwarp kernels round each product to binary16 (paired
+///   HMUL2/FADD) — [`KernelModel::fpu_reduction`].
+/// * The softmax kernels are row compositions `exp(x−max)/Σexp` over at
+///   most `n` entries — [`KernelModel::softmax`].
+pub fn model_for(id: KernelId, shape: &Shape) -> KernelModel {
+    match id {
+        KernelId::SpmmDense
+        | KernelId::SpmmCsrScalar
+        | KernelId::SpmmBlockedEll
+        | KernelId::SpmmWmma
+        | KernelId::SpmmOctet
+        | KernelId::SddmmWmma
+        | KernelId::SddmmOctetReg
+        | KernelId::SddmmOctetShfl
+        | KernelId::SddmmOctetArch => KernelModel::tcu_reduction(shape.k),
+        // The fp32 cuSPARSE SDDMM surrogate: same exact products and f32
+        // accumulation, but a 32-bit output store.
+        KernelId::SddmmCsr => KernelModel {
+            out_elem_bytes: 4,
+            ..KernelModel::tcu_reduction(shape.k)
+        },
+        KernelId::SpmmFpuSubwarp | KernelId::SddmmFpuSubwarp => KernelModel::fpu_reduction(shape.k),
+        KernelId::SoftmaxSparse | KernelId::SoftmaxDense => KernelModel::softmax(shape.n),
+    }
+}
+
 /// Generate inputs for `id` at `shape`, stage them into a fresh pool,
 /// build the kernel in `mode`, and run `f` on the result.
 ///
@@ -133,6 +168,22 @@ pub fn with_kernel<R>(
     shape: &Shape,
     mode: Mode,
     f: impl FnOnce(&MemPool, &dyn KernelSpec) -> R,
+) -> R {
+    with_kernel_mut(id, shape, mode, |mem, kern| f(mem, kern))
+}
+
+/// Like [`with_kernel`] but hands `f` a mutable pool, so callers can
+/// launch the kernel (e.g. fp64 shadow execution, which applies global
+/// writes) rather than only inspect it.
+///
+/// # Panics
+/// Panics if the shape violates a kernel's constructor contract (e.g. a
+/// `v` outside {1, 2, 4, 8}).
+pub fn with_kernel_mut<R>(
+    id: KernelId,
+    shape: &Shape,
+    mode: Mode,
+    f: impl FnOnce(&mut MemPool, &dyn KernelSpec) -> R,
 ) -> R {
     let mut mem = MemPool::new();
     let Shape {
@@ -148,58 +199,58 @@ pub fn with_kernel<R>(
             let a = gen::random_dense::<f16>(m, k, Layout::RowMajor, seed);
             let b = gen::random_dense::<f16>(k, n, Layout::RowMajor, seed ^ 0xB);
             let kern = DenseGemm::new(&mut mem, &a, &b, mode);
-            f(&mem, &kern)
+            f(&mut mem, &kern)
         }
         KernelId::SpmmCsrScalar => {
             let a = gen::random_csr::<f16>(m, k, sparsity, seed);
             let b = gen::random_dense::<f16>(k, n, Layout::RowMajor, seed ^ 0xB);
             let kern = CsrScalarSpmm::new(&mut mem, &a, &b, mode);
-            f(&mem, &kern)
+            f(&mut mem, &kern)
         }
         KernelId::SpmmBlockedEll => {
             let a = gen::random_blocked_ell::<f16>(m, k, v.max(2), sparsity, seed);
             let b = gen::random_dense::<f16>(k, n, Layout::RowMajor, seed ^ 0xB);
             let kern = BlockedEllSpmm::new(&mut mem, &a, &b, mode);
-            f(&mem, &kern)
+            f(&mut mem, &kern)
         }
         KernelId::SpmmFpuSubwarp => {
             let a = gen::random_vector_sparse::<f16>(m, k, v, sparsity, seed);
             let b = gen::random_dense::<f16>(k, n, Layout::RowMajor, seed ^ 0xB);
             let kern = FpuSubwarpSpmm::new(&mut mem, &a, &b, mode);
-            f(&mem, &kern)
+            f(&mut mem, &kern)
         }
         KernelId::SpmmWmma => {
             let a = gen::random_vector_sparse::<f16>(m, k, v, sparsity, seed);
             let b = gen::random_dense::<f16>(k, n, Layout::RowMajor, seed ^ 0xB);
             let kern = WmmaSpmm::new(&mut mem, &a, &b, mode);
-            f(&mem, &kern)
+            f(&mut mem, &kern)
         }
         KernelId::SpmmOctet => {
             let a = gen::random_vector_sparse::<f16>(m, k, v, sparsity, seed);
             let b = gen::random_dense::<f16>(k, n, Layout::RowMajor, seed ^ 0xB);
             let kern = OctetSpmm::new(&mut mem, &a, &b, mode);
-            f(&mem, &kern)
+            f(&mut mem, &kern)
         }
         KernelId::SddmmCsr => {
             let a = gen::random_dense::<f32>(m, k, Layout::RowMajor, seed);
             let b = gen::random_dense::<f32>(k, n, Layout::ColMajor, seed ^ 0xB);
             let mask = gen::random_pattern(m, n, 1, sparsity, seed ^ 0xC);
             let kern = CsrSddmm::new(&mut mem, &a, &b, &mask, mode);
-            f(&mem, &kern)
+            f(&mut mem, &kern)
         }
         KernelId::SddmmFpuSubwarp => {
             let a = gen::random_dense::<f16>(m, k, Layout::RowMajor, seed);
             let b = gen::random_dense::<f16>(k, n, Layout::ColMajor, seed ^ 0xB);
             let mask = gen::random_pattern(m, n, v, sparsity, seed ^ 0xC);
             let kern = FpuSubwarpSddmm::new(&mut mem, &a, &b, &mask, mode);
-            f(&mem, &kern)
+            f(&mut mem, &kern)
         }
         KernelId::SddmmWmma => {
             let a = gen::random_dense::<f16>(m, k, Layout::RowMajor, seed);
             let b = gen::random_dense::<f16>(k, n, Layout::ColMajor, seed ^ 0xB);
             let mask = gen::random_pattern(m, n, v, sparsity, seed ^ 0xC);
             let kern = WmmaSddmm::new(&mut mem, &a, &b, &mask, mode);
-            f(&mem, &kern)
+            f(&mut mem, &kern)
         }
         KernelId::SddmmOctetReg | KernelId::SddmmOctetShfl | KernelId::SddmmOctetArch => {
             let variant = match id {
@@ -211,12 +262,12 @@ pub fn with_kernel<R>(
             let b = gen::random_dense::<f16>(k, n, Layout::ColMajor, seed ^ 0xB);
             let mask = gen::random_pattern(m, n, v, sparsity, seed ^ 0xC);
             let kern = OctetSddmm::new(&mut mem, &a, &b, &mask, variant, mode);
-            f(&mem, &kern)
+            f(&mut mem, &kern)
         }
         KernelId::SoftmaxSparse => {
             let x = gen::random_vector_sparse::<f16>(m, n, v, sparsity, seed);
             let kern = SparseSoftmax::new(&mut mem, &x, mode);
-            f(&mem, &kern)
+            f(&mut mem, &kern)
         }
         KernelId::SoftmaxDense => {
             let kern = DenseSoftmax::new(&mut mem, m, n, mode);
@@ -232,7 +283,7 @@ pub fn with_kernel<R>(
                     .collect();
                 mem.apply_writes(kern.input(), &writes);
             }
-            f(&mem, &kern)
+            f(&mut mem, &kern)
         }
     }
 }

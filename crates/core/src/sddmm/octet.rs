@@ -312,6 +312,7 @@ impl KernelSpec for OctetSddmm<'_> {
         debug_assert_eq!(k_total, self.b.rows());
         let n = self.b.cols();
         let functional = cta.mode == Mode::Functional;
+        let shadow = functional && cta.shadow_exec;
         let switch = self.variant == OctetVariant::Arch;
         let flavor = self.flavor();
         let s = &self.sites;
@@ -333,6 +334,8 @@ impl KernelSpec for OctetSddmm<'_> {
         // [sub][octet][col 0..8][row 0..v].
         let subs = len.div_ceil(SUB_N);
         let mut partials = vec![0.0f32; subs * 4 * SUB_N * v_len];
+        // fp64 twins of the partials, fed by the mma shadow pass.
+        let mut partials64 = vec![0.0f64; if shadow { subs * 4 * SUB_N * v_len } else { 0 }];
         // Trace accumulators per sub-step.
         let mut acc_frags: Vec<WVec> = (0..subs)
             .map(|_| {
@@ -418,6 +421,9 @@ impl KernelSpec for OctetSddmm<'_> {
                                         // the same acc positions.
                                         let lane = octet_lane(o, g, t);
                                         partials[base] += acc.get(lane, r);
+                                        if shadow {
+                                            partials64[base] += acc.get_shadow(lane, r);
+                                        }
                                     }
                                 }
                             }
@@ -484,6 +490,12 @@ impl KernelSpec for OctetSddmm<'_> {
                             .map(|o| partials[((sub * 4 + o) * SUB_N + c) * v_len + r])
                             .sum();
                         vals.set(l, e, f16::from_f32(sum).to_f32());
+                        if shadow {
+                            let sum64: f64 = (0..4)
+                                .map(|o| partials64[((sub * 4 + o) * SUB_N + c) * v_len + r])
+                                .sum();
+                            vals.set_shadow(l, e, sum64);
+                        }
                     }
                 }
             } else {

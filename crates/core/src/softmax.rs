@@ -93,6 +93,7 @@ impl KernelSpec for SparseSoftmax<'_> {
         let br = cta.cta_id;
         let range = p.block_row_range(br);
         let functional = cta.mode == Mode::Functional;
+        let shadow = functional && cta.shadow_exec;
         let s = &self.sites;
         let mut w = cta.warp(0);
 
@@ -105,6 +106,9 @@ impl KernelSpec for SparseSoftmax<'_> {
         let mut red_tok = Tok::NONE;
         let mut maxv = vec![f32::NEG_INFINITY; v];
         let mut denom = vec![0.0f32; v];
+        // fp64 twin of the denominator (the max itself is an exact
+        // comparison, so it needs no twin).
+        let mut denom64 = vec![0.0f64; v];
         for chunk in 0..nvec.div_ceil(32) {
             let offs = lanes(|l| {
                 let i = chunk * 32 + l;
@@ -135,6 +139,9 @@ impl KernelSpec for SparseSoftmax<'_> {
                 for e in 0..v {
                     let x = w.mem().read(self.bufs.values, i * v + e);
                     denom[e] += (x - maxv[e]).exp();
+                    if shadow {
+                        denom64[e] += (f64::from(x) - f64::from(maxv[e])).exp();
+                    }
                 }
             }
         }
@@ -160,6 +167,10 @@ impl KernelSpec for SparseSoftmax<'_> {
                         let x = w.mem().read(self.bufs.values, (range.start + i) * v + e);
                         let y = (x - maxv[e]).exp() / denom[e];
                         vals.set(l, e, f16::from_f32(y).to_f32());
+                        if shadow {
+                            let y64 = (f64::from(x) - f64::from(maxv[e])).exp() / denom64[e];
+                            vals.set_shadow(l, e, y64);
+                        }
                     }
                 }
             } else {
@@ -266,17 +277,23 @@ impl KernelSpec for DenseSoftmax {
         let row = cta.cta_id;
         let n = self.cols;
         let functional = cta.mode == Mode::Functional;
+        let shadow = functional && cta.shadow_exec;
         let [ldg, exp, red, stg] = self.sites;
         let mut w = cta.warp(0);
 
         let mut maxv = f32::NEG_INFINITY;
         let mut denom = 0.0f32;
+        let mut denom64 = 0.0f64;
         if functional {
             for c in 0..n {
                 maxv = maxv.max(w.mem().read(self.in_buf, row * n + c));
             }
             for c in 0..n {
-                denom += (w.mem().read(self.in_buf, row * n + c) - maxv).exp();
+                let x = w.mem().read(self.in_buf, row * n + c);
+                denom += (x - maxv).exp();
+                if shadow {
+                    denom64 += (f64::from(x) - f64::from(maxv)).exp();
+                }
             }
         }
         let mut red_tok = Tok::NONE;
@@ -311,6 +328,10 @@ impl KernelSpec for DenseSoftmax {
                         if c < n {
                             let x = w.mem().read(self.in_buf, row * n + c);
                             vals.set(l, e, f16::from_f32((x - maxv).exp() / denom).to_f32());
+                            if shadow {
+                                let y64 = (f64::from(x) - f64::from(maxv)).exp() / denom64;
+                                vals.set_shadow(l, e, y64);
+                            }
                         }
                     }
                 }

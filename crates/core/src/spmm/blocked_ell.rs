@@ -216,8 +216,10 @@ impl KernelSpec for BlockedEllSpmm<'_> {
         let bpr = self.a.blocks_per_row();
         let s = &self.sites;
 
+        let shadow = functional && cta.shadow_exec;
         let cta_id = cta.cta_id;
         let mut acc = vec![0.0f32; block * tn];
+        let mut acc64 = vec![0.0f64; if shadow { block * tn } else { 0 }];
         let mut w = cta.warp(0);
 
         // Double-buffering: the wmma batch of group i consumes fragments
@@ -363,8 +365,11 @@ impl KernelSpec for BlockedEllSpmm<'_> {
                             }
                             let kr = bc as usize * block + kk;
                             for c in 0..tn {
-                                acc[r * tn + c] +=
-                                    a_val * w.mem().read(self.b_buf, kr * n + n0 + c);
+                                let b_val = w.mem().read(self.b_buf, kr * n + n0 + c);
+                                acc[r * tn + c] += a_val * b_val;
+                                if shadow {
+                                    acc64[r * tn + c] += f64::from(a_val) * f64::from(b_val);
+                                }
                             }
                         }
                     }
@@ -385,6 +390,11 @@ impl KernelSpec for BlockedEllSpmm<'_> {
                 let vals: Vec<f32> = (0..tn)
                     .map(|c| f16::from_f32(acc[r * tn + c]).to_f32())
                     .collect();
+                let shadows: Vec<f64> = if shadow {
+                    (0..tn).map(|c| acc64[r * tn + c]).collect()
+                } else {
+                    Vec::new()
+                };
                 crate::util::store_row_segment(
                     &mut w,
                     s.stg,
@@ -394,6 +404,7 @@ impl KernelSpec for BlockedEllSpmm<'_> {
                     n0,
                     tn,
                     &vals,
+                    &shadows,
                     8,
                     Tok::NONE,
                 );
@@ -406,6 +417,7 @@ impl KernelSpec for BlockedEllSpmm<'_> {
                     n,
                     n0,
                     tn,
+                    &[],
                     &[],
                     8,
                     mma_tok,

@@ -253,7 +253,10 @@ impl<T: Scalar> DenseGemm<'_, T> {
         k: usize,
         n: usize,
     ) {
+        let shadow = cta.shadow_exec;
         let mut tile = vec![0.0f32; tm * tn];
+        // fp64 twin of the tile for shadow execution; empty when off.
+        let mut tile64 = vec![0.0f64; if shadow { tm * tn } else { 0 }];
         for r in 0..tm {
             for l in 0..k {
                 let av = cta.mem().read(self.a_buf, (m0 + r) * k + l);
@@ -261,7 +264,11 @@ impl<T: Scalar> DenseGemm<'_, T> {
                     continue;
                 }
                 for c in 0..tn {
-                    tile[r * tn + c] += av * cta.mem().read(self.b_buf, l * n + n0 + c);
+                    let bv = cta.mem().read(self.b_buf, l * n + n0 + c);
+                    tile[r * tn + c] += av * bv;
+                    if shadow {
+                        tile64[r * tn + c] += f64::from(av) * f64::from(bv);
+                    }
                 }
             }
         }
@@ -282,6 +289,9 @@ impl<T: Scalar> DenseGemm<'_, T> {
                         let cc = c + lane * epl + e;
                         if cc < tn {
                             v.set(lane, e, round(tile[r * tn + cc]));
+                            if shadow {
+                                v.set_shadow(lane, e, tile64[r * tn + cc]);
+                            }
                         }
                     }
                 }

@@ -192,6 +192,7 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSpmm<'_, T> {
         let n0 = (cta.cta_id % chunks) * TILE_N;
         let range = p.block_row_range(br);
         let functional = cta.mode == Mode::Functional;
+        let shadow = functional && cta.shadow_exec;
         let s = &self.sites;
         let half = T::BITS == 16;
         // Vector width of a B-row fragment load per thread: 8 halves is
@@ -199,8 +200,10 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSpmm<'_, T> {
         let b_loads = if half { 1 } else { 2 };
         let epl_b = if half { 8 } else { 4 };
 
-        // Functional accumulator for the V×64 tile (f32, rounded at store).
+        // Functional accumulator for the V×64 tile (f32, rounded at store)
+        // plus its fp64 shadow twin (empty when shadow execution is off).
         let mut acc = vec![0.0f32; v * TILE_N];
+        let mut acc64 = vec![0.0f64; if shadow { v * TILE_N } else { 0 }];
 
         let mut w = cta.warp(0);
         let rp = lanes(|l| if l < 2 { Some(br + l) } else { None });
@@ -324,6 +327,10 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSpmm<'_, T> {
                             } else {
                                 acc[e * TILE_N + c] + a_val.to_f32() * b_val.to_f32()
                             };
+                            if shadow {
+                                acc64[e * TILE_N + c] +=
+                                    f64::from(a_val.to_f32()) * f64::from(b_val.to_f32());
+                            }
                         }
                     }
                 }
@@ -343,6 +350,11 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSpmm<'_, T> {
                 let vals: Vec<f32> = (0..tn)
                     .map(|c| T::from_f32(acc[r * TILE_N + c]).to_f32())
                     .collect();
+                let shadows: Vec<f64> = if shadow {
+                    (0..tn).map(|c| acc64[r * TILE_N + c]).collect()
+                } else {
+                    Vec::new()
+                };
                 crate::util::store_row_segment(
                     &mut w,
                     s.stg,
@@ -352,6 +364,7 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSpmm<'_, T> {
                     n0,
                     tn,
                     &vals,
+                    &shadows,
                     epl_b,
                     Tok::NONE,
                 );
@@ -364,6 +377,7 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSpmm<'_, T> {
                     n,
                     n0,
                     tn,
+                    &[],
                     &[],
                     epl_b,
                     math_tok,

@@ -402,8 +402,12 @@ impl KernelSpec for OctetSpmm<'_> {
         let row_base = br * v_len;
         let tn = TILE_N.min(n - n0);
         if functional {
-            // Extract from the accumulator fragments and round once.
+            // Extract from the accumulator fragments and round once. The
+            // shadow twins were maintained by the mma shadow pass; mirror
+            // the extraction so the stores carry them too.
+            let shadow = w.shadow_exec();
             let mut tile = vec![0.0f32; v_len * TILE_N];
+            let mut tile64 = vec![0.0f64; if shadow { v_len * TILE_N } else { 0 }];
             for (half, frag) in acc.iter().enumerate() {
                 for o in 0..4 {
                     for g in 0..2 {
@@ -411,6 +415,10 @@ impl KernelSpec for OctetSpmm<'_> {
                             let nrow = 32 * half + 8 * o + 4 * g + t;
                             for col in 0..v_len {
                                 tile[col * TILE_N + nrow] = frag.get(octet_lane(o, g, t), col);
+                                if shadow {
+                                    tile64[col * TILE_N + nrow] =
+                                        frag.get_shadow(octet_lane(o, g, t), col);
+                                }
                             }
                         }
                     }
@@ -425,6 +433,11 @@ impl KernelSpec for OctetSpmm<'_> {
                 let vals: Vec<f32> = (0..tn)
                     .map(|c| f16::from_f32(tile[r * TILE_N + c]).to_f32())
                     .collect();
+                let shadows: Vec<f64> = if shadow {
+                    (0..tn).map(|c| tile64[r * TILE_N + c]).collect()
+                } else {
+                    Vec::new()
+                };
                 crate::util::store_row_segment(
                     &mut w,
                     s.stg,
@@ -434,6 +447,7 @@ impl KernelSpec for OctetSpmm<'_> {
                     n0,
                     tn,
                     &vals,
+                    &shadows,
                     8,
                     Tok::NONE,
                 );
@@ -462,6 +476,7 @@ impl KernelSpec for OctetSpmm<'_> {
                     n,
                     n0,
                     tn,
+                    &[],
                     &[],
                     8,
                     shfl_tok,

@@ -161,9 +161,11 @@ impl KernelSpec for WmmaSpmm<'_> {
         let tn = TILE_N.min(n - n0);
         let range = p.block_row_range(br);
         let functional = cta.mode == Mode::Functional;
+        let shadow = functional && cta.shadow_exec;
         let s = &self.sites;
 
         let mut acc = vec![0.0f32; v_len * TILE_N];
+        let mut acc64 = vec![0.0f64; if shadow { v_len * TILE_N } else { 0 }];
         let mut w = cta.warp(0);
 
         let rp = lanes(|l| if l < 2 { Some(br + l) } else { None });
@@ -243,8 +245,11 @@ impl KernelSpec for WmmaSpmm<'_> {
                             continue;
                         }
                         for c in 0..tn {
-                            acc[e * TILE_N + c] +=
-                                a_val * w.mem().read(self.b_buf, col * n + n0 + c);
+                            let b_val = w.mem().read(self.b_buf, col * n + n0 + c);
+                            acc[e * TILE_N + c] += a_val * b_val;
+                            if shadow {
+                                acc64[e * TILE_N + c] += f64::from(a_val) * f64::from(b_val);
+                            }
                         }
                     }
                 }
@@ -261,6 +266,11 @@ impl KernelSpec for WmmaSpmm<'_> {
                 let vals: Vec<f32> = (0..tn)
                     .map(|c| f16::from_f32(acc[r * TILE_N + c]).to_f32())
                     .collect();
+                let shadows: Vec<f64> = if shadow {
+                    (0..tn).map(|c| acc64[r * TILE_N + c]).collect()
+                } else {
+                    Vec::new()
+                };
                 crate::util::store_row_segment(
                     &mut w,
                     s.stg,
@@ -270,6 +280,7 @@ impl KernelSpec for WmmaSpmm<'_> {
                     n0,
                     tn,
                     &vals,
+                    &shadows,
                     8,
                     Tok::NONE,
                 );
@@ -282,6 +293,7 @@ impl KernelSpec for WmmaSpmm<'_> {
                     n,
                     n0,
                     tn,
+                    &[],
                     &[],
                     8,
                     acc_tok,

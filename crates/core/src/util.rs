@@ -157,7 +157,9 @@ pub fn lanes(f: impl Fn(usize) -> Option<usize>) -> [u32; WARP_SIZE] {
 /// buffer of pitch `n`, splitting into the widest vector stores that do
 /// not cross the row end (real kernels predicate their residue stores the
 /// same way). `vals[c]` is the value for column `n0 + c`; pass an empty
-/// slice in performance mode (ghost stores carrying `dep`).
+/// slice in performance mode (ghost stores carrying `dep`). `shadows[c]`,
+/// when non-empty, attaches an fp64 shadow twin to each stored value
+/// (precision shadow execution); pass an empty slice otherwise.
 #[allow(clippy::too_many_arguments)]
 pub fn store_row_segment(
     w: &mut vecsparse_gpu_sim::WarpCtx<'_, '_>,
@@ -168,6 +170,7 @@ pub fn store_row_segment(
     n0: usize,
     tn: usize,
     vals: &[f32],
+    shadows: &[f64],
     max_epl: usize,
     dep: vecsparse_gpu_sim::Tok,
 ) {
@@ -201,6 +204,9 @@ pub fn store_row_segment(
                     let cc = base + l * epl + e;
                     if cc < tn {
                         v.set(l, e, vals[cc]);
+                        if !shadows.is_empty() {
+                            v.set_shadow(l, e, shadows[cc]);
+                        }
                     }
                 }
             }

@@ -43,14 +43,34 @@ impl f16 {
     /// A canonical quiet NaN.
     pub const NAN: f16 = f16(0x7E00);
     /// Largest finite value, 65504.
+    ///
+    /// ```
+    /// use vecsparse_fp16::f16;
+    /// assert_eq!(f16::MAX.to_f32(), 65504.0);
+    /// assert!(f16::from_f32(65520.0).is_infinite()); // Past MAX + ulp/2.
+    /// ```
     pub const MAX: f16 = f16(0x7BFF);
     /// Smallest finite value, -65504.
     pub const MIN: f16 = f16(0xFBFF);
-    /// Smallest positive normal value, 2^-14.
+    /// Smallest positive normal value, 2^-14; anything smaller is flushed
+    /// or represented subnormally.
+    ///
+    /// ```
+    /// use vecsparse_fp16::f16;
+    /// assert_eq!(f16::MIN_POSITIVE.to_f32(), 2.0f32.powi(-14));
+    /// assert!(f16::from_f32(2.0f32.powi(-15)).is_subnormal());
+    /// ```
     pub const MIN_POSITIVE: f16 = f16(0x0400);
     /// Smallest positive subnormal value, 2^-24.
     pub const MIN_POSITIVE_SUBNORMAL: f16 = f16(0x0001);
-    /// Machine epsilon, 2^-10.
+    /// Machine epsilon, 2^-10: the gap between 1.0 and the next
+    /// representable value.
+    ///
+    /// ```
+    /// use vecsparse_fp16::f16;
+    /// assert_eq!(f16::EPSILON.to_f32(), 2.0f32.powi(-10));
+    /// assert_eq!(f16::EPSILON.to_f32(), f16::ONE.ulp());
+    /// ```
     pub const EPSILON: f16 = f16(0x1400);
 
     /// Reinterpret raw bits as an `f16`.
@@ -160,10 +180,66 @@ impl f16 {
         f32::from_bits(bits)
     }
 
-    /// Lossy conversion from `f64` (via `f32`).
-    #[inline]
+    /// Convert from `f64` with a **single** round-to-nearest-even.
+    ///
+    /// Rounding through `f32` first would round twice, which disagrees
+    /// with a direct conversion for values that sit within half an f32
+    /// ulp of an f16 rounding boundary (e.g. `1 + 2^-11 + 2^-40` rounds
+    /// to `1 + 2^-10` directly but collapses to the tie `1 + 2^-11` in
+    /// `f32` and then ties-to-even down to `1.0`).
     pub fn from_f64(value: f64) -> f16 {
-        f16::from_f32(value as f32)
+        let bits = value.to_bits();
+        let sign = ((bits >> 48) & 0x8000) as u16;
+        let exp = ((bits >> 52) & 0x7FF) as i32;
+        let man = bits & 0x000F_FFFF_FFFF_FFFF;
+
+        if exp == 0x7FF {
+            // Infinity or NaN.
+            return if man == 0 {
+                f16(sign | EXP_MASK)
+            } else {
+                // Quiet NaN; keep the top mantissa bits for debuggability.
+                f16(sign | EXP_MASK | 0x0200 | ((man >> 42) as u16 & MAN_MASK))
+            };
+        }
+
+        let unbiased = exp - 1023;
+        let half_exp = unbiased + 15;
+
+        if half_exp >= 0x1F {
+            // Overflow to infinity.
+            return f16(sign | EXP_MASK);
+        }
+
+        if half_exp <= 0 {
+            // Subnormal or zero; f64 subnormals land here too (their
+            // half_exp is hugely negative, far below the -10 cutoff).
+            if half_exp < -10 {
+                return f16(sign);
+            }
+            let full_man = man | (1u64 << 52);
+            // Shift so that 10 mantissa bits remain for half_exp == 0,
+            // one fewer for each step below.
+            let shift = (43 - half_exp) as u32;
+            let halfway = 1u64 << (shift - 1);
+            let mut half_man = (full_man >> shift) as u16;
+            let rem = full_man & ((1u64 << shift) - 1);
+            if rem > halfway || (rem == halfway && (half_man & 1) == 1) {
+                half_man += 1; // May carry into the exponent; that is correct.
+            }
+            return f16(sign | half_man);
+        }
+
+        // Normal number: round the 52-bit mantissa to 10 bits.
+        let mut out = sign | ((half_exp as u16) << 10) | ((man >> 42) as u16);
+        let rem = man & ((1u64 << 42) - 1);
+        let halfway = 1u64 << 41;
+        if rem > halfway || (rem == halfway && (out & 1) == 1) {
+            // Round up; carry may overflow into the exponent and even to
+            // infinity, both of which are correct IEEE behaviour.
+            out = out.wrapping_add(1);
+        }
+        f16(out)
     }
 
     /// Widen to `f64`.
@@ -212,6 +288,35 @@ impl f16 {
     #[inline]
     pub fn abs(self) -> f16 {
         f16(self.0 & !SIGN_MASK)
+    }
+
+    /// One unit in the last place: the gap between this value and the
+    /// next representable binary16 value of larger magnitude, exactly as
+    /// `f32`. Zero and subnormals report the subnormal spacing `2^-24`;
+    /// infinities and NaNs report `f32::NAN`. A store that rounds to
+    /// nearest is therefore off by at most `self.ulp() / 2.0`.
+    ///
+    /// # Examples
+    /// ```
+    /// use vecsparse_fp16::f16;
+    /// assert_eq!(f16::ONE.ulp(), f16::EPSILON.to_f32());
+    /// assert_eq!(f16::from_f32(1000.0).ulp(), 0.5);
+    /// assert_eq!(f16::MAX.ulp(), 32.0);
+    /// assert_eq!(f16::ZERO.ulp(), f16::MIN_POSITIVE_SUBNORMAL.to_f32());
+    /// assert!(f16::INFINITY.ulp().is_nan());
+    /// ```
+    #[inline]
+    pub fn ulp(self) -> f32 {
+        if !self.is_finite() {
+            return f32::NAN;
+        }
+        let exp = (self.0 & EXP_MASK) >> 10;
+        if exp == 0 {
+            // Subnormal spacing (also the gap above ±0).
+            2.0f32.powi(-24)
+        } else {
+            2.0f32.powi(i32::from(exp) - 15 - 10)
+        }
     }
 
     /// IEEE minimum (NaN-propagating like `f32::min` semantics).
@@ -401,6 +506,80 @@ mod tests {
                     "bits {bits:#06x}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn from_f64_rounds_once() {
+        // 1 + 2^-11 + 2^-40: strictly above the f16 tie point, so direct
+        // conversion rounds up to 1 + 2^-10. Via f32 the tail 2^-40 is
+        // lost first, leaving the exact tie 1 + 2^-11 which then rounds
+        // to even — i.e. down to 1.0. The classic double-rounding bug.
+        let v = 1.0 + 2.0f64.powi(-11) + 2.0f64.powi(-40);
+        assert_eq!(f16::from_f32(v as f32), f16::ONE, "double rounding");
+        assert_eq!(f16::from_f64(v).to_f32(), 1.0 + 2.0f32.powi(-10));
+
+        // Same shape one binade up, and with a negative sign.
+        let v2 = 2.0 + 2.0f64.powi(-10) + 2.0f64.powi(-39);
+        assert_eq!(f16::from_f64(v2).to_f32(), 2.0 + 2.0f32.powi(-9));
+        assert_eq!(f16::from_f64(-v2).to_f32(), -(2.0 + 2.0f32.powi(-9)));
+
+        // Subnormal boundary: half of the smallest subnormal plus the
+        // smallest f64 tail at that magnitude (2^-77, the last mantissa
+        // bit — far below f32's half-ulp 2^-49 there, so an f32 detour
+        // collapses it back onto the tie). Must round up, not to zero.
+        let tiny = 2.0f64.powi(-25) + 2.0f64.powi(-77);
+        assert_eq!(f16::from_f64(tiny), f16::MIN_POSITIVE_SUBNORMAL);
+        // The exact halfway ties to even (zero).
+        assert!(f16::from_f64(2.0f64.powi(-25)).is_zero());
+    }
+
+    #[test]
+    fn from_f64_special_values() {
+        assert!(f16::from_f64(f64::NAN).is_nan());
+        assert!(f16::from_f64(f64::INFINITY).is_infinite());
+        assert!(f16::from_f64(f64::NEG_INFINITY).is_sign_negative());
+        assert!(f16::from_f64(1e300).is_infinite());
+        assert!(f16::from_f64(-1e300).is_sign_negative());
+        assert!(f16::from_f64(f64::MIN_POSITIVE).is_zero()); // Deep underflow.
+        assert!(f16::from_f64(-0.0).is_zero());
+        assert!(f16::from_f64(-0.0).is_sign_negative());
+        // Overflow by rounding: halfway between MAX and the next step.
+        assert!(f16::from_f64(65520.0).is_infinite());
+        assert_eq!(f16::from_f64(65519.999), f16::MAX);
+    }
+
+    #[test]
+    fn from_f64_agrees_with_from_f32_on_f32_inputs() {
+        // On values already exactly representable in f32 the two paths
+        // are the same single rounding; check across every f16 plus
+        // perturbations that exercise each rounding case.
+        for bits in 0u16..=0xFFFF {
+            let h = f16::from_bits(bits);
+            if h.is_nan() {
+                continue;
+            }
+            let w = h.to_f32();
+            for delta in [0.0f32, 2.0f32.powi(-26), -(2.0f32.powi(-26))] {
+                let x = w + delta;
+                assert_eq!(
+                    f16::from_f64(f64::from(x)).to_bits(),
+                    f16::from_f32(x).to_bits(),
+                    "bits {bits:#06x} delta {delta:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ulp_spacing_is_consistent() {
+        for bits in 0u16..0x7C00 {
+            let h = f16::from_bits(bits);
+            let next = f16::from_bits(bits + 1);
+            if next.is_infinite() {
+                continue;
+            }
+            assert_eq!(next.to_f32() - h.to_f32(), h.ulp(), "bits {bits:#06x}");
         }
     }
 

@@ -7,7 +7,7 @@ use crate::mem::MemPool;
 use crate::profile::{HotPc, InstrCounts, KernelProfile, PipeUtil, StallBreakdown};
 use crate::sched::{simulate_wave, WaveObs};
 use crate::trace::WarpTrace;
-use crate::warp::CtaCtx;
+use crate::warp::{CtaCtx, ShadowObs};
 use crate::WARP_SIZE;
 use rayon::prelude::*;
 use vecsparse_telemetry::{ArgValue, TraceSink, Track};
@@ -149,6 +149,51 @@ pub fn launch_traced<K: KernelSpec + ?Sized>(
             }
         }
     }
+}
+
+/// Functional launch with fp64 shadow execution: every CTA runs with
+/// [`CtaCtx::shadow_exec`] on, buffered global writes are applied to `mem`
+/// exactly as in [`launch`] (the working f32/f16 results are bit-identical
+/// — the twin never feeds back), and the per-site error observations are
+/// folded across CTAs and returned sorted by pc.
+///
+/// This is the dynamic half of the precision analysis: the caller compares
+/// each store site's `max_abs_err` against the static certificate bound.
+pub fn launch_shadow<K: KernelSpec + ?Sized>(mem: &mut MemPool, kernel: &K) -> Vec<ShadowObs> {
+    let lc = kernel.launch_config();
+    assert!(lc.grid > 0, "empty grid");
+    let results: Vec<_> = (0..lc.grid)
+        .into_par_iter()
+        .map(|cta_id| {
+            let mut cta = CtaCtx::new(
+                cta_id,
+                Mode::Functional,
+                mem,
+                lc.warps_per_cta,
+                lc.smem_elems,
+                lc.smem_elem_bytes,
+            );
+            cta.shadow_exec = true;
+            kernel.run_cta(&mut cta);
+            let obs = cta.take_shadow_obs();
+            let (_, writes) = cta.finish();
+            (writes, obs)
+        })
+        .collect();
+    let mut folded: Vec<ShadowObs> = Vec::new();
+    for (writes, obs) in results {
+        for (buf, idx, v) in writes {
+            mem.write(buf, idx as usize, v);
+        }
+        for o in obs {
+            match folded.iter_mut().find(|f| f.pc == o.pc) {
+                Some(f) => f.merge(&o),
+                None => folded.push(o),
+            }
+        }
+    }
+    folded.sort_by_key(|o| o.pc);
+    folded
 }
 
 fn simulate<K: KernelSpec + ?Sized>(

@@ -46,20 +46,23 @@ mod wvec;
 
 pub use cache::{CacheStats, SectorCache};
 pub use config::{GpuConfig, Timing};
-pub use launch::{launch, launch_traced, KernelSpec, LaunchConfig, LaunchOutput, Mode};
+pub use launch::{
+    launch, launch_shadow, launch_traced, KernelSpec, LaunchConfig, LaunchOutput, Mode,
+};
 pub use mem::{BufferId, ElemWidth, MemPool, PoolMark};
 pub use profile::{InstrCounts, KernelProfile, PipeUtil, Roofline, StallBreakdown};
 // Telemetry types appear in this crate's API (`launch_traced`); re-export
 // them so downstream crates need no direct dependency for common use.
 pub use program::{Program, Site};
 pub use tcu::{
-    execute_mma, mma_m8n8k4_reference, pack_a_fragment, pack_b_fragment, unpack_acc, MmaFlavor,
-    OCTETS, OCTET_SIZE,
+    execute_mma, execute_mma_shadow, mma_m8n8k4_reference, pack_a_fragment, pack_b_fragment,
+    unpack_acc, MmaFlavor, OCTETS, OCTET_SIZE,
 };
 pub use trace::{AccessDetail, InstrKind, MemAccess, Pipe, Tok, TraceInstr, WarpTrace};
 pub use vecsparse_telemetry::{ArgValue, EventKind, TraceEvent, TraceSink, Track};
 pub use warp::{
-    bank_conflict_degree, CtaCtx, LaneOffsets, SanEvent, SanEventKind, SharedMem, WarpCtx, NO_LANES,
+    bank_conflict_degree, CtaCtx, LaneOffsets, SanEvent, SanEventKind, ShadowObs, SharedMem,
+    WarpCtx, NO_LANES,
 };
 pub use wvec::WVec;
 

@@ -123,6 +123,53 @@ pub fn execute_mma(a: &WVec, b: &WVec, acc: &mut WVec, flavor: MmaFlavor) {
     }
 }
 
+/// fp64 shadow twin of [`execute_mma`]: the same octet/step walk, but the
+/// dot products accumulate in f64 into `acc`'s shadow storage. Operand
+/// shadows come from [`WVec::get_shadow`], whose f32-widening fallback is
+/// exact for loaded (binary16-grid) fragments, so the twin tracks what an
+/// infinitely-precise accumulator would have produced from the same
+/// inputs. Called *in addition to* `execute_mma` when shadow execution is
+/// on; it never touches the working f32 values.
+///
+/// # Panics
+/// Panics if operand shapes are wrong.
+pub fn execute_mma_shadow(a: &WVec, b: &WVec, acc: &mut WVec, flavor: MmaFlavor) {
+    assert_eq!(a.elems_per_lane(), 4, "Mat_a fragment must be 4 elems/lane");
+    assert_eq!(b.elems_per_lane(), 4, "Mat_b fragment must be 4 elems/lane");
+    assert_eq!(acc.elems_per_lane(), 8, "Acc fragment must be 8 elems/lane");
+    if acc.is_ghost() {
+        return;
+    }
+
+    let steps: &[usize] = match flavor {
+        MmaFlavor::Standard | MmaFlavor::Switch => &[0, 1, 2, 3],
+        MmaFlavor::Truncated | MmaFlavor::SwitchTruncated => &[0, 1],
+    };
+    let switched = flavor.switched();
+
+    for o in 0..OCTETS {
+        for &step in steps {
+            let row_half = step & 1;
+            let col_half = step >> 1;
+            let a_group = if switched { 1 - row_half } else { row_half };
+            let b_group = if switched { 1 - col_half } else { col_half };
+
+            for t in 0..4 {
+                let acc_lane = octet_lane(o, row_half, t);
+                let a_lane = octet_lane(o, a_group, t);
+                for c in 0..4 {
+                    let b_lane = octet_lane(o, b_group, c);
+                    let mut sum = acc.get_shadow(acc_lane, col_half * 4 + c);
+                    for k in 0..4 {
+                        sum += a.get_shadow(a_lane, k) * b.get_shadow(b_lane, k);
+                    }
+                    acc.set_shadow(acc_lane, col_half * 4 + c, sum);
+                }
+            }
+        }
+    }
+}
+
 /// Host-side reference: per octet, `D = A·B + C` with dense `8×4`, `4×8`,
 /// and `8×8` operands. Used by tests to validate [`execute_mma`]'s
 /// register distribution.
@@ -316,6 +363,43 @@ mod tests {
         assert_eq!(MmaFlavor::Switch.hmma_count(), 4);
         assert_eq!(MmaFlavor::Truncated.hmma_count(), 2);
         assert!(MmaFlavor::SwitchTruncated.switched());
+    }
+
+    #[test]
+    fn shadow_mma_tracks_f64_reference() {
+        let (a, b, c) = test_operands();
+        let wa = pack_a_fragment(&a);
+        let wb = pack_b_fragment(&b);
+        let mut acc = WVec::zeros(8);
+        for o in 0..OCTETS {
+            for g in 0..2 {
+                for t in 0..4 {
+                    let lane = octet_lane(o, g, t);
+                    for col in 0..8 {
+                        acc.set(lane, col, c[g * 4 + t][col]);
+                    }
+                }
+            }
+        }
+        // Shadow before the working pass, as the warp context does.
+        execute_mma_shadow(&wa, &wb, &mut acc, MmaFlavor::Standard);
+        execute_mma(&wa, &wb, &mut acc, MmaFlavor::Standard);
+        // The test operands are exact in both f32 and f64, so the twin
+        // must agree bit-for-bit with the widened functional result.
+        for o in 0..OCTETS {
+            for g in 0..2 {
+                for t in 0..4 {
+                    let lane = octet_lane(o, g, t);
+                    for col in 0..8 {
+                        assert_eq!(
+                            acc.get_shadow(lane, col),
+                            f64::from(acc.get(lane, col)),
+                            "octet {o} lane {lane} col {col}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::launch::Mode;
 use crate::mem::{BufferId, MemPool};
 use crate::program::Site;
-use crate::tcu::{execute_mma, MmaFlavor};
+use crate::tcu::{execute_mma, execute_mma_shadow, MmaFlavor};
 use crate::trace::{AccessDetail, InstrKind, MemAccess, Tok, TraceInstr, WarpTrace};
 use crate::wvec::WVec;
 use crate::WARP_SIZE;
@@ -80,6 +80,31 @@ pub struct SanEvent {
     pub value: f32,
 }
 
+/// Per-site error observation folded while a CTA runs with
+/// [`CtaCtx::shadow_exec`] on: the worst absolute deviation between a
+/// stored working value and its fp64 shadow twin, across every lane and
+/// element stored at that static instruction.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShadowObs {
+    /// Static instruction (site) id of the store.
+    pub pc: u32,
+    /// Number of stored values compared at this site.
+    pub samples: u64,
+    /// Largest `|working − shadow|` observed.
+    pub max_abs_err: f64,
+}
+
+impl ShadowObs {
+    /// Fold another observation at the same site into this one.
+    pub fn merge(&mut self, other: &ShadowObs) {
+        debug_assert_eq!(self.pc, other.pc);
+        self.samples += other.samples;
+        if other.max_abs_err > self.max_abs_err {
+            self.max_abs_err = other.max_abs_err;
+        }
+    }
+}
+
 /// Kinds of value-level observations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SanEventKind {
@@ -115,11 +140,18 @@ pub struct CtaCtx<'a> {
     /// only) and record [`SanEvent`]s for NaN/Inf propagation and f16
     /// overflow. Off by default.
     pub check_values: bool,
+    /// fp64 shadow execution (functional mode only): tensor-core ops also
+    /// maintain f64 twins, shadow-aware kernels thread twins through their
+    /// epilogues, and every global store of a twinned value records a
+    /// [`ShadowObs`]. Off by default; the working f32/f16 results are
+    /// bit-identical either way, and performance mode never looks at it.
+    pub shadow_exec: bool,
     mem: &'a MemPool,
     shared: SharedMem,
     traces: Vec<WarpTrace>,
     pending_writes: Vec<(BufferId, u32, f32)>,
     san_events: Vec<SanEvent>,
+    shadow_obs: Vec<ShadowObs>,
 }
 
 impl<'a> CtaCtx<'a> {
@@ -139,11 +171,13 @@ impl<'a> CtaCtx<'a> {
             model_bank_conflicts: false,
             record_detail: false,
             check_values: false,
+            shadow_exec: false,
             mem,
             shared: SharedMem::new(smem_elems, smem_elem_bytes, mode == Mode::Functional),
             traces: vec![WarpTrace::default(); warps],
             pending_writes: Vec::new(),
             san_events: Vec::new(),
+            shadow_obs: Vec::new(),
         }
     }
 
@@ -160,6 +194,17 @@ impl<'a> CtaCtx<'a> {
     /// Drain the recorded value-level observations.
     pub fn take_san_events(&mut self) -> Vec<SanEvent> {
         std::mem::take(&mut self.san_events)
+    }
+
+    /// Per-site shadow-error observations recorded so far (see
+    /// [`CtaCtx::shadow_exec`]), one entry per store site, folded.
+    pub fn shadow_obs(&self) -> &[ShadowObs] {
+        &self.shadow_obs
+    }
+
+    /// Drain the recorded shadow-error observations.
+    pub fn take_shadow_obs(&mut self) -> Vec<ShadowObs> {
+        std::mem::take(&mut self.shadow_obs)
     }
 
     /// Number of warps in this CTA.
@@ -248,6 +293,28 @@ impl WarpCtx<'_, '_> {
 
     fn functional(&self) -> bool {
         self.cta.mode == Mode::Functional
+    }
+
+    /// True when fp64 shadow execution is on (and values are live).
+    /// Shadow-aware kernels consult this to decide whether to thread f64
+    /// twins through their host-side epilogues.
+    pub fn shadow_exec(&self) -> bool {
+        self.cta.shadow_exec && self.functional()
+    }
+
+    /// Fold one stored-value-vs-shadow comparison into the per-site
+    /// observation table.
+    fn record_shadow(&mut self, site: Site, working: f32, shadow: f64) {
+        let err = (f64::from(working) - shadow).abs();
+        let obs = ShadowObs {
+            pc: site.0,
+            samples: 1,
+            max_abs_err: err,
+        };
+        match self.cta.shadow_obs.iter_mut().find(|o| o.pc == site.0) {
+            Some(existing) => existing.merge(&obs),
+            None => self.cta.shadow_obs.push(obs),
+        }
     }
 
     fn emit(
@@ -436,6 +503,9 @@ impl WarpCtx<'_, '_> {
                         if self.cta.check_values {
                             self.check_value(site, lane, v, true, elem_bytes);
                         }
+                        if self.cta.shadow_exec && value.has_shadow() {
+                            self.record_shadow(site, v, value.get_shadow(lane, e));
+                        }
                     }
                 }
             }
@@ -569,6 +639,11 @@ impl WarpCtx<'_, '_> {
         flavor: MmaFlavor,
     ) -> Tok {
         if self.functional() {
+            if self.cta.shadow_exec {
+                // Twin first: its widening fallback must read the
+                // accumulator *before* the working pass rounds into it.
+                execute_mma_shadow(a, b, acc, flavor);
+            }
             execute_mma(a, b, acc, flavor);
             return Tok::NONE;
         }

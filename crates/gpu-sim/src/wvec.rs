@@ -17,6 +17,12 @@ pub struct WVec {
     /// Lane-major storage: `data[lane * elems_per_lane + e]`. Empty in
     /// performance mode.
     data: Vec<f32>,
+    /// Optional fp64 shadow twins (precision shadow execution). Empty
+    /// unless a shadow-aware op materialised them with [`WVec::set_shadow`];
+    /// values a kernel only ever loads need no explicit shadow because the
+    /// working f32 *is* the exact value (operands live on the binary16
+    /// grid), so [`WVec::get_shadow`] widens on the fly.
+    shadow: Vec<f64>,
     /// Token of the instruction that produced this value (for dependency
     /// tracking). Values combined from several instructions carry the
     /// token of the last one; kernels pass extra tokens explicitly where
@@ -30,6 +36,7 @@ impl WVec {
         WVec {
             elems_per_lane,
             data: vec![0.0; WARP_SIZE * elems_per_lane],
+            shadow: Vec::new(),
             tok: Tok::NONE,
         }
     }
@@ -39,6 +46,7 @@ impl WVec {
         WVec {
             elems_per_lane,
             data: Vec::new(),
+            shadow: Vec::new(),
             tok,
         }
     }
@@ -52,6 +60,7 @@ impl WVec {
         WVec {
             elems_per_lane,
             data,
+            shadow: Vec::new(),
             tok,
         }
     }
@@ -100,6 +109,40 @@ impl WVec {
         }
     }
 
+    /// True when this vector carries explicit fp64 shadow values.
+    #[inline]
+    pub fn has_shadow(&self) -> bool {
+        !self.shadow.is_empty()
+    }
+
+    /// fp64 shadow twin of value `e` of `lane`. When no explicit shadow
+    /// was materialised the working f32 is widened — exact for every value
+    /// that was merely loaded, since loads deliver binary16-grid values.
+    #[inline]
+    pub fn get_shadow(&self, lane: usize, e: usize) -> f64 {
+        debug_assert!(lane < WARP_SIZE && e < self.elems_per_lane);
+        if self.shadow.is_empty() {
+            f64::from(self.get(lane, e))
+        } else {
+            self.shadow[lane * self.elems_per_lane + e]
+        }
+    }
+
+    /// Set the fp64 shadow twin of value `e` of `lane`; no-op for ghosts.
+    /// The first write materialises the shadow storage, seeding every twin
+    /// from the current f32 data so untouched elements stay consistent.
+    #[inline]
+    pub fn set_shadow(&mut self, lane: usize, e: usize, v: f64) {
+        debug_assert!(lane < WARP_SIZE && e < self.elems_per_lane);
+        if self.data.is_empty() {
+            return;
+        }
+        if self.shadow.is_empty() {
+            self.shadow = self.data.iter().map(|&x| f64::from(x)).collect();
+        }
+        self.shadow[lane * self.elems_per_lane + e] = v;
+    }
+
     /// The values of one lane (empty slice for ghosts).
     #[inline]
     pub fn lane(&self, lane: usize) -> &[f32] {
@@ -137,5 +180,26 @@ mod tests {
         v.set(0, 0, 1.0);
         assert_eq!(v.get(0, 0), 0.0);
         assert_eq!(v.lane(5), &[] as &[f32]);
+    }
+
+    #[test]
+    fn shadow_defaults_to_widened_f32_and_materialises_lazily() {
+        let mut v = WVec::zeros(2);
+        v.set(1, 0, 0.5);
+        assert!(!v.has_shadow());
+        assert_eq!(v.get_shadow(1, 0), 0.5);
+        // First shadow write seeds all twins from the f32 data.
+        v.set_shadow(1, 1, 1.0 + 1e-12);
+        assert!(v.has_shadow());
+        assert_eq!(v.get_shadow(1, 0), 0.5);
+        assert_eq!(v.get_shadow(1, 1), 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn ghost_never_carries_shadow() {
+        let mut v = WVec::ghost(2, Tok::NONE);
+        v.set_shadow(0, 0, 3.0);
+        assert!(!v.has_shadow());
+        assert_eq!(v.get_shadow(0, 0), 0.0);
     }
 }

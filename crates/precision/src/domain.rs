@@ -1,0 +1,132 @@
+//! Abstract domains for the static analyzer: value intervals and a
+//! propagated worst-case absolute-error bound, plus the rounding-model
+//! constants the transfer functions share.
+
+use vecsparse_fp16::f16;
+
+/// Unit roundoff of binary16 under round-to-nearest: `2^-11`. A single
+/// rounding to the f16 grid perturbs a value `v` by at most `U16 · |v|`
+/// (normal range).
+pub const U16: f64 = 4.8828125e-4; // 2^-11
+
+/// Unit roundoff of binary32 under round-to-nearest: `2^-24`.
+pub const U32: f64 = 5.960464477539063e-8; // 2^-24
+
+/// Largest finite binary16 magnitude.
+pub const F16_MAX: f64 = 65504.0;
+
+/// Smallest positive *normal* binary16 magnitude, `2^-14`. Results below
+/// this are subnormal and flush to zero on FTZ hardware.
+pub const F16_MIN_NORMAL: f64 = 6.103515625e-5; // 2^-14
+
+/// First-order accumulation coefficient `γ_n = n·u / (1 − n·u)` (Higham):
+/// summing `n` terms in precision-`u` arithmetic, in any order, perturbs
+/// the result by at most `γ_n · Σ|termᵢ|`.
+pub fn gamma(n: usize, unit: f64) -> f64 {
+    let nu = n as f64 * unit;
+    assert!(nu < 1.0, "accumulation length out of the bound's domain");
+    nu / (1.0 - nu)
+}
+
+/// Absolute error of rounding a value of magnitude at most `mag` to the
+/// binary16 grid: half the f16 ulp at `mag` (clamped into the finite
+/// range — past [`F16_MAX`] the store overflows and the bound is reported
+/// alongside an overflow diagnostic instead).
+pub fn half_ulp16(mag: f64) -> f64 {
+    f64::from(f16::from_f64(mag.abs().min(F16_MAX)).ulp()) / 2.0
+}
+
+/// A closed interval `[lo, hi]` over-approximating the values a site can
+/// produce.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl Interval {
+    /// `[lo, hi]`; panics if `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Interval {
+        assert!(lo <= hi, "malformed interval [{lo}, {hi}]");
+        Interval { lo, hi }
+    }
+
+    /// Symmetric interval `[-a, a]`.
+    pub fn sym(a: f64) -> Interval {
+        assert!(a >= 0.0);
+        Interval { lo: -a, hi: a }
+    }
+
+    /// Largest magnitude in the interval.
+    pub fn mag(&self) -> f64 {
+        self.lo.abs().max(self.hi.abs())
+    }
+
+    /// True when 0 ∈ [lo, hi].
+    pub fn contains_zero(&self) -> bool {
+        self.lo <= 0.0 && self.hi >= 0.0
+    }
+
+    /// Interval difference `self − other` (the sub transfer).
+    pub fn sub(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo - other.hi, self.hi - other.lo)
+    }
+}
+
+/// An abstract value: the interval of values a site can carry plus a
+/// worst-case absolute deviation from the exact-arithmetic result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AbsVal {
+    pub iv: Interval,
+    /// `|computed − exact| ≤ err` for every concrete execution covered by
+    /// the model.
+    pub err: f64,
+}
+
+impl AbsVal {
+    /// An exact input value in `[-a, a]`.
+    pub fn exact(a: f64) -> AbsVal {
+        AbsVal {
+            iv: Interval::sym(a),
+            err: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_powers_of_two() {
+        assert_eq!(U16, 2.0f64.powi(-11));
+        assert_eq!(U32, 2.0f64.powi(-24));
+        assert_eq!(F16_MIN_NORMAL, 2.0f64.powi(-14));
+    }
+
+    #[test]
+    fn gamma_grows_with_length() {
+        assert!(gamma(64, U32) > 64.0 * U32);
+        assert!(gamma(64, U32) < 65.0 * U32);
+        assert!(gamma(128, U32) > gamma(64, U32));
+    }
+
+    #[test]
+    fn half_ulp_at_common_magnitudes() {
+        assert_eq!(half_ulp16(1.0), 2.0f64.powi(-11));
+        assert_eq!(half_ulp16(256.0), 0.125);
+        assert_eq!(half_ulp16(F16_MAX), 16.0);
+        // Clamped past the finite range.
+        assert_eq!(half_ulp16(1e9), 16.0);
+    }
+
+    #[test]
+    fn interval_ops() {
+        let a = Interval::sym(2.0);
+        assert_eq!(a.mag(), 2.0);
+        assert!(a.contains_zero());
+        let d = a.sub(&a);
+        assert_eq!(d, Interval::new(-4.0, 4.0));
+        assert!(!Interval::new(1.0, 64.0).contains_zero());
+    }
+}

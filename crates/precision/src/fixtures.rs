@@ -1,0 +1,186 @@
+//! Broken-kernel fixtures: one miniature kernel per precision lint, used
+//! by `vsan precision` and CI to prove each lint fires exactly where
+//! expected — and nowhere else.
+//!
+//! Each fixture is a real [`KernelSpec`] (launchable, functionally inert)
+//! whose program listing and [`KernelModel`] encode exactly one hazard.
+
+use crate::analyze::{analyze, Analysis, KernelModel, PrecisionLint};
+use vecsparse_gpu_sim::{CtaCtx, KernelSpec, LaunchConfig, Program};
+
+/// A miniature kernel built to trigger exactly one precision lint.
+pub struct PrecisionFixture {
+    name: &'static str,
+    expect: PrecisionLint,
+    prog: Program,
+    model: KernelModel,
+}
+
+impl PrecisionFixture {
+    /// The lint this fixture must trigger (and the only one).
+    pub fn expected_lint(&self) -> PrecisionLint {
+        self.expect
+    }
+
+    /// The numerical model the fixture is analyzed under.
+    pub fn model(&self) -> &KernelModel {
+        &self.model
+    }
+
+    /// Run the static analyzer on this fixture.
+    pub fn analyze(&self) -> Analysis {
+        analyze(self.name, &self.prog, &self.model)
+    }
+
+    /// Check the fixture behaves as designed: exactly one diagnostic, of
+    /// the expected lint. Returns a description of any mismatch.
+    pub fn verify(&self) -> Result<(), String> {
+        let an = self.analyze();
+        let fired: Vec<_> = an.diags.iter().map(|d| d.lint).collect();
+        if fired == [self.expect] {
+            Ok(())
+        } else {
+            Err(format!(
+                "fixture {} expected exactly [{}], got {:?}",
+                self.name,
+                self.expect.name(),
+                fired.iter().map(|l| l.name()).collect::<Vec<_>>(),
+            ))
+        }
+    }
+}
+
+impl KernelSpec for PrecisionFixture {
+    fn name(&self) -> String {
+        self.name.to_string()
+    }
+
+    fn launch_config(&self) -> LaunchConfig {
+        LaunchConfig {
+            grid: 1,
+            warps_per_cta: 1,
+            regs_per_thread: 32,
+            smem_elems: 0,
+            smem_elem_bytes: 2,
+            static_instrs: self.prog.static_len().max(1),
+        }
+    }
+
+    fn run_cta(&self, _cta: &mut CtaCtx<'_>) {
+        // The hazards are static properties of the listing + model; the
+        // body is inert so the fixture can still be launched safely.
+    }
+
+    fn program(&self) -> Option<&Program> {
+        Some(&self.prog)
+    }
+}
+
+/// A 64-deep TCU reduction over inputs up to ±48: the dot product can
+/// reach 147456, far past the largest finite f16 — the 16-bit output
+/// store can overflow to ±Inf.
+fn overflow_fixture() -> PrecisionFixture {
+    let mut p = Program::new();
+    p.site("ldg", 0);
+    p.site_span("mma", 0, 4);
+    p.site("stg", 0);
+    PrecisionFixture {
+        name: "fixture-f16-overflow",
+        expect: PrecisionLint::Fp16OverflowRisk,
+        prog: p,
+        model: KernelModel {
+            max_abs_input: 48.0,
+            ..KernelModel::tcu_reduction(64)
+        },
+    }
+}
+
+/// A pass-through of values no larger than 2^-16: everything reaching the
+/// 16-bit store is subnormal and flushes to zero on FTZ hardware.
+fn subnormal_fixture() -> PrecisionFixture {
+    let mut p = Program::new();
+    p.site("ldg", 0);
+    p.site("stg", 0);
+    PrecisionFixture {
+        name: "fixture-subnormal-flush",
+        expect: PrecisionLint::SubnormalFlush,
+        prog: p,
+        model: KernelModel {
+            max_abs_input: 2.0f64.powi(-16),
+            ..KernelModel::tcu_reduction(1)
+        },
+    }
+}
+
+/// An fp16 accumulate followed by a subtraction of nearly-equal values:
+/// the rounded operands can straddle zero, so the relative error of the
+/// difference is unbounded.
+fn cancellation_fixture() -> PrecisionFixture {
+    let mut p = Program::new();
+    p.site("ldg", 0);
+    p.site("hfma", 0);
+    p.site("sub", 0);
+    p.site("stg", 0);
+    PrecisionFixture {
+        name: "fixture-cancellation",
+        expect: PrecisionLint::CatastrophicCancellation,
+        prog: p,
+        model: KernelModel::tcu_reduction(1),
+    }
+}
+
+/// Sixteen unrolled HFMA instructions with no fp32 accumulate step — the
+/// accumulation-chain hazard the TCU's fp32 accumulators avoid.
+fn chain_fixture() -> PrecisionFixture {
+    let mut p = Program::new();
+    p.site("ldg", 0);
+    p.site_span("hfma", 0, 16);
+    p.site("stg", 0);
+    PrecisionFixture {
+        name: "fixture-long-f16-chain",
+        expect: PrecisionLint::LongF16Chain,
+        prog: p,
+        model: KernelModel::tcu_reduction(16),
+    }
+}
+
+/// All fixtures, one per [`PrecisionLint`].
+pub fn all_fixtures() -> Vec<PrecisionFixture> {
+    vec![
+        overflow_fixture(),
+        subnormal_fixture(),
+        cancellation_fixture(),
+        chain_fixture(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fixture_fires_exactly_its_lint() {
+        let fixtures = all_fixtures();
+        assert_eq!(fixtures.len(), 4, "one fixture per lint");
+        let mut seen = Vec::new();
+        for f in &fixtures {
+            f.verify().unwrap();
+            assert!(
+                !seen.contains(&f.expected_lint()),
+                "duplicate fixture for {:?}",
+                f.expected_lint()
+            );
+            seen.push(f.expected_lint());
+        }
+    }
+
+    #[test]
+    fn fixtures_are_launchable() {
+        use vecsparse_gpu_sim::{launch, GpuConfig, MemPool, Mode};
+        let cfg = GpuConfig::small();
+        for f in all_fixtures() {
+            let mut mem = MemPool::new();
+            launch(&cfg, &mut mem, &f, Mode::Functional);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! The dynamic side: fp64 shadow execution and the soundness check.
+//!
+//! [`shadow_run`] launches a kernel functionally with
+//! `CtaCtx::shadow_exec` on: shadow-aware ops maintain f64 twins next to
+//! the working f32 values (which stay bit-identical — the twin never
+//! feeds back), and every global store of a twinned value folds a per-site
+//! `|stored − shadow|` observation. [`check_soundness`] then compares the
+//! observed worst error against the static certificate: the static bound
+//! is supposed to dominate *every* execution, so `bound < observed` is a
+//! soundness bug in the analyzer itself and must fail loudly.
+
+use crate::analyze::Certificate;
+use vecsparse_gpu_sim::{launch_shadow, KernelSpec, MemPool, ShadowObs};
+
+/// Folded result of one shadow-execution launch.
+#[derive(Clone, Debug)]
+pub struct ShadowReport {
+    pub kernel: String,
+    /// Per-store-site observations, sorted by pc.
+    pub obs: Vec<ShadowObs>,
+    /// Worst `|stored − shadow|` across all sites.
+    pub observed_max_err: f64,
+    /// Total stored values compared.
+    pub samples: u64,
+}
+
+impl ShadowReport {
+    /// True when the kernel produced at least one twinned store (kernels
+    /// without explicit f64 twins record nothing and are only covered by
+    /// the static side).
+    pub fn has_observations(&self) -> bool {
+        self.samples > 0
+    }
+}
+
+/// Run `kernel` functionally with shadow execution on and fold the
+/// observations. Global writes are applied to `mem` exactly as a plain
+/// functional launch would.
+pub fn shadow_run<K: KernelSpec + ?Sized>(mem: &mut MemPool, kernel: &K) -> ShadowReport {
+    let obs = launch_shadow(mem, kernel);
+    let observed_max_err = obs.iter().map(|o| o.max_abs_err).fold(0.0f64, f64::max);
+    let samples = obs.iter().map(|o| o.samples).sum();
+    ShadowReport {
+        kernel: kernel.name(),
+        obs,
+        observed_max_err,
+        samples,
+    }
+}
+
+/// Check the soundness invariant `observed ≤ bound`.
+///
+/// Returns `Err` with a diagnosis when the dynamic side observed a larger
+/// error than the static certificate admits — by construction that means
+/// the *analyzer* is unsound for this kernel (its model or a transfer
+/// function is wrong), not that the kernel misbehaved. Callers are
+/// expected to fail loudly on `Err`.
+pub fn check_soundness(cert: &Certificate, report: &ShadowReport) -> Result<(), String> {
+    if report.observed_max_err <= cert.abs_error_bound {
+        return Ok(());
+    }
+    let worst = report
+        .obs
+        .iter()
+        .max_by(|a, b| a.max_abs_err.total_cmp(&b.max_abs_err))
+        .expect("nonzero observed error implies observations");
+    Err(format!(
+        "ANALYZER SOUNDNESS BUG for {}: shadow execution observed error {:.6e} at pc {} \
+         ({} samples) but the static certificate claims <= {:.6e}; the abstract transfer \
+         functions under-approximate this kernel",
+        report.kernel, report.observed_max_err, worst.pc, report.samples, cert.abs_error_bound,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cert(bound: f64) -> Certificate {
+        Certificate {
+            kernel: "k".into(),
+            max_abs_output: 1.0,
+            abs_error_bound: bound,
+            rel_error_bound: bound,
+            reduction_len: 4,
+            stores_f16: true,
+        }
+    }
+
+    fn report(err: f64) -> ShadowReport {
+        ShadowReport {
+            kernel: "k".into(),
+            obs: vec![ShadowObs {
+                pc: 7,
+                samples: 3,
+                max_abs_err: err,
+            }],
+            observed_max_err: err,
+            samples: 3,
+        }
+    }
+
+    #[test]
+    fn sound_certificates_pass() {
+        assert!(check_soundness(&cert(1e-3), &report(1e-4)).is_ok());
+        // Equality is still sound (the bound is inclusive).
+        assert!(check_soundness(&cert(1e-3), &report(1e-3)).is_ok());
+    }
+
+    #[test]
+    fn violations_name_the_analyzer() {
+        let err = check_soundness(&cert(1e-6), &report(1e-3)).unwrap_err();
+        assert!(err.contains("SOUNDNESS BUG"), "{err}");
+        assert!(err.contains("pc 7"), "{err}");
+    }
+}

@@ -4,16 +4,27 @@
 //! vsan [--kernel NAME[,NAME...]] [--m M] [--n N] [--k K] [--v V]
 //!      [--sparsity S] [--seed SEED] [--max-ctas C] [--no-values]
 //!      [--deny-warnings] [--list]
+//! vsan precision [--kernel NAME[,NAME...]] [--m M] [--n N] [--k K]
+//!      [--v V] [--sparsity S] [--seed SEED] [--max-f16-chain D]
+//!      [--skip-fixtures] [--list]
 //! ```
 //!
 //! With no `--kernel`, every registered kernel is checked. The exit code
 //! is 1 if any deny-level finding exists (or any warning, under
 //! `--deny-warnings`), 0 otherwise — CI-friendly.
+//!
+//! `vsan precision` runs the two-sided numerical checker instead: the
+//! static abstract interpreter over each kernel's program (lints +
+//! certificate), fp64 shadow execution, and the soundness cross-check
+//! `observed ≤ bound` — plus the broken-kernel fixtures, each of which
+//! must trigger exactly its own lint. Any lint on a registry kernel,
+//! fixture mismatch, or soundness violation exits 1.
 
 use std::process::ExitCode;
 
 use vecsparse::registry::{self, KernelId, Shape, ALL_KERNELS};
-use vecsparse_gpu_sim::{GpuConfig, Mode};
+use vecsparse_gpu_sim::{GpuConfig, KernelSpec, Mode};
+use vecsparse_precision::{all_fixtures, analyze, check_soundness, shadow_run};
 use vecsparse_sanitizer::{sanitize, SanitizeOptions};
 
 struct Args {
@@ -91,7 +102,146 @@ fn parse_args() -> Args {
     args
 }
 
+struct PrecArgs {
+    kernels: Vec<KernelId>,
+    shape: Shape,
+    max_f16_chain: Option<u32>,
+    skip_fixtures: bool,
+}
+
+const PREC_USAGE: &str = "usage: vsan precision [--kernel NAME[,NAME...]] [--m M] [--n N] \
+     [--k K] [--v V] [--sparsity S] [--seed SEED] [--max-f16-chain D] \
+     [--skip-fixtures] [--list]";
+
+fn prec_usage() -> ! {
+    eprintln!("{PREC_USAGE}");
+    std::process::exit(2)
+}
+
+fn parse_precision_args(mut it: impl Iterator<Item = String>) -> PrecArgs {
+    let mut args = PrecArgs {
+        kernels: ALL_KERNELS.to_vec(),
+        shape: Shape::default(),
+        max_f16_chain: None,
+        skip_fixtures: false,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                prec_usage()
+            })
+        };
+        match flag.as_str() {
+            "--list" => {
+                for k in ALL_KERNELS {
+                    println!("{}", k.label());
+                }
+                std::process::exit(0);
+            }
+            "--kernel" => {
+                args.kernels = value("--kernel")
+                    .split(',')
+                    .map(|s| {
+                        KernelId::parse(s.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown kernel {s:?}; try --list");
+                            prec_usage()
+                        })
+                    })
+                    .collect();
+            }
+            "--m" => args.shape.m = value("--m").parse().unwrap_or_else(|_| prec_usage()),
+            "--n" => args.shape.n = value("--n").parse().unwrap_or_else(|_| prec_usage()),
+            "--k" => args.shape.k = value("--k").parse().unwrap_or_else(|_| prec_usage()),
+            "--v" => args.shape.v = value("--v").parse().unwrap_or_else(|_| prec_usage()),
+            "--sparsity" => {
+                args.shape.sparsity = value("--sparsity").parse().unwrap_or_else(|_| prec_usage())
+            }
+            "--seed" => args.shape.seed = value("--seed").parse().unwrap_or_else(|_| prec_usage()),
+            "--max-f16-chain" => {
+                args.max_f16_chain = Some(
+                    value("--max-f16-chain")
+                        .parse()
+                        .unwrap_or_else(|_| prec_usage()),
+                )
+            }
+            "--skip-fixtures" => args.skip_fixtures = true,
+            "--help" | "-h" => {
+                println!("{PREC_USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                prec_usage();
+            }
+        }
+    }
+    args
+}
+
+fn run_precision(args: &PrecArgs) -> ExitCode {
+    let mut failed = false;
+
+    if !args.skip_fixtures {
+        println!("== precision fixtures (one broken kernel per lint)");
+        for fx in all_fixtures() {
+            match fx.verify() {
+                Ok(()) => println!("   {:<26} ok [{}]", fx.name(), fx.expected_lint().name()),
+                Err(e) => {
+                    println!("   {:<26} FAIL: {e}", fx.name());
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    let s = &args.shape;
+    println!(
+        "== precision certificates (m={} n={} k={} v={} sparsity={})",
+        s.m, s.n, s.k, s.v, s.sparsity
+    );
+    for id in &args.kernels {
+        let mut model = registry::model_for(*id, &args.shape);
+        if let Some(d) = args.max_f16_chain {
+            model.max_f16_chain = d;
+        }
+        let (analysis, report) =
+            registry::with_kernel_mut(*id, &args.shape, Mode::Functional, |mem, kern| {
+                let prog = kern.program().expect("registry kernels expose a Program");
+                (analyze(id.label(), prog, &model), shadow_run(mem, kern))
+            });
+        print!("{}", analysis.render());
+        if !analysis.is_clean() {
+            failed = true;
+        }
+        if report.has_observations() {
+            println!(
+                "  shadow: observed max err {:.4e} over {} stored values ({} sites)",
+                report.observed_max_err,
+                report.samples,
+                report.obs.len()
+            );
+        } else {
+            println!("  shadow: no twinned stores (covered by the static side only)");
+        }
+        if let Err(e) = check_soundness(&analysis.certificate, &report) {
+            eprintln!("{e}");
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("precision") {
+        let args = parse_precision_args(std::env::args().skip(2));
+        return run_precision(&args);
+    }
     let args = parse_args();
     let cfg = GpuConfig::default();
     let mut failed = false;

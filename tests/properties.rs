@@ -8,6 +8,7 @@ use vecsparse::SpmmAlgo;
 use vecsparse_formats::{gen, reference, Csr, DenseMatrix, Layout, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::GpuConfig;
+use vecsparse_precision::KernelModel;
 
 /// Strategy: a plausible (rows, cols, v, sparsity, seed) tuple with rows
 /// divisible by v and everything small enough to run quickly.
@@ -114,6 +115,63 @@ proptest! {
                     .map(|i| sm.values()[i * p.v() + e].to_f32())
                     .sum();
                 prop_assert!((sum - 1.0).abs() < 0.03, "sum {}", sum);
+            }
+        }
+    }
+
+    /// The octet SpMM output stays within its static precision
+    /// certificate of the exact (all-f64) product — the bound the
+    /// analyzer certifies really does dominate real executions.
+    #[test]
+    fn octet_spmm_within_certificate_of_f64((rows, cols, v, s, seed) in vs_params()) {
+        let gpu = GpuConfig::small();
+        let a = gen::random_vector_sparse::<f16>(rows, cols, v, s, seed);
+        let b = gen::random_dense::<f16>(cols, 64, Layout::RowMajor, seed ^ 3);
+        let got = vecsparse::spmm::spmm_octet(&gpu, &a, &b);
+        let cert = KernelModel::tcu_reduction(cols).certificate("spmm-octet");
+        let ad = a.to_dense(Layout::RowMajor);
+        for r in 0..rows {
+            for j in 0..64 {
+                let mut exact = 0.0f64;
+                for l in 0..cols {
+                    exact += f64::from(ad.get(r, l).to_f32()) * f64::from(b.get(l, j).to_f32());
+                }
+                let err = (f64::from(got.get(r, j).to_f32()) - exact).abs();
+                prop_assert!(
+                    err <= cert.abs_error_bound,
+                    "({r},{j}): err {} > bound {}", err, cert.abs_error_bound
+                );
+            }
+        }
+    }
+
+    /// Sparse softmax stays within its static certificate of the
+    /// all-f64 row softmax over the stored entries.
+    #[test]
+    fn sparse_softmax_within_certificate_of_f64((rows, cols, v, s, seed) in vs_params()) {
+        let gpu = GpuConfig::small();
+        let x = gen::random_vector_sparse::<f16>(rows, cols, v, s, seed);
+        let got = vecsparse::softmax::softmax_vs(&gpu, &x);
+        let cert = KernelModel::softmax(cols).certificate("softmax-sparse");
+        let p = x.pattern();
+        for br in 0..p.block_rows() {
+            let range = p.block_row_range(br);
+            for e in 0..v {
+                let stored = |i: usize| f64::from(x.values()[i * v + e].to_f32());
+                let maxv = range.clone().map(stored).fold(f64::NEG_INFINITY, f64::max);
+                if maxv == f64::NEG_INFINITY {
+                    continue; // Empty scalar row.
+                }
+                let denom: f64 = range.clone().map(|i| (stored(i) - maxv).exp()).sum();
+                for i in range.clone() {
+                    let exact = (stored(i) - maxv).exp() / denom;
+                    let err = (f64::from(got.values()[i * v + e].to_f32()) - exact).abs();
+                    prop_assert!(
+                        err <= cert.abs_error_bound,
+                        "row {} entry {}: err {} > bound {}",
+                        br * v + e, i, err, cert.abs_error_bound
+                    );
+                }
             }
         }
     }
