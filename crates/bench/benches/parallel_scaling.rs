@@ -1,0 +1,61 @@
+//! Thread-scaling of the phase-split wave pipeline.
+//!
+//! One full performance-mode launch (trace generation, per-wave timing,
+//! sequential L2 replay) for a mid-size octet SpMM, repeated at worker
+//! counts 1/2/4/8. The simulated counters are bit-identical at every
+//! width (the determinism tier-1 test enforces this); only wall time may
+//! move. On a single-core host the curve is flat-to-worse past 1 thread
+//! — record the measured numbers into `results/parallel_scaling.txt` so
+//! the saturation point is documented, not guessed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vecsparse::spmm::profile_spmm_octet;
+use vecsparse_formats::{gen, Layout};
+use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::GpuConfig;
+
+fn wave_pipeline_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel/launch");
+    group.sample_size(20);
+    let gpu = GpuConfig::default();
+    let a = gen::random_vector_sparse::<f16>(1024, 1024, 4, 0.9, 1);
+    let b = gen::random_dense::<f16>(1024, 128, Layout::RowMajor, 2);
+    for threads in [1usize, 2, 4, 8] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("thread-pool shim accepts reconfiguration");
+        group.bench_function(format!("profile_octet_t{threads}"), |bench| {
+            bench.iter(|| profile_spmm_octet(&gpu, &a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn batch_fan_out_scaling(c: &mut Criterion) {
+    use vecsparse::engine::Context;
+    use vecsparse::SpmmAlgo;
+    use vecsparse_formats::DenseMatrix;
+
+    let mut group = c.benchmark_group("parallel/batch");
+    group.sample_size(10);
+    let ctx = Context::with_gpu(GpuConfig::small());
+    let a = gen::random_vector_sparse::<f16>(64, 128, 4, 0.8, 3);
+    let plan = ctx.plan_spmm(&a, 64, SpmmAlgo::Octet);
+    let batch: Vec<DenseMatrix<f16>> = (0..16)
+        .map(|i| gen::random_dense::<f16>(128, 64, Layout::RowMajor, 10 + i))
+        .collect();
+    for threads in [1usize, 2, 4, 8] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("thread-pool shim accepts reconfiguration");
+        group.bench_function(format!("run_batch_16_t{threads}"), |bench| {
+            bench.iter(|| plan.run_batch(&batch));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, wave_pipeline_scaling, batch_fan_out_scaling);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //!     --m 2048 --k 1024 --n 256 --v 4 --sparsity 0.9 [--seed 42] \
 //!     [--algo auto] [--json results.json] [--expect-auto spmm-octet] \
 //!     [--sanitize] [--precision] [--trace trace.json] [--csv counters.csv]
-//!     [--report]
+//!     [--report] [--threads N]
 //! ```
 //!
 //! * `--algo auto` adds an `auto` row: the engine's tuner picks among the
@@ -39,21 +39,21 @@
 //!   counter samples.
 //! * `--report` prints the engine's aggregated [`Report`] table (cache
 //!   hit ratio, tuner launches, per-algo run/profile/cycle totals).
+//! * `--threads N` pins the simulator's worker-thread count (the same
+//!   knob as `VECSPARSE_THREADS`; `1` forces the sequential path). All
+//!   simulated counters and the JSON document are bit-identical at any
+//!   thread count — only `wall_ms` varies.
 
 use std::sync::Arc;
+use std::time::Instant;
 use vecsparse::engine::Context;
 use vecsparse::SpmmAlgo;
+use vecsparse_bench::sweep_json::{self, SweepMeta, SweepRow};
 use vecsparse_bench::{device, Table};
 use vecsparse_formats::{gen, Layout};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::KernelProfile;
 use vecsparse_telemetry::{csv as telemetry_csv, perfetto, TraceSink, DEFAULT_CAPACITY};
-
-/// Version of the `--json` document layout. Bump when fields change
-/// meaning or move; additions are allowed within a version.
-/// v3: added the `certificates` array (static precision bounds for every
-/// kernel the engine planned during the sweep).
-const JSON_SCHEMA_VERSION: u32 = 3;
 
 fn arg(name: &str, default: f64) -> f64 {
     let args: Vec<String> = std::env::args().collect();
@@ -72,17 +72,13 @@ fn arg_str(name: &str) -> Option<String> {
         .cloned()
 }
 
-struct Row {
-    label: String,
-    tuned: Option<String>,
-    profile: KernelProfile,
-}
-
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
-}
-
 fn main() {
+    if let Some(t) = arg_str("--threads").and_then(|s| s.parse::<usize>().ok()) {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build_global()
+            .expect("configure worker threads");
+    }
     let m = arg("--m", 2048.0) as usize;
     let k = arg("--k", 1024.0) as usize;
     let n = arg("--n", 256.0) as usize;
@@ -190,23 +186,29 @@ fn main() {
     if want_auto {
         algos.push(SpmmAlgo::Auto);
     }
-    let mut rows: Vec<Row> = Vec::new();
+    let mut rows: Vec<SweepRow> = Vec::new();
+    let mut row_wall_ms: Vec<f64> = Vec::new();
     let mut auto_choice: Option<String> = None;
+    let sweep_start = Instant::now();
     for algo in algos {
+        let t0 = Instant::now();
         let plan = ctx.plan_spmm(&a, n, algo);
         let profile = plan.profile(&b);
+        row_wall_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         let label = if algo == SpmmAlgo::Auto {
             auto_choice = Some(plan.algo().label().to_string());
             format!("auto -> {}", plan.algo().label())
         } else {
             algo.label().to_string()
         };
-        rows.push(Row {
+        rows.push(SweepRow {
             label,
             tuned: (algo == SpmmAlgo::Auto).then(|| plan.algo().label().to_string()),
             profile,
         });
     }
+    let sweep_wall_ms = sweep_start.elapsed().as_secs_f64() * 1e3;
+    let threads = rayon::current_num_threads();
 
     let dense_cycles = rows[0].profile.cycles;
     let mut t = Table::new(vec![
@@ -219,8 +221,9 @@ fn main() {
         "no-instr",
         "sectors/req",
         "flop/byte",
+        "wall ms",
     ]);
-    for row in &rows {
+    for (row, wall) in rows.iter().zip(&row_wall_ms) {
         let p = &row.profile;
         let roof = p.roofline();
         t.row(vec![
@@ -233,61 +236,25 @@ fn main() {
             format!("{:.1}%", p.stalls.pct_no_instruction()),
             format!("{:.2}", p.l1.sectors_per_request()),
             format!("{:.2}", roof.intensity()),
+            format!("{wall:.2}"),
         ]);
     }
     t.print();
+    println!("({threads} worker threads, {sweep_wall_ms:.1} ms total)");
 
     if let Some(path) = json_path {
-        let mut out = String::from("{\n");
-        out.push_str(&format!(
-            "  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"gpu_config_hash\": \"{gpu_config_hash:016x}\",\n"
-        ));
-        out.push_str(&format!(
-            "  \"shape\": {{\"m\": {m}, \"k\": {k}, \"n\": {n}, \"v\": {v}, \"sparsity\": {sparsity}}},\n"
-        ));
-        if let Some(choice) = &auto_choice {
-            out.push_str(&format!("  \"auto\": \"{}\",\n", json_escape(choice)));
-        }
-        out.push_str("  \"rows\": [\n");
-        for (i, row) in rows.iter().enumerate() {
-            let p = &row.profile;
-            let roof = p.roofline();
-            out.push_str(&format!(
-                "    {{\"kernel\": \"{}\", \"cycles\": {:.1}, \"grid\": {}, \"l2_to_l1_bytes\": {}, \
-                 \"flops\": {}, \"dram_bytes\": {}, \"intensity\": {:.4}{}}}{}\n",
-                json_escape(&row.label),
-                p.cycles,
-                p.grid,
-                p.bytes_l2_to_l1(),
-                roof.flops,
-                roof.bytes,
-                roof.intensity(),
-                row.tuned
-                    .as_ref()
-                    .map(|t| format!(", \"tuned\": \"{}\"", json_escape(t)))
-                    .unwrap_or_default(),
-                if i + 1 == rows.len() { "" } else { "," }
-            ));
-        }
-        out.push_str("  ],\n");
-        // Static precision certificates for every kernel the engine
-        // planned during the sweep (schema v3).
-        out.push_str("  \"certificates\": [\n");
-        let certs = ctx.report().certificates;
-        for (i, c) in certs.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"kernel\": \"{}\", \"max_abs_output\": {:e}, \"abs_error_bound\": {:e}, \
-                 \"rel_error_bound\": {:e}, \"reduction_len\": {}, \"stores_f16\": {}}}{}\n",
-                json_escape(&c.kernel),
-                c.max_abs_output,
-                c.abs_error_bound,
-                c.rel_error_bound,
-                c.reduction_len,
-                c.stores_f16,
-                if i + 1 == certs.len() { "" } else { "," }
-            ));
-        }
-        out.push_str("  ]\n}\n");
+        let meta = SweepMeta {
+            gpu_config_hash,
+            m,
+            k,
+            n,
+            v,
+            sparsity,
+            auto: auto_choice.clone(),
+            threads,
+            wall_ms: sweep_wall_ms,
+        };
+        let out = sweep_json::render(&meta, &rows, &ctx.report().certificates);
         // The document must parse: CI consumes it with a JSON parser.
         serde_json::from_str(&out).expect("--json output must be valid JSON");
         std::fs::write(&path, out).expect("write --json output");

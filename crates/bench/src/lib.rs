@@ -10,6 +10,7 @@ use vecsparse_formats::{gen, DenseMatrix, Layout};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{GpuConfig, KernelProfile};
 
+pub mod sweep_json;
 pub mod sweeps;
 
 /// Geometric mean (the paper's aggregate across benchmarks, after Gale

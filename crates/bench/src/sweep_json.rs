@@ -1,0 +1,223 @@
+//! Rendering of the sweep binary's `--json` document (schema v4),
+//! factored out of `src/bin/sweep.rs` so the layout can be round-trip
+//! tested without running a sweep.
+
+use vecsparse_gpu_sim::KernelProfile;
+use vecsparse_precision::Certificate;
+
+/// Version of the `--json` document layout. Bump when fields change
+/// meaning or move; additions are allowed within a version.
+/// v3: added the `certificates` array (static precision bounds for every
+/// kernel the engine planned during the sweep).
+/// v4: added top-level `threads` (worker threads the engine's parallel
+/// regions used) and `wall_ms` (wall-clock time of the profiling loop).
+/// `wall_ms` is the one machine-dependent field; determinism checks diff
+/// documents with it stripped.
+pub const JSON_SCHEMA_VERSION: u32 = 4;
+
+/// One profiled kernel row of the sweep.
+pub struct SweepRow {
+    /// Display label (`"spmm-octet"`, or `"auto -> spmm-octet"`).
+    pub label: String,
+    /// The tuner's choice, for the `auto` row only.
+    pub tuned: Option<String>,
+    /// The performance-model profile.
+    pub profile: KernelProfile,
+}
+
+/// Everything in the document besides the rows and certificates.
+pub struct SweepMeta {
+    /// Hash of the simulated GPU config the rows were produced on.
+    pub gpu_config_hash: u64,
+    /// Problem shape: output rows.
+    pub m: usize,
+    /// Problem shape: inner dimension.
+    pub k: usize,
+    /// Problem shape: RHS columns.
+    pub n: usize,
+    /// Column-vector length of the sparse operand.
+    pub v: usize,
+    /// Zero fraction of the sparse operand.
+    pub sparsity: f64,
+    /// The tuner's pick when the sweep included an `auto` row.
+    pub auto: Option<String>,
+    /// Worker threads the engine's parallel regions used.
+    pub threads: usize,
+    /// Wall-clock milliseconds the profiling loop took (machine-
+    /// dependent; strip before diffing documents for determinism).
+    pub wall_ms: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Render the full `--json` document. The output is valid JSON (the
+/// sweep binary round-trips it through a parser before writing) and
+/// field order is fixed, so byte-level diffs are meaningful.
+pub fn render(meta: &SweepMeta, rows: &[SweepRow], certs: &[Certificate]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"gpu_config_hash\": \"{:016x}\",\n",
+        meta.gpu_config_hash
+    ));
+    out.push_str(&format!(
+        "  \"threads\": {},\n  \"wall_ms\": {:.3},\n",
+        meta.threads, meta.wall_ms
+    ));
+    out.push_str(&format!(
+        "  \"shape\": {{\"m\": {}, \"k\": {}, \"n\": {}, \"v\": {}, \"sparsity\": {}}},\n",
+        meta.m, meta.k, meta.n, meta.v, meta.sparsity
+    ));
+    if let Some(choice) = &meta.auto {
+        out.push_str(&format!("  \"auto\": \"{}\",\n", json_escape(choice)));
+    }
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let p = &row.profile;
+        let roof = p.roofline();
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"cycles\": {:.1}, \"grid\": {}, \"l2_to_l1_bytes\": {}, \
+             \"flops\": {}, \"dram_bytes\": {}, \"intensity\": {:.4}{}}}{}\n",
+            json_escape(&row.label),
+            p.cycles,
+            p.grid,
+            p.bytes_l2_to_l1(),
+            roof.flops,
+            roof.bytes,
+            roof.intensity(),
+            row.tuned
+                .as_ref()
+                .map(|t| format!(", \"tuned\": \"{}\"", json_escape(t)))
+                .unwrap_or_default(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"certificates\": [\n");
+    for (i, c) in certs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"max_abs_output\": {:e}, \"abs_error_bound\": {:e}, \
+             \"rel_error_bound\": {:e}, \"reduction_len\": {}, \"stores_f16\": {}}}{}\n",
+            json_escape(&c.kernel),
+            c.max_abs_output,
+            c.abs_error_bound,
+            c.rel_error_bound,
+            c.reduction_len,
+            c.stores_f16,
+            if i + 1 == certs.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_profile(label: &str, cycles: f64) -> KernelProfile {
+        KernelProfile {
+            name: label.to_string(),
+            grid: 64,
+            ctas_per_sm: 4,
+            warps_per_scheduler: 2.0,
+            regs_per_thread: 64,
+            static_instrs: 40,
+            cycles,
+            issue_cycles: cycles,
+            dram_cycles: 100.0,
+            l2_cycles: 200.0,
+            instrs: Default::default(),
+            stalls: Default::default(),
+            l1: Default::default(),
+            l2: Default::default(),
+            pipes: Vec::new(),
+            hot_pcs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn document_round_trips_with_v4_fields() {
+        let meta = SweepMeta {
+            gpu_config_hash: 0xdead_beef,
+            m: 128,
+            k: 64,
+            n: 32,
+            v: 4,
+            sparsity: 0.9,
+            auto: Some("spmm-octet".to_string()),
+            threads: 4,
+            wall_ms: 17.25,
+        };
+        let rows = vec![
+            SweepRow {
+                label: "spmm-dense".to_string(),
+                tuned: None,
+                profile: fake_profile("spmm-dense", 1000.0),
+            },
+            SweepRow {
+                label: "auto -> spmm-octet".to_string(),
+                tuned: Some("spmm-octet".to_string()),
+                profile: fake_profile("spmm-octet", 250.0),
+            },
+        ];
+        let certs = vec![Certificate {
+            kernel: "spmm-octet".to_string(),
+            max_abs_output: 256.0,
+            abs_error_bound: 0.126,
+            rel_error_bound: 0.126 / 256.0,
+            reduction_len: 64,
+            stores_f16: true,
+        }];
+        let doc = render(&meta, &rows, &certs);
+        let parsed = serde_json::from_str(&doc).expect("rendered document is valid JSON");
+        assert_eq!(
+            parsed["schema_version"].as_u64(),
+            Some(JSON_SCHEMA_VERSION as u64)
+        );
+        assert_eq!(parsed["threads"].as_u64(), Some(4));
+        assert_eq!(parsed["wall_ms"].as_f64(), Some(17.25));
+        assert_eq!(parsed["gpu_config_hash"].as_str(), Some("00000000deadbeef"));
+        assert_eq!(parsed["auto"].as_str(), Some("spmm-octet"));
+        assert_eq!(parsed["shape"]["m"].as_u64(), Some(128));
+        let rows_j = parsed["rows"].as_array().expect("rows array");
+        assert_eq!(rows_j.len(), 2);
+        assert_eq!(rows_j[0]["kernel"].as_str(), Some("spmm-dense"));
+        assert!(rows_j[0].get("tuned").is_none());
+        assert_eq!(rows_j[1]["tuned"].as_str(), Some("spmm-octet"));
+        let certs_j = parsed["certificates"].as_array().expect("certificates");
+        assert_eq!(certs_j[0]["reduction_len"].as_u64(), Some(64));
+    }
+
+    #[test]
+    fn stripping_wall_ms_makes_documents_comparable() {
+        // The CI determinism gate diffs two sweeps at different thread
+        // counts after deleting the one machine-dependent field.
+        let mk = |threads, wall_ms| {
+            let meta = SweepMeta {
+                gpu_config_hash: 1,
+                m: 8,
+                k: 8,
+                n: 8,
+                v: 4,
+                sparsity: 0.5,
+                auto: None,
+                threads,
+                wall_ms,
+            };
+            render(&meta, &[], &[])
+        };
+        let a = mk(4, 10.0);
+        let b = mk(4, 99.0);
+        let strip = |doc: &str| match serde_json::from_str(doc).unwrap() {
+            serde_json::Value::Object(mut map) => {
+                map.remove("wall_ms");
+                serde_json::Value::Object(map)
+            }
+            _ => panic!("top level is an object"),
+        };
+        assert_ne!(a, b);
+        assert_eq!(strip(&a), strip(&b));
+    }
+}

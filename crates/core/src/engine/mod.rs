@@ -154,6 +154,11 @@ pub(crate) struct Counters {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     plans_built: AtomicU64,
+    /// Wall-clock nanoseconds spent inside engine execution entry points
+    /// (runs, profiles, batches, tuning regions). Batch fan-out counts
+    /// the region once, not per element, so this stays a wall time even
+    /// when elements run concurrently.
+    wall_nanos: AtomicU64,
     /// Per-algorithm run/profile/cycle aggregation for [`Report`].
     algos: Mutex<HashMap<&'static str, AlgoAgg>>,
     /// Worst-case precision certificate per planned algorithm (the widest
@@ -164,6 +169,15 @@ pub(crate) struct Counters {
 impl Counters {
     pub(crate) fn count_tuner_launch(&self) {
         self.tuner_launches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_wall(&self, dur: std::time::Duration) {
+        self.wall_nanos
+            .fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn wall_nanos(&self) -> u64 {
+        self.wall_nanos.load(Ordering::Relaxed)
     }
 
     fn algos_lock(&self) -> std::sync::MutexGuard<'_, HashMap<&'static str, AlgoAgg>> {
@@ -310,6 +324,8 @@ impl Context {
             cached_plans: self.cache_lock().len(),
             trace_events: self.sink.events().len(),
             trace_dropped: self.sink.dropped(),
+            threads: rayon::current_num_threads(),
+            wall_ms: self.counters.wall_nanos() as f64 / 1e6,
         }
     }
 

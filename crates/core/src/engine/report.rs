@@ -46,6 +46,14 @@ pub struct Report {
     pub trace_events: usize,
     /// Events the sink evicted (ring overflow).
     pub trace_dropped: u64,
+    /// Worker threads the engine's parallel regions (tuning, batch
+    /// fan-out, wave simulation) use, as configured at snapshot time.
+    pub threads: usize,
+    /// Wall-clock milliseconds spent inside engine execution entry
+    /// points (runs, profiles, batches, tuning). Batch fan-out is
+    /// measured at the region boundary, so concurrent elements count
+    /// elapsed time once.
+    pub wall_ms: f64,
 }
 
 impl Report {
@@ -79,6 +87,11 @@ impl Report {
             out,
             "   tuner profiles run {:>4}   trace events {:>7}   dropped {:>5}",
             s.tuner_launches, self.trace_events, self.trace_dropped
+        );
+        let _ = writeln!(
+            out,
+            "   threads {:>2}   engine wall time {:>10.3} ms",
+            self.threads, self.wall_ms
         );
         if !self.algos.is_empty() {
             let _ = writeln!(
@@ -129,9 +142,12 @@ mod tests {
             cached_plans: 0,
             trace_events: 0,
             trace_dropped: 0,
+            threads: 1,
+            wall_ms: 0.0,
         };
         assert_eq!(empty.cache_hit_ratio(), 0.0);
         assert!(empty.render().contains("engine report"));
+        assert!(empty.render().contains("threads"));
 
         let filled = Report {
             stats: EngineStats {
@@ -157,6 +173,8 @@ mod tests {
             cached_plans: 1,
             trace_events: 42,
             trace_dropped: 0,
+            threads: 4,
+            wall_ms: 12.5,
         };
         assert_eq!(filled.cache_hit_ratio(), 0.75);
         assert_eq!(filled.algos[0].mean_cycles(), 1000.0);

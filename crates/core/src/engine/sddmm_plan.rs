@@ -28,6 +28,7 @@ pub struct SddmmDesc {
     pub sparsity: f64,
 }
 
+#[derive(Clone)]
 struct SddmmState {
     mem: MemPool,
     base: PoolMark,
@@ -47,6 +48,9 @@ pub struct SddmmPlan {
     requested: SddmmAlgo,
     mask: SparsityPattern,
     state: Mutex<SddmmState>,
+    /// Checked-in clones of the primary state for batched fan-out; every
+    /// dispatch rewinds its state to the base mark before allocating.
+    spares: Mutex<Vec<SddmmState>>,
     sink: Arc<TraceSink>,
     counters: Arc<Counters>,
 }
@@ -72,6 +76,7 @@ impl SddmmPlan {
             requested,
             mask: mask.clone(),
             state: Mutex::new(SddmmState { mem, base }),
+            spares: Mutex::new(Vec::new()),
             sink,
             counters,
         }
@@ -160,8 +165,60 @@ impl SddmmPlan {
     ) -> Result<R, EngineError> {
         self.check_operands(a, b)?;
         let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        let base = guard.base;
-        let SddmmState { mem, .. } = &mut *guard;
+        self.dispatch_with(&mut guard, a, b, mode, finish)
+    }
+
+    /// [`dispatch`](SddmmPlan::dispatch) against a checked-out spare
+    /// state (batched fan-out): pop a spare or clone the primary, run
+    /// without holding the primary lock, then check the state back in.
+    fn dispatch_pooled<R>(
+        &self,
+        a: &DenseMatrix<f16>,
+        b: &DenseMatrix<f16>,
+        mode: Mode,
+        finish: impl FnOnce(
+            &MemPool,
+            &dyn Fn(&MemPool) -> VectorSparse<f16>,
+            Option<KernelProfile>,
+        ) -> R,
+    ) -> Result<R, EngineError> {
+        self.check_operands(a, b)?;
+        let spare = self
+            .spares
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop();
+        let mut state = match spare {
+            Some(s) => s,
+            None => self
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+        };
+        let out = self.dispatch_with(&mut state, a, b, mode, finish);
+        self.spares
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(state);
+        out
+    }
+
+    /// Dispatch core, against whichever [`SddmmState`] the caller owns.
+    fn dispatch_with<R>(
+        &self,
+        state: &mut SddmmState,
+        a: &DenseMatrix<f16>,
+        b: &DenseMatrix<f16>,
+        mode: Mode,
+        finish: impl FnOnce(
+            &MemPool,
+            &dyn Fn(&MemPool) -> VectorSparse<f16>,
+            Option<KernelProfile>,
+        ) -> R,
+    ) -> Result<R, EngineError> {
+        let base = state.base;
+        let SddmmState { mem, .. } = state;
         mem.release_to(base);
         let out = match self.algo {
             SddmmAlgo::OctetReg | SddmmAlgo::OctetShfl | SddmmAlgo::OctetArch => {
@@ -199,10 +256,12 @@ impl SddmmPlan {
         a: &DenseMatrix<f16>,
         b: &DenseMatrix<f16>,
     ) -> Result<VectorSparse<f16>, EngineError> {
+        let t0 = std::time::Instant::now();
         let mut span = self.sink.span(Track::ENGINE, "run sddmm", "engine");
         span.arg("algo", self.algo.label());
         let out = self.dispatch(a, b, Mode::Functional, |mem, result, _| result(mem))?;
         self.counters.record_run(self.algo.label());
+        self.counters.add_wall(t0.elapsed());
         Ok(out)
     }
 
@@ -222,6 +281,7 @@ impl SddmmPlan {
         a: &DenseMatrix<f16>,
         b: &DenseMatrix<f16>,
     ) -> Result<KernelProfile, EngineError> {
+        let t0 = std::time::Instant::now();
         let mut span = self
             .sink
             .span(Track::ENGINE, "run sddmm (profile)", "engine");
@@ -233,6 +293,7 @@ impl SddmmPlan {
             })?;
         self.counters
             .record_profile(self.algo.label(), profile.cycles);
+        self.counters.add_wall(t0.elapsed());
         Ok(profile)
     }
 
@@ -244,8 +305,26 @@ impl SddmmPlan {
         self.try_profile(a, b).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Run every `(A, B)` pair, returning outputs in order; identical to
-    /// calling [`try_run`](SddmmPlan::try_run) sequentially.
+    /// [`try_run`](SddmmPlan::try_run) against a checked-out spare
+    /// state, for batched fan-out. No per-element engine span:
+    /// concurrent workers would interleave ring pushes
+    /// nondeterministically.
+    fn try_run_pooled(
+        &self,
+        a: &DenseMatrix<f16>,
+        b: &DenseMatrix<f16>,
+    ) -> Result<VectorSparse<f16>, EngineError> {
+        let out = self.dispatch_pooled(a, b, Mode::Functional, |mem, result, _| result(mem))?;
+        self.counters.record_run(self.algo.label());
+        Ok(out)
+    }
+
+    /// Run every `(A, B)` pair, returning outputs in order. Pairs fan
+    /// out across rayon workers, each owning a private clone of the
+    /// plan's device state; results are bit-identical to calling
+    /// [`try_run`](SddmmPlan::try_run) sequentially. When the context is
+    /// tracing, the batch runs sequentially instead so the recorded
+    /// timeline stays deterministic.
     pub fn try_run_batch(
         &self,
         a_batch: &[DenseMatrix<f16>],
@@ -263,13 +342,23 @@ impl SddmmPlan {
         for (a, b) in a_batch.iter().zip(b_batch) {
             self.check_operands(a, b)?;
         }
-        a_batch
+        if self.sink.is_enabled() {
+            return a_batch
+                .iter()
+                .zip(b_batch)
+                .map(|(a, b)| self.try_run(a, b))
+                .collect();
+        }
+        let t0 = std::time::Instant::now();
+        let out = a_batch
             .into_par_iter()
             .zip(b_batch.into_par_iter())
-            .map(|(a, b)| self.try_run(a, b))
+            .map(|(a, b)| self.try_run_pooled(a, b))
             .collect::<Vec<_>>()
             .into_iter()
-            .collect()
+            .collect();
+        self.counters.add_wall(t0.elapsed());
+        out
     }
 
     /// Infallible [`SddmmPlan::try_run_batch`].

@@ -29,6 +29,7 @@ pub struct SpmmDesc {
 }
 
 /// Device-side handles of the staged sparse operand.
+#[derive(Clone, Copy)]
 enum Staged {
     Vs(VsBuffers),
     Ell(EllBuffers),
@@ -36,8 +37,10 @@ enum Staged {
 }
 
 /// Mutable per-plan device state: the pool plus the reusable RHS and
-/// output buffers. Guarded by a mutex so batched runs can share the plan
-/// across rayon workers.
+/// output buffers. Single runs lock the plan's primary state; batched
+/// runs check clones out of a spare pool so rayon workers each own
+/// private device state and genuinely run concurrently.
+#[derive(Clone)]
 struct PlanState {
     mem: MemPool,
     staged: Staged,
@@ -62,6 +65,10 @@ pub struct SpmmPlan {
     /// Densified twin, derived once. Only for `Dense`.
     dense: Option<DenseMatrix<f16>>,
     state: Mutex<PlanState>,
+    /// Checked-in clones of the primary state for batched fan-out. A
+    /// clone's RHS/output buffers may hold a previous run's values;
+    /// every functional dispatch overwrites both before launching.
+    spares: Mutex<Vec<PlanState>>,
     sink: Arc<TraceSink>,
     counters: Arc<Counters>,
 }
@@ -113,6 +120,7 @@ impl SpmmPlan {
                 b_buf,
                 out_buf,
             }),
+            spares: Mutex::new(Vec::new()),
             sink,
             counters,
         }
@@ -158,8 +166,8 @@ impl SpmmPlan {
         Ok(())
     }
 
-    /// Execute against staged state; `finish` reads results back while
-    /// the state lock is still held.
+    /// Execute against the plan's primary state; `finish` reads results
+    /// back while the state lock is still held.
     fn dispatch<R>(
         &self,
         b: &DenseMatrix<f16>,
@@ -168,12 +176,54 @@ impl SpmmPlan {
     ) -> Result<R, EngineError> {
         self.check_rhs(b)?;
         let mut guard = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        self.dispatch_with(&mut guard, b, mode, finish)
+    }
+
+    /// Execute against a checked-out spare state (batched fan-out): pop
+    /// a spare or clone the primary, run without holding the primary
+    /// lock, then check the state back in for the next element.
+    fn dispatch_pooled<R>(
+        &self,
+        b: &DenseMatrix<f16>,
+        mode: Mode,
+        finish: impl FnOnce(&MemPool, BufferId, Option<KernelProfile>) -> R,
+    ) -> Result<R, EngineError> {
+        self.check_rhs(b)?;
+        let spare = self
+            .spares
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop();
+        let mut state = match spare {
+            Some(s) => s,
+            None => self
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone(),
+        };
+        let out = self.dispatch_with(&mut state, b, mode, finish);
+        self.spares
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(state);
+        out
+    }
+
+    /// Dispatch core, against whichever [`PlanState`] the caller owns.
+    fn dispatch_with<R>(
+        &self,
+        state: &mut PlanState,
+        b: &DenseMatrix<f16>,
+        mode: Mode,
+        finish: impl FnOnce(&MemPool, BufferId, Option<KernelProfile>) -> R,
+    ) -> Result<R, EngineError> {
         let PlanState {
             mem,
             staged,
             b_buf,
             out_buf,
-        } = &mut *guard;
+        } = state;
         if mode == Mode::Functional {
             mem.replace(*b_buf, b.data().iter().map(|v| v.to_f32()));
             mem.fill(*out_buf, 0.0);
@@ -223,6 +273,7 @@ impl SpmmPlan {
 
     /// Run the planned SpMM on one RHS.
     pub fn try_run(&self, b: &DenseMatrix<f16>) -> Result<DenseMatrix<f16>, EngineError> {
+        let t0 = std::time::Instant::now();
         let mut span = self.sink.span(Track::ENGINE, "run spmm", "engine");
         span.arg("algo", self.algo.label());
         let (m, n) = (self.desc.m, self.desc.n);
@@ -230,6 +281,7 @@ impl SpmmPlan {
             download_dense(mem, out_buf, m, n)
         })?;
         self.counters.record_run(self.algo.label());
+        self.counters.add_wall(t0.elapsed());
         Ok(out)
     }
 
@@ -244,6 +296,7 @@ impl SpmmPlan {
 
     /// Profile the planned SpMM (sampled performance model).
     pub fn try_profile(&self, b: &DenseMatrix<f16>) -> Result<KernelProfile, EngineError> {
+        let t0 = std::time::Instant::now();
         let mut span = self
             .sink
             .span(Track::ENGINE, "run spmm (profile)", "engine");
@@ -255,6 +308,7 @@ impl SpmmPlan {
             })?;
         self.counters
             .record_profile(self.algo.label(), profile.cycles);
+        self.counters.add_wall(t0.elapsed());
         Ok(profile)
     }
 
@@ -266,9 +320,24 @@ impl SpmmPlan {
         self.try_profile(b).unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// [`try_run`](SpmmPlan::try_run) against a checked-out spare state,
+    /// for batched fan-out. No per-element engine span: concurrent
+    /// workers would interleave ring pushes nondeterministically.
+    fn try_run_pooled(&self, b: &DenseMatrix<f16>) -> Result<DenseMatrix<f16>, EngineError> {
+        let (m, n) = (self.desc.m, self.desc.n);
+        let out = self.dispatch_pooled(b, Mode::Functional, |mem, out_buf, _| {
+            download_dense(mem, out_buf, m, n)
+        })?;
+        self.counters.record_run(self.algo.label());
+        Ok(out)
+    }
+
     /// Run every RHS in the batch, returning outputs in order. Elements
-    /// are dispatched through rayon; results are identical to calling
-    /// [`try_run`](SpmmPlan::try_run) sequentially.
+    /// fan out across rayon workers, each owning a private clone of the
+    /// staged device state; results are bit-identical to calling
+    /// [`try_run`](SpmmPlan::try_run) sequentially. When the context is
+    /// tracing, the batch runs sequentially instead so the recorded
+    /// timeline stays deterministic.
     pub fn try_run_batch(
         &self,
         batch: &[DenseMatrix<f16>],
@@ -279,12 +348,18 @@ impl SpmmPlan {
         for b in batch {
             self.check_rhs(b)?;
         }
-        batch
+        if self.sink.is_enabled() {
+            return batch.iter().map(|b| self.try_run(b)).collect();
+        }
+        let t0 = std::time::Instant::now();
+        let out = batch
             .into_par_iter()
-            .map(|b| self.try_run(b))
+            .map(|b| self.try_run_pooled(b))
             .collect::<Vec<_>>()
             .into_iter()
-            .collect()
+            .collect();
+        self.counters.add_wall(t0.elapsed());
+        out
     }
 
     /// Infallible [`SpmmPlan::try_run_batch`].

@@ -31,6 +31,7 @@ use super::Counters;
 use crate::api::{SddmmAlgo, SpmmAlgo};
 use crate::sddmm::{profile_sddmm_fpu, profile_sddmm_octet, profile_sddmm_wmma, OctetVariant};
 use crate::spmm::{profile_dense_gemm, profile_spmm_fpu, profile_spmm_octet, profile_spmm_wmma};
+use rayon::prelude::*;
 use vecsparse_formats::{DenseMatrix, Layout, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::GpuConfig;
@@ -69,23 +70,34 @@ pub(crate) fn tune_spmm(
     counters: &Counters,
 ) -> SpmmAlgo {
     let b = DenseMatrix::<f16>::zeros(a.cols(), n, Layout::RowMajor);
+    let t0 = std::time::Instant::now();
+    // Profile candidates in parallel (each builds its own MemPool), then
+    // reduce sequentially in candidate order: strict `<` keeps the
+    // earlier candidate on ties, exactly like the old sequential loop.
+    let profiled: Vec<(SpmmAlgo, f64)> = spmm_candidates(a.v(), a.pattern().sparsity())
+        .into_par_iter()
+        .map(|algo| {
+            counters.count_tuner_launch();
+            let profile = match algo {
+                SpmmAlgo::Octet => profile_spmm_octet(gpu, a, &b),
+                SpmmAlgo::Wmma => profile_spmm_wmma(gpu, a, &b),
+                SpmmAlgo::FpuSubwarp => profile_spmm_fpu(gpu, a, &b),
+                SpmmAlgo::Dense => {
+                    let dense = a.to_dense(Layout::RowMajor);
+                    profile_dense_gemm(gpu, &dense, &b)
+                }
+                SpmmAlgo::BlockedEll | SpmmAlgo::Auto => {
+                    unreachable!("never a tuner candidate")
+                }
+            };
+            (algo, profile.cycles)
+        })
+        .collect();
+    counters.add_wall(t0.elapsed());
     let mut best: Option<(SpmmAlgo, f64)> = None;
-    for algo in spmm_candidates(a.v(), a.pattern().sparsity()) {
-        counters.count_tuner_launch();
-        let profile = match algo {
-            SpmmAlgo::Octet => profile_spmm_octet(gpu, a, &b),
-            SpmmAlgo::Wmma => profile_spmm_wmma(gpu, a, &b),
-            SpmmAlgo::FpuSubwarp => profile_spmm_fpu(gpu, a, &b),
-            SpmmAlgo::Dense => {
-                let dense = a.to_dense(Layout::RowMajor);
-                profile_dense_gemm(gpu, &dense, &b)
-            }
-            SpmmAlgo::BlockedEll | SpmmAlgo::Auto => {
-                unreachable!("never a tuner candidate")
-            }
-        };
-        if best.is_none() || profile.cycles < best.unwrap().1 {
-            best = Some((algo, profile.cycles));
+    for (algo, cycles) in profiled {
+        if best.is_none() || cycles < best.unwrap().1 {
+            best = Some((algo, cycles));
         }
     }
     best.expect("candidate set is never empty").0
@@ -99,20 +111,28 @@ pub(crate) fn tune_sddmm(
 ) -> SddmmAlgo {
     let a = DenseMatrix::<f16>::zeros(mask.rows(), k, Layout::RowMajor);
     let b = DenseMatrix::<f16>::zeros(k, mask.cols(), Layout::ColMajor);
+    let t0 = std::time::Instant::now();
+    let profiled: Vec<(SddmmAlgo, f64)> = sddmm_candidates(mask.v())
+        .into_par_iter()
+        .map(|algo| {
+            counters.count_tuner_launch();
+            let profile = match algo {
+                SddmmAlgo::OctetReg => profile_sddmm_octet(gpu, &a, &b, mask, OctetVariant::Reg),
+                SddmmAlgo::OctetShfl => profile_sddmm_octet(gpu, &a, &b, mask, OctetVariant::Shfl),
+                SddmmAlgo::FpuSubwarp => profile_sddmm_fpu(gpu, &a, &b, mask),
+                SddmmAlgo::Wmma => profile_sddmm_wmma(gpu, &a, &b, mask),
+                SddmmAlgo::OctetArch | SddmmAlgo::Auto => {
+                    unreachable!("never a tuner candidate")
+                }
+            };
+            (algo, profile.cycles)
+        })
+        .collect();
+    counters.add_wall(t0.elapsed());
     let mut best: Option<(SddmmAlgo, f64)> = None;
-    for algo in sddmm_candidates(mask.v()) {
-        counters.count_tuner_launch();
-        let profile = match algo {
-            SddmmAlgo::OctetReg => profile_sddmm_octet(gpu, &a, &b, mask, OctetVariant::Reg),
-            SddmmAlgo::OctetShfl => profile_sddmm_octet(gpu, &a, &b, mask, OctetVariant::Shfl),
-            SddmmAlgo::FpuSubwarp => profile_sddmm_fpu(gpu, &a, &b, mask),
-            SddmmAlgo::Wmma => profile_sddmm_wmma(gpu, &a, &b, mask),
-            SddmmAlgo::OctetArch | SddmmAlgo::Auto => {
-                unreachable!("never a tuner candidate")
-            }
-        };
-        if best.is_none() || profile.cycles < best.unwrap().1 {
-            best = Some((algo, profile.cycles));
+    for (algo, cycles) in profiled {
+        if best.is_none() || cycles < best.unwrap().1 {
+            best = Some((algo, cycles));
         }
     }
     best.expect("candidate set is never empty").0

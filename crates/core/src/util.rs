@@ -73,6 +73,7 @@ pub fn upload_pattern(mem: &mut MemPool, p: &SparsityPattern, mode: Mode) -> VsB
 }
 
 /// Upload a CSR matrix.
+#[derive(Clone, Copy, Debug)]
 pub struct CsrBuffers {
     pub values: BufferId,
     pub row_ptr: BufferId,
@@ -99,6 +100,7 @@ pub fn upload_csr<T: Scalar>(mem: &mut MemPool, a: &Csr<T>, mode: Mode) -> CsrBu
 }
 
 /// Upload a Blocked-ELL matrix: values plus the block-column index slab.
+#[derive(Clone, Copy, Debug)]
 pub struct EllBuffers {
     pub values: BufferId,
     pub block_col_idx: BufferId,

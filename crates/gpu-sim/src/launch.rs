@@ -1,16 +1,17 @@
 //! Kernel launch machinery: functional execution and performance
 //! simulation with occupancy-aware wave sampling and extrapolation.
 
-use crate::cache::{CacheStats, SectorCache};
+use crate::cache::{replay_l2, CacheStats, L2Op, RecordingL2, SectorCache};
 use crate::config::GpuConfig;
 use crate::mem::MemPool;
 use crate::profile::{HotPc, InstrCounts, KernelProfile, PipeUtil, StallBreakdown};
+use crate::sched::WaveResult;
 use crate::sched::{simulate_wave, WaveObs};
 use crate::trace::WarpTrace;
 use crate::warp::{CtaCtx, ShadowObs};
 use crate::WARP_SIZE;
 use rayon::prelude::*;
-use vecsparse_telemetry::{ArgValue, TraceSink, Track};
+use vecsparse_telemetry::{ArgValue, TraceShard, TraceSink, Track};
 
 /// Execution mode of a launch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -85,11 +86,15 @@ pub struct LaunchOutput {
 /// In [`Mode::Functional`], every CTA executes (in parallel over host
 /// threads) and buffered global writes are applied to `mem`.
 ///
-/// In [`Mode::Performance`], traces are generated for
-/// `sim_sms × ctas_per_sm × sim_waves` CTAs sampled evenly across the
-/// grid, scheduled on simulated SMs sharing an L2, and counters are
-/// extrapolated to the full grid. The final cycle estimate is the maximum
-/// of the issue-model cycles and the DRAM/L2 bandwidth lower bounds.
+/// In [`Mode::Performance`], the simulation runs as a three-phase
+/// pipeline: traces are generated for `sim_sms × ctas_per_sm ×
+/// sim_waves` CTAs sampled evenly across the grid (parallel), each SM
+/// wave is timed with its own L1 and a recording L2 (parallel), and the
+/// recorded L2 sector traffic is replayed into the shared device L2 in
+/// canonical wave order (sequential) before counters are extrapolated
+/// to the full grid. Results are bit-identical at any thread count. The
+/// final cycle estimate is the maximum of the issue-model cycles and
+/// the DRAM/L2 bandwidth lower bounds.
 pub fn launch<K: KernelSpec + ?Sized>(
     cfg: &GpuConfig,
     mem: &mut MemPool,
@@ -220,7 +225,7 @@ fn simulate<K: KernelSpec + ?Sized>(
         .map(|i| ((i as f64 * stride) as usize).min(lc.grid - 1))
         .collect();
 
-    // Trace generation (parallel; each CTA is independent).
+    // Phase 1 — trace generation, in parallel (each CTA is independent).
     let traces: Vec<Vec<WarpTrace>> = sample_ids
         .par_iter()
         .map(|&cta_id| {
@@ -237,16 +242,6 @@ fn simulate<K: KernelSpec + ?Sized>(
             t
         })
         .collect();
-
-    // Distribute the sampled CTAs into SM-waves and simulate. The L2 is
-    // shared across all simulated SMs and waves.
-    let mut l2 = SectorCache::new(cfg.l2_bytes, cfg.l2_ways);
-    let mut l1_stats = CacheStats::default();
-    let mut stalls = StallBreakdown::default();
-    let mut instrs = InstrCounts::default();
-    let mut pipe_busy: Vec<(crate::trace::Pipe, u64)> = Vec::new();
-    let mut wave_cycles: Vec<u64> = Vec::new();
-    let mut pc_issues: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
 
     let smem_bytes = lc.smem_elems as u64 * lc.smem_elem_bytes;
     let l1_cache_bytes = (cfg.l1_bytes as u64)
@@ -275,39 +270,80 @@ fn simulate<K: KernelSpec + ?Sized>(
         }
     }
 
-    let mut cursor = 0usize;
-    let mut wave_idx = 0usize;
-    while cursor < traces.len() {
-        let end = (cursor + resident_per_sm).min(traces.len());
-        let wave: Vec<&[WarpTrace]> = traces[cursor..end].iter().map(|t| t.as_slice()).collect();
-        cursor = end;
-        // Fresh L1 per SM-wave (each wave runs on "its own" SM slot).
-        let mut l1 = SectorCache::new(l1_cache_bytes.max(128 * cfg.l1_ways), cfg.l1_ways);
+    // Phase 2 — per-wave timing, in parallel. Each wave owns a fresh L1
+    // (each wave runs on "its own" SM slot, as before) and a private
+    // *recording* L2: latency decisions come from the wave-local cache
+    // (cold at wave start, so timing is independent of wave order and of
+    // every other wave), while the wave's L2-bound sector traffic is
+    // captured in an op log. Telemetry, when on, is buffered into a
+    // wave-local shard at wave-relative ticks.
+    struct WaveSim {
+        result: WaveResult,
+        ctas: usize,
+        l1_stats: CacheStats,
+        l2_ops: Vec<L2Op>,
+        shard: Option<TraceShard>,
+    }
+    let wave_ranges: Vec<(usize, usize)> = (0..traces.len())
+        .step_by(resident_per_sm)
+        .map(|start| (start, (start + resident_per_sm).min(traces.len())))
+        .collect();
+    let wave_sims: Vec<WaveSim> = wave_ranges
+        .into_par_iter()
+        .map(|(start, end)| {
+            let wave: Vec<&[WarpTrace]> = traces[start..end].iter().map(|t| t.as_slice()).collect();
+            let mut l1 = SectorCache::new(l1_cache_bytes.max(128 * cfg.l1_ways), cfg.l1_ways);
+            let mut l2 = RecordingL2::new(cfg.l2_bytes, cfg.l2_ways);
+            let obs = tracing.then(WaveObs::new);
+            let result = simulate_wave(cfg, &wave, &mut l1, &mut l2, obs.as_ref());
+            WaveSim {
+                result,
+                ctas: wave.len(),
+                l1_stats: l1.stats,
+                l2_ops: l2.into_ops(),
+                shard: obs.map(WaveObs::into_shard),
+            }
+        })
+        .collect();
+
+    // Phase 3 — sequential replay and merge, in canonical wave order.
+    // The shared L2 sees every wave's recorded sector traffic in the
+    // same order a sequential simulation would apply it, so the
+    // device-wide CacheStats (and the DRAM/L2 bandwidth bounds below)
+    // retain cross-wave reuse; telemetry shards are rebased onto the
+    // sink back to back, so the exported trace has one deterministic
+    // layout at any thread count.
+    let mut l2 = SectorCache::new(cfg.l2_bytes, cfg.l2_ways);
+    let mut l1_stats = CacheStats::default();
+    let mut stalls = StallBreakdown::default();
+    let mut instrs = InstrCounts::default();
+    let mut pipe_busy: Vec<(crate::trace::Pipe, u64)> = Vec::new();
+    let mut wave_cycles: Vec<u64> = Vec::new();
+    let mut pc_issues: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    for (wave_idx, ws) in wave_sims.into_iter().enumerate() {
+        let r = ws.result;
+        replay_l2(&ws.l2_ops, &mut l2);
         let wave_base = launch_base + wave_cycles.iter().sum::<u64>();
-        let obs = WaveObs {
-            sink,
-            pid,
-            base: wave_base,
-        };
-        let r = simulate_wave(cfg, &wave, &mut l1, &mut l2, tracing.then_some(&obs));
         if tracing {
+            if let Some(shard) = ws.shard {
+                sink.merge_shard(pid, wave_base, shard);
+            }
             sink.span_at(
                 Track { pid, tid: 0 },
                 format!("wave {wave_idx}"),
                 "wave",
                 wave_base,
                 r.cycles.max(1),
-                vec![("ctas", ArgValue::U64(wave.len() as u64))],
+                vec![("ctas", ArgValue::U64(ws.ctas as u64))],
             );
         }
-        wave_idx += 1;
         wave_cycles.push(r.cycles);
         stalls.merge(&r.stalls);
         instrs.merge(&r.instrs);
         for (pc, n) in &r.pc_issues {
             *pc_issues.entry(*pc).or_insert(0) += n;
         }
-        l1_stats.merge(&l1.stats);
+        l1_stats.merge(&ws.l1_stats);
         if pipe_busy.is_empty() {
             pipe_busy = r.pipe_busy;
         } else {

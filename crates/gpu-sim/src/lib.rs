@@ -44,7 +44,7 @@ mod trace;
 mod warp;
 mod wvec;
 
-pub use cache::{CacheStats, SectorCache};
+pub use cache::{replay_l2, CacheStats, L2Op, L2Port, RecordingL2, SectorCache};
 pub use config::{GpuConfig, Timing};
 pub use launch::{
     launch, launch_shadow, launch_traced, KernelSpec, LaunchConfig, LaunchOutput, Mode,

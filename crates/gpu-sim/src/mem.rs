@@ -47,6 +47,7 @@ impl BufferId {
     }
 }
 
+#[derive(Clone)]
 struct Buffer {
     base: u64,
     width: ElemWidth,
@@ -56,7 +57,11 @@ struct Buffer {
 }
 
 /// The device global memory: a set of allocated buffers.
-#[derive(Default)]
+///
+/// `Clone` gives a value-identical pool at the same virtual addresses —
+/// batched plan execution clones the staged pool so concurrent runs each
+/// own private device state.
+#[derive(Clone, Default)]
 pub struct MemPool {
     buffers: Vec<Buffer>,
     next_base: u64,

@@ -7,41 +7,44 @@
 //! sector caches for global accesses. The simulation yields cycles plus
 //! the stall attribution and cache statistics the profiler reports.
 
-use crate::cache::SectorCache;
+use crate::cache::{L2Port, SectorCache};
 use crate::config::GpuConfig;
 use crate::icache::ICache;
 use crate::profile::{InstrCounts, StallBreakdown};
 use crate::trace::{InstrKind, Pipe, Tok, WarpTrace, ALL_PIPES};
-use std::collections::HashMap;
-use vecsparse_telemetry::{ArgValue, TraceSink, Track};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use vecsparse_telemetry::{ArgValue, TraceShard};
 
-/// Telemetry observer for one simulated wave: where (and at what virtual
-/// time offset) to record per-scheduler issue and stall events.
-pub struct WaveObs<'a> {
-    /// Destination sink (already checked enabled by the caller).
-    pub sink: &'a TraceSink,
-    /// The launch's process id; scheduler `s` records on tid `s + 1`.
-    pub pid: u32,
-    /// Virtual-tick timestamp of this wave's cycle 0.
-    pub base: u64,
+/// Telemetry observer for one simulated wave: a worker-local
+/// [`TraceShard`] buffering per-scheduler issue and stall spans at
+/// wave-relative ticks. The wave doesn't know (and with parallel waves
+/// *cannot* know) its absolute start time or the sink's sequence
+/// numbering — the launch's sequential merge phase rebases the shard
+/// with [`vecsparse_telemetry::TraceSink::merge_shard`].
+#[derive(Default)]
+pub struct WaveObs {
+    shard: RefCell<TraceShard>,
 }
 
-impl WaveObs<'_> {
+impl WaveObs {
+    /// A fresh observer for one wave.
+    pub fn new() -> WaveObs {
+        WaveObs::default()
+    }
+
+    /// The buffered spans, wave-relative.
+    pub fn into_shard(self) -> TraceShard {
+        self.shard.into_inner()
+    }
+
     fn stall_span(&self, s: usize, reason: &'static str, from: u64, dur: u64) {
         if dur == 0 {
             return;
         }
-        self.sink.span_at(
-            Track {
-                pid: self.pid,
-                tid: s as u32 + 1,
-            },
-            reason,
-            "stall",
-            self.base + from,
-            dur,
-            Vec::new(),
-        );
+        self.shard
+            .borrow_mut()
+            .push_span(s as u32 + 1, reason, "stall", from, dur, Vec::new());
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -64,14 +67,11 @@ impl WaveObs<'_> {
                 args.push(("l1_missed", ArgValue::U64(l1_missed)));
             }
         }
-        self.sink.span_at(
-            Track {
-                pid: self.pid,
-                tid: s as u32 + 1,
-            },
+        self.shard.borrow_mut().push_span(
+            s as u32 + 1,
             instr.kind.mnemonic(),
             "issue",
-            self.base + issue_at,
+            issue_at,
             interval.max(1),
             args,
         );
@@ -90,8 +90,10 @@ pub struct WaveResult {
     /// Busy cycles per pipe, summed over schedulers.
     pub pipe_busy: Vec<(Pipe, u64)>,
     /// Dynamic issue count per static pc, for hot-spot reporting keyed to
-    /// the program listing.
-    pub pc_issues: HashMap<u32, u64>,
+    /// the program listing. A `BTreeMap` so iteration (and hence every
+    /// merge and report derived from it) is in pc order, never in hash
+    /// order.
+    pub pc_issues: BTreeMap<u32, u64>,
 }
 
 struct WarpState<'t> {
@@ -122,15 +124,17 @@ struct BarrierState {
 /// Simulate one SM wave.
 ///
 /// `ctas` are the resident thread blocks (each a slice of warp traces).
-/// `l1` is this SM's L1; `l2` is the device-wide L2 shared across waves.
-/// When `obs` is set, every issue and attributed stall is recorded as a
-/// span on that observer's per-scheduler tracks; timing is unaffected.
-pub fn simulate_wave(
+/// `l1` is this SM's L1; `l2` is the wave's [`L2Port`] — the shared
+/// device L2 for sequential callers, or a [`crate::cache::RecordingL2`]
+/// when waves are timed in parallel and their sector traffic replayed
+/// later. When `obs` is set, every issue and attributed stall is
+/// buffered as a wave-relative span; timing is unaffected.
+pub fn simulate_wave<L2: L2Port + ?Sized>(
     cfg: &GpuConfig,
     ctas: &[&[WarpTrace]],
     l1: &mut SectorCache,
-    l2: &mut SectorCache,
-    obs: Option<&WaveObs<'_>>,
+    l2: &mut L2,
+    obs: Option<&WaveObs>,
 ) -> WaveResult {
     let timing = &cfg.timing;
     let nsched = cfg.schedulers_per_sm;
@@ -193,7 +197,7 @@ pub fn simulate_wave(
 
     let mut stalls = StallBreakdown::default();
     let mut instrs = InstrCounts::default();
-    let mut pc_issues: HashMap<u32, u64> = HashMap::new();
+    let mut pc_issues: BTreeMap<u32, u64> = BTreeMap::new();
     let mut last_retire: u64 = 0;
 
     // A warp's next instruction is feasible at `ready_time` =

@@ -49,7 +49,8 @@ mod values;
 
 pub use diag::{Category, Diagnostic, Report, Severity};
 
-use vecsparse_gpu_sim::{CtaCtx, GpuConfig, KernelSpec, MemPool, Mode};
+use rayon::prelude::*;
+use vecsparse_gpu_sim::{CtaCtx, GpuConfig, KernelSpec, MemPool, Mode, SanEvent, WarpTrace};
 
 /// Knobs for one sanitizer run.
 #[derive(Clone, Copy, Debug)]
@@ -110,38 +111,57 @@ pub fn sanitize<K: KernelSpec + ?Sized>(
         program: kernel.program(),
     };
     traces::check_static(&env, &mut report);
-    for cta_id in sample_ctas(lc.grid, opts.max_ctas) {
-        let mut cta = CtaCtx::new(
-            cta_id,
-            Mode::Performance,
-            mem,
-            lc.warps_per_cta,
-            lc.smem_elems,
-            lc.smem_elem_bytes,
-        );
-        cta.record_detail = true;
-        kernel.run_cta(&mut cta);
-        let (warp_traces, _writes) = cta.finish();
-        report.instrs_checked += warp_traces.iter().map(|t| t.len() as u64).sum::<u64>();
-        traces::check_cta(&env, cta_id, &warp_traces, &mut report);
-
-        if opts.check_values {
-            let mut fcta = CtaCtx::new(
+    // Per-CTA trace generation (the simulation itself) fans out across
+    // rayon workers — each sampled CTA's performance and functional
+    // passes are independent. The check passes then consume the scans
+    // sequentially in CTA order, so the report's diagnostic order is
+    // identical to the old sequential loop at any thread count.
+    struct CtaScan {
+        cta_id: usize,
+        warp_traces: Vec<WarpTrace>,
+        san_events: Vec<SanEvent>,
+    }
+    let scans: Vec<CtaScan> = sample_ctas(lc.grid, opts.max_ctas)
+        .into_par_iter()
+        .map(|cta_id| {
+            let mut cta = CtaCtx::new(
                 cta_id,
-                Mode::Functional,
+                Mode::Performance,
                 mem,
                 lc.warps_per_cta,
                 lc.smem_elems,
                 lc.smem_elem_bytes,
             );
-            fcta.check_values = true;
-            kernel.run_cta(&mut fcta);
-            values::check_events(
-                kernel.program(),
+            cta.record_detail = true;
+            kernel.run_cta(&mut cta);
+            let (warp_traces, _writes) = cta.finish();
+            let san_events = if opts.check_values {
+                let mut fcta = CtaCtx::new(
+                    cta_id,
+                    Mode::Functional,
+                    mem,
+                    lc.warps_per_cta,
+                    lc.smem_elems,
+                    lc.smem_elem_bytes,
+                );
+                fcta.check_values = true;
+                kernel.run_cta(&mut fcta);
+                fcta.take_san_events()
+            } else {
+                Vec::new()
+            };
+            CtaScan {
                 cta_id,
-                &fcta.take_san_events(),
-                &mut report,
-            );
+                warp_traces,
+                san_events,
+            }
+        })
+        .collect();
+    for scan in &scans {
+        report.instrs_checked += scan.warp_traces.iter().map(|t| t.len() as u64).sum::<u64>();
+        traces::check_cta(&env, scan.cta_id, &scan.warp_traces, &mut report);
+        if opts.check_values {
+            values::check_events(kernel.program(), scan.cta_id, &scan.san_events, &mut report);
         }
         report.ctas_checked += 1;
     }

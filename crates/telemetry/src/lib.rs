@@ -381,6 +381,99 @@ impl Default for TraceSink {
     }
 }
 
+/// One span recorded into a [`TraceShard`], stamped in ticks *relative*
+/// to the shard's (not yet known) base time. The process id is also
+/// late-bound: the shard only knows thread ids within its track group.
+#[derive(Debug, Clone)]
+pub struct ShardEvent {
+    /// Thread id within the owning process's track group.
+    pub tid: u32,
+    /// Span label.
+    pub name: String,
+    /// Perfetto category.
+    pub cat: &'static str,
+    /// Start time relative to the shard base.
+    pub ts: u64,
+    /// Duration in ticks.
+    pub dur: u64,
+    /// Typed key/value payload.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// A worker-local span buffer for one parallel shard of simulated work
+/// (one SM wave). Parallel workers each fill their own shard — no
+/// contention on the sink's ring, no cross-worker interleaving — and the
+/// sequential merge phase calls [`TraceSink::merge_shard`] in canonical
+/// shard order, so the exported trace is byte-identical at any worker
+/// count.
+#[derive(Debug, Default)]
+pub struct TraceShard {
+    events: Vec<ShardEvent>,
+}
+
+impl TraceShard {
+    /// An empty shard.
+    pub fn new() -> TraceShard {
+        TraceShard::default()
+    }
+
+    /// Append a span at `ts` ticks past the (future) shard base.
+    pub fn push_span(
+        &mut self,
+        tid: u32,
+        name: impl Into<String>,
+        cat: &'static str,
+        ts: u64,
+        dur: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.events.push(ShardEvent {
+            tid,
+            name: name.into(),
+            cat,
+            ts,
+            dur,
+            args,
+        });
+    }
+
+    /// Number of buffered spans.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the shard holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink {
+    /// Rebase a shard's spans onto `(pid, base)` and record them in
+    /// chronological order (stable sort by relative tick; ties keep the
+    /// shard's recording order). Sequence ids are assigned here, at
+    /// merge time — a shard filled by a pool worker carries none — so
+    /// calling `merge_shard` in a canonical order yields an identical
+    /// ring regardless of how many workers filled the shards.
+    pub fn merge_shard(&self, pid: u32, base: u64, shard: TraceShard) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut events = shard.events;
+        events.sort_by_key(|e| e.ts);
+        for e in events {
+            self.span_at(
+                Track { pid, tid: e.tid },
+                e.name,
+                e.cat,
+                base + e.ts,
+                e.dur,
+                e.args,
+            );
+        }
+    }
+}
+
 /// RAII guard for an in-progress host-side span; see
 /// [`TraceSink::span`].
 #[must_use = "the span is recorded when the guard drops"]
@@ -500,6 +593,51 @@ mod tests {
         assert_eq!(ev[0].ts, before);
         assert!(ev[0].ts + ev[0].dur >= before + 10_000, "span covers child");
         assert!(sink.now() >= before + 10_000);
+    }
+
+    #[test]
+    fn merge_shard_orders_by_tick_and_rebases() {
+        let build = || {
+            let mut s = TraceShard::new();
+            // Recorded out of chronological order, as a scheduler loop
+            // does (a stall span for the next instruction may start
+            // before the previously recorded issue span).
+            s.push_span(1, "b", "issue", 7, 2, Vec::new());
+            s.push_span(2, "a", "stall", 3, 4, Vec::new());
+            s.push_span(1, "tie0", "issue", 3, 1, Vec::new());
+            s
+        };
+        let sink = TraceSink::enabled(16);
+        sink.merge_shard(9, 100, build());
+        let ev = sink.events();
+        assert_eq!(ev.len(), 3);
+        // Chronological by rebased tick; the tie keeps recording order.
+        assert_eq!(
+            ev.iter().map(|e| (&*e.name, e.ts)).collect::<Vec<_>>(),
+            vec![("a", 103), ("tie0", 103), ("b", 107)]
+        );
+        assert!(ev.iter().all(|e| e.track.pid == 9));
+        assert!(ev[0].seq < ev[1].seq && ev[1].seq < ev[2].seq);
+
+        // A second sink merged in the same order is event-identical.
+        let sink2 = TraceSink::enabled(16);
+        sink2.merge_shard(9, 100, build());
+        let ev2 = sink2.events();
+        for (x, y) in ev.iter().zip(&ev2) {
+            assert_eq!(
+                (x.name.clone(), x.ts, x.dur, x.track),
+                (y.name.clone(), y.ts, y.dur, y.track)
+            );
+        }
+    }
+
+    #[test]
+    fn merge_shard_into_disabled_sink_is_noop() {
+        let sink = TraceSink::disabled();
+        let mut shard = TraceShard::new();
+        shard.push_span(1, "x", "issue", 0, 1, Vec::new());
+        sink.merge_shard(1, 0, shard);
+        assert!(sink.events().is_empty());
     }
 
     #[test]
