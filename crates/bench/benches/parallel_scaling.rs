@@ -57,5 +57,42 @@ fn batch_fan_out_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, wave_pipeline_scaling, batch_fan_out_scaling);
+/// Certified wave memoization vs honest simulation, same shape as the
+/// launch group. The memoized plan is profiled once up front so the
+/// measured iterations are pure replay — the steady state of a
+/// `--memoize --repeat N` sweep.
+fn memoized_profile_scaling(c: &mut Criterion) {
+    use vecsparse::engine::Context;
+    use vecsparse::SpmmAlgo;
+
+    let mut group = c.benchmark_group("parallel/memoize");
+    group.sample_size(20);
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build_global()
+        .expect("thread-pool shim accepts reconfiguration");
+    let a = gen::random_vector_sparse::<f16>(1024, 1024, 4, 0.9, 1);
+    let b = gen::random_dense::<f16>(1024, 128, Layout::RowMajor, 2);
+
+    let honest = Context::with_gpu(GpuConfig::default());
+    let honest_plan = honest.plan_spmm(&a, 128, SpmmAlgo::Octet);
+    group.bench_function("profile_octet_t1_honest", |bench| {
+        bench.iter(|| honest_plan.profile(&b));
+    });
+
+    let memo = Context::with_memoization(GpuConfig::default());
+    let memo_plan = memo.plan_spmm(&a, 128, SpmmAlgo::Octet);
+    memo_plan.profile(&b); // warm-up: certify + first honest simulation
+    group.bench_function("profile_octet_t1_memoized", |bench| {
+        bench.iter(|| memo_plan.profile(&b));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    wave_pipeline_scaling,
+    batch_fan_out_scaling,
+    memoized_profile_scaling
+);
 criterion_main!(benches);

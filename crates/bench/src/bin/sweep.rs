@@ -6,7 +6,7 @@
 //!     --m 2048 --k 1024 --n 256 --v 4 --sparsity 0.9 [--seed 42] \
 //!     [--algo auto] [--json results.json] [--expect-auto spmm-octet] \
 //!     [--sanitize] [--precision] [--trace trace.json] [--csv counters.csv]
-//!     [--report] [--threads N]
+//!     [--report] [--threads N] [--memoize] [--repeat R]
 //! ```
 //!
 //! * `--algo auto` adds an `auto` row: the engine's tuner picks among the
@@ -43,6 +43,16 @@
 //!   knob as `VECSPARSE_THREADS`; `1` forces the sequential path). All
 //!   simulated counters and the JSON document are bit-identical at any
 //!   thread count — only `wall_ms` varies.
+//! * `--memoize` enables certified wave memoization: kernels whose wave
+//!   equivalence `vecsparse-waveprove` proves are simulated once per
+//!   structural signature and replayed thereafter. Profiles are
+//!   bit-identical to the unmemoized sweep (the JSON differs only in
+//!   `wall_ms` and the added `memo` block); `VECSPARSE_AUDIT=n` makes the
+//!   memoizer re-simulate every n-th memoized wave and assert identity.
+//! * `--repeat R` profiles each kernel row R times — the Fig. 17-style
+//!   repeated-shape workload where memoization pays: the first profile
+//!   simulates, the other R−1 replay. The reported row is the last
+//!   profile (all R are identical).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -90,6 +100,8 @@ fn main() {
     let trace_path = arg_str("--trace");
     let csv_path = arg_str("--csv");
     let want_report = std::env::args().any(|a| a == "--report");
+    let memoize = std::env::args().any(|a| a == "--memoize");
+    let repeat = (arg("--repeat", 1.0) as usize).max(1);
     let want_auto = expect_auto.is_some()
         || arg_str("--algo").as_deref() == Some("auto")
         || std::env::args().any(|a| a == "--algo-auto");
@@ -168,7 +180,11 @@ fn main() {
     } else {
         Arc::new(TraceSink::disabled())
     };
-    let ctx = Context::with_telemetry(gpu, Arc::clone(&sink));
+    let mut ctx = Context::with_telemetry(gpu, Arc::clone(&sink));
+    if memoize {
+        ctx.enable_memoization();
+    }
+    let ctx = ctx;
     let a = gen::random_vector_sparse::<f16>(m, k, v, sparsity, seed);
     let b = gen::random_dense::<f16>(k, n, Layout::RowMajor, seed + 1);
 
@@ -193,7 +209,10 @@ fn main() {
     for algo in algos {
         let t0 = Instant::now();
         let plan = ctx.plan_spmm(&a, n, algo);
-        let profile = plan.profile(&b);
+        let mut profile = plan.profile(&b);
+        for _ in 1..repeat {
+            profile = plan.profile(&b);
+        }
         row_wall_ms.push(t0.elapsed().as_secs_f64() * 1e3);
         let label = if algo == SpmmAlgo::Auto {
             auto_choice = Some(plan.algo().label().to_string());
@@ -240,7 +259,19 @@ fn main() {
         ]);
     }
     t.print();
-    println!("({threads} worker threads, {sweep_wall_ms:.1} ms total)");
+    println!("({threads} worker threads, {repeat} profile(s)/row, {sweep_wall_ms:.1} ms total)");
+    if let Some(ms) = ctx.memo_stats() {
+        println!(
+            "memoizer: launch {} hit / {} miss, wave {} hit / {} miss, \
+             {} audits, hit rate {:.1}%",
+            ms.launch_hits,
+            ms.launch_misses,
+            ms.wave_hits,
+            ms.wave_misses,
+            ms.audits,
+            100.0 * ms.hit_rate()
+        );
+    }
 
     if let Some(path) = json_path {
         let meta = SweepMeta {
@@ -253,6 +284,8 @@ fn main() {
             auto: auto_choice.clone(),
             threads,
             wall_ms: sweep_wall_ms,
+            repeat,
+            memo: ctx.memo_stats(),
         };
         let out = sweep_json::render(&meta, &rows, &ctx.report().certificates);
         // The document must parse: CI consumes it with a JSON parser.

@@ -1,8 +1,8 @@
-//! Rendering of the sweep binary's `--json` document (schema v4),
+//! Rendering of the sweep binary's `--json` document (schema v5),
 //! factored out of `src/bin/sweep.rs` so the layout can be round-trip
 //! tested without running a sweep.
 
-use vecsparse_gpu_sim::KernelProfile;
+use vecsparse_gpu_sim::{KernelProfile, MemoStats};
 use vecsparse_precision::Certificate;
 
 /// Version of the `--json` document layout. Bump when fields change
@@ -13,7 +13,11 @@ use vecsparse_precision::Certificate;
 /// regions used) and `wall_ms` (wall-clock time of the profiling loop).
 /// `wall_ms` is the one machine-dependent field; determinism checks diff
 /// documents with it stripped.
-pub const JSON_SCHEMA_VERSION: u32 = 4;
+/// v5: added top-level `repeat` (profiles per kernel row) and, under
+/// `--memoize`, the `memo` block (wave/launch hit counters and hit rate).
+/// Memoize-vs-baseline checks diff documents with `wall_ms`, `threads`,
+/// and `memo` stripped.
+pub const JSON_SCHEMA_VERSION: u32 = 5;
 
 /// One profiled kernel row of the sweep.
 pub struct SweepRow {
@@ -46,6 +50,11 @@ pub struct SweepMeta {
     /// Wall-clock milliseconds the profiling loop took (machine-
     /// dependent; strip before diffing documents for determinism).
     pub wall_ms: f64,
+    /// Profiles taken per kernel row (the `--repeat` knob; ≥ 1).
+    pub repeat: usize,
+    /// Wave-memoizer counters, present only under `--memoize` (strip
+    /// before diffing a memoized document against a baseline one).
+    pub memo: Option<MemoStats>,
 }
 
 fn json_escape(s: &str) -> String {
@@ -69,6 +78,20 @@ pub fn render(meta: &SweepMeta, rows: &[SweepRow], certs: &[Certificate]) -> Str
         "  \"shape\": {{\"m\": {}, \"k\": {}, \"n\": {}, \"v\": {}, \"sparsity\": {}}},\n",
         meta.m, meta.k, meta.n, meta.v, meta.sparsity
     ));
+    out.push_str(&format!("  \"repeat\": {},\n", meta.repeat));
+    if let Some(ms) = &meta.memo {
+        out.push_str(&format!(
+            "  \"memo\": {{\"wave_hits\": {}, \"wave_misses\": {}, \"launch_hits\": {}, \
+             \"launch_misses\": {}, \"audits\": {}, \"wave_entries\": {}, \"hit_rate\": {:.4}}},\n",
+            ms.wave_hits,
+            ms.wave_misses,
+            ms.launch_hits,
+            ms.launch_misses,
+            ms.audits,
+            ms.wave_entries,
+            ms.hit_rate()
+        ));
+    }
     if let Some(choice) = &meta.auto {
         out.push_str(&format!("  \"auto\": \"{}\",\n", json_escape(choice)));
     }
@@ -138,7 +161,7 @@ mod tests {
     }
 
     #[test]
-    fn document_round_trips_with_v4_fields() {
+    fn document_round_trips_with_v5_fields() {
         let meta = SweepMeta {
             gpu_config_hash: 0xdead_beef,
             m: 128,
@@ -149,6 +172,15 @@ mod tests {
             auto: Some("spmm-octet".to_string()),
             threads: 4,
             wall_ms: 17.25,
+            repeat: 10,
+            memo: Some(MemoStats {
+                wave_hits: 0,
+                wave_misses: 5,
+                audits: 0,
+                launch_hits: 36,
+                launch_misses: 4,
+                wave_entries: 5,
+            }),
         };
         let rows = vec![
             SweepRow {
@@ -178,6 +210,9 @@ mod tests {
         );
         assert_eq!(parsed["threads"].as_u64(), Some(4));
         assert_eq!(parsed["wall_ms"].as_f64(), Some(17.25));
+        assert_eq!(parsed["repeat"].as_u64(), Some(10));
+        assert_eq!(parsed["memo"]["launch_hits"].as_u64(), Some(36));
+        assert_eq!(parsed["memo"]["hit_rate"].as_f64(), Some(0.8));
         assert_eq!(parsed["gpu_config_hash"].as_str(), Some("00000000deadbeef"));
         assert_eq!(parsed["auto"].as_str(), Some("spmm-octet"));
         assert_eq!(parsed["shape"]["m"].as_u64(), Some(128));
@@ -193,8 +228,9 @@ mod tests {
     #[test]
     fn stripping_wall_ms_makes_documents_comparable() {
         // The CI determinism gate diffs two sweeps at different thread
-        // counts after deleting the one machine-dependent field.
-        let mk = |threads, wall_ms| {
+        // counts (and memoize settings) after deleting the machine- and
+        // mode-dependent fields.
+        let mk = |threads, wall_ms, memo| {
             let meta = SweepMeta {
                 gpu_config_hash: 1,
                 m: 8,
@@ -205,14 +241,17 @@ mod tests {
                 auto: None,
                 threads,
                 wall_ms,
+                repeat: 1,
+                memo,
             };
             render(&meta, &[], &[])
         };
-        let a = mk(4, 10.0);
-        let b = mk(4, 99.0);
+        let a = mk(4, 10.0, None);
+        let b = mk(4, 99.0, Some(MemoStats::default()));
         let strip = |doc: &str| match serde_json::from_str(doc).unwrap() {
             serde_json::Value::Object(mut map) => {
                 map.remove("wall_ms");
+                map.remove("memo");
                 serde_json::Value::Object(map)
             }
             _ => panic!("top level is an object"),

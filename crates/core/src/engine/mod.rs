@@ -55,13 +55,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use vecsparse_formats::{gen, BlockedEll, DenseMatrix, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
-use vecsparse_gpu_sim::{GpuConfig, KernelProfile, TraceSink, Track};
+use vecsparse_gpu_sim::sig::{self, Fingerprint};
+use vecsparse_gpu_sim::{
+    GpuConfig, KernelProfile, LaunchSig, MemoStats, TraceSink, Track, WaveMemo,
+};
 use vecsparse_precision::Certificate;
+use vecsparse_waveprove::WaveCertificate;
 
 /// Granularity of the sparsity axis of the plan-cache key: sparsities are
 /// bucketed to 1/64 before lookup, so two problems whose zero fractions
-/// differ by less than ~1.6 % share a tuning decision.
-pub const SPARSITY_BUCKETS: f64 = 64.0;
+/// differ by less than ~1.6 % share a tuning decision. Re-exported from
+/// [`vecsparse_gpu_sim::sig`] — the plan cache, the Blocked-ELL twin
+/// seed, and the wave memoizer all key off the same shared hash module.
+pub use vecsparse_gpu_sim::sig::SPARSITY_BUCKETS;
 
 /// Plan-cache key: everything the tuner's decision depends on. Two
 /// problems with the same key get the same algorithm without re-tuning.
@@ -117,7 +123,7 @@ pub enum OpKind {
 }
 
 fn bucket(sparsity: f64) -> u32 {
-    (sparsity * SPARSITY_BUCKETS).round() as u32
+    sig::sparsity_bucket(sparsity)
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -164,6 +170,15 @@ pub(crate) struct Counters {
     /// Worst-case precision certificate per planned algorithm (the widest
     /// bound over every descriptor planned through this context).
     certs: Mutex<HashMap<&'static str, Certificate>>,
+    /// Latest wave-equivalence certificate per planned algorithm
+    /// (surfaced in [`Report`]).
+    wave_certs: Mutex<HashMap<&'static str, WaveCertificate>>,
+    /// Memoization-signature cache keyed by (algorithm, operand
+    /// fingerprint): repeated plans over the same operand structure reuse
+    /// one certification instead of re-proving per plan. `None` records a
+    /// NotProvable verdict, so unprovable kernels are not re-certified
+    /// either.
+    launch_sigs: Mutex<HashMap<(&'static str, Fingerprint), Option<LaunchSig>>>,
 }
 
 impl Counters {
@@ -222,6 +237,52 @@ impl Counters {
         v.sort_by(|a, b| a.kernel.cmp(&b.kernel));
         v
     }
+
+    fn wave_certs_lock(&self) -> std::sync::MutexGuard<'_, HashMap<&'static str, WaveCertificate>> {
+        self.wave_certs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn wave_cert_snapshot(&self) -> Vec<(&'static str, WaveCertificate)> {
+        let mut v: Vec<_> = self
+            .wave_certs_lock()
+            .iter()
+            .map(|(k, c)| (*k, c.clone()))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Resolve the memoization signature for `(label, operand_fp)`,
+    /// certifying wave equivalence at most once per key: plans rebuilt
+    /// over the same operand structure (a `--repeat` sweep) hit the cache
+    /// instead of re-proving. `certify` runs outside the lock; concurrent
+    /// first-probes may both certify, which is benign (same verdict).
+    pub(crate) fn launch_sig_for(
+        &self,
+        label: &'static str,
+        operand_fp: Fingerprint,
+        certify: impl FnOnce() -> WaveCertificate,
+    ) -> Option<LaunchSig> {
+        {
+            let sigs = self
+                .launch_sigs
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(sig) = sigs.get(&(label, operand_fp)) {
+                return *sig;
+            }
+        }
+        let cert = certify();
+        let sig = cert.launch_sig(operand_fp);
+        self.wave_certs_lock().insert(label, cert);
+        self.launch_sigs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert((label, operand_fp), sig);
+        sig
+    }
 }
 
 /// The engine handle: simulated device + auto-tuner + plan cache.
@@ -235,6 +296,9 @@ pub struct Context {
     cache: Mutex<HashMap<PlanKey, Choice>>,
     counters: Arc<Counters>,
     sink: Arc<TraceSink>,
+    /// Certified wave memoizer shared by every plan built through this
+    /// context (None: every performance launch simulates honestly).
+    memo: Option<Arc<WaveMemo>>,
 }
 
 impl Default for Context {
@@ -269,7 +333,35 @@ impl Context {
             cache: Mutex::new(HashMap::new()),
             counters: Arc::new(Counters::default()),
             sink,
+            memo: None,
         }
+    }
+
+    /// Handle with certified wave memoization enabled: performance
+    /// launches of kernels whose wave equivalence [`certify`] proves are
+    /// keyed by their structural signature, simulated once per class, and
+    /// replayed on every later launch in the class. Functional runs and
+    /// unprovable kernels are unaffected. `VECSPARSE_AUDIT=n` re-simulates
+    /// every n-th memoized wave and asserts bit-identical timing.
+    ///
+    /// [`certify`]: vecsparse_waveprove::certify
+    pub fn with_memoization(gpu: GpuConfig) -> Self {
+        let mut ctx = Self::with_gpu(gpu);
+        ctx.enable_memoization();
+        ctx
+    }
+
+    /// Enable certified wave memoization on this context (idempotent).
+    /// Only plans built *after* this call memoize.
+    pub fn enable_memoization(&mut self) {
+        if self.memo.is_none() {
+            self.memo = Some(Arc::new(WaveMemo::new()));
+        }
+    }
+
+    /// Memoizer counters, when memoization is enabled.
+    pub fn memo_stats(&self) -> Option<MemoStats> {
+        self.memo.as_ref().map(|m| m.stats())
     }
 
     /// The simulated device this context plans for.
@@ -321,6 +413,8 @@ impl Context {
                 })
                 .collect(),
             certificates: self.counters.cert_snapshot(),
+            wave_certificates: self.counters.wave_cert_snapshot(),
+            memo: self.memo_stats(),
             cached_plans: self.cache_lock().len(),
             trace_events: self.sink.events().len(),
             trace_dropped: self.sink.dropped(),
@@ -374,6 +468,7 @@ impl Context {
                 a,
                 Arc::clone(&self.sink),
                 Arc::clone(&self.counters),
+                self.memo.clone(),
             )
         };
         self.counters.plans_built.fetch_add(1, Ordering::Relaxed);
@@ -433,6 +528,7 @@ impl Context {
                 mask,
                 Arc::clone(&self.sink),
                 Arc::clone(&self.counters),
+                self.memo.clone(),
             )
         };
         self.counters.plans_built.fetch_add(1, Ordering::Relaxed);
@@ -601,14 +697,17 @@ impl BatchProfile {
 pub(crate) fn ell_twin(a: &VectorSparse<f16>) -> BlockedEll<f16> {
     let p = a.pattern();
     let block = p.v().max(2); // Blocked-ELL needs square blocks ≥ 2.
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a over the structure.
-    for &c in p.col_idx() {
-        h = (h ^ c as u64).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    for &r in p.row_ptr() {
-        h = (h ^ r as u64).wrapping_mul(0x0000_0100_0000_01b3);
-    }
+    let h = pattern_structure_hash(p);
     gen::random_blocked_ell::<f16>(p.rows(), p.cols(), block, p.sparsity(), h)
+}
+
+/// FNV-1a over a pattern's full structure (column indices then row
+/// pointers), via the shared [`sig`] module — the same hash seeds the
+/// Blocked-ELL twin and feeds the memoizer's operand fingerprints, so
+/// "same structure" means the same thing everywhere.
+pub(crate) fn pattern_structure_hash(p: &SparsityPattern) -> u64 {
+    let h = sig::fnv1a_u32s(sig::FNV_OFFSET, p.col_idx().iter().copied());
+    sig::fnv1a_u32s(h, p.row_ptr().iter().map(|&r| r as u32))
 }
 
 #[cfg(test)]

@@ -1,7 +1,9 @@
 //! Aggregated per-context metrics: what the engine did and what it cost.
 
 use super::EngineStats;
+use vecsparse_gpu_sim::MemoStats;
 use vecsparse_precision::Certificate;
+use vecsparse_waveprove::WaveCertificate;
 
 /// Run/profile aggregate for one concrete kernel algorithm.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -40,6 +42,12 @@ pub struct Report {
     /// context, sorted by label. The loosest (largest) bound seen across all
     /// planned problem shapes is retained per kernel.
     pub certificates: Vec<Certificate>,
+    /// Wave-equivalence certificates per planned algorithm (the latest
+    /// certification per kernel label), sorted by label. Empty unless the
+    /// context memoizes.
+    pub wave_certificates: Vec<(&'static str, WaveCertificate)>,
+    /// Wave-memoizer counters (None when memoization is disabled).
+    pub memo: Option<MemoStats>,
     /// Distinct tuning decisions held in the plan cache.
     pub cached_plans: usize,
     /// Events currently retained by the context's trace sink.
@@ -111,6 +119,25 @@ impl Report {
                 );
             }
         }
+        if let Some(memo) = &self.memo {
+            let _ = writeln!(
+                out,
+                "   memoizer: wave {} hit / {} miss, launch {} hit / {} miss, \
+                 {} audits, hit rate {:>5.1}%",
+                memo.wave_hits,
+                memo.wave_misses,
+                memo.launch_hits,
+                memo.launch_misses,
+                memo.audits,
+                100.0 * memo.hit_rate()
+            );
+        }
+        if !self.wave_certificates.is_empty() {
+            let _ = writeln!(out, "   wave-equivalence certificates:");
+            for (label, cert) in &self.wave_certificates {
+                let _ = writeln!(out, "   {:<18} {}", label, cert.summary());
+            }
+        }
         if !self.certificates.is_empty() {
             let _ = writeln!(
                 out,
@@ -139,6 +166,8 @@ mod tests {
             stats: EngineStats::default(),
             algos: Vec::new(),
             certificates: Vec::new(),
+            wave_certificates: Vec::new(),
+            memo: None,
             cached_plans: 0,
             trace_events: 0,
             trace_dropped: 0,
@@ -170,6 +199,15 @@ mod tests {
                 reduction_len: 64,
                 stores_f16: true,
             }],
+            wave_certificates: Vec::new(),
+            memo: Some(MemoStats {
+                wave_hits: 3,
+                wave_misses: 1,
+                audits: 1,
+                launch_hits: 4,
+                launch_misses: 2,
+                wave_entries: 1,
+            }),
             cached_plans: 1,
             trace_events: 42,
             trace_dropped: 0,
@@ -181,5 +219,7 @@ mod tests {
         let r = filled.render();
         assert!(r.contains("spmm-octet"));
         assert!(r.contains("75.0%"));
+        assert!(r.contains("memoizer"), "memo stats render when present");
+        assert!(!empty.render().contains("memoizer"));
     }
 }

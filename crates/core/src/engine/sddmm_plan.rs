@@ -1,16 +1,19 @@
 //! A captured SDDMM problem: the mask is the plan's structural operand;
 //! the pool's address space is recycled across runs.
 
-use super::{BatchProfile, Counters, EngineError};
+use super::{pattern_structure_hash, BatchProfile, Counters, EngineError};
 use crate::api::SddmmAlgo;
 use crate::sddmm::{FpuSubwarpSddmm, OctetSddmm, OctetVariant, WmmaSddmm};
 use rayon::prelude::*;
 use std::sync::{Arc, Mutex, PoisonError};
 use vecsparse_formats::{DenseMatrix, Layout, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::sig::FingerprintHasher;
 use vecsparse_gpu_sim::{
-    launch_traced, GpuConfig, KernelProfile, MemPool, Mode, PoolMark, TraceSink, Track,
+    launch_memoized, GpuConfig, KernelProfile, KernelSpec, LaunchOutput, MemPool, Mode, PoolMark,
+    TraceSink, Track, WaveMemo,
 };
+use vecsparse_waveprove::{certify, CertifyOptions};
 
 /// Problem descriptor captured by [`SddmmPlan`]:
 /// `C = (A[m×k] · B[k×n]) ∘ mask[m×n]`.
@@ -53,6 +56,8 @@ pub struct SddmmPlan {
     spares: Mutex<Vec<SddmmState>>,
     sink: Arc<TraceSink>,
     counters: Arc<Counters>,
+    /// Context-wide wave memoizer (None: honest simulation only).
+    memo: Option<Arc<WaveMemo>>,
 }
 
 impl SddmmPlan {
@@ -65,6 +70,7 @@ impl SddmmPlan {
         mask: &SparsityPattern,
         sink: Arc<TraceSink>,
         counters: Arc<Counters>,
+        memo: Option<Arc<WaveMemo>>,
     ) -> Self {
         assert_ne!(algo, SddmmAlgo::Auto, "algo must be resolved");
         let mem = MemPool::new();
@@ -79,7 +85,39 @@ impl SddmmPlan {
             spares: Mutex::new(Vec::new()),
             sink,
             counters,
+            memo,
         }
+    }
+
+    /// Launch through the memoizer for certified performance launches;
+    /// see [`SpmmPlan::launch`](super::SpmmPlan). Unlike SpMM the pool is
+    /// restaged per run, so the operand fingerprint (mask structure +
+    /// descriptor + post-staging pool layout) is taken here — the rewind
+    /// discipline makes it identical across runs of one plan.
+    fn launch(&self, mem: &mut MemPool, kernel: &dyn KernelSpec, mode: Mode) -> LaunchOutput {
+        let memo = if mode == Mode::Performance {
+            self.memo.as_ref().and_then(|m| {
+                let operand_fp = {
+                    let mut h = FingerprintHasher::new();
+                    h.write_bytes(b"sddmm");
+                    h.write_bytes(self.algo.label().as_bytes());
+                    for d in [self.desc.m, self.desc.n, self.desc.k, self.desc.v] {
+                        h.write_u64(d as u64);
+                    }
+                    h.write_u64(pattern_structure_hash(&self.mask));
+                    h.write_u64(mem.layout_hash());
+                    h.finish()
+                };
+                self.counters
+                    .launch_sig_for(self.algo.label(), operand_fp, || {
+                        certify(mem, kernel, &CertifyOptions::default())
+                    })
+                    .map(|sig| (m.as_ref(), sig))
+            })
+        } else {
+            None
+        };
+        launch_memoized(&self.gpu, mem, kernel, mode, &self.sink, memo)
     }
 
     /// The problem descriptor this plan was built for.
@@ -228,17 +266,17 @@ impl SddmmPlan {
                     _ => OctetVariant::Arch,
                 };
                 let kernel = OctetSddmm::new(mem, a, b, &self.mask, variant, mode);
-                let out = launch_traced(&self.gpu, mem, &kernel, mode, &self.sink);
+                let out = self.launch(mem, &kernel, mode);
                 finish(mem, &|m| kernel.result(m), out.profile)
             }
             SddmmAlgo::FpuSubwarp => {
                 let kernel = FpuSubwarpSddmm::new(mem, a, b, &self.mask, mode);
-                let out = launch_traced(&self.gpu, mem, &kernel, mode, &self.sink);
+                let out = self.launch(mem, &kernel, mode);
                 finish(mem, &|m| kernel.result(m), out.profile)
             }
             SddmmAlgo::Wmma => {
                 let kernel = WmmaSddmm::new(mem, a, b, &self.mask, mode);
-                let out = launch_traced(&self.gpu, mem, &kernel, mode, &self.sink);
+                let out = self.launch(mem, &kernel, mode);
                 finish(mem, &|m| kernel.result(m), out.profile)
             }
             SddmmAlgo::Auto => {

@@ -1,6 +1,6 @@
 //! A captured SpMM problem: encode once, stage once, run many times.
 
-use super::{ell_twin, BatchProfile, Counters, EngineError};
+use super::{ell_twin, pattern_structure_hash, BatchProfile, Counters, EngineError};
 use crate::api::SpmmAlgo;
 use crate::spmm::{BlockedEllSpmm, DenseGemm, FpuSubwarpSpmm, OctetSpmm, WmmaSpmm};
 use crate::util::{download_dense, upload_dense, upload_ell, upload_vs, EllBuffers, VsBuffers};
@@ -8,10 +8,12 @@ use rayon::prelude::*;
 use std::sync::{Arc, Mutex, PoisonError};
 use vecsparse_formats::{BlockedEll, DenseMatrix, Layout, VectorSparse};
 use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::sig::{Fingerprint, FingerprintHasher};
 use vecsparse_gpu_sim::{
-    launch_traced, BufferId, ElemWidth, GpuConfig, KernelProfile, KernelSpec, MemPool, Mode,
-    TraceSink, Track,
+    launch_memoized, BufferId, ElemWidth, GpuConfig, KernelProfile, KernelSpec, LaunchOutput,
+    MemPool, Mode, TraceSink, Track, WaveMemo,
 };
+use vecsparse_waveprove::{certify, CertifyOptions};
 
 /// Problem descriptor captured by [`SpmmPlan`]: `C[m×n] = A[m×k] · B[k×n]`.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -71,6 +73,12 @@ pub struct SpmmPlan {
     spares: Mutex<Vec<PlanState>>,
     sink: Arc<TraceSink>,
     counters: Arc<Counters>,
+    /// Context-wide wave memoizer (None: honest simulation only).
+    memo: Option<Arc<WaveMemo>>,
+    /// Fingerprint of everything the memoization signature must cover
+    /// beyond the certificate: operation, algorithm, descriptor, the full
+    /// pattern structure, and the staged pool layout.
+    operand_fp: Fingerprint,
 }
 
 impl SpmmPlan {
@@ -83,6 +91,7 @@ impl SpmmPlan {
         a: &VectorSparse<f16>,
         sink: Arc<TraceSink>,
         counters: Arc<Counters>,
+        memo: Option<Arc<WaveMemo>>,
     ) -> Self {
         assert_ne!(algo, SpmmAlgo::Auto, "algo must be resolved");
         let a = a.clone();
@@ -106,6 +115,17 @@ impl SpmmPlan {
         };
         let b_buf = mem.alloc_zeroed(ElemWidth::B16, desc.k * desc.n);
         let out_buf = mem.alloc_zeroed(ElemWidth::B16, desc.m * desc.n);
+        let operand_fp = {
+            let mut h = FingerprintHasher::new();
+            h.write_bytes(b"spmm");
+            h.write_bytes(algo.label().as_bytes());
+            for d in [desc.m, desc.k, desc.n, desc.v] {
+                h.write_u64(d as u64);
+            }
+            h.write_u64(pattern_structure_hash(a.pattern()));
+            h.write_u64(mem.layout_hash());
+            h.finish()
+        };
         SpmmPlan {
             gpu,
             desc,
@@ -123,7 +143,28 @@ impl SpmmPlan {
             spares: Mutex::new(Vec::new()),
             sink,
             counters,
+            memo,
+            operand_fp,
         }
+    }
+
+    /// Launch through the memoizer when (a) this is a performance launch,
+    /// (b) the context memoizes, and (c) the kernel's wave equivalence is
+    /// certified (proved at most once per (algorithm, operand) by the
+    /// context's signature cache). Everything else simulates honestly.
+    fn launch(&self, mem: &mut MemPool, kernel: &dyn KernelSpec, mode: Mode) -> LaunchOutput {
+        let memo = if mode == Mode::Performance {
+            self.memo.as_ref().and_then(|m| {
+                self.counters
+                    .launch_sig_for(self.algo.label(), self.operand_fp, || {
+                        certify(mem, kernel, &CertifyOptions::default())
+                    })
+                    .map(|sig| (m.as_ref(), sig))
+            })
+        } else {
+            None
+        };
+        launch_memoized(&self.gpu, mem, kernel, mode, &self.sink, memo)
     }
 
     /// The problem descriptor this plan was built for.
@@ -267,7 +308,7 @@ impl SpmmPlan {
                 })
             }
         };
-        let out = launch_traced(&self.gpu, mem, kernel.as_ref(), mode, &self.sink);
+        let out = self.launch(mem, kernel.as_ref(), mode);
         Ok(finish(mem, *out_buf, out.profile))
     }
 

@@ -205,7 +205,7 @@ impl L2Port for SectorCache {
 }
 
 /// One recorded L2-bound request from a wave's timing pass.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum L2Op {
     /// A load request (the deduplicated sector addresses).
     Access(Vec<u64>),

@@ -16,7 +16,11 @@ pub struct ICache {
     /// Capacity in fetch groups (instructions / 8).
     capacity: usize,
     /// Maps fetch-group id -> last-use tick.
-    resident: std::collections::HashMap<u32, u64>,
+    // Keyed lookup; the only iteration is the LRU victim scan below,
+    // whose `min_by_key` is over last-use ticks, which are strictly
+    // increasing and therefore unique: no tie can ever make the winner
+    // depend on hash-iteration order.
+    resident: std::collections::HashMap<u32, u64>, // lint: hash-ok
     tick: u64,
     /// Misses observed.
     pub misses: u64,
@@ -31,7 +35,7 @@ impl ICache {
     pub fn new(entries: usize) -> Self {
         ICache {
             capacity: (entries / FETCH_GROUP as usize).max(1),
-            resident: std::collections::HashMap::new(),
+            resident: std::collections::HashMap::new(), // lint: hash-ok (see field)
             tick: 0,
             misses: 0,
             lookups: 0,

@@ -1,17 +1,19 @@
 //! Kernel launch machinery: functional execution and performance
 //! simulation with occupancy-aware wave sampling and extrapolation.
 
-use crate::cache::{replay_l2, CacheStats, L2Op, RecordingL2, SectorCache};
+use crate::cache::{replay_l2, CacheStats, RecordingL2, SectorCache};
 use crate::config::GpuConfig;
 use crate::mem::MemPool;
+use crate::memo::{LaunchSig, WaveArtifacts, WaveDecision, WaveMemo};
 use crate::profile::{HotPc, InstrCounts, KernelProfile, PipeUtil, StallBreakdown};
-use crate::sched::WaveResult;
 use crate::sched::{simulate_wave, WaveObs};
+use crate::sig::FingerprintHasher;
 use crate::trace::WarpTrace;
 use crate::warp::{CtaCtx, ShadowObs};
 use crate::WARP_SIZE;
 use rayon::prelude::*;
-use vecsparse_telemetry::{ArgValue, TraceShard, TraceSink, Track};
+use std::sync::Arc;
+use vecsparse_telemetry::{ArgValue, TraceSink, Track};
 
 /// Execution mode of a launch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,6 +121,28 @@ pub fn launch_traced<K: KernelSpec + ?Sized>(
     mode: Mode,
     sink: &TraceSink,
 ) -> LaunchOutput {
+    launch_memoized(cfg, mem, kernel, mode, sink, None)
+}
+
+/// [`launch_traced`] with an optional certified wave memo.
+///
+/// When `memo` is set (a [`WaveMemo`] plus the launch's certified
+/// [`LaunchSig`]), the performance simulation consults the memo before
+/// doing any work: whole launches whose signature class was simulated
+/// before replay the cached profile, and within a fresh launch each SM
+/// wave whose class is cached replays recorded timing/span/L2-op
+/// artifacts instead of re-simulating. The caller is responsible for
+/// passing a signature only for kernels holding a `Provable`
+/// wave-equivalence certificate — the signature *is* the proof carrier.
+/// Functional launches ignore `memo`.
+pub fn launch_memoized<K: KernelSpec + ?Sized>(
+    cfg: &GpuConfig,
+    mem: &mut MemPool,
+    kernel: &K,
+    mode: Mode,
+    sink: &TraceSink,
+    memo: Option<(&WaveMemo, LaunchSig)>,
+) -> LaunchOutput {
     let lc = kernel.launch_config();
     assert!(lc.grid > 0, "empty grid");
 
@@ -148,7 +172,7 @@ pub fn launch_traced<K: KernelSpec + ?Sized>(
             LaunchOutput { profile: None }
         }
         Mode::Performance => {
-            let profile = simulate(cfg, mem, kernel, &lc, sink);
+            let profile = simulate(cfg, mem, kernel, &lc, sink, memo);
             LaunchOutput {
                 profile: Some(profile),
             }
@@ -201,12 +225,41 @@ pub fn launch_shadow<K: KernelSpec + ?Sized>(mem: &mut MemPool, kernel: &K) -> V
     folded
 }
 
+/// Memo key for one SM wave (or, with the full sample list, one launch):
+/// the certified launch signature plus every other input the per-wave
+/// timing phase consumes — machine config, launch geometry, the L1
+/// carve-out, and the sampled CTA ids.
+fn wave_key(
+    sig: LaunchSig,
+    cfg: &GpuConfig,
+    lc: &LaunchConfig,
+    l1_cache_bytes: usize,
+    ctas: &[usize],
+) -> crate::sig::Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_fingerprint(sig.0);
+    h.write_u64(cfg.config_hash());
+    h.write_u64(lc.grid as u64);
+    h.write_u64(lc.warps_per_cta as u64);
+    h.write_u64(lc.regs_per_thread as u64);
+    h.write_u64(lc.smem_elems as u64);
+    h.write_u64(lc.smem_elem_bytes);
+    h.write_u64(lc.static_instrs as u64);
+    h.write_u64(l1_cache_bytes as u64);
+    h.write_u64(ctas.len() as u64);
+    for &c in ctas {
+        h.write_u64(c as u64);
+    }
+    h.finish()
+}
+
 fn simulate<K: KernelSpec + ?Sized>(
     cfg: &GpuConfig,
     mem: &MemPool,
     kernel: &K,
     lc: &LaunchConfig,
     sink: &TraceSink,
+    memo: Option<(&WaveMemo, LaunchSig)>,
 ) -> KernelProfile {
     let ctas_per_sm = lc.ctas_per_sm(cfg);
 
@@ -225,24 +278,6 @@ fn simulate<K: KernelSpec + ?Sized>(
         .map(|i| ((i as f64 * stride) as usize).min(lc.grid - 1))
         .collect();
 
-    // Phase 1 — trace generation, in parallel (each CTA is independent).
-    let traces: Vec<Vec<WarpTrace>> = sample_ids
-        .par_iter()
-        .map(|&cta_id| {
-            let mut cta = CtaCtx::new(
-                cta_id,
-                Mode::Performance,
-                mem,
-                lc.warps_per_cta,
-                lc.smem_elems,
-                lc.smem_elem_bytes,
-            );
-            kernel.run_cta(&mut cta);
-            let (t, _) = cta.finish();
-            t
-        })
-        .collect();
-
     let smem_bytes = lc.smem_elems as u64 * lc.smem_elem_bytes;
     let l1_cache_bytes = (cfg.l1_bytes as u64)
         .saturating_sub(smem_bytes.min(cfg.max_smem_per_sm as u64))
@@ -250,10 +285,72 @@ fn simulate<K: KernelSpec + ?Sized>(
     // Round down to a valid geometry.
     let l1_cache_bytes = (l1_cache_bytes / (128 * cfg.l1_ways)) * (128 * cfg.l1_ways);
 
+    let tracing = sink.is_enabled();
+
+    // Launch-level fast path: a certified launch whose whole signature
+    // class was simulated before replays the cached profile outright
+    // (skipped while tracing — the profile cache carries no telemetry —
+    // and while auditing, so audits reach the wave level).
+    let launch_key = memo.map(|(_, sig)| wave_key(sig, cfg, lc, l1_cache_bytes, &sample_ids));
+    if let (Some((m, _)), Some(key)) = (memo, launch_key) {
+        if let Some(profile) = m.probe_launch(key, tracing) {
+            return profile;
+        }
+    }
+
+    let wave_ranges: Vec<(usize, usize)> = (0..sample_ids.len())
+        .step_by(resident_per_sm)
+        .map(|start| (start, (start + resident_per_sm).min(sample_ids.len())))
+        .collect();
+
+    // Phase 0 — memo probes, sequential and in canonical wave order, so
+    // audit selection (every n-th memoized wave under VECSPARSE_AUDIT)
+    // is independent of worker count.
+    let decisions: Vec<(crate::sig::Fingerprint, WaveDecision)> = wave_ranges
+        .iter()
+        .map(|&(start, end)| match memo {
+            Some((m, sig)) => {
+                let key = wave_key(sig, cfg, lc, l1_cache_bytes, &sample_ids[start..end]);
+                (key, m.probe(key, tracing))
+            }
+            None => (crate::sig::Fingerprint::default(), WaveDecision::Fresh),
+        })
+        .collect();
+
+    // Phase 1 — trace generation, in parallel (each CTA is independent).
+    // Only CTAs belonging to waves that actually simulate (fresh or
+    // audited) generate traces; replayed waves skip the kernel body
+    // entirely — that skip is where the memoized speedup comes from.
+    let mut cta_needs_trace = vec![false; sample_ids.len()];
+    for (&(start, end), (_, decision)) in wave_ranges.iter().zip(&decisions) {
+        if !matches!(decision, WaveDecision::Replay(_)) {
+            for slot in &mut cta_needs_trace[start..end] {
+                *slot = true;
+            }
+        }
+    }
+    let traces: Vec<Option<Vec<WarpTrace>>> = (0..sample_ids.len())
+        .into_par_iter()
+        .map(|i| {
+            cta_needs_trace[i].then(|| {
+                let mut cta = CtaCtx::new(
+                    sample_ids[i],
+                    Mode::Performance,
+                    mem,
+                    lc.warps_per_cta,
+                    lc.smem_elems,
+                    lc.smem_elem_bytes,
+                );
+                kernel.run_cta(&mut cta);
+                let (t, _) = cta.finish();
+                t
+            })
+        })
+        .collect();
+
     // Telemetry: claim a process-track group for this launch and name
     // one thread track per scheduler. Waves run back to back on the
     // timeline starting at the current virtual time.
-    let tracing = sink.is_enabled();
     let launch_base = sink.now();
     let pid = if tracing { sink.next_pid() } else { 0 };
     if tracing {
@@ -270,38 +367,50 @@ fn simulate<K: KernelSpec + ?Sized>(
         }
     }
 
-    // Phase 2 — per-wave timing, in parallel. Each wave owns a fresh L1
-    // (each wave runs on "its own" SM slot, as before) and a private
-    // *recording* L2: latency decisions come from the wave-local cache
-    // (cold at wave start, so timing is independent of wave order and of
-    // every other wave), while the wave's L2-bound sector traffic is
-    // captured in an op log. Telemetry, when on, is buffered into a
-    // wave-local shard at wave-relative ticks.
-    struct WaveSim {
-        result: WaveResult,
-        ctas: usize,
-        l1_stats: CacheStats,
-        l2_ops: Vec<L2Op>,
-        shard: Option<TraceShard>,
-    }
-    let wave_ranges: Vec<(usize, usize)> = (0..traces.len())
-        .step_by(resident_per_sm)
-        .map(|start| (start, (start + resident_per_sm).min(traces.len())))
-        .collect();
-    let wave_sims: Vec<WaveSim> = wave_ranges
+    // Phase 2 — per-wave timing, in parallel. Each simulated wave owns a
+    // fresh L1 (each wave runs on "its own" SM slot, as before) and a
+    // private *recording* L2: latency decisions come from the wave-local
+    // cache (cold at wave start, so timing is independent of wave order
+    // and of every other wave), while the wave's L2-bound sector traffic
+    // is captured in an op log. Telemetry, when on, is buffered into a
+    // wave-local shard at wave-relative ticks. The cold-start discipline
+    // is also what makes the artifacts *replayable*: a wave's outputs
+    // depend only on (config, L1 geometry, its own traces), so memoized
+    // waves reuse the cached [`WaveArtifacts`] verbatim, and audited
+    // waves re-simulate and must match them bit for bit.
+    let wave_sims: Vec<Arc<WaveArtifacts>> = (0..wave_ranges.len())
         .into_par_iter()
-        .map(|(start, end)| {
-            let wave: Vec<&[WarpTrace]> = traces[start..end].iter().map(|t| t.as_slice()).collect();
+        .map(|w| {
+            let (start, end) = wave_ranges[w];
+            let (key, decision) = &decisions[w];
+            if let WaveDecision::Replay(cached) = decision {
+                return cached.clone();
+            }
+            let wave: Vec<&[WarpTrace]> = traces[start..end]
+                .iter()
+                .map(|t| t.as_deref().expect("simulated wave has traces"))
+                .collect();
             let mut l1 = SectorCache::new(l1_cache_bytes.max(128 * cfg.l1_ways), cfg.l1_ways);
             let mut l2 = RecordingL2::new(cfg.l2_bytes, cfg.l2_ways);
             let obs = tracing.then(WaveObs::new);
             let result = simulate_wave(cfg, &wave, &mut l1, &mut l2, obs.as_ref());
-            WaveSim {
+            let fresh = Arc::new(WaveArtifacts {
                 result,
                 ctas: wave.len(),
                 l1_stats: l1.stats,
                 l2_ops: l2.into_ops(),
                 shard: obs.map(WaveObs::into_shard),
+            });
+            match (decision, memo) {
+                (WaveDecision::Audit(cached), _) => {
+                    WaveMemo::assert_audit_identical(cached, &fresh, &kernel.name());
+                    cached.clone()
+                }
+                (WaveDecision::Fresh, Some((m, _))) => {
+                    m.insert_wave(*key, fresh.clone());
+                    fresh
+                }
+                _ => fresh,
             }
         })
         .collect();
@@ -320,13 +429,13 @@ fn simulate<K: KernelSpec + ?Sized>(
     let mut pipe_busy: Vec<(crate::trace::Pipe, u64)> = Vec::new();
     let mut wave_cycles: Vec<u64> = Vec::new();
     let mut pc_issues: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
-    for (wave_idx, ws) in wave_sims.into_iter().enumerate() {
-        let r = ws.result;
+    for (wave_idx, ws) in wave_sims.iter().enumerate() {
+        let r = &ws.result;
         replay_l2(&ws.l2_ops, &mut l2);
         let wave_base = launch_base + wave_cycles.iter().sum::<u64>();
         if tracing {
-            if let Some(shard) = ws.shard {
-                sink.merge_shard(pid, wave_base, shard);
+            if let Some(shard) = &ws.shard {
+                sink.merge_shard(pid, wave_base, shard.clone());
             }
             sink.span_at(
                 Track { pid, tid: 0 },
@@ -345,9 +454,9 @@ fn simulate<K: KernelSpec + ?Sized>(
         }
         l1_stats.merge(&ws.l1_stats);
         if pipe_busy.is_empty() {
-            pipe_busy = r.pipe_busy;
+            pipe_busy = r.pipe_busy.clone();
         } else {
-            for (p, b) in r.pipe_busy {
+            for &(p, b) in &r.pipe_busy {
                 if let Some(e) = pipe_busy.iter_mut().find(|(q, _)| *q == p) {
                     e.1 += b;
                 }
@@ -355,7 +464,7 @@ fn simulate<K: KernelSpec + ?Sized>(
         }
     }
 
-    let sim_ctas = traces.len().max(1);
+    let sim_ctas = sample_ids.len().max(1);
     let scale = lc.grid as f64 / sim_ctas as f64;
 
     // Issue-model cycles: average SM-wave time × waves the grid needs.
@@ -425,6 +534,12 @@ fn simulate<K: KernelSpec + ?Sized>(
         pipes,
         hot_pcs,
     };
+
+    if let (Some((m, _)), Some(key)) = (memo, launch_key) {
+        if !tracing {
+            m.insert_launch(key, profile.clone());
+        }
+    }
 
     if tracing {
         // Kernel-wide span over the simulated waves, carrying the

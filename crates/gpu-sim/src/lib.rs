@@ -36,9 +36,11 @@ mod config;
 mod icache;
 mod launch;
 mod mem;
+mod memo;
 mod profile;
 mod program;
 mod sched;
+pub mod sig;
 mod tcu;
 mod trace;
 mod warp;
@@ -47,13 +49,16 @@ mod wvec;
 pub use cache::{replay_l2, CacheStats, L2Op, L2Port, RecordingL2, SectorCache};
 pub use config::{GpuConfig, Timing};
 pub use launch::{
-    launch, launch_shadow, launch_traced, KernelSpec, LaunchConfig, LaunchOutput, Mode,
+    launch, launch_memoized, launch_shadow, launch_traced, KernelSpec, LaunchConfig, LaunchOutput,
+    Mode,
 };
 pub use mem::{BufferId, ElemWidth, MemPool, PoolMark};
+pub use memo::{LaunchSig, MemoStats, WaveArtifacts, WaveDecision, WaveMemo};
 pub use profile::{InstrCounts, KernelProfile, PipeUtil, Roofline, StallBreakdown};
 // Telemetry types appear in this crate's API (`launch_traced`); re-export
 // them so downstream crates need no direct dependency for common use.
 pub use program::{Program, Site};
+pub use sched::WaveResult;
 pub use tcu::{
     execute_mma, execute_mma_shadow, mma_m8n8k4_reference, pack_a_fragment, pack_b_fragment,
     unpack_acc, MmaFlavor, OCTETS, OCTET_SIZE,

@@ -61,10 +61,27 @@ struct Buffer {
 /// `Clone` gives a value-identical pool at the same virtual addresses —
 /// batched plan execution clones the staged pool so concurrent runs each
 /// own private device state.
-#[derive(Clone, Default)]
+#[derive(Default)]
 pub struct MemPool {
     buffers: Vec<Buffer>,
     next_base: u64,
+    /// Count of functional value reads ([`MemPool::read`]) served by this
+    /// pool. The wave-equivalence prover snapshots it around a
+    /// performance-mode trace generation: any delta means the kernel's
+    /// trace depends on operand *values*, which voids memoization.
+    value_reads: std::sync::atomic::AtomicU64,
+}
+
+impl Clone for MemPool {
+    fn clone(&self) -> Self {
+        MemPool {
+            buffers: self.buffers.clone(),
+            next_base: self.next_base,
+            value_reads: std::sync::atomic::AtomicU64::new(
+                self.value_reads.load(std::sync::atomic::Ordering::Relaxed),
+            ),
+        }
+    }
 }
 
 /// A high-water mark of a [`MemPool`], captured with [`MemPool::mark`] and
@@ -84,6 +101,7 @@ impl MemPool {
         MemPool {
             buffers: Vec::new(),
             next_base: 256,
+            value_reads: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -199,12 +217,40 @@ impl MemPool {
     /// Read element `idx` (0.0 for ghost buffers).
     #[inline]
     pub fn read(&self, buf: BufferId, idx: usize) -> f32 {
+        self.value_reads
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let b = &self.buffers[buf.0];
         if b.data.is_empty() {
             0.0
         } else {
             b.data[idx]
         }
+    }
+
+    /// Number of [`MemPool::read`] calls served so far. Exact when the
+    /// pool is not being accessed concurrently — which is how the
+    /// wave-equivalence prover uses it: a before/after snapshot around a
+    /// sequential performance-mode trace generation.
+    pub fn value_reads(&self) -> u64 {
+        self.value_reads.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Fingerprint of the pool's *address layout*: every buffer's base,
+    /// element width and length (values excluded). Two pools with equal
+    /// layout hashes present identical address arithmetic to a kernel,
+    /// which is one leg of the wave-memoization signature.
+    pub fn layout_hash(&self) -> u64 {
+        let mut h = crate::sig::FNV_OFFSET;
+        let mut mix = |v: u64| {
+            h = (h ^ v).wrapping_mul(crate::sig::FNV_PRIME);
+        };
+        for b in &self.buffers {
+            mix(b.base);
+            mix(b.width.bytes());
+            mix(b.len as u64);
+        }
+        mix(self.next_base);
+        h
     }
 
     /// Write element `idx` (no-op for ghost buffers).
@@ -304,6 +350,38 @@ mod tests {
         let mut pool = MemPool::new();
         let buf = pool.alloc_init(ElemWidth::B32, vec![1.0, 2.0]);
         pool.replace(buf, [1.0].into_iter());
+    }
+
+    #[test]
+    fn value_reads_count_and_survive_clone() {
+        let mut pool = MemPool::new();
+        let a = pool.alloc_init(ElemWidth::B32, vec![1.0, 2.0]);
+        assert_eq!(pool.value_reads(), 0);
+        pool.read(a, 0);
+        pool.read(a, 1);
+        assert_eq!(pool.value_reads(), 2);
+        // Address-only queries are not value reads.
+        pool.addr(a, 1);
+        pool.len(a);
+        assert_eq!(pool.value_reads(), 2);
+        let c = pool.clone();
+        assert_eq!(c.value_reads(), 2);
+    }
+
+    #[test]
+    fn layout_hash_sees_addresses_not_values() {
+        let mut p1 = MemPool::new();
+        p1.alloc_init(ElemWidth::B32, vec![1.0, 2.0, 3.0]);
+        let mut p2 = MemPool::new();
+        p2.alloc_init(ElemWidth::B32, vec![9.0, 8.0, 7.0]);
+        assert_eq!(p1.layout_hash(), p2.layout_hash());
+        // Same bytes, different width → different layout.
+        let mut p3 = MemPool::new();
+        p3.alloc_ghost(ElemWidth::B16, 6);
+        assert_ne!(p1.layout_hash(), p3.layout_hash());
+        // Extra allocation changes the layout.
+        p2.alloc_ghost(ElemWidth::B16, 1);
+        assert_ne!(p1.layout_hash(), p2.layout_hash());
     }
 
     #[test]

@@ -25,7 +25,9 @@ pub struct Site(pub u32);
 /// to reuse one id.
 #[derive(Debug, Default)]
 pub struct Program {
-    by_key: HashMap<(&'static str, u32), Site>,
+    // Keyed lookup only; every iteration below is either order-
+    // independent (max scan) or sorted before use (`listing`).
+    by_key: HashMap<(&'static str, u32), Site>, // lint: hash-ok
     next: u32,
 }
 
@@ -77,6 +79,26 @@ impl Program {
             .collect();
         out.sort_unstable();
         out
+    }
+
+    /// FNV-1a hash of the sorted program listing: the "program identity"
+    /// leg of a wave-equivalence signature. Two kernels with identical
+    /// site names, instances and pc assignment hash equal.
+    pub fn listing_hash(&self) -> u64 {
+        let mut h = crate::sig::FNV_OFFSET;
+        let mut mix = |v: u64| {
+            h = (h ^ v).wrapping_mul(crate::sig::FNV_PRIME);
+        };
+        for (pc, name, instance) in self.listing() {
+            mix(pc as u64);
+            mix(name.len() as u64);
+            for b in name.bytes() {
+                mix(b as u64);
+            }
+            mix(instance as u64);
+        }
+        mix(self.next as u64);
+        h
     }
 
     /// Human-readable label for a static pc.

@@ -79,7 +79,10 @@ impl WaveObs {
 }
 
 /// Result of simulating one SM wave.
-#[derive(Debug, Default, Clone)]
+///
+/// `PartialEq` backs the memoizer's audit mode: a re-simulated wave must
+/// compare bit-identical to its cached artifact.
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct WaveResult {
     /// Cycles until the last warp retired its last instruction.
     pub cycles: u64,

@@ -19,6 +19,13 @@
 //! `observed ≤ bound` — plus the broken-kernel fixtures, each of which
 //! must trigger exactly its own lint. Any lint on a registry kernel,
 //! fixture mismatch, or soundness violation exits 1.
+//!
+//! `vsan waveprove` runs the wave-equivalence certifier: every registry
+//! kernel is certified (value independence, trace reproducibility,
+//! def-use well-formedness over sampled CTAs), and the waveprove fixtures
+//! — one deliberately broken kernel per proof obligation — must each fail
+//! with exactly their own failure. A registry kernel that cannot be
+//! certified, or a fixture that does not fail as expected, exits 1.
 
 use std::process::ExitCode;
 
@@ -26,6 +33,7 @@ use vecsparse::registry::{self, KernelId, Shape, ALL_KERNELS};
 use vecsparse_gpu_sim::{GpuConfig, KernelSpec, Mode};
 use vecsparse_precision::{all_fixtures, analyze, check_soundness, shadow_run};
 use vecsparse_sanitizer::{sanitize, SanitizeOptions};
+use vecsparse_waveprove::{all_fixtures as wave_fixtures, certify, CertifyOptions};
 
 struct Args {
     kernels: Vec<KernelId>,
@@ -237,10 +245,128 @@ fn run_precision(args: &PrecArgs) -> ExitCode {
     }
 }
 
+struct WaveArgs {
+    kernels: Vec<KernelId>,
+    shape: Shape,
+    max_ctas: usize,
+    skip_fixtures: bool,
+}
+
+const WAVE_USAGE: &str = "usage: vsan waveprove [--kernel NAME[,NAME...]] [--m M] [--n N] \
+     [--k K] [--v V] [--sparsity S] [--seed SEED] [--max-ctas C] \
+     [--skip-fixtures] [--list]";
+
+fn wave_usage() -> ! {
+    eprintln!("{WAVE_USAGE}");
+    std::process::exit(2)
+}
+
+fn parse_waveprove_args(mut it: impl Iterator<Item = String>) -> WaveArgs {
+    let mut args = WaveArgs {
+        kernels: ALL_KERNELS.to_vec(),
+        shape: Shape::default(),
+        max_ctas: CertifyOptions::default().max_ctas,
+        skip_fixtures: false,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                wave_usage()
+            })
+        };
+        match flag.as_str() {
+            "--list" => {
+                for k in ALL_KERNELS {
+                    println!("{}", k.label());
+                }
+                std::process::exit(0);
+            }
+            "--kernel" => {
+                args.kernels = value("--kernel")
+                    .split(',')
+                    .map(|s| {
+                        KernelId::parse(s.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown kernel {s:?}; try --list");
+                            wave_usage()
+                        })
+                    })
+                    .collect();
+            }
+            "--m" => args.shape.m = value("--m").parse().unwrap_or_else(|_| wave_usage()),
+            "--n" => args.shape.n = value("--n").parse().unwrap_or_else(|_| wave_usage()),
+            "--k" => args.shape.k = value("--k").parse().unwrap_or_else(|_| wave_usage()),
+            "--v" => args.shape.v = value("--v").parse().unwrap_or_else(|_| wave_usage()),
+            "--sparsity" => {
+                args.shape.sparsity = value("--sparsity").parse().unwrap_or_else(|_| wave_usage())
+            }
+            "--seed" => args.shape.seed = value("--seed").parse().unwrap_or_else(|_| wave_usage()),
+            "--max-ctas" => {
+                args.max_ctas = value("--max-ctas").parse().unwrap_or_else(|_| wave_usage())
+            }
+            "--skip-fixtures" => args.skip_fixtures = true,
+            "--help" | "-h" => {
+                println!("{WAVE_USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                wave_usage();
+            }
+        }
+    }
+    args
+}
+
+fn run_waveprove(args: &WaveArgs) -> ExitCode {
+    let mut failed = false;
+
+    if !args.skip_fixtures {
+        println!("== waveprove fixtures (one broken kernel per proof obligation)");
+        for fx in wave_fixtures() {
+            match fx.verify() {
+                Ok(()) => println!("   {:<26} ok [{}]", fx.name(), fx.expected_verdict()),
+                Err(e) => {
+                    println!("   {:<26} FAIL: {e}", fx.name());
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    let s = &args.shape;
+    println!(
+        "== wave-equivalence certificates (m={} n={} k={} v={} sparsity={})",
+        s.m, s.n, s.k, s.v, s.sparsity
+    );
+    let opts = CertifyOptions {
+        max_ctas: args.max_ctas,
+    };
+    for id in &args.kernels {
+        let cert = registry::with_kernel(*id, &args.shape, Mode::Performance, |mem, kernel| {
+            certify(mem, kernel, &opts)
+        });
+        print!("{}", cert.render());
+        if !cert.is_provable() {
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     if std::env::args().nth(1).as_deref() == Some("precision") {
         let args = parse_precision_args(std::env::args().skip(2));
         return run_precision(&args);
+    }
+    if std::env::args().nth(1).as_deref() == Some("waveprove") {
+        let args = parse_waveprove_args(std::env::args().skip(2));
+        return run_waveprove(&args);
     }
     let args = parse_args();
     let cfg = GpuConfig::default();

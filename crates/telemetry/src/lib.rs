@@ -406,7 +406,7 @@ pub struct ShardEvent {
 /// sequential merge phase calls [`TraceSink::merge_shard`] in canonical
 /// shard order, so the exported trace is byte-identical at any worker
 /// count.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TraceShard {
     events: Vec<ShardEvent>,
 }

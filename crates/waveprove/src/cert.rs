@@ -1,0 +1,351 @@
+//! The certification pass: proof obligations over sampled CTA traces.
+
+use vecsparse_gpu_sim::sig::{fnv1a_u32s, Fingerprint, FingerprintHasher, FNV_OFFSET};
+use vecsparse_gpu_sim::{CtaCtx, KernelSpec, LaunchSig, MemPool, Mode, Tok, WarpTrace};
+
+/// Knobs for one certification run.
+#[derive(Clone, Copy, Debug)]
+pub struct CertifyOptions {
+    /// How many CTAs of the grid to check (evenly spaced, always
+    /// including the first and last — edge CTAs carry the tail
+    /// predication, which is exactly where shape classes split).
+    pub max_ctas: usize,
+}
+
+impl Default for CertifyOptions {
+    fn default() -> Self {
+        CertifyOptions { max_ctas: 4 }
+    }
+}
+
+/// Why a kernel's wave equivalence could not be proven.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofFailure {
+    /// Performance-mode trace generation read operand values from the
+    /// pool — addresses or control flow depend on data.
+    ValueDependentTrace {
+        /// CTA whose generation read values.
+        cta_id: usize,
+        /// Number of value reads observed.
+        reads: u64,
+    },
+    /// Two generations of the same CTA's trace differ — the kernel
+    /// carries hidden state (RNG, clock, interior-mutable counters).
+    NonReproducibleTrace {
+        /// CTA whose generations diverged.
+        cta_id: usize,
+    },
+    /// A dependency token points at the consuming instruction or later —
+    /// the scoreboard walk is not structurally determined.
+    DanglingDependency {
+        /// CTA containing the broken token.
+        cta_id: usize,
+        /// Warp within the CTA.
+        warp: usize,
+        /// Dynamic instruction index of the consumer.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for ProofFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProofFailure::ValueDependentTrace { cta_id, reads } => write!(
+                f,
+                "value-dependent trace: CTA {cta_id} read {reads} operand value(s) \
+                 during performance-mode trace generation"
+            ),
+            ProofFailure::NonReproducibleTrace { cta_id } => write!(
+                f,
+                "non-reproducible trace: CTA {cta_id} generated two different \
+                 instruction streams from identical inputs"
+            ),
+            ProofFailure::DanglingDependency {
+                cta_id,
+                warp,
+                index,
+            } => write!(
+                f,
+                "dangling dependency: CTA {cta_id} warp {warp} instruction {index} \
+                 consumes a token at or after its own position"
+            ),
+        }
+    }
+}
+
+/// The outcome of certification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WaveVerdict {
+    /// Every obligation held over the sampled CTAs: wave timing is a
+    /// pure function of the structural signature.
+    Provable,
+    /// An obligation failed; the kernel is exempt from memoization.
+    NotProvable(ProofFailure),
+}
+
+/// A wave-equivalence certificate for one staged kernel.
+#[derive(Clone, Debug)]
+pub struct WaveCertificate {
+    /// Kernel name.
+    pub kernel: String,
+    /// Grid size at certification time.
+    pub grid: usize,
+    /// Hash of the kernel's static program listing (or of its name and
+    /// static size when it keeps no [`Program`](vecsparse_gpu_sim::Program)).
+    pub program_hash: u64,
+    /// Dual-FNV fingerprint over every checked CTA's full trace content:
+    /// pcs, op kinds, dependency tokens, sector streams, conflict
+    /// degrees, active lanes.
+    pub trace_fingerprint: Fingerprint,
+    /// CTAs checked.
+    pub ctas_checked: usize,
+    /// Total trace instructions checked.
+    pub instrs_checked: u64,
+    /// Distinct structural shape classes among checked CTAs (interior
+    /// CTAs typically share one; tail CTAs form their own).
+    pub cta_classes: usize,
+    /// The verdict.
+    pub verdict: WaveVerdict,
+}
+
+impl WaveCertificate {
+    /// True when every obligation held.
+    pub fn is_provable(&self) -> bool {
+        matches!(self.verdict, WaveVerdict::Provable)
+    }
+
+    /// Compose the memoization signature: certificate identity (program
+    /// hash + sampled-trace fingerprint) plus a caller-supplied operand
+    /// fingerprint covering the *full* operand structure and pool layout
+    /// (the certificate only sampled CTAs; the operand fingerprint must
+    /// distinguish operands the sample cannot). `None` for unprovable
+    /// kernels — they must never be memoized.
+    pub fn launch_sig(&self, operand_fp: Fingerprint) -> Option<LaunchSig> {
+        if !self.is_provable() {
+            return None;
+        }
+        let mut h = FingerprintHasher::new();
+        h.write_u64(self.program_hash);
+        h.write_fingerprint(self.trace_fingerprint);
+        h.write_fingerprint(operand_fp);
+        Some(LaunchSig(h.finish()))
+    }
+
+    /// One-line verdict for reports.
+    pub fn summary(&self) -> String {
+        match &self.verdict {
+            WaveVerdict::Provable => format!(
+                "provable (sig over {} CTAs / {} instrs, {} class(es))",
+                self.ctas_checked, self.instrs_checked, self.cta_classes
+            ),
+            WaveVerdict::NotProvable(reason) => format!("NOT PROVABLE: {reason}"),
+        }
+    }
+
+    /// Multi-line rendering for `vsan waveprove`.
+    pub fn render(&self) -> String {
+        let mut out = format!("== waveprove {} (grid {})\n", self.kernel, self.grid);
+        match &self.verdict {
+            WaveVerdict::Provable => {
+                out.push_str(&format!(
+                    "   verdict: PROVABLE — timing inputs determined by structure\n   \
+                     program {:016x}, traces {}, {} CTA(s) / {} instr(s), {} shape class(es)\n",
+                    self.program_hash,
+                    self.trace_fingerprint.render(),
+                    self.ctas_checked,
+                    self.instrs_checked,
+                    self.cta_classes
+                ));
+            }
+            WaveVerdict::NotProvable(reason) => {
+                out.push_str(&format!(
+                    "   verdict: NOT PROVABLE — {reason}\n   \
+                     (kernel is exempt from memoization and always simulated)\n"
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Evenly-spaced CTA sample including both edges (the sanitizer's
+/// sampling discipline — edge CTAs carry the tail predication).
+fn sample_ctas(grid: usize, max: usize) -> Vec<usize> {
+    let max = max.max(1);
+    if grid <= max {
+        return (0..grid).collect();
+    }
+    let mut out: Vec<usize> = (0..max)
+        .map(|i| i * (grid - 1) / (max - 1).max(1))
+        .collect();
+    out.dedup();
+    out
+}
+
+fn tok_bits(t: Tok) -> u64 {
+    t.index().map_or(u64::MAX, |i| i as u64)
+}
+
+/// Dual-FNV fingerprint over the full content of one CTA's traces:
+/// everything the wave scheduler reads.
+fn trace_fingerprint(traces: &[WarpTrace]) -> Fingerprint {
+    let mut h = FingerprintHasher::new();
+    h.write_u64(traces.len() as u64);
+    for t in traces {
+        h.write_u64(t.instrs.len() as u64);
+        for i in &t.instrs {
+            h.write_u32(i.pc);
+            h.write_bytes(i.kind.mnemonic().as_bytes());
+            for d in i.deps {
+                h.write_u64(tok_bits(d));
+            }
+            h.write_u64(tok_bits(i.acc_dep));
+            match &i.mem {
+                Some(m) => {
+                    h.write_u8(1);
+                    h.write_u8(m.global as u8);
+                    h.write_u8(m.store as u8);
+                    h.write_u8(m.conflict);
+                    h.write_u8(m.active_lanes);
+                    h.write_u64(m.sectors.len() as u64);
+                    for &s in &m.sectors {
+                        h.write_u64(s);
+                    }
+                }
+                None => h.write_u8(0),
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Structural shape class of one CTA: pcs and op kinds only, addresses
+/// excluded — interior CTAs of a regular kernel share one class, tail
+/// CTAs split off their own.
+fn shape_class(traces: &[WarpTrace]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for t in traces {
+        h = fnv1a_u32s(h, [t.instrs.len() as u32]);
+        for i in &t.instrs {
+            h = fnv1a_u32s(h, [i.pc]);
+            h = fnv1a_u32s(h, i.kind.mnemonic().bytes().map(|b| b as u32));
+        }
+    }
+    h
+}
+
+/// First dangling dependency in a CTA's traces, as (warp, instr index).
+fn dangling_dep(traces: &[WarpTrace]) -> Option<(usize, usize)> {
+    for (w, t) in traces.iter().enumerate() {
+        for (idx, i) in t.instrs.iter().enumerate() {
+            let bad = i
+                .deps
+                .iter()
+                .chain(std::iter::once(&i.acc_dep))
+                .any(|d| d.index().is_some_and(|di| di >= idx));
+            if bad {
+                return Some((w, idx));
+            }
+        }
+    }
+    None
+}
+
+/// Certify a staged kernel's wave equivalence.
+///
+/// `mem` is the pool the kernel was staged into; it is only read. Each
+/// sampled CTA's performance-mode trace is generated twice — once inside
+/// a value-read window, once for the reproducibility comparison — and
+/// checked against the proof obligations in order. The first failure
+/// decides the verdict; a clean pass over every sampled CTA yields
+/// [`WaveVerdict::Provable`] and a trace fingerprint that feeds
+/// [`WaveCertificate::launch_sig`].
+pub fn certify<K: KernelSpec + ?Sized>(
+    mem: &MemPool,
+    kernel: &K,
+    opts: &CertifyOptions,
+) -> WaveCertificate {
+    let lc = kernel.launch_config();
+    let program_hash = kernel.program().map_or_else(
+        || {
+            // No listing kept: fall back to name + static size. Weaker
+            // identity, but still collision-checked by the trace
+            // fingerprint riding alongside it in the signature.
+            let name = kernel.name();
+            fnv1a_u32s(
+                fnv1a_u32s(FNV_OFFSET, name.bytes().map(|b| b as u32)),
+                [lc.static_instrs],
+            )
+        },
+        |p| p.listing_hash(),
+    );
+
+    let gen_trace = |cta_id: usize| -> Vec<WarpTrace> {
+        let mut cta = CtaCtx::new(
+            cta_id,
+            Mode::Performance,
+            mem,
+            lc.warps_per_cta,
+            lc.smem_elems,
+            lc.smem_elem_bytes,
+        );
+        kernel.run_cta(&mut cta);
+        let (t, _) = cta.finish();
+        t
+    };
+
+    let mut fp = FingerprintHasher::new();
+    fp.write_u64(program_hash);
+    let mut cert = WaveCertificate {
+        kernel: kernel.name(),
+        grid: lc.grid,
+        program_hash,
+        trace_fingerprint: Fingerprint::default(),
+        ctas_checked: 0,
+        instrs_checked: 0,
+        cta_classes: 0,
+        verdict: WaveVerdict::Provable,
+    };
+    let mut classes: Vec<u64> = Vec::new();
+
+    for cta_id in sample_ctas(lc.grid, opts.max_ctas) {
+        // Obligation 1 — value independence.
+        let before = mem.value_reads();
+        let first = gen_trace(cta_id);
+        let reads = mem.value_reads() - before;
+        if reads > 0 {
+            cert.verdict =
+                WaveVerdict::NotProvable(ProofFailure::ValueDependentTrace { cta_id, reads });
+            return cert;
+        }
+        // Obligation 2 — reproducibility.
+        let second = gen_trace(cta_id);
+        let h1 = trace_fingerprint(&first);
+        if h1 != trace_fingerprint(&second) {
+            cert.verdict = WaveVerdict::NotProvable(ProofFailure::NonReproducibleTrace { cta_id });
+            return cert;
+        }
+        // Obligation 3 — def-use well-formedness.
+        if let Some((warp, index)) = dangling_dep(&first) {
+            cert.verdict = WaveVerdict::NotProvable(ProofFailure::DanglingDependency {
+                cta_id,
+                warp,
+                index,
+            });
+            return cert;
+        }
+
+        cert.instrs_checked += first.iter().map(|t| t.instrs.len() as u64).sum::<u64>();
+        let class = shape_class(&first);
+        if !classes.contains(&class) {
+            classes.push(class);
+        }
+        fp.write_u64(cta_id as u64);
+        fp.write_fingerprint(h1);
+        cert.ctas_checked += 1;
+    }
+
+    cert.cta_classes = classes.len();
+    cert.trace_fingerprint = fp.finish();
+    cert
+}

@@ -1,0 +1,365 @@
+//! Deliberately broken (and one deliberately clean) miniature kernels,
+//! one per proof obligation, so CI can pin each [`ProofFailure`] to the
+//! exact kernel pattern that must trigger it — and assert that failing
+//! kernels are never handed a memoization signature.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cert::{certify, CertifyOptions, ProofFailure, WaveVerdict};
+use vecsparse_gpu_sim::sig::Fingerprint;
+use vecsparse_gpu_sim::{
+    BufferId, CtaCtx, ElemWidth, InstrKind, KernelSpec, LaunchConfig, MemPool, Program, Site, WVec,
+    NO_LANES,
+};
+
+const LANES: usize = 32;
+
+/// A clean streaming kernel: offsets are a pure function of the CTA id.
+/// The positive control — certification must succeed.
+struct StreamKernel {
+    input: BufferId,
+    output: BufferId,
+    grid: usize,
+    sites: (Site, Site, Site),
+    static_len: u32,
+}
+
+impl StreamKernel {
+    fn stage(mem: &mut MemPool, grid: usize) -> Self {
+        let input = mem.alloc_ghost(ElemWidth::B32, grid * LANES);
+        let output = mem.alloc_ghost(ElemWidth::B32, grid * LANES);
+        let mut p = Program::new();
+        let sites = (p.site("ldg", 0), p.site("fma", 0), p.site("stg", 0));
+        StreamKernel {
+            input,
+            output,
+            grid,
+            sites,
+            static_len: p.static_len(),
+        }
+    }
+}
+
+impl KernelSpec for StreamKernel {
+    fn name(&self) -> String {
+        "fixture-stream".into()
+    }
+
+    fn launch_config(&self) -> LaunchConfig {
+        LaunchConfig {
+            grid: self.grid,
+            warps_per_cta: 1,
+            regs_per_thread: 32,
+            smem_elems: 0,
+            smem_elem_bytes: 2,
+            static_instrs: self.static_len,
+        }
+    }
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        let cta_id = cta.cta_id;
+        let mut w = cta.warp(0);
+        let mut offs = NO_LANES;
+        for (l, o) in offs.iter_mut().enumerate() {
+            *o = (cta_id * LANES + l) as u32;
+        }
+        let v = w.ldg(self.sites.0, self.input, &offs, 1, &[]);
+        let t = w.math(self.sites.1, InstrKind::Ffma, 1, &[v.tok()]);
+        let mut out = WVec::zeros(1);
+        out.set_tok(t);
+        w.stg(self.sites.2, self.output, &offs, &out, &[t]);
+    }
+}
+
+/// A gather whose load offsets come from operand *values*: classic
+/// data-dependent addressing. Trace generation must read the pool, so
+/// certification must fail with [`ProofFailure::ValueDependentTrace`].
+struct DataGatherKernel {
+    indices: BufferId,
+    data: BufferId,
+    output: BufferId,
+    grid: usize,
+    sites: (Site, Site),
+    static_len: u32,
+}
+
+impl DataGatherKernel {
+    fn stage(mem: &mut MemPool, grid: usize) -> Self {
+        // The indirection table needs real values — that is the point.
+        let idx: Vec<f32> = (0..grid * LANES).map(|i| ((i * 7) % 64) as f32).collect();
+        let indices = mem.alloc_init(ElemWidth::B32, idx);
+        let data = mem.alloc_ghost(ElemWidth::B32, 64);
+        let output = mem.alloc_ghost(ElemWidth::B32, grid * LANES);
+        let mut p = Program::new();
+        let sites = (p.site("ldg", 0), p.site("stg", 0));
+        DataGatherKernel {
+            indices,
+            data,
+            output,
+            grid,
+            sites,
+            static_len: p.static_len(),
+        }
+    }
+}
+
+impl KernelSpec for DataGatherKernel {
+    fn name(&self) -> String {
+        "fixture-data-gather".into()
+    }
+
+    fn launch_config(&self) -> LaunchConfig {
+        LaunchConfig {
+            grid: self.grid,
+            warps_per_cta: 1,
+            regs_per_thread: 32,
+            smem_elems: 0,
+            smem_elem_bytes: 2,
+            static_instrs: self.static_len,
+        }
+    }
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        let cta_id = cta.cta_id;
+        let mut w = cta.warp(0);
+        // Address computation reads the indirection table's *values* in
+        // both modes — the host-side structural shortcut the shipped
+        // kernels use (row pointers kept on the host) is deliberately
+        // not taken here.
+        let mut offs = NO_LANES;
+        for (l, o) in offs.iter_mut().enumerate() {
+            let j = w.mem().read(self.indices, cta_id * LANES + l);
+            *o = j as u32;
+        }
+        let v = w.ldg(self.sites.0, self.data, &offs, 1, &[]);
+        let mut store_offs = NO_LANES;
+        for (l, o) in store_offs.iter_mut().enumerate() {
+            *o = (cta_id * LANES + l) as u32;
+        }
+        let mut out = WVec::zeros(1);
+        out.set_tok(v.tok());
+        w.stg(self.sites.1, self.output, &store_offs, &out, &[v.tok()]);
+    }
+}
+
+/// A kernel with hidden interior-mutable state: every `run_cta` call
+/// shifts its addresses by a live counter, so two generations of the
+/// same CTA differ. Certification must fail with
+/// [`ProofFailure::NonReproducibleTrace`].
+struct DriftingKernel {
+    input: BufferId,
+    output: BufferId,
+    grid: usize,
+    len: usize,
+    calls: AtomicU64,
+    sites: (Site, Site),
+    static_len: u32,
+}
+
+impl DriftingKernel {
+    fn stage(mem: &mut MemPool, grid: usize) -> Self {
+        let len = grid * LANES * 2;
+        let input = mem.alloc_ghost(ElemWidth::B32, len);
+        let output = mem.alloc_ghost(ElemWidth::B32, len);
+        let mut p = Program::new();
+        let sites = (p.site("ldg", 0), p.site("stg", 0));
+        DriftingKernel {
+            input,
+            output,
+            grid,
+            len,
+            calls: AtomicU64::new(0),
+            sites,
+            static_len: p.static_len(),
+        }
+    }
+}
+
+impl KernelSpec for DriftingKernel {
+    fn name(&self) -> String {
+        "fixture-drifting".into()
+    }
+
+    fn launch_config(&self) -> LaunchConfig {
+        LaunchConfig {
+            grid: self.grid,
+            warps_per_cta: 1,
+            regs_per_thread: 32,
+            smem_elems: 0,
+            smem_elem_bytes: 2,
+            static_instrs: self.static_len,
+        }
+    }
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        let cta_id = cta.cta_id;
+        // Hidden state: the address base drifts with every invocation.
+        let drift = (self.calls.fetch_add(1, Ordering::Relaxed) as usize * LANES) % self.len;
+        let mut w = cta.warp(0);
+        let mut offs = NO_LANES;
+        for (l, o) in offs.iter_mut().enumerate() {
+            *o = ((cta_id * LANES + l + drift) % self.len) as u32;
+        }
+        let v = w.ldg(self.sites.0, self.input, &offs, 1, &[]);
+        let mut out = WVec::zeros(1);
+        out.set_tok(v.tok());
+        w.stg(self.sites.1, self.output, &offs, &out, &[v.tok()]);
+    }
+}
+
+/// What a fixture's certification must produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Expected {
+    Provable,
+    ValueDependent,
+    NonReproducible,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Kind {
+    Stream,
+    DataGather,
+    Drifting,
+}
+
+/// One waveprove fixture: a miniature kernel plus the verdict its
+/// certification must reach.
+pub struct WaveFixture {
+    name: &'static str,
+    kind: Kind,
+    expected: Expected,
+}
+
+impl WaveFixture {
+    /// Fixture name for reports.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Human-readable expected outcome.
+    pub fn expected_verdict(&self) -> &'static str {
+        match self.expected {
+            Expected::Provable => "provable",
+            Expected::ValueDependent => "value-dependent-trace",
+            Expected::NonReproducible => "non-reproducible-trace",
+        }
+    }
+
+    /// Stage the fixture kernel into a fresh pool and certify it,
+    /// checking the verdict (and that unprovable kernels receive no
+    /// memoization signature).
+    pub fn verify(&self) -> Result<(), String> {
+        let mut mem = MemPool::new();
+        let grid = 8;
+        let kernel: Box<dyn KernelSpec> = match self.kind {
+            Kind::Stream => Box::new(StreamKernel::stage(&mut mem, grid)),
+            Kind::DataGather => Box::new(DataGatherKernel::stage(&mut mem, grid)),
+            Kind::Drifting => Box::new(DriftingKernel::stage(&mut mem, grid)),
+        };
+        let cert = certify(&mem, kernel.as_ref(), &CertifyOptions::default());
+        let sig = cert.launch_sig(Fingerprint::default());
+        match (self.expected, &cert.verdict) {
+            (Expected::Provable, WaveVerdict::Provable) => {
+                if sig.is_none() {
+                    return Err("provable fixture produced no launch signature".into());
+                }
+                Ok(())
+            }
+            (
+                Expected::ValueDependent,
+                WaveVerdict::NotProvable(ProofFailure::ValueDependentTrace { .. }),
+            )
+            | (
+                Expected::NonReproducible,
+                WaveVerdict::NotProvable(ProofFailure::NonReproducibleTrace { .. }),
+            ) => {
+                if sig.is_some() {
+                    return Err(format!(
+                        "unprovable fixture {} was handed a launch signature",
+                        self.name
+                    ));
+                }
+                Ok(())
+            }
+            (_, verdict) => Err(format!(
+                "expected {}, got {:?}",
+                self.expected_verdict(),
+                verdict
+            )),
+        }
+    }
+}
+
+/// Every waveprove fixture: the provable control plus one kernel per
+/// proof failure.
+pub fn all_fixtures() -> Vec<WaveFixture> {
+    vec![
+        WaveFixture {
+            name: "stream-control",
+            kind: Kind::Stream,
+            expected: Expected::Provable,
+        },
+        WaveFixture {
+            name: "data-dependent-gather",
+            kind: Kind::DataGather,
+            expected: Expected::ValueDependent,
+        },
+        WaveFixture {
+            name: "drifting-addresses",
+            kind: Kind::Drifting,
+            expected: Expected::NonReproducible,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fixture_verifies() {
+        for fx in all_fixtures() {
+            fx.verify().unwrap_or_else(|e| panic!("{}: {e}", fx.name()));
+        }
+    }
+
+    #[test]
+    fn certification_is_deterministic() {
+        let mut mem = MemPool::new();
+        let k = StreamKernel::stage(&mut mem, 16);
+        let a = certify(&mem, &k, &CertifyOptions::default());
+        let b = certify(&mem, &k, &CertifyOptions::default());
+        assert_eq!(a.trace_fingerprint, b.trace_fingerprint);
+        assert_eq!(a.program_hash, b.program_hash);
+        assert_eq!(a.verdict, b.verdict);
+    }
+
+    #[test]
+    fn pool_layout_changes_the_fingerprint() {
+        let mut m1 = MemPool::new();
+        let k1 = StreamKernel::stage(&mut m1, 8);
+        let mut m2 = MemPool::new();
+        // A padding allocation shifts every later base address.
+        m2.alloc_ghost(ElemWidth::B32, 1024);
+        let k2 = StreamKernel::stage(&mut m2, 8);
+        let c1 = certify(&m1, &k1, &CertifyOptions::default());
+        let c2 = certify(&m2, &k2, &CertifyOptions::default());
+        assert!(c1.is_provable() && c2.is_provable());
+        assert_ne!(
+            c1.trace_fingerprint, c2.trace_fingerprint,
+            "sector streams moved, fingerprint must move with them"
+        );
+    }
+
+    #[test]
+    fn grid_size_splits_shape_classes() {
+        let mut mem = MemPool::new();
+        let k = StreamKernel::stage(&mut mem, 8);
+        let cert = certify(&mem, &k, &CertifyOptions::default());
+        assert!(cert.is_provable());
+        // Every CTA issues the same instruction shape.
+        assert_eq!(cert.cta_classes, 1);
+        assert!(cert.ctas_checked >= 2);
+        assert!(cert.instrs_checked > 0);
+    }
+}

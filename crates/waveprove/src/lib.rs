@@ -1,0 +1,52 @@
+//! # vecsparse-waveprove
+//!
+//! Static wave-equivalence certificates for the performance simulator —
+//! the analysis that turns wave memoization from a heuristic into a
+//! certified transformation.
+//!
+//! The simulator's phase-split pipeline times every SM wave against cold
+//! private caches, so a wave's timing artifacts are a pure function of
+//! (machine config, L1 geometry, the wave's traces). What that leaves
+//! open is whether the *traces* are a pure function of anything small.
+//! [`certify`] closes the gap: it proves, per kernel, that every
+//! timing-relevant input to the scheduler — the PC issue sequence, the
+//! address/sector stream per memory site, bank-conflict degrees, the
+//! TCU op mix — is fully determined by (program, operand structure,
+//! pool layout, CTA id) and never by operand *values*. The proof
+//! obligations, each checked over a sampled set of CTAs:
+//!
+//! 1. **Value independence** — performance-mode trace generation
+//!    performs zero [`MemPool::read`](vecsparse_gpu_sim::MemPool::read)
+//!    calls (counted by the pool itself). A kernel that reads a value to
+//!    compute an address or a loop bound is data-dependent and gets
+//!    [`ProofFailure::ValueDependentTrace`].
+//! 2. **Reproducibility** — generating the trace twice yields
+//!    bit-identical streams (hashed with the 128-bit dual-FNV
+//!    [`Fingerprint`](vecsparse_gpu_sim::sig::Fingerprint)). Hidden
+//!    state (RNG, wall clock, interior-mutable counters) surfaces as
+//!    [`ProofFailure::NonReproducibleTrace`].
+//! 3. **Def-use well-formedness** — every dependency token points at an
+//!    earlier instruction in its warp's stream, so the scheduler's
+//!    scoreboard walk is itself structurally determined.
+//!
+//! A passing kernel receives a [`WaveCertificate`] whose
+//! [`launch_sig`](WaveCertificate::launch_sig) composes the program
+//! hash, the sampled-trace fingerprint, and a caller-supplied operand
+//! fingerprint into the [`LaunchSig`](vecsparse_gpu_sim::LaunchSig)
+//! that keys the memoizer. Kernels that fail any obligation get
+//! [`WaveVerdict::NotProvable`], produce no signature, and are simply
+//! simulated the honest way — exemption, not error.
+//!
+//! The dynamic backstop lives in the memoizer itself: `VECSPARSE_AUDIT=n`
+//! re-simulates every n-th memoized wave and asserts bit-identity,
+//! mirroring `vecsparse-precision`'s shadow-vs-certificate gate.
+//!
+//! [`fixtures::all_fixtures`] provides miniature kernels that *must*
+//! fail each obligation (plus a provable control), so CI can pin every
+//! verdict to the exact failure that should trigger it.
+
+pub mod cert;
+pub mod fixtures;
+
+pub use cert::{certify, CertifyOptions, ProofFailure, WaveCertificate, WaveVerdict};
+pub use fixtures::{all_fixtures, WaveFixture};

@@ -39,8 +39,16 @@ struct Snapshot {
 }
 
 fn snapshot() -> Snapshot {
+    snapshot_with(false)
+}
+
+fn snapshot_with(memoize: bool) -> Snapshot {
     let gpu = GpuConfig::small();
-    let ctx = Context::with_gpu(gpu.clone());
+    let ctx = if memoize {
+        Context::with_memoization(gpu.clone())
+    } else {
+        Context::with_gpu(gpu.clone())
+    };
 
     // SpMM: functional single run + batch fan-out + performance profile.
     let a = gen::random_vector_sparse::<f16>(32, 64, 4, 0.8, 11);
@@ -52,6 +60,9 @@ fn snapshot() -> Snapshot {
         .collect();
     let spmm_batch = plan.run_batch(&batch);
     let profile = plan.profile(&b);
+    // Under memoization, profile again: the compared artifacts then come
+    // from the replay path, not the initial honest simulation.
+    let profile = if memoize { plan.profile(&b) } else { profile };
 
     // SDDMM through the same context.
     let mask = gen::random_vector_sparse::<f16>(32, 48, 4, 0.7, 13)
@@ -120,6 +131,47 @@ fn all_artifacts_bit_identical_across_thread_counts() {
         assert_eq!(
             got.trace_json, baseline.trace_json,
             "perfetto timeline bytes diverged at {threads} threads"
+        );
+    }
+    set_threads(1);
+}
+
+/// The full suite with wave memoization enabled: replayed artifacts must
+/// match the honest single-thread baseline at every worker count.
+#[test]
+fn memoized_artifacts_match_honest_baseline_across_thread_counts() {
+    set_threads(1);
+    let baseline = snapshot();
+    for threads in [1usize, 4, 8] {
+        set_threads(threads);
+        let got = snapshot_with(true);
+        assert_eq!(
+            got.spmm_out, baseline.spmm_out,
+            "memoized SpMM output diverged at {threads} threads"
+        );
+        assert_eq!(
+            got.spmm_batch, baseline.spmm_batch,
+            "memoized batch outputs diverged at {threads} threads"
+        );
+        assert_eq!(
+            got.sddmm_vals, baseline.sddmm_vals,
+            "memoized SDDMM values diverged at {threads} threads"
+        );
+        assert_eq!(
+            got.cycles, baseline.cycles,
+            "replayed profile cycles diverged at {threads} threads"
+        );
+        assert_eq!(
+            got.profile_csv, baseline.profile_csv,
+            "replayed profile counters diverged at {threads} threads"
+        );
+        assert_eq!(
+            got.certificates, baseline.certificates,
+            "certificates diverged under memoization at {threads} threads"
+        );
+        assert_eq!(
+            got.trace_json, baseline.trace_json,
+            "perfetto timeline diverged under memoization at {threads} threads"
         );
     }
     set_threads(1);

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Determinism lint for the simulated path.
+#
+# Simulated timing must be a pure function of program structure: iterating
+# a HashMap/HashSet in simulated code makes counters depend on hash-seed
+# iteration order, and reading the wall clock (Instant::now) makes them
+# depend on the machine. This script greps the simulated-path crates for
+# both and fails on any unannotated occurrence.
+#
+# Suppressing a finding requires an explicit `lint: hash-ok` marker on the
+# offending line or the line directly above it, with a justification (e.g.
+# "keyed lookup only, never iterated"). Plain `use` imports are ignored —
+# importing the type is fine; using it is what needs the annotation.
+#
+# Scope: crates/gpu-sim/src and crates/waveprove/src. Engine-level wall
+# timing (Counters::add_wall) is host-side bookkeeping and lives outside
+# these crates on purpose.
+
+set -u
+cd "$(dirname "$0")/.."
+
+DIRS="crates/gpu-sim/src crates/waveprove/src"
+PATTERN='HashMap|HashSet|Instant::now'
+fail=0
+
+for f in $(find $DIRS -name '*.rs' | sort); do
+    out=$(awk -v file="$f" -v pat="$PATTERN" '
+        {
+            line = $0
+            if (line ~ pat && line !~ /^[[:space:]]*use / \
+                && line !~ /lint: hash-ok/ && prev !~ /lint: hash-ok/) {
+                printf "%s:%d: %s\n", file, NR, line
+            }
+            prev = line
+        }
+    ' "$f")
+    if [ -n "$out" ]; then
+        echo "$out"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo >&2
+    echo "determinism lint failed: simulated-path code uses hash-ordered" >&2
+    echo "collections or the wall clock without a 'lint: hash-ok' marker." >&2
+    echo "Either remove the use or annotate it with a justification." >&2
+    exit 1
+fi
+echo "determinism lint clean ($DIRS)"
