@@ -12,7 +12,9 @@ use vecsparse_transformer::attention::{
 use vecsparse_transformer::AttentionConfig;
 
 fn functional_attention(c: &mut Criterion) {
-    let ctx = vecsparse::engine::Context::with_gpu(GpuConfig::small());
+    let ctx = vecsparse::engine::Context::builder()
+        .gpu(GpuConfig::small())
+        .build();
     let mut group = c.benchmark_group("attention/functional");
     group.sample_size(20);
     let cfg = AttentionConfig {

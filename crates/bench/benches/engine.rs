@@ -1,7 +1,7 @@
 //! Criterion comparison behind the engine's headline claim: cached-plan
-//! re-execution of a 16-element SpMM batch vs the deprecated
-//! `batch::spmm_batch`, which re-plans, re-encodes, and (with `Auto`)
-//! re-tunes on every element.
+//! re-execution of a 16-element SpMM batch vs the legacy batch path
+//! (the removed `batch::spmm_batch`, inlined below: a throwaway context
+//! per element that re-plans, re-encodes, and re-tunes every time).
 //!
 //! Set `VECSPARSE_TRACE=trace.json` to record the warm-up pass (plan,
 //! tune, stage, first batch run) through the engine's telemetry sink and
@@ -32,7 +32,10 @@ fn batch16(c: &mut Criterion) {
     } else {
         Arc::new(TraceSink::disabled())
     };
-    let ctx = Context::with_telemetry(GpuConfig::default(), Arc::clone(&sink));
+    let ctx = Context::builder()
+        .gpu(GpuConfig::default())
+        .telemetry(Arc::clone(&sink))
+        .build();
     let plan = ctx.plan_spmm(&a, 64, SpmmAlgo::Auto);
     plan.run_batch(&batch); // warm: tune + stage once, outside the timer
     if let Some(path) = &trace_path {
@@ -41,10 +44,17 @@ fn batch16(c: &mut Criterion) {
         eprintln!("wrote {path} ({} events)", sink.events().len());
     }
     group.bench_function("cached_plan", |b| b.iter(|| plan.run_batch(&batch)));
-    group.bench_function("deprecated_spmm_batch", |b| {
+    group.bench_function("legacy_throwaway_context", |b| {
         b.iter(|| {
-            #[allow(deprecated)]
-            vecsparse::batch::spmm_batch(&a, &batch, SpmmAlgo::Auto)
+            batch
+                .iter()
+                .map(|rhs| {
+                    Context::builder()
+                        .build()
+                        .plan_spmm(&a, rhs.cols(), SpmmAlgo::Auto)
+                        .run(rhs)
+                })
+                .collect::<Vec<_>>()
         })
     });
     group.finish();

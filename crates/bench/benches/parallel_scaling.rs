@@ -39,7 +39,7 @@ fn batch_fan_out_scaling(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("parallel/batch");
     group.sample_size(10);
-    let ctx = Context::with_gpu(GpuConfig::small());
+    let ctx = Context::builder().gpu(GpuConfig::small()).build();
     let a = gen::random_vector_sparse::<f16>(64, 128, 4, 0.8, 3);
     let plan = ctx.plan_spmm(&a, 64, SpmmAlgo::Octet);
     let batch: Vec<DenseMatrix<f16>> = (0..16)
@@ -74,13 +74,16 @@ fn memoized_profile_scaling(c: &mut Criterion) {
     let a = gen::random_vector_sparse::<f16>(1024, 1024, 4, 0.9, 1);
     let b = gen::random_dense::<f16>(1024, 128, Layout::RowMajor, 2);
 
-    let honest = Context::with_gpu(GpuConfig::default());
+    let honest = Context::builder().gpu(GpuConfig::default()).build();
     let honest_plan = honest.plan_spmm(&a, 128, SpmmAlgo::Octet);
     group.bench_function("profile_octet_t1_honest", |bench| {
         bench.iter(|| honest_plan.profile(&b));
     });
 
-    let memo = Context::with_memoization(GpuConfig::default());
+    let memo = Context::builder()
+        .gpu(GpuConfig::default())
+        .memoization()
+        .build();
     let memo_plan = memo.plan_spmm(&a, 128, SpmmAlgo::Octet);
     memo_plan.profile(&b); // warm-up: certify + first honest simulation
     group.bench_function("profile_octet_t1_memoized", |bench| {

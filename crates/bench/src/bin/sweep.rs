@@ -180,7 +180,10 @@ fn main() {
     } else {
         Arc::new(TraceSink::disabled())
     };
-    let mut ctx = Context::with_telemetry(gpu, Arc::clone(&sink));
+    let mut ctx = Context::builder()
+        .gpu(gpu)
+        .telemetry(Arc::clone(&sink))
+        .build();
     if memoize {
         ctx.enable_memoization();
     }

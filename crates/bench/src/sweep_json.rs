@@ -1,11 +1,13 @@
-//! Rendering of the sweep binary's `--json` document (schema v5),
-//! factored out of `src/bin/sweep.rs` so the layout can be round-trip
-//! tested without running a sweep.
+//! Rendering of the JSON documents the bench binaries emit (schema v6):
+//! the `sweep` binary's `--json` kernel sweep and the `serve-load`
+//! binary's saturation document, factored out of `src/bin/` so the
+//! layouts can be round-trip tested without running the binaries.
 
 use vecsparse_gpu_sim::{KernelProfile, MemoStats};
 use vecsparse_precision::Certificate;
+use vecsparse_serve::SaturationPoint;
 
-/// Version of the `--json` document layout. Bump when fields change
+/// Version of the JSON document layouts. Bump when fields change
 /// meaning or move; additions are allowed within a version.
 /// v3: added the `certificates` array (static precision bounds for every
 /// kernel the engine planned during the sweep).
@@ -17,7 +19,10 @@ use vecsparse_precision::Certificate;
 /// `--memoize`, the `memo` block (wave/launch hit counters and hit rate).
 /// Memoize-vs-baseline checks diff documents with `wall_ms`, `threads`,
 /// and `memo` stripped.
-pub const JSON_SCHEMA_VERSION: u32 = 5;
+/// v6: added top-level `kind` (`"sweep"` or `"serve_saturation"`) and
+/// the serve-load document: a `serve` block with topology, tenants, the
+/// live smoke-run counters, and the offered-load-vs-latency `curve`.
+pub const JSON_SCHEMA_VERSION: u32 = 6;
 
 /// One profiled kernel row of the sweep.
 pub struct SweepRow {
@@ -67,7 +72,8 @@ fn json_escape(s: &str) -> String {
 pub fn render(meta: &SweepMeta, rows: &[SweepRow], certs: &[Certificate]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"gpu_config_hash\": \"{:016x}\",\n",
+        "  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"kind\": \"sweep\",\n  \
+         \"gpu_config_hash\": \"{:016x}\",\n",
         meta.gpu_config_hash
     ));
     out.push_str(&format!(
@@ -135,6 +141,99 @@ pub fn render(meta: &SweepMeta, rows: &[SweepRow], certs: &[Certificate]) -> Str
     out
 }
 
+/// Everything the serve-load saturation document carries besides the
+/// curve itself: serving topology, the tenant roster, and the live
+/// smoke-run counters.
+pub struct ServeMeta {
+    /// Hash of the simulated GPU config the service times came from.
+    pub gpu_config_hash: u64,
+    /// Worker threads of the modeled pool.
+    pub workers: usize,
+    /// Plan/memo cache shards.
+    pub shards: usize,
+    /// Maximum jobs coalesced per dispatch.
+    pub max_batch: usize,
+    /// Requests simulated per curve point.
+    pub requests_per_point: usize,
+    /// Registered tenants as `(name, weight)`.
+    pub tenants: Vec<(String, u32)>,
+    /// Jobs the live smoke run served.
+    pub served: u64,
+    /// Batches the live smoke run dispatched.
+    pub batches: u64,
+    /// Free-rider jobs coalesced beyond batch anchors in the live run.
+    pub coalesced: u64,
+    /// Deepest any shard queue got in the live run.
+    pub max_queue_depth: usize,
+    /// Worst tenant p99 of the live run, milliseconds.
+    pub p99_ms: f64,
+    /// Plan-cache hit ratio of the live run, 0..1.
+    pub cache_hit_ratio: f64,
+    /// Wave-memo hit rate of the live run (absent when memoization was
+    /// off).
+    pub memo_hit_rate: Option<f64>,
+}
+
+/// Render the serve-load saturation document (`kind:
+/// "serve_saturation"`). Valid JSON with fixed field order, like
+/// [`render`].
+pub fn render_serve(meta: &ServeMeta, curve: &[SaturationPoint]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"kind\": \"serve_saturation\",\n  \
+         \"gpu_config_hash\": \"{:016x}\",\n",
+        meta.gpu_config_hash
+    ));
+    out.push_str("  \"serve\": {\n");
+    out.push_str(&format!(
+        "    \"workers\": {}, \"shards\": {}, \"max_batch\": {}, \"requests_per_point\": {},\n",
+        meta.workers, meta.shards, meta.max_batch, meta.requests_per_point
+    ));
+    out.push_str("    \"tenants\": [");
+    for (i, (name, weight)) in meta.tenants.iter().enumerate() {
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"weight\": {}}}{}",
+            json_escape(name),
+            weight,
+            if i + 1 == meta.tenants.len() {
+                ""
+            } else {
+                ", "
+            }
+        ));
+    }
+    out.push_str("],\n");
+    out.push_str(&format!(
+        "    \"live\": {{\"served\": {}, \"batches\": {}, \"coalesced\": {}, \
+         \"max_queue_depth\": {}, \"p99_ms\": {:.3}, \"cache_hit_ratio\": {:.4}{}}},\n",
+        meta.served,
+        meta.batches,
+        meta.coalesced,
+        meta.max_queue_depth,
+        meta.p99_ms,
+        meta.cache_hit_ratio,
+        meta.memo_hit_rate
+            .map(|r| format!(", \"memo_hit_rate\": {r:.4}"))
+            .unwrap_or_default()
+    ));
+    out.push_str("    \"curve\": [\n");
+    for (i, p) in curve.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"offered_rps\": {:.1}, \"served\": {}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"utilization\": {:.4}}}{}\n",
+            p.offered_rps,
+            p.served,
+            p.p50_ms,
+            p.p99_ms,
+            p.mean_ms,
+            p.utilization,
+            if i + 1 == curve.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("    ]\n  }\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,7 +260,67 @@ mod tests {
     }
 
     #[test]
-    fn document_round_trips_with_v5_fields() {
+    fn serve_document_round_trips_with_v6_fields() {
+        let meta = ServeMeta {
+            gpu_config_hash: 0xfeed,
+            workers: 4,
+            shards: 2,
+            max_batch: 8,
+            requests_per_point: 200,
+            tenants: vec![("interactive".into(), 4), ("bulk".into(), 1)],
+            served: 64,
+            batches: 20,
+            coalesced: 44,
+            max_queue_depth: 17,
+            p99_ms: 12.5,
+            cache_hit_ratio: 0.875,
+            memo_hit_rate: Some(0.5),
+        };
+        let curve = vec![
+            SaturationPoint {
+                offered_rps: 100.0,
+                served: 200,
+                p50_ms: 1.0,
+                p99_ms: 2.0,
+                mean_ms: 1.1,
+                utilization: 0.12,
+            },
+            SaturationPoint {
+                offered_rps: 800.0,
+                served: 200,
+                p50_ms: 4.0,
+                p99_ms: 20.0,
+                mean_ms: 6.0,
+                utilization: 0.97,
+            },
+        ];
+        let doc = render_serve(&meta, &curve);
+        let parsed = serde_json::from_str(&doc).expect("serve document is valid JSON");
+        assert_eq!(
+            parsed["schema_version"].as_u64(),
+            Some(JSON_SCHEMA_VERSION as u64)
+        );
+        assert_eq!(parsed["kind"].as_str(), Some("serve_saturation"));
+        let serve = &parsed["serve"];
+        assert_eq!(serve["workers"].as_u64(), Some(4));
+        assert_eq!(serve["tenants"].as_array().unwrap().len(), 2);
+        assert_eq!(serve["tenants"][0]["name"].as_str(), Some("interactive"));
+        assert_eq!(serve["live"]["served"].as_u64(), Some(64));
+        assert_eq!(serve["live"]["memo_hit_rate"].as_f64(), Some(0.5));
+        let curve_j = serve["curve"].as_array().expect("curve array");
+        assert_eq!(curve_j.len(), 2);
+        assert_eq!(curve_j[1]["p99_ms"].as_f64(), Some(20.0));
+        // Without memoization the key is absent, not null.
+        let no_memo = ServeMeta {
+            memo_hit_rate: None,
+            ..meta
+        };
+        let parsed = serde_json::from_str(&render_serve(&no_memo, &curve)).unwrap();
+        assert!(parsed["serve"]["live"].get("memo_hit_rate").is_none());
+    }
+
+    #[test]
+    fn sweep_document_round_trips() {
         let meta = SweepMeta {
             gpu_config_hash: 0xdead_beef,
             m: 128,
@@ -208,6 +367,7 @@ mod tests {
             parsed["schema_version"].as_u64(),
             Some(JSON_SCHEMA_VERSION as u64)
         );
+        assert_eq!(parsed["kind"].as_str(), Some("sweep"));
         assert_eq!(parsed["threads"].as_u64(), Some(4));
         assert_eq!(parsed["wall_ms"].as_f64(), Some(17.25));
         assert_eq!(parsed["repeat"].as_u64(), Some(10));

@@ -1,22 +1,23 @@
-//! Algorithm selectors plus the legacy free-function entry points.
+//! Algorithm selectors for the engine's plan API.
 //!
-//! The free functions here predate the [`crate::engine`] and are kept as
-//! **deprecated one-line shims**: each call builds a throwaway
-//! [`crate::engine::Context`], so the sparse operand is re-encoded and
-//! (under [`SpmmAlgo::Auto`] / [`SddmmAlgo::Auto`]) re-tuned on every
-//! invocation. Migrate to a long-lived context:
+//! This module once also carried the pre-engine free-function entry
+//! points (`spmm`, `sddmm`, `profile_*`) as deprecated one-line shims
+//! over throwaway [`crate::engine::Context`]s. They are gone; the plan
+//! workflow is the only entry point:
 //!
 //! ```text
 //! api::spmm(&a, &b, algo)          -> ctx.plan_spmm(&a, b.cols(), algo).run(&b)
-//! api::profile_spmm(&g, a, b, al)  -> Context::with_gpu(g).plan_spmm(...).profile(&b)
+//! api::profile_spmm(&g, a, b, al)  -> Context::builder().gpu(g).build()
+//!                                        .plan_spmm(...).profile(&b)
 //! api::sddmm(&a, &b, &m, algo)     -> ctx.plan_sddmm(&m, a.cols(), algo).run(&a, &b)
-//! api::profile_sddmm(...)          -> Context::with_gpu(g).plan_sddmm(...).profile(...)
+//! api::profile_sddmm(...)          -> Context::builder().gpu(g).build()
+//!                                        .plan_sddmm(...).profile(...)
+//! api::spmm_batch / sddmm_batch    -> plan.run_batch(...)
 //! ```
-
-use crate::engine::Context;
-use vecsparse_formats::{DenseMatrix, SparsityPattern, VectorSparse};
-use vecsparse_fp16::f16;
-use vecsparse_gpu_sim::{GpuConfig, KernelProfile};
+//!
+//! (The one-shot convenience methods [`crate::engine::Context::spmm`] /
+//! [`crate::engine::Context::sddmm`] remain for callers that genuinely
+//! run a problem once — they still go through the plan cache.)
 
 /// SpMM algorithm selector.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -87,76 +88,16 @@ impl SddmmAlgo {
     }
 }
 
-/// Run SpMM functionally with the default simulated GPU.
-///
-/// # Panics
-/// Panics on dimension mismatches.
-#[deprecated(
-    since = "0.2.0",
-    note = "builds a throwaway engine context per call; use \
-            `Context::plan_spmm(&a, b.cols(), algo).run(&b)` and keep the \
-            context (and plan) alive across calls"
-)]
-pub fn spmm(a: &VectorSparse<f16>, b: &DenseMatrix<f16>, algo: SpmmAlgo) -> DenseMatrix<f16> {
-    Context::new().spmm(a, b, algo)
-}
-
-/// Profile SpMM on `gpu`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Context::with_gpu(gpu).plan_spmm(&a, b.cols(), algo).profile(&b)`"
-)]
-pub fn profile_spmm(
-    gpu: &GpuConfig,
-    a: &VectorSparse<f16>,
-    b: &DenseMatrix<f16>,
-    algo: SpmmAlgo,
-) -> KernelProfile {
-    Context::with_gpu(gpu.clone()).profile_spmm(a, b, algo)
-}
-
-/// Run SDDMM functionally with the default simulated GPU.
-///
-/// # Panics
-/// Panics on dimension mismatches.
-#[deprecated(
-    since = "0.2.0",
-    note = "builds a throwaway engine context per call; use \
-            `Context::plan_sddmm(&mask, a.cols(), algo).run(&a, &b)` and \
-            keep the context (and plan) alive across calls"
-)]
-pub fn sddmm(
-    a: &DenseMatrix<f16>,
-    b: &DenseMatrix<f16>,
-    mask: &SparsityPattern,
-    algo: SddmmAlgo,
-) -> VectorSparse<f16> {
-    Context::new().sddmm(a, b, mask, algo)
-}
-
-/// Profile SDDMM on `gpu`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Context::with_gpu(gpu).plan_sddmm(&mask, a.cols(), algo).profile(&a, &b)`"
-)]
-pub fn profile_sddmm(
-    gpu: &GpuConfig,
-    a: &DenseMatrix<f16>,
-    b: &DenseMatrix<f16>,
-    mask: &SparsityPattern,
-    algo: SddmmAlgo,
-) -> KernelProfile {
-    Context::with_gpu(gpu.clone()).profile_sddmm(a, b, mask, algo)
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::engine::Context;
     use vecsparse_formats::{gen, reference, Layout};
+    use vecsparse_fp16::f16;
 
     #[test]
     fn spmm_algos_agree() {
+        let ctx = Context::builder().build();
         let a = gen::random_vector_sparse::<f16>(32, 64, 4, 0.7, 1);
         let b = gen::random_dense::<f16>(64, 64, Layout::RowMajor, 2);
         let want = reference::spmm_vs(&a, &b);
@@ -167,13 +108,14 @@ mod tests {
             SpmmAlgo::Dense,
             SpmmAlgo::Auto,
         ] {
-            let got = spmm(&a, &b, algo);
+            let got = ctx.plan_spmm(&a, 64, algo).run(&b);
             assert_eq!(got.max_abs_diff(&want), 0.0, "{algo:?}");
         }
     }
 
     #[test]
     fn sddmm_algos_agree() {
+        let ctx = Context::builder().build();
         let a = gen::random_dense::<f16>(16, 64, Layout::RowMajor, 3);
         let b = gen::random_dense::<f16>(64, 64, Layout::ColMajor, 4);
         let mask = gen::random_pattern(16, 64, 4, 0.75, 5);
@@ -186,7 +128,7 @@ mod tests {
             SddmmAlgo::Wmma,
             SddmmAlgo::Auto,
         ] {
-            let got = sddmm(&a, &b, &mask, algo);
+            let got = ctx.plan_sddmm(&mask, 64, algo).run(&a, &b);
             for (g, w) in got.values().iter().zip(want.values()) {
                 assert_eq!(g, w, "{algo:?}");
             }

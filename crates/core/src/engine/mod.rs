@@ -28,7 +28,7 @@
 //! use vecsparse_formats::{gen, Layout};
 //! use vecsparse_fp16::f16;
 //!
-//! let ctx = Context::new();
+//! let ctx = Context::builder().build();
 //! let a = gen::random_vector_sparse::<f16>(32, 64, 4, 0.75, 1);
 //! let plan = ctx.plan_spmm(&a, 64, SpmmAlgo::Auto); // tunes once
 //! let b = gen::random_dense::<f16>(64, 64, Layout::RowMajor, 2);
@@ -144,6 +144,17 @@ pub struct EngineStats {
     pub cache_misses: u64,
     /// Plans built through this context.
     pub plans_built: u64,
+}
+
+impl EngineStats {
+    /// Fold another snapshot into this one — how `vecsparse-serve`
+    /// aggregates the per-worker shard contexts into one fleet view.
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.tuner_launches += other.tuner_launches;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.plans_built += other.plans_built;
+    }
 }
 
 /// Per-algorithm aggregate, keyed by the kernel label.
@@ -289,8 +300,8 @@ impl Counters {
 ///
 /// A `Context` is cheap to create but meant to be long-lived: the plan
 /// cache and tuning statistics live on it, so sharing one context across
-/// a pipeline (as [`crate::batch`]'s deprecated shims do *not*) is what
-/// turns repeated problems into cache hits.
+/// a pipeline is what turns repeated problems into cache hits. Construct
+/// via [`Context::builder`].
 pub struct Context {
     gpu: GpuConfig,
     cache: Mutex<HashMap<PlanKey, Choice>>,
@@ -303,52 +314,127 @@ pub struct Context {
 
 impl Default for Context {
     fn default() -> Self {
-        Self::new()
+        Self::builder().build()
     }
 }
 
-impl Context {
-    /// Handle on the default simulated device (full V100 shape).
-    pub fn new() -> Self {
-        Self::with_gpu(GpuConfig::default())
+/// Builder for [`Context`] — the single construction path that replaced
+/// the PR-2 constructor family (`new` / `with_gpu` / `with_telemetry` /
+/// `with_memoization`). Every knob is optional and composable:
+///
+/// ```
+/// use vecsparse::engine::Context;
+/// use vecsparse_gpu_sim::GpuConfig;
+///
+/// let ctx = Context::builder()
+///     .gpu(GpuConfig::small())
+///     .memoization()
+///     .build();
+/// assert!(ctx.memo_stats().is_some());
+/// ```
+///
+/// See DESIGN.md §2b for the migration table from the deprecated
+/// constructors.
+#[derive(Default)]
+pub struct ContextBuilder {
+    gpu: Option<GpuConfig>,
+    sink: Option<Arc<TraceSink>>,
+    memo: Option<Arc<WaveMemo>>,
+}
+
+impl ContextBuilder {
+    /// Plan for a specific simulated device (default: full V100 shape).
+    pub fn gpu(mut self, gpu: GpuConfig) -> Self {
+        self.gpu = Some(gpu);
+        self
     }
 
-    /// Handle on a specific simulated device.
-    pub fn with_gpu(gpu: GpuConfig) -> Self {
-        Self::with_telemetry(gpu, Arc::new(TraceSink::disabled()))
-    }
-
-    /// Handle with a telemetry sink. Every plan build, tune, stage and
-    /// run through this context records engine-level spans to `sink`,
+    /// Attach a telemetry sink. Every plan build, tune, stage and run
+    /// through the built context records engine-level spans to `sink`,
     /// and performance launches record their per-scheduler kernel
-    /// timelines beneath them. With a disabled sink this is exactly
-    /// [`Context::with_gpu`].
-    pub fn with_telemetry(gpu: GpuConfig, sink: Arc<TraceSink>) -> Self {
+    /// timelines beneath them. Default: a disabled sink (zero
+    /// perturbation).
+    pub fn telemetry(mut self, sink: Arc<TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Enable certified wave memoization: performance launches of kernels
+    /// whose wave equivalence [`certify`] proves are keyed by their
+    /// structural signature, simulated once per class, and replayed on
+    /// every later launch in the class. Functional runs and unprovable
+    /// kernels are unaffected. `VECSPARSE_AUDIT=n` re-simulates every
+    /// n-th memoized wave and asserts bit-identical timing.
+    ///
+    /// [`certify`]: vecsparse_waveprove::certify
+    pub fn memoization(mut self) -> Self {
+        self.memo = Some(Arc::new(WaveMemo::new()));
+        self
+    }
+
+    /// Enable memoization against an **externally owned** wave memoizer.
+    /// Several contexts built with clones of the same `Arc` share one
+    /// wave-artifact cache — the mechanism `vecsparse-serve` uses to let
+    /// every worker context of a shard replay waves any of them
+    /// simulated. Soundness is unaffected: the memo key already covers
+    /// machine config, program, operand structure, and pool layout.
+    pub fn shared_memoization(mut self, memo: Arc<WaveMemo>) -> Self {
+        self.memo = Some(memo);
+        self
+    }
+
+    /// Construct the handle.
+    pub fn build(self) -> Context {
+        let sink = self.sink.unwrap_or_else(|| Arc::new(TraceSink::disabled()));
         if sink.is_enabled() {
             sink.name_process(Track::ENGINE.pid, "engine");
             sink.name_thread(Track::ENGINE, "engine");
         }
         Context {
-            gpu,
+            gpu: self.gpu.unwrap_or_default(),
             cache: Mutex::new(HashMap::new()),
             counters: Arc::new(Counters::default()),
             sink,
-            memo: None,
+            memo: self.memo,
         }
     }
+}
 
-    /// Handle with certified wave memoization enabled: performance
-    /// launches of kernels whose wave equivalence [`certify`] proves are
-    /// keyed by their structural signature, simulated once per class, and
-    /// replayed on every later launch in the class. Functional runs and
-    /// unprovable kernels are unaffected. `VECSPARSE_AUDIT=n` re-simulates
-    /// every n-th memoized wave and asserts bit-identical timing.
-    ///
-    /// [`certify`]: vecsparse_waveprove::certify
+impl Context {
+    /// Start building a handle: device, telemetry, and memoization are
+    /// chained onto the returned [`ContextBuilder`].
+    pub fn builder() -> ContextBuilder {
+        ContextBuilder::default()
+    }
+
+    /// Handle on the default simulated device (full V100 shape).
+    #[deprecated(since = "0.3.0", note = "use `Context::builder().build()`")]
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// Handle on a specific simulated device.
+    #[deprecated(since = "0.3.0", note = "use `Context::builder().gpu(gpu).build()`")]
+    pub fn with_gpu(gpu: GpuConfig) -> Self {
+        Self::builder().gpu(gpu).build()
+    }
+
+    /// Handle with a telemetry sink.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Context::builder().gpu(gpu).telemetry(sink).build()`"
+    )]
+    pub fn with_telemetry(gpu: GpuConfig, sink: Arc<TraceSink>) -> Self {
+        Self::builder().gpu(gpu).telemetry(sink).build()
+    }
+
+    /// Handle with certified wave memoization enabled.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Context::builder().gpu(gpu).memoization().build()`"
+    )]
     pub fn with_memoization(gpu: GpuConfig) -> Self {
-        let mut ctx = Self::with_gpu(gpu);
-        ctx.enable_memoization();
-        ctx
+        Self::builder().gpu(gpu).memoization().build()
     }
 
     /// Enable certified wave memoization on this context (idempotent).
@@ -717,7 +803,7 @@ mod tests {
 
     #[test]
     fn fixed_algo_plan_never_tunes() {
-        let ctx = Context::with_gpu(GpuConfig::small());
+        let ctx = Context::builder().gpu(GpuConfig::small()).build();
         let a = gen::random_vector_sparse::<f16>(16, 32, 4, 0.6, 1);
         let b = gen::random_dense::<f16>(32, 64, Layout::RowMajor, 2);
         let plan = ctx.plan_spmm(&a, 64, SpmmAlgo::Octet);
@@ -731,7 +817,7 @@ mod tests {
 
     #[test]
     fn auto_tunes_once_per_descriptor() {
-        let ctx = Context::with_gpu(GpuConfig::small());
+        let ctx = Context::builder().gpu(GpuConfig::small()).build();
         let a = gen::random_vector_sparse::<f16>(32, 64, 4, 0.8, 3);
         let p1 = ctx.plan_spmm(&a, 64, SpmmAlgo::Auto);
         let after_first = ctx.stats();
@@ -748,7 +834,7 @@ mod tests {
 
     #[test]
     fn different_sparsity_retunes() {
-        let ctx = Context::with_gpu(GpuConfig::small());
+        let ctx = Context::builder().gpu(GpuConfig::small()).build();
         let sparse = gen::random_vector_sparse::<f16>(32, 64, 4, 0.9, 5);
         let dense_ish = gen::random_vector_sparse::<f16>(32, 64, 4, 0.3, 6);
         let _ = ctx.plan_spmm(&sparse, 64, SpmmAlgo::Auto);

@@ -35,7 +35,7 @@
 //! use vecsparse_fp16::f16;
 //!
 //! // A 64x128 sparse matrix with 4x1 column vectors at 80% sparsity.
-//! let ctx = Context::new();
+//! let ctx = Context::builder().build();
 //! let a = gen::random_vector_sparse::<f16>(64, 128, 4, 0.8, 7);
 //! let plan = ctx.plan_spmm(&a, 64, SpmmAlgo::Auto); // tuned + cached
 //! let b = gen::random_dense::<f16>(128, 64, Layout::RowMajor, 8);
@@ -43,8 +43,9 @@
 //! assert_eq!(c.rows(), 64);
 //! ```
 //!
-//! The free functions in [`api`] and [`batch`] survive as deprecated
-//! shims over one-shot contexts.
+//! The pre-engine free-function entry points (`api::spmm` and friends,
+//! `batch::spmm_batch`) have been removed; [`api`] now carries only the
+//! algorithm selectors.
 
 // Kernel and backprop code index several parallel arrays in lock-step;
 // iterator-zip rewrites of those loops hurt readability, so the indexed
@@ -53,7 +54,6 @@
 #![allow(clippy::manual_is_multiple_of)]
 
 pub mod api;
-pub mod batch;
 pub mod engine;
 pub mod registry;
 pub mod sddmm;

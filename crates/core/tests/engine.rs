@@ -1,8 +1,8 @@
 //! Integration tests for the engine's plan/cache/tuner workflow: cache
 //! hit/miss accounting, bit-identity of planned execution against the
 //! scalar references for every algorithm (including `Auto`), batch
-//! semantics, and the cached-plan performance claim against the
-//! deprecated per-call batch path.
+//! semantics, and the cached-plan performance claim against the legacy
+//! throwaway-context-per-element batch path.
 
 use proptest::prelude::*;
 use std::time::Instant;
@@ -28,7 +28,7 @@ fn vs_params() -> impl Strategy<Value = (usize, usize, usize, f64, u64)> {
 
 #[test]
 fn one_shot_auto_goes_through_the_plan_cache() {
-    let ctx = Context::with_gpu(GpuConfig::small());
+    let ctx = Context::builder().gpu(GpuConfig::small()).build();
     let a = gen::random_vector_sparse::<f16>(32, 64, 4, 0.8, 9);
     let b = gen::random_dense::<f16>(64, 32, Layout::RowMajor, 10);
     let _ = ctx.spmm(&a, &b, SpmmAlgo::Auto);
@@ -48,7 +48,7 @@ fn one_shot_auto_goes_through_the_plan_cache() {
 
 #[test]
 fn sddmm_auto_caches_per_descriptor_too() {
-    let ctx = Context::with_gpu(GpuConfig::small());
+    let ctx = Context::builder().gpu(GpuConfig::small()).build();
     let mask = gen::random_pattern(32, 48, 4, 0.7, 11);
     let a = gen::random_dense::<f16>(32, 32, Layout::RowMajor, 12);
     let b = gen::random_dense::<f16>(32, 48, Layout::ColMajor, 13);
@@ -63,7 +63,7 @@ fn sddmm_auto_caches_per_descriptor_too() {
 
 #[test]
 fn spmm_batch_matches_sequential_runs() {
-    let ctx = Context::with_gpu(GpuConfig::small());
+    let ctx = Context::builder().gpu(GpuConfig::small()).build();
     let a = gen::random_vector_sparse::<f16>(32, 64, 4, 0.8, 20);
     let batch: Vec<_> = (0..6u64)
         .map(|i| gen::random_dense::<f16>(64, 40, Layout::RowMajor, 21 + i))
@@ -79,7 +79,7 @@ fn spmm_batch_matches_sequential_runs() {
 
 #[test]
 fn sddmm_batch_matches_sequential_runs() {
-    let ctx = Context::with_gpu(GpuConfig::small());
+    let ctx = Context::builder().gpu(GpuConfig::small()).build();
     let mask = gen::random_pattern(32, 48, 4, 0.6, 30);
     let a_batch: Vec<_> = (0..4u64)
         .map(|i| gen::random_dense::<f16>(32, 32, Layout::RowMajor, 31 + i))
@@ -96,17 +96,18 @@ fn sddmm_batch_matches_sequential_runs() {
 }
 
 /// The ISSUE's headline perf claim: re-executing a cached plan over a
-/// 16-element batch launches the tuner zero times and beats the
-/// deprecated `spmm_batch` (which re-plans, re-encodes, and re-tunes per
-/// element) by at least 2x host wall time.
+/// 16-element batch launches the tuner zero times and beats the legacy
+/// batch path (the removed `batch::spmm_batch`, inlined here: a fresh
+/// throwaway context per element, re-planning, re-encoding and
+/// re-tuning each time) by at least 2x host wall time.
 #[test]
-fn cached_plan_batch_beats_deprecated_batch() {
+fn cached_plan_batch_beats_legacy_batch() {
     let a = gen::random_vector_sparse::<f16>(64, 128, 4, 0.9, 50);
     let batch: Vec<_> = (0..16u64)
         .map(|i| gen::random_dense::<f16>(128, 64, Layout::RowMajor, 51 + i))
         .collect();
 
-    let ctx = Context::new();
+    let ctx = Context::builder().build();
     let plan = ctx.plan_spmm(&a, 64, SpmmAlgo::Auto);
     let warm = plan.run_batch(&batch); // first run: already staged + tuned
     let launches_before = ctx.stats().tuner_launches;
@@ -121,8 +122,15 @@ fn cached_plan_batch_beats_deprecated_batch() {
     );
 
     let t1 = Instant::now();
-    #[allow(deprecated)]
-    let legacy = vecsparse::batch::spmm_batch(&a, &batch, SpmmAlgo::Auto);
+    let legacy: Vec<_> = batch
+        .iter()
+        .map(|b| {
+            Context::builder()
+                .build()
+                .plan_spmm(&a, b.cols(), SpmmAlgo::Auto)
+                .run(b)
+        })
+        .collect();
     let legacy_time = t1.elapsed();
 
     for ((w, c), l) in warm.iter().zip(&cached).zip(&legacy) {
@@ -140,7 +148,7 @@ fn cached_plan_batch_beats_deprecated_batch() {
 /// worst fixed algorithm on (scaled-down) Fig. 17 sweep shapes.
 #[test]
 fn auto_never_profiles_worse_than_worst_fixed() {
-    let ctx = Context::with_gpu(GpuConfig::small());
+    let ctx = Context::builder().gpu(GpuConfig::small()).build();
     let shapes: &[(usize, usize, usize, f64)] = &[
         (64, 128, 2, 0.7),
         (64, 128, 4, 0.9),
@@ -177,7 +185,7 @@ proptest! {
     /// a structural surrogate, not an exact kernel — see DESIGN.md).
     #[test]
     fn spmm_plan_matches_reference_for_every_algo((rows, cols, v, s, seed) in vs_params()) {
-        let ctx = Context::with_gpu(GpuConfig::small());
+        let ctx = Context::builder().gpu(GpuConfig::small()).build();
         let a = gen::random_vector_sparse::<f16>(rows, cols, v, s, seed);
         let b = gen::random_dense::<f16>(cols, 48, Layout::RowMajor, seed ^ 1);
         let want = reference::spmm_vs(&a, &b);
@@ -196,7 +204,7 @@ proptest! {
     /// Same bit-identity for every SDDMM algorithm, including `Auto`.
     #[test]
     fn sddmm_plan_matches_reference_for_every_algo((rows, cols, v, s, seed) in vs_params()) {
-        let ctx = Context::with_gpu(GpuConfig::small());
+        let ctx = Context::builder().gpu(GpuConfig::small()).build();
         let mask = gen::random_pattern(rows, cols, v, s, seed);
         let a = gen::random_dense::<f16>(rows, 32, Layout::RowMajor, seed ^ 2);
         let b = gen::random_dense::<f16>(32, cols, Layout::ColMajor, seed ^ 3);

@@ -17,7 +17,7 @@
 //! use vecsparse_formats::{gen, Layout};
 //! use vecsparse_fp16::f16;
 //!
-//! let ctx = Context::new();
+//! let ctx = Context::builder().build();
 //! let a = gen::random_vector_sparse::<f16>(16, 32, 4, 0.5, 1);
 //! let plan = ctx.plan_spmm(&a, 32, SpmmAlgo::Octet);
 //! let b = gen::random_dense::<f16>(32, 32, Layout::RowMajor, 2);
@@ -29,7 +29,7 @@
 //! that panic with the same message.
 
 // The handle/plan API.
-pub use vecsparse::engine::{Context, SddmmDesc, SddmmPlan, SpmmDesc, SpmmPlan};
+pub use vecsparse::engine::{Context, ContextBuilder, SddmmDesc, SddmmPlan, SpmmDesc, SpmmPlan};
 // Errors, metrics, and cache introspection.
 pub use vecsparse::engine::{
     AlgoReport, BatchProfile, EngineError, EngineStats, OpKind, PlanKey, Report,

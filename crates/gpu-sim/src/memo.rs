@@ -95,6 +95,19 @@ pub struct MemoStats {
 }
 
 impl MemoStats {
+    /// Fold another snapshot into this one. `vecsparse-serve` shards one
+    /// memoizer per cache shard and merges the shard counters into a
+    /// fleet-wide view; `wave_entries` sums because shards never share
+    /// entries.
+    pub fn absorb(&mut self, other: &MemoStats) {
+        self.wave_hits += other.wave_hits;
+        self.wave_misses += other.wave_misses;
+        self.audits += other.audits;
+        self.launch_hits += other.launch_hits;
+        self.launch_misses += other.launch_misses;
+        self.wave_entries += other.wave_entries;
+    }
+
     /// Hit fraction over all wave + launch probes (0 when none).
     pub fn hit_rate(&self) -> f64 {
         let hits = self.wave_hits + self.launch_hits;

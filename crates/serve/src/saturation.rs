@@ -1,0 +1,179 @@
+//! Deterministic open-loop saturation model: offered load vs latency.
+//!
+//! Wall-clock measurement of a saturation sweep is noisy and
+//! machine-dependent; the acceptance criterion here is a *monotone*
+//! offered-load-vs-p99 curve with a measurable knee. So the sweep is a
+//! virtual-time queueing model instead: Poisson arrivals served FCFS by
+//! `k` servers whose service times come from the cycle-accurate
+//! simulator (the timing oracle), not from host timers.
+//!
+//! Monotonicity is by construction, not luck: one set of unit-rate
+//! exponential inter-arrival draws is shared by every offered-load
+//! point and merely *scaled* by `1/λ`, and the service-time sequence is
+//! assigned by request index. Raising λ therefore only moves every
+//! arrival earlier on the same sample path, which can only lengthen
+//! FCFS waits — the classic coupling argument — so p99 never decreases
+//! as offered load grows, and the knee is where the wait term starts to
+//! dominate the flat service-time floor.
+
+use crate::stats::percentile;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One measured point of the saturation curve.
+#[derive(Clone, Copy, Debug)]
+pub struct SaturationPoint {
+    /// Offered load, requests per second.
+    pub offered_rps: f64,
+    /// Requests simulated at this load.
+    pub served: usize,
+    /// Median latency (queue wait + service), milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean latency, milliseconds.
+    pub mean_ms: f64,
+    /// Busy fraction of the server pool over the makespan, 0..1.
+    pub utilization: f64,
+}
+
+/// Convert a simulated kernel cycle count to milliseconds of service
+/// time at a device clock of `ghz` GHz (the simulator reports cycles;
+/// the queueing model needs time).
+pub fn service_time_ms(cycles: f64, ghz: f64) -> f64 {
+    cycles / (ghz * 1e6)
+}
+
+/// Simulate the open-loop sweep: for every offered load in
+/// `offered_rps`, push `requests` Poisson arrivals through a `servers`-
+/// wide FCFS pool whose service times cycle through `service_ms` by
+/// request index. Deterministic in `seed`; see the module docs for why
+/// the resulting p99 column is monotone in offered load.
+///
+/// # Panics
+/// Panics if `service_ms` is empty, `servers` is 0, or `requests` is 0.
+pub fn saturation_curve(
+    service_ms: &[f64],
+    offered_rps: &[f64],
+    requests: usize,
+    servers: usize,
+    seed: u64,
+) -> Vec<SaturationPoint> {
+    assert!(!service_ms.is_empty(), "need at least one service time");
+    assert!(servers > 0, "need at least one server");
+    assert!(requests > 0, "need at least one request");
+    // One shared unit-rate exponential sample path (inverse-CDF draws).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let unit_gaps: Vec<f64> = (0..requests)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>();
+            -(1.0 - u).ln()
+        })
+        .collect();
+    offered_rps
+        .iter()
+        .map(|&rps| {
+            let mean_gap_ms = 1000.0 / rps;
+            let mut free = vec![0.0f64; servers];
+            let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
+            let mut arrival = 0.0f64;
+            let mut busy_ms = 0.0f64;
+            let mut makespan = 0.0f64;
+            for (i, gap) in unit_gaps.iter().enumerate() {
+                arrival += gap * mean_gap_ms;
+                let svc = service_ms[i % service_ms.len()];
+                // Greedy FCFS: the earliest-free server takes the job.
+                let j = free
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(j, _)| j)
+                    .expect("servers > 0");
+                let start = arrival.max(free[j]);
+                let finish = start + svc;
+                free[j] = finish;
+                busy_ms += svc;
+                makespan = makespan.max(finish);
+                latencies_us.push(((finish - arrival) * 1000.0).round() as u64);
+            }
+            latencies_us.sort_unstable();
+            let mean_us = latencies_us.iter().sum::<u64>() as f64 / latencies_us.len() as f64;
+            SaturationPoint {
+                offered_rps: rps,
+                served: requests,
+                p50_ms: percentile(&latencies_us, 50.0) as f64 / 1000.0,
+                p99_ms: percentile(&latencies_us, 99.0) as f64 / 1000.0,
+                mean_ms: mean_us / 1000.0,
+                utilization: (busy_ms / (servers as f64 * makespan)).min(1.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads() -> Vec<f64> {
+        // 4 servers at mean 1.25 ms service saturate near 3200 rps;
+        // sweep from 1/8th of capacity to 2x over it.
+        (1..=16).map(|i| 400.0 * i as f64).collect()
+    }
+
+    #[test]
+    fn p99_is_monotone_in_offered_load() {
+        let svc = [1.0, 2.0, 0.5, 1.5];
+        let curve = saturation_curve(&svc, &loads(), 400, 4, 7);
+        for pair in curve.windows(2) {
+            assert!(
+                pair[1].p99_ms >= pair[0].p99_ms,
+                "p99 regressed: {} rps -> {} ms, {} rps -> {} ms",
+                pair[0].offered_rps,
+                pair[0].p99_ms,
+                pair[1].offered_rps,
+                pair[1].p99_ms
+            );
+        }
+    }
+
+    #[test]
+    fn curve_has_a_measurable_knee() {
+        let svc = [1.0, 2.0, 0.5, 1.5];
+        let curve = saturation_curve(&svc, &loads(), 400, 4, 7);
+        // Under light load latency sits on the service-time floor; the
+        // tail of the sweep runs at 2x the pool's capacity, where the
+        // wait term must have grown well clear of that floor.
+        let floor = curve.first().unwrap().p99_ms;
+        let tail = curve.last().unwrap().p99_ms;
+        assert!(
+            tail >= 2.0 * floor,
+            "no knee: floor {floor} ms, tail {tail} ms"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let svc = [0.8, 1.2];
+        let a = saturation_curve(&svc, &[100.0, 400.0], 200, 2, 3);
+        let b = saturation_curve(&svc, &[100.0, 400.0], 200, 2, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.p99_ms, y.p99_ms);
+            assert_eq!(x.mean_ms, y.mean_ms);
+        }
+        let c = saturation_curve(&svc, &[100.0, 400.0], 200, 2, 4);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.mean_ms != y.mean_ms));
+    }
+
+    #[test]
+    fn utilization_approaches_one_past_saturation() {
+        let svc = [1.0];
+        let curve = saturation_curve(&svc, &[100.0, 10_000.0], 500, 2, 1);
+        assert!(curve[0].utilization < 0.2);
+        assert!(curve[1].utilization > 0.9);
+    }
+
+    #[test]
+    fn cycles_convert_at_the_nominal_clock() {
+        // 1.53e6 cycles at 1.53 GHz is exactly one millisecond.
+        assert!((service_time_ms(1.53e6, 1.53) - 1.0).abs() < 1e-12);
+    }
+}

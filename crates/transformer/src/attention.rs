@@ -163,7 +163,7 @@ pub fn sparse_attention_latency_traced(
     cfg: &AttentionConfig,
     sink: Arc<TraceSink>,
 ) -> AttentionLatency {
-    let ctx = Context::with_telemetry(gpu.clone(), sink);
+    let ctx = Context::builder().gpu(gpu.clone()).telemetry(sink).build();
     let l = cfg.seq_len;
     let d = cfg.head_dim;
     let mask = cfg.mask(0x7A);
@@ -252,7 +252,7 @@ mod tests {
         let q = gen::random_dense::<f16>(64, 32, Layout::RowMajor, 1);
         let k = gen::random_dense::<f16>(64, 32, Layout::RowMajor, 2);
         let v = gen::random_dense::<f16>(64, 32, Layout::RowMajor, 3);
-        let ctx = Context::with_gpu(gpu.clone());
+        let ctx = Context::builder().gpu(gpu.clone()).build();
         let got = sparse_attention_head(&ctx, &q, &k, &v, &mask);
         let want = dense_attention_reference(&q, &k, &v, &mask);
         // Softmax goes through exp(); allow a few half-precision ulps.

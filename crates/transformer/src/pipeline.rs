@@ -209,7 +209,9 @@ mod tests {
 
     #[test]
     fn one_layer_matches_reference() {
-        let ctx = Context::with_gpu(vecsparse_gpu_sim::GpuConfig::small());
+        let ctx = Context::builder()
+            .gpu(vecsparse_gpu_sim::GpuConfig::small())
+            .build();
         let enc = SparseEncoder::random(small_cfg(), 1, 7);
         let x = gen::random_dense::<f16>(32, 32, Layout::RowMajor, 8);
         let got = enc.forward(&ctx, &x);
@@ -229,7 +231,9 @@ mod tests {
 
     #[test]
     fn stack_composes() {
-        let ctx = Context::with_gpu(vecsparse_gpu_sim::GpuConfig::small());
+        let ctx = Context::builder()
+            .gpu(vecsparse_gpu_sim::GpuConfig::small())
+            .build();
         let enc = SparseEncoder::random(small_cfg(), 2, 9);
         let x = gen::random_dense::<f16>(32, 32, Layout::RowMajor, 10);
         let y = enc.forward(&ctx, &x);
@@ -249,7 +253,10 @@ mod tests {
         use vecsparse_gpu_sim::TraceSink;
 
         let sink = Arc::new(TraceSink::enabled(1 << 16));
-        let ctx = Context::with_telemetry(vecsparse_gpu_sim::GpuConfig::small(), Arc::clone(&sink));
+        let ctx = Context::builder()
+            .gpu(vecsparse_gpu_sim::GpuConfig::small())
+            .telemetry(Arc::clone(&sink))
+            .build();
         let enc = SparseEncoder::random(small_cfg(), 1, 7);
         let x = gen::random_dense::<f16>(32, 32, Layout::RowMajor, 8);
         enc.forward(&ctx, &x);
@@ -268,7 +275,9 @@ mod tests {
             .iter()
             .any(|(pid, name)| *pid == 0 && name == "engine"));
         // An untraced context records nothing (zero-overhead default).
-        let quiet = Context::with_gpu(vecsparse_gpu_sim::GpuConfig::small());
+        let quiet = Context::builder()
+            .gpu(vecsparse_gpu_sim::GpuConfig::small())
+            .build();
         enc.forward(&quiet, &x);
         assert!(quiet.sink().events().is_empty());
     }

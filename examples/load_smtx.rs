@@ -39,7 +39,7 @@ fn main() {
 
     // Fig. 16: the row pointers and column indices become *vector*
     // pointers/indices; each indexed position gets a random V-vector.
-    let ctx = Context::with_gpu(GpuConfig::default());
+    let ctx = Context::builder().gpu(GpuConfig::default()).build();
     let n = 256;
     for v in [2usize, 4, 8] {
         let a = smtx.to_vector_sparse::<f16>(v, 11);

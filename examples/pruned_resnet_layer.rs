@@ -13,7 +13,7 @@ use vecsparse_dlmc::{resnet50_shapes, Benchmark, SPARSITIES};
 use vecsparse_gpu_sim::GpuConfig;
 
 fn main() {
-    let ctx = Context::with_gpu(GpuConfig::default());
+    let ctx = Context::builder().gpu(GpuConfig::default()).build();
     let shape = resnet50_shapes()
         .into_iter()
         .find(|s| s.name == "conv4_3x3")

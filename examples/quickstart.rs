@@ -29,7 +29,7 @@ fn main() {
 
     // Functional execution through the TCU-based 1-D Octet Tiling kernel.
     // A plan encodes and stages A once; repeated runs reuse the staging.
-    let ctx = Context::new();
+    let ctx = Context::builder().build();
     let plan = ctx.plan_spmm(&a, b.cols(), SpmmAlgo::Octet);
     let c = plan.run(&b);
     let want = reference::spmm_vs(&a, &b);
@@ -42,7 +42,7 @@ fn main() {
 
     // Performance model: compare against every baseline on a V100-like
     // device, then let the tuner pick for us.
-    let ctx = Context::with_gpu(GpuConfig::default());
+    let ctx = Context::builder().gpu(GpuConfig::default()).build();
     let dense = ctx.profile_spmm(&a, &b, SpmmAlgo::Dense);
     println!();
     println!("cycles on the simulated V100 (lower is better):");

@@ -18,7 +18,7 @@ use vecsparse_transformer::AttentionConfig;
 
 fn main() {
     let gpu = GpuConfig::default();
-    let ctx = Context::with_gpu(gpu.clone());
+    let ctx = Context::builder().gpu(gpu.clone()).build();
 
     // Functional check on a small head.
     let cfg_small = AttentionConfig {

@@ -45,9 +45,9 @@ fn snapshot() -> Snapshot {
 fn snapshot_with(memoize: bool) -> Snapshot {
     let gpu = GpuConfig::small();
     let ctx = if memoize {
-        Context::with_memoization(gpu.clone())
+        Context::builder().gpu(gpu.clone()).memoization().build()
     } else {
-        Context::with_gpu(gpu.clone())
+        Context::builder().gpu(gpu.clone()).build()
     };
 
     // SpMM: functional single run + batch fan-out + performance profile.
@@ -180,7 +180,7 @@ fn memoized_artifacts_match_honest_baseline_across_thread_counts() {
 #[test]
 fn batch_fan_out_matches_sequential_runs() {
     set_threads(4);
-    let ctx = Context::with_gpu(GpuConfig::small());
+    let ctx = Context::builder().gpu(GpuConfig::small()).build();
     let a = gen::random_vector_sparse::<f16>(16, 32, 4, 0.75, 21);
     let plan = ctx.plan_spmm(&a, 32, SpmmAlgo::Octet);
     let batch: Vec<DenseMatrix<f16>> = (0..7)
@@ -212,13 +212,13 @@ proptest! {
         let b = gen::random_dense::<f16>(k, n, Layout::RowMajor, seed + 1);
 
         set_threads(1);
-        let ctx1 = Context::with_gpu(GpuConfig::small());
+        let ctx1 = Context::builder().gpu(GpuConfig::small()).build();
         let plan1 = ctx1.plan_spmm(&a, n, SpmmAlgo::Octet);
         let out_seq = plan1.run(&b);
         let cycles_seq = plan1.profile(&b).cycles;
 
         set_threads(threads);
-        let ctx2 = Context::with_gpu(GpuConfig::small());
+        let ctx2 = Context::builder().gpu(GpuConfig::small()).build();
         let plan2 = ctx2.plan_spmm(&a, n, SpmmAlgo::Octet);
         let out_par = plan2.run(&b);
         let cycles_par = plan2.profile(&b).cycles;

@@ -28,7 +28,7 @@ fn spmm_stack_on_dlmc_benchmark() {
     );
     let b = gen::random_dense::<f16>(bench.cols(), 64, Layout::RowMajor, 1);
     let want = reference::spmm_vs(&bench.matrix, &b);
-    let ctx = Context::new();
+    let ctx = Context::builder().build();
     for algo in [
         SpmmAlgo::Octet,
         SpmmAlgo::FpuSubwarp,
@@ -47,7 +47,7 @@ fn sddmm_stack_agrees() {
     let bt = gen::random_dense::<f16>(64, 96, Layout::ColMajor, 3);
     let mask = gen::random_pattern(32, 96, 8, 0.75, 4);
     let want = reference::sddmm(&a, &bt, &mask);
-    let ctx = Context::new();
+    let ctx = Context::builder().build();
     for algo in [
         SddmmAlgo::OctetReg,
         SddmmAlgo::OctetShfl,
@@ -80,7 +80,7 @@ fn attention_pipeline_end_to_end() {
     let q = gen::random_dense::<f16>(96, 32, Layout::RowMajor, 6);
     let k = gen::random_dense::<f16>(96, 32, Layout::RowMajor, 7);
     let v = gen::random_dense::<f16>(96, 32, Layout::RowMajor, 8);
-    let got = sparse_attention_head(&Context::with_gpu(gpu), &q, &k, &v, &mask);
+    let got = sparse_attention_head(&Context::builder().gpu(gpu).build(), &q, &k, &v, &mask);
     let want = dense_attention_reference(&q, &k, &v, &mask);
     assert!(
         got.max_abs_diff(&want) < 5e-3,
@@ -96,7 +96,9 @@ fn sddmm_then_softmax_rows_sum_to_one() {
     let a = gen::random_dense::<f16>(32, 64, Layout::RowMajor, 9);
     let bt = gen::random_dense::<f16>(64, 64, Layout::ColMajor, 10);
     let mask = gen::random_pattern(32, 64, 4, 0.8, 11);
-    let scores = Context::new().sddmm(&a, &bt, &mask, SddmmAlgo::OctetArch);
+    let scores = Context::builder()
+        .build()
+        .sddmm(&a, &bt, &mask, SddmmAlgo::OctetArch);
     let probs = softmax_vs(&gpu, &scores);
     let p = probs.pattern();
     for br in 0..p.block_rows() {
@@ -125,7 +127,7 @@ fn performance_orderings_hold() {
         0.9,
     );
     let b = gen::random_dense::<f16>(bench.cols(), 256, Layout::RowMajor, 12);
-    let ctx = Context::with_gpu(gpu);
+    let ctx = Context::builder().gpu(gpu).build();
     let octet = ctx.profile_spmm(&bench.matrix, &b, SpmmAlgo::Octet);
     let fpu = ctx.profile_spmm(&bench.matrix, &b, SpmmAlgo::FpuSubwarp);
     let ell = ctx.profile_spmm(&bench.matrix, &b, SpmmAlgo::BlockedEll);
@@ -162,7 +164,7 @@ fn sddmm_arch_variant_is_best() {
     let a = gen::random_dense::<f16>(512, 256, Layout::RowMajor, 13);
     let bt = gen::random_dense::<f16>(256, 512, Layout::ColMajor, 14);
     let mask = gen::random_pattern(512, 512, 8, 0.9, 15);
-    let ctx = Context::with_gpu(gpu);
+    let ctx = Context::builder().gpu(gpu).build();
     let arch = ctx.profile_sddmm(&a, &bt, &mask, SddmmAlgo::OctetArch);
     let reg = ctx.profile_sddmm(&a, &bt, &mask, SddmmAlgo::OctetReg);
     let shfl = ctx.profile_sddmm(&a, &bt, &mask, SddmmAlgo::OctetShfl);
@@ -208,7 +210,7 @@ fn empty_block_rows_are_fine() {
     let a = VectorSparse::new(pattern, values);
     let b = gen::random_dense::<f16>(16, 64, Layout::RowMajor, 20);
     let want = reference::spmm_vs(&a, &b);
-    let ctx = Context::new();
+    let ctx = Context::builder().build();
     let got = ctx.spmm(&a, &b, SpmmAlgo::Octet);
     assert_eq!(got.max_abs_diff(&want), 0.0);
     let got_fpu = ctx.spmm(&a, &b, SpmmAlgo::FpuSubwarp);
@@ -220,7 +222,7 @@ fn empty_block_rows_are_fine() {
 #[test]
 fn unaligned_rhs_width() {
     let a = gen::random_vector_sparse::<f16>(16, 64, 4, 0.6, 21);
-    let ctx = Context::new();
+    let ctx = Context::builder().build();
     for n in [40usize, 72, 100] {
         let b = gen::random_dense::<f16>(64, n, Layout::RowMajor, 22);
         let want = reference::spmm_vs(&a, &b);
@@ -264,7 +266,7 @@ fn row_sparse_case2() {
     let a = gen::fill_pattern::<f16>(pattern.clone(), 24);
     let b = gen::random_dense::<f16>(48, 64, Layout::RowMajor, 25);
     let want = reference::spmm_vs(&a, &b);
-    let ctx = Context::new();
+    let ctx = Context::builder().build();
     let got = ctx.spmm(&a, &b, SpmmAlgo::Octet);
     assert_eq!(got.max_abs_diff(&want), 0.0);
     // And as an SDDMM mask.
@@ -312,7 +314,7 @@ fn unaligned_rhs_all_kernels() {
     let a = gen::random_vector_sparse::<f16>(16, 64, 4, 0.7, 32);
     let b = gen::random_dense::<f16>(64, 88, Layout::RowMajor, 33);
     let want = reference::spmm_vs(&a, &b);
-    let ctx = Context::new();
+    let ctx = Context::builder().build();
     for algo in [SpmmAlgo::Octet, SpmmAlgo::FpuSubwarp] {
         let got = ctx.spmm(&a, &b, algo);
         assert_eq!(got.max_abs_diff(&want), 0.0, "{algo:?}");
@@ -334,7 +336,7 @@ fn extrapolation_scales_with_grid() {
     let b = gen::random_dense::<f16>(256, 256, Layout::RowMajor, 40);
     let small = gen::random_vector_sparse::<f16>(1024, 256, 4, 0.9, 41);
     let big = gen::random_vector_sparse::<f16>(4096, 256, 4, 0.9, 41);
-    let ctx = Context::with_gpu(gpu);
+    let ctx = Context::builder().gpu(gpu).build();
     let ps = ctx.profile_spmm(&small, &b, SpmmAlgo::Octet);
     let pb = ctx.profile_spmm(&big, &b, SpmmAlgo::Octet);
     assert_eq!(pb.grid, 4 * ps.grid);
@@ -349,7 +351,7 @@ fn extrapolation_scales_with_grid() {
 fn cycles_monotone_in_sparsity() {
     let gpu = GpuConfig::default();
     let b = gen::random_dense::<f16>(512, 256, Layout::RowMajor, 42);
-    let ctx = Context::with_gpu(gpu);
+    let ctx = Context::builder().gpu(gpu).build();
     let mut last = f64::INFINITY;
     for s in [0.5, 0.7, 0.9, 0.98] {
         let a = gen::random_vector_sparse::<f16>(1024, 512, 4, s, 43);

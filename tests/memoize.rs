@@ -47,9 +47,12 @@ fn run_stack(
     seed: u64,
 ) -> Artifacts {
     let ctx = if memoize {
-        Context::with_memoization(GpuConfig::small())
+        Context::builder()
+            .gpu(GpuConfig::small())
+            .memoization()
+            .build()
     } else {
-        Context::with_gpu(GpuConfig::small())
+        Context::builder().gpu(GpuConfig::small()).build()
     };
     let a = gen::random_vector_sparse::<f16>(m, k, v, sparsity, seed);
     let b = gen::random_dense::<f16>(k, n, Layout::RowMajor, seed + 1);

@@ -189,7 +189,7 @@ proptest! {
     /// SpMM is linear in A: scaling all values scales the output.
     #[test]
     fn spmm_scales_linearly((rows, cols, v, s, seed) in vs_params()) {
-        let ctx = Context::new();
+        let ctx = Context::builder().build();
         let a = gen::random_vector_sparse::<f16>(rows, cols, v, s, seed);
         let b = gen::random_dense::<f16>(cols, 32, Layout::RowMajor, seed ^ 5);
         let c1 = ctx.spmm(&a, &b, SpmmAlgo::Octet);

@@ -13,7 +13,7 @@ use vecsparse_telemetry::perfetto;
 
 #[test]
 fn try_plan_rejects_malformed_inputs() {
-    let ctx = Context::with_gpu(GpuConfig::small());
+    let ctx = Context::builder().gpu(GpuConfig::small()).build();
     let a = gen::random_vector_sparse::<f16>(32, 64, 4, 0.7, 1);
 
     match ctx.try_plan_spmm(&a, 0, SpmmAlgo::Octet) {
@@ -39,7 +39,7 @@ fn try_plan_rejects_malformed_inputs() {
 
 #[test]
 fn try_run_rejects_mismatched_operands() {
-    let ctx = Context::with_gpu(GpuConfig::small());
+    let ctx = Context::builder().gpu(GpuConfig::small()).build();
     let a = gen::random_vector_sparse::<f16>(32, 64, 4, 0.7, 1);
     let plan = ctx
         .try_plan_spmm(&a, 16, SpmmAlgo::Octet)
@@ -109,7 +109,10 @@ fn perfetto_export_has_engine_spans_over_scheduler_tracks() {
     let gpu = GpuConfig::small();
     let schedulers = gpu.schedulers_per_sm;
     let sink = Arc::new(TraceSink::enabled(1 << 16));
-    let ctx = Context::with_telemetry(gpu, Arc::clone(&sink));
+    let ctx = Context::builder()
+        .gpu(gpu)
+        .telemetry(Arc::clone(&sink))
+        .build();
 
     let a = gen::random_vector_sparse::<f16>(64, 64, 4, 0.8, 1);
     let b = gen::random_dense::<f16>(64, 32, Layout::RowMajor, 2);
