@@ -15,7 +15,7 @@ use vecsparse_bench::{device, f2, Table};
 use vecsparse_dlmc::{Benchmark, LayerShape};
 use vecsparse_formats::{gen, Layout};
 use vecsparse_fp16::f16;
-use vecsparse_gpu_sim::{launch, MemPool, Mode};
+use vecsparse_gpu_sim::{Launch, MemPool, Mode};
 
 fn main() {
     let gpu = device();
@@ -36,7 +36,10 @@ fn main() {
             let kernel = OctetSpmm::new(&mut mem, &bench.matrix, &b, Mode::Performance)
                 .with_truncated_hmma(truncated)
                 .with_ilp_batching(ilp);
-            launch(&gpu, &mut mem, &kernel, Mode::Performance)
+            Launch::new(&mut mem, &kernel)
+                .gpu(&gpu)
+                .performance()
+                .run()
                 .profile
                 .expect("profile")
         };

@@ -5,7 +5,7 @@
 //! cargo run --release -p vecsparse-bench --bin serve-load -- \
 //!     [--quick] [--jobs J] [--requests R] [--points P] [--workers W] \
 //!     [--shards S] [--max-batch B] [--n N] [--seed SEED] \
-//!     [--json serve.json] [--diff]
+//!     [--timing tick|event] [--json serve.json] [--diff]
 //! ```
 //!
 //! Two stages, mirroring how the ISSUE's acceptance criteria are split:
@@ -29,7 +29,10 @@
 //!    binary asserts the p99 column is finite and monotone and that the
 //!    curve has a measurable knee (tail ≥ 2× the light-load floor).
 //!
-//! `--json PATH` writes the schema-v6 `kind: "serve_saturation"`
+//! `--timing event` runs every worker context's simulator in
+//! event-driven timing mode; all served artifacts stay bit-identical.
+//!
+//! `--json PATH` writes the schema-v7 `kind: "serve_saturation"`
 //! document (round-tripped through a JSON parser before it is written,
 //! like the sweep binary) for the CI serve-gate.
 
@@ -41,6 +44,7 @@ use vecsparse_bench::{device, f2, Table};
 use vecsparse_dlmc::{resnet50_shapes, Benchmark};
 use vecsparse_formats::{gen, DenseMatrix, Layout};
 use vecsparse_fp16::f16;
+use vecsparse_gpu_sim::TimingMode;
 use vecsparse_serve::{
     saturation_curve, service_time_ms, JobRequest, ServeConfig, Server, TenantSpec,
 };
@@ -75,6 +79,12 @@ fn main() {
     let max_batch = (arg("--max-batch", 8.0) as usize).max(1);
     let n = arg("--n", if quick { 32.0 } else { 64.0 }) as usize;
     let seed = arg("--seed", 42.0) as u64;
+    let timing = arg_str("--timing")
+        .map(|s| {
+            TimingMode::parse(&s)
+                .unwrap_or_else(|| panic!("--timing must be tick or event, got {s:?}"))
+        })
+        .unwrap_or_default();
     let json_path = arg_str("--json");
     let diff = std::env::args().any(|a| a == "--diff");
 
@@ -98,6 +108,7 @@ fn main() {
         .shards(shards)
         .max_batch(max_batch)
         .gpu(gpu.clone())
+        .timing(timing)
         .memoization();
     for (name, weight) in tenants {
         cfg = cfg.tenant(TenantSpec::new(name).weight(weight));
@@ -154,7 +165,7 @@ fn main() {
 
     if diff {
         // Served results must be bit-identical to a direct engine call.
-        let direct = Context::builder().gpu(gpu.clone()).build();
+        let direct = Context::builder().gpu(gpu.clone()).timing(timing).build();
         for (out, (a, b)) in served.iter().zip(&replay) {
             let want = direct.plan_spmm(a, b.cols(), SpmmAlgo::Auto).run(b);
             assert_eq!(out, &want, "served output differs from direct Context::run");
@@ -168,7 +179,7 @@ fn main() {
     // ---- Stage 2: deterministic saturation sweep ------------------------
     // One profile per distinct shape through the engine: the simulator's
     // cycle counts are the queueing model's service times.
-    let profiler = Context::builder().gpu(gpu).build();
+    let profiler = Context::builder().gpu(gpu).timing(timing).build();
     let service_ms: Vec<f64> = benches
         .iter()
         .map(|a| {
@@ -237,6 +248,7 @@ fn main() {
             p99_ms: live_p99,
             cache_hit_ratio: report.cache_hit_ratio(),
             memo_hit_rate: report.memo.as_ref().map(|m| m.hit_rate()),
+            timing,
         };
         let out = sweep_json::render_serve(&meta, &curve);
         // The document must parse: CI consumes it with a JSON parser.

@@ -6,7 +6,7 @@
 //!     --m 2048 --k 1024 --n 256 --v 4 --sparsity 0.9 [--seed 42] \
 //!     [--algo auto] [--json results.json] [--expect-auto spmm-octet] \
 //!     [--sanitize] [--precision] [--trace trace.json] [--csv counters.csv]
-//!     [--report] [--threads N] [--memoize] [--repeat R]
+//!     [--report] [--threads N] [--memoize] [--repeat R] [--timing tick|event]
 //! ```
 //!
 //! * `--algo auto` adds an `auto` row: the engine's tuner picks among the
@@ -53,6 +53,12 @@
 //!   repeated-shape workload where memoization pays: the first profile
 //!   simulates, the other R−1 replay. The reported row is the last
 //!   profile (all R are identical).
+//! * `--timing tick|event` selects the scheduler's timing mode (default
+//!   `tick`). `event` jumps the simulated clock between issue events and
+//!   falls back to tick-exact stepping inside contended windows, so the
+//!   JSON document is bit-identical to the tick one apart from `wall_ms`
+//!   and the recorded `timing` label; `VECSPARSE_AUDIT=n` cross-checks
+//!   every n-th event-timed wave against a tick re-simulation at runtime.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -62,7 +68,7 @@ use vecsparse_bench::sweep_json::{self, SweepMeta, SweepRow};
 use vecsparse_bench::{device, Table};
 use vecsparse_formats::{gen, Layout};
 use vecsparse_fp16::f16;
-use vecsparse_gpu_sim::KernelProfile;
+use vecsparse_gpu_sim::{KernelProfile, TimingMode};
 use vecsparse_telemetry::{csv as telemetry_csv, perfetto, TraceSink, DEFAULT_CAPACITY};
 
 fn arg(name: &str, default: f64) -> f64 {
@@ -102,6 +108,12 @@ fn main() {
     let want_report = std::env::args().any(|a| a == "--report");
     let memoize = std::env::args().any(|a| a == "--memoize");
     let repeat = (arg("--repeat", 1.0) as usize).max(1);
+    let timing = arg_str("--timing")
+        .map(|s| {
+            TimingMode::parse(&s)
+                .unwrap_or_else(|| panic!("--timing must be tick or event, got {s:?}"))
+        })
+        .unwrap_or_default();
     let want_auto = expect_auto.is_some()
         || arg_str("--algo").as_deref() == Some("auto")
         || std::env::args().any(|a| a == "--algo-auto");
@@ -182,6 +194,7 @@ fn main() {
     };
     let mut ctx = Context::builder()
         .gpu(gpu)
+        .timing(timing)
         .telemetry(Arc::clone(&sink))
         .build();
     if memoize {
@@ -192,8 +205,9 @@ fn main() {
     let b = gen::random_dense::<f16>(k, n, Layout::RowMajor, seed + 1);
 
     println!(
-        "SpMM sweep: A {m}x{k} ({:.1}% sparse, {v}x1 vectors), B {k}x{n}",
-        100.0 * a.pattern().sparsity()
+        "SpMM sweep: A {m}x{k} ({:.1}% sparse, {v}x1 vectors), B {k}x{n}, {} timing",
+        100.0 * a.pattern().sparsity(),
+        timing.label()
     );
     println!();
     let mut algos = vec![
@@ -289,6 +303,7 @@ fn main() {
             wall_ms: sweep_wall_ms,
             repeat,
             memo: ctx.memo_stats(),
+            timing,
         };
         let out = sweep_json::render(&meta, &rows, &ctx.report().certificates);
         // The document must parse: CI consumes it with a JSON parser.

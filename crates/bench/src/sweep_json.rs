@@ -1,9 +1,9 @@
-//! Rendering of the JSON documents the bench binaries emit (schema v6):
+//! Rendering of the JSON documents the bench binaries emit (schema v7):
 //! the `sweep` binary's `--json` kernel sweep and the `serve-load`
 //! binary's saturation document, factored out of `src/bin/` so the
 //! layouts can be round-trip tested without running the binaries.
 
-use vecsparse_gpu_sim::{KernelProfile, MemoStats};
+use vecsparse_gpu_sim::{KernelProfile, MemoStats, TimingMode};
 use vecsparse_precision::Certificate;
 use vecsparse_serve::SaturationPoint;
 
@@ -22,7 +22,11 @@ use vecsparse_serve::SaturationPoint;
 /// v6: added top-level `kind` (`"sweep"` or `"serve_saturation"`) and
 /// the serve-load document: a `serve` block with topology, tenants, the
 /// live smoke-run counters, and the offered-load-vs-latency `curve`.
-pub const JSON_SCHEMA_VERSION: u32 = 6;
+/// v7: added top-level `timing` (`"tick"` or `"event"`) to both document
+/// kinds — the scheduler timing mode the profiles were simulated with.
+/// Event-vs-tick checks diff documents with only `wall_ms` and `timing`
+/// stripped: every simulated artifact must be bit-identical.
+pub const JSON_SCHEMA_VERSION: u32 = 7;
 
 /// One profiled kernel row of the sweep.
 pub struct SweepRow {
@@ -60,6 +64,9 @@ pub struct SweepMeta {
     /// Wave-memoizer counters, present only under `--memoize` (strip
     /// before diffing a memoized document against a baseline one).
     pub memo: Option<MemoStats>,
+    /// Scheduler timing mode the profiles were simulated with. Changing
+    /// it must not change any field other than `wall_ms`.
+    pub timing: TimingMode,
 }
 
 fn json_escape(s: &str) -> String {
@@ -73,7 +80,8 @@ pub fn render(meta: &SweepMeta, rows: &[SweepRow], certs: &[Certificate]) -> Str
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"kind\": \"sweep\",\n  \
-         \"gpu_config_hash\": \"{:016x}\",\n",
+         \"timing\": \"{}\",\n  \"gpu_config_hash\": \"{:016x}\",\n",
+        meta.timing.label(),
         meta.gpu_config_hash
     ));
     out.push_str(&format!(
@@ -172,6 +180,8 @@ pub struct ServeMeta {
     /// Wave-memo hit rate of the live run (absent when memoization was
     /// off).
     pub memo_hit_rate: Option<f64>,
+    /// Scheduler timing mode the worker contexts simulated with.
+    pub timing: TimingMode,
 }
 
 /// Render the serve-load saturation document (`kind:
@@ -181,7 +191,8 @@ pub fn render_serve(meta: &ServeMeta, curve: &[SaturationPoint]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"kind\": \"serve_saturation\",\n  \
-         \"gpu_config_hash\": \"{:016x}\",\n",
+         \"timing\": \"{}\",\n  \"gpu_config_hash\": \"{:016x}\",\n",
+        meta.timing.label(),
         meta.gpu_config_hash
     ));
     out.push_str("  \"serve\": {\n");
@@ -275,6 +286,7 @@ mod tests {
             p99_ms: 12.5,
             cache_hit_ratio: 0.875,
             memo_hit_rate: Some(0.5),
+            timing: TimingMode::Event,
         };
         let curve = vec![
             SaturationPoint {
@@ -301,6 +313,7 @@ mod tests {
             Some(JSON_SCHEMA_VERSION as u64)
         );
         assert_eq!(parsed["kind"].as_str(), Some("serve_saturation"));
+        assert_eq!(parsed["timing"].as_str(), Some("event"));
         let serve = &parsed["serve"];
         assert_eq!(serve["workers"].as_u64(), Some(4));
         assert_eq!(serve["tenants"].as_array().unwrap().len(), 2);
@@ -340,6 +353,7 @@ mod tests {
                 launch_misses: 4,
                 wave_entries: 5,
             }),
+            timing: TimingMode::Tick,
         };
         let rows = vec![
             SweepRow {
@@ -368,6 +382,7 @@ mod tests {
             Some(JSON_SCHEMA_VERSION as u64)
         );
         assert_eq!(parsed["kind"].as_str(), Some("sweep"));
+        assert_eq!(parsed["timing"].as_str(), Some("tick"));
         assert_eq!(parsed["threads"].as_u64(), Some(4));
         assert_eq!(parsed["wall_ms"].as_f64(), Some(17.25));
         assert_eq!(parsed["repeat"].as_u64(), Some(10));
@@ -390,7 +405,7 @@ mod tests {
         // The CI determinism gate diffs two sweeps at different thread
         // counts (and memoize settings) after deleting the machine- and
         // mode-dependent fields.
-        let mk = |threads, wall_ms, memo| {
+        let mk = |threads, wall_ms, memo, timing| {
             let meta = SweepMeta {
                 gpu_config_hash: 1,
                 m: 8,
@@ -403,15 +418,17 @@ mod tests {
                 wall_ms,
                 repeat: 1,
                 memo,
+                timing,
             };
             render(&meta, &[], &[])
         };
-        let a = mk(4, 10.0, None);
-        let b = mk(4, 99.0, Some(MemoStats::default()));
+        let a = mk(4, 10.0, None, TimingMode::Tick);
+        let b = mk(4, 99.0, Some(MemoStats::default()), TimingMode::Event);
         let strip = |doc: &str| match serde_json::from_str(doc).unwrap() {
             serde_json::Value::Object(mut map) => {
                 map.remove("wall_ms");
                 map.remove("memo");
+                map.remove("timing");
                 serde_json::Value::Object(map)
             }
             _ => panic!("top level is an object"),

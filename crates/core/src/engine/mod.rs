@@ -57,7 +57,7 @@ use vecsparse_formats::{gen, BlockedEll, DenseMatrix, SparsityPattern, VectorSpa
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::sig::{self, Fingerprint};
 use vecsparse_gpu_sim::{
-    GpuConfig, KernelProfile, LaunchSig, MemoStats, TraceSink, Track, WaveMemo,
+    GpuConfig, KernelProfile, LaunchSig, MemoStats, TimingMode, TraceSink, Track, WaveMemo,
 };
 use vecsparse_precision::Certificate;
 use vecsparse_waveprove::WaveCertificate;
@@ -310,6 +310,9 @@ pub struct Context {
     /// Certified wave memoizer shared by every plan built through this
     /// context (None: every performance launch simulates honestly).
     memo: Option<Arc<WaveMemo>>,
+    /// Scheduler timing mode every performance launch under this context
+    /// uses (bit-identical results either way; see DESIGN §2h).
+    timing: TimingMode,
 }
 
 impl Default for Context {
@@ -340,6 +343,7 @@ pub struct ContextBuilder {
     gpu: Option<GpuConfig>,
     sink: Option<Arc<TraceSink>>,
     memo: Option<Arc<WaveMemo>>,
+    timing: TimingMode,
 }
 
 impl ContextBuilder {
@@ -383,6 +387,20 @@ impl ContextBuilder {
         self
     }
 
+    /// Select the scheduler timing mode for every performance launch
+    /// planned through the built context: [`TimingMode::Tick`] (default)
+    /// steps the reference scheduler round by round;
+    /// [`TimingMode::Event`] jumps the clock between cached next-event
+    /// times and is several times faster on honest (non-memoized)
+    /// simulations. Profiles, traces, and memo artifacts are
+    /// bit-identical in both modes — tier-1 and the CI `event-gate`
+    /// enforce it, and `VECSPARSE_AUDIT=n` cross-checks every n-th wave
+    /// at runtime.
+    pub fn timing(mut self, timing: TimingMode) -> Self {
+        self.timing = timing;
+        self
+    }
+
     /// Construct the handle.
     pub fn build(self) -> Context {
         let sink = self.sink.unwrap_or_else(|| Arc::new(TraceSink::disabled()));
@@ -396,6 +414,7 @@ impl ContextBuilder {
             counters: Arc::new(Counters::default()),
             sink,
             memo: self.memo,
+            timing: self.timing,
         }
     }
 }
@@ -405,36 +424,6 @@ impl Context {
     /// chained onto the returned [`ContextBuilder`].
     pub fn builder() -> ContextBuilder {
         ContextBuilder::default()
-    }
-
-    /// Handle on the default simulated device (full V100 shape).
-    #[deprecated(since = "0.3.0", note = "use `Context::builder().build()`")]
-    pub fn new() -> Self {
-        Self::builder().build()
-    }
-
-    /// Handle on a specific simulated device.
-    #[deprecated(since = "0.3.0", note = "use `Context::builder().gpu(gpu).build()`")]
-    pub fn with_gpu(gpu: GpuConfig) -> Self {
-        Self::builder().gpu(gpu).build()
-    }
-
-    /// Handle with a telemetry sink.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `Context::builder().gpu(gpu).telemetry(sink).build()`"
-    )]
-    pub fn with_telemetry(gpu: GpuConfig, sink: Arc<TraceSink>) -> Self {
-        Self::builder().gpu(gpu).telemetry(sink).build()
-    }
-
-    /// Handle with certified wave memoization enabled.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `Context::builder().gpu(gpu).memoization().build()`"
-    )]
-    pub fn with_memoization(gpu: GpuConfig) -> Self {
-        Self::builder().gpu(gpu).memoization().build()
     }
 
     /// Enable certified wave memoization on this context (idempotent).
@@ -458,6 +447,11 @@ impl Context {
     /// The telemetry sink this context records to (disabled by default).
     pub fn sink(&self) -> &Arc<TraceSink> {
         &self.sink
+    }
+
+    /// The scheduler timing mode performance launches use.
+    pub fn timing(&self) -> TimingMode {
+        self.timing
     }
 
     /// The plan-cache keys currently holding a tuning decision.
@@ -555,6 +549,7 @@ impl Context {
                 Arc::clone(&self.sink),
                 Arc::clone(&self.counters),
                 self.memo.clone(),
+                self.timing,
             )
         };
         self.counters.plans_built.fetch_add(1, Ordering::Relaxed);
@@ -615,6 +610,7 @@ impl Context {
                 Arc::clone(&self.sink),
                 Arc::clone(&self.counters),
                 self.memo.clone(),
+                self.timing,
             )
         };
         self.counters.plans_built.fetch_add(1, Ordering::Relaxed);

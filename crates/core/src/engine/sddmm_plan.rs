@@ -10,8 +10,8 @@ use vecsparse_formats::{DenseMatrix, Layout, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::sig::FingerprintHasher;
 use vecsparse_gpu_sim::{
-    launch_memoized, GpuConfig, KernelProfile, KernelSpec, LaunchOutput, MemPool, Mode, PoolMark,
-    TraceSink, Track, WaveMemo,
+    GpuConfig, KernelProfile, KernelSpec, Launch, LaunchOutput, MemPool, Mode, PoolMark,
+    TimingMode, TraceSink, Track, WaveMemo,
 };
 use vecsparse_waveprove::{certify, CertifyOptions};
 
@@ -58,6 +58,8 @@ pub struct SddmmPlan {
     counters: Arc<Counters>,
     /// Context-wide wave memoizer (None: honest simulation only).
     memo: Option<Arc<WaveMemo>>,
+    /// Scheduler timing mode inherited from the context.
+    timing: TimingMode,
 }
 
 impl SddmmPlan {
@@ -71,6 +73,7 @@ impl SddmmPlan {
         sink: Arc<TraceSink>,
         counters: Arc<Counters>,
         memo: Option<Arc<WaveMemo>>,
+        timing: TimingMode,
     ) -> Self {
         assert_ne!(algo, SddmmAlgo::Auto, "algo must be resolved");
         let mem = MemPool::new();
@@ -86,6 +89,7 @@ impl SddmmPlan {
             sink,
             counters,
             memo,
+            timing,
         }
     }
 
@@ -117,7 +121,13 @@ impl SddmmPlan {
         } else {
             None
         };
-        launch_memoized(&self.gpu, mem, kernel, mode, &self.sink, memo)
+        Launch::new(mem, kernel)
+            .gpu(&self.gpu)
+            .mode(mode)
+            .timing(self.timing)
+            .traced(&self.sink)
+            .memo_opt(memo)
+            .run()
     }
 
     /// The problem descriptor this plan was built for.

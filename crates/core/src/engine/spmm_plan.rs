@@ -3,15 +3,15 @@
 use super::{ell_twin, pattern_structure_hash, BatchProfile, Counters, EngineError};
 use crate::api::SpmmAlgo;
 use crate::spmm::{BlockedEllSpmm, DenseGemm, FpuSubwarpSpmm, OctetSpmm, WmmaSpmm};
-use crate::util::{download_dense, upload_dense, upload_ell, upload_vs, EllBuffers, VsBuffers};
+use crate::util::{download_dense, upload_ell, upload_vs, EllBuffers, VsBuffers};
 use rayon::prelude::*;
 use std::sync::{Arc, Mutex, PoisonError};
 use vecsparse_formats::{BlockedEll, DenseMatrix, Layout, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::sig::{Fingerprint, FingerprintHasher};
 use vecsparse_gpu_sim::{
-    launch_memoized, BufferId, ElemWidth, GpuConfig, KernelProfile, KernelSpec, LaunchOutput,
-    MemPool, Mode, TraceSink, Track, WaveMemo,
+    BufferId, ElemWidth, GpuConfig, KernelProfile, KernelSpec, Launch, LaunchOutput, MemPool, Mode,
+    TimingMode, TraceSink, Track, WaveMemo,
 };
 use vecsparse_waveprove::{certify, CertifyOptions};
 
@@ -46,6 +46,11 @@ enum Staged {
 struct PlanState {
     mem: MemPool,
     staged: Staged,
+    /// Whether the staged operand's *values* have been materialised.
+    /// Structure arrays are address-only in every mode (kernels read
+    /// structure host-side), so plans stage values lazily: a plan that
+    /// only ever profiles never pays the host→device value conversion.
+    resident: bool,
     b_buf: BufferId,
     out_buf: BufferId,
 }
@@ -75,6 +80,8 @@ pub struct SpmmPlan {
     counters: Arc<Counters>,
     /// Context-wide wave memoizer (None: honest simulation only).
     memo: Option<Arc<WaveMemo>>,
+    /// Scheduler timing mode inherited from the context.
+    timing: TimingMode,
     /// Fingerprint of everything the memoization signature must cover
     /// beyond the certificate: operation, algorithm, descriptor, the full
     /// pattern structure, and the staged pool layout.
@@ -92,23 +99,27 @@ impl SpmmPlan {
         sink: Arc<TraceSink>,
         counters: Arc<Counters>,
         memo: Option<Arc<WaveMemo>>,
+        timing: TimingMode,
     ) -> Self {
         assert_ne!(algo, SpmmAlgo::Auto, "algo must be resolved");
         let a = a.clone();
         let mut mem = MemPool::new();
+        // Address-only staging throughout: operand values are only read
+        // by functional launches, so `dispatch_with` materialises them
+        // lazily and profile-only plans skip the conversion entirely.
         let (staged, ell, dense) = match algo {
             SpmmAlgo::BlockedEll => {
                 let ell = ell_twin(&a);
-                let bufs = upload_ell(&mut mem, &ell, Mode::Functional);
+                let bufs = upload_ell(&mut mem, &ell, Mode::Performance);
                 (Staged::Ell(bufs), Some(ell), None)
             }
             SpmmAlgo::Dense => {
                 let dense = a.to_dense(Layout::RowMajor);
-                let buf = upload_dense(&mut mem, &dense, Mode::Functional);
+                let buf = mem.alloc_ghost(ElemWidth::B16, dense.data().len());
                 (Staged::Dense(buf), None, Some(dense))
             }
             _ => (
-                Staged::Vs(upload_vs(&mut mem, &a, Mode::Functional)),
+                Staged::Vs(upload_vs(&mut mem, &a, Mode::Performance)),
                 None,
                 None,
             ),
@@ -137,6 +148,7 @@ impl SpmmPlan {
             state: Mutex::new(PlanState {
                 mem,
                 staged,
+                resident: false,
                 b_buf,
                 out_buf,
             }),
@@ -144,6 +156,7 @@ impl SpmmPlan {
             sink,
             counters,
             memo,
+            timing,
             operand_fp,
         }
     }
@@ -164,7 +177,13 @@ impl SpmmPlan {
         } else {
             None
         };
-        launch_memoized(&self.gpu, mem, kernel, mode, &self.sink, memo)
+        Launch::new(mem, kernel)
+            .gpu(&self.gpu)
+            .mode(mode)
+            .timing(self.timing)
+            .traced(&self.sink)
+            .memo_opt(memo)
+            .run()
     }
 
     /// The problem descriptor this plan was built for.
@@ -262,10 +281,35 @@ impl SpmmPlan {
         let PlanState {
             mem,
             staged,
+            resident,
             b_buf,
             out_buf,
         } = state;
         if mode == Mode::Functional {
+            if !*resident {
+                // Deferred host→device copy of the operand values. The
+                // dense twin scatters only stored vectors into a zero
+                // image: untouched `f16` zeros convert to the `+0.0` a
+                // fresh image already holds, so the bits match a
+                // full-image conversion.
+                match staged {
+                    Staged::Vs(bufs) => mem.materialize(
+                        bufs.values,
+                        self.a.values().iter().map(|v| v.to_f32()).collect(),
+                    ),
+                    Staged::Ell(bufs) => {
+                        let ell = self.ell.as_ref().ok_or(EngineError::UnstagedBuffer {
+                            what: "blocked-ell twin",
+                        })?;
+                        mem.materialize(
+                            bufs.values,
+                            ell.values().iter().map(|v| v.to_f32()).collect(),
+                        );
+                    }
+                    Staged::Dense(buf) => mem.materialize(*buf, self.a.to_f32_image()),
+                }
+                *resident = true;
+            }
             mem.replace(*b_buf, b.data().iter().map(|v| v.to_f32()));
             mem.fill(*out_buf, 0.0);
         }

@@ -10,7 +10,7 @@ use super::vector_tiles;
 use crate::util::{lanes, upload_dense, upload_pattern, width_of, VsBuffers};
 use vecsparse_formats::{DenseMatrix, Layout, Scalar, SparsityPattern, VectorSparse};
 use vecsparse_gpu_sim::{
-    launch, BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, LaunchConfig,
+    BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, Launch, LaunchConfig,
     MemPool, Mode, Program, Site, Tok, WVec,
 };
 
@@ -203,7 +203,7 @@ pub fn sddmm_csr(
 ) -> VectorSparse<f32> {
     let mut mem = MemPool::new();
     let kernel = CsrSddmm::new(&mut mem, a, b, mask, Mode::Functional);
-    launch(gpu, &mut mem, &kernel, Mode::Functional);
+    Launch::new(&mut mem, &kernel).gpu(gpu).run();
     kernel.result(&mem)
 }
 
@@ -216,7 +216,10 @@ pub fn profile_sddmm_csr(
 ) -> KernelProfile {
     let mut mem = MemPool::new();
     let kernel = CsrSddmm::new(&mut mem, a, b, mask, Mode::Performance);
-    launch(gpu, &mut mem, &kernel, Mode::Performance)
+    Launch::new(&mut mem, &kernel)
+        .gpu(gpu)
+        .performance()
+        .run()
         .profile
         .expect("profile")
 }

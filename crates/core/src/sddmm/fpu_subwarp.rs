@@ -17,7 +17,7 @@ use crate::util::{lanes, upload_dense, upload_pattern, width_of, VsBuffers};
 use vecsparse_formats::{DenseMatrix, Layout, Scalar, SparsityPattern, VectorSparse};
 use vecsparse_fp16::{f16, hmul_fadd};
 use vecsparse_gpu_sim::{
-    launch, BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, LaunchConfig,
+    BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, Launch, LaunchConfig,
     MemPool, Mode, Program, Site, Tok, WVec,
 };
 
@@ -316,7 +316,7 @@ pub fn sddmm_fpu<T: Scalar>(
 ) -> VectorSparse<T> {
     let mut mem = MemPool::new();
     let kernel = FpuSubwarpSddmm::new(&mut mem, a, b, mask, Mode::Functional);
-    launch(gpu, &mut mem, &kernel, Mode::Functional);
+    Launch::new(&mut mem, &kernel).gpu(gpu).run();
     kernel.result(&mem)
 }
 
@@ -329,7 +329,10 @@ pub fn profile_sddmm_fpu<T: Scalar>(
 ) -> KernelProfile {
     let mut mem = MemPool::new();
     let kernel = FpuSubwarpSddmm::new(&mut mem, a, b, mask, Mode::Performance);
-    launch(gpu, &mut mem, &kernel, Mode::Performance)
+    Launch::new(&mut mem, &kernel)
+        .gpu(gpu)
+        .performance()
+        .run()
         .profile
         .expect("profile")
 }

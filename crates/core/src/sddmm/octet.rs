@@ -29,7 +29,7 @@ use crate::util::{lanes, upload_dense, upload_pattern, width_of, VsBuffers};
 use vecsparse_formats::{DenseMatrix, Layout, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{
-    launch, BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, LaunchConfig,
+    BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, Launch, LaunchConfig,
     MemPool, MmaFlavor, Mode, Program, Site, Tok, WVec,
 };
 
@@ -516,7 +516,7 @@ pub fn sddmm_octet(
 ) -> VectorSparse<f16> {
     let mut mem = MemPool::new();
     let kernel = OctetSddmm::new(&mut mem, a, b, mask, variant, Mode::Functional);
-    launch(gpu, &mut mem, &kernel, Mode::Functional);
+    Launch::new(&mut mem, &kernel).gpu(gpu).run();
     kernel.result(&mem)
 }
 
@@ -530,7 +530,10 @@ pub fn profile_sddmm_octet(
 ) -> KernelProfile {
     let mut mem = MemPool::new();
     let kernel = OctetSddmm::new(&mut mem, a, b, mask, variant, Mode::Performance);
-    launch(gpu, &mut mem, &kernel, Mode::Performance)
+    Launch::new(&mut mem, &kernel)
+        .gpu(gpu)
+        .performance()
+        .run()
         .profile
         .expect("profile")
 }

@@ -15,7 +15,7 @@ use crate::util::{lanes, upload_dense, upload_pattern, width_of, VsBuffers};
 use vecsparse_formats::{DenseMatrix, Layout, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{
-    launch, BufferId, CtaCtx, GpuConfig, KernelProfile, KernelSpec, LaunchConfig, MemPool,
+    BufferId, CtaCtx, GpuConfig, KernelProfile, KernelSpec, Launch, LaunchConfig, MemPool,
     MmaFlavor, Mode, Program, Site, Tok, WVec,
 };
 
@@ -311,7 +311,7 @@ pub fn sddmm_wmma(
 ) -> VectorSparse<f16> {
     let mut mem = MemPool::new();
     let kernel = WmmaSddmm::new(&mut mem, a, b, mask, Mode::Functional);
-    launch(gpu, &mut mem, &kernel, Mode::Functional);
+    Launch::new(&mut mem, &kernel).gpu(gpu).run();
     kernel.result(&mem)
 }
 
@@ -324,7 +324,10 @@ pub fn profile_sddmm_wmma(
 ) -> KernelProfile {
     let mut mem = MemPool::new();
     let kernel = WmmaSddmm::new(&mut mem, a, b, mask, Mode::Performance);
-    launch(gpu, &mut mem, &kernel, Mode::Performance)
+    Launch::new(&mut mem, &kernel)
+        .gpu(gpu)
+        .performance()
+        .run()
         .profile
         .expect("profile")
 }

@@ -6,7 +6,7 @@ use crate::util::{lanes, upload_vs, width_of, VsBuffers};
 use vecsparse_formats::VectorSparse;
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{
-    launch, BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, LaunchConfig,
+    BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, Launch, LaunchConfig,
     MemPool, Mode, Program, Site, Tok, WVec,
 };
 
@@ -185,7 +185,7 @@ impl KernelSpec for SparseSoftmax<'_> {
 pub fn softmax_vs(gpu: &GpuConfig, x: &VectorSparse<f16>) -> VectorSparse<f16> {
     let mut mem = MemPool::new();
     let kernel = SparseSoftmax::new(&mut mem, x, Mode::Functional);
-    launch(gpu, &mut mem, &kernel, Mode::Functional);
+    Launch::new(&mut mem, &kernel).gpu(gpu).run();
     kernel.result(&mem)
 }
 
@@ -193,7 +193,10 @@ pub fn softmax_vs(gpu: &GpuConfig, x: &VectorSparse<f16>) -> VectorSparse<f16> {
 pub fn profile_softmax_vs(gpu: &GpuConfig, x: &VectorSparse<f16>) -> KernelProfile {
     let mut mem = MemPool::new();
     let kernel = SparseSoftmax::new(&mut mem, x, Mode::Performance);
-    launch(gpu, &mut mem, &kernel, Mode::Performance)
+    Launch::new(&mut mem, &kernel)
+        .gpu(gpu)
+        .performance()
+        .run()
         .profile
         .expect("profile")
 }

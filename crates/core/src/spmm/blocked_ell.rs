@@ -17,7 +17,7 @@ use crate::util::{download_dense, lanes, upload_dense, upload_ell, width_of, Ell
 use vecsparse_formats::{BlockedEll, DenseMatrix, Layout, ELL_PAD};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{
-    launch, BufferId, CtaCtx, GpuConfig, KernelProfile, KernelSpec, LaunchConfig, MemPool,
+    BufferId, CtaCtx, GpuConfig, KernelProfile, KernelSpec, Launch, LaunchConfig, MemPool,
     MmaFlavor, Mode, Program, Site, Tok, WVec,
 };
 
@@ -435,7 +435,7 @@ pub fn spmm_blocked_ell(
 ) -> DenseMatrix<f16> {
     let mut mem = MemPool::new();
     let kernel = BlockedEllSpmm::new(&mut mem, a, b, Mode::Functional);
-    launch(gpu, &mut mem, &kernel, Mode::Functional);
+    Launch::new(&mut mem, &kernel).gpu(gpu).run();
     kernel.result(&mem)
 }
 
@@ -447,7 +447,10 @@ pub fn profile_spmm_blocked_ell(
 ) -> KernelProfile {
     let mut mem = MemPool::new();
     let kernel = BlockedEllSpmm::new(&mut mem, a, b, Mode::Performance);
-    launch(gpu, &mut mem, &kernel, Mode::Performance)
+    Launch::new(&mut mem, &kernel)
+        .gpu(gpu)
+        .performance()
+        .run()
         .profile
         .expect("profile")
 }

@@ -12,7 +12,7 @@ use crate::util::{download_dense, lanes, upload_csr, upload_dense, width_of, Csr
 use vecsparse_formats::{Csr, DenseMatrix, Layout, Scalar};
 use vecsparse_fp16::{f16, hmul_fadd};
 use vecsparse_gpu_sim::{
-    launch, BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, LaunchConfig,
+    BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, Launch, LaunchConfig,
     MemPool, Mode, Program, Site, Tok, WVec,
 };
 
@@ -196,7 +196,7 @@ impl<T: Scalar> KernelSpec for CsrScalarSpmm<'_, T> {
 pub fn spmm_csr<T: Scalar>(gpu: &GpuConfig, a: &Csr<T>, b: &DenseMatrix<T>) -> DenseMatrix<T> {
     let mut mem = MemPool::new();
     let kernel = CsrScalarSpmm::new(&mut mem, a, b, Mode::Functional);
-    launch(gpu, &mut mem, &kernel, Mode::Functional);
+    Launch::new(&mut mem, &kernel).gpu(gpu).run();
     kernel.result(&mem)
 }
 
@@ -208,7 +208,10 @@ pub fn profile_spmm_csr<T: Scalar>(
 ) -> KernelProfile {
     let mut mem = MemPool::new();
     let kernel = CsrScalarSpmm::new(&mut mem, a, b, Mode::Performance);
-    launch(gpu, &mut mem, &kernel, Mode::Performance)
+    Launch::new(&mut mem, &kernel)
+        .gpu(gpu)
+        .performance()
+        .run()
         .profile
         .expect("profile")
 }

@@ -11,7 +11,7 @@
 use crate::util::{download_dense, lanes, upload_dense, width_of};
 use vecsparse_formats::{DenseMatrix, Layout, Scalar};
 use vecsparse_gpu_sim::{
-    launch, BufferId, GpuConfig, InstrKind, KernelProfile, KernelSpec, LaunchConfig, MemPool, Mode,
+    BufferId, GpuConfig, InstrKind, KernelProfile, KernelSpec, Launch, LaunchConfig, MemPool, Mode,
     Program, Site, WVec,
 };
 
@@ -468,7 +468,7 @@ pub fn dense_gemm<T: Scalar>(
 ) -> DenseMatrix<T> {
     let mut mem = MemPool::new();
     let kernel = DenseGemm::new(&mut mem, a, b, Mode::Functional);
-    launch(gpu, &mut mem, &kernel, Mode::Functional);
+    Launch::new(&mut mem, &kernel).gpu(gpu).run();
     kernel.result(&mem)
 }
 
@@ -480,7 +480,10 @@ pub fn profile_dense_gemm<T: Scalar>(
 ) -> KernelProfile {
     let mut mem = MemPool::new();
     let kernel = DenseGemm::new(&mut mem, a, b, Mode::Performance);
-    launch(gpu, &mut mem, &kernel, Mode::Performance)
+    Launch::new(&mut mem, &kernel)
+        .gpu(gpu)
+        .performance()
+        .run()
         .profile
         .expect("performance launch returns a profile")
 }

@@ -20,7 +20,7 @@ use crate::util::{download_dense, lanes, upload_dense, upload_vs, width_of, VsBu
 use vecsparse_formats::{DenseMatrix, Layout, Scalar, VectorSparse};
 use vecsparse_fp16::{f16, hmul_fadd};
 use vecsparse_gpu_sim::{
-    launch, BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, LaunchConfig,
+    BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, Launch, LaunchConfig,
     MemPool, Mode, Program, Site, Tok,
 };
 
@@ -395,7 +395,7 @@ pub fn spmm_fpu<T: Scalar>(
 ) -> DenseMatrix<T> {
     let mut mem = MemPool::new();
     let kernel = FpuSubwarpSpmm::new(&mut mem, a, b, Mode::Functional);
-    launch(gpu, &mut mem, &kernel, Mode::Functional);
+    Launch::new(&mut mem, &kernel).gpu(gpu).run();
     kernel.result(&mem)
 }
 
@@ -407,7 +407,10 @@ pub fn profile_spmm_fpu<T: Scalar>(
 ) -> KernelProfile {
     let mut mem = MemPool::new();
     let kernel = FpuSubwarpSpmm::new(&mut mem, a, b, Mode::Performance);
-    launch(gpu, &mut mem, &kernel, Mode::Performance)
+    Launch::new(&mut mem, &kernel)
+        .gpu(gpu)
+        .performance()
+        .run()
         .profile
         .expect("profile")
 }

@@ -29,7 +29,7 @@ use crate::util::{lanes, upload_dense, upload_vs, width_of, VsBuffers};
 use vecsparse_formats::{DenseMatrix, Layout, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{
-    launch, BufferId, CtaCtx, GpuConfig, KernelProfile, KernelSpec, LaunchConfig, MemPool,
+    BufferId, CtaCtx, GpuConfig, KernelProfile, KernelSpec, Launch, LaunchConfig, MemPool,
     MmaFlavor, Mode, Program, Site, Tok, WVec,
 };
 
@@ -521,7 +521,7 @@ pub fn spmm_octet(
 ) -> DenseMatrix<f16> {
     let mut mem = MemPool::new();
     let kernel = OctetSpmm::new(&mut mem, a, b, Mode::Functional);
-    launch(gpu, &mut mem, &kernel, Mode::Functional);
+    Launch::new(&mut mem, &kernel).gpu(gpu).run();
     kernel.result(&mem)
 }
 
@@ -533,7 +533,10 @@ pub fn profile_spmm_octet(
 ) -> KernelProfile {
     let mut mem = MemPool::new();
     let kernel = OctetSpmm::new(&mut mem, a, b, Mode::Performance);
-    launch(gpu, &mut mem, &kernel, Mode::Performance)
+    Launch::new(&mut mem, &kernel)
+        .gpu(gpu)
+        .performance()
+        .run()
         .profile
         .expect("profile")
 }
@@ -595,7 +598,7 @@ mod tests {
         let b = gen::random_dense::<f16>(64, 64, Layout::RowMajor, 8);
         let mut mem = MemPool::new();
         let kernel = OctetSpmm::new(&mut mem, &a, &b, Mode::Functional).with_truncated_hmma(true);
-        launch(&gpu, &mut mem, &kernel, Mode::Functional);
+        Launch::new(&mut mem, &kernel).gpu(&gpu).run();
         let got = kernel.result(&mem);
         let want = reference::spmm_vs(&a, &b);
         assert_eq!(got.max_abs_diff(&want), 0.0);

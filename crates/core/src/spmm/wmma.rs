@@ -22,7 +22,7 @@ use crate::util::{download_dense, lanes, upload_dense, upload_vs, width_of, VsBu
 use vecsparse_formats::{DenseMatrix, Layout, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{
-    launch, BufferId, CtaCtx, GpuConfig, KernelProfile, KernelSpec, LaunchConfig, MemPool,
+    BufferId, CtaCtx, GpuConfig, KernelProfile, KernelSpec, Launch, LaunchConfig, MemPool,
     MmaFlavor, Mode, Program, Site, Tok, WVec,
 };
 
@@ -307,7 +307,7 @@ impl KernelSpec for WmmaSpmm<'_> {
 pub fn spmm_wmma(gpu: &GpuConfig, a: &VectorSparse<f16>, b: &DenseMatrix<f16>) -> DenseMatrix<f16> {
     let mut mem = MemPool::new();
     let kernel = WmmaSpmm::new(&mut mem, a, b, Mode::Functional);
-    launch(gpu, &mut mem, &kernel, Mode::Functional);
+    Launch::new(&mut mem, &kernel).gpu(gpu).run();
     kernel.result(&mem)
 }
 
@@ -319,7 +319,10 @@ pub fn profile_spmm_wmma(
 ) -> KernelProfile {
     let mut mem = MemPool::new();
     let kernel = WmmaSpmm::new(&mut mem, a, b, Mode::Performance);
-    launch(gpu, &mut mem, &kernel, Mode::Performance)
+    Launch::new(&mut mem, &kernel)
+        .gpu(gpu)
+        .performance()
+        .run()
         .profile
         .expect("profile")
 }

@@ -18,7 +18,7 @@ use vecsparse::softmax::SparseSoftmax;
 use vecsparse::spmm::OctetSpmm;
 use vecsparse_formats::{gen, Layout};
 use vecsparse_fp16::f16;
-use vecsparse_gpu_sim::{launch, launch_shadow, GpuConfig, MemPool, Mode};
+use vecsparse_gpu_sim::{GpuConfig, Launch, MemPool, Mode};
 use vecsparse_precision::{analyze, check_soundness, shadow_run};
 
 /// Kernels whose stores carry fp64 twins (the dynamic side observes
@@ -98,11 +98,8 @@ fn shadow_execution_is_perturbation_free() {
     let spmm_bits = |shadow: bool| -> Vec<u32> {
         let mut mem = MemPool::new();
         let kern = OctetSpmm::new(&mut mem, &a, &b, Mode::Functional);
-        if shadow {
-            launch_shadow(&mut mem, &kern);
-        } else {
-            launch(&gpu, &mut mem, &kern, Mode::Functional);
-        }
+        let launch = Launch::new(&mut mem, &kern).gpu(&gpu);
+        if shadow { launch.shadow() } else { launch }.run();
         mem.contents(kern.output())
             .iter()
             .map(|v| v.to_bits())
@@ -114,11 +111,8 @@ fn shadow_execution_is_perturbation_free() {
     let softmax_bits = |shadow: bool| -> Vec<u16> {
         let mut mem = MemPool::new();
         let kern = SparseSoftmax::new(&mut mem, &x, Mode::Functional);
-        if shadow {
-            launch_shadow(&mut mem, &kern);
-        } else {
-            launch(&gpu, &mut mem, &kern, Mode::Functional);
-        }
+        let launch = Launch::new(&mut mem, &kern).gpu(&gpu);
+        if shadow { launch.shadow() } else { launch }.run();
         kern.result(&mem)
             .values()
             .iter()
@@ -134,10 +128,10 @@ fn shadow_execution_is_perturbation_free() {
         let mut mem = MemPool::new();
         if shadow_first {
             let warm = OctetSpmm::new(&mut mem, &a, &b, Mode::Functional);
-            launch_shadow(&mut mem, &warm);
+            Launch::new(&mut mem, &warm).shadow().run();
         }
         let kern = OctetSpmm::new(&mut mem, &a, &b, Mode::Performance);
-        let out = launch(&gpu, &mut mem, &kern, Mode::Performance);
+        let out = Launch::new(&mut mem, &kern).gpu(&gpu).performance().run();
         out.profile
             .expect("performance launch profiles")
             .cycles

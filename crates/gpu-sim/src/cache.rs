@@ -82,6 +82,13 @@ const EMPTY_WAY: Way = Way {
 pub struct SectorCache {
     ways: usize,
     sets: usize,
+    /// `sets - 1` when `sets` is a power of two, else `usize::MAX`: the
+    /// set index then reduces to a mask instead of a hardware divide.
+    set_mask: usize,
+    /// Lemire fastmod constant `u64::MAX / sets + 1` for the
+    /// non-power-of-two geometries (e.g. a 6 MiB 16-way L2 has 3072
+    /// sets); exact for 32-bit line addresses.
+    set_magic: u64,
     storage: Vec<Way>,
     tick: u64,
     /// Running statistics.
@@ -109,6 +116,12 @@ impl SectorCache {
         SectorCache {
             ways,
             sets,
+            set_mask: if sets.is_power_of_two() {
+                sets - 1
+            } else {
+                usize::MAX
+            },
+            set_magic: (u64::MAX / sets as u64).wrapping_add(1),
             storage: vec![EMPTY_WAY; sets * ways],
             tick: 0,
             stats: CacheStats::default(),
@@ -144,7 +157,7 @@ impl SectorCache {
         let line_addr = sector_addr / SECTORS_PER_LINE; // In sector units.
         let sector_in_line = (sector_addr % SECTORS_PER_LINE) as u8;
         let bit = 1u8 << sector_in_line;
-        let set = (line_addr as usize) % self.sets;
+        let set = self.set_of(line_addr);
         let base = set * self.ways;
         let ways = &mut self.storage[base..base + self.ways];
 
@@ -170,6 +183,22 @@ impl SectorCache {
         victim.sector_valid = bit;
         victim.last_use = self.tick;
         SectorOutcome::Miss
+    }
+
+    /// Map a line address to its set without a hardware divide on the
+    /// common paths. All three branches compute exactly
+    /// `line_addr % sets`; `set_of` runs once per sector access, which
+    /// dominates the memory-path cost of a wave simulation.
+    #[inline]
+    fn set_of(&self, line_addr: u64) -> usize {
+        if self.set_mask != usize::MAX {
+            (line_addr as usize) & self.set_mask
+        } else if line_addr <= u64::from(u32::MAX) {
+            let low = self.set_magic.wrapping_mul(line_addr);
+            ((u128::from(low) * self.sets as u128) >> 64) as usize
+        } else {
+            (line_addr as usize) % self.sets
+        }
     }
 
     /// Convert a byte address to its sector address.
@@ -422,6 +451,33 @@ mod stats_tests {
         assert_eq!(replayed.stats, direct.stats);
         // Same resident sectors afterwards: probe both.
         assert_eq!(replayed.access(&[0, 1, 2, 3]), direct.access(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn set_of_matches_modulo_across_geometries() {
+        // Power-of-two (mask path), non-power-of-two (fastmod path), and
+        // the degenerate single-set cache all reduce exactly like `%`.
+        for (bytes, ways) in [
+            (128 * 1024, 8),
+            (6 * 1024 * 1024, 16),
+            (4096, 4),
+            (128 * 3, 3),
+            (128, 1),
+        ] {
+            let c = SectorCache::new(bytes, ways);
+            let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+            for _ in 0..10_000 {
+                x = x.wrapping_mul(0xd130_2b97_9af6_b617).wrapping_add(1);
+                for line in [x >> 32, x & 0xffff_ffff, u64::from(u32::MAX)] {
+                    assert_eq!(
+                        c.set_of(line),
+                        (line as usize) % c.sets,
+                        "line {line} sets {}",
+                        c.sets
+                    );
+                }
+            }
+        }
     }
 
     #[test]

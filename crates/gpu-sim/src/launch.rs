@@ -7,6 +7,7 @@ use crate::mem::MemPool;
 use crate::memo::{LaunchSig, WaveArtifacts, WaveDecision, WaveMemo};
 use crate::profile::{HotPc, InstrCounts, KernelProfile, PipeUtil, StallBreakdown};
 use crate::sched::{simulate_wave, WaveObs};
+use crate::sched_event::simulate_wave_event;
 use crate::sig::FingerprintHasher;
 use crate::trace::WarpTrace;
 use crate::warp::{CtaCtx, ShadowObs};
@@ -24,6 +25,42 @@ pub enum Mode {
     /// Skip values; generate traces for a sampled set of CTAs and build a
     /// [`KernelProfile`].
     Performance,
+}
+
+/// How the performance simulation advances time. Both modes produce
+/// bit-identical profiles, traces, and memo artifacts; the choice is
+/// purely a wall-clock trade.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum TimingMode {
+    /// Reference tick scheduler (`sched.rs`): every warp's readiness is
+    /// recomputed from the live scoreboards each round.
+    #[default]
+    Tick,
+    /// Event-driven scheduler (`sched_event.rs`): the clock jumps to
+    /// cached next-event times, dropping back to tick-exact stepping
+    /// inside contended (barrier) windows. Several times faster on
+    /// untraced waves; results are bit-identical by construction and
+    /// cross-checked at runtime under `VECSPARSE_AUDIT=n`.
+    Event,
+}
+
+impl TimingMode {
+    /// Stable lowercase label, as used by `--timing` and sweep JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            TimingMode::Tick => "tick",
+            TimingMode::Event => "event",
+        }
+    }
+
+    /// Parse a `--timing` flag value.
+    pub fn parse(s: &str) -> Option<TimingMode> {
+        match s {
+            "tick" => Some(TimingMode::Tick),
+            "event" => Some(TimingMode::Event),
+            _ => None,
+        }
+    }
 }
 
 /// Static launch description a kernel provides.
@@ -81,12 +118,31 @@ pub trait KernelSpec: Sync {
 pub struct LaunchOutput {
     /// Performance profile (None in functional mode).
     pub profile: Option<KernelProfile>,
+    /// Per-site fp64 shadow-execution observations, folded across CTAs
+    /// and sorted by pc. Empty unless the launch was built with
+    /// [`Launch::shadow`].
+    pub shadow: Vec<ShadowObs>,
 }
 
-/// Launch a kernel.
+/// Composable kernel launch: the one entry point for every way a kernel
+/// can run.
+///
+/// ```text
+/// Launch::new(&mut mem, &kernel)        // functional, default GPU
+///     .gpu(&cfg)                        // machine to simulate
+///     .performance()                    // or .mode(Mode::Performance)
+///     .timing(TimingMode::Event)        // tick (default) or event-driven
+///     .traced(&sink)                    // telemetry sink
+///     .memo(&memo, sig)                 // certified wave memoization
+///     .run()
+/// ```
 ///
 /// In [`Mode::Functional`], every CTA executes (in parallel over host
-/// threads) and buffered global writes are applied to `mem`.
+/// threads) and buffered global writes are applied to `mem`. With
+/// [`Launch::shadow`], CTAs additionally run the fp64 shadow twin and the
+/// folded per-site error observations come back in
+/// [`LaunchOutput::shadow`] (the working f32/f16 results are
+/// bit-identical — the twin never feeds back).
 ///
 /// In [`Mode::Performance`], the simulation runs as a three-phase
 /// pipeline: traces are generated for `sim_sms × ctas_per_sm ×
@@ -94,103 +150,180 @@ pub struct LaunchOutput {
 /// wave is timed with its own L1 and a recording L2 (parallel), and the
 /// recorded L2 sector traffic is replayed into the shared device L2 in
 /// canonical wave order (sequential) before counters are extrapolated
-/// to the full grid. Results are bit-identical at any thread count. The
-/// final cycle estimate is the maximum of the issue-model cycles and
-/// the DRAM/L2 bandwidth lower bounds.
-pub fn launch<K: KernelSpec + ?Sized>(
-    cfg: &GpuConfig,
-    mem: &mut MemPool,
-    kernel: &K,
-    mode: Mode,
-) -> LaunchOutput {
-    launch_traced(cfg, mem, kernel, mode, TraceSink::noop())
-}
-
-/// [`launch`] with a telemetry sink.
+/// to the full grid. Results are bit-identical at any thread count and
+/// in either [`TimingMode`]. The final cycle estimate is the maximum of
+/// the issue-model cycles and the DRAM/L2 bandwidth lower bounds.
 ///
-/// In [`Mode::Performance`] with an enabled sink, the launch claims a
-/// fresh process id on the timeline and records a kernel-wide span (tid
-/// 0, with grid/cycle/roofline args) over per-scheduler tracks (tid
+/// With an enabled sink ([`Launch::traced`]), the launch claims a fresh
+/// process id on the timeline and records a kernel-wide span (tid 0,
+/// with grid/cycle/roofline args) over per-scheduler tracks (tid
 /// `s + 1`) carrying every simulated issue and attributed stall; the
-/// sink's virtual clock advances by the simulated wave cycles. With a
-/// disabled sink this is exactly [`launch`] — same math, zero recording.
-pub fn launch_traced<K: KernelSpec + ?Sized>(
-    cfg: &GpuConfig,
-    mem: &mut MemPool,
-    kernel: &K,
+/// sink's virtual clock advances by the simulated wave cycles.
+///
+/// With a memo ([`Launch::memo`]), the performance simulation consults
+/// it before doing any work: whole launches whose signature class was
+/// simulated before replay the cached profile, and within a fresh launch
+/// each SM wave whose class is cached replays recorded
+/// timing/span/L2-op artifacts instead of re-simulating. The caller is
+/// responsible for passing a signature only for kernels holding a
+/// `Provable` wave-equivalence certificate — the signature *is* the
+/// proof carrier. Functional launches ignore the memo. Memo keys do not
+/// include the [`TimingMode`]: both modes produce identical artifacts,
+/// so a cache is shareable across them.
+pub struct Launch<'a, K: KernelSpec + ?Sized> {
+    mem: &'a mut MemPool,
+    kernel: &'a K,
+    gpu: Option<&'a GpuConfig>,
     mode: Mode,
-    sink: &TraceSink,
-) -> LaunchOutput {
-    launch_memoized(cfg, mem, kernel, mode, sink, None)
+    timing: TimingMode,
+    sink: Option<&'a TraceSink>,
+    memo: Option<(&'a WaveMemo, LaunchSig)>,
+    shadow: bool,
 }
 
-/// [`launch_traced`] with an optional certified wave memo.
-///
-/// When `memo` is set (a [`WaveMemo`] plus the launch's certified
-/// [`LaunchSig`]), the performance simulation consults the memo before
-/// doing any work: whole launches whose signature class was simulated
-/// before replay the cached profile, and within a fresh launch each SM
-/// wave whose class is cached replays recorded timing/span/L2-op
-/// artifacts instead of re-simulating. The caller is responsible for
-/// passing a signature only for kernels holding a `Provable`
-/// wave-equivalence certificate — the signature *is* the proof carrier.
-/// Functional launches ignore `memo`.
-pub fn launch_memoized<K: KernelSpec + ?Sized>(
-    cfg: &GpuConfig,
-    mem: &mut MemPool,
-    kernel: &K,
-    mode: Mode,
-    sink: &TraceSink,
-    memo: Option<(&WaveMemo, LaunchSig)>,
-) -> LaunchOutput {
-    let lc = kernel.launch_config();
-    assert!(lc.grid > 0, "empty grid");
+impl<'a, K: KernelSpec + ?Sized> Launch<'a, K> {
+    /// A functional launch of `kernel` against `mem` on the default GPU.
+    pub fn new(mem: &'a mut MemPool, kernel: &'a K) -> Launch<'a, K> {
+        Launch {
+            mem,
+            kernel,
+            gpu: None,
+            mode: Mode::Functional,
+            timing: TimingMode::default(),
+            sink: None,
+            memo: None,
+            shadow: false,
+        }
+    }
 
-    match mode {
-        Mode::Functional => {
-            let results: Vec<_> = (0..lc.grid)
-                .into_par_iter()
-                .map(|cta_id| {
-                    let mut cta = CtaCtx::new(
-                        cta_id,
-                        Mode::Functional,
-                        mem,
-                        lc.warps_per_cta,
-                        lc.smem_elems,
-                        lc.smem_elem_bytes,
-                    );
-                    kernel.run_cta(&mut cta);
-                    let (_, writes) = cta.finish();
-                    writes
-                })
-                .collect();
-            for writes in results {
-                for (buf, idx, v) in writes {
-                    mem.write(buf, idx as usize, v);
+    /// Machine configuration to simulate (performance mode only).
+    pub fn gpu(mut self, cfg: &'a GpuConfig) -> Launch<'a, K> {
+        self.gpu = Some(cfg);
+        self
+    }
+
+    /// Execution mode.
+    pub fn mode(mut self, mode: Mode) -> Launch<'a, K> {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for `.mode(Mode::Performance)`.
+    pub fn performance(self) -> Launch<'a, K> {
+        self.mode(Mode::Performance)
+    }
+
+    /// How the performance simulation advances time.
+    pub fn timing(mut self, timing: TimingMode) -> Launch<'a, K> {
+        self.timing = timing;
+        self
+    }
+
+    /// Record telemetry into `sink`.
+    pub fn traced(mut self, sink: &'a TraceSink) -> Launch<'a, K> {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Consult (and fill) a certified wave memo under `sig`.
+    pub fn memo(mut self, memo: &'a WaveMemo, sig: LaunchSig) -> Launch<'a, K> {
+        self.memo = Some((memo, sig));
+        self
+    }
+
+    /// [`Launch::memo`], tolerating an uncertified (`None`) signature.
+    pub fn memo_opt(mut self, memo: Option<(&'a WaveMemo, LaunchSig)>) -> Launch<'a, K> {
+        self.memo = memo;
+        self
+    }
+
+    /// Run the fp64 shadow twin alongside functional execution and
+    /// return per-site error observations in [`LaunchOutput::shadow`].
+    /// Forces functional execution; the mode is ignored.
+    pub fn shadow(mut self) -> Launch<'a, K> {
+        self.shadow = true;
+        self
+    }
+
+    /// Execute the launch.
+    pub fn run(self) -> LaunchOutput {
+        let lc = self.kernel.launch_config();
+        assert!(lc.grid > 0, "empty grid");
+        if self.shadow {
+            let shadow = run_shadow(self.mem, self.kernel, &lc);
+            return LaunchOutput {
+                profile: None,
+                shadow,
+            };
+        }
+        match self.mode {
+            Mode::Functional => {
+                run_functional(self.mem, self.kernel, &lc);
+                LaunchOutput {
+                    profile: None,
+                    shadow: Vec::new(),
                 }
             }
-            LaunchOutput { profile: None }
-        }
-        Mode::Performance => {
-            let profile = simulate(cfg, mem, kernel, &lc, sink, memo);
-            LaunchOutput {
-                profile: Some(profile),
+            Mode::Performance => {
+                let default_gpu;
+                let cfg = match self.gpu {
+                    Some(cfg) => cfg,
+                    None => {
+                        default_gpu = GpuConfig::default();
+                        &default_gpu
+                    }
+                };
+                let sink = match self.sink {
+                    Some(sink) => sink,
+                    None => TraceSink::noop(),
+                };
+                let profile = simulate(
+                    cfg,
+                    self.mem,
+                    self.kernel,
+                    &lc,
+                    sink,
+                    self.memo,
+                    self.timing,
+                );
+                LaunchOutput {
+                    profile: Some(profile),
+                    shadow: Vec::new(),
+                }
             }
         }
     }
 }
 
-/// Functional launch with fp64 shadow execution: every CTA runs with
-/// [`CtaCtx::shadow_exec`] on, buffered global writes are applied to `mem`
-/// exactly as in [`launch`] (the working f32/f16 results are bit-identical
-/// — the twin never feeds back), and the per-site error observations are
-/// folded across CTAs and returned sorted by pc.
-///
-/// This is the dynamic half of the precision analysis: the caller compares
-/// each store site's `max_abs_err` against the static certificate bound.
-pub fn launch_shadow<K: KernelSpec + ?Sized>(mem: &mut MemPool, kernel: &K) -> Vec<ShadowObs> {
-    let lc = kernel.launch_config();
-    assert!(lc.grid > 0, "empty grid");
+fn run_functional<K: KernelSpec + ?Sized>(mem: &mut MemPool, kernel: &K, lc: &LaunchConfig) {
+    let results: Vec<_> = (0..lc.grid)
+        .into_par_iter()
+        .map(|cta_id| {
+            let mut cta = CtaCtx::new(
+                cta_id,
+                Mode::Functional,
+                mem,
+                lc.warps_per_cta,
+                lc.smem_elems,
+                lc.smem_elem_bytes,
+            );
+            kernel.run_cta(&mut cta);
+            let (_, writes) = cta.finish();
+            writes
+        })
+        .collect();
+    for writes in results {
+        for (buf, idx, v) in writes {
+            mem.write(buf, idx as usize, v);
+        }
+    }
+}
+
+fn run_shadow<K: KernelSpec + ?Sized>(
+    mem: &mut MemPool,
+    kernel: &K,
+    lc: &LaunchConfig,
+) -> Vec<ShadowObs> {
     let results: Vec<_> = (0..lc.grid)
         .into_par_iter()
         .map(|cta_id| {
@@ -223,6 +356,69 @@ pub fn launch_shadow<K: KernelSpec + ?Sized>(mem: &mut MemPool, kernel: &K) -> V
     }
     folded.sort_by_key(|o| o.pc);
     folded
+}
+
+/// Deprecated free-function shim over [`Launch`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use Launch::new(mem, kernel).gpu(cfg).mode(mode).run()"
+)]
+pub fn launch<K: KernelSpec + ?Sized>(
+    cfg: &GpuConfig,
+    mem: &mut MemPool,
+    kernel: &K,
+    mode: Mode,
+) -> LaunchOutput {
+    Launch::new(mem, kernel).gpu(cfg).mode(mode).run()
+}
+
+/// Deprecated free-function shim over [`Launch`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use Launch::new(mem, kernel).gpu(cfg).mode(mode).traced(sink).run()"
+)]
+pub fn launch_traced<K: KernelSpec + ?Sized>(
+    cfg: &GpuConfig,
+    mem: &mut MemPool,
+    kernel: &K,
+    mode: Mode,
+    sink: &TraceSink,
+) -> LaunchOutput {
+    Launch::new(mem, kernel)
+        .gpu(cfg)
+        .mode(mode)
+        .traced(sink)
+        .run()
+}
+
+/// Deprecated free-function shim over [`Launch`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use Launch::new(mem, kernel).gpu(cfg).mode(mode).traced(sink).memo_opt(memo).run()"
+)]
+pub fn launch_memoized<K: KernelSpec + ?Sized>(
+    cfg: &GpuConfig,
+    mem: &mut MemPool,
+    kernel: &K,
+    mode: Mode,
+    sink: &TraceSink,
+    memo: Option<(&WaveMemo, LaunchSig)>,
+) -> LaunchOutput {
+    Launch::new(mem, kernel)
+        .gpu(cfg)
+        .mode(mode)
+        .traced(sink)
+        .memo_opt(memo)
+        .run()
+}
+
+/// Deprecated free-function shim over [`Launch`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use Launch::new(mem, kernel).shadow().run().shadow"
+)]
+pub fn launch_shadow<K: KernelSpec + ?Sized>(mem: &mut MemPool, kernel: &K) -> Vec<ShadowObs> {
+    Launch::new(mem, kernel).shadow().run().shadow
 }
 
 /// Memo key for one SM wave (or, with the full sample list, one launch):
@@ -260,8 +456,18 @@ fn simulate<K: KernelSpec + ?Sized>(
     lc: &LaunchConfig,
     sink: &TraceSink,
     memo: Option<(&WaveMemo, LaunchSig)>,
+    timing: TimingMode,
 ) -> KernelProfile {
     let ctas_per_sm = lc.ctas_per_sm(cfg);
+
+    // `VECSPARSE_AUDIT=n` also guards the event scheduler: every n-th
+    // simulated wave (by canonical index, so selection is independent of
+    // worker count) is re-timed with the tick scheduler and must match
+    // bit for bit.
+    let audit_every = match memo {
+        Some((m, _)) => m.audit_every(),
+        None => WaveMemo::env_audit_period(),
+    };
 
     // How many CTAs would be resident machine-wide in one wave, and how
     // many waves the grid takes.
@@ -341,6 +547,7 @@ fn simulate<K: KernelSpec + ?Sized>(
                     lc.smem_elems,
                     lc.smem_elem_bytes,
                 );
+                cta.reserve_traces(lc.static_instrs as usize);
                 kernel.run_cta(&mut cta);
                 let (t, _) = cta.finish();
                 t
@@ -393,7 +600,12 @@ fn simulate<K: KernelSpec + ?Sized>(
             let mut l1 = SectorCache::new(l1_cache_bytes.max(128 * cfg.l1_ways), cfg.l1_ways);
             let mut l2 = RecordingL2::new(cfg.l2_bytes, cfg.l2_ways);
             let obs = tracing.then(WaveObs::new);
-            let result = simulate_wave(cfg, &wave, &mut l1, &mut l2, obs.as_ref());
+            let result = match timing {
+                TimingMode::Tick => simulate_wave(cfg, &wave, &mut l1, &mut l2, obs.as_ref()),
+                TimingMode::Event => {
+                    simulate_wave_event(cfg, &wave, &mut l1, &mut l2, obs.as_ref())
+                }
+            };
             let fresh = Arc::new(WaveArtifacts {
                 result,
                 ctas: wave.len(),
@@ -401,6 +613,19 @@ fn simulate<K: KernelSpec + ?Sized>(
                 l2_ops: l2.into_ops(),
                 shard: obs.map(WaveObs::into_shard),
             });
+            if timing == TimingMode::Event && audit_every > 0 && (w as u64 + 1) % audit_every == 0 {
+                let mut l1t = SectorCache::new(l1_cache_bytes.max(128 * cfg.l1_ways), cfg.l1_ways);
+                let mut l2t = RecordingL2::new(cfg.l2_bytes, cfg.l2_ways);
+                let tick = simulate_wave(cfg, &wave, &mut l1t, &mut l2t, None);
+                assert!(
+                    fresh.result == tick
+                        && fresh.l1_stats == l1t.stats
+                        && fresh.l2_ops == l2t.into_ops(),
+                    "VECSPARSE_AUDIT: event-timed SM wave {w} of kernel {:?} is not \
+                     bit-identical to its tick re-simulation",
+                    kernel.name()
+                );
+            }
             match (decision, memo) {
                 (WaveDecision::Audit(cached), _) => {
                     WaveMemo::assert_audit_identical(cached, &fresh, &kernel.name());
@@ -656,8 +881,9 @@ mod tests {
         let input = mem.alloc_init(ElemWidth::B32, (0..128).map(|i| i as f32).collect());
         let output = mem.alloc_zeroed(ElemWidth::B32, 128);
         let k = DoubleKernel::new(input, output, 4);
-        let out = launch(&cfg, &mut mem, &k, Mode::Functional);
+        let out = Launch::new(&mut mem, &k).gpu(&cfg).run();
         assert!(out.profile.is_none());
+        assert!(out.shadow.is_empty());
         for i in 0..128 {
             assert_eq!(mem.read(output, i), 2.0 * i as f32, "index {i}");
         }
@@ -670,7 +896,7 @@ mod tests {
         let input = mem.alloc_ghost(ElemWidth::B32, 32 * 1024);
         let output = mem.alloc_ghost(ElemWidth::B32, 32 * 1024);
         let k = DoubleKernel::new(input, output, 1024);
-        let out = launch(&cfg, &mut mem, &k, Mode::Performance);
+        let out = Launch::new(&mut mem, &k).gpu(&cfg).performance().run();
         let p = out.profile.unwrap();
         assert_eq!(p.grid, 1024);
         assert!(p.cycles > 0.0);
@@ -729,7 +955,11 @@ mod tests {
         let output = mem.alloc_ghost(ElemWidth::B32, 1024);
         let k = DoubleKernel::new(input, output, 4);
         let sink = TraceSink::enabled(1 << 16);
-        let out = launch_traced(&cfg, &mut mem, &k, Mode::Performance, &sink);
+        let out = Launch::new(&mut mem, &k)
+            .gpu(&cfg)
+            .performance()
+            .traced(&sink)
+            .run();
         let p = out.profile.unwrap();
 
         let events = sink.events();
@@ -771,15 +1001,26 @@ mod tests {
         let input = mem.alloc_ghost(ElemWidth::B32, 1 << 20);
         let output = mem.alloc_ghost(ElemWidth::B32, 1 << 20);
         let k = DoubleKernel::new(input, output, 1024);
-        let plain = launch(&cfg, &mut mem, &k, Mode::Performance)
+        let plain = Launch::new(&mut mem, &k)
+            .gpu(&cfg)
+            .performance()
+            .run()
             .profile
             .unwrap();
         let disabled = TraceSink::disabled();
-        let traced_off = launch_traced(&cfg, &mut mem, &k, Mode::Performance, &disabled)
+        let traced_off = Launch::new(&mut mem, &k)
+            .gpu(&cfg)
+            .performance()
+            .traced(&disabled)
+            .run()
             .profile
             .unwrap();
         let enabled = TraceSink::enabled(1 << 16);
-        let traced_on = launch_traced(&cfg, &mut mem, &k, Mode::Performance, &enabled)
+        let traced_on = Launch::new(&mut mem, &k)
+            .gpu(&cfg)
+            .performance()
+            .traced(&enabled)
+            .run()
             .profile
             .unwrap();
         // Recording never feeds back into the timing model: identical
@@ -792,6 +1033,59 @@ mod tests {
     }
 
     #[test]
+    fn event_timing_profile_is_bit_identical() {
+        let cfg = GpuConfig::small();
+        let mut mem = MemPool::new();
+        let input = mem.alloc_ghost(ElemWidth::B32, 1 << 20);
+        let output = mem.alloc_ghost(ElemWidth::B32, 1 << 20);
+        let k = DoubleKernel::new(input, output, 1024);
+        let tick = Launch::new(&mut mem, &k)
+            .gpu(&cfg)
+            .performance()
+            .run()
+            .profile
+            .unwrap();
+        let event = Launch::new(&mut mem, &k)
+            .gpu(&cfg)
+            .performance()
+            .timing(TimingMode::Event)
+            .run()
+            .profile
+            .unwrap();
+        assert_eq!(tick.cycles.to_bits(), event.cycles.to_bits());
+        assert_eq!(tick.instrs, event.instrs);
+        assert_eq!(tick.stalls, event.stalls);
+        assert_eq!(tick.hot_pcs, event.hot_pcs);
+    }
+
+    #[test]
+    fn event_audit_cross_checks_every_wave() {
+        // An audit period of 1 re-times every event wave with the tick
+        // scheduler inside the launch itself; any divergence panics.
+        let cfg = GpuConfig::small();
+        let memo = WaveMemo::with_audit(1);
+        let mut mem = MemPool::new();
+        let input = mem.alloc_ghost(ElemWidth::B32, 1 << 20);
+        let output = mem.alloc_ghost(ElemWidth::B32, 1 << 20);
+        let k = DoubleKernel::new(input, output, 512);
+        let audited = Launch::new(&mut mem, &k)
+            .gpu(&cfg)
+            .performance()
+            .timing(TimingMode::Event)
+            .memo(&memo, LaunchSig(crate::sig::Fingerprint::default()))
+            .run()
+            .profile
+            .unwrap();
+        let plain = Launch::new(&mut mem, &k)
+            .gpu(&cfg)
+            .performance()
+            .run()
+            .profile
+            .unwrap();
+        assert_eq!(audited.cycles.to_bits(), plain.cycles.to_bits());
+    }
+
+    #[test]
     fn bigger_grid_costs_more_cycles() {
         let cfg = GpuConfig::small();
         let mut mem = MemPool::new();
@@ -799,10 +1093,16 @@ mod tests {
         let output = mem.alloc_ghost(ElemWidth::B32, 1 << 20);
         let small = DoubleKernel::new(input, output, 256);
         let big = DoubleKernel::new(input, output, 4096);
-        let ps = launch(&cfg, &mut mem, &small, Mode::Performance)
+        let ps = Launch::new(&mut mem, &small)
+            .gpu(&cfg)
+            .performance()
+            .run()
             .profile
             .unwrap();
-        let pb = launch(&cfg, &mut mem, &big, Mode::Performance)
+        let pb = Launch::new(&mut mem, &big)
+            .gpu(&cfg)
+            .performance()
+            .run()
             .profile
             .unwrap();
         assert!(

@@ -40,6 +40,7 @@ mod memo;
 mod profile;
 mod program;
 mod sched;
+mod sched_event;
 pub mod sig;
 mod tcu;
 mod trace;
@@ -48,17 +49,17 @@ mod wvec;
 
 pub use cache::{replay_l2, CacheStats, L2Op, L2Port, RecordingL2, SectorCache};
 pub use config::{GpuConfig, Timing};
-pub use launch::{
-    launch, launch_memoized, launch_shadow, launch_traced, KernelSpec, LaunchConfig, LaunchOutput,
-    Mode,
-};
+#[allow(deprecated)]
+pub use launch::{launch, launch_memoized, launch_shadow, launch_traced};
+pub use launch::{KernelSpec, Launch, LaunchConfig, LaunchOutput, Mode, TimingMode};
 pub use mem::{BufferId, ElemWidth, MemPool, PoolMark};
 pub use memo::{LaunchSig, MemoStats, WaveArtifacts, WaveDecision, WaveMemo};
 pub use profile::{InstrCounts, KernelProfile, PipeUtil, Roofline, StallBreakdown};
 // Telemetry types appear in this crate's API (`launch_traced`); re-export
 // them so downstream crates need no direct dependency for common use.
 pub use program::{Program, Site};
-pub use sched::WaveResult;
+pub use sched::{simulate_wave, WaveObs, WaveResult};
+pub use sched_event::{simulate_wave_event, simulate_wave_event_with_stats, EventStats};
 pub use tcu::{
     execute_mma, execute_mma_shadow, mma_m8n8k4_reference, pack_a_fragment, pack_b_fragment,
     unpack_acc, MmaFlavor, OCTETS, OCTET_SIZE,

@@ -177,6 +177,18 @@ impl MemPool {
         }
     }
 
+    /// Provide functional contents for a buffer allocated without them
+    /// ([`Self::alloc_ghost`]) — the deferred host→device copy of a plan
+    /// that was built for profiling and only later runs functionally.
+    ///
+    /// # Panics
+    /// Panics if `data` length differs from the buffer length.
+    pub fn materialize(&mut self, buf: BufferId, data: Vec<f32>) {
+        let b = &mut self.buffers[buf.0];
+        assert_eq!(data.len(), b.len, "materialize length mismatch");
+        b.data = data;
+    }
+
     /// Fill a buffer's functional contents with a constant (no-op for
     /// ghost buffers) — re-zeroing an output buffer between launches.
     pub fn fill(&mut self, buf: BufferId, v: f32) {

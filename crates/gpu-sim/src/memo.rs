@@ -149,11 +149,17 @@ impl WaveMemo {
     /// A memo with the audit period taken from `VECSPARSE_AUDIT` (unset,
     /// empty, `0`, or unparsable → auditing off).
     pub fn new() -> Self {
-        let audit = std::env::var("VECSPARSE_AUDIT")
+        WaveMemo::with_audit(WaveMemo::env_audit_period())
+    }
+
+    /// The `VECSPARSE_AUDIT` period from the environment (0 = off). Also
+    /// consulted by memo-less event-timed launches, which cross-check
+    /// every n-th wave against a tick re-simulation at the same period.
+    pub fn env_audit_period() -> u64 {
+        std::env::var("VECSPARSE_AUDIT")
             .ok()
             .and_then(|v| v.trim().parse::<u64>().ok())
-            .unwrap_or(0);
-        WaveMemo::with_audit(audit)
+            .unwrap_or(0)
     }
 
     /// A memo auditing every `audit_every`-th memoized wave (0 = off).

@@ -52,6 +52,7 @@ impl WaveObs {
         &self,
         s: usize,
         instr: &crate::trace::TraceInstr,
+        mem: Option<&crate::trace::MemAccess>,
         issue_at: u64,
         interval: u64,
         latency: u64,
@@ -61,7 +62,7 @@ impl WaveObs {
             ("pc", ArgValue::U64(instr.pc as u64)),
             ("lat", ArgValue::U64(latency)),
         ];
-        if let Some(mem) = &instr.mem {
+        if let Some(mem) = mem {
             if mem.global {
                 args.push(("sectors", ArgValue::U64(mem.sectors.len() as u64)));
                 args.push(("l1_missed", ArgValue::U64(l1_missed)));
@@ -377,6 +378,7 @@ pub fn simulate_wave<L2: L2Port + ?Sized>(
             }
 
             // Memory system effects and completion latency.
+            let imem = w.trace.mem_of(instr);
             let mut obs_l1_missed = 0u64;
             let latency = match instr.kind {
                 InstrKind::Ffma | InstrKind::Hfma2 | InstrKind::Imad | InstrKind::Misc => {
@@ -388,7 +390,7 @@ pub fn simulate_wave<L2: L2Port + ?Sized>(
                 InstrKind::Sts { .. } => timing.alu_latency,
                 InstrKind::Bar | InstrKind::Fence => 1,
                 InstrKind::Stg { .. } => {
-                    if let Some(mem) = &instr.mem {
+                    if let Some(mem) = imem {
                         l1.store(&mem.sectors);
                         l2.store(&mem.sectors);
                     }
@@ -396,7 +398,7 @@ pub fn simulate_wave<L2: L2Port + ?Sized>(
                 }
                 InstrKind::Ldg { .. } => {
                     let mut lat = timing.l1_hit_latency;
-                    if let Some(mem) = &instr.mem {
+                    if let Some(mem) = imem {
                         let missed_l1 = l1.access(&mem.sectors);
                         obs_l1_missed = missed_l1;
                         if missed_l1 > 0 {
@@ -421,16 +423,12 @@ pub fn simulate_wave<L2: L2Port + ?Sized>(
             sched.cursor = issue_at + 1;
             // Shared-memory bank conflicts serialise the access: the pipe
             // stays occupied `conflict` times as long.
-            let conflict =
-                instr
-                    .mem
-                    .as_ref()
-                    .map_or(1, |m| if m.global { 1 } else { u64::from(m.conflict) });
+            let conflict = imem.map_or(1, |m| if m.global { 1 } else { u64::from(m.conflict) });
             let interval = timing.issue_interval(instr.kind.pipe()) * conflict.max(1);
             sched.pipe_free[pi] = issue_at + interval;
             sched.pipe_busy[pi] += interval;
             if let Some(obs) = obs {
-                obs.issue_span(s, instr, issue_at, interval, latency, obs_l1_missed);
+                obs.issue_span(s, instr, imem, issue_at, interval, latency, obs_l1_missed);
             }
 
             let completion = issue_at + latency;
@@ -517,23 +515,24 @@ mod tests {
             kind,
             deps,
             acc_dep: Tok::NONE,
-            mem: None,
+            mem_idx: TraceInstr::NO_MEM,
         }
     }
 
-    fn mem_instr(pc: u32, kind: InstrKind, sectors: Vec<u64>) -> TraceInstr {
-        TraceInstr {
+    fn push_mem_instr(t: &mut WarpTrace, pc: u32, kind: InstrKind, sectors: Vec<u64>) -> Tok {
+        let mem_idx = t.push_mem(MemAccess {
+            sectors,
+            global: true,
+            store: matches!(kind, InstrKind::Stg { .. }),
+            ..MemAccess::default()
+        });
+        t.push(TraceInstr {
             pc,
             kind,
             deps: [Tok::NONE; 3],
             acc_dep: Tok::NONE,
-            mem: Some(MemAccess {
-                sectors,
-                global: true,
-                store: matches!(kind, InstrKind::Stg { .. }),
-                ..MemAccess::default()
-            }),
-        }
+            mem_idx,
+        })
     }
 
     fn run(cfg: &GpuConfig, ctas: &[&[WarpTrace]]) -> WaveResult {
@@ -606,7 +605,7 @@ mod tests {
     fn global_load_dependency_is_long_scoreboard() {
         let cfg = GpuConfig::small();
         let mut t = WarpTrace::default();
-        let ld = t.push(mem_instr(0, InstrKind::Ldg { bits: 128 }, vec![1, 2, 3, 4]));
+        let ld = push_mem_instr(&mut t, 0, InstrKind::Ldg { bits: 128 }, vec![1, 2, 3, 4]);
         t.push(instr(1, InstrKind::Ffma, [ld, Tok::NONE, Tok::NONE]));
         let cta = [t];
         let r = run(&cfg, &[&cta]);
@@ -618,17 +617,18 @@ mod tests {
     fn shared_load_dependency_is_short_scoreboard() {
         let cfg = GpuConfig::small();
         let mut t = WarpTrace::default();
+        let mem_idx = t.push_mem(MemAccess {
+            sectors: Vec::new(),
+            global: false,
+            store: false,
+            ..MemAccess::default()
+        });
         let ld = t.push(TraceInstr {
             pc: 0,
             kind: InstrKind::Lds { bits: 128 },
             deps: [Tok::NONE; 3],
             acc_dep: Tok::NONE,
-            mem: Some(MemAccess {
-                sectors: Vec::new(),
-                global: false,
-                store: false,
-                ..MemAccess::default()
-            }),
+            mem_idx,
         });
         t.push(instr(1, InstrKind::Ffma, [ld, Tok::NONE, Tok::NONE]));
         let cta = [t];

@@ -202,14 +202,25 @@ pub struct TraceInstr {
     pub deps: [Tok; 3],
     /// For HMMA: token of the accumulator producer (forwarded cheaply).
     pub acc_dep: Tok,
-    /// Sectors touched, for memory instructions.
-    pub mem: Option<MemAccess>,
+    /// Index into the warp's [`WarpTrace::mem`] side table, or
+    /// [`TraceInstr::NO_MEM`] for non-memory instructions. Keeping the
+    /// access out of line keeps this struct 32 bytes, which matters:
+    /// trace generation is the dominant shared cost of a launch and most
+    /// instructions carry no access.
+    pub mem_idx: u32,
+}
+
+impl TraceInstr {
+    /// `mem_idx` sentinel for instructions without a memory access.
+    pub const NO_MEM: u32 = u32::MAX;
 }
 
 /// The full trace of one warp.
 #[derive(Clone, Debug, Default)]
 pub struct WarpTrace {
     pub instrs: Vec<TraceInstr>,
+    /// Memory accesses, referenced by [`TraceInstr::mem_idx`].
+    pub mem: Vec<MemAccess>,
 }
 
 impl WarpTrace {
@@ -218,6 +229,21 @@ impl WarpTrace {
         let tok = Tok(self.instrs.len() as u32);
         self.instrs.push(instr);
         tok
+    }
+
+    /// Append a memory access to the side table, returning the index to
+    /// store in the owning instruction's `mem_idx`.
+    pub fn push_mem(&mut self, access: MemAccess) -> u32 {
+        let idx = self.mem.len() as u32;
+        self.mem.push(access);
+        idx
+    }
+
+    /// The memory access of `instr`, if it has one. `NO_MEM` indexes past
+    /// the table and naturally yields `None`.
+    #[inline]
+    pub fn mem_of(&self, instr: &TraceInstr) -> Option<&MemAccess> {
+        self.mem.get(instr.mem_idx as usize)
     }
 
     /// Number of dynamic instructions.
@@ -253,14 +279,14 @@ mod tests {
             kind: InstrKind::Misc,
             deps: [Tok::NONE; 3],
             acc_dep: Tok::NONE,
-            mem: None,
+            mem_idx: TraceInstr::NO_MEM,
         });
         let b = t.push(TraceInstr {
             pc: 1,
             kind: InstrKind::Misc,
             deps: [a, Tok::NONE, Tok::NONE],
             acc_dep: Tok::NONE,
-            mem: None,
+            mem_idx: TraceInstr::NO_MEM,
         });
         assert_eq!(a.0, 0);
         assert_eq!(b.0, 1);

@@ -186,6 +186,16 @@ impl<'a> CtaCtx<'a> {
         self.shared.elems()
     }
 
+    /// Pre-size each warp's trace with a lower-bound instruction-count
+    /// hint (typically the launch's static instruction count). Purely an
+    /// allocation hint: traces grow past it amortised as usual.
+    pub fn reserve_traces(&mut self, instrs: usize) {
+        for t in &mut self.traces {
+            t.instrs.reserve(instrs);
+            t.mem.reserve(instrs / 4);
+        }
+    }
+
     /// Value-level observations recorded so far (see [`CtaCtx::check_values`]).
     pub fn san_events(&self) -> &[SanEvent] {
         &self.san_events
@@ -328,12 +338,17 @@ impl WarpCtx<'_, '_> {
         if self.functional() {
             return Tok::NONE;
         }
-        self.cta.traces[self.w].push(TraceInstr {
+        let trace = &mut self.cta.traces[self.w];
+        let mem_idx = match mem {
+            Some(m) => trace.push_mem(m),
+            None => TraceInstr::NO_MEM,
+        };
+        trace.push(TraceInstr {
             pc: site.0,
             kind,
             deps,
             acc_dep,
-            mem,
+            mem_idx,
         })
     }
 
@@ -827,7 +842,7 @@ mod tests {
         let (traces, _) = cta2.finish();
         let instr = &traces[0].instrs[0];
         assert_eq!(instr.kind, InstrKind::Ldg { bits: 128 });
-        assert_eq!(instr.mem.as_ref().unwrap().sectors.len(), 16);
+        assert_eq!(traces[0].mem_of(instr).unwrap().sectors.len(), 16);
     }
 
     #[test]

@@ -176,11 +176,11 @@ mod tests {
 
     #[test]
     fn fixtures_are_launchable() {
-        use vecsparse_gpu_sim::{launch, GpuConfig, MemPool, Mode};
+        use vecsparse_gpu_sim::{GpuConfig, Launch, MemPool};
         let cfg = GpuConfig::small();
         for f in all_fixtures() {
             let mut mem = MemPool::new();
-            launch(&cfg, &mut mem, &f, Mode::Functional);
+            Launch::new(&mut mem, &f).gpu(&cfg).run();
         }
     }
 }

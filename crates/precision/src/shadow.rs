@@ -10,7 +10,7 @@
 //! soundness bug in the analyzer itself and must fail loudly.
 
 use crate::analyze::Certificate;
-use vecsparse_gpu_sim::{launch_shadow, KernelSpec, MemPool, ShadowObs};
+use vecsparse_gpu_sim::{KernelSpec, Launch, MemPool, ShadowObs};
 
 /// Folded result of one shadow-execution launch.
 #[derive(Clone, Debug)]
@@ -37,7 +37,7 @@ impl ShadowReport {
 /// observations. Global writes are applied to `mem` exactly as a plain
 /// functional launch would.
 pub fn shadow_run<K: KernelSpec + ?Sized>(mem: &mut MemPool, kernel: &K) -> ShadowReport {
-    let obs = launch_shadow(mem, kernel);
+    let obs = Launch::new(mem, kernel).shadow().run().shadow;
     let observed_max_err = obs.iter().map(|o| o.max_abs_err).fold(0.0f64, f64::max);
     let samples = obs.iter().map(|o| o.samples).sum();
     ShadowReport {

@@ -22,7 +22,8 @@
 use std::collections::HashMap;
 
 use vecsparse_gpu_sim::{
-    AccessDetail, GpuConfig, InstrKind, LaunchConfig, MemPool, Program, Tok, TraceInstr, WarpTrace,
+    AccessDetail, GpuConfig, InstrKind, LaunchConfig, MemAccess, MemPool, Program, Tok, TraceInstr,
+    WarpTrace,
 };
 
 use crate::diag::{Category, Diagnostic, Report, Severity};
@@ -112,11 +113,11 @@ pub(crate) fn check_cta(env: &Env<'_>, cta: usize, traces: &[WarpTrace], report:
     for (w, trace) in traces.iter().enumerate() {
         check_def_use(env, cta, w, trace, report);
         for (i, ins) in trace.instrs.iter().enumerate() {
-            if let Some(mem) = &ins.mem {
+            if let Some(mem) = trace.mem_of(ins) {
                 if let Some(detail) = &mem.detail {
-                    check_bounds(env, cta, w, i, ins, detail, report);
+                    check_bounds(env, cta, w, i, ins, mem, detail, report);
                     if mem.global && !mem.store {
-                        check_coalescing(env, cta, w, i, ins, mem.active_lanes, detail, report);
+                        check_coalescing(env, cta, w, i, ins, mem, detail, report);
                     }
                     if !mem.global {
                         check_banks(env, cta, w, i, ins, detail, report);
@@ -316,7 +317,9 @@ fn check_barriers(env: &Env<'_>, cta: usize, traces: &[WarpTrace], report: &mut 
                 epoch += 1;
                 continue;
             }
-            let Some(mem) = &ins.mem else { continue };
+            let Some(mem) = trace.mem_of(ins) else {
+                continue;
+            };
             if mem.global {
                 continue;
             }
@@ -387,16 +390,18 @@ fn check_barriers(env: &Env<'_>, cta: usize, traces: &[WarpTrace], report: &mut 
 }
 
 /// Global/shared bounds pass over one access.
+#[allow(clippy::too_many_arguments)] // Location context is clearer flat.
 fn check_bounds(
     env: &Env<'_>,
     cta: usize,
     w: usize,
     i: usize,
     ins: &TraceInstr,
+    mem: &MemAccess,
     detail: &AccessDetail,
     report: &mut Report,
 ) {
-    let store = ins.mem.as_ref().is_some_and(|m| m.store);
+    let store = mem.store;
     match detail.buf {
         Some(buf) => {
             let len = env.mem.len(buf) as u64;
@@ -477,11 +482,11 @@ fn check_coalescing(
     w: usize,
     i: usize,
     ins: &TraceInstr,
-    active_lanes: u8,
+    mem: &MemAccess,
     detail: &AccessDetail,
     report: &mut Report,
 ) {
-    let Some(mem) = &ins.mem else { return };
+    let active_lanes = mem.active_lanes;
     if active_lanes < 8 || mem.sectors.is_empty() {
         return; // Scalar/narrow accesses cannot meaningfully coalesce.
     }

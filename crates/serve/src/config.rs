@@ -2,7 +2,7 @@
 
 use crate::error::ServeError;
 use std::sync::Arc;
-use vecsparse_gpu_sim::GpuConfig;
+use vecsparse_gpu_sim::{GpuConfig, TimingMode};
 use vecsparse_telemetry::TraceSink;
 
 /// One tenant's contract with the server: identity, fair-share weight,
@@ -71,6 +71,7 @@ pub struct ServeConfig {
     pub(crate) max_batch: usize,
     pub(crate) default_queue_depth: usize,
     pub(crate) gpu: GpuConfig,
+    pub(crate) timing: TimingMode,
     pub(crate) memoization: bool,
     pub(crate) sink: Option<Arc<TraceSink>>,
     pub(crate) tenants: Vec<TenantSpec>,
@@ -104,6 +105,11 @@ impl ServeConfig {
     pub fn tenants(&self) -> &[TenantSpec] {
         &self.tenants
     }
+
+    /// Scheduler timing mode the worker contexts simulate with.
+    pub fn timing(&self) -> TimingMode {
+        self.timing
+    }
 }
 
 /// Builder for [`ServeConfig`] — the same consuming-chain style as
@@ -127,6 +133,7 @@ pub struct ServeConfigBuilder {
     max_batch: Option<usize>,
     default_queue_depth: Option<usize>,
     gpu: Option<GpuConfig>,
+    timing: TimingMode,
     memoization: bool,
     sink: Option<Arc<TraceSink>>,
     tenants: Vec<TenantSpec>,
@@ -163,6 +170,15 @@ impl ServeConfigBuilder {
     /// V100 shape).
     pub fn gpu(mut self, gpu: GpuConfig) -> Self {
         self.gpu = Some(gpu);
+        self
+    }
+
+    /// Scheduler timing mode for every worker context (default
+    /// [`TimingMode::Tick`]). [`TimingMode::Event`] serves bit-identical
+    /// artifacts faster by jumping the simulated clock between issue
+    /// events.
+    pub fn timing(mut self, timing: TimingMode) -> Self {
+        self.timing = timing;
         self
     }
 
@@ -231,6 +247,7 @@ impl ServeConfigBuilder {
             max_batch,
             default_queue_depth: self.default_queue_depth.unwrap_or(256),
             gpu: self.gpu.unwrap_or_default(),
+            timing: self.timing,
             memoization: self.memoization,
             sink: self.sink,
             tenants: self.tenants,

@@ -153,6 +153,7 @@ impl Server {
             .map(|_| {
                 let mut b = Context::builder()
                     .gpu(config.gpu.clone())
+                    .timing(config.timing)
                     .telemetry(Arc::clone(&sink));
                 if config.memoization {
                     // One wave cache per shard, shared by every plan the

@@ -7,7 +7,7 @@ use vecsparse::spmm::profile_dense_gemm;
 use vecsparse::{SddmmAlgo, SpmmAlgo};
 use vecsparse_formats::{gen, reference, DenseMatrix, Layout, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
-use vecsparse_gpu_sim::{launch, GpuConfig, KernelSpec, MemPool, Mode, TraceSink};
+use vecsparse_gpu_sim::{GpuConfig, KernelSpec, Launch, MemPool, Mode, TraceSink};
 
 /// Shape of one attention layer instance.
 #[derive(Clone, Copy, Debug)]
@@ -204,7 +204,10 @@ pub fn dense_attention_latency(gpu: &GpuConfig, cfg: &AttentionConfig) -> Attent
     let sm = {
         let mut mem = MemPool::new();
         let kernel = DenseSoftmax::new(&mut mem, l, l, Mode::Performance);
-        launch(gpu, &mut mem, &kernel, Mode::Performance)
+        Launch::new(&mut mem, &kernel)
+            .gpu(gpu)
+            .performance()
+            .run()
             .profile
             .expect("profile")
     };

@@ -200,7 +200,7 @@ fn trace_fingerprint(traces: &[WarpTrace]) -> Fingerprint {
                 h.write_u64(tok_bits(d));
             }
             h.write_u64(tok_bits(i.acc_dep));
-            match &i.mem {
+            match t.mem_of(i) {
                 Some(m) => {
                     h.write_u8(1);
                     h.write_u8(m.global as u8);

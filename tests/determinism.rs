@@ -14,7 +14,7 @@ use vecsparse::registry::{self, KernelId, Shape};
 use vecsparse::{SddmmAlgo, SpmmAlgo};
 use vecsparse_formats::{gen, DenseMatrix, Layout, VectorSparse};
 use vecsparse_fp16::f16;
-use vecsparse_gpu_sim::{launch_traced, GpuConfig, Mode};
+use vecsparse_gpu_sim::{GpuConfig, Launch, Mode};
 use vecsparse_telemetry::{perfetto, TraceSink, DEFAULT_CAPACITY};
 
 /// Reconfigure the global worker count. The shim accepts repeated
@@ -81,7 +81,11 @@ fn snapshot_with(memoize: bool) -> Snapshot {
         &Shape::default(),
         Mode::Performance,
         |mem, kernel| {
-            launch_traced(&gpu, mem, kernel, Mode::Performance, &sink);
+            Launch::new(&mut *mem, kernel)
+                .gpu(&gpu)
+                .performance()
+                .traced(&sink)
+                .run();
             perfetto::export_json(&sink)
         },
     );

@@ -235,7 +235,7 @@ fn unaligned_rhs_width() {
 #[test]
 fn dense_softmax_kernel() {
     use vecsparse::softmax::DenseSoftmax;
-    use vecsparse_gpu_sim::{launch, MemPool, Mode};
+    use vecsparse_gpu_sim::{Launch, MemPool, Mode};
     let gpu = GpuConfig::small();
     let x = gen::random_dense::<f16>(8, 48, Layout::RowMajor, 23);
     let mut mem = MemPool::new();
@@ -243,7 +243,7 @@ fn dense_softmax_kernel() {
     for (i, v) in x.data().iter().enumerate() {
         mem.write(kernel.input(), i, v.to_f32());
     }
-    launch(&gpu, &mut mem, &kernel, Mode::Functional);
+    Launch::new(&mut mem, &kernel).gpu(&gpu).run();
     let want = reference::softmax_dense(&x);
     for r in 0..8 {
         for c in 0..48 {

@@ -16,8 +16,8 @@ use vecsparse_formats::{gen, DenseMatrix, Layout};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::sig::Fingerprint;
 use vecsparse_gpu_sim::{
-    launch_memoized, launch_traced, BufferId, CtaCtx, ElemWidth, GpuConfig, KernelSpec,
-    LaunchConfig, MemPool, Mode, Program, Site, WVec, WaveMemo, NO_LANES,
+    BufferId, CtaCtx, ElemWidth, GpuConfig, KernelSpec, Launch, LaunchConfig, MemPool, Mode,
+    Program, Site, WVec, WaveMemo, NO_LANES,
 };
 use vecsparse_telemetry::{perfetto, TraceSink, DEFAULT_CAPACITY};
 use vecsparse_waveprove::{certify, CertifyOptions, ProofFailure, WaveVerdict};
@@ -120,8 +120,13 @@ fn traced_replay_timeline_is_bit_identical() {
         Mode::Performance,
         |mem, kernel| {
             let sink = Arc::new(TraceSink::enabled(DEFAULT_CAPACITY));
-            launch_traced(&gpu, mem, kernel, Mode::Performance, &sink);
-            launch_traced(&gpu, mem, kernel, Mode::Performance, &sink);
+            for _ in 0..2 {
+                Launch::new(&mut *mem, kernel)
+                    .gpu(&gpu)
+                    .performance()
+                    .traced(&sink)
+                    .run();
+            }
             perfetto::export_json(&sink)
         },
     );
@@ -137,22 +142,14 @@ fn traced_replay_timeline_is_bit_identical() {
                 .expect("registry kernels are provable");
             let memo = WaveMemo::with_audit(0);
             let sink = Arc::new(TraceSink::enabled(DEFAULT_CAPACITY));
-            launch_memoized(
-                &gpu,
-                mem,
-                kernel,
-                Mode::Performance,
-                &sink,
-                Some((&memo, sig)),
-            );
-            launch_memoized(
-                &gpu,
-                mem,
-                kernel,
-                Mode::Performance,
-                &sink,
-                Some((&memo, sig)),
-            );
+            for _ in 0..2 {
+                Launch::new(&mut *mem, kernel)
+                    .gpu(&gpu)
+                    .performance()
+                    .traced(&sink)
+                    .memo(&memo, sig)
+                    .run();
+            }
             (perfetto::export_json(&sink), memo.stats())
         },
     );
@@ -248,14 +245,12 @@ fn data_dependent_kernel_is_not_provable_and_never_memoized() {
     let gpu = GpuConfig::small();
     let sig = cert.launch_sig(Fingerprint::default());
     for _ in 0..3 {
-        launch_memoized(
-            &gpu,
-            &mut mem,
-            &kernel,
-            Mode::Performance,
-            &sink,
-            sig.map(|s| (&memo, s)),
-        );
+        Launch::new(&mut mem, &kernel)
+            .gpu(&gpu)
+            .performance()
+            .traced(&sink)
+            .memo_opt(sig.map(|s| (&memo, s)))
+            .run();
     }
     let stats = memo.stats();
     assert_eq!(stats.wave_hits, 0, "unprovable kernel must never hit");
