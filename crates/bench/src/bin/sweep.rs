@@ -59,6 +59,15 @@
 //!   JSON document is bit-identical to the tick one apart from `wall_ms`
 //!   and the recorded `timing` label; `VECSPARSE_AUDIT=n` cross-checks
 //!   every n-th event-timed wave against a tick re-simulation at runtime.
+//! * `--shards N` (N ≥ 1) enables shard certification: the first
+//!   performance launch of each swept algorithm runs the `shardprove`
+//!   footprint analyzer and the JSON document gains a
+//!   `shard_certificates` array. The array depends only on the shape,
+//!   never on N, so documents at different N diff clean apart from
+//!   `wall_ms`. With N > 1 the sweep additionally runs every registry
+//!   kernel at the sweep shape through a certified N-way row split and
+//!   asserts the merged output is bit-identical to the unsharded
+//!   reference, exiting 1 on any unshardable kernel or divergence.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -107,6 +116,7 @@ fn main() {
     let csv_path = arg_str("--csv");
     let want_report = std::env::args().any(|a| a == "--report");
     let memoize = std::env::args().any(|a| a == "--memoize");
+    let shards = arg("--shards", 0.0) as usize;
     let repeat = (arg("--repeat", 1.0) as usize).max(1);
     let timing = arg_str("--timing")
         .map(|s| {
@@ -192,11 +202,14 @@ fn main() {
     } else {
         Arc::new(TraceSink::disabled())
     };
-    let mut ctx = Context::builder()
+    let mut builder = Context::builder()
         .gpu(gpu)
         .timing(timing)
-        .telemetry(Arc::clone(&sink))
-        .build();
+        .telemetry(Arc::clone(&sink));
+    if shards >= 1 {
+        builder = builder.shard_certification();
+    }
+    let mut ctx = builder.build();
     if memoize {
         ctx.enable_memoization();
     }
@@ -222,9 +235,9 @@ fn main() {
     let mut rows: Vec<SweepRow> = Vec::new();
     let mut row_wall_ms: Vec<f64> = Vec::new();
     let mut auto_choice: Option<String> = None;
-    let sweep_start = Instant::now();
+    let sweep_start = Instant::now(); // lint: hash-ok — wall_ms reporting only, stripped in diffs
     for algo in algos {
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // lint: hash-ok — wall_ms reporting only, stripped in diffs
         let plan = ctx.plan_spmm(&a, n, algo);
         let mut profile = plan.profile(&b);
         for _ in 1..repeat {
@@ -290,6 +303,54 @@ fn main() {
         );
     }
 
+    if shards > 1 {
+        use vecsparse::registry::{self, Shape, ALL_KERNELS};
+        use vecsparse_gpu_sim::{Launch, Mode};
+        use vecsparse_shardprove::{analyze, launch_sharded};
+        let shape = Shape {
+            m,
+            n,
+            k,
+            v,
+            sparsity,
+            seed,
+        };
+        println!();
+        println!("certified {shards}-way row splits at the sweep shape:");
+        let mut failed = false;
+        for id in ALL_KERNELS {
+            registry::with_kernel_mut(id, &shape, Mode::Functional, |mem, kernel| {
+                let cert = analyze(mem, kernel);
+                let plan = match cert.shard_plan(shards) {
+                    Ok(plan) => plan,
+                    Err(e) => {
+                        eprintln!("  {:<18} FAIL: {e}", kernel.name());
+                        failed = true;
+                        return;
+                    }
+                };
+                let mut reference = mem.clone();
+                Launch::new(&mut reference, kernel).run();
+                launch_sharded(mem, kernel, &plan);
+                let buf = cert.layout.as_ref().expect("shardable has layout").out;
+                if reference.contents(buf) != mem.contents(buf) {
+                    eprintln!("  {:<18} FAIL: sharded merge diverged", kernel.name());
+                    failed = true;
+                } else {
+                    println!(
+                        "  {:<18} ok ({} shards, bit-identical merge)",
+                        kernel.name(),
+                        plan.shards().len()
+                    );
+                }
+            });
+        }
+        if failed {
+            eprintln!("sharded execution diverged or a kernel was not shardable");
+            std::process::exit(1);
+        }
+    }
+
     if let Some(path) = json_path {
         let meta = SweepMeta {
             gpu_config_hash,
@@ -305,7 +366,13 @@ fn main() {
             memo: ctx.memo_stats(),
             timing,
         };
-        let out = sweep_json::render(&meta, &rows, &ctx.report().certificates);
+        let report = ctx.report();
+        let out = sweep_json::render(
+            &meta,
+            &rows,
+            &report.certificates,
+            &report.shard_certificates,
+        );
         // The document must parse: CI consumes it with a JSON parser.
         serde_json::from_str(&out).expect("--json output must be valid JSON");
         std::fs::write(&path, out).expect("write --json output");

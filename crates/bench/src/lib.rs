@@ -5,6 +5,8 @@
 //! prints the same rows/series the paper reports, using simulated cycles
 //! from `vecsparse-gpu-sim` in place of wall-clock on a V100.
 
+#![forbid(unsafe_code)]
+
 use vecsparse_dlmc::Benchmark;
 use vecsparse_formats::{gen, DenseMatrix, Layout};
 use vecsparse_fp16::f16;

@@ -26,7 +26,12 @@ use vecsparse_serve::SaturationPoint;
 /// kinds — the scheduler timing mode the profiles were simulated with.
 /// Event-vs-tick checks diff documents with only `wall_ms` and `timing`
 /// stripped: every simulated artifact must be bit-identical.
-pub const JSON_SCHEMA_VERSION: u32 = 7;
+/// v8: added the `shard_certificates` array to the sweep document
+/// (memory-footprint certificate verdict per planned algorithm, recorded
+/// under `--shards`). The array depends only on the shape, never on the
+/// requested shard count, so `--shards 1` and `--shards 4` documents
+/// diff clean apart from `wall_ms`.
+pub const JSON_SCHEMA_VERSION: u32 = 8;
 
 /// One profiled kernel row of the sweep.
 pub struct SweepRow {
@@ -76,7 +81,14 @@ fn json_escape(s: &str) -> String {
 /// Render the full `--json` document. The output is valid JSON (the
 /// sweep binary round-trips it through a parser before writing) and
 /// field order is fixed, so byte-level diffs are meaningful.
-pub fn render(meta: &SweepMeta, rows: &[SweepRow], certs: &[Certificate]) -> String {
+/// `shard_certs` is the engine report's `shard_certificates` snapshot
+/// (empty when shard certification was off).
+pub fn render(
+    meta: &SweepMeta,
+    rows: &[SweepRow],
+    certs: &[Certificate],
+    shard_certs: &[(&'static str, String)],
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"kind\": \"sweep\",\n  \
@@ -128,6 +140,16 @@ pub fn render(meta: &SweepMeta, rows: &[SweepRow], certs: &[Certificate]) -> Str
                 .map(|t| format!(", \"tuned\": \"{}\"", json_escape(t)))
                 .unwrap_or_default(),
             if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"shard_certificates\": [\n");
+    for (i, (label, summary)) in shard_certs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"summary\": \"{}\"}}{}\n",
+            json_escape(label),
+            json_escape(summary),
+            if i + 1 == shard_certs.len() { "" } else { "," }
         ));
     }
     out.push_str("  ],\n");
@@ -375,7 +397,8 @@ mod tests {
             reduction_len: 64,
             stores_f16: true,
         }];
-        let doc = render(&meta, &rows, &certs);
+        let shard_certs = vec![("spmm-octet", "SHARDABLE 8 CTAs".to_string())];
+        let doc = render(&meta, &rows, &certs, &shard_certs);
         let parsed = serde_json::from_str(&doc).expect("rendered document is valid JSON");
         assert_eq!(
             parsed["schema_version"].as_u64(),
@@ -398,6 +421,11 @@ mod tests {
         assert_eq!(rows_j[1]["tuned"].as_str(), Some("spmm-octet"));
         let certs_j = parsed["certificates"].as_array().expect("certificates");
         assert_eq!(certs_j[0]["reduction_len"].as_u64(), Some(64));
+        let shards_j = parsed["shard_certificates"]
+            .as_array()
+            .expect("shard_certificates");
+        assert_eq!(shards_j[0]["kernel"].as_str(), Some("spmm-octet"));
+        assert_eq!(shards_j[0]["summary"].as_str(), Some("SHARDABLE 8 CTAs"));
     }
 
     #[test]
@@ -420,7 +448,7 @@ mod tests {
                 memo,
                 timing,
             };
-            render(&meta, &[], &[])
+            render(&meta, &[], &[], &[])
         };
         let a = mk(4, 10.0, None, TimingMode::Tick);
         let b = mk(4, 99.0, Some(MemoStats::default()), TimingMode::Event);

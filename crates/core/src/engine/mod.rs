@@ -177,19 +177,28 @@ pub(crate) struct Counters {
     /// when elements run concurrently.
     wall_nanos: AtomicU64,
     /// Per-algorithm run/profile/cycle aggregation for [`Report`].
-    algos: Mutex<HashMap<&'static str, AlgoAgg>>,
+    algos: Mutex<HashMap<&'static str, AlgoAgg>>, // lint: hash-ok — snapshot sorts by label
     /// Worst-case precision certificate per planned algorithm (the widest
     /// bound over every descriptor planned through this context).
-    certs: Mutex<HashMap<&'static str, Certificate>>,
+    certs: Mutex<HashMap<&'static str, Certificate>>, // lint: hash-ok — snapshot sorts by label
     /// Latest wave-equivalence certificate per planned algorithm
     /// (surfaced in [`Report`]).
-    wave_certs: Mutex<HashMap<&'static str, WaveCertificate>>,
+    wave_certs: Mutex<HashMap<&'static str, WaveCertificate>>, // lint: hash-ok — snapshot sorts by label
     /// Memoization-signature cache keyed by (algorithm, operand
     /// fingerprint): repeated plans over the same operand structure reuse
     /// one certification instead of re-proving per plan. `None` records a
     /// NotProvable verdict, so unprovable kernels are not re-certified
     /// either.
+    // lint: hash-ok — keyed lookup/insert only, never iterated.
     launch_sigs: Mutex<HashMap<(&'static str, Fingerprint), Option<LaunchSig>>>,
+    /// Whether performance launches run the shardprove footprint
+    /// analyzer (set once at build via
+    /// [`ContextBuilder::shard_certification`]).
+    shard_certs_enabled: std::sync::atomic::AtomicBool,
+    /// Memory-footprint certificate summary per planned algorithm,
+    /// recorded on the first performance launch of each algorithm when
+    /// shard certification is enabled.
+    shard_certs: Mutex<HashMap<&'static str, String>>, // lint: hash-ok — snapshot sorts by label
 }
 
 impl Counters {
@@ -206,6 +215,7 @@ impl Counters {
         self.wall_nanos.load(Ordering::Relaxed)
     }
 
+    // lint: hash-ok (see field)
     fn algos_lock(&self) -> std::sync::MutexGuard<'_, HashMap<&'static str, AlgoAgg>> {
         self.algos.lock().unwrap_or_else(PoisonError::into_inner)
     }
@@ -227,6 +237,7 @@ impl Counters {
         v
     }
 
+    // lint: hash-ok (see field)
     fn certs_lock(&self) -> std::sync::MutexGuard<'_, HashMap<&'static str, Certificate>> {
         self.certs.lock().unwrap_or_else(PoisonError::into_inner)
     }
@@ -249,6 +260,7 @@ impl Counters {
         v
     }
 
+    // lint: hash-ok (see field)
     fn wave_certs_lock(&self) -> std::sync::MutexGuard<'_, HashMap<&'static str, WaveCertificate>> {
         self.wave_certs
             .lock()
@@ -294,6 +306,40 @@ impl Counters {
             .insert((label, operand_fp), sig);
         sig
     }
+
+    // lint: hash-ok (see field)
+    fn shard_certs_lock(&self) -> std::sync::MutexGuard<'_, HashMap<&'static str, String>> {
+        self.shard_certs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn set_shard_certification(&self, enabled: bool) {
+        self.shard_certs_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether a shard certificate for `label` still needs to be derived:
+    /// certification is enabled and no launch of this algorithm has
+    /// recorded one yet (the footprint depends only on operand structure,
+    /// which is fixed per plan label within a context).
+    pub(crate) fn shard_cert_wanted(&self, label: &'static str) -> bool {
+        self.shard_certs_enabled.load(Ordering::Relaxed)
+            && !self.shard_certs_lock().contains_key(label)
+    }
+
+    pub(crate) fn record_shard_cert(&self, label: &'static str, summary: String) {
+        self.shard_certs_lock().insert(label, summary);
+    }
+
+    pub(crate) fn shard_cert_snapshot(&self) -> Vec<(&'static str, String)> {
+        let mut v: Vec<_> = self
+            .shard_certs_lock()
+            .iter()
+            .map(|(k, s)| (*k, s.clone()))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
 }
 
 /// The engine handle: simulated device + auto-tuner + plan cache.
@@ -304,6 +350,7 @@ impl Counters {
 /// via [`Context::builder`].
 pub struct Context {
     gpu: GpuConfig,
+    // lint: hash-ok — keyed lookups; cached_keys() sorts before exposing.
     cache: Mutex<HashMap<PlanKey, Choice>>,
     counters: Arc<Counters>,
     sink: Arc<TraceSink>,
@@ -344,6 +391,7 @@ pub struct ContextBuilder {
     sink: Option<Arc<TraceSink>>,
     memo: Option<Arc<WaveMemo>>,
     timing: TimingMode,
+    shard_certs: bool,
 }
 
 impl ContextBuilder {
@@ -401,6 +449,17 @@ impl ContextBuilder {
         self
     }
 
+    /// Enable static shard certification: the first performance launch of
+    /// each planned algorithm runs the `shardprove` footprint analyzer
+    /// over the staged pool and records the certificate verdict in
+    /// [`Context::report`] (`shard_certificates`). The analysis is purely
+    /// static (functional re-trace of the staged kernel), so enabling it
+    /// never perturbs results or timing. Default: off.
+    pub fn shard_certification(mut self) -> Self {
+        self.shard_certs = true;
+        self
+    }
+
     /// Construct the handle.
     pub fn build(self) -> Context {
         let sink = self.sink.unwrap_or_else(|| Arc::new(TraceSink::disabled()));
@@ -408,10 +467,12 @@ impl ContextBuilder {
             sink.name_process(Track::ENGINE.pid, "engine");
             sink.name_thread(Track::ENGINE, "engine");
         }
+        let counters = Arc::new(Counters::default());
+        counters.set_shard_certification(self.shard_certs);
         Context {
             gpu: self.gpu.unwrap_or_default(),
-            cache: Mutex::new(HashMap::new()),
-            counters: Arc::new(Counters::default()),
+            cache: Mutex::new(HashMap::new()), // lint: hash-ok (see field)
+            counters,
             sink,
             memo: self.memo,
             timing: self.timing,
@@ -461,6 +522,7 @@ impl Context {
         keys
     }
 
+    // lint: hash-ok (see field)
     fn cache_lock(&self) -> std::sync::MutexGuard<'_, HashMap<PlanKey, Choice>> {
         self.cache.lock().unwrap_or_else(PoisonError::into_inner)
     }
@@ -494,6 +556,7 @@ impl Context {
                 .collect(),
             certificates: self.counters.cert_snapshot(),
             wave_certificates: self.counters.wave_cert_snapshot(),
+            shard_certificates: self.counters.shard_cert_snapshot(),
             memo: self.memo_stats(),
             cached_plans: self.cache_lock().len(),
             trace_events: self.sink.events().len(),

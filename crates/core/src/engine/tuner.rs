@@ -70,10 +70,10 @@ pub(crate) fn tune_spmm(
     counters: &Counters,
 ) -> SpmmAlgo {
     let b = DenseMatrix::<f16>::zeros(a.cols(), n, Layout::RowMajor);
-    let t0 = std::time::Instant::now();
-    // Profile candidates in parallel (each builds its own MemPool), then
-    // reduce sequentially in candidate order: strict `<` keeps the
-    // earlier candidate on ties, exactly like the old sequential loop.
+    let t0 = std::time::Instant::now(); // lint: hash-ok — engine wall bookkeeping only
+                                        // Profile candidates in parallel (each builds its own MemPool), then
+                                        // reduce sequentially in candidate order: strict `<` keeps the
+                                        // earlier candidate on ties, exactly like the old sequential loop.
     let profiled: Vec<(SpmmAlgo, f64)> = spmm_candidates(a.v(), a.pattern().sparsity())
         .into_par_iter()
         .map(|algo| {
@@ -111,7 +111,7 @@ pub(crate) fn tune_sddmm(
 ) -> SddmmAlgo {
     let a = DenseMatrix::<f16>::zeros(mask.rows(), k, Layout::RowMajor);
     let b = DenseMatrix::<f16>::zeros(k, mask.cols(), Layout::ColMajor);
-    let t0 = std::time::Instant::now();
+    let t0 = std::time::Instant::now(); // lint: hash-ok — engine wall bookkeeping only
     let profiled: Vec<(SddmmAlgo, f64)> = sddmm_candidates(mask.v())
         .into_par_iter()
         .map(|algo| {

@@ -47,6 +47,7 @@
 //! `batch::spmm_batch`) have been removed; [`api`] now carries only the
 //! algorithm selectors.
 
+#![forbid(unsafe_code)]
 // Kernel and backprop code index several parallel arrays in lock-step;
 // iterator-zip rewrites of those loops hurt readability, so the indexed
 // form is kept deliberately.

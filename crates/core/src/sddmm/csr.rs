@@ -110,6 +110,10 @@ impl KernelSpec for CsrSddmm<'_> {
         Some(&self.prog)
     }
 
+    fn shard_layout(&self) -> Option<vecsparse_gpu_sim::ShardLayout> {
+        super::tile_shard_layout(self.out_buf, self.mask, &self.tiles)
+    }
+
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
         let (row, start, len) = self.tiles[cta.cta_id];
         let k_total = self.a.cols();

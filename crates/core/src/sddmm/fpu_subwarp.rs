@@ -161,6 +161,10 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSddmm<'_, T> {
         Some(&self.prog)
     }
 
+    fn shard_layout(&self) -> Option<vecsparse_gpu_sim::ShardLayout> {
+        super::tile_shard_layout(self.out_buf, self.mask, &self.tiles)
+    }
+
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
         let (br, start, len) = self.tiles[cta.cta_id];
         let v_len = self.mask.v();

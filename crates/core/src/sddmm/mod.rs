@@ -37,6 +37,29 @@ pub(crate) fn vector_tiles(
     tiles
 }
 
+/// Shard layout for the tile-list SDDMM family: one row block per
+/// pattern block row, output slice `[row_ptr[r] · v, row_ptr[r+1] · v)`
+/// of the values buffer, and each tile CTA anchored to its block row.
+pub(crate) fn tile_shard_layout(
+    out: vecsparse_gpu_sim::BufferId,
+    pattern: &vecsparse_formats::SparsityPattern,
+    tiles: &[(usize, usize, usize)],
+) -> Option<vecsparse_gpu_sim::ShardLayout> {
+    if tiles.is_empty() {
+        return None;
+    }
+    let v = pattern.v();
+    Some(vecsparse_gpu_sim::ShardLayout {
+        out,
+        rows: pattern.block_rows(),
+        row_starts: pattern.row_ptr().iter().map(|&p| (p * v) as u32).collect(),
+        cta_rows: tiles
+            .iter()
+            .map(|&(br, _, _)| (br as u32, br as u32 + 1))
+            .collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -163,6 +163,10 @@ impl KernelSpec for WmmaSddmm<'_> {
         Some(&self.prog)
     }
 
+    fn shard_layout(&self) -> Option<vecsparse_gpu_sim::ShardLayout> {
+        super::tile_shard_layout(self.out_buf, self.mask, &self.tiles)
+    }
+
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
         let (br, start, len) = self.tiles[cta.cta_id];
         let v_len = self.mask.v();

@@ -87,6 +87,20 @@ impl KernelSpec for SparseSoftmax<'_> {
         Some(&self.prog)
     }
 
+    fn shard_layout(&self) -> Option<vecsparse_gpu_sim::ShardLayout> {
+        let p = self.x.pattern();
+        if p.block_rows() == 0 {
+            return None;
+        }
+        let v = p.v();
+        Some(vecsparse_gpu_sim::ShardLayout {
+            out: self.out_buf,
+            rows: p.block_rows(),
+            row_starts: p.row_ptr().iter().map(|&i| (i * v) as u32).collect(),
+            cta_rows: (0..p.block_rows() as u32).map(|r| (r, r + 1)).collect(),
+        })
+    }
+
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
         let p = self.x.pattern();
         let v = p.v();
@@ -274,6 +288,15 @@ impl KernelSpec for DenseSoftmax {
 
     fn program(&self) -> Option<&Program> {
         Some(&self.prog)
+    }
+
+    fn shard_layout(&self) -> Option<vecsparse_gpu_sim::ShardLayout> {
+        Some(vecsparse_gpu_sim::ShardLayout {
+            out: self.out_buf,
+            rows: self.rows,
+            row_starts: (0..=self.rows).map(|r| (r * self.cols) as u32).collect(),
+            cta_rows: (0..self.rows as u32).map(|r| (r, r + 1)).collect(),
+        })
     }
 
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {

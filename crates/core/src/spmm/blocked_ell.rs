@@ -201,6 +201,17 @@ impl KernelSpec for BlockedEllSpmm<'_> {
         Some(&self.prog)
     }
 
+    fn shard_layout(&self) -> Option<vecsparse_gpu_sim::ShardLayout> {
+        super::block_row_shard_layout(
+            self.out_buf,
+            self.a.block_rows(),
+            self.a.block(),
+            self.a.rows(),
+            self.b.cols(),
+            self.n_chunks(),
+        )
+    }
+
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
         let block = self.a.block();
         // One wmma k-slab (k = 16) per nonzero block: a block narrower

@@ -103,6 +103,18 @@ impl<T: Scalar> KernelSpec for CsrScalarSpmm<'_, T> {
         Some(&self.prog)
     }
 
+    fn shard_layout(&self) -> Option<vecsparse_gpu_sim::ShardLayout> {
+        // One CTA per scalar row; the output slice of row r is C[r, ..].
+        super::block_row_shard_layout(
+            self.out_buf,
+            self.a.rows(),
+            1,
+            self.a.rows(),
+            self.b.cols(),
+            1,
+        )
+    }
+
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
         let row = cta.cta_id;
         let n = self.b.cols();

@@ -215,6 +215,32 @@ impl<T: Scalar> KernelSpec for DenseGemm<'_, T> {
         Some(&self.prog)
     }
 
+    fn shard_layout(&self) -> Option<vecsparse_gpu_sim::ShardLayout> {
+        // Row blocks are M-tiles. Split-K replicas of a tile declare the
+        // same row block, so a performance-mode kernel (split_k > 1)
+        // honestly fails the write-disjointness obligation — the
+        // cross-split reduction is fused and not shard-safe.
+        let (gm, gn) = self.grid_dims();
+        let m = self.a.rows();
+        let n = self.b.cols();
+        if gm == 0 || gn == 0 {
+            return None;
+        }
+        Some(vecsparse_gpu_sim::ShardLayout {
+            out: self.out_buf,
+            rows: gm,
+            row_starts: (0..=gm)
+                .map(|r| ((r * self.tile_m).min(m) * n) as u32)
+                .collect(),
+            cta_rows: (0..gm * gn * self.split_k)
+                .map(|c| {
+                    let tr = ((c % (gm * gn)) / gn) as u32;
+                    (tr, tr + 1)
+                })
+                .collect(),
+        })
+    }
+
     fn run_cta(&self, cta: &mut vecsparse_gpu_sim::CtaCtx<'_>) {
         let (gm, gn) = self.grid_dims();
         let tile_id = cta.cta_id % (gm * gn);

@@ -182,6 +182,17 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSpmm<'_, T> {
         Some(&self.prog)
     }
 
+    fn shard_layout(&self) -> Option<vecsparse_gpu_sim::ShardLayout> {
+        super::block_row_shard_layout(
+            self.out_buf,
+            self.a.pattern().block_rows(),
+            self.a.v(),
+            self.a.rows(),
+            self.b.cols(),
+            self.n_chunks(),
+        )
+    }
+
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
         let v = self.a.v();
         let p = self.a.pattern();

@@ -286,6 +286,17 @@ impl KernelSpec for OctetSpmm<'_> {
         Some(&self.prog)
     }
 
+    fn shard_layout(&self) -> Option<vecsparse_gpu_sim::ShardLayout> {
+        super::block_row_shard_layout(
+            self.out_buf,
+            self.a.pattern().block_rows(),
+            self.a.v(),
+            self.a.rows(),
+            self.b.cols(),
+            self.n_chunks(),
+        )
+    }
+
     fn run_cta(&self, cta: &mut CtaCtx<'_>) {
         let v_len = self.a.v();
         let p = self.a.pattern();

@@ -17,6 +17,8 @@
 //!   paper's sparsity grid;
 //! * [`SPARSITIES`] — the evaluation grid {0.5, 0.7, 0.8, 0.9, 0.95, 0.98}.
 
+#![forbid(unsafe_code)]
+
 use vecsparse_formats::{gen, BlockedEll, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
 

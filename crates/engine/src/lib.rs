@@ -28,6 +28,8 @@
 //! returning [`EngineError`]; the infallible methods are thin wrappers
 //! that panic with the same message.
 
+#![forbid(unsafe_code)]
+
 // The handle/plan API.
 pub use vecsparse::engine::{Context, ContextBuilder, SddmmDesc, SddmmPlan, SpmmDesc, SpmmPlan};
 // Errors, metrics, and cache introspection.

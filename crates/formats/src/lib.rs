@@ -15,6 +15,8 @@
 //! implementations** (<code>reference</code>) of SpMM, SDDMM, and sparse softmax used
 //! as ground truth by the kernel test-suites.
 
+#![forbid(unsafe_code)]
+
 mod blocked_ell;
 mod csr;
 mod cvse;

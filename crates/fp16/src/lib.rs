@@ -18,6 +18,8 @@
 //! accumulators in `f32` and only rounds on the final store, exactly like
 //! `mma.m8n8k4.f32.f16.f16.f32`.
 
+#![forbid(unsafe_code)]
+
 mod half_type;
 mod packed;
 

@@ -61,9 +61,28 @@ impl CacheStats {
     }
 }
 
-const LINE_BYTES: u64 = 128;
-const SECTOR_BYTES: u64 = 32;
-const SECTORS_PER_LINE: u64 = LINE_BYTES / SECTOR_BYTES;
+/// Bytes per cache line.
+pub const LINE_BYTES: u64 = 128;
+/// Bytes per L2 sector (the transaction granule on NVIDIA parts).
+pub const SECTOR_BYTES: u64 = 32;
+/// Sectors per line.
+pub const SECTORS_PER_LINE: u64 = LINE_BYTES / SECTOR_BYTES;
+
+/// Convert a byte address to its 32-byte sector address.
+///
+/// Shared address-classification math: the cache model, the sanitizer's
+/// coalescing checker, and shardprove's false-sharing lint all classify
+/// addresses through these helpers so the geometry cannot drift.
+#[inline]
+pub fn sector_of_byte(byte_addr: u64) -> u64 {
+    byte_addr / SECTOR_BYTES
+}
+
+/// Convert a 32-byte sector address to its 128-byte line address.
+#[inline]
+pub fn line_of_sector(sector_addr: u64) -> u64 {
+    sector_addr / SECTORS_PER_LINE
+}
 
 #[derive(Clone, Copy)]
 struct Way {
@@ -204,7 +223,7 @@ impl SectorCache {
     /// Convert a byte address to its sector address.
     #[inline]
     pub fn sector_of(byte_addr: u64) -> u64 {
-        byte_addr / SECTOR_BYTES
+        sector_of_byte(byte_addr)
     }
 
     /// Drop all contents but keep statistics.

@@ -112,6 +112,12 @@ pub trait KernelSpec: Sync {
     fn program(&self) -> Option<&crate::program::Program> {
         None
     }
+    /// The kernel's declared output-row decomposition for shard
+    /// certification. `None` (the default) means the kernel publishes no
+    /// layout and the shardprove analyzer can never certify it.
+    fn shard_layout(&self) -> Option<crate::shard::ShardLayout> {
+        None
+    }
 }
 
 /// What a launch returns.
@@ -179,6 +185,7 @@ pub struct Launch<'a, K: KernelSpec + ?Sized> {
     sink: Option<&'a TraceSink>,
     memo: Option<(&'a WaveMemo, LaunchSig)>,
     shadow: bool,
+    ctas: Option<Vec<usize>>,
 }
 
 impl<'a, K: KernelSpec + ?Sized> Launch<'a, K> {
@@ -193,6 +200,7 @@ impl<'a, K: KernelSpec + ?Sized> Launch<'a, K> {
             sink: None,
             memo: None,
             shadow: false,
+            ctas: None,
         }
     }
 
@@ -237,6 +245,16 @@ impl<'a, K: KernelSpec + ?Sized> Launch<'a, K> {
         self
     }
 
+    /// Restrict functional execution to the given CTA subset — a
+    /// certified shard's grid. Only the listed CTAs run (in parallel, as
+    /// usual), and only their buffered writes are applied, in subset
+    /// order. Functional mode only; shard soundness is established by a
+    /// shardprove `FootprintCertificate`, not by this method.
+    pub fn ctas(mut self, ctas: Vec<usize>) -> Launch<'a, K> {
+        self.ctas = Some(ctas);
+        self
+    }
+
     /// Run the fp64 shadow twin alongside functional execution and
     /// return per-site error observations in [`LaunchOutput::shadow`].
     /// Forces functional execution; the mode is ignored.
@@ -249,6 +267,16 @@ impl<'a, K: KernelSpec + ?Sized> Launch<'a, K> {
     pub fn run(self) -> LaunchOutput {
         let lc = self.kernel.launch_config();
         assert!(lc.grid > 0, "empty grid");
+        if let Some(ctas) = &self.ctas {
+            assert!(
+                self.mode == Mode::Functional && !self.shadow,
+                "CTA-subset launches are functional-only"
+            );
+            assert!(
+                ctas.iter().all(|&c| c < lc.grid),
+                "CTA subset exceeds the grid"
+            );
+        }
         if self.shadow {
             let shadow = run_shadow(self.mem, self.kernel, &lc);
             return LaunchOutput {
@@ -258,7 +286,7 @@ impl<'a, K: KernelSpec + ?Sized> Launch<'a, K> {
         }
         match self.mode {
             Mode::Functional => {
-                run_functional(self.mem, self.kernel, &lc);
+                run_functional(self.mem, self.kernel, &lc, self.ctas.as_deref());
                 LaunchOutput {
                     profile: None,
                     shadow: Vec::new(),
@@ -295,8 +323,17 @@ impl<'a, K: KernelSpec + ?Sized> Launch<'a, K> {
     }
 }
 
-fn run_functional<K: KernelSpec + ?Sized>(mem: &mut MemPool, kernel: &K, lc: &LaunchConfig) {
-    let results: Vec<_> = (0..lc.grid)
+fn run_functional<K: KernelSpec + ?Sized>(
+    mem: &mut MemPool,
+    kernel: &K,
+    lc: &LaunchConfig,
+    ctas: Option<&[usize]>,
+) {
+    let ids: Vec<usize> = match ctas {
+        Some(subset) => subset.to_vec(),
+        None => (0..lc.grid).collect(),
+    };
+    let results: Vec<_> = ids
         .into_par_iter()
         .map(|cta_id| {
             let mut cta = CtaCtx::new(

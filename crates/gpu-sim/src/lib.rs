@@ -30,6 +30,7 @@
 // form is kept deliberately.
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::manual_is_multiple_of)]
+#![forbid(unsafe_code)]
 
 mod cache;
 mod config;
@@ -41,13 +42,17 @@ mod profile;
 mod program;
 mod sched;
 mod sched_event;
+mod shard;
 pub mod sig;
 mod tcu;
 mod trace;
 mod warp;
 mod wvec;
 
-pub use cache::{replay_l2, CacheStats, L2Op, L2Port, RecordingL2, SectorCache};
+pub use cache::{
+    line_of_sector, replay_l2, sector_of_byte, CacheStats, L2Op, L2Port, RecordingL2, SectorCache,
+    LINE_BYTES, SECTORS_PER_LINE, SECTOR_BYTES,
+};
 pub use config::{GpuConfig, Timing};
 #[allow(deprecated)]
 pub use launch::{launch, launch_memoized, launch_shadow, launch_traced};
@@ -60,6 +65,7 @@ pub use profile::{InstrCounts, KernelProfile, PipeUtil, Roofline, StallBreakdown
 pub use program::{Program, Site};
 pub use sched::{simulate_wave, WaveObs, WaveResult};
 pub use sched_event::{simulate_wave_event, simulate_wave_event_with_stats, EventStats};
+pub use shard::ShardLayout;
 pub use tcu::{
     execute_mma, execute_mma_shadow, mma_m8n8k4_reference, pack_a_fragment, pack_b_fragment,
     unpack_acc, MmaFlavor, OCTETS, OCTET_SIZE,

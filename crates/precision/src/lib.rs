@@ -28,6 +28,8 @@
 //! kernel per lint so CI can pin each diagnostic to the exact site that
 //! should trigger it.
 
+#![forbid(unsafe_code)]
+
 pub mod analyze;
 pub mod domain;
 pub mod fixtures;

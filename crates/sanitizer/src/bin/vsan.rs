@@ -26,6 +26,14 @@
 //! — one deliberately broken kernel per proof obligation — must each fail
 //! with exactly their own failure. A registry kernel that cannot be
 //! certified, or a fixture that does not fail as expected, exits 1.
+//!
+//! `vsan shardprove` runs the memory-footprint certifier: every registry
+//! kernel must publish a shard layout and discharge the three shard
+//! obligations (write/write disjointness, slice containment, read
+//! invariance), and the shardprove fixtures — one kernel per lint plus a
+//! clean control — must each produce exactly their expected verdict. A
+//! registry kernel certified `NotShardable`, or a fixture mismatch,
+//! exits 1.
 
 use std::process::ExitCode;
 
@@ -33,6 +41,7 @@ use vecsparse::registry::{self, KernelId, Shape, ALL_KERNELS};
 use vecsparse_gpu_sim::{GpuConfig, KernelSpec, Mode};
 use vecsparse_precision::{all_fixtures, analyze, check_soundness, shadow_run};
 use vecsparse_sanitizer::{sanitize, SanitizeOptions};
+use vecsparse_shardprove::{all_fixtures as shard_fixtures, analyze as shard_analyze};
 use vecsparse_waveprove::{all_fixtures as wave_fixtures, certify, CertifyOptions};
 
 struct Args {
@@ -359,6 +368,113 @@ fn run_waveprove(args: &WaveArgs) -> ExitCode {
     }
 }
 
+struct ShardArgs {
+    kernels: Vec<KernelId>,
+    shape: Shape,
+    skip_fixtures: bool,
+}
+
+const SHARD_USAGE: &str = "usage: vsan shardprove [--kernel NAME[,NAME...]] [--m M] [--n N] \
+     [--k K] [--v V] [--sparsity S] [--seed SEED] [--skip-fixtures] [--list]";
+
+fn shard_usage() -> ! {
+    eprintln!("{SHARD_USAGE}");
+    std::process::exit(2)
+}
+
+fn parse_shardprove_args(mut it: impl Iterator<Item = String>) -> ShardArgs {
+    let mut args = ShardArgs {
+        kernels: ALL_KERNELS.to_vec(),
+        shape: Shape::default(),
+        skip_fixtures: false,
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                shard_usage()
+            })
+        };
+        match flag.as_str() {
+            "--list" => {
+                for k in ALL_KERNELS {
+                    println!("{}", k.label());
+                }
+                std::process::exit(0);
+            }
+            "--kernel" => {
+                args.kernels = value("--kernel")
+                    .split(',')
+                    .map(|s| {
+                        KernelId::parse(s.trim()).unwrap_or_else(|| {
+                            eprintln!("unknown kernel {s:?}; try --list");
+                            shard_usage()
+                        })
+                    })
+                    .collect();
+            }
+            "--m" => args.shape.m = value("--m").parse().unwrap_or_else(|_| shard_usage()),
+            "--n" => args.shape.n = value("--n").parse().unwrap_or_else(|_| shard_usage()),
+            "--k" => args.shape.k = value("--k").parse().unwrap_or_else(|_| shard_usage()),
+            "--v" => args.shape.v = value("--v").parse().unwrap_or_else(|_| shard_usage()),
+            "--sparsity" => {
+                args.shape.sparsity = value("--sparsity")
+                    .parse()
+                    .unwrap_or_else(|_| shard_usage())
+            }
+            "--seed" => args.shape.seed = value("--seed").parse().unwrap_or_else(|_| shard_usage()),
+            "--skip-fixtures" => args.skip_fixtures = true,
+            "--help" | "-h" => {
+                println!("{SHARD_USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other:?}");
+                shard_usage();
+            }
+        }
+    }
+    args
+}
+
+fn run_shardprove(args: &ShardArgs) -> ExitCode {
+    let mut failed = false;
+
+    if !args.skip_fixtures {
+        println!("== shardprove fixtures (one kernel per lint, plus the clean control)");
+        for fx in shard_fixtures() {
+            match fx.verify() {
+                Ok(()) => println!("   {:<26} ok [{}]", fx.name(), fx.expected_verdict()),
+                Err(e) => {
+                    println!("   {:<26} FAIL: {e}", fx.name());
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    let s = &args.shape;
+    println!(
+        "== memory-footprint certificates (m={} n={} k={} v={} sparsity={})",
+        s.m, s.n, s.k, s.v, s.sparsity
+    );
+    for id in &args.kernels {
+        let cert = registry::with_kernel(*id, &args.shape, Mode::Functional, |mem, kernel| {
+            shard_analyze(mem, kernel)
+        });
+        print!("{}", cert.render());
+        if !cert.is_shardable() {
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     if std::env::args().nth(1).as_deref() == Some("precision") {
         let args = parse_precision_args(std::env::args().skip(2));
@@ -367,6 +483,10 @@ fn main() -> ExitCode {
     if std::env::args().nth(1).as_deref() == Some("waveprove") {
         let args = parse_waveprove_args(std::env::args().skip(2));
         return run_waveprove(&args);
+    }
+    if std::env::args().nth(1).as_deref() == Some("shardprove") {
+        let args = parse_shardprove_args(std::env::args().skip(2));
+        return run_shardprove(&args);
     }
     let args = parse_args();
     let cfg = GpuConfig::default();

@@ -235,6 +235,7 @@ impl Report {
             out.push_str("  clean: no findings\n");
             return out;
         }
+        // lint: hash-ok — keyed counts read back with .get(), never iterated.
         let mut by_sev: HashMap<Severity, usize> = HashMap::new();
         for d in &self.diags {
             *by_sev.entry(d.severity).or_insert(0) += 1;

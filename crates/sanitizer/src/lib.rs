@@ -42,6 +42,8 @@
 //! assert!(report.is_clean(), "{}", report.render());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod diag;
 pub mod fixtures;
 mod traces;

@@ -238,6 +238,7 @@ fn check_def_use(env: &Env<'_>, cta: usize, w: usize, trace: &WarpTrace, report:
 /// under-reserved slots (e.g. a multi-step HMMA walking over the next
 /// site). The icache model then under-counts the true footprint.
 fn check_pc_aliasing(env: &Env<'_>, cta: usize, traces: &[WarpTrace], report: &mut Report) {
+    // lint: hash-ok — keyed lookup/insert only, never iterated.
     let mut kind_at: HashMap<u32, (std::mem::Discriminant<InstrKind>, InstrKind)> = HashMap::new();
     let mut flagged: Vec<u32> = Vec::new();
     for (w, trace) in traces.iter().enumerate() {
@@ -308,6 +309,7 @@ fn check_barriers(env: &Env<'_>, cta: usize, traces: &[WarpTrace], report: &mut 
         readers: u64,
         writers: u64,
     }
+    // lint: hash-ok — keyed lookup/insert only, never iterated.
     let mut state: HashMap<(u32, u32), ElemState> = HashMap::new(); // (epoch, elem)
     for (w, trace) in traces.iter().enumerate() {
         let wbit = 1u64 << (w % 64);
@@ -490,11 +492,19 @@ fn check_coalescing(
     if active_lanes < 8 || mem.sectors.is_empty() {
         return; // Scalar/narrow accesses cannot meaningfully coalesce.
     }
-    let mut lines: Vec<u64> = mem.sectors.iter().map(|s| s / 128).collect();
+    // Sector addresses are 32-byte granules; fold them to 128-byte lines
+    // with the simulator's own classification (an earlier revision
+    // divided by 128 here, silently treating sectors as byte addresses
+    // and collapsing distinct lines together).
+    let mut lines: Vec<u64> = mem
+        .sectors
+        .iter()
+        .map(|&s| vecsparse_gpu_sim::line_of_sector(s))
+        .collect();
     lines.sort_unstable();
     lines.dedup();
     let bytes = u64::from(active_lanes) * u64::from(detail.epl) * detail.elem_bytes;
-    let ideal = bytes.div_ceil(128).max(1);
+    let ideal = bytes.div_ceil(vecsparse_gpu_sim::LINE_BYTES).max(1);
     if lines.len() as u64 > 2 * ideal {
         report.push(env.diag(
             Category::Uncoalesced,

@@ -66,6 +66,8 @@
 //! assert!(report.tenants[0].slo_met().unwrap());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod config;
 mod error;
 mod job;

@@ -40,7 +40,7 @@ struct StatsInner {
 /// State shared by the server, its clients, and its workers.
 struct Shared {
     config: ServeConfig,
-    tenant_index: HashMap<String, usize>,
+    tenant_index: HashMap<String, usize>, // lint: hash-ok — keyed lookup only, never iterated
     queues: Vec<Arc<ShardQueue>>,
     contexts: Vec<Arc<Context>>,
     stats: Mutex<StatsInner>,
@@ -176,7 +176,7 @@ impl Server {
             }),
             sink,
             serve_pid,
-            epoch: Instant::now(),
+            epoch: Instant::now(), // lint: hash-ok — host latency clock, never in simulated counters
             next_id: AtomicU64::new(0),
             config,
         });

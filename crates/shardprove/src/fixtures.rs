@@ -1,0 +1,357 @@
+//! Deliberately broken (and one deliberately clean, one advisory-only)
+//! miniature kernels, one per shard lint, so CI can pin each
+//! [`ShardFailure`]/[`ShardLint`] to the exact kernel pattern that must
+//! trigger it — and assert that `NotShardable` kernels can never obtain
+//! a [`ShardPlan`](crate::ShardPlan).
+
+use crate::cert::{analyze, launch_sharded, ShardFailure, ShardLint, ShardVerdict};
+use vecsparse_gpu_sim::{
+    BufferId, CtaCtx, ElemWidth, KernelSpec, Launch, LaunchConfig, MemPool, Program, ShardLayout,
+    Site, WVec, NO_LANES,
+};
+
+/// A parameterizable row writer: each CTA stores the element ranges it
+/// is told to, with value `elem + 1` so merges are observable. Every
+/// fixture is an instance with a different (layout, write set) pair.
+struct RowWriterKernel {
+    name: &'static str,
+    out: BufferId,
+    grid: usize,
+    layout: ShardLayout,
+    /// Per CTA: `(start element, count)` store ranges.
+    writes: Vec<Vec<(u32, u32)>>,
+    stg: Site,
+    static_len: u32,
+}
+
+impl RowWriterKernel {
+    fn stage(
+        mem: &mut MemPool,
+        name: &'static str,
+        row_starts: Vec<u32>,
+        cta_rows: Vec<(u32, u32)>,
+        writes: Vec<Vec<(u32, u32)>>,
+    ) -> Self {
+        let rows = row_starts.len() - 1;
+        let out = mem.alloc_zeroed(ElemWidth::B32, row_starts[rows] as usize);
+        let mut p = Program::new();
+        let stg = p.site("stg", 0);
+        let grid = writes.len();
+        RowWriterKernel {
+            name,
+            out,
+            grid,
+            layout: ShardLayout {
+                out,
+                rows,
+                row_starts,
+                cta_rows,
+            },
+            writes,
+            stg,
+            static_len: p.static_len(),
+        }
+    }
+}
+
+impl KernelSpec for RowWriterKernel {
+    fn name(&self) -> String {
+        self.name.into()
+    }
+
+    fn launch_config(&self) -> LaunchConfig {
+        LaunchConfig {
+            grid: self.grid,
+            warps_per_cta: 1,
+            regs_per_thread: 32,
+            smem_elems: 0,
+            smem_elem_bytes: 4,
+            static_instrs: self.static_len,
+        }
+    }
+
+    fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+        let cta_id = cta.cta_id;
+        let mut w = cta.warp(0);
+        for &(start, count) in &self.writes[cta_id] {
+            let mut done = 0;
+            while done < count {
+                let chunk = (count - done).min(32);
+                let mut offs = NO_LANES;
+                let mut vals = WVec::zeros(1);
+                for (l, off) in offs.iter_mut().enumerate().take(chunk as usize) {
+                    let elem = start + done + l as u32;
+                    *off = elem;
+                    vals.set(l, 0, (elem + 1) as f32);
+                }
+                w.stg(self.stg, self.out, &offs, &vals, &[]);
+                done += chunk;
+            }
+        }
+    }
+
+    fn shard_layout(&self) -> Option<ShardLayout> {
+        Some(self.layout.clone())
+    }
+}
+
+/// What a fixture's analysis (and plan construction) must produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Expected {
+    Shardable,
+    WriteOverlap,
+    OutOfSliceWrite,
+    SectorFalseSharing,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Kind {
+    Clean,
+    Overlap,
+    OutOfSlice,
+    FalseSharing,
+}
+
+/// One shardprove fixture: a miniature kernel plus the verdict or lint
+/// its analysis must produce.
+pub struct ShardFixture {
+    name: &'static str,
+    kind: Kind,
+    expected: Expected,
+}
+
+fn stage_fixture(mem: &mut MemPool, kind: Kind) -> RowWriterKernel {
+    match kind {
+        // Four 64-element rows (256-byte slices, every cut aligned);
+        // CTA r writes exactly row r.
+        Kind::Clean => RowWriterKernel::stage(
+            mem,
+            "fixture-clean-row-writer",
+            vec![0, 64, 128, 192, 256],
+            (0..4).map(|r| (r, r + 1)).collect(),
+            (0..4u32).map(|r| vec![(r * 64, 64)]).collect(),
+        ),
+        // Two CTAs column-split the same declared row, but their write
+        // ranges intersect on elements 16..32.
+        Kind::Overlap => RowWriterKernel::stage(
+            mem,
+            "fixture-write-overlap",
+            vec![0, 64],
+            vec![(0, 1), (0, 1)],
+            vec![vec![(0, 32)], vec![(16, 32)]],
+        ),
+        // CTA 0 owns row 0 (elements 0..64) but also writes element 64
+        // — the first element of row 1. CTA 1 writes a disjoint part of
+        // row 1, so only the containment obligation trips.
+        Kind::OutOfSlice => RowWriterKernel::stage(
+            mem,
+            "fixture-out-of-slice-write",
+            vec![0, 64, 128],
+            vec![(0, 1), (1, 2)],
+            vec![vec![(0, 32), (32, 32), (64, 1)], vec![(96, 32)]],
+        ),
+        // Four 10-element f32 rows: 40-byte slices, so every interior
+        // row boundary (40, 80, 120 bytes) straddles a 32-byte sector.
+        // Writes are disjoint and contained — the kernel is shardable,
+        // but any 2-way plan must record the false-sharing lint.
+        Kind::FalseSharing => RowWriterKernel::stage(
+            mem,
+            "fixture-sector-false-sharing",
+            vec![0, 10, 20, 30, 40],
+            (0..4).map(|r| (r, r + 1)).collect(),
+            (0..4u32).map(|r| vec![(r * 10, 10)]).collect(),
+        ),
+    }
+}
+
+impl ShardFixture {
+    /// Fixture name for reports.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Human-readable expected outcome.
+    pub fn expected_verdict(&self) -> &'static str {
+        match self.expected {
+            Expected::Shardable => "shardable",
+            Expected::WriteOverlap => "write-overlap",
+            Expected::OutOfSliceWrite => "out-of-slice-write",
+            Expected::SectorFalseSharing => "sector-false-sharing",
+        }
+    }
+
+    /// Stage the fixture kernel into a fresh pool, analyze it, and
+    /// check the verdict — including that `NotShardable` kernels are
+    /// refused a plan and that certified plans merge bit-identically.
+    pub fn verify(&self) -> Result<(), String> {
+        let mut mem = MemPool::new();
+        let kernel = stage_fixture(&mut mem, self.kind);
+        let cert = analyze(&mem, &kernel);
+        match (self.expected, &cert.verdict) {
+            (Expected::Shardable, ShardVerdict::Shardable)
+            | (Expected::SectorFalseSharing, ShardVerdict::Shardable) => {
+                let plan = cert
+                    .shard_plan(2)
+                    .map_err(|e| format!("shardable fixture refused a plan: {e}"))?;
+                let wants_lint = self.expected == Expected::SectorFalseSharing;
+                let has_lint = plan
+                    .lints()
+                    .iter()
+                    .any(|l| matches!(l, ShardLint::SectorFalseSharing { .. }));
+                if wants_lint != has_lint {
+                    return Err(format!(
+                        "expected sector-false-sharing lint = {wants_lint}, lints: {:?}",
+                        plan.lints()
+                    ));
+                }
+                // The certified split must merge bit-identically.
+                let mut reference = mem.clone();
+                Launch::new(&mut reference, &kernel).run();
+                let mut sharded = mem.clone();
+                launch_sharded(&mut sharded, &kernel, &plan);
+                if reference.contents(kernel.out) != sharded.contents(kernel.out) {
+                    return Err("sharded merge diverged from unsharded reference".into());
+                }
+                Ok(())
+            }
+            (
+                Expected::WriteOverlap,
+                ShardVerdict::NotShardable(ShardFailure::WriteOverlap { .. }),
+            )
+            | (
+                Expected::OutOfSliceWrite,
+                ShardVerdict::NotShardable(ShardFailure::OutOfSliceWrite { .. }),
+            ) => {
+                if cert.shard_plan(2).is_ok() {
+                    return Err(format!(
+                        "not-shardable fixture {} was handed a shard plan",
+                        self.name
+                    ));
+                }
+                Ok(())
+            }
+            (_, verdict) => Err(format!(
+                "expected {}, got {:?}",
+                self.expected_verdict(),
+                verdict
+            )),
+        }
+    }
+}
+
+/// Every shardprove fixture: the clean control, one kernel per fatal
+/// obligation, and the advisory false-sharing case.
+pub fn all_fixtures() -> Vec<ShardFixture> {
+    vec![
+        ShardFixture {
+            name: "clean-row-writer",
+            kind: Kind::Clean,
+            expected: Expected::Shardable,
+        },
+        ShardFixture {
+            name: "write-overlap",
+            kind: Kind::Overlap,
+            expected: Expected::WriteOverlap,
+        },
+        ShardFixture {
+            name: "out-of-slice-write",
+            kind: Kind::OutOfSlice,
+            expected: Expected::OutOfSliceWrite,
+        },
+        ShardFixture {
+            name: "sector-false-sharing",
+            kind: Kind::FalseSharing,
+            expected: Expected::SectorFalseSharing,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::AccessKind;
+
+    #[test]
+    fn every_fixture_verifies() {
+        for fx in all_fixtures() {
+            fx.verify().unwrap_or_else(|e| panic!("{}: {e}", fx.name()));
+        }
+    }
+
+    #[test]
+    fn clean_fixture_certificate_is_affine_and_covering() {
+        let mut mem = MemPool::new();
+        let kernel = stage_fixture(&mut mem, Kind::Clean);
+        let cert = analyze(&mem, &kernel);
+        assert!(cert.is_shardable());
+        // Four uniform CTAs compress into one affine write group.
+        let writes: Vec<_> = cert
+            .regions
+            .iter()
+            .filter(|r| r.kind == AccessKind::Write)
+            .collect();
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].groups.len(), 1);
+        assert_eq!(writes[0].groups[0].delta, 256);
+        // covers() agrees with the kernel's actual stores.
+        let base = mem.addr(kernel.out, 0);
+        assert!(cert.covers(1, base + 64 * 4, AccessKind::Write));
+        assert!(!cert.covers(0, base + 64 * 4, AccessKind::Write));
+        assert!(!cert.covers(1, base + 64 * 4, AccessKind::Read));
+    }
+
+    #[test]
+    fn four_way_split_of_clean_fixture_is_exact() {
+        let mut mem = MemPool::new();
+        let kernel = stage_fixture(&mut mem, Kind::Clean);
+        let cert = analyze(&mem, &kernel);
+        let plan = cert.shard_plan(4).expect("4-way plan");
+        assert_eq!(plan.shards().len(), 4);
+        assert!(plan.lints().is_empty());
+        let mut reference = mem.clone();
+        Launch::new(&mut reference, &kernel).run();
+        launch_sharded(&mut mem, &kernel, &plan);
+        assert_eq!(reference.contents(kernel.out), mem.contents(kernel.out));
+    }
+
+    #[test]
+    fn oversplit_grid_is_refused() {
+        let mut mem = MemPool::new();
+        let kernel = stage_fixture(&mut mem, Kind::Clean);
+        let cert = analyze(&mem, &kernel);
+        assert!(matches!(
+            cert.shard_plan(5),
+            Err(ShardFailure::UnsplittableGrid { wanted: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn layoutless_kernel_is_not_shardable() {
+        // A kernel that never implements shard_layout(): the default
+        // None must yield NoLayout and no plan.
+        struct Opaque;
+        impl KernelSpec for Opaque {
+            fn name(&self) -> String {
+                "fixture-opaque".into()
+            }
+            fn launch_config(&self) -> LaunchConfig {
+                LaunchConfig {
+                    grid: 1,
+                    warps_per_cta: 1,
+                    regs_per_thread: 32,
+                    smem_elems: 0,
+                    smem_elem_bytes: 4,
+                    static_instrs: 1,
+                }
+            }
+            fn run_cta(&self, _cta: &mut CtaCtx<'_>) {}
+        }
+        let mem = MemPool::new();
+        let cert = analyze(&mem, &Opaque);
+        assert_eq!(
+            cert.verdict,
+            ShardVerdict::NotShardable(ShardFailure::NoLayout)
+        );
+        assert!(cert.shard_plan(2).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! # vecsparse-shardprove
+//!
+//! Static memory-footprint certificates for row-split sharding — the
+//! analysis that ROADMAP's multi-GPU scale-out stands on, in the
+//! waveprove tradition: unprovable kernels simply get no shard plan.
+//!
+//! [`analyze`] traces every CTA of a staged kernel in performance mode
+//! (which waveprove independently certifies as value-independent, so a
+//! footprint derived from one symbolic CTA generalizes over the
+//! certified shape classes) and abstracts the per-lane access detail
+//! into **strided-interval sets per memory region**: for each buffer
+//! and access kind, the per-CTA byte footprint is compressed into
+//! affine-in-CTA-index range expressions ([`AffineGroup`], viewable as
+//! [`StridedInterval`]s). Over that domain it discharges three
+//! obligations:
+//!
+//! 1. **Write/write disjointness** — no two CTAs write a common byte
+//!    ([`ShardFailure::WriteOverlap`] otherwise). Shards may then be
+//!    merged by copying each shard's slice with no write races.
+//! 2. **Slice containment** — every CTA's writes land inside the output
+//!    slice of the row blocks it declares via
+//!    [`ShardLayout`](vecsparse_gpu_sim::ShardLayout)
+//!    ([`ShardFailure::OutOfSliceWrite`] otherwise). Cutting the grid
+//!    on row-block boundaries then cuts the write set exactly.
+//! 3. **Read invariance** — no CTA reads a byte any CTA writes
+//!    ([`ShardFailure::ReadWriteAlias`] otherwise), so the values every
+//!    CTA observes are those of the staged pool regardless of how the
+//!    grid is split across devices.
+//!
+//! A kernel passing all three receives a [`FootprintCertificate`] with
+//! [`ShardVerdict::Shardable`], from which — and *only* from which —
+//! a typed [`ShardPlan`] can be minted with
+//! [`FootprintCertificate::shard_plan`]: the plan type has no public
+//! constructor, so `NotShardable` kernels cannot obtain one at the type
+//! level, mirroring waveprove's no-signature-no-memo design.
+//! [`launch_sharded`] then runs a certified N-way row split as
+//! independent launches on cloned device pools and merges the slices —
+//! bit-identical to the unsharded reference by obligations 1–3.
+//!
+//! One advisory lint rides along: [`ShardLint::SectorFalseSharing`]
+//! fires when a shard boundary falls inside a 32-byte L2 sector, so two
+//! devices would ping-pong ownership of that sector's line. The plan is
+//! still sound (merging is slice-exact), just slower on real hardware.
+//!
+//! [`fixtures::all_fixtures`] provides miniature kernels that *must*
+//! trip each lint (plus a clean control), so CI can pin every verdict
+//! to the exact failure that should trigger it.
+
+#![forbid(unsafe_code)]
+
+pub mod cert;
+pub mod fixtures;
+
+pub use cert::{
+    analyze, launch_sharded, AccessKind, AffineGroup, FootprintCertificate, RegionFootprint, Shard,
+    ShardFailure, ShardLint, ShardPlan, ShardVerdict, Span, StridedInterval,
+};
+pub use fixtures::{all_fixtures, ShardFixture};

@@ -29,6 +29,8 @@
 //!   (load in `ui.perfetto.dev` or `chrome://tracing`).
 //! * [`csv::export_counters`] — flat CSV of counter events.
 
+#![forbid(unsafe_code)]
+
 pub mod csv;
 pub mod perfetto;
 
@@ -348,7 +350,7 @@ impl TraceSink {
             name: name.to_string(),
             cat,
             start_ticks: self.now(),
-            started: Instant::now(),
+            started: Instant::now(), // lint: hash-ok — host span duration, never in simulated counters
             args: Vec::new(),
             active: self.is_enabled(),
         }

@@ -21,6 +21,7 @@
 //!   solution requires attention inside the same band+random 8×1
 //!   vector-sparse mask (see DESIGN.md §1).
 
+#![forbid(unsafe_code)]
 // Kernel and backprop code index several parallel arrays in lock-step;
 // iterator-zip rewrites of those loops hurt readability, so the indexed
 // form is kept deliberately.

@@ -45,6 +45,8 @@
 //! fail each obligation (plus a provable control), so CI can pin every
 //! verdict to the exact failure that should trigger it.
 
+#![forbid(unsafe_code)]
+
 pub mod cert;
 pub mod fixtures;
 

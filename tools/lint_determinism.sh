@@ -12,14 +12,52 @@
 # "keyed lookup only, never iterated"). Plain `use` imports are ignored —
 # importing the type is fine; using it is what needs the annotation.
 #
-# Scope: crates/gpu-sim/src and crates/waveprove/src. Engine-level wall
-# timing (Counters::add_wall) is host-side bookkeeping and lives outside
-# these crates on purpose.
+# Scope: derived from the workspace, not hard-coded — gpu-sim itself,
+# every workspace crate gpu-sim depends on, and every workspace crate
+# that depends on gpu-sim. A new analysis crate built on the simulator
+# (waveprove, shardprove, ...) is covered the day its manifest lands.
+# Host-side bookkeeping in those crates (engine wall timing, serving
+# queues) is fine but must carry an explicit `lint: hash-ok`
+# justification, so the reviewer sees the determinism argument.
 
 set -u
 cd "$(dirname "$0")/.."
 
-DIRS="crates/gpu-sim/src crates/waveprove/src"
+CORE=vecsparse-gpu-sim
+
+# Package names listed under [dependencies] of a manifest (dep keys like
+# `vecsparse-gpu-sim.workspace = true` reduce to the crate name).
+manifest_deps() {
+    awk '/^\[dependencies\]/{f=1; next} /^\[/{f=0} f {sub(/[ .=].*/, ""); if ($0 != "") print}' "$1"
+}
+
+manifest_name() {
+    awk -F'"' '/^name *=/{print $2; exit}' "$1"
+}
+
+DIRS=""
+core_deps=""
+for m in crates/*/Cargo.toml; do
+    name=$(manifest_name "$m")
+    if [ "$name" = "$CORE" ]; then
+        DIRS="$DIRS ${m%/Cargo.toml}/src"
+        core_deps=$(manifest_deps "$m")
+    elif manifest_deps "$m" | grep -qx "$CORE"; then
+        DIRS="$DIRS ${m%/Cargo.toml}/src"
+    fi
+done
+for dep in $core_deps; do
+    for m in crates/*/Cargo.toml; do
+        if [ "$(manifest_name "$m")" = "$dep" ]; then
+            case " $DIRS " in
+                *" ${m%/Cargo.toml}/src "*) ;;
+                *) DIRS="$DIRS ${m%/Cargo.toml}/src" ;;
+            esac
+        fi
+    done
+done
+DIRS=$(echo $DIRS | tr ' ' '\n' | sort | tr '\n' ' ')
+
 PATTERN='HashMap|HashSet|Instant::now'
 fail=0
 

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Unsafe-code gate: the workspace is std-only and every crate carries
+# `#![forbid(unsafe_code)]`. This grep backstops the attribute for code
+# the compiler does not necessarily see (cfg'd-out modules, the vendored
+# shims, integration tests) and rejects any new `unsafe` token outside
+# the allowlist below.
+#
+# To allowlist a genuinely required unsafe block, add its file path here
+# (one per line in ALLOWLIST) together with a justification comment.
+
+set -u
+cd "$(dirname "$0")/.."
+
+# No entries today: nothing in the workspace needs unsafe.
+ALLOWLIST=""
+
+hits=$(grep -rn --include='*.rs' -E '\bunsafe\b' crates/*/src shims/*/src tests 2>/dev/null \
+    | grep -v 'forbid(unsafe_code)' || true)
+for p in $ALLOWLIST; do
+    hits=$(printf '%s\n' "$hits" | grep -v "^$p:" || true)
+done
+
+if [ -n "$hits" ]; then
+    echo "$hits"
+    echo >&2
+    echo "unsafe gate failed: new 'unsafe' outside the allowlist. The" >&2
+    echo "workspace is #![forbid(unsafe_code)] throughout — remove the" >&2
+    echo "block, or allowlist the file in tools/lint_unsafe.sh with a" >&2
+    echo "justification." >&2
+    exit 1
+fi
+echo "unsafe gate clean (crates + shims + tests)"
