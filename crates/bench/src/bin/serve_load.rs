@@ -5,7 +5,8 @@
 //! cargo run --release -p vecsparse-bench --bin serve-load -- \
 //!     [--quick] [--jobs J] [--requests R] [--points P] [--workers W] \
 //!     [--shards S] [--max-batch B] [--n N] [--seed SEED] \
-//!     [--timing tick|event] [--json serve.json] [--diff]
+//!     [--timing tick|event] [--backend native|simulated] \
+//!     [--json serve.json] [--diff]
 //! ```
 //!
 //! Two stages, mirroring how the ISSUE's acceptance criteria are split:
@@ -32,7 +33,13 @@
 //! `--timing event` runs every worker context's simulator in
 //! event-driven timing mode; all served artifacts stay bit-identical.
 //!
-//! `--json PATH` writes the schema-v7 `kind: "serve_saturation"`
+//! `--backend` selects the worker contexts' functional execution backend
+//! (default `native`, the serving default: the CPU fast path with
+//! bit-identical outputs). The `--diff` replay always runs through a
+//! **simulated** direct context, so under the native default it is an
+//! end-to-end cross-backend identity check.
+//!
+//! `--json PATH` writes the schema-v9 `kind: "serve_saturation"`
 //! document (round-tripped through a JSON parser before it is written,
 //! like the sweep binary) for the CI serve-gate.
 
@@ -44,7 +51,7 @@ use vecsparse_bench::{device, f2, Table};
 use vecsparse_dlmc::{resnet50_shapes, Benchmark};
 use vecsparse_formats::{gen, DenseMatrix, Layout};
 use vecsparse_fp16::f16;
-use vecsparse_gpu_sim::TimingMode;
+use vecsparse_gpu_sim::{Backend, TimingMode};
 use vecsparse_serve::{
     saturation_curve, service_time_ms, JobRequest, ServeConfig, Server, TenantSpec,
 };
@@ -85,6 +92,12 @@ fn main() {
                 .unwrap_or_else(|| panic!("--timing must be tick or event, got {s:?}"))
         })
         .unwrap_or_default();
+    let backend = arg_str("--backend")
+        .map(|s| {
+            Backend::parse(&s)
+                .unwrap_or_else(|| panic!("--backend must be simulated or native, got {s:?}"))
+        })
+        .unwrap_or(Backend::Native);
     let json_path = arg_str("--json");
     let diff = std::env::args().any(|a| a == "--diff");
 
@@ -109,6 +122,7 @@ fn main() {
         .max_batch(max_batch)
         .gpu(gpu.clone())
         .timing(timing)
+        .backend(backend)
         .memoization();
     for (name, weight) in tenants {
         cfg = cfg.tenant(TenantSpec::new(name).weight(weight));
@@ -165,7 +179,13 @@ fn main() {
 
     if diff {
         // Served results must be bit-identical to a direct engine call.
-        let direct = Context::builder().gpu(gpu.clone()).timing(timing).build();
+        // The replay context always simulates honestly, so with native
+        // workers this asserts cross-backend bit-identity end to end.
+        let direct = Context::builder()
+            .gpu(gpu.clone())
+            .timing(timing)
+            .backend(Backend::Simulated)
+            .build();
         for (out, (a, b)) in served.iter().zip(&replay) {
             let want = direct.plan_spmm(a, b.cols(), SpmmAlgo::Auto).run(b);
             assert_eq!(out, &want, "served output differs from direct Context::run");
@@ -249,6 +269,7 @@ fn main() {
             cache_hit_ratio: report.cache_hit_ratio(),
             memo_hit_rate: report.memo.as_ref().map(|m| m.hit_rate()),
             timing,
+            backend,
         };
         let out = sweep_json::render_serve(&meta, &curve);
         // The document must parse: CI consumes it with a JSON parser.

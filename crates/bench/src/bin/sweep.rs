@@ -7,6 +7,7 @@
 //!     [--algo auto] [--json results.json] [--expect-auto spmm-octet] \
 //!     [--sanitize] [--precision] [--trace trace.json] [--csv counters.csv]
 //!     [--report] [--threads N] [--memoize] [--repeat R] [--timing tick|event]
+//!     [--backend simulated|native] [--shards N]
 //! ```
 //!
 //! * `--algo auto` adds an `auto` row: the engine's tuner picks among the
@@ -59,6 +60,14 @@
 //!   JSON document is bit-identical to the tick one apart from `wall_ms`
 //!   and the recorded `timing` label; `VECSPARSE_AUDIT=n` cross-checks
 //!   every n-th event-timed wave against a tick re-simulation at runtime.
+//! * `--backend simulated|native` selects the functional execution
+//!   backend (default `simulated`). `native` runs functional launches
+//!   through each kernel's native CPU lowering; profiles always
+//!   simulate, and each row's `out_digest` hashes one functional run's
+//!   output bits under the selected backend. The JSON document is
+//!   bit-identical apart from `wall_ms` and the recorded `backend`
+//!   label — the CI backend gate diffs exactly that, with the digest
+//!   column carrying the cross-backend identity claim.
 //! * `--shards N` (N ≥ 1) enables shard certification: the first
 //!   performance launch of each swept algorithm runs the `shardprove`
 //!   footprint analyzer and the JSON document gains a
@@ -77,7 +86,7 @@ use vecsparse_bench::sweep_json::{self, SweepMeta, SweepRow};
 use vecsparse_bench::{device, Table};
 use vecsparse_formats::{gen, Layout};
 use vecsparse_fp16::f16;
-use vecsparse_gpu_sim::{KernelProfile, TimingMode};
+use vecsparse_gpu_sim::{Backend, KernelProfile, TimingMode};
 use vecsparse_telemetry::{csv as telemetry_csv, perfetto, TraceSink, DEFAULT_CAPACITY};
 
 fn arg(name: &str, default: f64) -> f64 {
@@ -87,6 +96,19 @@ fn arg(name: &str, default: f64) -> f64 {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// FNV-1a over an output matrix's raw fp16 bits. Feeds the JSON rows'
+/// `out_digest`, which the CI backend gate diffs across `--backend`
+/// runs — so it must be bit-exact, never an approximate norm.
+fn out_digest(out: &vecsparse_formats::DenseMatrix<f16>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for v in out.data() {
+        for byte in v.to_bits().to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(0x100000001b3);
+        }
+    }
+    h
 }
 
 fn arg_str(name: &str) -> Option<String> {
@@ -122,6 +144,12 @@ fn main() {
         .map(|s| {
             TimingMode::parse(&s)
                 .unwrap_or_else(|| panic!("--timing must be tick or event, got {s:?}"))
+        })
+        .unwrap_or_default();
+    let backend = arg_str("--backend")
+        .map(|s| {
+            Backend::parse(&s)
+                .unwrap_or_else(|| panic!("--backend must be simulated or native, got {s:?}"))
         })
         .unwrap_or_default();
     let want_auto = expect_auto.is_some()
@@ -205,6 +233,7 @@ fn main() {
     let mut builder = Context::builder()
         .gpu(gpu)
         .timing(timing)
+        .backend(backend)
         .telemetry(Arc::clone(&sink));
     if shards >= 1 {
         builder = builder.shard_certification();
@@ -250,9 +279,15 @@ fn main() {
         } else {
             algo.label().to_string()
         };
+        // One functional run under the selected backend: the digest is
+        // the only row field the backend can influence, which is exactly
+        // what the CI backend gate's document diff pins.
+        let out = plan.run(&b);
         rows.push(SweepRow {
             label,
             tuned: (algo == SpmmAlgo::Auto).then(|| plan.algo().label().to_string()),
+            scheme: Some(plan.scheme_label()),
+            out_digest: out_digest(&out),
             profile,
         });
     }
@@ -365,6 +400,7 @@ fn main() {
             repeat,
             memo: ctx.memo_stats(),
             timing,
+            backend,
         };
         let report = ctx.report();
         let out = sweep_json::render(

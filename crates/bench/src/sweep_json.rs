@@ -1,9 +1,9 @@
-//! Rendering of the JSON documents the bench binaries emit (schema v7):
+//! Rendering of the JSON documents the bench binaries emit (schema v9):
 //! the `sweep` binary's `--json` kernel sweep and the `serve-load`
 //! binary's saturation document, factored out of `src/bin/` so the
 //! layouts can be round-trip tested without running the binaries.
 
-use vecsparse_gpu_sim::{KernelProfile, MemoStats, TimingMode};
+use vecsparse_gpu_sim::{Backend, KernelProfile, MemoStats, TimingMode};
 use vecsparse_precision::Certificate;
 use vecsparse_serve::SaturationPoint;
 
@@ -31,7 +31,19 @@ use vecsparse_serve::SaturationPoint;
 /// under `--shards`). The array depends only on the shape, never on the
 /// requested shard count, so `--shards 1` and `--shards 4` documents
 /// diff clean apart from `wall_ms`.
-pub const JSON_SCHEMA_VERSION: u32 = 8;
+/// v9: added top-level `backend` (`"simulated"` or `"native"`) to both
+/// document kinds — the functional execution backend — and, to the
+/// sweep document's rows, `tiling_scheme` for scheme-compiled kernels
+/// (the effective [`TilingScheme`] label the row's plan executed,
+/// including the point the `auto` sweep selected) plus `out_digest`, a
+/// hex FNV-1a digest of the row's functional output bits produced under
+/// the selected backend. Native-vs-simulated checks diff documents with
+/// only `wall_ms` and `backend` stripped; `out_digest` is what makes
+/// that diff exercise the native executor, not just the (deliberately
+/// backend-independent) performance model.
+///
+/// [`TilingScheme`]: vecsparse::compose::TilingScheme
+pub const JSON_SCHEMA_VERSION: u32 = 9;
 
 /// One profiled kernel row of the sweep.
 pub struct SweepRow {
@@ -39,6 +51,15 @@ pub struct SweepRow {
     pub label: String,
     /// The tuner's choice, for the `auto` row only.
     pub tuned: Option<String>,
+    /// Effective tiling-scheme label for scheme-compiled kernels
+    /// (`None` for plans without a scheme notion).
+    pub scheme: Option<String>,
+    /// FNV-1a digest over the functional output's raw fp16 bits. This is
+    /// what makes the CI backend gate's native-vs-simulated document
+    /// diff load-bearing: the profile columns come from the performance
+    /// model (backend-independent by design), but the digest comes from
+    /// a functional run under the selected backend.
+    pub out_digest: u64,
     /// The performance-model profile.
     pub profile: KernelProfile,
 }
@@ -72,6 +93,10 @@ pub struct SweepMeta {
     /// Scheduler timing mode the profiles were simulated with. Changing
     /// it must not change any field other than `wall_ms`.
     pub timing: TimingMode,
+    /// Functional execution backend the sweep's functional runs used.
+    /// Changing it must not change any field other than `wall_ms` (and
+    /// `backend` itself) — the CI backend gate enforces it.
+    pub backend: Backend,
 }
 
 fn json_escape(s: &str) -> String {
@@ -92,8 +117,9 @@ pub fn render(
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"kind\": \"sweep\",\n  \
-         \"timing\": \"{}\",\n  \"gpu_config_hash\": \"{:016x}\",\n",
+         \"timing\": \"{}\",\n  \"backend\": \"{}\",\n  \"gpu_config_hash\": \"{:016x}\",\n",
         meta.timing.label(),
+        meta.backend.label(),
         meta.gpu_config_hash
     ));
     out.push_str(&format!(
@@ -127,7 +153,8 @@ pub fn render(
         let roof = p.roofline();
         out.push_str(&format!(
             "    {{\"kernel\": \"{}\", \"cycles\": {:.1}, \"grid\": {}, \"l2_to_l1_bytes\": {}, \
-             \"flops\": {}, \"dram_bytes\": {}, \"intensity\": {:.4}{}}}{}\n",
+             \"flops\": {}, \"dram_bytes\": {}, \"intensity\": {:.4}, \
+             \"out_digest\": \"{:016x}\"{}{}}}{}\n",
             json_escape(&row.label),
             p.cycles,
             p.grid,
@@ -135,9 +162,14 @@ pub fn render(
             roof.flops,
             roof.bytes,
             roof.intensity(),
+            row.out_digest,
             row.tuned
                 .as_ref()
                 .map(|t| format!(", \"tuned\": \"{}\"", json_escape(t)))
+                .unwrap_or_default(),
+            row.scheme
+                .as_ref()
+                .map(|s| format!(", \"tiling_scheme\": \"{}\"", json_escape(s)))
                 .unwrap_or_default(),
             if i + 1 == rows.len() { "" } else { "," }
         ));
@@ -204,6 +236,8 @@ pub struct ServeMeta {
     pub memo_hit_rate: Option<f64>,
     /// Scheduler timing mode the worker contexts simulated with.
     pub timing: TimingMode,
+    /// Functional execution backend the worker contexts ran with.
+    pub backend: Backend,
 }
 
 /// Render the serve-load saturation document (`kind:
@@ -213,8 +247,9 @@ pub fn render_serve(meta: &ServeMeta, curve: &[SaturationPoint]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"schema_version\": {JSON_SCHEMA_VERSION},\n  \"kind\": \"serve_saturation\",\n  \
-         \"timing\": \"{}\",\n  \"gpu_config_hash\": \"{:016x}\",\n",
+         \"timing\": \"{}\",\n  \"backend\": \"{}\",\n  \"gpu_config_hash\": \"{:016x}\",\n",
         meta.timing.label(),
+        meta.backend.label(),
         meta.gpu_config_hash
     ));
     out.push_str("  \"serve\": {\n");
@@ -309,6 +344,7 @@ mod tests {
             cache_hit_ratio: 0.875,
             memo_hit_rate: Some(0.5),
             timing: TimingMode::Event,
+            backend: Backend::Native,
         };
         let curve = vec![
             SaturationPoint {
@@ -336,6 +372,7 @@ mod tests {
         );
         assert_eq!(parsed["kind"].as_str(), Some("serve_saturation"));
         assert_eq!(parsed["timing"].as_str(), Some("event"));
+        assert_eq!(parsed["backend"].as_str(), Some("native"));
         let serve = &parsed["serve"];
         assert_eq!(serve["workers"].as_u64(), Some(4));
         assert_eq!(serve["tenants"].as_array().unwrap().len(), 2);
@@ -376,16 +413,21 @@ mod tests {
                 wave_entries: 5,
             }),
             timing: TimingMode::Tick,
+            backend: Backend::Simulated,
         };
         let rows = vec![
             SweepRow {
                 label: "spmm-dense".to_string(),
                 tuned: None,
+                scheme: None,
+                out_digest: 0xcbf29ce484222325,
                 profile: fake_profile("spmm-dense", 1000.0),
             },
             SweepRow {
                 label: "auto -> spmm-octet".to_string(),
                 tuned: Some("spmm-octet".to_string()),
+                scheme: Some("k32n64-large-ordered".to_string()),
+                out_digest: 0x00000000deadbeef,
                 profile: fake_profile("spmm-octet", 250.0),
             },
         ];
@@ -418,7 +460,15 @@ mod tests {
         assert_eq!(rows_j.len(), 2);
         assert_eq!(rows_j[0]["kernel"].as_str(), Some("spmm-dense"));
         assert!(rows_j[0].get("tuned").is_none());
+        assert!(rows_j[0].get("tiling_scheme").is_none());
         assert_eq!(rows_j[1]["tuned"].as_str(), Some("spmm-octet"));
+        assert_eq!(
+            rows_j[1]["tiling_scheme"].as_str(),
+            Some("k32n64-large-ordered")
+        );
+        assert_eq!(rows_j[0]["out_digest"].as_str(), Some("cbf29ce484222325"));
+        assert_eq!(rows_j[1]["out_digest"].as_str(), Some("00000000deadbeef"));
+        assert_eq!(parsed["backend"].as_str(), Some("simulated"));
         let certs_j = parsed["certificates"].as_array().expect("certificates");
         assert_eq!(certs_j[0]["reduction_len"].as_u64(), Some(64));
         let shards_j = parsed["shard_certificates"]
@@ -433,7 +483,7 @@ mod tests {
         // The CI determinism gate diffs two sweeps at different thread
         // counts (and memoize settings) after deleting the machine- and
         // mode-dependent fields.
-        let mk = |threads, wall_ms, memo, timing| {
+        let mk = |threads, wall_ms, memo, timing, backend| {
             let meta = SweepMeta {
                 gpu_config_hash: 1,
                 m: 8,
@@ -447,16 +497,24 @@ mod tests {
                 repeat: 1,
                 memo,
                 timing,
+                backend,
             };
             render(&meta, &[], &[], &[])
         };
-        let a = mk(4, 10.0, None, TimingMode::Tick);
-        let b = mk(4, 99.0, Some(MemoStats::default()), TimingMode::Event);
+        let a = mk(4, 10.0, None, TimingMode::Tick, Backend::Simulated);
+        let b = mk(
+            4,
+            99.0,
+            Some(MemoStats::default()),
+            TimingMode::Event,
+            Backend::Native,
+        );
         let strip = |doc: &str| match serde_json::from_str(doc).unwrap() {
             serde_json::Value::Object(mut map) => {
                 map.remove("wall_ms");
                 map.remove("memo");
                 map.remove("timing");
+                map.remove("backend");
                 serde_json::Value::Object(map)
             }
             _ => panic!("top level is an object"),

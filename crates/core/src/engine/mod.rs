@@ -49,6 +49,7 @@ pub use sddmm_plan::{SddmmDesc, SddmmPlan};
 pub use spmm_plan::{SpmmDesc, SpmmPlan};
 
 use crate::api::{SddmmAlgo, SpmmAlgo};
+use crate::compose::TilingScheme;
 use crate::registry::{self, KernelId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -57,7 +58,7 @@ use vecsparse_formats::{gen, BlockedEll, DenseMatrix, SparsityPattern, VectorSpa
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::sig::{self, Fingerprint};
 use vecsparse_gpu_sim::{
-    GpuConfig, KernelProfile, LaunchSig, MemoStats, TimingMode, TraceSink, Track, WaveMemo,
+    Backend, GpuConfig, KernelProfile, LaunchSig, MemoStats, TimingMode, TraceSink, Track, WaveMemo,
 };
 use vecsparse_precision::Certificate;
 use vecsparse_waveprove::WaveCertificate;
@@ -128,7 +129,9 @@ fn bucket(sparsity: f64) -> u32 {
 
 #[derive(Clone, Copy, Debug)]
 enum Choice {
-    Spmm(SpmmAlgo),
+    /// A tuned SpMM decision: the winning algorithm plus, when the winner
+    /// is a scheme-compiled kernel, the winning [`TilingScheme`] point.
+    Spmm(SpmmAlgo, Option<TilingScheme>),
     Sddmm(SddmmAlgo),
 }
 
@@ -360,6 +363,10 @@ pub struct Context {
     /// Scheduler timing mode every performance launch under this context
     /// uses (bit-identical results either way; see DESIGN §2h).
     timing: TimingMode,
+    /// Which engine executes functional launches planned through this
+    /// context: the warp-accurate simulator or the native CPU fast path
+    /// (bit-identical outputs; the tier-1 backend gate enforces it).
+    backend: Backend,
 }
 
 impl Default for Context {
@@ -392,6 +399,7 @@ pub struct ContextBuilder {
     memo: Option<Arc<WaveMemo>>,
     timing: TimingMode,
     shard_certs: bool,
+    backend: Backend,
 }
 
 impl ContextBuilder {
@@ -449,6 +457,18 @@ impl ContextBuilder {
         self
     }
 
+    /// Select the functional execution backend for every plan built
+    /// through the context: [`Backend::Simulated`] (default) runs the
+    /// warp-accurate simulator; [`Backend::Native`] runs each kernel's
+    /// native CPU lowering directly — bit-identical outputs, no per-warp
+    /// machinery — and falls back to the simulator for kernels without a
+    /// lowering. Performance launches (profiles, tuning) always simulate:
+    /// cycle estimates only exist on the simulated machine.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Enable static shard certification: the first performance launch of
     /// each planned algorithm runs the `shardprove` footprint analyzer
     /// over the staged pool and records the certificate verdict in
@@ -476,6 +496,7 @@ impl ContextBuilder {
             sink,
             memo: self.memo,
             timing: self.timing,
+            backend: self.backend,
         }
     }
 }
@@ -513,6 +534,11 @@ impl Context {
     /// The scheduler timing mode performance launches use.
     pub fn timing(&self) -> TimingMode {
         self.timing
+    }
+
+    /// The functional execution backend plans built here use.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     /// The plan-cache keys currently holding a tuning decision.
@@ -598,8 +624,11 @@ impl Context {
         plan_span.arg("k", desc.k);
         plan_span.arg("n", desc.n);
         plan_span.arg("v", desc.v);
-        let resolved = self.resolve_spmm(&desc, algo, a);
+        let (resolved, scheme) = self.resolve_spmm(&desc, algo, a);
         plan_span.arg("algo", resolved.label());
+        if let Some(s) = &scheme {
+            plan_span.arg("scheme", s.label());
+        }
         self.record_plan_certificate(resolved.label(), desc.m, desc.n, desc.k, desc.v);
         let plan = {
             let _stage = self.sink.span(Track::ENGINE, "stage spmm", "engine");
@@ -608,11 +637,13 @@ impl Context {
                 desc,
                 algo,
                 resolved,
+                scheme,
                 a,
                 Arc::clone(&self.sink),
                 Arc::clone(&self.counters),
                 self.memo.clone(),
                 self.timing,
+                self.backend,
             )
         };
         self.counters.plans_built.fetch_add(1, Ordering::Relaxed);
@@ -674,6 +705,7 @@ impl Context {
                 Arc::clone(&self.counters),
                 self.memo.clone(),
                 self.timing,
+                self.backend,
             )
         };
         self.counters.plans_built.fetch_add(1, Ordering::Relaxed);
@@ -753,9 +785,15 @@ impl Context {
         }
     }
 
-    fn resolve_spmm(&self, desc: &SpmmDesc, algo: SpmmAlgo, a: &VectorSparse<f16>) -> SpmmAlgo {
+    fn resolve_spmm(
+        &self,
+        desc: &SpmmDesc,
+        algo: SpmmAlgo,
+        a: &VectorSparse<f16>,
+    ) -> (SpmmAlgo, Option<TilingScheme>) {
         if algo != SpmmAlgo::Auto {
-            return algo;
+            // A fixed algorithm executes at its default scheme point.
+            return (algo, None);
         }
         let key = PlanKey {
             op: OpKind::Spmm,
@@ -765,19 +803,22 @@ impl Context {
             v: desc.v,
             sparsity_bucket: bucket(desc.sparsity),
         };
-        if let Some(Choice::Spmm(cached)) = self.cache_lock().get(&key).copied() {
+        if let Some(Choice::Spmm(cached, scheme)) = self.cache_lock().get(&key).copied() {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return cached;
+            return (cached, scheme);
         }
         self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let tuned = {
+        let (tuned, scheme) = {
             let mut tune_span = self.sink.span(Track::ENGINE, "tune spmm", "engine");
-            let tuned = tuner::tune_spmm(&self.gpu, a, desc.n, &self.counters);
+            let (tuned, scheme) = tuner::tune_spmm(&self.gpu, a, desc.n, &self.counters);
             tune_span.arg("winner", tuned.label());
-            tuned
+            if let Some(s) = &scheme {
+                tune_span.arg("scheme", s.label());
+            }
+            (tuned, scheme)
         };
-        self.cache_lock().insert(key, Choice::Spmm(tuned));
-        tuned
+        self.cache_lock().insert(key, Choice::Spmm(tuned, scheme));
+        (tuned, scheme)
     }
 
     fn resolve_sddmm(

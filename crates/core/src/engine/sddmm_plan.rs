@@ -10,7 +10,7 @@ use vecsparse_formats::{DenseMatrix, Layout, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::sig::FingerprintHasher;
 use vecsparse_gpu_sim::{
-    GpuConfig, KernelProfile, KernelSpec, Launch, LaunchOutput, MemPool, Mode, PoolMark,
+    Backend, GpuConfig, KernelProfile, KernelSpec, Launch, LaunchOutput, MemPool, Mode, PoolMark,
     TimingMode, TraceSink, Track, WaveMemo,
 };
 use vecsparse_waveprove::{certify, CertifyOptions};
@@ -60,6 +60,8 @@ pub struct SddmmPlan {
     memo: Option<Arc<WaveMemo>>,
     /// Scheduler timing mode inherited from the context.
     timing: TimingMode,
+    /// Functional execution backend inherited from the context.
+    backend: Backend,
 }
 
 impl SddmmPlan {
@@ -74,6 +76,7 @@ impl SddmmPlan {
         counters: Arc<Counters>,
         memo: Option<Arc<WaveMemo>>,
         timing: TimingMode,
+        backend: Backend,
     ) -> Self {
         assert_ne!(algo, SddmmAlgo::Auto, "algo must be resolved");
         let mem = MemPool::new();
@@ -90,6 +93,7 @@ impl SddmmPlan {
             counters,
             memo,
             timing,
+            backend,
         }
     }
 
@@ -132,6 +136,7 @@ impl SddmmPlan {
             .timing(self.timing)
             .traced(&self.sink)
             .memo_opt(memo)
+            .backend(self.backend)
             .run()
     }
 

@@ -2,6 +2,7 @@
 
 use super::{ell_twin, pattern_structure_hash, BatchProfile, Counters, EngineError};
 use crate::api::SpmmAlgo;
+use crate::compose::TilingScheme;
 use crate::spmm::{BlockedEllSpmm, DenseGemm, FpuSubwarpSpmm, OctetSpmm, WmmaSpmm};
 use crate::util::{download_dense, upload_ell, upload_vs, EllBuffers, VsBuffers};
 use rayon::prelude::*;
@@ -10,8 +11,8 @@ use vecsparse_formats::{BlockedEll, DenseMatrix, Layout, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::sig::{Fingerprint, FingerprintHasher};
 use vecsparse_gpu_sim::{
-    BufferId, ElemWidth, GpuConfig, KernelProfile, KernelSpec, Launch, LaunchOutput, MemPool, Mode,
-    TimingMode, TraceSink, Track, WaveMemo,
+    Backend, BufferId, ElemWidth, GpuConfig, KernelProfile, KernelSpec, Launch, LaunchOutput,
+    MemPool, Mode, TimingMode, TraceSink, Track, WaveMemo,
 };
 use vecsparse_waveprove::{certify, CertifyOptions};
 
@@ -65,6 +66,9 @@ pub struct SpmmPlan {
     desc: SpmmDesc,
     algo: SpmmAlgo,
     requested: SpmmAlgo,
+    /// Tiling-scheme point the tuner selected for a scheme-compiled
+    /// kernel (`None`: the kernel's default scheme).
+    scheme: Option<TilingScheme>,
     a: VectorSparse<f16>,
     /// Blocked-ELL surrogate, derived once (fixes the old per-call
     /// re-encoding in `api::ell_equivalent`). Only for `BlockedEll`.
@@ -82,6 +86,8 @@ pub struct SpmmPlan {
     memo: Option<Arc<WaveMemo>>,
     /// Scheduler timing mode inherited from the context.
     timing: TimingMode,
+    /// Functional execution backend inherited from the context.
+    backend: Backend,
     /// Fingerprint of everything the memoization signature must cover
     /// beyond the certificate: operation, algorithm, descriptor, the full
     /// pattern structure, and the staged pool layout.
@@ -95,11 +101,13 @@ impl SpmmPlan {
         desc: SpmmDesc,
         requested: SpmmAlgo,
         algo: SpmmAlgo,
+        scheme: Option<TilingScheme>,
         a: &VectorSparse<f16>,
         sink: Arc<TraceSink>,
         counters: Arc<Counters>,
         memo: Option<Arc<WaveMemo>>,
         timing: TimingMode,
+        backend: Backend,
     ) -> Self {
         assert_ne!(algo, SpmmAlgo::Auto, "algo must be resolved");
         let a = a.clone();
@@ -126,10 +134,26 @@ impl SpmmPlan {
         };
         let b_buf = mem.alloc_zeroed(ElemWidth::B16, desc.k * desc.n);
         let out_buf = mem.alloc_zeroed(ElemWidth::B16, desc.m * desc.n);
+        // Only the octet SpMM compiles from a scheme today; other
+        // algorithms execute at their fixed default point.
+        let scheme = if algo == SpmmAlgo::Octet {
+            scheme
+        } else {
+            None
+        };
         let operand_fp = {
             let mut h = FingerprintHasher::new();
             h.write_bytes(b"spmm");
             h.write_bytes(algo.label().as_bytes());
+            // The scheme changes the compiled program, so it must enter
+            // the memo fingerprint. A fixed-algorithm plan and a tuned
+            // plan that landed on the default scheme hash identically.
+            h.write_bytes(
+                scheme
+                    .unwrap_or(crate::spmm::compose::DEFAULT_SCHEME)
+                    .label()
+                    .as_bytes(),
+            );
             for d in [desc.m, desc.k, desc.n, desc.v] {
                 h.write_u64(d as u64);
             }
@@ -142,6 +166,7 @@ impl SpmmPlan {
             desc,
             algo,
             requested,
+            scheme,
             a,
             ell,
             dense,
@@ -157,6 +182,7 @@ impl SpmmPlan {
             counters,
             memo,
             timing,
+            backend,
             operand_fp,
         }
     }
@@ -188,6 +214,7 @@ impl SpmmPlan {
             .timing(self.timing)
             .traced(&self.sink)
             .memo_opt(memo)
+            .backend(self.backend)
             .run()
     }
 
@@ -204,6 +231,30 @@ impl SpmmPlan {
     /// The algorithm the caller asked for (possibly `Auto`).
     pub fn requested_algo(&self) -> SpmmAlgo {
         self.requested
+    }
+
+    /// The tiling-scheme point the plan's kernel compiles from, when the
+    /// algorithm is scheme-compiled: `Some` only for a tuned octet plan
+    /// whose sweep landed off (or on) the default; `None` means the
+    /// kernel's built-in default scheme.
+    pub fn scheme(&self) -> Option<TilingScheme> {
+        self.scheme
+    }
+
+    /// Label of the effective tiling scheme the plan executes (the
+    /// algorithm's default scheme when the tuner did not sweep).
+    pub fn scheme_label(&self) -> String {
+        match self.scheme {
+            Some(s) => s.label(),
+            None => crate::registry::KernelId::parse(self.algo.label())
+                .map(|id| crate::compose::scheme_for(id).label())
+                .unwrap_or_else(|| "default".into()),
+        }
+    }
+
+    /// The functional execution backend inherited from the context.
+    pub fn backend(&self) -> Backend {
+        self.backend
     }
 
     fn check_rhs(&self, b: &DenseMatrix<f16>) -> Result<(), EngineError> {
@@ -319,9 +370,14 @@ impl SpmmPlan {
             mem.fill(*out_buf, 0.0);
         }
         let kernel: Box<dyn KernelSpec> = match (self.algo, staged) {
-            (SpmmAlgo::Octet, Staged::Vs(bufs)) => {
-                Box::new(OctetSpmm::from_staged(&self.a, b, *bufs, *b_buf, *out_buf))
-            }
+            (SpmmAlgo::Octet, Staged::Vs(bufs)) => Box::new(OctetSpmm::from_staged_scheme(
+                &self.a,
+                b,
+                *bufs,
+                *b_buf,
+                *out_buf,
+                self.scheme.unwrap_or(crate::spmm::compose::DEFAULT_SCHEME),
+            )),
             (SpmmAlgo::Wmma, Staged::Vs(bufs)) => {
                 Box::new(WmmaSpmm::from_staged(&self.a, b, *bufs, *b_buf, *out_buf))
             }

@@ -23,14 +23,24 @@
 //!    functional execution) and pick the fewest cycles. Candidates are
 //!    ordered octet-first, and ties keep the earlier candidate.
 //!
+//! Since the kernels became [`TilingScheme`] compilers, the octet SpMM
+//! candidate is not a single profiling point: it expands into the bounded
+//! [`octet_schemes`] sweep (default scheme first), and the winning scheme
+//! travels with the winning algorithm into the plan — see
+//! [`spmm_sweep_points`].
+//!
 //! The winner is memoized in the owning [`super::Context`]'s plan cache
 //! under the descriptor's [`super::PlanKey`], so a descriptor is tuned at
 //! most once per context.
 
 use super::Counters;
 use crate::api::{SddmmAlgo, SpmmAlgo};
+use crate::compose::TilingScheme;
 use crate::sddmm::{profile_sddmm_fpu, profile_sddmm_octet, profile_sddmm_wmma, OctetVariant};
-use crate::spmm::{profile_dense_gemm, profile_spmm_fpu, profile_spmm_octet, profile_spmm_wmma};
+use crate::spmm::compose::octet_schemes;
+use crate::spmm::{
+    profile_dense_gemm, profile_spmm_fpu, profile_spmm_octet_scheme, profile_spmm_wmma,
+};
 use rayon::prelude::*;
 use vecsparse_formats::{DenseMatrix, Layout, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
@@ -63,44 +73,62 @@ pub fn sddmm_candidates(v: usize) -> Vec<SddmmAlgo> {
     c
 }
 
+/// Expand the algorithm candidates into concrete profiling points. The
+/// octet kernel is a [`TilingScheme`] compiler, so its single algorithm
+/// slot expands into the bounded [`octet_schemes`] sweep — the paper's
+/// default scheme first, so the strict-`<` reduction can never pick a
+/// variant that does not beat it outright.
+pub fn spmm_sweep_points(v: usize, sparsity: f64) -> Vec<(SpmmAlgo, Option<TilingScheme>)> {
+    spmm_candidates(v, sparsity)
+        .into_iter()
+        .flat_map(|algo| match algo {
+            SpmmAlgo::Octet => octet_schemes()
+                .into_iter()
+                .map(|s| (SpmmAlgo::Octet, Some(s)))
+                .collect(),
+            other => vec![(other, None)],
+        })
+        .collect()
+}
+
 pub(crate) fn tune_spmm(
     gpu: &GpuConfig,
     a: &VectorSparse<f16>,
     n: usize,
     counters: &Counters,
-) -> SpmmAlgo {
+) -> (SpmmAlgo, Option<TilingScheme>) {
     let b = DenseMatrix::<f16>::zeros(a.cols(), n, Layout::RowMajor);
     let t0 = std::time::Instant::now(); // lint: hash-ok — engine wall bookkeeping only
                                         // Profile candidates in parallel (each builds its own MemPool), then
                                         // reduce sequentially in candidate order: strict `<` keeps the
                                         // earlier candidate on ties, exactly like the old sequential loop.
-    let profiled: Vec<(SpmmAlgo, f64)> = spmm_candidates(a.v(), a.pattern().sparsity())
-        .into_par_iter()
-        .map(|algo| {
-            counters.count_tuner_launch();
-            let profile = match algo {
-                SpmmAlgo::Octet => profile_spmm_octet(gpu, a, &b),
-                SpmmAlgo::Wmma => profile_spmm_wmma(gpu, a, &b),
-                SpmmAlgo::FpuSubwarp => profile_spmm_fpu(gpu, a, &b),
-                SpmmAlgo::Dense => {
-                    let dense = a.to_dense(Layout::RowMajor);
-                    profile_dense_gemm(gpu, &dense, &b)
-                }
-                SpmmAlgo::BlockedEll | SpmmAlgo::Auto => {
-                    unreachable!("never a tuner candidate")
-                }
-            };
-            (algo, profile.cycles)
-        })
-        .collect();
+    let profiled: Vec<(SpmmAlgo, Option<TilingScheme>, f64)> =
+        spmm_sweep_points(a.v(), a.pattern().sparsity())
+            .into_par_iter()
+            .map(|(algo, scheme)| {
+                counters.count_tuner_launch();
+                let profile = match (algo, scheme) {
+                    (SpmmAlgo::Octet, Some(s)) => profile_spmm_octet_scheme(gpu, a, &b, s),
+                    (SpmmAlgo::Wmma, _) => profile_spmm_wmma(gpu, a, &b),
+                    (SpmmAlgo::FpuSubwarp, _) => profile_spmm_fpu(gpu, a, &b),
+                    (SpmmAlgo::Dense, _) => {
+                        let dense = a.to_dense(Layout::RowMajor);
+                        profile_dense_gemm(gpu, &dense, &b)
+                    }
+                    _ => unreachable!("never a tuner candidate"),
+                };
+                (algo, scheme, profile.cycles)
+            })
+            .collect();
     counters.add_wall(t0.elapsed());
-    let mut best: Option<(SpmmAlgo, f64)> = None;
-    for (algo, cycles) in profiled {
-        if best.is_none() || cycles < best.unwrap().1 {
-            best = Some((algo, cycles));
+    let mut best: Option<(SpmmAlgo, Option<TilingScheme>, f64)> = None;
+    for (algo, scheme, cycles) in profiled {
+        if best.is_none() || cycles < best.unwrap().2 {
+            best = Some((algo, scheme, cycles));
         }
     }
-    best.expect("candidate set is never empty").0
+    let (algo, scheme, _) = best.expect("candidate set is never empty");
+    (algo, scheme)
 }
 
 pub(crate) fn tune_sddmm(
@@ -157,6 +185,58 @@ mod tests {
             assert!(!d.contains(&SddmmAlgo::OctetArch));
             assert!(!d.contains(&SddmmAlgo::Auto));
             assert_eq!(d.contains(&SddmmAlgo::Wmma), v == 8);
+        }
+    }
+
+    #[test]
+    fn sweep_expands_octet_into_scheme_points() {
+        let points = spmm_sweep_points(4, 0.9);
+        let octet: Vec<_> = points
+            .iter()
+            .filter(|(a, _)| *a == SpmmAlgo::Octet)
+            .collect();
+        assert!(octet.len() >= 4, "default + >= 3 variants");
+        assert_eq!(
+            points[0],
+            (SpmmAlgo::Octet, Some(crate::spmm::compose::DEFAULT_SCHEME)),
+            "default scheme profiles first so ties keep it"
+        );
+        assert!(octet.iter().all(|(_, s)| s.is_some()));
+        // Non-octet candidates carry no scheme.
+        assert!(points
+            .iter()
+            .filter(|(a, _)| *a != SpmmAlgo::Octet)
+            .all(|(_, s)| s.is_none()));
+    }
+
+    #[test]
+    fn scheme_sweep_never_regresses_vs_fixed_kernel_tuning() {
+        use vecsparse_formats::gen;
+        let gpu = GpuConfig::small();
+        let counters = Counters::default();
+        for (v, sparsity, seed) in [(4, 0.85, 11), (8, 0.7, 12), (2, 0.5, 13)] {
+            let a = gen::random_vector_sparse::<f16>(32, 64, v, sparsity, seed);
+            let b = DenseMatrix::<f16>::zeros(64, 64, Layout::RowMajor);
+            let (algo, scheme) = tune_spmm(&gpu, &a, 64, &counters);
+            // The swept winner must be at least as fast as every
+            // fixed-kernel candidate the old tuner could have returned.
+            let winner_cycles = match (algo, scheme) {
+                (SpmmAlgo::Octet, Some(s)) => profile_spmm_octet_scheme(&gpu, &a, &b, s).cycles,
+                (SpmmAlgo::Wmma, _) => profile_spmm_wmma(&gpu, &a, &b).cycles,
+                (SpmmAlgo::FpuSubwarp, _) => profile_spmm_fpu(&gpu, &a, &b).cycles,
+                (SpmmAlgo::Dense, _) => {
+                    let dense = a.to_dense(Layout::RowMajor);
+                    profile_dense_gemm(&gpu, &dense, &b).cycles
+                }
+                _ => unreachable!(),
+            };
+            let default_octet =
+                profile_spmm_octet_scheme(&gpu, &a, &b, crate::spmm::compose::DEFAULT_SCHEME);
+            assert!(
+                winner_cycles <= default_octet.cycles,
+                "v={v}: sweep winner {winner_cycles} worse than default octet {}",
+                default_octet.cycles
+            );
         }
     }
 }

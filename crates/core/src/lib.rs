@@ -55,11 +55,13 @@
 #![allow(clippy::manual_is_multiple_of)]
 
 pub mod api;
+pub mod compose;
 pub mod engine;
 pub mod registry;
 pub mod sddmm;
 pub mod softmax;
 pub mod spmm;
+pub mod tile;
 pub mod util;
 
 pub use api::{SddmmAlgo, SpmmAlgo};

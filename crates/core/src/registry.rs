@@ -125,36 +125,14 @@ impl Default for Shape {
 
 /// The numerical model of `id` at `shape`, for the precision analyzer.
 ///
-/// The mapping encodes what each kernel does arithmetically:
-///
-/// * TCU SpMM/SDDMM kernels (and the f32-accumulating host references)
-///   keep fp16×fp16 products exact and accumulate in fp32 over `k` —
-///   [`KernelModel::tcu_reduction`]. The workspace generators emit
-///   multiples of 1/8, so even the f32 SDDMM's products are exact.
-/// * The FPU subwarp kernels round each product to binary16 (paired
-///   HMUL2/FADD) — [`KernelModel::fpu_reduction`].
-/// * The softmax kernels are row compositions `exp(x−max)/Σexp` over at
-///   most `n` entries — [`KernelModel::softmax`].
+/// Derived from the kernel's default [`crate::compose::TilingScheme`]:
+/// the scheme's tile component fixes the arithmetic (exact fp16×fp16
+/// products with fp32 accumulation for the mma and scalar components,
+/// binary16-rounded products for the FPU subwarp chain, the row
+/// composition `exp(x−max)/Σexp` for softmax) and its `out_bits` the
+/// store width — see [`crate::compose::model_from_scheme`].
 pub fn model_for(id: KernelId, shape: &Shape) -> KernelModel {
-    match id {
-        KernelId::SpmmDense
-        | KernelId::SpmmCsrScalar
-        | KernelId::SpmmBlockedEll
-        | KernelId::SpmmWmma
-        | KernelId::SpmmOctet
-        | KernelId::SddmmWmma
-        | KernelId::SddmmOctetReg
-        | KernelId::SddmmOctetShfl
-        | KernelId::SddmmOctetArch => KernelModel::tcu_reduction(shape.k),
-        // The fp32 cuSPARSE SDDMM surrogate: same exact products and f32
-        // accumulation, but a 32-bit output store.
-        KernelId::SddmmCsr => KernelModel {
-            out_elem_bytes: 4,
-            ..KernelModel::tcu_reduction(shape.k)
-        },
-        KernelId::SpmmFpuSubwarp | KernelId::SddmmFpuSubwarp => KernelModel::fpu_reduction(shape.k),
-        KernelId::SoftmaxSparse | KernelId::SoftmaxDense => KernelModel::softmax(shape.n),
-    }
+    crate::compose::model_from_scheme(&crate::compose::scheme_for(id), shape.k, shape.n)
 }
 
 /// Generate inputs for `id` at `shape`, stage them into a fresh pool,

@@ -11,7 +11,7 @@ use crate::util::{lanes, upload_dense, upload_pattern, width_of, VsBuffers};
 use vecsparse_formats::{DenseMatrix, Layout, Scalar, SparsityPattern, VectorSparse};
 use vecsparse_gpu_sim::{
     BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, Launch, LaunchConfig,
-    MemPool, Mode, Program, Site, Tok, WVec,
+    MemPool, Mode, NativeCtx, Program, Site, Tok, WVec,
 };
 
 /// The fine-grained SDDMM kernel (single precision, like cuSPARSE's).
@@ -195,6 +195,28 @@ impl KernelSpec for CsrSddmm<'_> {
             }
             w.stg(stg, self.out_buf, &offs, &vals, &[red_tok]);
         }
+    }
+
+    fn run_native(&self, ctx: &mut NativeCtx<'_>) -> bool {
+        // One flat ascending-k dot product per nonzero, stored as raw
+        // f32 (the single-precision surrogate never rounds).
+        let k_total = self.a.cols();
+        let a = ctx.contents(self.a_buf);
+        let b = ctx.contents(self.b_buf);
+        let col_idx = self.mask.col_idx();
+        let mut writes = Vec::with_capacity(self.mask.nnz());
+        for row in 0..self.mask.block_rows() {
+            for j in self.mask.block_row_range(row) {
+                let col = col_idx[j] as usize;
+                let mut sum = 0.0f32;
+                for k in 0..k_total {
+                    sum += a[row * k_total + k] * b[col * k_total + k];
+                }
+                writes.push((j as u32, sum));
+            }
+        }
+        ctx.apply(self.out_buf, &writes);
+        true
     }
 }
 

@@ -13,21 +13,25 @@
 //! occupancy.
 
 use super::vector_tiles;
+use crate::compose::{scheme_for, TilingScheme};
+use crate::registry::KernelId;
 use crate::util::{lanes, upload_dense, upload_pattern, width_of, VsBuffers};
 use vecsparse_formats::{DenseMatrix, Layout, Scalar, SparsityPattern, VectorSparse};
 use vecsparse_fp16::{f16, hmul_fadd};
 use vecsparse_gpu_sim::{
     BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, Launch, LaunchConfig,
-    MemPool, Mode, Program, Site, Tok, WVec,
+    MemPool, Mode, NativeCtx, Program, Site, Tok, WVec,
 };
 
+/// The kernel's named default point in the tiling space.
+const SCHEME: TilingScheme = scheme_for(KernelId::SddmmFpuSubwarp);
 /// Active threads per subwarp.
-const SUBWARP: usize = 8;
+const SUBWARP: usize = SCHEME.sub_warp;
 /// Nonzero output vectors per tile (tuned down from 32 to avoid register
 /// spilling, §6.1).
-const TILE_N: usize = 16;
+const TILE_N: usize = SCHEME.tile_n;
 /// K-stride per step.
-const TILE_K: usize = 64;
+const TILE_K: usize = SCHEME.tile_k;
 
 /// The FPU subwarp-tiling SDDMM kernel, generic over precision.
 pub struct FpuSubwarpSddmm<'m, T: Scalar> {
@@ -308,6 +312,40 @@ impl<T: Scalar> KernelSpec for FpuSubwarpSddmm<'_, T> {
             }
             w.stg(s.stg, self.out_buf, &offs, &vals, &[red_tok]);
         }
+    }
+
+    fn run_native(&self, ctx: &mut NativeCtx<'_>) -> bool {
+        // The FPU chain walks k in ascending order across the K-strides
+        // (the accumulator persists between chunks). Half precision
+        // rounds each product to binary16 before the f32 add.
+        let v_len = self.mask.v();
+        let k_total = self.a.cols();
+        let half = T::BITS == 16;
+        let a = ctx.contents(self.a_buf);
+        let b = ctx.contents(self.b_buf);
+        let col_idx = self.mask.col_idx();
+        let mut writes = Vec::with_capacity(self.mask.nnz());
+        for br in 0..self.mask.block_rows() {
+            let row_base = br * v_len;
+            for j in self.mask.block_row_range(br) {
+                let col = col_idx[j] as usize;
+                for r in 0..v_len {
+                    let mut acc = 0.0f32;
+                    for k in 0..k_total {
+                        let av = a[(row_base + r) * k_total + k];
+                        let bv = b[col * k_total + k];
+                        acc = if half {
+                            hmul_fadd(f16::from_f32(av), f16::from_f32(bv), acc)
+                        } else {
+                            acc + av * bv
+                        };
+                    }
+                    writes.push(((j * v_len + r) as u32, T::from_f32(acc).to_f32()));
+                }
+            }
+        }
+        ctx.apply(self.out_buf, &writes);
+        true
     }
 }
 

@@ -1,17 +1,23 @@
 //! TCU-based 1-D Octet Tiling SDDMM — the paper's §6.3 contribution.
 //!
-//! Each CTA (one warp) computes up to `TILE_N = 32` nonzero output vectors
-//! of one block row, walking K in strides of 64. The LHS/RHS roles are
-//! switched (as in the SpMM kernel) so each sub-step computes an
-//! `(8×64)·(64×V)` tile: eight gathered `B` columns against the block
-//! row's `V` `A`-rows. Both fragments load straight to registers with
-//! LDG.128 — each 64-element row/column splits into eight 8-half
+//! Each CTA (one warp) computes up to `tile_n = 32` nonzero output
+//! vectors of one block row, walking K in strides of 64. The LHS/RHS
+//! roles are switched (as in the SpMM kernel) so each sub-step computes
+//! an `(8×64)·(64×V)` tile: eight gathered `B` columns against the
+//! block row's `V` `A`-rows. Both fragments load straight to registers
+//! with LDG.128 — each 64-element row/column splits into eight 8-half
 //! sub-vectors across lanes, 128-byte coalesced (guidelines IV & V).
 //!
 //! The k dimension is spread across the four octets (16 each), so every
 //! output has four octet-partial sums that are combined with warp
 //! shuffles and FADDs when K is exhausted — the reduction the paper
 //! measures at 29.5% of instructions for V = 8, K = 64.
+//!
+//! The tiling above is the kernel's default
+//! [`crate::compose::TilingScheme`]; [`super::compose::compile_octet`]
+//! compiles the scheme into the program listing, and the
+//! [`crate::tile`] marshal maps both operands' loaded lane layouts onto
+//! the mma fragment convention.
 //!
 //! The "inverted pattern" of source operands between thread groups is
 //! resolved three ways, matching the paper's variants:
@@ -24,21 +30,17 @@
 //!   (Fig. 15): the TCU's operand multiplexers switch the thread-group
 //!   sources, no extra registers or shuffles.
 
+use super::compose::{compile_octet, SddmmOctetSites, DEFAULT_SCHEME};
 use super::vector_tiles;
+use crate::compose::TilingScheme;
+use crate::tile::{marshal_sddmm_frag, octet_lane};
 use crate::util::{lanes, upload_dense, upload_pattern, width_of, VsBuffers};
 use vecsparse_formats::{DenseMatrix, Layout, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{
     BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, Launch, LaunchConfig,
-    MemPool, MmaFlavor, Mode, Program, Site, Tok, WVec,
+    MemPool, MmaFlavor, Mode, NativeCtx, Program, Tok, WVec,
 };
-
-/// Nonzero output vectors per CTA tile.
-const TILE_N: usize = 32;
-/// K-stride per step.
-const TILE_K: usize = 64;
-/// Output vectors per sub-step.
-const SUB_N: usize = 8;
 
 /// How the inverted source-operand pattern is handled (§6.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,39 +63,21 @@ impl OctetVariant {
     }
 }
 
-/// Lane of thread `t` in group `g` of octet `o`.
-#[inline]
-fn octet_lane(o: usize, g: usize, t: usize) -> usize {
-    g * 16 + 4 * o + t
-}
-
 /// The octet-tiling SDDMM kernel.
 pub struct OctetSddmm<'m> {
     a: &'m DenseMatrix<f16>,
     b: &'m DenseMatrix<f16>,
     mask: &'m SparsityPattern,
     variant: OctetVariant,
+    scheme: TilingScheme,
     a_buf: BufferId,
     b_buf: BufferId,
     idx: VsBuffers,
     out_buf: BufferId,
     tiles: Vec<(usize, usize, usize)>,
-    sites: Sites,
+    sites: SddmmOctetSites,
     prog: Program,
     static_len: u32,
-}
-
-struct Sites {
-    ld_rowptr: Site,
-    ld_colidx: Site,
-    ldg_a: [Site; 2],
-    ldg_b: [Site; 2],
-    mma: [[Site; 4]; 4],
-    shfl_sw: Site,
-    red_shfl: Site,
-    red_fadd: Site,
-    addr: Site,
-    stg: Site,
 }
 
 impl<'m> OctetSddmm<'m> {
@@ -115,6 +99,7 @@ impl<'m> OctetSddmm<'m> {
         assert_eq!(a.layout(), Layout::RowMajor, "A must be row-major");
         assert_eq!(b.layout(), Layout::ColMajor, "B must be column-major");
         assert!(matches!(mask.v(), 1 | 2 | 4 | 8));
+        let scheme = DEFAULT_SCHEME;
         let a_buf = upload_dense(mem, a, mode);
         let b_buf = upload_dense(mem, b, mode);
         let idx = upload_pattern(mem, mask, mode);
@@ -122,53 +107,29 @@ impl<'m> OctetSddmm<'m> {
             Mode::Functional => mem.alloc_zeroed(width_of::<f16>(), mask.nnz()),
             Mode::Performance => mem.alloc_ghost(width_of::<f16>(), mask.nnz()),
         };
-        let tiles = vector_tiles(mask, TILE_N);
-
-        let mut p = Program::new();
-        let ld_rowptr = p.site("ld_rowptr", 0);
-        let ld_colidx = p.site("ld_colidx", 0);
-        let ldg_a = [p.site("ldg_a", 0), p.site("ldg_a", 1)];
-        let ldg_b = [p.site("ldg_b", 0), p.site("ldg_b", 1)];
-        let mut mma = [[Site(0); 4]; 4];
-        for (sub, row) in mma.iter_mut().enumerate() {
-            for (m, site) in row.iter_mut().enumerate() {
-                // Each mma spans its 4 static HMMA slots.
-                *site = p.site_span("mma", (sub * 16 + m * 4) as u32, 4);
-            }
-        }
-        let shfl_sw = p.site("shfl_sw", 0);
-        let red_shfl = p.site("red_shfl", 0);
-        let red_fadd = p.site("red_fadd", 0);
-        let addr = p.site("addr", 0);
-        let stg = p.site("stg", 0);
-        // Modest scalar prologue on top of the registered sites.
-        let static_len = p.static_len() + 48;
+        let tiles = vector_tiles(mask, scheme.tile_n);
+        let (prog, sites, static_len) = compile_octet(&scheme);
 
         OctetSddmm {
             a,
             b,
             mask,
             variant,
+            scheme,
             a_buf,
             b_buf,
             idx,
             out_buf,
             tiles,
-            sites: Sites {
-                ld_rowptr,
-                ld_colidx,
-                ldg_a,
-                ldg_b,
-                mma,
-                shfl_sw,
-                red_shfl,
-                red_fadd,
-                addr,
-                stg,
-            },
-            prog: p,
+            sites,
+            prog,
             static_len,
         }
+    }
+
+    /// The tiling-configuration point this instance runs at.
+    pub fn scheme(&self) -> &TilingScheme {
+        &self.scheme
     }
 
     /// Download the functional result.
@@ -181,103 +142,6 @@ impl<'m> OctetSddmm<'m> {
             OctetVariant::Arch => MmaFlavor::Switch,
             _ => MmaFlavor::Standard,
         }
-    }
-
-    /// Build the mma Mat_a fragment (gathered B columns) for octet k-slice
-    /// `m` of sub-step vectors `cols`: lane `(o, g, t)` holds output
-    /// column `4g + t`'s four k-values of octet `o`'s slice.
-    fn marshal_b_cols(
-        &self,
-        loaded: &[WVec; 2],
-        cols: &[usize],
-        k0: usize,
-        m: usize,
-        switch: bool,
-        tok: Tok,
-    ) -> WVec {
-        if loaded[0].is_ghost() {
-            return WVec::ghost(4, tok);
-        }
-        let mut a = WVec::zeros(4);
-        for o in 0..4 {
-            for g in 0..2 {
-                for t in 0..4 {
-                    let c = 4 * g + t;
-                    if c >= cols.len() {
-                        continue;
-                    }
-                    for kk in 0..4 {
-                        let k = 16 * o + 4 * m + kk;
-                        if k0 + k >= self.b.rows() {
-                            continue;
-                        }
-                        // Flat position within the loaded (8 col × 64 k)
-                        // fragment: col-major columns of 64.
-                        let flat = c * TILE_K + k;
-                        let (li, rest) = (flat / 256, flat % 256);
-                        let v = loaded[li].get(rest / 8, rest % 8);
-                        // For the SWITCH variant the groups' register
-                        // contents are pre-swapped so the in-TCU mux
-                        // restores them.
-                        let lane = if switch {
-                            octet_lane(o, 1 - g, t)
-                        } else {
-                            octet_lane(o, g, t)
-                        };
-                        a.set(lane, kk, v);
-                    }
-                }
-            }
-        }
-        a.set_tok(tok);
-        a
-    }
-
-    /// Build the mma Mat_b fragment (A rows): lane `(o, g, c)` holds
-    /// output row `4g + c`'s four k-values of octet `o`'s slice `m`.
-    #[allow(clippy::too_many_arguments)] // Fragment geometry is clearer flat.
-    fn marshal_a_rows(
-        &self,
-        loaded: &[WVec; 2],
-        row_base: usize,
-        v_len: usize,
-        k0: usize,
-        m: usize,
-        switch: bool,
-        tok: Tok,
-    ) -> WVec {
-        if loaded[0].is_ghost() {
-            return WVec::ghost(4, tok);
-        }
-        let _ = row_base;
-        let mut b = WVec::zeros(4);
-        for o in 0..4 {
-            for g in 0..2 {
-                for c in 0..4 {
-                    let r = 4 * g + c;
-                    if r >= v_len {
-                        continue;
-                    }
-                    for kk in 0..4 {
-                        let k = 16 * o + 4 * m + kk;
-                        if k0 + k >= self.a.cols() {
-                            continue;
-                        }
-                        let flat = r * TILE_K + k;
-                        let (li, rest) = (flat / 256, flat % 256);
-                        let v = loaded[li].get(rest / 8, rest % 8);
-                        let lane = if switch {
-                            octet_lane(o, 1 - g, c)
-                        } else {
-                            octet_lane(o, g, c)
-                        };
-                        b.set(lane, kk, v);
-                    }
-                }
-            }
-        }
-        b.set_tok(tok);
-        b
     }
 }
 
@@ -315,6 +179,9 @@ impl KernelSpec for OctetSddmm<'_> {
         let k_total = self.a.cols();
         debug_assert_eq!(k_total, self.b.rows());
         let n = self.b.cols();
+        let tile_k = self.scheme.tile_k;
+        let sub_n = self.scheme.sub_warp;
+        let m_slices = tile_k / 16;
         let functional = cta.mode == Mode::Functional;
         let shadow = functional && cta.shadow_exec;
         let switch = self.variant == OctetVariant::Arch;
@@ -336,10 +203,10 @@ impl KernelSpec for OctetSddmm<'_> {
 
         // Per sub-step octet-partial accumulators (functional): indexed
         // [sub][octet][col 0..8][row 0..v].
-        let subs = len.div_ceil(SUB_N);
-        let mut partials = vec![0.0f32; subs * 4 * SUB_N * v_len];
+        let subs = len.div_ceil(sub_n);
+        let mut partials = vec![0.0f32; subs * 4 * sub_n * v_len];
         // fp64 twins of the partials, fed by the mma shadow pass.
-        let mut partials64 = vec![0.0f64; if shadow { subs * 4 * SUB_N * v_len } else { 0 }];
+        let mut partials64 = vec![0.0f64; if shadow { subs * 4 * sub_n * v_len } else { 0 }];
         // Trace accumulators per sub-step.
         let mut acc_frags: Vec<WVec> = (0..subs)
             .map(|_| {
@@ -351,17 +218,17 @@ impl KernelSpec for OctetSddmm<'_> {
             })
             .collect();
 
-        for k0 in (0..k_total).step_by(TILE_K) {
-            let ks = TILE_K.min(k_total - k0);
+        for k0 in (0..k_total).step_by(tile_k) {
+            let ks = tile_k.min(k_total - k0);
             // ① A rows: V × 64 halves straight to registers.
             let mut a_loaded = [WVec::zeros(8), WVec::zeros(8)];
-            let a_parts = (v_len * TILE_K).div_ceil(256);
+            let a_parts = (v_len * tile_k).div_ceil(256);
             let mut a_tok = Tok::NONE;
             for (part, slot) in (0..a_parts).zip(0..2usize) {
                 let offs = lanes(|l| {
                     let flat = part * 256 + l * 8;
-                    let r = flat / TILE_K;
-                    let k = flat % TILE_K;
+                    let r = flat / tile_k;
+                    let k = flat % tile_k;
                     if r < v_len && k < ks {
                         Some((row_base + r) * k_total + k0 + k)
                     } else {
@@ -373,8 +240,8 @@ impl KernelSpec for OctetSddmm<'_> {
             }
 
             for sub in 0..subs {
-                let cols: Vec<usize> = (0..SUB_N.min(len - sub * SUB_N))
-                    .map(|j| self.mask.col_idx()[start + sub * SUB_N + j] as usize)
+                let cols: Vec<usize> = (0..sub_n.min(len - sub * sub_n))
+                    .map(|j| self.mask.col_idx()[start + sub * sub_n + j] as usize)
                     .collect();
                 // ③ gathered B columns: 8 × 64 halves to registers.
                 let mut b_loaded = [WVec::zeros(8), WVec::zeros(8)];
@@ -382,8 +249,8 @@ impl KernelSpec for OctetSddmm<'_> {
                 for slot in 0..2usize {
                     let offs = lanes(|l| {
                         let flat = slot * 256 + l * 8;
-                        let c = flat / TILE_K;
-                        let k = flat % TILE_K;
+                        let c = flat / tile_k;
+                        let k = flat % tile_k;
                         if c < cols.len() && k < ks && cols[c] < n {
                             Some(cols[c] * k_total + k0 + k)
                         } else {
@@ -402,16 +269,34 @@ impl KernelSpec for OctetSddmm<'_> {
                     b_tok = w.shfl(s.shfl_sw, &g2, |l| l ^ 16, &[b_tok]).tok();
                 }
 
-                for m in 0..4 {
-                    let a_frag = self.marshal_b_cols(&b_loaded, &cols, k0, m, switch, b_tok);
-                    let b_frag =
-                        self.marshal_a_rows(&a_loaded, row_base, v_len, k0, m, switch, a_tok);
+                for m in 0..m_slices {
+                    let a_frag = marshal_sddmm_frag(
+                        &b_loaded,
+                        cols.len(),
+                        tile_k,
+                        k0,
+                        m,
+                        self.b.rows(),
+                        switch,
+                        b_tok,
+                    );
+                    let b_frag = marshal_sddmm_frag(
+                        &a_loaded,
+                        v_len,
+                        tile_k,
+                        k0,
+                        m,
+                        self.a.cols(),
+                        switch,
+                        a_tok,
+                    );
+                    let site = s.mma[sub % s.subs()][m];
                     if functional {
                         // Compute octet partials directly with the TCU
                         // model, then fold into the host-side partial
                         // array (each octet owns a k-slice).
                         let mut acc = WVec::zeros(8);
-                        w.mma_m8n8k4(s.mma[sub % 4][m], &a_frag, &b_frag, &mut acc, flavor);
+                        w.mma_m8n8k4(site, &a_frag, &b_frag, &mut acc, flavor);
                         for o in 0..4 {
                             for g in 0..2 {
                                 for t in 0..4 {
@@ -420,7 +305,7 @@ impl KernelSpec for OctetSddmm<'_> {
                                         continue;
                                     }
                                     for r in 0..v_len {
-                                        let base = ((sub * 4 + o) * SUB_N + c) * v_len + r;
+                                        let base = ((sub * 4 + o) * sub_n + c) * v_len + r;
                                         // With SWITCH, writeback targets
                                         // the same acc positions.
                                         let lane = octet_lane(o, g, t);
@@ -433,13 +318,7 @@ impl KernelSpec for OctetSddmm<'_> {
                             }
                         }
                     } else {
-                        w.mma_m8n8k4(
-                            s.mma[sub % 4][m],
-                            &a_frag,
-                            &b_frag,
-                            &mut acc_frags[sub],
-                            flavor,
-                        );
+                        w.mma_m8n8k4(site, &a_frag, &b_frag, &mut acc_frags[sub], flavor);
                     }
                 }
                 if self.variant == OctetVariant::Reg && !functional {
@@ -488,15 +367,15 @@ impl KernelSpec for OctetSddmm<'_> {
                         }
                         let vec_j = flat / v_len;
                         let r = flat % v_len;
-                        let sub = vec_j / SUB_N;
-                        let c = vec_j % SUB_N;
+                        let sub = vec_j / sub_n;
+                        let c = vec_j % sub_n;
                         let sum: f32 = (0..4)
-                            .map(|o| partials[((sub * 4 + o) * SUB_N + c) * v_len + r])
+                            .map(|o| partials[((sub * 4 + o) * sub_n + c) * v_len + r])
                             .sum();
                         vals.set(l, e, f16::from_f32(sum).to_f32());
                         if shadow {
                             let sum64: f64 = (0..4)
-                                .map(|o| partials64[((sub * 4 + o) * SUB_N + c) * v_len + r])
+                                .map(|o| partials64[((sub * 4 + o) * sub_n + c) * v_len + r])
                                 .sum();
                             vals.set_shadow(l, e, sum64);
                         }
@@ -507,6 +386,53 @@ impl KernelSpec for OctetSddmm<'_> {
             }
             w.stg(s.stg, self.out_buf, &offs, &vals, &[red_tok]);
         }
+    }
+
+    fn run_native(&self, ctx: &mut NativeCtx<'_>) -> bool {
+        let v_len = self.mask.v();
+        let k_total = self.a.cols();
+        let tile_k = self.scheme.tile_k;
+        let m_slices = tile_k / 16;
+        let a = ctx.contents(self.a_buf);
+        let b = ctx.contents(self.b_buf);
+        let col_idx = self.mask.col_idx();
+        // Mirror the mma fragment grouping exactly: each octet owns the
+        // k-slices `16o + 4m + kk`, accumulating a fresh 4-term chunk per
+        // (k0, m) into its partial; the store folds the four partials in
+        // octet order. All three operand-routing variants compute these
+        // same groupings (the routing moves registers, not arithmetic).
+        let mut writes = Vec::with_capacity(self.mask.nnz() * v_len);
+        for &(br, start, len) in &self.tiles {
+            let row_base = br * v_len;
+            for j in 0..len {
+                let col = col_idx[start + j] as usize;
+                for r in 0..v_len {
+                    let mut partial = [0.0f32; 4];
+                    for k0 in (0..k_total).step_by(tile_k) {
+                        for m in 0..m_slices {
+                            for (o, p) in partial.iter_mut().enumerate() {
+                                let mut delta = 0.0f32;
+                                for kk in 0..4 {
+                                    let k = k0 + 16 * o + 4 * m + kk;
+                                    if k < k_total {
+                                        delta +=
+                                            b[col * k_total + k] * a[(row_base + r) * k_total + k];
+                                    }
+                                }
+                                *p += delta;
+                            }
+                        }
+                    }
+                    let sum: f32 = partial.iter().sum();
+                    writes.push((
+                        ((start + j) * v_len + r) as u32,
+                        f16::from_f32(sum).to_f32(),
+                    ));
+                }
+            }
+        }
+        ctx.apply(self.out_buf, &writes);
+        true
     }
 }
 

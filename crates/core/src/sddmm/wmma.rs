@@ -11,18 +11,22 @@
 //! ("Short Scoreboard", Table 3).
 
 use super::vector_tiles;
+use crate::compose::{scheme_for, TilingScheme};
+use crate::registry::KernelId;
 use crate::util::{lanes, upload_dense, upload_pattern, width_of, VsBuffers};
 use vecsparse_formats::{DenseMatrix, Layout, SparsityPattern, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{
     BufferId, CtaCtx, GpuConfig, KernelProfile, KernelSpec, Launch, LaunchConfig, MemPool,
-    MmaFlavor, Mode, Program, Site, Tok, WVec,
+    MmaFlavor, Mode, NativeCtx, Program, Site, Tok, WVec,
 };
 
+/// The kernel's named default point in the tiling space.
+const SCHEME: TilingScheme = scheme_for(KernelId::SddmmWmma);
 /// Output vectors per tile (quantised: partial tiles pay for all 32).
-const TILE_N: usize = 32;
+const TILE_N: usize = SCHEME.tile_n;
 /// K-stride per step.
-const TILE_K: usize = 64;
+const TILE_K: usize = SCHEME.tile_k;
 
 /// The wmma (classic TCU mapping) SDDMM baseline.
 pub struct WmmaSddmm<'m> {
@@ -303,6 +307,39 @@ impl KernelSpec for WmmaSddmm<'_> {
             }
             w.stg(s.stg, self.out_buf, &offs, &vals, &[acc_tok]);
         }
+    }
+
+    fn run_native(&self, ctx: &mut NativeCtx<'_>) -> bool {
+        // The wmma pipeline reduces each K-stride into a fresh fragment
+        // (flat ascending k within the chunk) and adds the chunk sums to
+        // the persistent accumulator in ascending-`k0` order; one f16
+        // round at store.
+        let v_len = self.mask.v();
+        let k_total = self.a.cols();
+        let a = ctx.contents(self.a_buf);
+        let b = ctx.contents(self.b_buf);
+        let col_idx = self.mask.col_idx();
+        let mut writes = Vec::with_capacity(self.mask.nnz());
+        for br in 0..self.mask.block_rows() {
+            let row_base = br * v_len;
+            for j in self.mask.block_row_range(br) {
+                let col = col_idx[j] as usize;
+                for r in 0..v_len {
+                    let mut acc = 0.0f32;
+                    for k0 in (0..k_total).step_by(TILE_K) {
+                        let ks = TILE_K.min(k_total - k0);
+                        let mut sum = 0.0f32;
+                        for k in 0..ks {
+                            sum += a[(row_base + r) * k_total + k0 + k] * b[col * k_total + k0 + k];
+                        }
+                        acc += sum;
+                    }
+                    writes.push(((j * v_len + r) as u32, f16::from_f32(acc).to_f32()));
+                }
+            }
+        }
+        ctx.apply(self.out_buf, &writes);
+        true
     }
 }
 

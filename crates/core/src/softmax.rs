@@ -7,7 +7,7 @@ use vecsparse_formats::VectorSparse;
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{
     BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, Launch, LaunchConfig,
-    MemPool, Mode, Program, Site, Tok, WVec,
+    MemPool, Mode, NativeCtx, Program, Site, Tok, WVec,
 };
 
 /// Sparse softmax over a vector-sparse matrix: each *scalar row's* stored
@@ -193,6 +193,35 @@ impl KernelSpec for SparseSoftmax<'_> {
             w.stg(s.stg, self.out_buf, &offs, &vals, &[d]);
         }
     }
+
+    fn run_native(&self, ctx: &mut NativeCtx<'_>) -> bool {
+        // Two-pass row softmax per scalar row: exact max, ascending-i
+        // denominator, one f16 round per stored element — the simulated
+        // functional path verbatim.
+        let p = self.x.pattern();
+        let v = p.v();
+        let vals = ctx.contents(self.bufs.values);
+        let mut writes = Vec::with_capacity(vals.len());
+        for br in 0..p.block_rows() {
+            let range = p.block_row_range(br);
+            for e in 0..v {
+                let mut maxv = f32::NEG_INFINITY;
+                for i in range.clone() {
+                    maxv = maxv.max(vals[i * v + e]);
+                }
+                let mut denom = 0.0f32;
+                for i in range.clone() {
+                    denom += (vals[i * v + e] - maxv).exp();
+                }
+                for i in range.clone() {
+                    let y = (vals[i * v + e] - maxv).exp() / denom;
+                    writes.push(((i * v + e) as u32, f16::from_f32(y).to_f32()));
+                }
+            }
+        }
+        ctx.apply(self.out_buf, &writes);
+        true
+    }
 }
 
 /// Functional sparse softmax through the kernel.
@@ -366,6 +395,28 @@ impl KernelSpec for DenseSoftmax {
             }
             w.stg(stg, self.out_buf, &offs, &vals, &[d]);
         }
+    }
+
+    fn run_native(&self, ctx: &mut NativeCtx<'_>) -> bool {
+        let n = self.cols;
+        let x = ctx.contents(self.in_buf);
+        let mut writes = Vec::with_capacity(self.rows * n);
+        for row in 0..self.rows {
+            let mut maxv = f32::NEG_INFINITY;
+            for c in 0..n {
+                maxv = maxv.max(x[row * n + c]);
+            }
+            let mut denom = 0.0f32;
+            for c in 0..n {
+                denom += (x[row * n + c] - maxv).exp();
+            }
+            for c in 0..n {
+                let y = (x[row * n + c] - maxv).exp() / denom;
+                writes.push(((row * n + c) as u32, f16::from_f32(y).to_f32()));
+            }
+        }
+        ctx.apply(self.out_buf, &writes);
+        true
     }
 }
 

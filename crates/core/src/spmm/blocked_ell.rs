@@ -13,16 +13,20 @@
 //! "No Instruction" / "Wait" / "Short Scoreboard" stall signature of
 //! Table 1.
 
+use crate::compose::{scheme_for, TilingScheme};
+use crate::registry::KernelId;
 use crate::util::{download_dense, lanes, upload_dense, upload_ell, width_of, EllBuffers};
 use vecsparse_formats::{BlockedEll, DenseMatrix, Layout, ELL_PAD};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{
     BufferId, CtaCtx, GpuConfig, KernelProfile, KernelSpec, Launch, LaunchConfig, MemPool,
-    MmaFlavor, Mode, Program, Site, Tok, WVec,
+    MmaFlavor, Mode, NativeCtx, Program, Site, Tok, WVec,
 };
 
+/// The kernel's named default point in the tiling space.
+const SCHEME: TilingScheme = scheme_for(KernelId::SpmmBlockedEll);
 /// Output tile width per CTA.
-const TILE_N: usize = 128;
+const TILE_N: usize = SCHEME.tile_n;
 
 /// The Blocked-ELL SpMM kernel (half precision; cuSPARSE supports fp16
 /// Blocked-ELL via `cusparseSpMM`).
@@ -435,6 +439,44 @@ impl KernelSpec for BlockedEllSpmm<'_> {
                 );
             }
         }
+    }
+
+    fn run_native(&self, ctx: &mut NativeCtx<'_>) -> bool {
+        // Per output element the slab pipeline reduces blocks in ascending
+        // slot order, ascending `kk` within each block, into one
+        // persistent f32 accumulator. Padding blocks (`ELL_PAD`) and the
+        // simulated path's zero-skip only move exact ±0.0 terms.
+        let block = self.a.block();
+        let n = self.b.cols();
+        let rows = self.a.rows();
+        let bpr = self.a.blocks_per_row();
+        let b = ctx.contents(self.b_buf);
+        let mut writes = Vec::with_capacity(rows * n);
+        for br in 0..self.a.block_rows() {
+            for r in 0..block {
+                let row = br * block + r;
+                if row >= rows {
+                    break;
+                }
+                for c in 0..n {
+                    let mut acc = 0.0f32;
+                    for slot in 0..bpr {
+                        let bc = self.a.block_col(br, slot);
+                        if bc == ELL_PAD {
+                            continue;
+                        }
+                        let vals = self.a.block_values(br, slot);
+                        for kk in 0..block {
+                            let a_val = vals[r * block + kk].to_f32();
+                            acc += a_val * b[(bc as usize * block + kk) * n + c];
+                        }
+                    }
+                    writes.push(((row * n + c) as u32, f16::from_f32(acc).to_f32()));
+                }
+            }
+        }
+        ctx.apply(self.out_buf, &writes);
+        true
     }
 }
 

@@ -13,7 +13,7 @@ use vecsparse_formats::{Csr, DenseMatrix, Layout, Scalar};
 use vecsparse_fp16::{f16, hmul_fadd};
 use vecsparse_gpu_sim::{
     BufferId, CtaCtx, GpuConfig, InstrKind, KernelProfile, KernelSpec, Launch, LaunchConfig,
-    MemPool, Mode, Program, Site, Tok, WVec,
+    MemPool, Mode, NativeCtx, Program, Site, Tok, WVec,
 };
 
 /// The fine-grained CSR SpMM kernel, generic over precision.
@@ -201,6 +201,36 @@ impl<T: Scalar> KernelSpec for CsrScalarSpmm<'_, T> {
             }
             w.stg(s.stg, self.out_buf, &offs, &vals, &[math_tok]);
         }
+    }
+
+    fn run_native(&self, ctx: &mut NativeCtx<'_>) -> bool {
+        // One accumulator per output element, walking the row's scalar
+        // nonzeros in ascending order — exactly the simulated kernel's
+        // per-row functional loop.
+        let n = self.b.cols();
+        let half = T::BITS == 16;
+        let col_idx = self.a.col_idx();
+        let values = ctx.contents(self.bufs.values);
+        let b = ctx.contents(self.b_buf);
+        let mut writes = Vec::with_capacity(self.a.rows() * n);
+        for row in 0..self.a.rows() {
+            let range = self.a.row_range(row);
+            for c in 0..n {
+                let mut acc = 0.0f32;
+                for i in range.clone() {
+                    let a_val = values[i];
+                    let b_val = b[col_idx[i] as usize * n + c];
+                    acc = if half {
+                        hmul_fadd(f16::from_f32(a_val), f16::from_f32(b_val), acc)
+                    } else {
+                        acc + a_val * b_val
+                    };
+                }
+                writes.push(((row * n + c) as u32, T::from_f32(acc).to_f32()));
+            }
+        }
+        ctx.apply(self.out_buf, &writes);
+        true
     }
 }
 

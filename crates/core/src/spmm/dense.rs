@@ -8,17 +8,22 @@
 //! precision variant uses FFMA. This is the "dense counterpart" every
 //! speedup in the paper is measured against.
 
+use crate::compose::{scheme_for, TilingScheme};
+use crate::registry::KernelId;
 use crate::util::{download_dense, lanes, upload_dense, width_of};
 use vecsparse_formats::{DenseMatrix, Layout, Scalar};
 use vecsparse_gpu_sim::{
     BufferId, GpuConfig, InstrKind, KernelProfile, KernelSpec, Launch, LaunchConfig, MemPool, Mode,
-    Program, Site, WVec,
+    NativeCtx, Program, Site, WVec,
 };
 
+/// The kernel's named default point in the tiling space (`tile_n` is the
+/// large-problem CTA tile width; small problems shrink adaptively).
+const SCHEME: TilingScheme = scheme_for(KernelId::SpmmDense);
 /// Warps per CTA.
 const CTA_WARPS: usize = 8;
 /// K-slice depth per shared-memory stage (in elements).
-const KSTEP: usize = 32;
+const KSTEP: usize = SCHEME.tile_k;
 
 /// Dense GEMM kernel (`C = A · B`, all row-major).
 pub struct DenseGemm<'m, T: Scalar> {
@@ -98,8 +103,8 @@ impl<'m, T: Scalar> DenseGemm<'m, T> {
         } else {
             64.min(a.rows().max(16))
         };
-        let tile_n = if b.cols() >= 128 {
-            128
+        let tile_n = if b.cols() >= SCHEME.tile_n {
+            SCHEME.tile_n
         } else {
             64.min(b.cols().max(16))
         };
@@ -261,6 +266,28 @@ impl<T: Scalar> KernelSpec for DenseGemm<'_, T> {
                 self.run_performance(cta, m0, n0, k_lo, k_hi, n, k);
             }
         }
+    }
+
+    fn run_native(&self, ctx: &mut NativeCtx<'_>) -> bool {
+        // Functional mode never splits K, so each output element is one
+        // flat ascending-l reduction; the simulated tile loop's zero-skip
+        // only drops exact ±0.0 terms. Rounded to the element grid once
+        // at store, like the real kernel's final F2F.
+        let (m, n, k) = (self.a.rows(), self.b.cols(), self.a.cols());
+        let a = ctx.contents(self.a_buf);
+        let b = ctx.contents(self.b_buf);
+        let mut writes = Vec::with_capacity(m * n);
+        for r in 0..m {
+            for c in 0..n {
+                let mut acc = 0.0f32;
+                for l in 0..k {
+                    acc += a[r * k + l] * b[l * n + c];
+                }
+                writes.push(((r * n + c) as u32, T::from_f32(acc).to_f32()));
+            }
+        }
+        ctx.apply(self.out_buf, &writes);
+        true
     }
 }
 

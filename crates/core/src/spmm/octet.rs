@@ -1,10 +1,10 @@
 //! TCU-based 1-D Octet Tiling SpMM — the paper's §5.3 contribution.
 //!
 //! Tiling: each CTA is a single warp producing a `V × 64` output tile
-//! (`TileN = 64`, the smallest width that fills a 128-byte transaction);
+//! (`tile_n = 64`, the smallest width that fills a 128-byte transaction);
 //! the grid is `⌈M/V⌉ × ⌈N/64⌉` thread blocks, maximising TLP
 //! (guideline II). The warp walks the block row's nonzero vectors in
-//! strides of `TILE_K` vectors; each 4-vector step computes a
+//! strides of `stage_k` vectors; each 4-vector step computes a
 //! `(64×4)·(4×V)` sub-tile — the LHS/RHS roles are **switched** so the
 //! B-matrix fragment feeds the TCU's Mat_a buffers and the tiny `4 × V`
 //! A-vector fragment feeds Mat_b, putting V on the output's horizontal
@@ -19,32 +19,25 @@
 //! per stride. Within a stride, all loads issue before a
 //! `__threadfence_block()` and the mma batch (the §5.4 ILP trick).
 //!
-//! The functional path routes real values through the same loads and
-//! [`vecsparse_gpu_sim::tcu`] octet semantics; a register-wiring helper
-//! (`marshal_*`) maps the loaded lane layout onto the simulator's
-//! canonical mma fragment convention, standing in for the operand-bus
-//! wiring the paper's mapping is designed around.
+//! The kernel is one point in the composer's tiling-configuration space
+//! ([`crate::compose::TilingScheme`]): the stage geometry and load
+//! schedule above are the default scheme, and
+//! [`super::compose::octet_schemes`] names the non-default points the
+//! Auto tuner sweeps. The functional path routes real values through
+//! the same loads and [`vecsparse_gpu_sim::tcu`] octet semantics; the
+//! [`crate::tile`] marshals map the loaded lane layout onto the
+//! simulator's canonical mma fragment convention.
 
+use super::compose::{compile_octet, OctetSites, DEFAULT_SCHEME};
+use crate::compose::{LoadStrategy, TilingScheme};
+use crate::tile::{marshal_spmm_mat_a, marshal_spmm_mat_b, octet_lane};
 use crate::util::{lanes, upload_dense, upload_vs, width_of, VsBuffers};
 use vecsparse_formats::{DenseMatrix, Layout, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{
     BufferId, CtaCtx, GpuConfig, KernelProfile, KernelSpec, Launch, LaunchConfig, MemPool,
-    MmaFlavor, Mode, Program, Site, Tok, WVec,
+    MmaFlavor, Mode, NativeCtx, Program, Tok, WVec,
 };
-
-/// Nonzero vectors processed per shared-memory stride.
-const TILE_K: usize = 32;
-/// Output tile width.
-const TILE_N: usize = 64;
-/// Steps per stride (4 vectors per step).
-const STEPS: usize = TILE_K / 4;
-
-/// Lane of thread `t` in group `g` (0 = low, 1 = high) of octet `o`.
-#[inline]
-fn octet_lane(o: usize, g: usize, t: usize) -> usize {
-    g * 16 + 4 * o + t
-}
 
 /// The octet-tiling SpMM kernel.
 pub struct OctetSpmm<'m> {
@@ -57,30 +50,11 @@ pub struct OctetSpmm<'m> {
     /// SASS optimisation, §7.1.3; off by default to match the evaluated
     /// kernels).
     truncate_hmma: bool,
-    /// Disable the §5.4 ILP trick (batch all loads, fence, batch all
-    /// mmas): with batching off, every step's load and mma interleave and
-    /// the compiler-style register reuse serialises them. Ablation knob.
-    batch_ilp: bool,
-    sites: Sites,
+    /// The tiling-configuration point this instance was compiled at.
+    scheme: TilingScheme,
+    sites: OctetSites,
     prog: Program,
     static_len: u32,
-}
-
-struct Sites {
-    ld_rowptr: Site,
-    ld_colidx: Site,
-    ld_avals: Site,
-    sts_avals: Site,
-    /// One B-fragment load per step (unrolled).
-    ldg_b: [Site; STEPS],
-    /// One shared A-fragment load per step (unrolled).
-    lds_a: [Site; STEPS],
-    fence: Site,
-    /// Two mma per step (each spans 4 static HMMA slots).
-    mma: [[Site; 2]; STEPS],
-    addr: Site,
-    shfl_out: Site,
-    stg: Site,
 }
 
 impl<'m> OctetSpmm<'m> {
@@ -94,18 +68,34 @@ impl<'m> OctetSpmm<'m> {
         b: &'m DenseMatrix<f16>,
         mode: Mode,
     ) -> Self {
+        Self::with_scheme(mem, a, b, mode, DEFAULT_SCHEME)
+    }
+
+    /// Stage inputs and compile at an explicit tiling scheme — the
+    /// tuner's scheme-sweep path.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree, `B` is not row-major, V > 8, or the
+    /// scheme's staging window is invalid for the octet listing.
+    pub fn with_scheme(
+        mem: &mut MemPool,
+        a: &'m VectorSparse<f16>,
+        b: &'m DenseMatrix<f16>,
+        mode: Mode,
+        scheme: TilingScheme,
+    ) -> Self {
         let bufs = upload_vs(mem, a, mode);
         let b_buf = upload_dense(mem, b, mode);
         let out_buf = match mode {
             Mode::Functional => mem.alloc_zeroed(width_of::<f16>(), a.rows() * b.cols()),
             Mode::Performance => mem.alloc_ghost(width_of::<f16>(), a.rows() * b.cols()),
         };
-        Self::from_staged(a, b, bufs, b_buf, out_buf)
+        Self::from_staged_scheme(a, b, bufs, b_buf, out_buf, scheme)
     }
 
     /// Build the kernel over operands **already staged** in a pool —
     /// the engine's plan path, which uploads the sparse operand once and
-    /// reuses its buffers across launches.
+    /// reuses its buffers across launches. Compiles the default scheme.
     ///
     /// # Panics
     /// Panics if shapes disagree, `B` is not row-major, or V > 8.
@@ -116,6 +106,23 @@ impl<'m> OctetSpmm<'m> {
         b_buf: BufferId,
         out_buf: BufferId,
     ) -> Self {
+        Self::from_staged_scheme(a, b, bufs, b_buf, out_buf, DEFAULT_SCHEME)
+    }
+
+    /// [`Self::from_staged`] at an explicit tiling scheme — the plan
+    /// path once the tuner has picked a non-default point.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree, `B` is not row-major, V > 8, or the
+    /// scheme's staging window is invalid for the octet listing.
+    pub fn from_staged_scheme(
+        a: &'m VectorSparse<f16>,
+        b: &'m DenseMatrix<f16>,
+        bufs: VsBuffers,
+        b_buf: BufferId,
+        out_buf: BufferId,
+        scheme: TilingScheme,
+    ) -> Self {
         assert_eq!(a.cols(), b.rows(), "SpMM inner dimension mismatch");
         assert_eq!(b.layout(), Layout::RowMajor, "B must be row-major");
         assert!(
@@ -123,30 +130,7 @@ impl<'m> OctetSpmm<'m> {
             "column vector length must be 1, 2, 4, or 8"
         );
 
-        let mut p = Program::new();
-        let mut ldg_b = [Site(0); STEPS];
-        let mut lds_a = [Site(0); STEPS];
-        let mut mma = [[Site(0); 2]; STEPS];
-        let ld_rowptr = p.site("ld_rowptr", 0);
-        let ld_colidx = p.site("ld_colidx", 0);
-        let ld_avals = p.site("ld_avals", 0);
-        let sts_avals = p.site("sts_avals", 0);
-        for s in 0..STEPS {
-            ldg_b[s] = p.site("ldg_b", s as u32);
-            lds_a[s] = p.site("lds_a", s as u32);
-        }
-        let fence = p.site("fence", 0);
-        for s in 0..STEPS {
-            // Each mma spans the 4 HMMA steps.
-            mma[s][0] = p.site_span("mma", (s * 8) as u32, 4);
-            mma[s][1] = p.site_span("mma", (s * 8 + 4) as u32, 4);
-        }
-        let addr = p.site("addr", 0);
-        let shfl_out = p.site("shfl_out", 0);
-        let stg = p.site("stg", 0);
-        // Plus a residue-loop copy of one step's body and scalar prologue
-        // glue, giving a program in the paper's 384–416 line regime.
-        let static_len = p.static_len() + 48;
+        let (prog, sites, static_len) = compile_octet(&scheme);
 
         OctetSpmm {
             a,
@@ -155,21 +139,9 @@ impl<'m> OctetSpmm<'m> {
             b_buf,
             out_buf,
             truncate_hmma: false,
-            batch_ilp: true,
-            sites: Sites {
-                ld_rowptr,
-                ld_colidx,
-                ld_avals,
-                sts_avals,
-                ldg_b,
-                lds_a,
-                fence,
-                mma,
-                addr,
-                shfl_out,
-                stg,
-            },
-            prog: p,
+            scheme,
+            sites,
+            prog,
             static_len,
         }
     }
@@ -181,10 +153,23 @@ impl<'m> OctetSpmm<'m> {
     }
 
     /// Toggle the §5.4 ILP batching (on by default; off interleaves each
-    /// step's load with its mma, modelling the compiler's register reuse).
+    /// step's load with its mma, modelling the compiler's register
+    /// reuse). Sugar for moving the scheme between
+    /// [`LoadStrategy::SyncFullOrdered`] and
+    /// [`LoadStrategy::SyncBufferCyclic`] — the program's site table is
+    /// schedule-independent, so no recompile is needed.
     pub fn with_ilp_batching(mut self, on: bool) -> Self {
-        self.batch_ilp = on;
+        self.scheme.load = if on {
+            LoadStrategy::SyncFullOrdered
+        } else {
+            LoadStrategy::SyncBufferCyclic
+        };
         self
+    }
+
+    /// The tiling-configuration point this instance runs at.
+    pub fn scheme(&self) -> &TilingScheme {
+        &self.scheme
     }
 
     /// Output buffer id.
@@ -198,7 +183,7 @@ impl<'m> OctetSpmm<'m> {
     }
 
     fn n_chunks(&self) -> usize {
-        self.b.cols().div_ceil(TILE_N)
+        self.b.cols().div_ceil(self.scheme.tile_n)
     }
 
     fn flavor(&self) -> MmaFlavor {
@@ -207,59 +192,6 @@ impl<'m> OctetSpmm<'m> {
         } else {
             MmaFlavor::Standard
         }
-    }
-
-    /// Marshal the B fragment loaded by `ldg_b` (lane `8j+c` holds the 8
-    /// halves `B[col_j][n0 + 8c .. 8c+8]`) into the two mma Mat_a
-    /// fragments: `a_sel = 0` covers transposed-output rows 0–31, 1 covers
-    /// 32–63.
-    fn marshal_a(loaded: &WVec, a_sel: usize) -> WVec {
-        if loaded.is_ghost() {
-            return WVec::ghost(4, loaded.tok());
-        }
-        let mut a = WVec::zeros(4);
-        for o in 0..4 {
-            for g in 0..2 {
-                for t in 0..4 {
-                    let n_local = 32 * a_sel + 8 * o + 4 * g + t;
-                    for j in 0..4 {
-                        let v = loaded.get(8 * j + n_local / 8, n_local % 8);
-                        a.set(octet_lane(o, g, t), j, v);
-                    }
-                }
-            }
-        }
-        a.set_tok(loaded.tok());
-        a
-    }
-
-    /// Marshal the A-vector fragment (vectors `i..i+4` of the stride's
-    /// shared-memory stage, where the staged load holds vector `s` in lane
-    /// `s`, elements `0..V`) into the mma Mat_b fragment: lane `c` of each
-    /// group holds output column `4g + c`'s four k-values.
-    fn marshal_b(staged: &WVec, step: usize, v_len: usize, tok: Tok) -> WVec {
-        if staged.is_ghost() {
-            return WVec::ghost(4, tok);
-        }
-        let mut b = WVec::zeros(4);
-        for o in 0..4 {
-            for g in 0..2 {
-                for c in 0..4 {
-                    let col = 4 * g + c;
-                    if col >= v_len {
-                        continue;
-                    }
-                    for k in 0..4 {
-                        let vec_idx = step * 4 + k;
-                        if vec_idx < TILE_K {
-                            b.set(octet_lane(o, g, c), k, staged.get(vec_idx, col));
-                        }
-                    }
-                }
-            }
-        }
-        b.set_tok(tok);
-        b
     }
 }
 
@@ -275,8 +207,8 @@ impl KernelSpec for OctetSpmm<'_> {
             // Two 8-wide f32 accumulators, the B fragment, A fragment and
             // index registers.
             regs_per_thread: 40,
-            // Staged A vectors: TILE_K × V halves.
-            smem_elems: TILE_K * self.a.v(),
+            // Staged A vectors: stage_k × V halves.
+            smem_elems: self.scheme.stage_k() * self.a.v(),
             smem_elem_bytes: 2,
             static_instrs: self.static_len,
         }
@@ -301,9 +233,11 @@ impl KernelSpec for OctetSpmm<'_> {
         let v_len = self.a.v();
         let p = self.a.pattern();
         let n = self.b.cols();
+        let tile_n = self.scheme.tile_n;
+        let stage_k = self.scheme.stage_k();
         let chunks = self.n_chunks();
         let br = cta.cta_id / chunks;
-        let n0 = (cta.cta_id % chunks) * TILE_N;
+        let n0 = (cta.cta_id % chunks) * tile_n;
         let range = p.block_row_range(br);
         let row_ptr_base = br;
         let flavor = self.flavor();
@@ -326,8 +260,8 @@ impl KernelSpec for OctetSpmm<'_> {
 
         let mut i = range.start;
         while i < range.end {
-            let stride = (range.end - i).min(TILE_K);
-            let full = stride == TILE_K && self.batch_ilp;
+            let stride = (range.end - i).min(stage_k);
+            let full = stride == stage_k && self.scheme.load == LoadStrategy::SyncFullOrdered;
 
             // Stage this stride's column indices and A vectors.
             let ci = lanes(|l| if l < stride { Some(i + l) } else { None });
@@ -345,7 +279,8 @@ impl KernelSpec for OctetSpmm<'_> {
 
             let steps = stride.div_ceil(4);
             // Batched loads, fence, batched mma (ILP; only for full
-            // strides — the residue interleaves, §5.4).
+            // strides under the ordered load schedule — the residue and
+            // the cyclic schedule interleave, §5.4).
             let mut b_frags: Vec<WVec> = Vec::with_capacity(steps);
             let mut a_frag_toks: Vec<Tok> = Vec::with_capacity(steps);
             for step in 0..steps {
@@ -377,7 +312,7 @@ impl KernelSpec for OctetSpmm<'_> {
                 b_frags.push(loaded);
                 a_frag_toks.push(a_tok);
                 if !full {
-                    // Residue path: interleave load and compute.
+                    // Residue/cyclic path: interleave load and compute.
                     self.step_mma(
                         &mut w,
                         step,
@@ -411,23 +346,23 @@ impl KernelSpec for OctetSpmm<'_> {
         // Epilogue: shuffle-reorganise and vector stores (row-safe: a
         // residue chunk never lets a vector store cross the row end).
         let row_base = br * v_len;
-        let tn = TILE_N.min(n - n0);
+        let tn = tile_n.min(n - n0);
         if functional {
             // Extract from the accumulator fragments and round once. The
             // shadow twins were maintained by the mma shadow pass; mirror
             // the extraction so the stores carry them too.
             let shadow = w.shadow_exec();
-            let mut tile = vec![0.0f32; v_len * TILE_N];
-            let mut tile64 = vec![0.0f64; if shadow { v_len * TILE_N } else { 0 }];
+            let mut tile = vec![0.0f32; v_len * tile_n];
+            let mut tile64 = vec![0.0f64; if shadow { v_len * tile_n } else { 0 }];
             for (half, frag) in acc.iter().enumerate() {
                 for o in 0..4 {
                     for g in 0..2 {
                         for t in 0..4 {
                             let nrow = 32 * half + 8 * o + 4 * g + t;
                             for col in 0..v_len {
-                                tile[col * TILE_N + nrow] = frag.get(octet_lane(o, g, t), col);
+                                tile[col * tile_n + nrow] = frag.get(octet_lane(o, g, t), col);
                                 if shadow {
-                                    tile64[col * TILE_N + nrow] =
+                                    tile64[col * tile_n + nrow] =
                                         frag.get_shadow(octet_lane(o, g, t), col);
                                 }
                             }
@@ -442,10 +377,10 @@ impl KernelSpec for OctetSpmm<'_> {
                     break;
                 }
                 let vals: Vec<f32> = (0..tn)
-                    .map(|c| f16::from_f32(tile[r * TILE_N + c]).to_f32())
+                    .map(|c| f16::from_f32(tile[r * tile_n + c]).to_f32())
                     .collect();
                 let shadows: Vec<f64> = if shadow {
-                    (0..tn).map(|c| tile64[r * TILE_N + c]).collect()
+                    (0..tn).map(|c| tile64[r * tile_n + c]).collect()
                 } else {
                     Vec::new()
                 };
@@ -495,6 +430,25 @@ impl KernelSpec for OctetSpmm<'_> {
             }
         }
     }
+
+    fn run_native(&self, ctx: &mut NativeCtx<'_>) -> bool {
+        // The truncated-HMMA ablation drops redundant fragment slots;
+        // keep it on the simulated path rather than re-proving the
+        // equivalence here.
+        if self.truncate_hmma {
+            return false;
+        }
+        super::native_block_row_spmm(
+            ctx,
+            self.a.pattern(),
+            self.a.rows(),
+            self.b.cols(),
+            self.bufs.values,
+            self.b_buf,
+            self.out_buf,
+        );
+        true
+    }
 }
 
 impl OctetSpmm<'_> {
@@ -510,11 +464,13 @@ impl OctetSpmm<'_> {
         acc: &mut [WVec; 2],
         flavor: MmaFlavor,
     ) {
-        let b_frag = Self::marshal_b(staged_a, step % STEPS, v_len, a_tok);
+        let steps = self.sites.steps();
+        let b_frag =
+            marshal_spmm_mat_b(staged_a, step % steps, v_len, self.scheme.stage_k(), a_tok);
         for (sel, acc_frag) in acc.iter_mut().enumerate() {
-            let a_frag = Self::marshal_a(loaded_b, sel);
+            let a_frag = marshal_spmm_mat_a(loaded_b, sel);
             w.mma_m8n8k4(
-                self.sites.mma[step % STEPS][sel],
+                self.sites.mma[step % steps][sel],
                 &a_frag,
                 &b_frag,
                 acc_frag,
@@ -536,14 +492,25 @@ pub fn spmm_octet(
     kernel.result(&mem)
 }
 
-/// Profile the octet SpMM kernel.
+/// Profile the octet SpMM kernel at the default scheme.
 pub fn profile_spmm_octet(
     gpu: &GpuConfig,
     a: &VectorSparse<f16>,
     b: &DenseMatrix<f16>,
 ) -> KernelProfile {
+    profile_spmm_octet_scheme(gpu, a, b, DEFAULT_SCHEME)
+}
+
+/// Profile the octet SpMM kernel at an explicit tiling scheme — the
+/// Auto tuner's scheme-sweep probe.
+pub fn profile_spmm_octet_scheme(
+    gpu: &GpuConfig,
+    a: &VectorSparse<f16>,
+    b: &DenseMatrix<f16>,
+    scheme: TilingScheme,
+) -> KernelProfile {
     let mut mem = MemPool::new();
-    let kernel = OctetSpmm::new(&mut mem, a, b, Mode::Performance);
+    let kernel = OctetSpmm::with_scheme(&mut mem, a, b, Mode::Performance, scheme);
     Launch::new(&mut mem, &kernel)
         .gpu(gpu)
         .performance()
@@ -613,6 +580,24 @@ mod tests {
         let got = kernel.result(&mem);
         let want = reference::spmm_vs(&a, &b);
         assert_eq!(got.max_abs_diff(&want), 0.0);
+    }
+
+    /// Every tuner-swept scheme point computes the same bits as the
+    /// default — the composer changes schedule and staging, never the
+    /// reduction order seen by any one output element.
+    #[test]
+    fn all_swept_schemes_match_reference() {
+        let gpu = GpuConfig::small();
+        let a = gen::random_vector_sparse::<f16>(16, 256, 4, 1.0 - 33.0 / 256.0, 13);
+        let b = gen::random_dense::<f16>(256, 96, Layout::RowMajor, 14);
+        let want = reference::spmm_vs(&a, &b);
+        for scheme in super::super::compose::octet_schemes() {
+            let mut mem = MemPool::new();
+            let kernel = OctetSpmm::with_scheme(&mut mem, &a, &b, Mode::Functional, scheme);
+            Launch::new(&mut mem, &kernel).gpu(&gpu).run();
+            let got = kernel.result(&mem);
+            assert_eq!(got.max_abs_diff(&want), 0.0, "scheme {}", scheme.label());
+        }
     }
 
     #[test]

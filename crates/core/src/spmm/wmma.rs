@@ -18,18 +18,22 @@
 //! describes this design analytically; it is included here to make the
 //! §5 design-space comparison (fpu → wmma → octet) runnable.
 
+use crate::compose::{scheme_for, TilingScheme};
+use crate::registry::KernelId;
 use crate::util::{download_dense, lanes, upload_dense, upload_vs, width_of, VsBuffers};
 use vecsparse_formats::{DenseMatrix, Layout, VectorSparse};
 use vecsparse_fp16::f16;
 use vecsparse_gpu_sim::{
     BufferId, CtaCtx, GpuConfig, KernelProfile, KernelSpec, Launch, LaunchConfig, MemPool,
-    MmaFlavor, Mode, Program, Site, Tok, WVec,
+    MmaFlavor, Mode, NativeCtx, Program, Site, Tok, WVec,
 };
 
+/// The kernel's named default point in the tiling space.
+const SCHEME: TilingScheme = scheme_for(KernelId::SpmmWmma);
 /// Output tile width (as in the octet kernel).
-const TILE_N: usize = 64;
+const TILE_N: usize = SCHEME.tile_n;
 /// Nonzero vectors per wmma step (the k of `wmma.m8n32k16`).
-const WMMA_K: usize = 16;
+const WMMA_K: usize = SCHEME.tile_k;
 
 /// The §5.2 warp-tiling SpMM kernel.
 pub struct WmmaSpmm<'m> {
@@ -311,6 +315,23 @@ impl KernelSpec for WmmaSpmm<'_> {
                 );
             }
         }
+    }
+
+    fn run_native(&self, ctx: &mut NativeCtx<'_>) -> bool {
+        // The wmma fragment pipeline reduces each element in ascending
+        // k-step order into one persistent f32 accumulator — the same
+        // flat reduction as the octet kernel (the simulated path's
+        // zero-skip only drops exact ±0.0 terms).
+        super::native_block_row_spmm(
+            ctx,
+            self.a.pattern(),
+            self.a.rows(),
+            self.b.cols(),
+            self.bufs.values,
+            self.b_buf,
+            self.out_buf,
+        );
+        true
     }
 }
 

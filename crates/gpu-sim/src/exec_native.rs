@@ -1,0 +1,67 @@
+//! Native CPU fast-path executor.
+//!
+//! [`crate::Backend::Native`] runs a kernel's *functional semantics*
+//! directly on the host: no warps, no traces, no timing — just the
+//! arithmetic the simulated kernel would perform, in the same order and
+//! with the same single rounding at every output store. The executor is
+//! deliberately sequential per kernel, so its outputs are independent of
+//! the rayon thread count by construction; the simulator reaches the same
+//! independence by buffering CTA writes and applying them in grid order,
+//! and the tier-1 backend gate asserts the two paths agree bit for bit.
+//!
+//! A kernel opts in by overriding [`crate::KernelSpec::run_native`]; the
+//! default returns `false`, which makes [`crate::Launch`] fall back to
+//! the simulated functional path. The contract for an override is strict:
+//! the values written through the [`NativeCtx`] must be **bit-identical**
+//! to what a simulated functional launch would leave in the pool. The
+//! floating-point argument for why the shipped lowerings meet this is in
+//! DESIGN.md §2j.
+
+use crate::mem::{BufferId, MemPool};
+
+/// Host-side execution context handed to [`crate::KernelSpec::run_native`].
+///
+/// Reads go through [`NativeCtx::contents`] / [`NativeCtx::read`], which
+/// mirror the functional memory model (ghost buffers read as `0.0`) but do
+/// not perturb the pool's `value_reads` counter — the counter is a
+/// wave-equivalence proof input and must only observe simulated launches.
+/// Writes are batched by the kernel and applied with [`NativeCtx::apply`],
+/// matching the simulator's buffered-store discipline.
+pub struct NativeCtx<'a> {
+    mem: &'a mut MemPool,
+}
+
+impl<'a> NativeCtx<'a> {
+    pub(crate) fn new(mem: &'a mut MemPool) -> NativeCtx<'a> {
+        NativeCtx { mem }
+    }
+
+    /// The functional contents of a buffer (empty for ghosts).
+    pub fn contents(&self, buf: BufferId) -> &[f32] {
+        self.mem.contents(buf)
+    }
+
+    /// Read one element, with the functional-model ghost semantics: a
+    /// buffer without materialised contents reads as `0.0`.
+    pub fn read(&self, buf: BufferId, idx: usize) -> f32 {
+        let data = self.mem.contents(buf);
+        if data.is_empty() {
+            0.0
+        } else {
+            data[idx]
+        }
+    }
+
+    /// Apply a batch of `(index, value)` writes, exactly like the
+    /// simulator applies a CTA's buffered global stores.
+    pub fn apply(&mut self, buf: BufferId, writes: &[(u32, f32)]) {
+        self.mem.apply_writes(buf, writes);
+    }
+}
+
+/// Run `kernel` natively against `mem`. Returns `false` (pool untouched)
+/// when the kernel does not implement a native lowering.
+pub(crate) fn run_native<K: crate::KernelSpec + ?Sized>(mem: &mut MemPool, kernel: &K) -> bool {
+    let mut ctx = NativeCtx::new(mem);
+    kernel.run_native(&mut ctx)
+}

@@ -63,6 +63,44 @@ impl TimingMode {
     }
 }
 
+/// Which engine executes a *functional* launch.
+///
+/// Performance launches always simulate — the whole point of a profile is
+/// the warp-level machine model. Functional launches, by contrast, only
+/// need the kernels' arithmetic, and [`Backend::Native`] runs it directly
+/// on the host (see [`crate::NativeCtx`]): no warps, no traces, an order
+/// of magnitude less bookkeeping per value. Outputs are bit-identical
+/// between the two backends; the tier-1 backend gate enforces it for the
+/// whole kernel registry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Warp-accurate functional simulation (the reference path).
+    #[default]
+    Simulated,
+    /// Direct host execution of the kernel's functional semantics.
+    /// Kernels without a native lowering fall back to [`Backend::Simulated`].
+    Native,
+}
+
+impl Backend {
+    /// Stable lowercase label, as used by `--backend` and sweep JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Simulated => "simulated",
+            Backend::Native => "native",
+        }
+    }
+
+    /// Parse a `--backend` flag value.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "simulated" => Some(Backend::Simulated),
+            "native" => Some(Backend::Native),
+            _ => None,
+        }
+    }
+}
+
 /// Static launch description a kernel provides.
 #[derive(Clone, Debug)]
 pub struct LaunchConfig {
@@ -118,6 +156,15 @@ pub trait KernelSpec: Sync {
     fn shard_layout(&self) -> Option<crate::shard::ShardLayout> {
         None
     }
+    /// Execute the kernel's functional semantics directly on the host
+    /// ([`Backend::Native`]): write bit-identical outputs through `ctx`
+    /// and return `true`. The default returns `false` without touching
+    /// the pool, which makes the launch fall back to the simulated
+    /// functional path.
+    fn run_native(&self, ctx: &mut crate::NativeCtx<'_>) -> bool {
+        let _ = ctx;
+        false
+    }
 }
 
 /// What a launch returns.
@@ -128,6 +175,12 @@ pub struct LaunchOutput {
     /// and sorted by pc. Empty unless the launch was built with
     /// [`Launch::shadow`].
     pub shadow: Vec<ShadowObs>,
+    /// True when the functional launch ran on the native CPU backend.
+    /// A [`Backend::Native`] request can still come back `false` — the
+    /// kernel lacks a native lowering, or the launch needed the warp
+    /// model (performance, shadow, CTA subset). The tier-1 backend gate
+    /// asserts this so a silent fallback cannot masquerade as coverage.
+    pub native: bool,
 }
 
 /// Composable kernel launch: the one entry point for every way a kernel
@@ -186,6 +239,7 @@ pub struct Launch<'a, K: KernelSpec + ?Sized> {
     memo: Option<(&'a WaveMemo, LaunchSig)>,
     shadow: bool,
     ctas: Option<Vec<usize>>,
+    backend: Backend,
 }
 
 impl<'a, K: KernelSpec + ?Sized> Launch<'a, K> {
@@ -201,6 +255,7 @@ impl<'a, K: KernelSpec + ?Sized> Launch<'a, K> {
             memo: None,
             shadow: false,
             ctas: None,
+            backend: Backend::default(),
         }
     }
 
@@ -263,6 +318,15 @@ impl<'a, K: KernelSpec + ?Sized> Launch<'a, K> {
         self
     }
 
+    /// Which engine executes a functional launch. [`Backend::Native`]
+    /// only applies to plain functional runs — performance simulation,
+    /// shadow execution and CTA-subset launches need the warp model and
+    /// always simulate, as does a kernel without a native lowering.
+    pub fn backend(mut self, backend: Backend) -> Launch<'a, K> {
+        self.backend = backend;
+        self
+    }
+
     /// Execute the launch.
     pub fn run(self) -> LaunchOutput {
         let lc = self.kernel.launch_config();
@@ -282,14 +346,21 @@ impl<'a, K: KernelSpec + ?Sized> Launch<'a, K> {
             return LaunchOutput {
                 profile: None,
                 shadow,
+                native: false,
             };
         }
         match self.mode {
             Mode::Functional => {
-                run_functional(self.mem, self.kernel, &lc, self.ctas.as_deref());
+                let native = self.backend == Backend::Native
+                    && self.ctas.is_none()
+                    && crate::exec_native::run_native(self.mem, self.kernel);
+                if !native {
+                    run_functional(self.mem, self.kernel, &lc, self.ctas.as_deref());
+                }
                 LaunchOutput {
                     profile: None,
                     shadow: Vec::new(),
+                    native,
                 }
             }
             Mode::Performance => {
@@ -317,6 +388,7 @@ impl<'a, K: KernelSpec + ?Sized> Launch<'a, K> {
                 LaunchOutput {
                     profile: Some(profile),
                     shadow: Vec::new(),
+                    native: false,
                 }
             }
         }
@@ -393,69 +465,6 @@ fn run_shadow<K: KernelSpec + ?Sized>(
     }
     folded.sort_by_key(|o| o.pc);
     folded
-}
-
-/// Deprecated free-function shim over [`Launch`].
-#[deprecated(
-    since = "0.4.0",
-    note = "use Launch::new(mem, kernel).gpu(cfg).mode(mode).run()"
-)]
-pub fn launch<K: KernelSpec + ?Sized>(
-    cfg: &GpuConfig,
-    mem: &mut MemPool,
-    kernel: &K,
-    mode: Mode,
-) -> LaunchOutput {
-    Launch::new(mem, kernel).gpu(cfg).mode(mode).run()
-}
-
-/// Deprecated free-function shim over [`Launch`].
-#[deprecated(
-    since = "0.4.0",
-    note = "use Launch::new(mem, kernel).gpu(cfg).mode(mode).traced(sink).run()"
-)]
-pub fn launch_traced<K: KernelSpec + ?Sized>(
-    cfg: &GpuConfig,
-    mem: &mut MemPool,
-    kernel: &K,
-    mode: Mode,
-    sink: &TraceSink,
-) -> LaunchOutput {
-    Launch::new(mem, kernel)
-        .gpu(cfg)
-        .mode(mode)
-        .traced(sink)
-        .run()
-}
-
-/// Deprecated free-function shim over [`Launch`].
-#[deprecated(
-    since = "0.4.0",
-    note = "use Launch::new(mem, kernel).gpu(cfg).mode(mode).traced(sink).memo_opt(memo).run()"
-)]
-pub fn launch_memoized<K: KernelSpec + ?Sized>(
-    cfg: &GpuConfig,
-    mem: &mut MemPool,
-    kernel: &K,
-    mode: Mode,
-    sink: &TraceSink,
-    memo: Option<(&WaveMemo, LaunchSig)>,
-) -> LaunchOutput {
-    Launch::new(mem, kernel)
-        .gpu(cfg)
-        .mode(mode)
-        .traced(sink)
-        .memo_opt(memo)
-        .run()
-}
-
-/// Deprecated free-function shim over [`Launch`].
-#[deprecated(
-    since = "0.4.0",
-    note = "use Launch::new(mem, kernel).shadow().run().shadow"
-)]
-pub fn launch_shadow<K: KernelSpec + ?Sized>(mem: &mut MemPool, kernel: &K) -> Vec<ShadowObs> {
-    Launch::new(mem, kernel).shadow().run().shadow
 }
 
 /// Memo key for one SM wave (or, with the full sample list, one launch):
@@ -909,6 +918,14 @@ mod tests {
             out.set_tok(t);
             w.stg(self.sites.2, self.output, &offs, &out, &[t]);
         }
+
+        fn run_native(&self, ctx: &mut crate::NativeCtx<'_>) -> bool {
+            let writes: Vec<(u32, f32)> = (0..self.grid * 32)
+                .map(|i| (i as u32, ctx.read(self.input, i) * 2.0))
+                .collect();
+            ctx.apply(self.output, &writes);
+            true
+        }
     }
 
     #[test]
@@ -924,6 +941,75 @@ mod tests {
         for i in 0..128 {
             assert_eq!(mem.read(output, i), 2.0 * i as f32, "index {i}");
         }
+    }
+
+    #[test]
+    fn native_backend_matches_simulated_and_perf_still_simulates() {
+        let cfg = GpuConfig::small();
+        let mut mem = MemPool::new();
+        let input = mem.alloc_init(ElemWidth::B32, (0..128).map(|i| i as f32 - 7.5).collect());
+        let sim_out = mem.alloc_zeroed(ElemWidth::B32, 128);
+        let nat_out = mem.alloc_zeroed(ElemWidth::B32, 128);
+        let ks = DoubleKernel::new(input, sim_out, 4);
+        Launch::new(&mut mem, &ks).gpu(&cfg).run();
+        let kn = DoubleKernel::new(input, nat_out, 4);
+        Launch::new(&mut mem, &kn)
+            .gpu(&cfg)
+            .backend(Backend::Native)
+            .run();
+        for i in 0..128 {
+            assert_eq!(
+                mem.read(sim_out, i).to_bits(),
+                mem.read(nat_out, i).to_bits(),
+                "index {i}"
+            );
+        }
+        // A performance launch ignores the backend: it must simulate.
+        let out = Launch::new(&mut mem, &kn)
+            .gpu(&cfg)
+            .performance()
+            .backend(Backend::Native)
+            .run();
+        assert!(out.profile.is_some());
+    }
+
+    /// A kernel without a native lowering silently falls back to the
+    /// simulated functional path under `Backend::Native`.
+    #[test]
+    fn native_backend_falls_back_without_lowering() {
+        struct NoNative(DoubleKernel);
+        impl KernelSpec for NoNative {
+            fn name(&self) -> String {
+                self.0.name()
+            }
+            fn launch_config(&self) -> LaunchConfig {
+                self.0.launch_config()
+            }
+            fn run_cta(&self, cta: &mut CtaCtx<'_>) {
+                self.0.run_cta(cta)
+            }
+        }
+        let cfg = GpuConfig::small();
+        let mut mem = MemPool::new();
+        let input = mem.alloc_init(ElemWidth::B32, (0..64).map(|i| i as f32).collect());
+        let output = mem.alloc_zeroed(ElemWidth::B32, 64);
+        let k = NoNative(DoubleKernel::new(input, output, 2));
+        Launch::new(&mut mem, &k)
+            .gpu(&cfg)
+            .backend(Backend::Native)
+            .run();
+        for i in 0..64 {
+            assert_eq!(mem.read(output, i), 2.0 * i as f32, "index {i}");
+        }
+    }
+
+    #[test]
+    fn backend_labels_round_trip() {
+        for b in [Backend::Simulated, Backend::Native] {
+            assert_eq!(Backend::parse(b.label()), Some(b));
+        }
+        assert_eq!(Backend::parse("cuda"), None);
+        assert_eq!(Backend::default(), Backend::Simulated);
     }
 
     #[test]

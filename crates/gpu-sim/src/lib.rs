@@ -34,6 +34,7 @@
 
 mod cache;
 mod config;
+mod exec_native;
 mod icache;
 mod launch;
 mod mem;
@@ -54,9 +55,8 @@ pub use cache::{
     LINE_BYTES, SECTORS_PER_LINE, SECTOR_BYTES,
 };
 pub use config::{GpuConfig, Timing};
-#[allow(deprecated)]
-pub use launch::{launch, launch_memoized, launch_shadow, launch_traced};
-pub use launch::{KernelSpec, Launch, LaunchConfig, LaunchOutput, Mode, TimingMode};
+pub use exec_native::NativeCtx;
+pub use launch::{Backend, KernelSpec, Launch, LaunchConfig, LaunchOutput, Mode, TimingMode};
 pub use mem::{BufferId, ElemWidth, MemPool, PoolMark};
 pub use memo::{LaunchSig, MemoStats, WaveArtifacts, WaveDecision, WaveMemo};
 pub use profile::{InstrCounts, KernelProfile, PipeUtil, Roofline, StallBreakdown};

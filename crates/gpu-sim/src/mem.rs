@@ -136,6 +136,15 @@ impl MemPool {
         self.alloc_raw(width, len, Vec::new())
     }
 
+    /// Every allocated buffer handle, in allocation order. The tier-1
+    /// backend gate walks this to compare *whole pools* bit for bit
+    /// after a native and a simulated launch — not just the output
+    /// buffer, so a native lowering that scribbles on an operand fails
+    /// the gate too.
+    pub fn buffer_ids(&self) -> impl Iterator<Item = BufferId> + '_ {
+        (0..self.buffers.len()).map(BufferId)
+    }
+
     /// Capture the current allocation high-water mark.
     pub fn mark(&self) -> PoolMark {
         PoolMark {

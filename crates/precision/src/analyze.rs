@@ -18,7 +18,7 @@ use vecsparse_gpu_sim::Program;
 /// generator statistics (the workspace generators emit values in
 /// `[-max_abs_input, max_abs_input]`, on the binary16 grid, so loads are
 /// exact).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct KernelModel {
     /// Dot-product length (SpMM/SDDMM: `k`) or row reduction length
     /// (softmax: the row width `n`). An upper bound is sound.

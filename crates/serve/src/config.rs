@@ -2,7 +2,7 @@
 
 use crate::error::ServeError;
 use std::sync::Arc;
-use vecsparse_gpu_sim::{GpuConfig, TimingMode};
+use vecsparse_gpu_sim::{Backend, GpuConfig, TimingMode};
 use vecsparse_telemetry::TraceSink;
 
 /// One tenant's contract with the server: identity, fair-share weight,
@@ -72,6 +72,7 @@ pub struct ServeConfig {
     pub(crate) default_queue_depth: usize,
     pub(crate) gpu: GpuConfig,
     pub(crate) timing: TimingMode,
+    pub(crate) backend: Backend,
     pub(crate) memoization: bool,
     pub(crate) sink: Option<Arc<TraceSink>>,
     pub(crate) tenants: Vec<TenantSpec>,
@@ -79,9 +80,9 @@ pub struct ServeConfig {
 
 impl ServeConfig {
     /// Start building a configuration. Defaults: 2 workers, 1 shard,
-    /// max batch 8, queue depth 256 per tenant, default GPU, no
-    /// memoization, no telemetry, no tenants (at least one must be
-    /// added before `build`).
+    /// max batch 8, queue depth 256 per tenant, default GPU, the
+    /// [`Backend::Native`] fast path, no memoization, no telemetry, no
+    /// tenants (at least one must be added before `build`).
     pub fn builder() -> ServeConfigBuilder {
         ServeConfigBuilder::default()
     }
@@ -110,6 +111,11 @@ impl ServeConfig {
     pub fn timing(&self) -> TimingMode {
         self.timing
     }
+
+    /// Functional execution backend the worker contexts run with.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
 }
 
 /// Builder for [`ServeConfig`] — the same consuming-chain style as
@@ -134,6 +140,7 @@ pub struct ServeConfigBuilder {
     default_queue_depth: Option<usize>,
     gpu: Option<GpuConfig>,
     timing: TimingMode,
+    backend: Option<Backend>,
     memoization: bool,
     sink: Option<Arc<TraceSink>>,
     tenants: Vec<TenantSpec>,
@@ -179,6 +186,17 @@ impl ServeConfigBuilder {
     /// events.
     pub fn timing(mut self, timing: TimingMode) -> Self {
         self.timing = timing;
+        self
+    }
+
+    /// Functional execution backend for every worker context (default
+    /// [`Backend::Native`]: serving runs are overwhelmingly functional,
+    /// and the native CPU lowering produces bit-identical outputs without
+    /// paying per-warp simulation — see DESIGN §2j). Pass
+    /// [`Backend::Simulated`] to force honest warp-level simulation,
+    /// e.g. for replay diffing.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
         self
     }
 
@@ -248,6 +266,7 @@ impl ServeConfigBuilder {
             default_queue_depth: self.default_queue_depth.unwrap_or(256),
             gpu: self.gpu.unwrap_or_default(),
             timing: self.timing,
+            backend: self.backend.unwrap_or(Backend::Native),
             memoization: self.memoization,
             sink: self.sink,
             tenants: self.tenants,
@@ -301,5 +320,6 @@ mod tests {
         assert_eq!(cfg.shards(), 1);
         assert_eq!(cfg.max_batch(), 8);
         assert_eq!(cfg.tenants().len(), 1);
+        assert_eq!(cfg.backend(), Backend::Native, "serving defaults native");
     }
 }

@@ -82,3 +82,4 @@ pub use job::{JobHandle, JobOutput, JobRequest};
 pub use saturation::{saturation_curve, service_time_ms, SaturationPoint};
 pub use server::{Client, Server};
 pub use stats::{ServeReport, TenantReport};
+pub use vecsparse_gpu_sim::Backend;

@@ -154,6 +154,7 @@ impl Server {
                 let mut b = Context::builder()
                     .gpu(config.gpu.clone())
                     .timing(config.timing)
+                    .backend(config.backend)
                     .telemetry(Arc::clone(&sink));
                 if config.memoization {
                     // One wave cache per shard, shared by every plan the

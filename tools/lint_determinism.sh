@@ -88,26 +88,15 @@ fi
 echo "determinism lint clean ($DIRS)"
 
 # Launch-entry-point lint: every way to run a kernel goes through the
-# `Launch` builder. New `pub fn launch_*` free functions fragment the
-# entry point again (that's how the pre-builder API accreted four of
-# them); only the #[deprecated] compatibility shims are allowed.
-out=$(awk '
-    {
-        line = $0
-        if (line ~ /pub fn launch_/ \
-            && prev1 !~ /#\[deprecated/ && prev2 !~ /#\[deprecated/ \
-            && prev3 !~ /#\[deprecated/ && prev4 !~ /#\[deprecated/) {
-            printf "%s:%d: %s\n", FILENAME, FNR, line
-        }
-        prev4 = prev3; prev3 = prev2; prev2 = prev1; prev1 = line
-    }
-' $(find crates/gpu-sim/src -name '*.rs' | sort))
+# `Launch` builder. `pub fn launch_*` free functions fragment the entry
+# point again — that's how the pre-builder API accreted four of them; the
+# deprecated shims are gone, and no new ones may appear.
+out=$(grep -n 'pub fn launch_' $(find crates/gpu-sim/src -name '*.rs' | sort) /dev/null)
 if [ -n "$out" ]; then
     echo "$out"
     echo >&2
-    echo "launch lint failed: new 'pub fn launch_*' free functions are not" >&2
-    echo "allowed — extend the Launch builder instead. (Only the existing" >&2
-    echo "#[deprecated] shims may keep the launch_ prefix.)" >&2
+    echo "launch lint failed: 'pub fn launch_*' free functions are not" >&2
+    echo "allowed — extend the Launch builder instead." >&2
     exit 1
 fi
 echo "launch-entry lint clean (crates/gpu-sim/src)"
